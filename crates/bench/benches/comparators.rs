@@ -1,0 +1,125 @@
+//! Scaling benchmarks for the comparator systems (experiment index B7–B8):
+//! Reiter extension enumeration (exponential in the default count, by
+//! construction of the subset characterization), circumscription minimal-
+//! model filtering, lexicographic entailment, and the propensity engine's
+//! profile sweep against the uniform-prior sweep it generalizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rw_defaults::{extensions, lex_entails, minimal_models, CircPolicy, DefaultTheory};
+use rw_epsilon::prop::VarTable;
+use rw_epsilon::DefaultRule;
+use rw_logic::{KnowledgeBase, Tolerances};
+use rw_propensity::{Prior, PropensityEngine};
+use rw_util::Rat;
+use std::hint::black_box;
+
+/// A Nixon-like diamond of `k` pairwise-conflicting defaults: extension
+/// count (and candidate space) grows with `k`.
+fn diamond(k: usize) -> (DefaultTheory, usize) {
+    let mut vt = VarTable::new();
+    let mut t = DefaultTheory::new();
+    t.fact_str(&mut vt, "p").unwrap();
+    for i in 0..k {
+        let mut concl = format!("o{i}");
+        for j in 0..k {
+            if j != i {
+                concl.push_str(&format!(" & !o{j}"));
+            }
+        }
+        t.normal_str(&mut vt, "p", &concl).unwrap();
+    }
+    (t, vt.len())
+}
+
+fn bench_reiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reiter_extensions_vs_defaults");
+    for k in [2usize, 4, 6, 8] {
+        let (t, nvars) = diamond(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(extensions(&t, nvars).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_circumscription(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circumscription_vs_tickets");
+    for k in [3usize, 6, 9] {
+        // Exactly-one-winner lottery over k tickets.
+        let mut vt = VarTable::new();
+        let some: Vec<String> = (0..k).map(|i| format!("w{i}")).collect();
+        let mut src = format!("({})", some.join(" or "));
+        for i in 0..k {
+            let others: Vec<String> = (0..k)
+                .filter(|&j| j != i)
+                .map(|j| format!("!w{j}"))
+                .collect();
+            src.push_str(&format!(" & (w{i} => {})", others.join(" & ")));
+        }
+        let t = vt.parse(&src).unwrap();
+        let policy = CircPolicy::minimize((0..k).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(minimal_models(&t, &policy, vt.len()).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lex_entailment_vs_rules");
+    for m in [4usize, 8, 12] {
+        let mut vt = VarTable::new();
+        let mut rules = Vec::new();
+        for i in 0..m / 2 {
+            rules.push(DefaultRule::new(
+                vt.parse(&format!("c{i}")).unwrap(),
+                vt.parse(&format!("c{}", i + 1)).unwrap(),
+            ));
+            rules.push(DefaultRule::new(
+                vt.parse(&format!("c{i}")).unwrap(),
+                vt.parse(&format!("f{i}")).unwrap(),
+            ));
+        }
+        let prem = vt.parse("c0").unwrap();
+        let concl = vt.parse("f0").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(lex_entails(&rules, &prem, &concl)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propensity_sweep(c: &mut Criterion) {
+    // The propensity sweep does strictly more per-profile work than the
+    // uniform sweep (per-predicate marginals); this pins the overhead.
+    let mut group = c.benchmark_group("prior_sweep_overhead");
+    group.sample_size(20);
+    let mut kb =
+        KnowledgeBase::parse("||P(x) | S(x)||_x ~=_1 0.75; ||S(x)||_x ~=_2 0.5; !S(C)").unwrap();
+    let q = kb.parse_query("P(C)").unwrap();
+    let tol = Tolerances::uniform(Rat::new(1, 10));
+    let n = 32usize;
+    group.bench_function("uniform", |b| {
+        b.iter(|| black_box(rw_unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap()))
+    });
+    for (label, prior) in [
+        ("per_predicate", Prior::PerPredicate),
+        ("carnap_star", Prior::CarnapStar),
+        ("lambda", Prior::Lambda(4.0)),
+    ] {
+        let engine = PropensityEngine::new(prior);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.degree_of_belief_at(&kb, &q, n, &tol).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reiter,
+    bench_circumscription,
+    bench_lex,
+    bench_propensity_sweep,
+);
+criterion_main!(benches);

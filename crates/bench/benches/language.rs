@@ -1,0 +1,70 @@
+//! Language-layer benchmarks (experiment index B6): parsing, printing and
+//! model checking — the substrate costs under every engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rw_logic::{parse_formula, KnowledgeBase, Pretty, Tolerances, Vocabulary};
+use rw_util::Rat;
+use std::hint::black_box;
+
+const SOURCES: &[&str] = &[
+    "||Hep(x) | Jaun(x)||_x ~=_1 0.8",
+    "forall x (Penguin(x) => Bird(x))",
+    "|| ||Rises-late(x, y) | Day(y)||_y ~=_1 1 | ||To-bed-late(x, z) | Day(z)||_z ~=_2 1 ||_x ~=_3 1",
+    "exists! x (Quaker(x) & Republican(x))",
+];
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for (i, src) in SOURCES.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::from_parameter(i), src, |b, src| {
+            b.iter(|| {
+                let mut v = Vocabulary::new();
+                black_box(parse_formula(&mut v, src).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_printer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("print");
+    for (i, src) in SOURCES.iter().enumerate() {
+        let mut v = Vocabulary::new();
+        let f = parse_formula(&mut v, src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(i), &f, |b, f| {
+            b.iter(|| black_box(Pretty::new(&v, f).to_string()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_check");
+    let mut kb = KnowledgeBase::parse(
+        "||Fly(x) | Bird(x)||_x ~=_1 0.9; forall x (Penguin(x) => Bird(x))",
+    )
+    .unwrap();
+    let f = kb.as_formula();
+    let nested = kb
+        .parse_query("|| ||Likes(x, y)||_y ~=_1 0.5 ||_x <~_2 0.9")
+        .unwrap();
+    let tol = Tolerances::uniform(Rat::new(1, 10));
+    for n in [8usize, 16, 32] {
+        let world = {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(42);
+            rw_worlds::sample::sample_world(kb.vocab(), n, &mut rng)
+        };
+        group.bench_with_input(BenchmarkId::new("statistical_kb", n), &n, |b, _| {
+            b.iter(|| black_box(rw_worlds::evaluate_closed(&world, kb.vocab(), &tol, &f)))
+        });
+        group.bench_with_input(BenchmarkId::new("nested_proportions", n), &n, |b, _| {
+            b.iter(|| black_box(rw_worlds::evaluate_closed(&world, kb.vocab(), &tol, &nested)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser, bench_printer, bench_model_checking);
+criterion_main!(benches);

@@ -1,0 +1,599 @@
+//! The experiment harness: regenerates every paper-vs-measured row of
+//! EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p rw-bench --bin experiments --release
+//! ```
+
+use rw_core::{Belief, RandomWorlds};
+use rw_logic::{KnowledgeBase, Tolerances};
+use rw_util::Rat;
+
+struct Row {
+    id: &'static str,
+    source: &'static str,
+    description: &'static str,
+    expected: String,
+    measured: String,
+    ok: bool,
+}
+
+fn fmt_belief(b: &Belief) -> String {
+    match b {
+        Belief::Point(v) => format!("{v:.4}"),
+        Belief::Interval(lo, hi) => format!("[{lo:.2}, {hi:.2}]"),
+        Belief::NonRobust(_) => "non-robust".to_string(),
+        Belief::Undefined => "undefined".to_string(),
+    }
+}
+
+fn run_examples(engine: &RandomWorlds) -> Vec<Row> {
+    struct Case {
+        id: &'static str,
+        source: &'static str,
+        description: &'static str,
+        kb: &'static str,
+        query: &'static str,
+        expected: Expected,
+    }
+    enum Expected {
+        Point(f64, f64),
+        Interval(f64, f64),
+        NonRobust,
+        Undefined,
+    }
+    use Expected::*;
+
+    let nixon = "||Pacifist(x) | Quaker(x)||_x ~=_1 {A}; \
+                 ||Pacifist(x) | Republican(x)||_x ~=_2 {B}; \
+                 Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))";
+    let _ = nixon;
+
+    let cases = vec![
+        Case { id: "E1", source: "Ex 5.8", description: "hepatitis direct inference",
+            kb: "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)", query: "Hep(Eric)",
+            expected: Point(0.8, 1e-9) },
+        Case { id: "E2", source: "Ex 5.8", description: "other individuals ignored",
+            kb: "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Hep(Tom)", query: "Hep(Eric)",
+            expected: Point(0.8, 1e-9) },
+        Case { id: "E3", source: "Ex 5.10", description: "penguins do not fly (specificity)",
+            kb: "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+            query: "Fly(Tweety)", expected: Point(0.0, 1e-9) },
+        Case { id: "E5a", source: "Ex 5.12", description: "elephants like zookeeper Eric",
+            kb: "||Likes(x, y) | Elephant(x) & Zookeeper(y)||_{x,y} ~=_1 1; ||Likes(x, Fred) | Elephant(x)||_x ~=_2 0; Zookeeper(Fred); Elephant(Clyde); Zookeeper(Eric)",
+            query: "Likes(Clyde, Eric)", expected: Point(1.0, 1e-9) },
+        Case { id: "E5b", source: "Ex 5.12", description: "but not Fred",
+            kb: "||Likes(x, y) | Elephant(x) & Zookeeper(y)||_{x,y} ~=_1 1; ||Likes(x, Fred) | Elephant(x)||_x ~=_2 0; Zookeeper(Fred); Elephant(Clyde); Zookeeper(Eric)",
+            query: "Likes(Clyde, Fred)", expected: Point(0.0, 1e-9) },
+        Case { id: "E6", source: "Ex 5.13", description: "tall parent (∃-defined class)",
+            kb: "||Tall(x) | exists y (Child(x, y) & Tall(y))||_x ~=_1 1; exists y (Child(Alice, y) & Tall(y))",
+            query: "Tall(Alice)", expected: Point(1.0, 1e-9) },
+        Case { id: "E7", source: "Ex 5.14", description: "nested bed-late defaults",
+            kb: "|| ||Rises-late(x, y) | Day(y)||_y ~=_1 1 | ||To-bed-late(x, z) | Day(z)||_z ~=_2 1 ||_x ~=_3 1; ||To-bed-late(Alice, z) | Day(z)||_z ~=_2 1; Day(Tomorrow)",
+            query: "Rises-late(Alice, Tomorrow)", expected: Point(1.0, 1e-9) },
+        Case { id: "E8", source: "Ex 5.18", description: "irrelevant facts ignored",
+            kb: "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Fever(Eric); Tall(Eric)",
+            query: "Hep(Eric)", expected: Point(0.8, 1e-9) },
+        Case { id: "E9", source: "Ex 5.19", description: "yellow penguin still flightless",
+            kb: "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); forall x (Penguin(x) => Bird(x)); Penguin(Tweety); Yellow(Tweety)",
+            query: "Fly(Tweety)", expected: Point(0.0, 1e-9) },
+        Case { id: "E10", source: "Ex 5.20", description: "exceptional subclass inherits",
+            kb: "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); Bird(x) ->_3 Warm-blooded(x); forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+            query: "Warm-blooded(Tweety)", expected: Point(1.0, 1e-9) },
+        Case { id: "E11", source: "Ex 5.21", description: "drowning problem solved",
+            kb: "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); Yellow(x) ->_3 Easy-to-see(x); forall x (Penguin(x) => Bird(x)); Penguin(Tweety); Yellow(Tweety)",
+            query: "Easy-to-see(Tweety)", expected: Point(1.0, 1e-9) },
+        Case { id: "E12", source: "Ex 5.22", description: "Tay-Sachs disjunctive class",
+            kb: "||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)",
+            query: "TS(Eric)", expected: Point(0.02, 1e-3) },
+        Case { id: "E13", source: "Ex 5.24", description: "strength rule (magpies)",
+            kb: "0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; 0 <~_3 ||Chirps(x) | Magpie(x)||_x <~_4 0.99; forall x (Magpie(x) => Bird(x)); Magpie(Tweety)",
+            query: "Chirps(Tweety)", expected: Interval(0.7, 0.8) },
+        Case { id: "E15", source: "Thm 5.26", description: "Nixon δ(0.8, 0.8) = 16/17",
+            kb: "||Pacifist(x) | Quaker(x)||_x ~=_1 0.8; ||Pacifist(x) | Republican(x)||_x ~=_2 0.8; Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+            query: "Pacifist(Nixon)", expected: Point(16.0 / 17.0, 1e-9) },
+        Case { id: "E16", source: "§5.3", description: "neutral evidence defers",
+            kb: "||Pacifist(x) | Quaker(x)||_x ~=_1 0.7; ||Pacifist(x) | Republican(x)||_x ~=_2 0.5; Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+            query: "Pacifist(Nixon)", expected: Point(0.7, 1e-9) },
+        Case { id: "E17a", source: "§5.3", description: "conflicting hard defaults (distinct τ)",
+            kb: "||Pacifist(x) | Quaker(x)||_x ~=_1 1; ||Pacifist(x) | Republican(x)||_x ~=_2 0; Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+            query: "Pacifist(Nixon)", expected: NonRobust },
+        Case { id: "E17b", source: "§5.3", description: "equal-strength conflict → 1/2",
+            kb: "||Pacifist(x) | Quaker(x)||_x ~=_1 1; ||Pacifist(x) | Republican(x)||_x ~=_1 0; Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+            query: "Pacifist(Nixon)", expected: Point(0.5, 1e-9) },
+        Case { id: "E18", source: "Ex 5.28", description: "independence: 0.8 × 0.4",
+            kb: "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); ||Over60(x) | Patient(x)||_x ~=_2 0.4; Patient(Eric)",
+            query: "Hep(Eric) & Over60(Eric)", expected: Point(0.32, 1e-9) },
+        Case { id: "E19", source: "Ex 5.29", description: "maxent, not naive independence",
+            kb: "||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1",
+            query: "Black(Clyde)", expected: Point(0.47, 5e-3) },
+        Case { id: "E21a", source: "§5.5", description: "lottery: instance loses",
+            kb: "exists! x (Winner(x)); forall x (Winner(x) => Ticket(x)); forall x (Ticket(x)); Ticket(C)",
+            query: "Winner(C)", expected: Point(0.0, 2e-3) },
+        Case { id: "E21b", source: "§5.5", description: "lottery: someone wins",
+            kb: "exists! x (Winner(x)); forall x (Winner(x) => Ticket(x)); forall x (Ticket(x)); Ticket(C)",
+            query: "exists x (Winner(x))", expected: Point(1.0, 2e-3) },
+        Case { id: "E22a", source: "§5.5", description: "unique names by default",
+            kb: "P(A) or !P(A)", query: "C1 = C2", expected: Point(0.0, 1e-9) },
+        Case { id: "E22b", source: "§5.5", description: "Lifschitz C1",
+            kb: "Ray = Reiter; Drew = McDermott", query: "!(Ray = Drew)", expected: Point(1.0, 1e-9) },
+        Case { id: "E23", source: "§6", description: "maxent point (0.3, 0.7, 0, 0)",
+            kb: "forall x (P1(x)); ||P1(x) & P2(x)||_x <~_1 0.3", query: "P2(C)",
+            expected: Point(0.3, 2e-3) },
+        Case { id: "E24", source: "Ex 5.4", description: "broken arm: exactly one usable",
+            kb: "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; LeftBroken(Eric) or RightBroken(Eric)",
+            query: "(LeftUsable(Eric) or RightUsable(Eric)) & !(LeftUsable(Eric) & RightUsable(Eric))",
+            expected: Point(1.0, 2e-3) },
+        Case { id: "E30a", source: "§7.2", description: "representation: 2 colors",
+            kb: "true", query: "White(B)", expected: Point(0.5, 1e-9) },
+        Case { id: "E30b", source: "§7.2", description: "representation: 3 colors",
+            kb: "forall x (!White(x) <=> Red(x) or Blue(x)); forall x (!(Red(x) & Blue(x))); forall x (White(x) => !Red(x) & !Blue(x))",
+            query: "White(B)", expected: Point(1.0 / 3.0, 2e-3) },
+        Case { id: "E31", source: "fn 14", description: "Republican banker δ(0.2,0.2)",
+            kb: "||Pacifist(x) | Republican(x)||_x ~=_1 0.2; ||Pacifist(x) | Banker(x)||_x ~=_2 0.2; Republican(Morgan); Banker(Morgan); exists! x (Republican(x) & Banker(x))",
+            query: "Pacifist(Morgan)", expected: Point(1.0 / 17.0, 1e-9) },
+        Case { id: "E-poole", source: "§5.5", description: "Poole partition inconsistent",
+            kb: "forall x (Bird(x) <=> Penguin(x) or Emu(x)); forall x (!(Penguin(x) & Emu(x))); Bird(x) ->_1 !Penguin(x); Bird(x) ->_2 !Emu(x); exists x (Bird(x))",
+            query: "Penguin(C)", expected: Undefined },
+    ];
+
+    let mut rows = Vec::new();
+    for case in cases {
+        let kb = KnowledgeBase::parse(case.kb).expect(case.id);
+        let result = engine.degree_of_belief(&kb, case.query);
+        let (measured, ok, expected_str) = match (&result, &case.expected) {
+            (Ok(r), Point(v, eps)) => (
+                format!("{} ({})", fmt_belief(&r.belief), r.provenance),
+                r.belief.as_point().is_some_and(|m| (m - v).abs() <= *eps),
+                format!("{v:.4}"),
+            ),
+            (Ok(r), Interval(lo, hi)) => (
+                format!("{} ({})", fmt_belief(&r.belief), r.provenance),
+                r.belief.as_interval() == Some((*lo, *hi)),
+                format!("[{lo:.2}, {hi:.2}]"),
+            ),
+            (Ok(r), NonRobust) => (
+                format!("{} ({})", fmt_belief(&r.belief), r.provenance),
+                matches!(r.belief, Belief::NonRobust(_)),
+                "non-robust".to_string(),
+            ),
+            (Ok(r), Undefined) => (
+                format!("{} ({})", fmt_belief(&r.belief), r.provenance),
+                matches!(r.belief, Belief::Undefined),
+                "undefined".to_string(),
+            ),
+            (Err(e), _) => (format!("error: {e}"), false, "-".to_string()),
+        };
+        rows.push(Row {
+            id: case.id,
+            source: case.source,
+            description: case.description,
+            expected: expected_str,
+            measured,
+            ok,
+        });
+    }
+    rows
+}
+
+/// The §3 / §7.3 comparator experiments (E32–E39): classical nonmonotonic
+/// systems and the random-propensities priors, lined up against random
+/// worlds on the shared benchmarks.
+fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
+    use rw_defaults::{
+        circ_entails, extensions, lex_entails, skeptical, CircPolicy, DefaultTheory,
+    };
+    use rw_epsilon::prop::VarTable;
+    use rw_epsilon::{z_entails, DefaultRule};
+    use rw_propensity::{Prior, PropensityEngine};
+
+    let mut rows = Vec::new();
+    let mut push = |id, source, description, expected: String, measured: String, ok| {
+        rows.push(Row {
+            id,
+            source,
+            description,
+            expected,
+            measured,
+            ok,
+        });
+    };
+
+    // E32: Nixon — Reiter splits, random worlds grades.
+    {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "quaker & republican").unwrap();
+        t.normal_str(&mut vt, "quaker", "pacifist").unwrap();
+        t.normal_str(&mut vt, "republican", "!pacifist").unwrap();
+        let n_ext = extensions(&t, vt.len()).len();
+        let kb = KnowledgeBase::parse(
+            "Quaker(x) ->_1 Pacifist(x); Republican(x) ->_1 !Pacifist(x); \
+             Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+        )
+        .unwrap();
+        let rw = engine.degree_of_belief(&kb, "Pacifist(Nixon)").unwrap();
+        let ok = n_ext == 2 && rw.belief.as_point().is_some_and(|v| (v - 0.5).abs() < 1e-6);
+        push(
+            "E32", "§3.1/5.3", "Nixon: Reiter splits, RW grades",
+            "2 exts / 0.5".to_string(),
+            format!("{n_ext} exts / {}", fmt_belief(&rw.belief)),
+            ok,
+        );
+    }
+
+    // E33: broken arm — Reiter says both usable; RW: exactly one.
+    {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "lb or rb").unwrap();
+        t.normal_str(&mut vt, "true", "lu").unwrap();
+        t.normal_str(&mut vt, "true", "ru").unwrap();
+        t.normal_str(&mut vt, "lb", "!lu").unwrap();
+        t.normal_str(&mut vt, "rb", "!ru").unwrap();
+        let both = vt.parse("lu & ru").unwrap();
+        let reiter_both = skeptical(&t, vt.len(), &both);
+        let kb = KnowledgeBase::parse(
+            "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; \
+             ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; \
+             LeftBroken(Eric) or RightBroken(Eric)",
+        )
+        .unwrap();
+        let one = engine
+            .follows_by_default(
+                &kb,
+                "(LeftUsable(Eric) or RightUsable(Eric)) & \
+                 !(LeftUsable(Eric) & RightUsable(Eric))",
+            )
+            .unwrap();
+        push(
+            "E33", "Ex 5.4", "broken arm: Reiter both, RW one",
+            "both / one".to_string(),
+            format!(
+                "Reiter both-usable={reiter_both} / RW exactly-one={one}"
+            ),
+            reiter_both && one,
+        );
+    }
+
+    // E34: specificity — naive Reiter loses it, semi-normal recovers.
+    {
+        let mut vt = VarTable::new();
+        let no_fly = vt.parse("!fly").unwrap();
+        let mut naive = DefaultTheory::new();
+        naive.fact_str(&mut vt, "penguin").unwrap();
+        naive.fact_str(&mut vt, "penguin => bird").unwrap();
+        naive.normal_str(&mut vt, "bird", "fly").unwrap();
+        naive.normal_str(&mut vt, "penguin", "!fly").unwrap();
+        let naive_ok = !skeptical(&naive, vt.len(), &no_fly);
+        let mut guarded = DefaultTheory::new();
+        guarded.fact_str(&mut vt, "penguin").unwrap();
+        guarded.fact_str(&mut vt, "penguin => bird").unwrap();
+        guarded.default_rule(rw_defaults::Default::semi_normal(
+            vt.parse("bird").unwrap(),
+            vt.parse("fly").unwrap(),
+            vt.parse("!penguin").unwrap(),
+        ));
+        guarded.normal_str(&mut vt, "penguin", "!fly").unwrap();
+        let guarded_ok = skeptical(&guarded, vt.len(), &no_fly);
+        push(
+            "E34", "§3.3", "specificity: naive loses, guard fixes",
+            "lost / fixed".to_string(),
+            format!("naive-lost={naive_ok} / guarded-fixed={guarded_ok}"),
+            naive_ok && guarded_ok,
+        );
+    }
+
+    // E35: lottery under circumscription vs graded belief.
+    {
+        let mut vt = VarTable::new();
+        let t = vt
+            .parse(
+                "(w1 or w2 or w3) & (w1 => !w2 & !w3) & (w2 => !w1 & !w3) & \
+                 (w3 => !w1 & !w2)",
+            )
+            .unwrap();
+        let policy = CircPolicy::minimize(vec![0, 1, 2]);
+        let circ_loser = circ_entails(&t, &policy, vt.len(), &vt.parse("!w1").unwrap());
+        let circ_someone =
+            circ_entails(&t, &policy, vt.len(), &vt.parse("w1 or w2 or w3").unwrap());
+        let kb = KnowledgeBase::parse(
+            "exists! x (Winner(x)); forall x (Winner(x) => Ticket(x)); \
+             forall x (Ticket(x)); Ticket(C)",
+        )
+        .unwrap();
+        let rw = engine.degree_of_belief(&kb, "Winner(C)").unwrap();
+        push(
+            "E35", "§3.5/5.5", "lottery: circ silent, RW graded",
+            "no ¬W(c); Pr=0".to_string(),
+            format!(
+                "circ ¬W(c)={circ_loser}, ∃={circ_someone} / RW {}",
+                fmt_belief(&rw.belief)
+            ),
+            !circ_loser && circ_someone && rw.belief.is_zero(),
+        );
+    }
+
+    // E36: drowning — Z blocks, lex and RW inherit.
+    {
+        let mut vt = VarTable::new();
+        let rules = vec![
+            DefaultRule::new(vt.parse("bird").unwrap(), vt.parse("fly").unwrap()),
+            DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("!fly").unwrap()),
+            DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("bird").unwrap()),
+            DefaultRule::new(vt.parse("yellow").unwrap(), vt.parse("see").unwrap()),
+        ];
+        let yp = vt.parse("yellow & penguin").unwrap();
+        let see = vt.parse("see").unwrap();
+        let z = z_entails(&rules, &yp, &see);
+        let lex = lex_entails(&rules, &yp, &see);
+        let kb = KnowledgeBase::parse(
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Yellow(x) ->_3 EasyToSee(x); \
+             Penguin(Tweety); Yellow(Tweety)",
+        )
+        .unwrap();
+        let rw = engine.degree_of_belief(&kb, "EasyToSee(Tweety)").unwrap();
+        push(
+            "E36", "§3.3/5.21", "drowning: Z no, lex yes, RW 1",
+            "no/yes/1".to_string(),
+            format!("Z={z:?} / lex={lex:?} / RW {}", fmt_belief(&rw.belief)),
+            z == Some(false) && lex == Some(true) && rw.belief.is_one(),
+        );
+    }
+
+    // E37: Laplace succession under propensity priors; RW stays at 1/2.
+    {
+        let s = rw_propensity::succession(2, 3);
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        let pp = PropensityEngine::new(Prior::PerPredicate)
+            .limit_estimate(&s.kb, &s.query, &[48, 96, 192], &tol)
+            .unwrap()
+            .unwrap();
+        let rw = rw_unary::degree_of_belief_at(&s.kb, &s.query, 96, &tol)
+            .unwrap()
+            .unwrap();
+        push(
+            "E37", "§7.3", "succession: propensities 0.6, RW 0.5",
+            "0.6 / 0.5".to_string(),
+            format!("{pp:.4} / {rw:.4}"),
+            (pp - 0.6).abs() < 0.02 && (rw - 0.5).abs() < 0.02,
+        );
+    }
+
+    // E38: sampling — propensities learn across the S boundary, RW and
+    // Carnap's m* do not.
+    {
+        let s = rw_propensity::sampling(80);
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        let rw = rw_unary::degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+            .unwrap()
+            .unwrap();
+        let pp = PropensityEngine::new(Prior::PerPredicate)
+            .degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+            .unwrap()
+            .unwrap();
+        let star = PropensityEngine::new(Prior::CarnapStar)
+            .degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+            .unwrap()
+            .unwrap();
+        push(
+            "E38", "§7.3", "sampling: BGHK92 learns, RW/m* flat",
+            "≈0.8 / 0.5 / 0.5".to_string(),
+            format!("{pp:.3} / {rw:.3} / {star:.3}"),
+            pp > 0.68 && (rw - 0.5).abs() < 0.03 && (star - 0.5).abs() < 0.03,
+        );
+    }
+
+    // E40: Yale shooting (§7.1) — naive temporal representation anomalous,
+    // causal conditioning intended.
+    {
+        let facts = "forall x (L1(x) => !A2(x)); L0(S); A0(S)";
+        let naive = KnowledgeBase::parse(&format!(
+            "||L1(x) | L0(x)||_x ~=_1 1; ||A1(x) | A0(x)||_x ~=_1 1; \
+             ||A2(x) | A1(x)||_x ~=_1 1; {facts}"
+        ))
+        .unwrap();
+        let anomaly = engine.degree_of_belief(&naive, "A2(S)").unwrap();
+        let causal = KnowledgeBase::parse(&format!(
+            "||L1(x) | L0(x)||_x ~=_1 1; ||A1(x) | A0(x)||_x ~=_2 1; \
+             ||A2(x) | A1(x) & !L1(x)||_x ~=_3 1; {facts}"
+        ))
+        .unwrap();
+        let fixed = engine.degree_of_belief(&causal, "A2(S)").unwrap();
+        let anomalous = anomaly
+            .belief
+            .as_point()
+            .is_some_and(|v| v > 0.05 && v < 0.95);
+        push(
+            "E40", "§7.1", "Yale shooting: naive vs causal",
+            "standoff / 0".to_string(),
+            format!(
+                "naive {} / causal {}",
+                fmt_belief(&anomaly.belief),
+                fmt_belief(&fixed.belief)
+            ),
+            anomalous && fixed.belief.is_zero(),
+        );
+    }
+
+    // E41: the §2.2 disjunctive-class restriction — Kyburg/Pollock lose
+    // Tay-Sachs, random worlds answers.
+    {
+        use rw_refclass::{
+            reference_class_belief_policy, RefClassAnswer, RefClassPolicy,
+        };
+        let kb = KnowledgeBase::parse("||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)")
+            .unwrap();
+        let restricted = reference_class_belief_policy(
+            &kb,
+            "TS(Eric)",
+            &RefClassPolicy {
+                allow_disjunctive: false,
+                ..RefClassPolicy::default()
+            },
+        )
+        .unwrap();
+        let rw = engine.degree_of_belief(&kb, "TS(Eric)").unwrap();
+        let gave_up = matches!(restricted, RefClassAnswer::NoOpinion { .. });
+        push(
+            "E41", "§2.2/5.22", "disjunctive class: Kyburg mute, RW 0.02",
+            "no opinion / 0.02".to_string(),
+            format!(
+                "restricted refclass gave up={gave_up} / RW {}",
+                fmt_belief(&rw.belief)
+            ),
+            gave_up && rw.belief.as_point().is_some_and(|v| (v - 0.02).abs() < 1e-6),
+        );
+    }
+
+    // E39: the giraffe — propensities learn "too often".
+    {
+        let s = rw_propensity::giraffe();
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        let rw = rw_unary::degree_of_belief_at(&s.kb, &s.query, 48, &tol)
+            .unwrap()
+            .unwrap();
+        let engine_pp = PropensityEngine::new(Prior::PerPredicate);
+        let trend = engine_pp
+            .belief_trend(&s.kb, &s.query, &[16, 48, 96], &tol)
+            .unwrap();
+        let vals: Vec<f64> = trend.into_iter().map(|(_, v)| v.unwrap()).collect();
+        let drifting = vals.windows(2).all(|w| w[0] < w[1]) && vals[2] > rw + 0.02;
+        push(
+            "E39", "§7.3", "giraffe: propensities over-learn",
+            "2/3 vs drift↑".to_string(),
+            format!("RW {rw:.3}; BGHK92 {:.3}→{:.3}→{:.3}", vals[0], vals[1], vals[2]),
+            (rw - 2.0 / 3.0).abs() < 0.03 && drifting,
+        );
+    }
+
+    rows
+}
+
+fn print_figures(engine: &RandomWorlds) {
+    let _ = engine;
+    println!("\n── F1: Pr_N(Hep(Eric)) along the (τ, N) diagonal → 0.8 ──");
+    let mut kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+    let q = kb.parse_query("Hep(Eric)").unwrap();
+    for (den, n) in [(10i128, 20usize), (20, 40), (40, 80), (80, 160)] {
+        let tol = Tolerances::uniform(Rat::new(1, den));
+        let v = rw_unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap().unwrap();
+        println!("  τ = 1/{den:<3} N = {n:<4} Pr = {v:.5}");
+    }
+
+    println!("\n── F2: maxent Pr(Fly | Penguin) vs τ → 0 ──");
+    let kb = KnowledgeBase::parse(
+        "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); forall x (Penguin(x) => Bird(x))",
+    )
+    .unwrap();
+    for den in [8i128, 16, 32, 64, 128] {
+        let tol = Tolerances::uniform(Rat::new(1, den));
+        let p = rw_maxent::maxent_point(&kb, &tol).unwrap();
+        // Atoms: Bird=b0, Fly=b1, Penguin=b2; Fly|Penguin mass ratio.
+        let fly_peng: f64 = (0..8).filter(|a| a & 0b110 == 0b110).map(|a| p[a]).sum();
+        let peng: f64 = (0..8).filter(|a| a & 0b100 == 0b100).map(|a| p[a]).sum();
+        println!("  τ = 1/{den:<4} Pr(Fly|Penguin) = {:.5}", fly_peng / peng);
+    }
+
+    println!("\n── F3: Dempster surface δ(α, β) (Thm 5.26) ──");
+    print!("  α\\β ");
+    for b in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        print!("  {b:.1}   ");
+    }
+    println!();
+    for a in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        print!("  {a:.1} ");
+        for b in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+            print!(" {:.4}", rw_core::dempster_rule(&[a, b]));
+        }
+        println!();
+    }
+
+    println!("\n── F4: exact-vs-maxent atom gap vs N (concentration, §6) ──");
+    let kb = KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1")
+        .unwrap();
+    let tol = Tolerances::uniform(Rat::new(1, 20));
+    let point = rw_maxent::maxent_point(&kb, &tol).unwrap();
+    for n in [40usize, 80, 160, 320] {
+        if let Ok(Some(props)) = rw_unary::expected_atom_proportions(&kb, n, &tol) {
+            let gap: f64 = props
+                .iter()
+                .zip(&point)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            println!("  N = {n:<4} max |E[p_a] - p*_a| = {gap:.5}");
+        }
+    }
+
+    println!("\n── F5: lottery Pr(Winner(C)) = 1/N exactly ──");
+    let mut kb = KnowledgeBase::parse(
+        "exists! x (Winner(x)); forall x (Winner(x) => Ticket(x)); forall x (Ticket(x)); Ticket(C)",
+    )
+    .unwrap();
+    let q = kb.parse_query("Winner(C)").unwrap();
+    let tol = Tolerances::uniform(Rat::new(1, 10));
+    for n in [10usize, 100, 1000] {
+        let v = rw_unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap().unwrap();
+        println!("  N = {n:<5} Pr = {v:.6}  (1/N = {:.6})", 1.0 / n as f64);
+    }
+
+    println!("\n── F6: learning curves — uniform vs propensity priors (§7.3) ──");
+    use rw_propensity::{Prior, PropensityEngine};
+    let s = rw_propensity::sampling(75);
+    let tol = Tolerances::uniform(Rat::new(1, 10));
+    let ns = [16usize, 32, 48];
+    print!("  random worlds   ");
+    for n in ns {
+        let v = rw_unary::degree_of_belief_at(&s.kb, &s.query, n, &tol).unwrap().unwrap();
+        print!("  N={n}: {v:.4}");
+    }
+    println!();
+    for (label, prior) in [
+        ("BGHK92 propensity", Prior::PerPredicate),
+        ("Carnap m*       ", Prior::CarnapStar),
+    ] {
+        let eng = PropensityEngine::new(prior);
+        print!("  {label}");
+        for n in ns {
+            let v = eng.degree_of_belief_at(&s.kb, &s.query, n, &tol).unwrap().unwrap();
+            print!("  N={n}: {v:.4}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let engine = RandomWorlds::default();
+    println!("random-worlds experiment harness — paper-vs-measured\n");
+    println!(
+        "{:<8} {:<10} {:<38} {:<14} measured (provenance)",
+        "id", "paper", "experiment", "expected"
+    );
+    println!("{}", "─".repeat(120));
+    let mut rows = run_examples(&engine);
+    rows.extend(run_comparators(&engine));
+    let mut failures = 0;
+    for r in &rows {
+        println!(
+            "{:<8} {:<10} {:<38} {:<14} {} {}",
+            r.id,
+            r.source,
+            r.description,
+            r.expected,
+            if r.ok { "✓" } else { "✗" },
+            r.measured
+        );
+        if !r.ok {
+            failures += 1;
+        }
+    }
+    println!("{}", "─".repeat(120));
+    println!("{} experiments, {} failures", rows.len(), failures);
+
+    print_figures(&engine);
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1 @@
+//! Criterion benchmarks and the experiments harness (see benches/ and src/bin/).

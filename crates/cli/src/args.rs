@@ -1,0 +1,252 @@
+//! Command-line parsing for `rwq` — hand-rolled so the workspace keeps its
+//! small, offline dependency set.
+
+use crate::session::SessionOptions;
+use rw_propensity::Prior;
+use rw_util::Rat;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A parsed `rwq` invocation.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `rwq query <file> <query>... [options]`
+    Query {
+        /// The `.rwkb` knowledge-base file.
+        file: PathBuf,
+        /// One or more `L≈` queries.
+        queries: Vec<String>,
+        /// Session options parsed from flags.
+        options: SessionOptions,
+    },
+    /// `rwq check <file>`: parse and describe the KB.
+    Check {
+        /// The `.rwkb` knowledge-base file.
+        file: PathBuf,
+    },
+    /// `rwq repl <file> [options]`: answer queries from stdin.
+    Repl {
+        /// The `.rwkb` knowledge-base file.
+        file: PathBuf,
+        /// Session options parsed from flags.
+        options: SessionOptions,
+    },
+    /// `rwq help` (or no arguments).
+    Help,
+}
+
+/// Argument errors, with the offending token.
+#[derive(Debug, PartialEq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The `rwq help` text.
+pub const USAGE: &str = "\
+rwq — random-worlds degrees of belief from statistical knowledge bases
+
+USAGE:
+  rwq query <file.rwkb> <query>... [options]
+  rwq check <file.rwkb>
+  rwq repl  <file.rwkb> [options]     (queries from stdin, one per line)
+  rwq help
+
+OPTIONS:
+  --tau P/Q            tolerance for finite-N output (default 1/10)
+  --trend N1,N2,...    also print exact Pr_N at these domain sizes
+  --prior NAME         use a propensity prior instead of random worlds:
+                       per-predicate | carnap | lambda=X
+  --quiet              suppress provenance / trend detail
+";
+
+fn parse_tau(s: &str) -> Result<Rat, ArgError> {
+    let (p, q) = s
+        .split_once('/')
+        .ok_or_else(|| ArgError(format!("--tau expects P/Q, got `{s}`")))?;
+    let p: i128 = p.trim().parse().map_err(|_| ArgError(format!("bad numerator `{p}`")))?;
+    let q: i128 = q.trim().parse().map_err(|_| ArgError(format!("bad denominator `{q}`")))?;
+    if p <= 0 || q <= 0 {
+        return Err(ArgError(format!("--tau must be positive, got {s}")));
+    }
+    Ok(Rat::new(p, q))
+}
+
+fn parse_prior(s: &str) -> Result<Prior, ArgError> {
+    match s {
+        "per-predicate" => Ok(Prior::PerPredicate),
+        "carnap" => Ok(Prior::CarnapStar),
+        _ => {
+            if let Some(rest) = s.strip_prefix("lambda=") {
+                let v: f64 = rest
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad λ value `{rest}`")))?;
+                if v <= 0.0 {
+                    return Err(ArgError("λ must be positive".to_string()));
+                }
+                Ok(Prior::Lambda(v))
+            } else {
+                Err(ArgError(format!(
+                    "unknown prior `{s}` (expected per-predicate | carnap | lambda=X)"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_trend(s: &str) -> Result<Vec<usize>, ArgError> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| ArgError(format!("bad --trend size `{t}`")))
+        })
+        .collect()
+}
+
+fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgError> {
+    let mut options = SessionOptions::default();
+    let mut positional = Vec::new();
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} expects a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tau" => options.tau = parse_tau(&value(&mut i, "--tau")?)?,
+            "--prior" => options.prior = Some(parse_prior(&value(&mut i, "--prior")?)?),
+            "--trend" => options.trend = parse_trend(&value(&mut i, "--trend")?)?,
+            "--quiet" => options.explain = false,
+            flag if flag.starts_with("--") => {
+                return Err(ArgError(format!("unknown option `{flag}`")));
+            }
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    // Propensity sweeps need N points; give a sensible default ladder.
+    if options.prior.is_some() && options.trend.is_empty() {
+        options.trend = vec![16, 32, 64];
+    }
+    Ok((options, positional))
+}
+
+/// Parses a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let Some(verb) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match verb.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "check" => {
+            let (_, positional) = parse_options(&args[1..])?;
+            let [file] = positional.as_slice() else {
+                return Err(ArgError("check expects exactly one file".to_string()));
+            };
+            Ok(Command::Check {
+                file: PathBuf::from(file),
+            })
+        }
+        "repl" => {
+            let (options, positional) = parse_options(&args[1..])?;
+            let [file] = positional.as_slice() else {
+                return Err(ArgError("repl expects exactly one file".to_string()));
+            };
+            Ok(Command::Repl {
+                file: PathBuf::from(file),
+                options,
+            })
+        }
+        "query" => {
+            let (options, mut positional) = parse_options(&args[1..])?;
+            if positional.len() < 2 {
+                return Err(ArgError(
+                    "query expects a file and at least one query".to_string(),
+                ));
+            }
+            let file = PathBuf::from(positional.remove(0));
+            Ok(Command::Query {
+                file,
+                queries: positional,
+                options,
+            })
+        }
+        other => Err(ArgError(format!(
+            "unknown command `{other}` (try `rwq help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn query_with_options() {
+        let cmd = parse(&strs(&[
+            "query", "kb.rwkb", "Hep(Eric)", "--tau", "1/64", "--trend", "8,16", "--quiet",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query {
+                file,
+                queries,
+                options,
+            } => {
+                assert_eq!(file, PathBuf::from("kb.rwkb"));
+                assert_eq!(queries, vec!["Hep(Eric)".to_string()]);
+                assert_eq!(options.tau, Rat::new(1, 64));
+                assert_eq!(options.trend, vec![8, 16]);
+                assert!(!options.explain);
+                assert_eq!(options.prior, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn priors_parse() {
+        assert_eq!(parse_prior("per-predicate"), Ok(Prior::PerPredicate));
+        assert_eq!(parse_prior("carnap"), Ok(Prior::CarnapStar));
+        assert_eq!(parse_prior("lambda=3.5"), Ok(Prior::Lambda(3.5)));
+        assert!(parse_prior("lambda=-1").is_err());
+        assert!(parse_prior("dirichlet").is_err());
+    }
+
+    #[test]
+    fn propensity_gets_default_trend() {
+        let cmd = parse(&strs(&["query", "kb", "P(C)", "--prior", "carnap"])).unwrap();
+        match cmd {
+            Command::Query { options, .. } => assert_eq!(options.trend, vec![16, 32, 64]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&strs(&["frobnicate"])).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&strs(&["query", "kb"])).unwrap_err().0.contains("at least one query"));
+        assert!(parse(&strs(&["check"])).unwrap_err().0.contains("exactly one file"));
+        assert!(parse(&strs(&["query", "kb", "q", "--tau"])).unwrap_err().0.contains("expects a value"));
+        assert!(parse(&strs(&["query", "kb", "q", "--tau", "0/3"])).unwrap_err().0.contains("positive"));
+        assert!(parse(&strs(&["query", "kb", "q", "--wat"])).unwrap_err().0.contains("unknown option"));
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&strs(&["--help"])).unwrap(), Command::Help);
+    }
+}

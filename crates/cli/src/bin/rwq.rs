@@ -1,0 +1,29 @@
+//! `rwq` binary: parse arguments, dispatch to the library, exit.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match rw_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", rw_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut locked = stdin.lock();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match rw_cli::run(cmd, &mut locked, &mut out) {
+        Ok(code) => {
+            let _ = out.flush();
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("io error: {e}");
+            std::process::exit(3);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The `.rwkb` knowledge-base file format.
+//!
+//! A file is a sequence of `L≈` statements in the workspace's concrete
+//! syntax, one per line (or several on a line separated by `;`). Lines
+//! starting with `#` — and trailing `# …` fragments — are comments. Blank
+//! lines separate nothing. Example:
+//!
+//! ```text
+//! # 80% of jaundiced patients have hepatitis.
+//! ||Hep(x) | Jaun(x)||_x ~=_1 0.8
+//! Jaun(Eric)            # the patient at hand
+//! ```
+
+use rw_logic::{KnowledgeBase, ParseError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from loading a `.rwkb` file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// Parse failure, tagged with the 1-based source line.
+    Parse {
+        /// 1-based line number in the source file.
+        line: usize,
+        /// The underlying parse error.
+        error: ParseError,
+    },
+    /// The file contains no statements.
+    Empty,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "cannot read knowledge base: {e}"),
+            LoadError::Parse { line, error } => write!(f, "line {line}: {error}"),
+            LoadError::Empty => write!(f, "knowledge base contains no statements"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+/// Strips a `#` comment, respecting nothing else (the `L≈` syntax has no
+/// string literals, so `#` is unambiguous).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parses `.rwkb` source text into a knowledge base.
+///
+/// ```
+/// let kb = rw_cli::parse_kb(
+///     "# comment\n||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n",
+/// ).unwrap();
+/// assert_eq!(kb.conjuncts().len(), 2);
+/// ```
+pub fn parse_kb(src: &str) -> Result<KnowledgeBase, LoadError> {
+    let mut kb = KnowledgeBase::new();
+    let mut statements = 0usize;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            kb.assert(stmt).map_err(|error| LoadError::Parse {
+                line: idx + 1,
+                error,
+            })?;
+            statements += 1;
+        }
+    }
+    if statements == 0 {
+        return Err(LoadError::Empty);
+    }
+    Ok(kb)
+}
+
+/// Loads a knowledge base from a file path.
+pub fn load_kb(path: &Path) -> Result<KnowledgeBase, LoadError> {
+    parse_kb(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_statements_and_comments() {
+        let kb = parse_kb(
+            "# header comment\n\
+             ||Hep(x) | Jaun(x)||_x ~=_1 0.8\n\
+             \n\
+             Jaun(Eric)  # trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(kb.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn semicolons_split_statements_within_a_line() {
+        let kb = parse_kb("P(C); Q(C)\n").unwrap();
+        assert_eq!(kb.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_kb("P(C)\n||broken\n").unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_files_are_rejected() {
+        assert!(matches!(parse_kb("# only comments\n\n"), Err(LoadError::Empty)));
+    }
+
+    #[test]
+    fn stray_semicolons_are_harmless() {
+        let kb = parse_kb(";P(C);;\n").unwrap();
+        assert_eq!(kb.conjuncts().len(), 1);
+    }
+}

@@ -1,0 +1,212 @@
+#![warn(missing_docs)]
+
+//! `rwq`: the command-line front end for the random-worlds workspace.
+//!
+//! The binary loads a knowledge base written in the `L≈` concrete syntax
+//! (see [`mod@format`] for the `.rwkb` file conventions), answers degree-of-
+//! belief queries through the full engine stack — theorem engine, maximum
+//! entropy, exact finite-`N` counting — and can switch the prior to the
+//! random-propensities families of `rw-propensity`. All behavior lives in
+//! this library so it is testable without spawning processes; the binary
+//! in `src/bin/rwq.rs` is a thin dispatcher.
+//!
+//! ```text
+//! $ rwq query examples/kbs/hepatitis.rwkb "Hep(Eric)"
+//! Pr∞(Hep(Eric) | KB) = 0.800000 (via direct inference (Thm 5.6))
+//! ```
+
+pub mod args;
+pub mod format;
+pub mod session;
+
+pub use args::{parse, ArgError, Command, USAGE};
+pub use format::{load_kb, parse_kb, LoadError};
+pub use session::{Session, SessionError, SessionOptions};
+
+use std::io::BufRead;
+
+/// Runs a parsed command, writing output lines through `out`. Returns the
+/// process exit code. `stdin` supplies REPL queries (one per line).
+pub fn run(
+    cmd: Command,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(0)
+        }
+        Command::Check { file } => match load_kb(&file) {
+            Ok(kb) => {
+                let session = Session::new(kb, SessionOptions::default());
+                write!(out, "{}", session.describe())?;
+                Ok(0)
+            }
+            Err(e) => {
+                writeln!(out, "error: {e}")?;
+                Ok(1)
+            }
+        },
+        Command::Query {
+            file,
+            queries,
+            options,
+        } => {
+            let kb = match load_kb(&file) {
+                Ok(kb) => kb,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(1);
+                }
+            };
+            let session = Session::new(kb, options);
+            let mut failures = 0;
+            for q in &queries {
+                match session.answer(q) {
+                    Ok(a) => writeln!(out, "{a}")?,
+                    Err(e) => {
+                        writeln!(out, "error: {q}: {e}")?;
+                        failures += 1;
+                    }
+                }
+            }
+            Ok(if failures == 0 { 0 } else { 1 })
+        }
+        Command::Repl { file, options } => {
+            let kb = match load_kb(&file) {
+                Ok(kb) => kb,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(1);
+                }
+            };
+            let session = Session::new(kb, options);
+            for line in stdin.lines() {
+                let line = line?;
+                let q = line.trim();
+                if q.is_empty() || q.starts_with('#') {
+                    continue;
+                }
+                if q == "quit" || q == "exit" {
+                    break;
+                }
+                match session.answer(q) {
+                    Ok(a) => writeln!(out, "{a}")?,
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
+            }
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(cmd: Command, input: &str) -> (i32, String) {
+        let mut out = Vec::new();
+        let mut stdin = std::io::Cursor::new(input.as_bytes().to_vec());
+        let code = run(cmd, &mut stdin, &mut out).unwrap();
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn write_kb(content: &str) -> tempfile::TempPath {
+        tempfile::kb_file(content)
+    }
+
+    // A minimal temp-file helper (std-only; no tempfile crate offline).
+    mod tempfile {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempPath(pub PathBuf);
+
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub fn kb_file(content: &str) -> TempPath {
+            let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "rwq-test-{}-{id}.rwkb",
+                std::process::id()
+            ));
+            std::fs::write(&path, content).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_capture(Command::Help, "");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn query_end_to_end() {
+        let kb = write_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+        let cmd = Command::Query {
+            file: kb.0.clone(),
+            queries: vec!["Hep(Eric)".to_string()],
+            options: SessionOptions::default(),
+        };
+        let (code, out) = run_capture(cmd, "");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0.8"), "{out}");
+    }
+
+    #[test]
+    fn query_missing_file_fails_cleanly() {
+        let cmd = Command::Query {
+            file: "/nonexistent/kb.rwkb".into(),
+            queries: vec!["P(C)".to_string()],
+            options: SessionOptions::default(),
+        };
+        let (code, out) = run_capture(cmd, "");
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn bad_query_sets_exit_code_but_answers_others() {
+        let kb = write_kb("P(C)\n");
+        let cmd = Command::Query {
+            file: kb.0.clone(),
+            queries: vec!["P(".to_string(), "P(C)".to_string()],
+            options: SessionOptions::default(),
+        };
+        let (code, out) = run_capture(cmd, "");
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "{out}");
+        assert!(out.contains("Pr∞(P(C)"), "{out}");
+    }
+
+    #[test]
+    fn check_describes_kb() {
+        let kb = write_kb("P(C)\n");
+        let cmd = Command::Check { file: kb.0.clone() };
+        let (code, out) = run_capture(cmd, "");
+        assert_eq!(code, 0);
+        assert!(out.contains("1 statement(s)"), "{out}");
+    }
+
+    #[test]
+    fn repl_answers_until_quit() {
+        let kb = write_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+        let cmd = Command::Repl {
+            file: kb.0.clone(),
+            options: SessionOptions::default(),
+        };
+        let (code, out) = run_capture(cmd, "Hep(Eric)\n# comment\n\nquit\nHep(Eric)\n");
+        assert_eq!(code, 0);
+        // Answered exactly once: the post-quit line is never read.
+        assert_eq!(out.matches("Pr∞").count(), 1, "{out}");
+    }
+}

@@ -1,0 +1,342 @@
+//! Query sessions: a loaded knowledge base plus answer formatting.
+//!
+//! The session wraps the [`rw_core::RandomWorlds`] orchestrator (or a
+//! [`rw_propensity::PropensityEngine`] when a non-uniform prior is chosen)
+//! and renders results as the stable, line-oriented text the `rwq` binary
+//! prints — kept in the library so integration tests can assert on it.
+
+use rw_core::{EngineError, RandomWorlds};
+use rw_logic::{KnowledgeBase, Pretty, Tolerances};
+use rw_propensity::{Prior, PropensityEngine};
+use rw_unary::UnaryError;
+use rw_util::Rat;
+use std::fmt;
+
+/// Options shared by every query in a session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionOptions {
+    /// `None` = the random-worlds uniform prior; `Some` = a propensity
+    /// prior evaluated by finite-`N` sweeps.
+    pub prior: Option<Prior>,
+    /// Tolerance used for finite-`N` trend output and propensity sweeps.
+    pub tau: Rat,
+    /// Domain sizes for trend output (empty = no trend lines).
+    pub trend: Vec<usize>,
+    /// Include provenance detail in answers.
+    pub explain: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> SessionOptions {
+        SessionOptions {
+            prior: None,
+            tau: Rat::new(1, 10),
+            trend: Vec::new(),
+            explain: true,
+        }
+    }
+}
+
+/// Session-level failures.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The random-worlds engine failed (parse error or out of reach).
+    Engine(EngineError),
+    /// A finite-`N` sweep failed (non-unary KB or budget exceeded).
+    Unary(UnaryError),
+    /// A propensity query needs at least one trend point.
+    NoTrendPoints,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Engine(e) => write!(f, "{e}"),
+            SessionError::Unary(e) => write!(f, "{e}"),
+            SessionError::NoTrendPoints => {
+                write!(f, "propensity queries need --trend domain sizes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> SessionError {
+        SessionError::Engine(e)
+    }
+}
+
+impl From<UnaryError> for SessionError {
+    fn from(e: UnaryError) -> SessionError {
+        SessionError::Unary(e)
+    }
+}
+
+/// A loaded knowledge base ready to answer queries.
+pub struct Session {
+    kb: KnowledgeBase,
+    options: SessionOptions,
+    engine: RandomWorlds,
+}
+
+impl Session {
+    /// A session over a loaded knowledge base.
+    pub fn new(kb: KnowledgeBase, options: SessionOptions) -> Session {
+        Session {
+            kb,
+            options,
+            engine: RandomWorlds::new(),
+        }
+    }
+
+    /// The loaded knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Answers one textual query, returning the formatted output lines.
+    pub fn answer(&self, query: &str) -> Result<String, SessionError> {
+        match self.options.prior {
+            None => self.answer_random_worlds(query),
+            Some(prior) => self.answer_propensity(query, prior),
+        }
+    }
+
+    fn answer_random_worlds(&self, query: &str) -> Result<String, SessionError> {
+        let result = self.engine.degree_of_belief(&self.kb, query)?;
+        let mut out = if self.options.explain {
+            format!("Pr∞({query} | KB) = {}", result)
+        } else {
+            format!("Pr∞({query} | KB) = {}", result.belief)
+        };
+        if !self.options.trend.is_empty() {
+            out.push('\n');
+            out.push_str(&self.trend_lines(query, None)?);
+        }
+        Ok(out)
+    }
+
+    fn answer_propensity(&self, query: &str, prior: Prior) -> Result<String, SessionError> {
+        if self.options.trend.is_empty() {
+            return Err(SessionError::NoTrendPoints);
+        }
+        let mut kb = self.kb.clone();
+        let q = kb
+            .parse_query(query)
+            .map_err(|e| SessionError::Engine(EngineError::Parse(e)))?;
+        let tol = Tolerances::uniform(self.options.tau);
+        let engine = PropensityEngine::new(prior);
+        let estimate = engine.limit_estimate(&kb, &q, &self.options.trend, &tol)?;
+        let mut out = match estimate {
+            Some(v) => format!("Pr({query} | KB) ≈ {v:.6} under {prior:?} (N-sweep limit)"),
+            None => format!("Pr({query} | KB) undefined under {prior:?}: KB has probability 0"),
+        };
+        if self.options.explain {
+            out.push('\n');
+            out.push_str(&self.trend_lines(query, Some(prior))?);
+        }
+        Ok(out)
+    }
+
+    /// Finite-`N` trend lines, via the unary counting engine (uniform
+    /// prior) or the propensity engine.
+    fn trend_lines(&self, query: &str, prior: Option<Prior>) -> Result<String, SessionError> {
+        let mut kb = self.kb.clone();
+        let q = kb
+            .parse_query(query)
+            .map_err(|e| SessionError::Engine(EngineError::Parse(e)))?;
+        let tol = Tolerances::uniform(self.options.tau);
+        let mut lines = Vec::new();
+        for &n in &self.options.trend {
+            let v = match prior {
+                None => rw_unary::degree_of_belief_at(&kb, &q, n, &tol),
+                Some(p) => PropensityEngine::new(p).degree_of_belief_at(&kb, &q, n, &tol),
+            };
+            // Finite-N detail is best-effort decoration: a non-unary KB or
+            // a blown profile budget should not void the main answer.
+            let line = match v {
+                Ok(Some(v)) => format!("  Pr_N(τ={}) at N={n}: {v:.6}", self.options.tau),
+                Ok(None) => format!(
+                    "  Pr_N(τ={}) at N={n}: no satisfying world",
+                    self.options.tau
+                ),
+                Err(e) => format!("  Pr_N at N={n}: skipped ({e})"),
+            };
+            lines.push(line);
+        }
+        Ok(lines.join("\n"))
+    }
+
+    /// A human-readable description of the loaded KB (for `rwq check`).
+    pub fn describe(&self) -> String {
+        let vocab = self.kb.vocab();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "knowledge base: {} statement(s)\n",
+            self.kb.conjuncts().len()
+        ));
+        out.push_str(&format!(
+            "vocabulary: {} predicate(s), {} constant(s), {} function(s){}\n",
+            vocab.pred_count(),
+            vocab.const_count(),
+            vocab.func_count(),
+            if vocab.is_unary() {
+                " [unary: maxent + exact unary engines apply]"
+            } else {
+                ""
+            }
+        ));
+        for p in vocab.preds() {
+            out.push_str(&format!("  pred  {}/{}\n", vocab.pred_name(p), vocab.pred_arity(p)));
+        }
+        for c in vocab.consts() {
+            out.push_str(&format!("  const {}\n", vocab.const_name(c)));
+        }
+        out.push_str("statements:\n");
+        for f in self.kb.conjuncts() {
+            out.push_str(&format!("  {}\n", Pretty::new(vocab, f)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_kb;
+
+    fn hepatitis() -> KnowledgeBase {
+        parse_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n").unwrap()
+    }
+
+    #[test]
+    fn random_worlds_answer_mentions_value_and_provenance() {
+        let s = Session::new(hepatitis(), SessionOptions::default());
+        let out = s.answer("Hep(Eric)").unwrap();
+        assert!(out.contains("0.8"), "{out}");
+        assert!(out.contains("direct inference"), "{out}");
+    }
+
+    #[test]
+    fn explain_false_hides_provenance() {
+        let s = Session::new(
+            hepatitis(),
+            SessionOptions {
+                explain: false,
+                ..SessionOptions::default()
+            },
+        );
+        let out = s.answer("Hep(Eric)").unwrap();
+        assert!(!out.contains("direct inference"), "{out}");
+    }
+
+    #[test]
+    fn trend_lines_show_finite_n_values() {
+        let s = Session::new(
+            hepatitis(),
+            SessionOptions {
+                trend: vec![8, 16],
+                ..SessionOptions::default()
+            },
+        );
+        let out = s.answer("Hep(Eric)").unwrap();
+        assert!(out.contains("N=8"), "{out}");
+        assert!(out.contains("N=16"), "{out}");
+    }
+
+    #[test]
+    fn oversized_trend_points_degrade_gracefully() {
+        // An 8-atom KB at N=64 blows the profile budget; the main answer
+        // must survive, with a skip note in the trend lines.
+        let kb = parse_kb(
+            "||Hep(x) | Jaun(x)||_x ~=_1 0.8\n||Hep(x)||_x <~_2 0.05\n\
+             ||Hep(x) | Jaun(x) & Fever(x)||_x ~=_3 1\nJaun(Eric)\n",
+        )
+        .unwrap();
+        let s = Session::new(
+            kb,
+            SessionOptions {
+                trend: vec![64],
+                ..SessionOptions::default()
+            },
+        );
+        let out = s.answer("Hep(Eric)").unwrap();
+        assert!(out.contains("Pr∞"), "{out}");
+        assert!(out.contains("skipped"), "{out}");
+    }
+
+    #[test]
+    fn non_unary_kb_trend_degrades_gracefully() {
+        let kb = parse_kb("||Likes(x, y) | Elephant(x) & Zookeeper(y)||_{x,y} ~=_1 1\nElephant(Clyde)\nZookeeper(Eric)\n").unwrap();
+        let s = Session::new(
+            kb,
+            SessionOptions {
+                trend: vec![8],
+                ..SessionOptions::default()
+            },
+        );
+        let out = s.answer("Likes(Clyde, Eric)").unwrap();
+        assert!(out.contains("Pr∞"), "{out}");
+        assert!(out.contains("skipped"), "{out}");
+    }
+
+    #[test]
+    fn propensity_answers_require_trend_points() {
+        let s = Session::new(
+            hepatitis(),
+            SessionOptions {
+                prior: Some(Prior::PerPredicate),
+                ..SessionOptions::default()
+            },
+        );
+        assert!(matches!(
+            s.answer("Hep(Eric)"),
+            Err(SessionError::NoTrendPoints)
+        ));
+    }
+
+    #[test]
+    fn propensity_answer_reports_sweep_limit() {
+        let kb = parse_kb("P(C1); P(C2); !P(C3)\n").unwrap();
+        let s = Session::new(
+            kb,
+            SessionOptions {
+                prior: Some(Prior::CarnapStar),
+                trend: vec![16, 32, 64],
+                explain: false,
+                ..SessionOptions::default()
+            },
+        );
+        let out = s.answer("P(Fresh)").unwrap();
+        assert!(out.contains("CarnapStar"), "{out}");
+        // Laplace: (2+1)/(3+2) = 0.6.
+        let v: f64 = out
+            .split("≈ ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((v - 0.6).abs() < 0.03, "{out}");
+    }
+
+    #[test]
+    fn describe_lists_vocabulary_and_statements() {
+        let s = Session::new(hepatitis(), SessionOptions::default());
+        let d = s.describe();
+        assert!(d.contains("2 statement(s)"), "{d}");
+        assert!(d.contains("pred  Hep/1"), "{d}");
+        assert!(d.contains("const Eric"), "{d}");
+        assert!(d.contains("[unary:"), "{d}");
+    }
+
+    #[test]
+    fn parse_errors_in_queries_surface() {
+        let s = Session::new(hepatitis(), SessionOptions::default());
+        assert!(s.answer("Hep(").is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end tests that exercise the compiled `rwq` binary.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn rwq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rwq"))
+}
+
+fn kb_file(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("rwq-e2e-{}-{name}.rwkb", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn query_prints_answer_and_exits_zero() {
+    let kb = kb_file("hep", "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+    let out = rwq()
+        .args(["query", kb.to_str().unwrap(), "Hep(Eric)"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("0.8"), "{stdout}");
+    assert!(stdout.contains("direct inference"), "{stdout}");
+    let _ = std::fs::remove_file(kb);
+}
+
+#[test]
+fn bad_arguments_exit_2_with_usage() {
+    let out = rwq().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn missing_file_exits_1() {
+    let out = rwq()
+        .args(["query", "/nonexistent.rwkb", "P(C)"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn help_lists_options() {
+    let out = rwq().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("--prior"), "{stdout}");
+}
+
+#[test]
+fn repl_round_trip() {
+    let kb = kb_file("repl", "P(C)\n");
+    let mut child = rwq()
+        .args(["repl", kb.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"P(C)\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("Pr∞(P(C)"), "{stdout}");
+    let _ = std::fs::remove_file(kb);
+}

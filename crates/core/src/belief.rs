@@ -1,0 +1,169 @@
+//! Degrees of belief and their provenance.
+
+use std::fmt;
+
+/// A random-worlds degree of belief `Pr∞(φ | KB)` (Definition 4.3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Belief {
+    /// The double limit exists and equals this value.
+    Point(f64),
+    /// The limit is only pinned to an interval (interval-valued statistics,
+    /// Theorems 5.6/5.23): every accumulation point lies inside.
+    Interval(f64, f64),
+    /// The limit depends on how `τ⃗ → 0` (conflicting defaults of
+    /// unspecified relative strength, §5.3): no robust degree of belief.
+    /// Carries the values observed along different tolerance paths.
+    NonRobust(Vec<f64>),
+    /// The KB is not eventually consistent: `Pr_N^τ` is undefined for all
+    /// large `N`, small `τ⃗`.
+    Undefined,
+}
+
+impl Belief {
+    /// The point value, if the belief is (effectively) a point.
+    pub fn as_point(&self) -> Option<f64> {
+        match self {
+            Belief::Point(v) => Some(*v),
+            Belief::Interval(lo, hi) if (hi - lo).abs() < 1e-9 => Some(*lo),
+            _ => None,
+        }
+    }
+
+    /// The bounding interval, when one exists.
+    pub fn as_interval(&self) -> Option<(f64, f64)> {
+        match self {
+            Belief::Point(v) => Some((*v, *v)),
+            Belief::Interval(lo, hi) => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+
+    /// Does this belief license the default conclusion (`|~rw`, §5.1)?
+    pub fn is_one(&self) -> bool {
+        matches!(self.as_point(), Some(v) if (v - 1.0).abs() < 2e-3)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        matches!(self.as_point(), Some(v) if v.abs() < 2e-3)
+    }
+
+    /// Approximate equality between beliefs (for cross-engine validation).
+    pub fn approx_eq(&self, other: &Belief, eps: f64) -> bool {
+        match (self, other) {
+            (Belief::Point(a), Belief::Point(b)) => (a - b).abs() <= eps,
+            (Belief::Interval(a1, a2), Belief::Interval(b1, b2)) => {
+                (a1 - b1).abs() <= eps && (a2 - b2).abs() <= eps
+            }
+            (Belief::Point(a), Belief::Interval(lo, hi))
+            | (Belief::Interval(lo, hi), Belief::Point(a)) => {
+                *a >= lo - eps && *a <= hi + eps
+            }
+            (Belief::Undefined, Belief::Undefined) => true,
+            (Belief::NonRobust(_), Belief::NonRobust(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Belief {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Belief::Point(v) => write!(f, "{v:.6}"),
+            Belief::Interval(lo, hi) => write!(f, "[{lo:.6}, {hi:.6}]"),
+            Belief::NonRobust(vs) => {
+                write!(f, "non-robust (candidates:")?;
+                for v in vs {
+                    write!(f, " {v:.4}")?;
+                }
+                write!(f, ")")
+            }
+            Belief::Undefined => write!(f, "undefined (KB not eventually consistent)"),
+        }
+    }
+}
+
+/// Which method produced a belief.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Theorem 5.6 / Corollary 5.7 (direct inference).
+    DirectInference,
+    /// Theorem 5.16 / Corollary 5.17 (minimal reference class, irrelevance).
+    MinimalReferenceClass,
+    /// Theorem 5.23 (preference for stronger statistics along a chain).
+    StrengthRule,
+    /// Theorem 5.26 (Dempster's rule of combination).
+    Dempster,
+    /// Theorem 5.27 (vocabulary independence product).
+    Independence(Vec<Box<Provenance>>),
+    /// §5.5 unique-names bias.
+    UniqueNames,
+    /// Nested-default chaining (Example 5.14's derivation).
+    NestedDefault,
+    /// Maximum entropy τ-sweep (§6).
+    MaxEnt,
+    /// Exact unary counting along a `(τ, N)` diagonal with extrapolation.
+    UnaryExact { max_n: usize },
+    /// Brute-force enumeration along a `(τ, N)` diagonal.
+    Enumeration { max_n: usize },
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::DirectInference => write!(f, "direct inference (Thm 5.6)"),
+            Provenance::MinimalReferenceClass => write!(f, "minimal reference class (Thm 5.16)"),
+            Provenance::StrengthRule => write!(f, "strength rule (Thm 5.23)"),
+            Provenance::Dempster => write!(f, "Dempster combination (Thm 5.26)"),
+            Provenance::Independence(parts) => {
+                write!(f, "independence product (Thm 5.27) of [")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]")
+            }
+            Provenance::UniqueNames => write!(f, "unique-names bias (§5.5)"),
+            Provenance::NestedDefault => write!(f, "nested-default chain (Ex 5.14)"),
+            Provenance::MaxEnt => write!(f, "maximum entropy (§6)"),
+            Provenance::UnaryExact { max_n } => write!(f, "exact unary counting (N ≤ {max_n})"),
+            Provenance::Enumeration { max_n } => write!(f, "world enumeration (N ≤ {max_n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_extraction() {
+        assert_eq!(Belief::Point(0.8).as_point(), Some(0.8));
+        assert_eq!(Belief::Interval(0.3, 0.3).as_point(), Some(0.3));
+        assert_eq!(Belief::Interval(0.3, 0.4).as_point(), None);
+        assert_eq!(Belief::Undefined.as_point(), None);
+    }
+
+    #[test]
+    fn one_and_zero() {
+        assert!(Belief::Point(1.0).is_one());
+        assert!(Belief::Point(0.9999999).is_one());
+        assert!(!Belief::Point(0.99).is_one());
+        assert!(Belief::Point(0.0).is_zero());
+    }
+
+    #[test]
+    fn approx_equality() {
+        assert!(Belief::Point(0.5).approx_eq(&Belief::Point(0.5005), 1e-2));
+        assert!(Belief::Point(0.75).approx_eq(&Belief::Interval(0.7, 0.8), 1e-9));
+        assert!(!Belief::Point(0.5).approx_eq(&Belief::Undefined, 1.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Belief::Point(0.8).to_string(), "0.800000");
+        assert!(Belief::Interval(0.7, 0.8).to_string().starts_with('['));
+        assert!(Belief::NonRobust(vec![0.0, 1.0]).to_string().contains("non-robust"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Engine orchestration: theorems → maximum entropy → exact finite-`N`
+//! diagonals.
+
+use crate::belief::{Belief, Provenance};
+use crate::theorems;
+use rw_logic::ast::Formula;
+use rw_logic::{KnowledgeBase, ParseError, Tolerances};
+use rw_maxent::{LimitOutcome, MaxentError, SweepConfig};
+use rw_util::Rat;
+use std::fmt;
+
+/// Configuration and entry point for random-worlds inference.
+#[derive(Clone, Debug)]
+pub struct RandomWorlds {
+    /// Maximum-entropy τ-sweep configuration.
+    pub sweep: SweepConfig,
+    /// Budget for exact unary profile counting.
+    pub unary_max_profiles: u128,
+    /// Budget for brute-force world enumeration.
+    pub enum_max_worlds: u128,
+    /// The `(τ, N)` diagonal used by the exact finite-`N` fallbacks.
+    pub diagonal: Vec<(Rat, usize)>,
+}
+
+impl Default for RandomWorlds {
+    fn default() -> RandomWorlds {
+        RandomWorlds {
+            sweep: SweepConfig::default(),
+            unary_max_profiles: 20_000_000,
+            enum_max_worlds: 1 << 24,
+            diagonal: vec![
+                (Rat::new(1, 4), 8),
+                (Rat::new(1, 8), 16),
+                (Rat::new(1, 16), 32),
+            ],
+        }
+    }
+}
+
+/// A degree of belief together with the method that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BeliefResult {
+    pub belief: Belief,
+    pub provenance: Provenance,
+}
+
+impl fmt::Display for BeliefResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (via {})", self.belief, self.provenance)
+    }
+}
+
+/// Engine-level failures.
+#[derive(Debug)]
+pub enum EngineError {
+    Parse(ParseError),
+    /// No engine could handle the KB/query pair within its budget.
+    OutOfReach(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::OutOfReach(s) => write!(f, "no engine applicable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> EngineError {
+        EngineError::Parse(e)
+    }
+}
+
+impl RandomWorlds {
+    pub fn new() -> RandomWorlds {
+        RandomWorlds::default()
+    }
+
+    /// Computes `Pr∞(query | KB)` for a textual query.
+    pub fn degree_of_belief(
+        &self,
+        kb: &KnowledgeBase,
+        query: &str,
+    ) -> Result<BeliefResult, EngineError> {
+        let mut kb = kb.clone();
+        let q = kb.parse_query(query)?;
+        self.degree_of_belief_formula(&kb, &q)
+    }
+
+    /// Computes `Pr∞(query | KB)` for an already-parsed query.
+    pub fn degree_of_belief_formula(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+    ) -> Result<BeliefResult, EngineError> {
+        // 1. Theorem engine (exact, includes non-unary KBs).
+        let solver = |skb: &KnowledgeBase, sq: &Formula| -> Option<(Belief, Provenance)> {
+            self.degree_of_belief_formula(skb, sq)
+                .ok()
+                .map(|r| (r.belief, r.provenance))
+        };
+        if let Some((belief, provenance)) = theorems::try_all(kb, query, &solver) {
+            return Ok(BeliefResult { belief, provenance });
+        }
+
+        // 2. Maximum entropy (unary asymptotics, §6).
+        match rw_maxent::degree_of_belief_limit(kb, query, &self.sweep) {
+            Ok(LimitOutcome::Converged(v)) => {
+                return Ok(BeliefResult {
+                    belief: Belief::Point(v),
+                    provenance: Provenance::MaxEnt,
+                })
+            }
+            Ok(LimitOutcome::NonRobust(vs)) => {
+                return Ok(BeliefResult {
+                    belief: Belief::NonRobust(vs),
+                    provenance: Provenance::MaxEnt,
+                })
+            }
+            Ok(LimitOutcome::Infeasible) => {
+                return Ok(BeliefResult {
+                    belief: Belief::Undefined,
+                    provenance: Provenance::MaxEnt,
+                })
+            }
+            Err(MaxentError::Infeasible) => {
+                return Ok(BeliefResult {
+                    belief: Belief::Undefined,
+                    provenance: Provenance::MaxEnt,
+                })
+            }
+            Err(MaxentError::Compile(_)) | Err(MaxentError::Numeric(_)) => {}
+        }
+
+        // 3. Exact unary counting along the (τ, N) diagonal.
+        if kb.vocab().is_unary() {
+            if let Some(result) = self.unary_diagonal(kb, query) {
+                return Ok(result);
+            }
+        }
+
+        // 4. Brute-force enumeration along the diagonal (tiny N).
+        if let Some(result) = self.enumeration_diagonal(kb, query) {
+            return Ok(result);
+        }
+
+        Err(EngineError::OutOfReach(
+            "KB outside theorem patterns and the maxent fragment, and too large for exact counting"
+                .to_string(),
+        ))
+    }
+
+    fn unary_diagonal(&self, kb: &KnowledgeBase, query: &Formula) -> Option<BeliefResult> {
+        let engine = rw_unary::UnaryEngine {
+            max_profiles: self.unary_max_profiles,
+        };
+        let mut values = Vec::new();
+        let mut max_n = 0usize;
+        let mut undefined_steps = 0usize;
+        for (tau, n) in &self.diagonal {
+            let tol = Tolerances::uniform(*tau);
+            match engine.degree_of_belief_at(kb, query, *n, &tol) {
+                Ok(Some(v)) => {
+                    values.push(v);
+                    max_n = (*n).max(max_n);
+                }
+                Ok(None) => undefined_steps += 1,
+                Err(_) => break, // budget: use what we have
+            }
+        }
+        if values.is_empty() {
+            if undefined_steps > 0 {
+                return Some(BeliefResult {
+                    belief: Belief::Undefined,
+                    provenance: Provenance::UnaryExact { max_n },
+                });
+            }
+            return None;
+        }
+        Some(BeliefResult {
+            belief: Belief::Point(extrapolate(&values)),
+            provenance: Provenance::UnaryExact { max_n },
+        })
+    }
+
+    fn enumeration_diagonal(&self, kb: &KnowledgeBase, query: &Formula) -> Option<BeliefResult> {
+        // Domain sizes are capped hard by the doubly-exponential space; the
+        // dominant error term is O(1/N), so evaluate at the two largest
+        // feasible sizes and extrapolate linearly in 1/N (at the smallest
+        // tolerance of the diagonal).
+        let mut n_hi = None;
+        for n in (2..=6usize).rev() {
+            if let Some(c) = rw_worlds::count_interpretations(kb.vocab(), n) {
+                if c <= self.enum_max_worlds {
+                    n_hi = Some(n);
+                    break;
+                }
+            }
+        }
+        let n_hi = n_hi?;
+        let n_lo = n_hi - 1;
+        let tau = self.diagonal.iter().map(|(t, _)| *t).min()?;
+        let tol = Tolerances::uniform(tau);
+        let eval = |n: usize| {
+            rw_worlds::enumerate::degree_of_belief_at_bounded(
+                kb,
+                query,
+                n,
+                &tol,
+                self.enum_max_worlds,
+            )
+        };
+        match (eval(n_lo), eval(n_hi)) {
+            (Ok(Some(v_lo)), Ok(Some(v_hi))) => {
+                // v(N) = v∞ + c/N  ⇒  v∞ = v_hi + (v_hi − v_lo)·(1/N_hi)/(1/N_lo − 1/N_hi).
+                let inv_lo = 1.0 / n_lo as f64;
+                let inv_hi = 1.0 / n_hi as f64;
+                let v = v_hi + (v_hi - v_lo) * inv_hi / (inv_lo - inv_hi);
+                Some(BeliefResult {
+                    belief: Belief::Point(v.clamp(0.0, 1.0)),
+                    provenance: Provenance::Enumeration { max_n: n_hi },
+                })
+            }
+            (Ok(None), Ok(None)) => Some(BeliefResult {
+                belief: Belief::Undefined,
+                provenance: Provenance::Enumeration { max_n: n_hi },
+            }),
+            _ => None,
+        }
+    }
+
+    /// The default-inference relation `KB |~rw φ`: degree of belief 1
+    /// (paper §5.1).
+    pub fn follows_by_default(&self, kb: &KnowledgeBase, query: &str) -> Result<bool, EngineError> {
+        Ok(self.degree_of_belief(kb, query)?.belief.is_one())
+    }
+}
+
+/// Richardson-style extrapolation for a geometric (τ ∝ 2^-k) diagonal with
+/// an `O(τ)` error model; falls back to the last value for one sample.
+fn extrapolate(values: &[f64]) -> f64 {
+    match values {
+        [] => f64::NAN,
+        [v] => *v,
+        [.., a, b] => (2.0 * b - a).clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RandomWorlds {
+        RandomWorlds::default()
+    }
+
+    fn belief(kb_src: &str, query: &str) -> BeliefResult {
+        let kb = KnowledgeBase::parse(kb_src).unwrap();
+        engine().degree_of_belief(&kb, query).unwrap()
+    }
+
+    #[test]
+    fn hepatitis_via_direct_inference() {
+        let r = belief("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)", "Hep(Eric)");
+        assert_eq!(r.provenance, Provenance::DirectInference);
+        assert_eq!(r.belief.as_point(), Some(0.8));
+    }
+
+    #[test]
+    fn other_individuals_ignored() {
+        // Paper Example 5.8: Hep(Tom) does not change Eric's belief.
+        let r = belief(
+            "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Hep(Tom)",
+            "Hep(Eric)",
+        );
+        assert_eq!(r.belief.as_point(), Some(0.8));
+    }
+
+    #[test]
+    fn penguins_specificity() {
+        // With Penguin(Tweety) as the only fact, Thm 5.6 applies directly
+        // (the complement-normalized penguin default is an exact match).
+        let r = belief(
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+            "Fly(Tweety)",
+        );
+        assert_eq!(r.belief.as_point(), Some(0.0), "{r}");
+        assert_eq!(r.provenance, Provenance::DirectInference);
+    }
+
+    #[test]
+    fn yellow_penguins_via_minimal_class() {
+        // Paper Example 5.19: the irrelevant Yellow(Tweety) fact defeats the
+        // exact-class match, so Thm 5.16 carries the inference.
+        let r = belief(
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety); Yellow(Tweety)",
+            "Fly(Tweety)",
+        );
+        assert_eq!(r.belief.as_point(), Some(0.0), "{r}");
+        assert_eq!(r.provenance, Provenance::MinimalReferenceClass);
+    }
+
+    #[test]
+    fn elephant_zookeeper_binary_predicates() {
+        // Paper Example 5.12 — needs a binary predicate, so only the
+        // theorem engine (Thm 5.6) can produce it.
+        let kb_src = "||Likes(x, y) | Elephant(x) & Zookeeper(y)||_{x,y} ~=_1 1; \
+                      ||Likes(x, Fred) | Elephant(x)||_x ~=_2 0; \
+                      Zookeeper(Fred); Elephant(Clyde); Zookeeper(Eric)";
+        let r1 = belief(kb_src, "Likes(Clyde, Eric)");
+        assert_eq!(r1.belief.as_point(), Some(1.0), "{r1}");
+        let r2 = belief(kb_src, "Likes(Clyde, Fred)");
+        assert_eq!(r2.belief.as_point(), Some(0.0), "{r2}");
+    }
+
+    #[test]
+    fn strength_rule_magpies() {
+        // Paper Example 5.24.
+        let r = belief(
+            "0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; \
+             0 <~_3 ||Chirps(x) | Magpie(x)||_x <~_4 0.99; \
+             forall x (Magpie(x) => Bird(x)); Magpie(Tweety)",
+            "Chirps(Tweety)",
+        );
+        assert_eq!(r.provenance, Provenance::StrengthRule);
+        assert_eq!(r.belief.as_interval(), Some((0.7, 0.8)));
+    }
+
+    #[test]
+    fn nixon_diamond_dempster() {
+        let kb_src = "||Pacifist(x) | Quaker(x)||_x ~=_1 0.8; \
+                      ||Pacifist(x) | Republican(x)||_x ~=_2 0.8; \
+                      Quaker(Nixon); Republican(Nixon); \
+                      exists! x (Quaker(x) & Republican(x))";
+        let r = belief(kb_src, "Pacifist(Nixon)");
+        assert_eq!(r.provenance, Provenance::Dempster);
+        let v = r.belief.as_point().unwrap();
+        assert!((v - 16.0 / 17.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn nixon_conflicting_defaults_non_robust() {
+        let kb_src = "||Pacifist(x) | Quaker(x)||_x ~=_1 1; \
+                      ||Pacifist(x) | Republican(x)||_x ~=_2 0; \
+                      Quaker(Nixon); Republican(Nixon); \
+                      exists! x (Quaker(x) & Republican(x))";
+        let r = belief(kb_src, "Pacifist(Nixon)");
+        assert!(matches!(r.belief, Belief::NonRobust(_)), "{r}");
+    }
+
+    #[test]
+    fn nixon_equal_strength_gives_half() {
+        let kb_src = "||Pacifist(x) | Quaker(x)||_x ~=_1 1; \
+                      ||Pacifist(x) | Republican(x)||_x ~=_1 0; \
+                      Quaker(Nixon); Republican(Nixon); \
+                      exists! x (Quaker(x) & Republican(x))";
+        let r = belief(kb_src, "Pacifist(Nixon)");
+        assert_eq!(r.belief.as_point(), Some(0.5), "{r}");
+    }
+
+    #[test]
+    fn independence_product() {
+        // Paper Example 5.28: 0.8 × 0.4 = 0.32.
+        let r = belief(
+            "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); \
+             ||Over60(x) | Patient(x)||_x ~=_2 0.4; Patient(Eric)",
+            "Hep(Eric) & Over60(Eric)",
+        );
+        let v = r.belief.as_point().unwrap();
+        assert!((v - 0.32).abs() < 1e-9, "{r}");
+        assert!(matches!(r.provenance, Provenance::Independence(_)));
+    }
+
+    #[test]
+    fn unique_names_bias() {
+        let r = belief("P(A) or !P(A)", "C1 = C2");
+        assert_eq!(r.belief.as_point(), Some(0.0));
+        assert_eq!(r.provenance, Provenance::UniqueNames);
+        // Lifschitz C1.
+        let r2 = belief("Ray = Reiter; Drew = McDermott", "!(Ray = Drew)");
+        assert_eq!(r2.belief.as_point(), Some(1.0), "{r2}");
+        let r3 = belief("Ray = Reiter; Drew = McDermott", "Ray = Reiter");
+        assert_eq!(r3.belief.as_point(), Some(1.0));
+    }
+
+    #[test]
+    fn nested_defaults_bed_late() {
+        // Paper Examples 4.6 / 5.14.
+        let kb_src = "|| ||Rises-late(x, y) | Day(y)||_y ~=_1 1 | ||To-bed-late(x, z) | Day(z)||_z ~=_2 1 ||_x ~=_3 1; \
+                      ||To-bed-late(Alice, z) | Day(z)||_z ~=_2 1; \
+                      Day(Tomorrow)";
+        let r = belief(kb_src, "Rises-late(Alice, Tomorrow)");
+        assert_eq!(r.belief.as_point(), Some(1.0), "{r}");
+        assert_eq!(r.provenance, Provenance::NestedDefault);
+    }
+
+    #[test]
+    fn tall_parent_via_direct_inference() {
+        // Paper Example 5.13: existential reference class.
+        let r = belief(
+            "||Tall(x) | exists y (Child(x, y) & Tall(y))||_x ~=_1 1; \
+             exists y (Child(Alice, y) & Tall(y))",
+            "Tall(Alice)",
+        );
+        assert_eq!(r.belief.as_point(), Some(1.0), "{r}");
+        assert_eq!(r.provenance, Provenance::DirectInference);
+    }
+
+    #[test]
+    fn maxent_fallback_for_unary_without_theorem() {
+        // No explicit statistics for the query: falls to maxent.
+        let r = belief("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1", "Black(Clyde)");
+        assert_eq!(r.provenance, Provenance::MaxEnt);
+        assert!((r.belief.as_point().unwrap() - 0.47).abs() < 0.005, "{r}");
+    }
+
+    #[test]
+    fn enumeration_fallback_for_tiny_non_unary() {
+        // Binary predicate, no theorem pattern: enumeration diagonal.
+        let r = belief("Likes(A, B)", "Likes(B, A)");
+        assert!(matches!(r.provenance, Provenance::Enumeration { .. }), "{r}");
+        let v = r.belief.as_point().unwrap();
+        assert!((v - 0.5).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    fn inconsistent_kb_is_undefined() {
+        let r = belief("forall x (P(x)); exists x (!P(x))", "P(C)");
+        assert_eq!(r.belief, Belief::Undefined);
+    }
+
+    #[test]
+    fn default_entailment_interface() {
+        let kb = KnowledgeBase::parse(
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+        )
+        .unwrap();
+        let e = engine();
+        assert!(e.follows_by_default(&kb, "!Fly(Tweety)").unwrap());
+        assert!(!e.follows_by_default(&kb, "Fly(Tweety)").unwrap());
+    }
+}

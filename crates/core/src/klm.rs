@@ -1,0 +1,239 @@
+//! Numeric checkers for the KLM-style properties of `|~rw` (paper §3.2 and
+//! Theorem 5.3/5.5).
+//!
+//! These helpers *test* the postulates on concrete KBs rather than proving
+//! them (the proofs are the paper's); the integration suite runs them over a
+//! corpus of knowledge bases as an executable regression of Theorem 5.3.
+
+use crate::engine::RandomWorlds;
+use rw_logic::ast::Formula;
+use rw_logic::KnowledgeBase;
+
+/// Outcome of checking one instance of a postulate: `Holds`, `Violated`, or
+/// `Inapplicable` when the premises of the rule are not satisfied by this
+/// instance (a conditional postulate is vacuously fine then).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleCheck {
+    Holds,
+    Violated,
+    Inapplicable,
+}
+
+fn kb_with(kb: &KnowledgeBase, extra: &Formula) -> KnowledgeBase {
+    let mut kb2 = kb.clone();
+    kb2.assert_formula(extra.clone());
+    kb2
+}
+
+/// Parses a formula in (a clone of) the KB's vocabulary.
+fn parse_in(kb: &KnowledgeBase, src: &str) -> (KnowledgeBase, Formula) {
+    let mut kb2 = kb.clone();
+    let f = kb2.parse_query(src).expect("formula parses");
+    (kb2, f)
+}
+
+fn entails(engine: &RandomWorlds, kb: &KnowledgeBase, f: &Formula) -> Option<bool> {
+    engine
+        .degree_of_belief_formula(kb, f)
+        .ok()
+        .map(|r| r.belief.is_one())
+}
+
+/// **Cut** (Thm 5.3): if `KB |~ θ` and `KB ∧ θ |~ φ` then `KB |~ φ`.
+pub fn check_cut(engine: &RandomWorlds, kb: &KnowledgeBase, theta: &str, phi: &str) -> RuleCheck {
+    let (kb1, th) = parse_in(kb, theta);
+    let (kb2, ph) = parse_in(&kb1, phi);
+    let Some(p1) = entails(engine, &kb2, &th) else {
+        return RuleCheck::Inapplicable;
+    };
+    let kb_th = kb_with(&kb2, &th);
+    let Some(p2) = entails(engine, &kb_th, &ph) else {
+        return RuleCheck::Inapplicable;
+    };
+    if !(p1 && p2) {
+        return RuleCheck::Inapplicable;
+    }
+    match entails(engine, &kb2, &ph) {
+        Some(true) => RuleCheck::Holds,
+        Some(false) => RuleCheck::Violated,
+        None => RuleCheck::Inapplicable,
+    }
+}
+
+/// **Cautious Monotonicity** (Thm 5.3): if `KB |~ θ` and `KB |~ φ` then
+/// `KB ∧ θ |~ φ`.
+pub fn check_cautious_monotonicity(
+    engine: &RandomWorlds,
+    kb: &KnowledgeBase,
+    theta: &str,
+    phi: &str,
+) -> RuleCheck {
+    let (kb1, th) = parse_in(kb, theta);
+    let (kb2, ph) = parse_in(&kb1, phi);
+    match (entails(engine, &kb2, &th), entails(engine, &kb2, &ph)) {
+        (Some(true), Some(true)) => {}
+        (None, _) | (_, None) => return RuleCheck::Inapplicable,
+        _ => return RuleCheck::Inapplicable,
+    }
+    let kb_th = kb_with(&kb2, &th);
+    match entails(engine, &kb_th, &ph) {
+        Some(true) => RuleCheck::Holds,
+        Some(false) => RuleCheck::Violated,
+        None => RuleCheck::Inapplicable,
+    }
+}
+
+/// **And** (derived in Thm 5.3): if `KB |~ φ` and `KB |~ ψ` then
+/// `KB |~ φ ∧ ψ`.
+pub fn check_and(engine: &RandomWorlds, kb: &KnowledgeBase, phi: &str, psi: &str) -> RuleCheck {
+    let (kb1, f) = parse_in(kb, phi);
+    let (kb2, g) = parse_in(&kb1, psi);
+    match (entails(engine, &kb2, &f), entails(engine, &kb2, &g)) {
+        (Some(true), Some(true)) => {}
+        (None, _) | (_, None) => return RuleCheck::Inapplicable,
+        _ => return RuleCheck::Inapplicable,
+    }
+    let conj = Formula::and(f, g);
+    match entails(engine, &kb2, &conj) {
+        Some(true) => RuleCheck::Holds,
+        Some(false) => RuleCheck::Violated,
+        None => RuleCheck::Inapplicable,
+    }
+}
+
+/// **Or** (Thm 5.3): if `KB₁ |~ φ` and `KB₂ |~ φ` then `KB₁ ∨ KB₂ |~ φ`.
+pub fn check_or(
+    engine: &RandomWorlds,
+    kb1: &KnowledgeBase,
+    kb2: &KnowledgeBase,
+    phi: &str,
+) -> RuleCheck {
+    let (kb1c, f1) = parse_in(kb1, phi);
+    let (kb2c, f2) = parse_in(kb2, phi);
+    match (entails(engine, &kb1c, &f1), entails(engine, &kb2c, &f2)) {
+        (Some(true), Some(true)) => {}
+        (None, _) | (_, None) => return RuleCheck::Inapplicable,
+        _ => return RuleCheck::Inapplicable,
+    }
+    // KB₁ ∨ KB₂ as a single disjunctive knowledge base, in kb1's vocabulary
+    // extended with kb2's formulas re-parsed.
+    let mut joint = kb1.clone();
+    let kb2_formula_src = kb2.to_string().replace(";\n", " & ");
+    let Ok(kb2_formula) = joint.parse_query(&kb2_formula_src) else {
+        return RuleCheck::Inapplicable;
+    };
+    let disj = Formula::or(joint.as_formula(), kb2_formula);
+    let joint_kb = KnowledgeBase::from_parts(joint.vocab().clone(), vec![disj]);
+    let (mut jkb, _) = (joint_kb, ());
+    let Ok(f) = jkb.parse_query(phi) else {
+        return RuleCheck::Inapplicable;
+    };
+    match entails(engine, &jkb, &f) {
+        Some(true) => RuleCheck::Holds,
+        Some(false) => RuleCheck::Violated,
+        None => RuleCheck::Inapplicable,
+    }
+}
+
+/// **Rational Monotonicity**, weakened per Thm 5.5: if `KB |~ φ`,
+/// `KB |̸~ ¬θ`, and `Pr∞(φ | KB ∧ θ)` exists, then `KB ∧ θ |~ φ`.
+pub fn check_rational_monotonicity(
+    engine: &RandomWorlds,
+    kb: &KnowledgeBase,
+    theta: &str,
+    phi: &str,
+) -> RuleCheck {
+    let (kb1, th) = parse_in(kb, theta);
+    let (kb2, ph) = parse_in(&kb1, phi);
+    let Some(p_phi) = entails(engine, &kb2, &ph) else {
+        return RuleCheck::Inapplicable;
+    };
+    let not_theta = Formula::not(th.clone());
+    let Some(p_не) = entails(engine, &kb2, &not_theta) else {
+        return RuleCheck::Inapplicable;
+    };
+    if !p_phi || p_не {
+        return RuleCheck::Inapplicable;
+    }
+    let kb_th = kb_with(&kb2, &th);
+    match engine.degree_of_belief_formula(&kb_th, &ph) {
+        Ok(r) if matches!(r.belief, crate::belief::Belief::NonRobust(_) | crate::belief::Belief::Undefined) => {
+            RuleCheck::Inapplicable // limit does not exist: Thm 5.5's proviso
+        }
+        Ok(r) => {
+            if r.belief.is_one() {
+                RuleCheck::Holds
+            } else {
+                RuleCheck::Violated
+            }
+        }
+        Err(_) => RuleCheck::Inapplicable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RandomWorlds {
+        RandomWorlds::default()
+    }
+
+    fn penguin_kb() -> KnowledgeBase {
+        KnowledgeBase::parse(
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn and_rule_on_defaults() {
+        // Tweety doesn't fly and is a bird: both hold, so their conjunction
+        // must (And rule).
+        let kb = penguin_kb();
+        assert_eq!(
+            check_and(&engine(), &kb, "!Fly(Tweety)", "Bird(Tweety)"),
+            RuleCheck::Holds
+        );
+    }
+
+    #[test]
+    fn cut_and_cautious_monotonicity() {
+        let kb = penguin_kb();
+        assert_eq!(
+            check_cut(&engine(), &kb, "Bird(Tweety)", "!Fly(Tweety)"),
+            RuleCheck::Holds
+        );
+        assert_eq!(
+            check_cautious_monotonicity(&engine(), &kb, "Bird(Tweety)", "!Fly(Tweety)"),
+            RuleCheck::Holds
+        );
+    }
+
+    #[test]
+    fn rational_monotonicity_yellow_penguin() {
+        // Paper Example 5.19 through Thm 5.5's lens: Yellow(Tweety) is not
+        // disbelieved, so adding it preserves not-flying.
+        let kb = KnowledgeBase::parse(
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety); \
+             ||Yellow(x)||_x ~=_3 0.5",
+        )
+        .unwrap();
+        assert_eq!(
+            check_rational_monotonicity(&engine(), &kb, "Yellow(Tweety)", "!Fly(Tweety)"),
+            RuleCheck::Holds
+        );
+    }
+
+    #[test]
+    fn inapplicable_when_premises_fail() {
+        let kb = penguin_kb();
+        // KB |~ Fly(Tweety) is false, so the rule instance is inapplicable.
+        assert_eq!(
+            check_cut(&engine(), &kb, "Fly(Tweety)", "Bird(Tweety)"),
+            RuleCheck::Inapplicable
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! The random-worlds inference engine — the paper's primary contribution.
+//!
+//! Given a knowledge base in `L≈` and a query, [`RandomWorlds`] computes the
+//! degree of belief `Pr∞(query | KB)` of Definition 4.3, trying in order:
+//!
+//! 1. **The theorem engine** ([`theorems`]): syntactic pattern matchers with
+//!    fully checked side conditions for the paper's general theorems —
+//!    direct inference (Thm 5.6 / Cor 5.7), minimal reference classes with
+//!    irrelevant information (Thm 5.16 / Cor 5.17), Kyburg-style strength
+//!    (Thm 5.23), Dempster combination of essentially disjoint evidence
+//!    (Thm 5.26), vocabulary independence (Thm 5.27) and the unique-names
+//!    bias (§5.5). These apply to *non-unary* KBs too (the
+//!    elephant–zookeeper example needs a binary predicate) and produce
+//!    exact rationals.
+//! 2. **Maximum entropy** (`rw-maxent`): the asymptotic computation for
+//!    unary KBs, with τ-sweeps and robustness probing.
+//! 3. **Exact finite-`N` sweeps** (`rw-unary` profile counting, then
+//!    `rw-worlds` brute-force enumeration): a diagonal sweep
+//!    `(τ_k ↓ 0, N_k ↑ ∞)` with Richardson extrapolation.
+//!
+//! Every answer carries a [`Provenance`] naming the method (and theorem)
+//! that produced it.
+
+pub mod belief;
+pub mod engine;
+pub mod klm;
+pub mod patterns;
+pub mod theorems;
+
+pub use belief::{Belief, Provenance};
+pub use engine::{BeliefResult, EngineError, RandomWorlds};
+pub use theorems::dempster_rule;

@@ -1,0 +1,525 @@
+//! Knowledge-base classification and matching machinery for the theorem
+//! engine.
+//!
+//! The paper's theorems are stated over KBs of particular *shapes*
+//! (statistical statements, universal taxonomy facts, facts about
+//! constants). This module classifies conjuncts into those shapes, provides
+//! a canonical-form matcher for formulas up to bound-variable renaming and
+//! conjunct reordering, and decides class subsumption/disjointness under
+//! the KB's universal statements by atom-set reasoning.
+
+use rw_logic::ast::{CmpOp, Formula, PropExpr, TolId};
+use rw_logic::{analysis, ConstId, KnowledgeBase, VarId, Vocabulary};
+use rw_unary::atoms::{atom_count, compile_atom_set, compile_atom_set_const};
+use rw_unary::AtomSet;
+use rw_util::Rat;
+use std::collections::BTreeMap;
+
+/// Synthetic variables used for generalization during matching; never
+/// interned, never printed.
+pub fn synthetic_var(i: usize) -> VarId {
+    VarId(u32::MAX - 1 - i as u32)
+}
+
+/// A statistical statement `lo ⪯ ||body | cond||_vars ⪯ hi` (with `cond =
+/// true` for unconditional proportions), merged from one or more comparison
+/// conjuncts about the same proportion. Bounds are the *nominal* values
+/// (the `τ → 0` limits of the comparisons).
+#[derive(Clone, Debug)]
+pub struct StatStatement {
+    /// Indices (into the flattened conjunct list) that contributed.
+    pub sources: Vec<usize>,
+    pub body: Formula,
+    pub cond: Formula,
+    pub vars: Vec<VarId>,
+    pub lo: Rat,
+    pub hi: Rat,
+    /// Tolerance indices used by the contributing comparisons.
+    pub tols: Vec<TolId>,
+}
+
+impl StatStatement {
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// A conjunct-level classification of a knowledge base.
+pub struct Classified {
+    /// Flattened conjuncts, in order.
+    pub conjuncts: Vec<Formula>,
+    /// Statistical statements (merged bounds).
+    pub stats: Vec<StatStatement>,
+    /// Flattened-conjunct indices that are part of some statistical statement.
+    pub stat_sources: Vec<bool>,
+    /// Universal conjuncts `∀x φ(x)` with quantifier-free unary bodies,
+    /// compiled to allowed-atom sets.
+    pub universals: Vec<(usize, AtomSet)>,
+    /// Conjuncts recognized as `∃!x φ(x)` (desugared), with the inner body.
+    pub exists_unique: Vec<(usize, Formula, VarId)>,
+}
+
+/// Extracts `(x, φ)` from the desugared `∃x (φ ∧ ∀y (φ[y/x] ⇒ y = x))`.
+pub fn match_exists_unique(f: &Formula) -> Option<(VarId, Formula)> {
+    if let Formula::Exists(x, body) = f {
+        if let Formula::And(phi, guard) = body.as_ref() {
+            if let Formula::Forall(y, imp) = guard.as_ref() {
+                if let Formula::Implies(phi_y, eq) = imp.as_ref() {
+                    if let Formula::TermEq(l, r) = eq.as_ref() {
+                        use rw_logic::Term;
+                        let ok_eq = (*l == Term::Var(*y) && *r == Term::Var(*x))
+                            || (*l == Term::Var(*x) && *r == Term::Var(*y));
+                        if ok_eq && analysis::alpha_eq(&analysis::rename_var(phi, *x, *y), phi_y) {
+                            return Some((*x, phi.as_ref().clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Canonical string form of a formula: bound variables de-Bruijn-numbered,
+/// free variables looked up in `free_map`, symbols printed by id. Two
+/// formulas have equal canonical forms iff they are alpha-equivalent with
+/// corresponding free variables.
+pub fn canon(f: &Formula, free_map: &BTreeMap<VarId, usize>) -> String {
+    let mut out = String::new();
+    let mut bound = Vec::new();
+    canon_formula(f, free_map, &mut bound, &mut out);
+    out
+}
+
+fn canon_var(v: VarId, free_map: &BTreeMap<VarId, usize>, bound: &[VarId], out: &mut String) {
+    for (depth, bv) in bound.iter().rev().enumerate() {
+        if *bv == v {
+            out.push_str(&format!("b{depth}"));
+            return;
+        }
+    }
+    if let Some(i) = free_map.get(&v) {
+        out.push_str(&format!("f{i}"));
+    } else {
+        out.push_str(&format!("v{}", v.0));
+    }
+}
+
+fn canon_term(
+    t: &rw_logic::Term,
+    free_map: &BTreeMap<VarId, usize>,
+    bound: &[VarId],
+    out: &mut String,
+) {
+    use rw_logic::Term;
+    match t {
+        Term::Var(v) => canon_var(*v, free_map, bound, out),
+        Term::Const(c) => out.push_str(&format!("c{}", c.0)),
+        Term::App(f, args) => {
+            out.push_str(&format!("g{}(", f.0));
+            for a in args {
+                canon_term(a, free_map, bound, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn canon_formula(
+    f: &Formula,
+    free_map: &BTreeMap<VarId, usize>,
+    bound: &mut Vec<VarId>,
+    out: &mut String,
+) {
+    match f {
+        Formula::True => out.push('T'),
+        Formula::False => out.push('F'),
+        Formula::Pred(p, args) => {
+            out.push_str(&format!("P{}(", p.0));
+            for a in args {
+                canon_term(a, free_map, bound, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        Formula::TermEq(a, b) => {
+            out.push_str("eq(");
+            canon_term(a, free_map, bound, out);
+            out.push(',');
+            canon_term(b, free_map, bound, out);
+            out.push(')');
+        }
+        Formula::Not(g) => {
+            out.push_str("!(");
+            canon_formula(g, free_map, bound, out);
+            out.push(')');
+        }
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            out.push_str(match f {
+                Formula::And(..) => "and(",
+                Formula::Or(..) => "or(",
+                Formula::Implies(..) => "imp(",
+                _ => "iff(",
+            });
+            canon_formula(a, free_map, bound, out);
+            out.push(',');
+            canon_formula(b, free_map, bound, out);
+            out.push(')');
+        }
+        Formula::Forall(v, g) | Formula::Exists(v, g) => {
+            out.push_str(if matches!(f, Formula::Forall(..)) {
+                "all("
+            } else {
+                "ex("
+            });
+            bound.push(*v);
+            canon_formula(g, free_map, bound, out);
+            bound.pop();
+            out.push(')');
+        }
+        Formula::Cmp(l, op, r) => {
+            out.push_str("cmp(");
+            canon_prop(l, free_map, bound, out);
+            out.push_str(&format!(",{op:?},"));
+            canon_prop(r, free_map, bound, out);
+            out.push(')');
+        }
+    }
+}
+
+fn canon_prop(
+    e: &PropExpr,
+    free_map: &BTreeMap<VarId, usize>,
+    bound: &mut Vec<VarId>,
+    out: &mut String,
+) {
+    match e {
+        PropExpr::Rat(r) => out.push_str(&format!("r{r:?}")),
+        PropExpr::Prop { body, cond, vars } => {
+            out.push_str("prop(");
+            let depth = bound.len();
+            bound.extend(vars.iter().copied());
+            canon_formula(body, free_map, bound, out);
+            if let Some(c) = cond {
+                out.push('|');
+                canon_formula(c, free_map, bound, out);
+            }
+            bound.truncate(depth);
+            out.push_str(&format!(";{})", vars.len()));
+        }
+        PropExpr::Add(a, b) | PropExpr::Sub(a, b) | PropExpr::Mul(a, b) => {
+            out.push_str(match e {
+                PropExpr::Add(..) => "add(",
+                PropExpr::Sub(..) => "sub(",
+                _ => "mul(",
+            });
+            canon_prop(a, free_map, bound, out);
+            out.push(',');
+            canon_prop(b, free_map, bound, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Canonical multiset form of a conjunction (order-insensitive).
+pub fn canon_conjunction(f: &Formula, free_map: &BTreeMap<VarId, usize>) -> Vec<String> {
+    let mut parts: Vec<String> = f.conjuncts().iter().map(|c| canon(c, free_map)).collect();
+    parts.retain(|s| s != "T");
+    parts.sort();
+    parts
+}
+
+/// Classifies a knowledge base's flattened conjuncts.
+pub fn classify(kb: &KnowledgeBase) -> Classified {
+    let vocab = kb.vocab();
+    let mut conjuncts = Vec::new();
+    for c in kb.conjuncts() {
+        for part in c.conjuncts() {
+            conjuncts.push(part.clone());
+        }
+    }
+    let mut stats_map: BTreeMap<String, StatStatement> = BTreeMap::new();
+    let mut stat_sources = vec![false; conjuncts.len()];
+    let mut universals = Vec::new();
+    let mut exists_unique = Vec::new();
+
+    for (idx, f) in conjuncts.iter().enumerate() {
+        if let Some((v, inner)) = match_exists_unique(f) {
+            exists_unique.push((idx, inner, v));
+            continue;
+        }
+        match f {
+            Formula::Forall(v, body)
+                if vocab.pred_count() <= 16 => {
+                    if let Some(s) = compile_atom_set(body, *v, vocab) {
+                        universals.push((idx, s));
+                    }
+                }
+            Formula::Cmp(lhs, op, rhs) => {
+                if let Some((prop, bound, prop_on_left)) = split_comparison(lhs, rhs) {
+                    if let PropExpr::Prop { body, cond, vars } = prop {
+                        let free_map: BTreeMap<VarId, usize> =
+                            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+                        let cond_f = cond
+                            .as_ref()
+                            .map(|c| c.as_ref().clone())
+                            .unwrap_or(Formula::True);
+                        let key = format!(
+                            "{}|{}#{}",
+                            canon(body, &free_map),
+                            canon_conjunction(&cond_f, &free_map).join("&"),
+                            vars.len()
+                        );
+                        let entry = stats_map.entry(key).or_insert_with(|| StatStatement {
+                            sources: Vec::new(),
+                            body: body.as_ref().clone(),
+                            cond: cond_f,
+                            vars: vars.clone(),
+                            lo: Rat::ZERO,
+                            hi: Rat::ONE,
+                            tols: Vec::new(),
+                        });
+                        entry.sources.push(idx);
+                        stat_sources[idx] = true;
+                        if let Some(t) = op.tolerance() {
+                            entry.tols.push(t);
+                        }
+                        match (op, prop_on_left) {
+                            (CmpOp::ApproxEq(_) | CmpOp::Eq, _) => {
+                                entry.lo = entry.lo.max(bound);
+                                entry.hi = entry.hi.min(bound);
+                            }
+                            // prop ⪯ bound: upper bound.
+                            (CmpOp::ApproxLeq(_) | CmpOp::Leq, true) => {
+                                entry.hi = entry.hi.min(bound);
+                            }
+                            // bound ⪯ prop: lower bound.
+                            (CmpOp::ApproxLeq(_) | CmpOp::Leq, false) => {
+                                entry.lo = entry.lo.max(bound);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Complement normalization: `||¬φ|ψ|| ∈ [lo, hi]` is the same statement
+    // as `||φ|ψ|| ∈ [1-hi, 1-lo]` (defaults `A ->_i !B` must be visible as
+    // statistics about `B`). Derived statements keep their sources.
+    let mut stats: Vec<StatStatement> = stats_map.into_values().collect();
+    let derived: Vec<StatStatement> = stats
+        .iter()
+        .map(|s| {
+            let body = match &s.body {
+                Formula::Not(inner) => inner.as_ref().clone(),
+                other => Formula::not(other.clone()),
+            };
+            StatStatement {
+                sources: s.sources.clone(),
+                body,
+                cond: s.cond.clone(),
+                vars: s.vars.clone(),
+                lo: Rat::ONE - s.hi,
+                hi: Rat::ONE - s.lo,
+                tols: s.tols.clone(),
+            }
+        })
+        .collect();
+    stats.extend(derived);
+
+    Classified {
+        conjuncts,
+        stats,
+        stat_sources,
+        universals,
+        exists_unique,
+    }
+}
+
+/// Splits a comparison into (proportion expression, rational bound,
+/// prop-on-left flag) when one side is a proportion and the other a rational.
+fn split_comparison<'a>(
+    lhs: &'a PropExpr,
+    rhs: &'a PropExpr,
+) -> Option<(&'a PropExpr, Rat, bool)> {
+    match (lhs, rhs) {
+        (p @ PropExpr::Prop { .. }, PropExpr::Rat(r)) => Some((p, *r, true)),
+        (PropExpr::Rat(r), p @ PropExpr::Prop { .. }) => Some((p, *r, false)),
+        _ => None,
+    }
+}
+
+/// Class subsumption and disjointness under the KB's universal statements,
+/// decided over the unary-atom space.
+pub struct Taxonomy {
+    pub atoms: usize,
+    /// Atoms consistent with every (unary, quantifier-free) universal.
+    pub allowed: AtomSet,
+}
+
+impl Taxonomy {
+    pub fn build(classified: &Classified, vocab: &Vocabulary) -> Option<Taxonomy> {
+        if vocab.pred_count() > 16 {
+            return None;
+        }
+        let n = atom_count(vocab);
+        let mut allowed = AtomSet::full(n);
+        for (_, s) in &classified.universals {
+            allowed = allowed.intersect(s);
+        }
+        Some(Taxonomy { atoms: n, allowed })
+    }
+
+    /// `KB ⊨ ∀x (a(x) ⇒ b(x))` over the unary fragment.
+    pub fn entails(&self, a: &AtomSet, b: &AtomSet) -> bool {
+        a.intersect(&self.allowed).subset_of(b)
+    }
+
+    /// `KB ⊨ ∀x (a(x) ⇒ ¬b(x))`.
+    pub fn disjoint(&self, a: &AtomSet, b: &AtomSet) -> bool {
+        a.intersect(&self.allowed).is_disjoint(b)
+    }
+
+    /// Is the class non-empty in some allowed atom?
+    pub fn satisfiable(&self, a: &AtomSet) -> bool {
+        !a.intersect(&self.allowed).is_empty_set()
+    }
+}
+
+/// The atom set a constant is known to inhabit, from its quantifier-free
+/// unary facts (other facts are ignored — sound but incomplete).
+pub fn const_atom_set(
+    classified: &Classified,
+    c: ConstId,
+    vocab: &Vocabulary,
+) -> AtomSet {
+    let n = atom_count(vocab);
+    let mut s = AtomSet::full(n);
+    for f in &classified.conjuncts {
+        let consts = analysis::constants(f);
+        if consts.len() == 1 && consts.contains(&c) {
+            if let Some(set) = compile_atom_set_const(f, c, vocab) {
+                s = s.intersect(&set);
+            }
+        }
+    }
+    s
+}
+
+/// Indices of flattened conjuncts mentioning any of the given constants.
+pub fn conjuncts_mentioning(classified: &Classified, consts: &[ConstId]) -> Vec<usize> {
+    classified
+        .conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            let cs = analysis::constants(f);
+            consts.iter().any(|c| cs.contains(c))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_statements_are_merged() {
+        let kb = KnowledgeBase::parse(
+            "0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; ||Fly(y) | Bird(y)||_y ~=_3 1",
+        )
+        .unwrap();
+        let c = classify(&kb);
+        // 2 statements plus their complement-normalized forms.
+        assert_eq!(c.stats.len(), 4);
+        let chirp = c
+            .stats
+            .iter()
+            .find(|s| s.lo == Rat::new(7, 10))
+            .expect("merged interval statement");
+        assert_eq!(chirp.hi, Rat::new(4, 5));
+        assert_eq!(chirp.sources.len(), 2);
+        let fly = c.stats.iter().find(|s| s.lo == Rat::ONE).unwrap();
+        assert!(fly.is_point());
+        // The complement of the chirp statement is present.
+        assert!(c
+            .stats
+            .iter()
+            .any(|s| s.lo == Rat::new(1, 5) && s.hi == Rat::new(3, 10)));
+    }
+
+    #[test]
+    fn alpha_variants_share_a_key() {
+        let kb = KnowledgeBase::parse(
+            "0.2 <~_1 ||Hep(x) | Jaun(x)||_x; ||Hep(z) | Jaun(z)||_z <~_2 0.9",
+        )
+        .unwrap();
+        let c = classify(&kb);
+        assert_eq!(c.stats.len(), 2); // statement + complement
+        assert_eq!(c.stats[0].lo, Rat::new(1, 5));
+        assert_eq!(c.stats[0].hi, Rat::new(9, 10));
+    }
+
+    #[test]
+    fn universals_compile_to_atom_sets() {
+        let kb = KnowledgeBase::parse("forall x (Penguin(x) => Bird(x)); Penguin(Tweety)").unwrap();
+        let c = classify(&kb);
+        assert_eq!(c.universals.len(), 1);
+        let tax = Taxonomy::build(&c, kb.vocab()).unwrap();
+        // Penguin ⊆ Bird must be entailed.
+        let mut kb2 = kb.clone();
+        let peng = kb2.parse_query("Penguin(x)").unwrap();
+        let bird = kb2.parse_query("Bird(x)").unwrap();
+        let xv = kb2.vocab_mut().var("x");
+        let sp = compile_atom_set(&peng, xv, kb2.vocab()).unwrap();
+        let sb = compile_atom_set(&bird, xv, kb2.vocab()).unwrap();
+        assert!(tax.entails(&sp, &sb));
+        assert!(!tax.entails(&sb, &sp));
+        assert!(!tax.disjoint(&sp, &sb));
+    }
+
+    #[test]
+    fn exists_unique_recognized() {
+        let kb = KnowledgeBase::parse("exists! x (Quaker(x) & Republican(x))").unwrap();
+        let c = classify(&kb);
+        assert_eq!(c.exists_unique.len(), 1);
+        assert!(matches!(c.exists_unique[0].1, Formula::And(..)));
+    }
+
+    #[test]
+    fn const_atom_sets_from_facts() {
+        let kb =
+            KnowledgeBase::parse("Jaun(Eric); Fever(Eric); ||Hep(x) | Jaun(x)||_x ~=_1 0.8")
+                .unwrap();
+        let c = classify(&kb);
+        let eric = kb.vocab().lookup_const("Eric").unwrap();
+        let s = const_atom_set(&c, eric, kb.vocab());
+        // Interning order: Jaun = bit 0, Fever = bit 1, Hep = bit 2; the
+        // facts fix bits 0 and 1.
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0b011, 0b111]);
+    }
+
+    #[test]
+    fn canon_distinguishes_and_identifies() {
+        let mut kb = KnowledgeBase::parse("true").unwrap();
+        let a = kb.parse_query("forall x (P(x) => Q(x))").unwrap();
+        let b = kb.parse_query("forall y (P(y) => Q(y))").unwrap();
+        let c = kb.parse_query("forall y (Q(y) => P(y))").unwrap();
+        let empty = BTreeMap::new();
+        assert_eq!(canon(&a, &empty), canon(&b, &empty));
+        assert_ne!(canon(&a, &empty), canon(&c, &empty));
+    }
+
+    #[test]
+    fn conjunction_multisets_ignore_order() {
+        let mut kb = KnowledgeBase::parse("true").unwrap();
+        let a = kb.parse_query("P(C) & Q(C) & R(C)").unwrap();
+        let b = kb.parse_query("R(C) & P(C) & Q(C)").unwrap();
+        let empty = BTreeMap::new();
+        assert_eq!(canon_conjunction(&a, &empty), canon_conjunction(&b, &empty));
+    }
+}

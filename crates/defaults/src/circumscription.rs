@@ -1,0 +1,177 @@
+//! Propositional circumscription \[McC80\]: entailment in *minimal* models.
+//!
+//! The paper's §3 invokes circumscription repeatedly: the
+//! abnormality-predicate encoding of defaults (§3.1), its treatment of the
+//! lottery paradox (§3.5: every minimal model makes a *different* single
+//! ticket win, so no `¬Winner(c)` conclusion survives skeptical
+//! entailment), and Lifschitz's universal-conclusion benchmarks. This
+//! module decides `CIRC(T; P; Z; Q) ⊨ φ` exactly by enumerating models and
+//! filtering to the minimal ones.
+//!
+//! A model `M` is minimal when no model `M'` of `T` agrees with `M` on the
+//! *fixed* variables and makes a strictly smaller set of *minimized*
+//! variables true; the remaining (varying) variables are unconstrained.
+
+use crate::worldset::WorldSet;
+use rw_epsilon::PropFormula;
+
+/// Which variables are minimized, which are fixed, and (implicitly) which
+/// vary: anything mentioned in neither list.
+#[derive(Clone, Debug, Default)]
+pub struct CircPolicy {
+    /// Variables whose extension is minimized (abnormalities, `Winner`...).
+    pub minimized: Vec<usize>,
+    /// Variables that must keep their truth value when comparing models.
+    pub fixed: Vec<usize>,
+}
+
+impl CircPolicy {
+    /// Minimize `minimized`, let everything else vary.
+    pub fn minimize(minimized: Vec<usize>) -> CircPolicy {
+        CircPolicy {
+            minimized,
+            fixed: Vec::new(),
+        }
+    }
+
+    /// Minimize `minimized`, fix `fixed`, vary the rest.
+    pub fn with_fixed(minimized: Vec<usize>, fixed: Vec<usize>) -> CircPolicy {
+        CircPolicy { minimized, fixed }
+    }
+
+    fn mask(vars: &[usize]) -> u32 {
+        vars.iter().fold(0u32, |m, &v| {
+            assert!(v < 32, "variable index {v} out of range");
+            m | 1 << v
+        })
+    }
+}
+
+/// The minimal models of `theory` under `policy`, over `nvars` variables.
+pub fn minimal_models(theory: &PropFormula, policy: &CircPolicy, nvars: usize) -> Vec<u32> {
+    let nvars = nvars.max(theory.var_count());
+    let models: Vec<u32> = WorldSet::models(theory, nvars).iter().collect();
+    let min_mask = CircPolicy::mask(&policy.minimized);
+    let fix_mask = CircPolicy::mask(&policy.fixed);
+
+    models
+        .iter()
+        .copied()
+        .filter(|&m| {
+            // m is minimal iff no model m' matches on fixed vars and has a
+            // strictly smaller minimized-true set.
+            !models.iter().any(|&m2| {
+                m2 & fix_mask == m & fix_mask
+                    && m2 & min_mask != m & min_mask
+                    && m2 & min_mask & !(m & min_mask) == 0
+            })
+        })
+        .collect()
+}
+
+/// `CIRC(theory; policy) ⊨ query`: truth in every minimal model. An
+/// unsatisfiable theory entails everything.
+///
+/// ```
+/// use rw_defaults::{circ_entails, CircPolicy};
+/// use rw_epsilon::prop::VarTable;
+///
+/// // Circumscribing the abnormality concludes flight (§3.1).
+/// let mut vt = VarTable::new();
+/// let t = vt.parse("bird & (bird & !ab => fly)").unwrap();
+/// let ab = vt.var("ab");
+/// let fly = vt.parse("fly").unwrap();
+/// assert!(circ_entails(&t, &CircPolicy::minimize(vec![ab]), vt.len(), &fly));
+/// ```
+pub fn circ_entails(
+    theory: &PropFormula,
+    policy: &CircPolicy,
+    nvars: usize,
+    query: &PropFormula,
+) -> bool {
+    let nvars = nvars.max(query.var_count());
+    minimal_models(theory, policy, nvars)
+        .into_iter()
+        .all(|m| query.eval(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rw_epsilon::prop::VarTable;
+
+    #[test]
+    fn minimization_prefers_false() {
+        let mut vt = VarTable::new();
+        let t = vt.parse("p or q").unwrap();
+        let p = vt.parse("p").unwrap();
+        // Minimizing p alone: minimal models have p false when possible.
+        let policy = CircPolicy::minimize(vec![0]);
+        assert!(circ_entails(&t, &policy, vt.len(), &PropFormula::not(p)));
+    }
+
+    #[test]
+    fn abnormality_encoding_concludes_flight() {
+        // bird ∧ (bird ∧ ¬ab ⇒ fly), circumscribing ab (fly varies):
+        // minimal models set ab = false, so fly follows — the
+        // circumscriptive reading of `birds typically fly` (§3.1).
+        let mut vt = VarTable::new();
+        let t = vt.parse("bird & (bird & !ab => fly)").unwrap();
+        let ab = vt.var("ab");
+        let policy = CircPolicy::minimize(vec![ab]);
+        let fly = vt.parse("fly").unwrap();
+        assert!(circ_entails(&t, &policy, vt.len(), &fly));
+    }
+
+    #[test]
+    fn fixed_variables_split_comparisons() {
+        let mut vt = VarTable::new();
+        // p ⇔ q, minimize p with q FIXED: no comparison can flip p without
+        // flipping q, so both models are minimal and nothing is concluded.
+        let t = vt.parse("(p => q) & (q => p)").unwrap();
+        let not_p = vt.parse("!p").unwrap();
+        let fixed = CircPolicy::with_fixed(vec![0], vec![1]);
+        assert!(!circ_entails(&t, &fixed, vt.len(), &not_p));
+        // With q varying instead, the (¬p, ¬q) model beats (p, q).
+        let varying = CircPolicy::minimize(vec![0]);
+        assert!(circ_entails(&t, &varying, vt.len(), &not_p));
+    }
+
+    #[test]
+    fn lottery_no_individual_loser_conclusion() {
+        // §3.5: three ticket holders, exactly one winner. Minimizing the
+        // winners yields three minimal models — one per winner — so
+        // ¬Winner(c) is NOT circumscriptively entailed for any c, yet
+        // `someone wins` is.
+        let mut vt = VarTable::new();
+        let t = vt
+            .parse(
+                "(w1 or w2 or w3) & \
+                 (w1 => !w2 & !w3) & (w2 => !w1 & !w3) & (w3 => !w1 & !w2)",
+            )
+            .unwrap();
+        let policy = CircPolicy::minimize(vec![0, 1, 2]);
+        let minimal = minimal_models(&t, &policy, vt.len());
+        assert_eq!(minimal.len(), 3);
+        let not_w1 = vt.parse("!w1").unwrap();
+        let someone = vt.parse("w1 or w2 or w3").unwrap();
+        assert!(!circ_entails(&t, &policy, vt.len(), &not_w1));
+        assert!(circ_entails(&t, &policy, vt.len(), &someone));
+    }
+
+    #[test]
+    fn unsatisfiable_theory_entails_everything() {
+        let mut vt = VarTable::new();
+        let t = vt.parse("p & !p").unwrap();
+        let q = vt.parse("q").unwrap();
+        assert!(circ_entails(&t, &CircPolicy::minimize(vec![0]), vt.len(), &q));
+    }
+
+    #[test]
+    fn empty_policy_keeps_all_models() {
+        let mut vt = VarTable::new();
+        let t = vt.parse("p or q").unwrap();
+        let policy = CircPolicy::default();
+        assert_eq!(minimal_models(&t, &policy, vt.len()).len(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Classical default-reasoning comparators for the random-worlds method.
+//!
+//! The paper (§3) motivates random worlds by walking through what the
+//! classical nonmonotonic systems get wrong on a shared benchmark suite:
+//!
+//! * **Reiter's default logic** \[Rei80\] ([`reiter`]): multiple extensions
+//!   on the Nixon diamond, loss of specificity under the obvious normal
+//!   encoding (repairable with semi-normal guards \[RC81\], at the price of
+//!   modularity — §3.3), and the broken-arm anomaly of Example 5.4, where
+//!   the failure of reasoning by cases (the Or rule) leaves the unique
+//!   extension claiming both arms usable.
+//! * **Circumscription** \[McC80\] ([`circumscription`]): minimal-model
+//!   entailment, the abnormality encoding of defaults, and its §3.5
+//!   treatment of the lottery paradox (no individual `¬Winner(c)`
+//!   conclusion survives, though `someone wins` does).
+//! * **Lexicographic entailment** \[Leh95\] ([`lex`]): the System-Z
+//!   refinement that counts violations per priority level and thereby
+//!   escapes the *drowning problem* (§3.3) — the comparison point for the
+//!   paper's Example 5.21, which random worlds handles via Theorem 5.16.
+//!
+//! System P (ε-semantics), System Z and GMP90's ME-plausibility live in
+//! `rw-epsilon`; this crate completes the §3 landscape so the experiment
+//! harness can line every system up against `Pr∞(· | KB)`.
+
+pub mod circumscription;
+pub mod lex;
+pub mod reiter;
+pub mod theory;
+pub mod worldset;
+
+pub use circumscription::{circ_entails, minimal_models, CircPolicy};
+pub use lex::{lex_entails, violation_signature};
+pub use reiter::{credulous, extensions, skeptical, Extension};
+pub use theory::{Default, DefaultTheory};
+pub use worldset::WorldSet;

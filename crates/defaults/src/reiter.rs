@@ -1,0 +1,344 @@
+//! Reiter extensions \[Rei80\] and the skeptical/credulous consequence
+//! relations over them.
+//!
+//! The paper's §3 and §5 measure random worlds against default logic on
+//! several benchmarks — the Nixon diamond's two extensions, Poole's
+//! broken-arm anomaly (Example 5.4: default logic's *single* extension says
+//! both arms are usable), the failure of specificity under naive normal
+//! encodings, and the lottery paradox. This module computes all extensions
+//! exactly so those comparisons are reproducible.
+//!
+//! ## Algorithm
+//!
+//! Every extension of `(W, D)` has the form `Th(W ∪ consequents(S))` for
+//! some `S ⊆ D` [Rei80, Thm 2.5], so candidates are enumerated as subsets.
+//! For a candidate `E` (represented by its model set), the Reiter operator
+//! `Γ(E)` is evaluated by a fixpoint loop: starting from `models(W)`,
+//! repeatedly apply any default whose prerequisite is entailed by the
+//! current theory and whose justifications are each consistent with the
+//! *candidate* `E`; `E` is an extension iff the fixpoint's model set equals
+//! `E`'s. The loop enforces groundedness (prerequisites must be derivable
+//! from facts plus previously applied consequents), and checking
+//! justifications against the candidate rather than the growing theory is
+//! exactly what distinguishes `Γ` from naive forward chaining.
+//!
+//! Cost is `O(2^|D| · |D|² · 2^n/64)`; the paper's benchmark theories have
+//! at most a dozen defaults.
+
+use crate::theory::DefaultTheory;
+use crate::worldset::WorldSet;
+use rw_epsilon::PropFormula;
+
+/// One Reiter extension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Extension {
+    /// Models of the extension (it is `Th` of facts + generating
+    /// consequents, so the model set determines it).
+    pub models: WorldSet,
+    /// Indices into `theory.defaults` of the generating defaults, in the
+    /// order the fixpoint applied them.
+    pub generating: Vec<usize>,
+}
+
+impl Extension {
+    /// Does the extension contain `f`?
+    pub fn contains(&self, f: &PropFormula) -> bool {
+        self.models.entails(f)
+    }
+
+    /// Is the extension consistent?
+    pub fn is_consistent(&self) -> bool {
+        !self.models.is_empty()
+    }
+}
+
+/// Computes `Γ(candidate)`'s model set, returning the applied defaults.
+fn gamma(
+    theory: &DefaultTheory,
+    facts: &WorldSet,
+    candidate: &WorldSet,
+) -> (WorldSet, Vec<usize>) {
+    let mut current = facts.clone();
+    let mut applied = vec![false; theory.defaults.len()];
+    let mut order = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (i, d) in theory.defaults.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            if !current.entails(&d.prereq) {
+                continue;
+            }
+            if !d
+                .justifications
+                .iter()
+                .all(|j| candidate.consistent_with(j))
+            {
+                continue;
+            }
+            current = current.intersect(&WorldSet::models(&d.consequent, current.nvars()));
+            applied[i] = true;
+            order.push(i);
+            progressed = true;
+        }
+        if !progressed {
+            return (current, order);
+        }
+    }
+}
+
+/// All extensions of the theory over a vocabulary of `nvars` variables
+/// (use [`DefaultTheory::var_count`] unless extra query variables need to
+/// be carried). Extensions are returned in subset-enumeration order,
+/// deduplicated by model set.
+///
+/// ```
+/// use rw_defaults::DefaultTheory;
+/// use rw_epsilon::prop::VarTable;
+///
+/// // The Nixon diamond: two extensions, one per default.
+/// let mut vt = VarTable::new();
+/// let mut t = DefaultTheory::new();
+/// t.fact_str(&mut vt, "quaker & republican").unwrap();
+/// t.normal_str(&mut vt, "quaker", "pacifist").unwrap();
+/// t.normal_str(&mut vt, "republican", "!pacifist").unwrap();
+/// assert_eq!(rw_defaults::extensions(&t, vt.len()).len(), 2);
+/// ```
+pub fn extensions(theory: &DefaultTheory, nvars: usize) -> Vec<Extension> {
+    let nvars = nvars.max(theory.var_count());
+    let mut facts = WorldSet::full(nvars);
+    for f in &theory.facts {
+        facts = facts.intersect(&WorldSet::models(f, nvars));
+    }
+
+    let m = theory.defaults.len();
+    assert!(m <= 20, "too many defaults ({m}) for subset enumeration");
+    let consequent_models: Vec<WorldSet> = theory
+        .defaults
+        .iter()
+        .map(|d| WorldSet::models(&d.consequent, nvars))
+        .collect();
+
+    let mut found: Vec<Extension> = Vec::new();
+    for subset in 0u32..1 << m {
+        let mut candidate = facts.clone();
+        for (i, cm) in consequent_models.iter().enumerate() {
+            if subset >> i & 1 == 1 {
+                candidate = candidate.intersect(cm);
+            }
+        }
+        let (fixpoint, order) = gamma(theory, &facts, &candidate);
+        if fixpoint == candidate && !found.iter().any(|e| e.models == candidate) {
+            found.push(Extension {
+                models: candidate,
+                generating: order,
+            });
+        }
+    }
+    found
+}
+
+/// Skeptical consequence: `f` belongs to *every* extension. A theory with
+/// no extension (possible only with non-normal defaults) skeptically
+/// entails nothing — the alternative convention, "entails everything",
+/// would make self-defeating defaults like `true : p / ¬p` omniscient.
+pub fn skeptical(theory: &DefaultTheory, nvars: usize, f: &PropFormula) -> bool {
+    let exts = extensions(theory, nvars.max(f.var_count()));
+    !exts.is_empty() && exts.iter().all(|e| e.contains(f))
+}
+
+/// Credulous consequence: `f` belongs to *some* extension.
+pub fn credulous(theory: &DefaultTheory, nvars: usize, f: &PropFormula) -> bool {
+    extensions(theory, nvars.max(f.var_count()))
+        .iter()
+        .any(|e| e.contains(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::Default;
+    use rw_epsilon::prop::VarTable;
+
+    fn parse(vt: &mut VarTable, s: &str) -> PropFormula {
+        vt.parse(s).unwrap()
+    }
+
+    #[test]
+    fn no_defaults_single_extension_is_th_w() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "p").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert!(exts[0].contains(&parse(&mut vt, "p")));
+        assert!(!exts[0].contains(&parse(&mut vt, "!p")));
+    }
+
+    #[test]
+    fn normal_default_fires() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "bird").unwrap();
+        t.normal_str(&mut vt, "bird", "fly").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert!(exts[0].contains(&parse(&mut vt, "fly")));
+        assert_eq!(exts[0].generating, vec![0]);
+    }
+
+    #[test]
+    fn blocked_justification_does_not_fire() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "bird & !fly").unwrap();
+        t.normal_str(&mut vt, "bird", "fly").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert!(exts[0].contains(&parse(&mut vt, "!fly")));
+        assert!(exts[0].generating.is_empty());
+    }
+
+    #[test]
+    fn nixon_diamond_two_extensions() {
+        // quaker → pacifist; republican → ¬pacifist; both facts hold.
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "quaker & republican").unwrap();
+        t.normal_str(&mut vt, "quaker", "pacifist").unwrap();
+        t.normal_str(&mut vt, "republican", "!pacifist").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 2);
+        let pac = parse(&mut vt, "pacifist");
+        assert!(credulous(&t, vt.len(), &pac));
+        assert!(credulous(&t, vt.len(), &PropFormula::not(pac.clone())));
+        assert!(!skeptical(&t, vt.len(), &pac));
+    }
+
+    #[test]
+    fn naive_normal_encoding_loses_specificity() {
+        // The paper §3.3: with normal defaults, Tweety the penguin has one
+        // extension where it flies and one where it doesn't — specificity
+        // fails under the obvious encoding.
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "penguin").unwrap();
+        t.fact_str(&mut vt, "penguin => bird").unwrap();
+        t.normal_str(&mut vt, "bird", "fly").unwrap();
+        t.normal_str(&mut vt, "penguin", "!fly").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 2);
+        assert!(!skeptical(&t, vt.len(), &parse(&mut vt, "!fly")));
+    }
+
+    #[test]
+    fn semi_normal_encoding_restores_specificity() {
+        // \[RC81\]: guard the bird default with ¬penguin.
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "penguin").unwrap();
+        t.fact_str(&mut vt, "penguin => bird").unwrap();
+        let bird = parse(&mut vt, "bird");
+        let fly = parse(&mut vt, "fly");
+        let not_penguin = parse(&mut vt, "!penguin");
+        t.default_rule(Default::semi_normal(bird, fly, not_penguin));
+        t.normal_str(&mut vt, "penguin", "!fly").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert!(exts[0].contains(&parse(&mut vt, "!fly")));
+    }
+
+    #[test]
+    fn inconsistent_facts_single_inconsistent_extension() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "p & !p").unwrap();
+        t.normal_str(&mut vt, "p", "q").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert!(!exts[0].is_consistent());
+        // The inconsistent extension contains everything.
+        assert!(exts[0].contains(&parse(&mut vt, "!q")));
+    }
+
+    #[test]
+    fn non_normal_theory_can_lack_extensions() {
+        // The classic `true : p / ¬p` has no extension: applying it is
+        // self-defeating, not applying it is ungrounded... the fixpoint
+        // never closes on any candidate.
+        let mut vt = VarTable::new();
+        let p = parse(&mut vt, "p");
+        let mut t = DefaultTheory::new();
+        t.default_rule(Default::new(
+            PropFormula::True,
+            vec![p.clone()],
+            PropFormula::not(p),
+        ));
+        assert!(extensions(&t, vt.len()).is_empty());
+    }
+
+    #[test]
+    fn grounded_chaining_orders_defaults() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "a").unwrap();
+        // c → d listed first but only applicable after a → c fires.
+        t.normal_str(&mut vt, "c", "d").unwrap();
+        t.normal_str(&mut vt, "a", "c").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert_eq!(exts[0].generating, vec![1, 0]);
+        assert!(exts[0].contains(&parse(&mut vt, "d")));
+    }
+
+    #[test]
+    fn ungrounded_self_support_rejected() {
+        // p → p must not bootstrap itself: Th(W) stays the only extension
+        // and does not contain p.
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.normal_str(&mut vt, "p", "p").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1);
+        assert!(!exts[0].contains(&parse(&mut vt, "p")));
+    }
+
+    #[test]
+    fn poole_broken_arm_single_extension_anomaly() {
+        // Example 5.4 / \[Poo89\]: arms are typically usable, broken arms are
+        // typically NOT usable (both links are defaults, mirroring the
+        // paper's statistical KB'_arm), and the hard fact is only the
+        // disjunction `lb ∨ rb`. Because default logic cannot reason by
+        // cases (it fails the Or rule, §3.2), neither exception default's
+        // prerequisite is ever derivable, and the unique extension says
+        // BOTH arms are usable — the anomaly the paper contrasts with
+        // random worlds' `exactly one usable` answer.
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "lb or rb").unwrap();
+        t.normal_str(&mut vt, "true", "lu").unwrap();
+        t.normal_str(&mut vt, "true", "ru").unwrap();
+        t.normal_str(&mut vt, "lb", "!lu").unwrap();
+        t.normal_str(&mut vt, "rb", "!ru").unwrap();
+        let exts = extensions(&t, vt.len());
+        assert_eq!(exts.len(), 1, "Poole's anomaly: a unique extension");
+        assert!(exts[0].contains(&parse(&mut vt, "lu & ru")));
+        // The exception defaults never fired.
+        assert_eq!(exts[0].generating, vec![0, 1]);
+    }
+
+    #[test]
+    fn skeptical_of_extensionless_theory_is_empty() {
+        let mut vt = VarTable::new();
+        let p = parse(&mut vt, "p");
+        let mut t = DefaultTheory::new();
+        t.default_rule(Default::new(
+            PropFormula::True,
+            vec![p.clone()],
+            PropFormula::not(p.clone()),
+        ));
+        assert!(!skeptical(&t, vt.len(), &p));
+        assert!(!credulous(&t, vt.len(), &p));
+    }
+}

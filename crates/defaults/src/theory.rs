@@ -1,0 +1,176 @@
+//! Reiter default theories `(W, D)`.
+//!
+//! A default is the inference rule `prereq : just₁, …, justₖ / consequent`
+//! \[Rei80\]: if the prerequisite is derivable and every justification is
+//! consistent with the final extension, conclude the consequent. The paper
+//! (§3.1) writes the *normal* special case `A(x) : B(x) / B(x)` for the
+//! default rule `A → B`; the *semi-normal* form `A : B ∧ ¬Ab / B` is the
+//! classical device for restoring specificity \[RC81\], reproduced in
+//! [`crate::reiter`]'s tests.
+
+use rw_epsilon::prop::VarTable;
+use rw_epsilon::PropFormula;
+
+/// A single default rule `prereq : justifications / consequent`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Default {
+    /// Must be derivable before the default applies.
+    pub prereq: PropFormula,
+    /// Each must be *consistent with the extension* for the default to
+    /// apply (the nonmonotonic ingredient).
+    pub justifications: Vec<PropFormula>,
+    /// Added to the extension when the default applies.
+    pub consequent: PropFormula,
+}
+
+impl Default {
+    /// A fully general default.
+    pub fn new(
+        prereq: PropFormula,
+        justifications: Vec<PropFormula>,
+        consequent: PropFormula,
+    ) -> Default {
+        Default {
+            prereq,
+            justifications,
+            consequent,
+        }
+    }
+
+    /// A *normal* default `prereq : consequent / consequent` — the encoding
+    /// of the paper's `A → B`.
+    pub fn normal(prereq: PropFormula, consequent: PropFormula) -> Default {
+        Default {
+            prereq,
+            justifications: vec![consequent.clone()],
+            consequent,
+        }
+    }
+
+    /// A *semi-normal* default `prereq : consequent ∧ guard / consequent`.
+    /// The guard blocks the default whenever its negation is derivable,
+    /// which is how \[RC81\] arranges specificity precedences.
+    pub fn semi_normal(
+        prereq: PropFormula,
+        consequent: PropFormula,
+        guard: PropFormula,
+    ) -> Default {
+        Default {
+            justifications: vec![PropFormula::and(consequent.clone(), guard)],
+            prereq,
+            consequent,
+        }
+    }
+
+    /// Highest variable index + 1 across all component formulas.
+    pub fn var_count(&self) -> usize {
+        self.justifications
+            .iter()
+            .map(PropFormula::var_count)
+            .chain([self.prereq.var_count(), self.consequent.var_count()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A default theory `(W, D)`: hard facts plus default rules.
+#[derive(Clone, Debug, Default)]
+pub struct DefaultTheory {
+    /// The hard knowledge `W`.
+    pub facts: Vec<PropFormula>,
+    /// The default rules `D`.
+    pub defaults: Vec<Default>,
+}
+
+impl DefaultTheory {
+    /// An empty theory (no facts, no defaults).
+    pub fn new() -> DefaultTheory {
+        DefaultTheory::default()
+    }
+
+    /// Adds a hard (first-order, in the paper's terms) fact.
+    pub fn fact(&mut self, f: PropFormula) -> &mut Self {
+        self.facts.push(f);
+        self
+    }
+
+    /// Adds a default rule.
+    pub fn default_rule(&mut self, d: Default) -> &mut Self {
+        self.defaults.push(d);
+        self
+    }
+
+    /// Parses and adds a fact using the shared variable table.
+    pub fn fact_str(&mut self, vt: &mut VarTable, src: &str) -> Result<&mut Self, String> {
+        let f = vt.parse(src)?;
+        Ok(self.fact(f))
+    }
+
+    /// Parses and adds a normal default `prereq -> consequent`.
+    pub fn normal_str(
+        &mut self,
+        vt: &mut VarTable,
+        prereq: &str,
+        consequent: &str,
+    ) -> Result<&mut Self, String> {
+        let p = vt.parse(prereq)?;
+        let c = vt.parse(consequent)?;
+        Ok(self.default_rule(Default::normal(p, c)))
+    }
+
+    /// Highest variable index + 1 across the whole theory.
+    pub fn var_count(&self) -> usize {
+        self.facts
+            .iter()
+            .map(PropFormula::var_count)
+            .chain(self.defaults.iter().map(Default::var_count))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_default_duplicates_consequent() {
+        let mut vt = VarTable::new();
+        let d = Default::normal(vt.parse("bird").unwrap(), vt.parse("fly").unwrap());
+        assert_eq!(d.justifications, vec![d.consequent.clone()]);
+    }
+
+    #[test]
+    fn semi_normal_guard_lands_in_justification() {
+        let mut vt = VarTable::new();
+        let d = Default::semi_normal(
+            vt.parse("bird").unwrap(),
+            vt.parse("fly").unwrap(),
+            vt.parse("!penguin").unwrap(),
+        );
+        assert_eq!(d.consequent, vt.parse("fly").unwrap());
+        assert_eq!(d.justifications.len(), 1);
+        assert_eq!(
+            d.justifications[0],
+            vt.parse("fly & !penguin").unwrap()
+        );
+    }
+
+    #[test]
+    fn var_count_spans_all_parts() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "a").unwrap();
+        t.normal_str(&mut vt, "b", "c").unwrap();
+        assert_eq!(t.var_count(), 3);
+        assert_eq!(vt.len(), 3);
+    }
+
+    #[test]
+    fn builder_parse_errors_surface() {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        assert!(t.fact_str(&mut vt, "a &").is_err());
+        assert!(t.normal_str(&mut vt, "(", "c").is_err());
+    }
+}

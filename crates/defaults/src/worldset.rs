@@ -1,0 +1,221 @@
+//! Sets of propositional worlds as bitsets.
+//!
+//! A deductively closed propositional theory is determined by its set of
+//! models, so the Reiter fixpoint and circumscription machinery work
+//! entirely with [`WorldSet`]s: `Th(T) ⊢ φ` becomes `models(T) ⊆
+//! models(φ)`, and consistency of `T ∪ {φ}` becomes `models(T) ∩ models(φ)
+//! ≠ ∅`. Worlds are truth assignments packed as `u32` bitmasks (bit `i` =
+//! variable `i`), matching `rw_epsilon::prop`.
+
+use rw_epsilon::PropFormula;
+
+/// A set of propositional worlds over a fixed variable count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorldSet {
+    nvars: usize,
+    bits: Vec<u64>,
+}
+
+impl WorldSet {
+    const MAX_VARS: usize = 25;
+
+    fn word_count(nvars: usize) -> usize {
+        let worlds = 1usize << nvars;
+        worlds.div_ceil(64)
+    }
+
+    /// The empty set over `nvars` variables.
+    pub fn empty(nvars: usize) -> WorldSet {
+        assert!(nvars <= Self::MAX_VARS, "too many variables ({nvars})");
+        WorldSet {
+            nvars,
+            bits: vec![0; Self::word_count(nvars)],
+        }
+    }
+
+    /// All `2^nvars` worlds.
+    pub fn full(nvars: usize) -> WorldSet {
+        let mut s = WorldSet::empty(nvars);
+        let worlds = 1usize << nvars;
+        for w in 0..worlds {
+            s.insert(w as u32);
+        }
+        s
+    }
+
+    /// The models of a formula.
+    pub fn models(f: &PropFormula, nvars: usize) -> WorldSet {
+        assert!(
+            f.var_count() <= nvars,
+            "formula mentions variable {} outside the vocabulary of {nvars}",
+            f.var_count() - 1
+        );
+        let mut s = WorldSet::empty(nvars);
+        let worlds = 1u32 << nvars;
+        for w in 0..worlds {
+            if f.eval(w) {
+                s.insert(w);
+            }
+        }
+        s
+    }
+
+    /// Number of variables this set ranges over.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Adds a world (a truth-assignment bitmask) to the set.
+    pub fn insert(&mut self, world: u32) {
+        self.bits[(world / 64) as usize] |= 1u64 << (world % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, world: u32) -> bool {
+        self.bits[(world / 64) as usize] >> (world % 64) & 1 == 1
+    }
+
+    /// Number of worlds in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// No worlds: the corresponding theory is inconsistent.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    fn check_compat(&self, other: &WorldSet) {
+        assert_eq!(
+            self.nvars, other.nvars,
+            "world sets over different vocabularies"
+        );
+    }
+
+    /// Set intersection (conjunction of theories).
+    pub fn intersect(&self, other: &WorldSet) -> WorldSet {
+        self.check_compat(other);
+        WorldSet {
+            nvars: self.nvars,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Set union (disjunction of theories).
+    pub fn union(&self, other: &WorldSet) -> WorldSet {
+        self.check_compat(other);
+        WorldSet {
+            nvars: self.nvars,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// `self ⊆ other`: the theory with models `self` entails the one with
+    /// models `other`.
+    pub fn is_subset(&self, other: &WorldSet) -> bool {
+        self.check_compat(other);
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Entailment of a formula by the theory with these models.
+    pub fn entails(&self, f: &PropFormula) -> bool {
+        self.is_subset(&WorldSet::models(f, self.nvars))
+    }
+
+    /// Is the theory with these models consistent with `f`?
+    pub fn consistent_with(&self, f: &PropFormula) -> bool {
+        !self.intersect(&WorldSet::models(f, self.nvars)).is_empty()
+    }
+
+    /// Iterate the worlds in the set in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let nvars = self.nvars;
+        (0..1u32 << nvars).filter(move |&w| self.contains(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rw_epsilon::prop::VarTable;
+
+    #[test]
+    fn models_of_conjunction() {
+        let mut vt = VarTable::new();
+        let f = vt.parse("p & q").unwrap();
+        let s = WorldSet::models(&f, 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(0b11));
+        assert!(!s.contains(0b01));
+    }
+
+    #[test]
+    fn padding_vars_multiply_models() {
+        let mut vt = VarTable::new();
+        let f = vt.parse("p").unwrap();
+        // With 3 variables, `p` has 4 models (q, r free).
+        assert_eq!(WorldSet::models(&f, 3).len(), 4);
+    }
+
+    #[test]
+    fn subset_and_entailment() {
+        let mut vt = VarTable::new();
+        let pq = WorldSet::models(&vt.parse("p & q").unwrap(), 2);
+        let p = WorldSet::models(&vt.parse("p").unwrap(), 2);
+        assert!(pq.is_subset(&p));
+        assert!(!p.is_subset(&pq));
+        assert!(pq.entails(&vt.parse("q").unwrap()));
+        assert!(!p.entails(&vt.parse("q").unwrap()));
+    }
+
+    #[test]
+    fn consistency_checks() {
+        let mut vt = VarTable::new();
+        let p = WorldSet::models(&vt.parse("p").unwrap(), 2);
+        assert!(p.consistent_with(&vt.parse("q").unwrap()));
+        assert!(!p.consistent_with(&vt.parse("!p").unwrap()));
+        let empty = WorldSet::empty(2);
+        // An inconsistent theory is consistent with nothing...
+        assert!(!empty.consistent_with(&vt.parse("p").unwrap()));
+        // ...and entails everything.
+        assert!(empty.entails(&vt.parse("p & !p").unwrap()));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut vt = VarTable::new();
+        let p = WorldSet::models(&vt.parse("p").unwrap(), 2);
+        let q = WorldSet::models(&vt.parse("q").unwrap(), 2);
+        let p_and_q = WorldSet::models(&vt.parse("p & q").unwrap(), 2);
+        let p_or_q = WorldSet::models(&vt.parse("p or q").unwrap(), 2);
+        assert_eq!(p.intersect(&q), p_and_q);
+        assert_eq!(p.union(&q), p_or_q);
+        assert_eq!(WorldSet::full(2).len(), 4);
+    }
+
+    #[test]
+    fn iter_visits_members_in_order() {
+        let mut vt = VarTable::new();
+        let s = WorldSet::models(&vt.parse("p or q").unwrap(), 2);
+        let worlds: Vec<u32> = s.iter().collect();
+        assert_eq!(worlds, vec![0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different vocabularies")]
+    fn mismatched_vocabularies_panic() {
+        let a = WorldSet::empty(2);
+        let b = WorldSet::empty(3);
+        let _ = a.intersect(&b);
+    }
+}

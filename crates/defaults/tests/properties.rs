@@ -1,0 +1,169 @@
+//! Property-based tests for the classical comparators: structural theorems
+//! from the default-logic literature checked on randomly generated
+//! theories.
+//!
+//! * Reiter [Rei80]: every normal default theory has at least one
+//!   extension (Thm 3.1); distinct extensions are ⊆-incomparable
+//!   (Thm 2.3); every extension's models refine the facts' models.
+//! * Circumscription: minimal models are models; every model dominates a
+//!   minimal one with the same fixed part; classical entailment implies
+//!   circumscriptive entailment.
+//! * Lexicographic entailment refines System Z [Leh95]: everything Z
+//!   entails, lex entails.
+
+use proptest::prelude::*;
+use rw_defaults::{
+    circ_entails, extensions, lex_entails, minimal_models, CircPolicy, DefaultTheory, WorldSet,
+};
+use rw_epsilon::prop::DefaultRule;
+use rw_epsilon::{z_entails, PropFormula};
+
+const NVARS: usize = 4;
+
+/// Random quantifier-free formulas over `NVARS` variables.
+fn arb_formula() -> impl Strategy<Value = PropFormula> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(PropFormula::Var),
+        Just(PropFormula::True),
+        Just(PropFormula::False),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(PropFormula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PropFormula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PropFormula::or(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| PropFormula::implies(a, b)),
+        ]
+    })
+}
+
+/// A random *normal* default theory: a satisfiable-or-not fact plus up to
+/// four normal defaults.
+fn arb_normal_theory() -> impl Strategy<Value = DefaultTheory> {
+    (
+        arb_formula(),
+        prop::collection::vec((arb_formula(), arb_formula()), 0..4),
+    )
+        .prop_map(|(fact, rules)| {
+            let mut t = DefaultTheory::new();
+            t.fact(fact);
+            for (p, c) in rules {
+                t.default_rule(rw_defaults::Default::normal(p, c));
+            }
+            t
+        })
+}
+
+fn arb_rules() -> impl Strategy<Value = Vec<DefaultRule>> {
+    prop::collection::vec(
+        (arb_formula(), arb_formula()).prop_map(|(p, c)| DefaultRule::new(p, c)),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normal_theories_have_extensions(t in arb_normal_theory()) {
+        // Reiter's Theorem 3.1: normal default theories always have at
+        // least one extension.
+        prop_assert!(!extensions(&t, NVARS).is_empty());
+    }
+
+    #[test]
+    fn extensions_refine_facts_and_are_incomparable(t in arb_normal_theory()) {
+        let mut facts = WorldSet::full(NVARS);
+        for f in &t.facts {
+            facts = facts.intersect(&WorldSet::models(f, NVARS));
+        }
+        let exts = extensions(&t, NVARS);
+        for e in &exts {
+            prop_assert!(e.models.is_subset(&facts));
+        }
+        // Theorem 2.3: distinct extensions are logically incomparable —
+        // neither's model set contains the other's.
+        for (i, a) in exts.iter().enumerate() {
+            for b in exts.iter().skip(i + 1) {
+                prop_assert!(!a.models.is_subset(&b.models));
+                prop_assert!(!b.models.is_subset(&a.models));
+            }
+        }
+    }
+
+    #[test]
+    fn generating_defaults_are_applicable_in_their_extension(t in arb_normal_theory()) {
+        for e in extensions(&t, NVARS) {
+            for &i in &e.generating {
+                let d = &t.defaults[i];
+                // Prerequisite holds in the extension, justifications are
+                // consistent with it (normal: justification = consequent).
+                prop_assert!(e.models.entails(&d.prereq));
+                if e.is_consistent() {
+                    for j in &d.justifications {
+                        prop_assert!(e.models.consistent_with(j));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_models_are_models_and_cover(f in arb_formula()) {
+        let policy = CircPolicy::with_fixed(vec![0, 1], vec![2]);
+        let all = WorldSet::models(&f, NVARS);
+        let minimal = minimal_models(&f, &policy, NVARS);
+        let min_mask = 0b0011u32;
+        let fix_mask = 0b0100u32;
+        for &m in &minimal {
+            prop_assert!(all.contains(m));
+        }
+        // Coverage: every model weakly dominates some minimal model that
+        // agrees on the fixed variables.
+        for m in all.iter() {
+            prop_assert!(
+                minimal.iter().any(|&m2| {
+                    m2 & fix_mask == m & fix_mask
+                        && m2 & min_mask & !(m & min_mask) == 0
+                }),
+                "world {m:#06b} has no minimal model below it"
+            );
+        }
+    }
+
+    #[test]
+    fn classical_entailment_implies_circumscriptive(f in arb_formula(), q in arb_formula()) {
+        let policy = CircPolicy::minimize(vec![0, 1]);
+        let all = WorldSet::models(&f, NVARS);
+        if all.is_subset(&WorldSet::models(&q, NVARS)) {
+            prop_assert!(circ_entails(&f, &policy, NVARS, &q));
+        }
+    }
+
+    #[test]
+    fn lex_refines_system_z(rules in arb_rules(), a in arb_formula(), c in arb_formula()) {
+        // Lehmann: the lexicographic closure contains the rational closure
+        // (= System Z on propositional bases).
+        if let (Some(z), Some(lex)) = (z_entails(&rules, &a, &c), lex_entails(&rules, &a, &c)) {
+            if z {
+                prop_assert!(lex, "Z entails but lex does not");
+            }
+        }
+    }
+
+    #[test]
+    fn lex_never_entails_both_a_conclusion_and_its_negation(
+        rules in arb_rules(), a in arb_formula(), c in arb_formula()
+    ) {
+        // Consistency preservation: for a satisfiable premise, lex cannot
+        // conclude both c and ¬c.
+        let sat = WorldSet::models(&a, NVARS);
+        if !sat.is_empty() {
+            let pos = lex_entails(&rules, &a, &c);
+            let neg = lex_entails(&rules, &a, &PropFormula::not(c));
+            if let (Some(p), Some(n)) = (pos, neg) {
+                prop_assert!(!(p && n));
+            }
+        }
+    }
+}

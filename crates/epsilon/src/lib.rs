@@ -1,0 +1,21 @@
+//! Propositional default reasoning: ε-semantics (System P), Pearl's
+//! System Z, and the Goldszmidt–Morris–Pearl **maximum-entropy plausible
+//! consequence** relation — the latter implemented through the paper's own
+//! Theorem 6.1 embedding into unary random worlds.
+//!
+//! The paper (§3, §6) positions random worlds against the propositional
+//! default-reasoning landscape: ε-entailment is exactly the five KLM core
+//! rules (too weak for inheritance), System Z adds rational monotonicity
+//! but drowns exceptional subclasses, and GMP90's ME-plausibility handles
+//! exceptional-subclass inheritance — and Theorem 6.1 shows ME-plausibility
+//! is the unary, single-tolerance special case of random worlds. This crate
+//! provides all three so the experiment harness can reproduce those
+//! comparisons.
+
+pub mod me;
+pub mod prop;
+pub mod systems;
+
+pub use me::{me_plausible, MeError};
+pub use prop::{DefaultRule, PropFormula};
+pub use systems::{epsilon_consistent, p_entails, z_entails, z_partition};

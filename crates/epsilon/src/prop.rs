@@ -1,0 +1,324 @@
+//! Propositional formulas, default rules and world (truth-assignment)
+//! semantics.
+//!
+//! Variables are interned by name; worlds are bitmasks over the variable
+//! set, so rule sets with up to ~20 variables can be decided by exhaustive
+//! evaluation (the paper's benchmark examples use 3–6).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A propositional formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropFormula {
+    True,
+    False,
+    Var(usize),
+    Not(Box<PropFormula>),
+    And(Box<PropFormula>, Box<PropFormula>),
+    Or(Box<PropFormula>, Box<PropFormula>),
+    Implies(Box<PropFormula>, Box<PropFormula>),
+}
+
+impl PropFormula {
+    pub fn not(f: PropFormula) -> PropFormula {
+        PropFormula::Not(Box::new(f))
+    }
+
+    pub fn and(a: PropFormula, b: PropFormula) -> PropFormula {
+        PropFormula::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: PropFormula, b: PropFormula) -> PropFormula {
+        PropFormula::Or(Box::new(a), Box::new(b))
+    }
+
+    pub fn implies(a: PropFormula, b: PropFormula) -> PropFormula {
+        PropFormula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates under a world given as a bitmask (`bit i` = variable `i`).
+    pub fn eval(&self, world: u32) -> bool {
+        match self {
+            PropFormula::True => true,
+            PropFormula::False => false,
+            PropFormula::Var(i) => world >> i & 1 == 1,
+            PropFormula::Not(f) => !f.eval(world),
+            PropFormula::And(a, b) => a.eval(world) && b.eval(world),
+            PropFormula::Or(a, b) => a.eval(world) || b.eval(world),
+            PropFormula::Implies(a, b) => !a.eval(world) || b.eval(world),
+        }
+    }
+
+    /// Highest variable index + 1.
+    pub fn var_count(&self) -> usize {
+        match self {
+            PropFormula::True | PropFormula::False => 0,
+            PropFormula::Var(i) => i + 1,
+            PropFormula::Not(f) => f.var_count(),
+            PropFormula::And(a, b) | PropFormula::Or(a, b) | PropFormula::Implies(a, b) => {
+                a.var_count().max(b.var_count())
+            }
+        }
+    }
+}
+
+/// A default rule `premise → conclusion` ("premises are typically
+/// conclusions").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DefaultRule {
+    pub premise: PropFormula,
+    pub conclusion: PropFormula,
+}
+
+impl DefaultRule {
+    pub fn new(premise: PropFormula, conclusion: PropFormula) -> DefaultRule {
+        DefaultRule { premise, conclusion }
+    }
+
+    /// The world *verifies* the rule: premise and conclusion both hold.
+    pub fn verified(&self, world: u32) -> bool {
+        self.premise.eval(world) && self.conclusion.eval(world)
+    }
+
+    /// The world *falsifies* the rule: premise holds, conclusion fails.
+    pub fn falsified(&self, world: u32) -> bool {
+        self.premise.eval(world) && !self.conclusion.eval(world)
+    }
+
+    pub fn var_count(&self) -> usize {
+        self.premise.var_count().max(self.conclusion.var_count())
+    }
+}
+
+/// Interns variable names so formulas can be written as text.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl VarTable {
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    pub fn var(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Parses `p & !q or r => s` (precedence: `!` > `&` > `or` > `=>`,
+    /// right-associative implication).
+    pub fn parse(&mut self, src: &str) -> Result<PropFormula, String> {
+        let tokens = tokenize(src)?;
+        let mut pos = 0usize;
+        let f = parse_implies(&tokens, &mut pos, self)?;
+        if pos != tokens.len() {
+            return Err(format!("trailing input at token {pos}"));
+        }
+        Ok(f)
+    }
+}
+
+#[derive(Debug, PartialEq, Clone)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Bang,
+    Amp,
+    Or,
+    Implies,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b'!' => {
+                out.push(Tok::Bang);
+                i += 1;
+            }
+            b'&' => {
+                out.push(Tok::Amp);
+                i += 1;
+            }
+            b'=' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                out.push(Tok::Implies);
+                i += 2;
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&b[start..i]).unwrap();
+                if word == "or" {
+                    out.push(Tok::Or);
+                } else if word == "and" {
+                    out.push(Tok::Amp);
+                } else {
+                    out.push(Tok::Ident(word.to_string()));
+                }
+            }
+            other => return Err(format!("unexpected character `{}`", other as char)),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_implies(t: &[Tok], pos: &mut usize, vt: &mut VarTable) -> Result<PropFormula, String> {
+    let lhs = parse_or(t, pos, vt)?;
+    if t.get(*pos) == Some(&Tok::Implies) {
+        *pos += 1;
+        let rhs = parse_implies(t, pos, vt)?;
+        return Ok(PropFormula::implies(lhs, rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_or(t: &[Tok], pos: &mut usize, vt: &mut VarTable) -> Result<PropFormula, String> {
+    let mut lhs = parse_and(t, pos, vt)?;
+    while t.get(*pos) == Some(&Tok::Or) {
+        *pos += 1;
+        let rhs = parse_and(t, pos, vt)?;
+        lhs = PropFormula::or(lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_and(t: &[Tok], pos: &mut usize, vt: &mut VarTable) -> Result<PropFormula, String> {
+    let mut lhs = parse_unary(t, pos, vt)?;
+    while t.get(*pos) == Some(&Tok::Amp) {
+        *pos += 1;
+        let rhs = parse_unary(t, pos, vt)?;
+        lhs = PropFormula::and(lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(t: &[Tok], pos: &mut usize, vt: &mut VarTable) -> Result<PropFormula, String> {
+    match t.get(*pos) {
+        Some(Tok::Bang) => {
+            *pos += 1;
+            Ok(PropFormula::not(parse_unary(t, pos, vt)?))
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let f = parse_implies(t, pos, vt)?;
+            if t.get(*pos) != Some(&Tok::RParen) {
+                return Err("expected `)`".to_string());
+            }
+            *pos += 1;
+            Ok(f)
+        }
+        Some(Tok::Ident(name)) => {
+            let name = name.clone();
+            *pos += 1;
+            match name.as_str() {
+                "true" => Ok(PropFormula::True),
+                "false" => Ok(PropFormula::False),
+                _ => Ok(PropFormula::Var(vt.var(&name))),
+            }
+        }
+        other => Err(format!("expected a formula, found {other:?}")),
+    }
+}
+
+impl fmt::Display for PropFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropFormula::True => write!(f, "true"),
+            PropFormula::False => write!(f, "false"),
+            PropFormula::Var(i) => write!(f, "v{i}"),
+            PropFormula::Not(g) => write!(f, "!({g})"),
+            PropFormula::And(a, b) => write!(f, "({a} & {b})"),
+            PropFormula::Or(a, b) => write!(f, "({a} or {b})"),
+            PropFormula::Implies(a, b) => write!(f, "({a} => {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_eval() {
+        let mut vt = VarTable::new();
+        let f = vt.parse("p & !q or r").unwrap();
+        // p=bit0, q=bit1, r=bit2.
+        assert!(f.eval(0b001)); // p, !q
+        assert!(!f.eval(0b011)); // p, q
+        assert!(f.eval(0b111)); // r saves it
+        assert!(!f.eval(0b000));
+    }
+
+    #[test]
+    fn implication_right_assoc() {
+        let mut vt = VarTable::new();
+        let f = vt.parse("p => q => r").unwrap();
+        // p => (q => r): false only when p, q, !r.
+        assert!(!f.eval(0b011));
+        assert!(f.eval(0b111));
+        assert!(f.eval(0b000));
+    }
+
+    #[test]
+    fn rules_verify_and_falsify() {
+        let mut vt = VarTable::new();
+        let r = DefaultRule::new(vt.parse("bird").unwrap(), vt.parse("fly").unwrap());
+        assert!(r.verified(0b11));
+        assert!(r.falsified(0b01));
+        assert!(!r.verified(0b00));
+        assert!(!r.falsified(0b10));
+    }
+
+    #[test]
+    fn var_table_is_stable() {
+        let mut vt = VarTable::new();
+        let a = vt.parse("p & q").unwrap();
+        let b = vt.parse("q & p").unwrap();
+        assert_eq!(vt.len(), 2);
+        assert!(a.eval(0b11) && b.eval(0b11));
+        assert_eq!(vt.name(0), "p");
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut vt = VarTable::new();
+        assert!(vt.parse("p &").is_err());
+        assert!(vt.parse("(p").is_err());
+        assert!(vt.parse("p q").is_err());
+        assert!(vt.parse("#").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Abstract syntax for `L≈` / `L=` (paper Definition 4.1).
+
+use crate::vocab::{ConstId, FuncId, PredId, VarId};
+use rw_util::Rat;
+use std::fmt;
+
+/// A tolerance index: the `i` of `≈_i` / `⪯_i`. Comparisons with equal
+/// indices share the same tolerance `τ_i`; the paper uses this to encode the
+/// relative *strength* of defaults (§5.3: the Nixon diamond with a shared
+/// index yields belief 1/2, with distinct indices the limit does not exist).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TolId(pub u32);
+
+impl TolId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// First-order terms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    Var(VarId),
+    Const(ConstId),
+    App(FuncId, Vec<Term>),
+}
+
+/// Comparison operators between proportion expressions.
+///
+/// `ApproxEq`/`ApproxLeq` are the `≈_i`/`⪯_i` of `L≈`; `Eq`/`Leq` are the
+/// exact connectives of `L=` (used internally, and available for tests and
+/// knowledge bases that really do mean exact proportions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `ζ ≈_i ζ'`: `|ζ - ζ'| ≤ τ_i`.
+    ApproxEq(TolId),
+    /// `ζ ⪯_i ζ'`: `ζ - ζ' ≤ τ_i`.
+    ApproxLeq(TolId),
+    /// Exact equality (`L=`).
+    Eq,
+    /// Exact `≤` (`L=`).
+    Leq,
+}
+
+impl CmpOp {
+    pub fn tolerance(self) -> Option<TolId> {
+        match self {
+            CmpOp::ApproxEq(t) | CmpOp::ApproxLeq(t) => Some(t),
+            CmpOp::Eq | CmpOp::Leq => None,
+        }
+    }
+}
+
+/// Proportion expressions (paper Definition 4.1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PropExpr {
+    /// A rational constant.
+    Rat(Rat),
+    /// `||body||_vars` or `||body | cond||_vars`.
+    ///
+    /// Conditional proportions are primitive: in worlds where the condition
+    /// has measure zero, every approximate comparison mentioning the
+    /// proportion is *true* (the paper's convention, §4.1).
+    Prop {
+        body: Box<Formula>,
+        cond: Option<Box<Formula>>,
+        vars: Vec<VarId>,
+    },
+    Add(Box<PropExpr>, Box<PropExpr>),
+    Sub(Box<PropExpr>, Box<PropExpr>),
+    Mul(Box<PropExpr>, Box<PropExpr>),
+}
+
+impl PropExpr {
+    pub fn rat(r: Rat) -> PropExpr {
+        PropExpr::Rat(r)
+    }
+
+    pub fn proportion(body: Formula, vars: Vec<VarId>) -> PropExpr {
+        PropExpr::Prop {
+            body: Box::new(body),
+            cond: None,
+            vars,
+        }
+    }
+
+    pub fn conditional(body: Formula, cond: Formula, vars: Vec<VarId>) -> PropExpr {
+        PropExpr::Prop {
+            body: Box::new(body),
+            cond: Some(Box::new(cond)),
+            vars,
+        }
+    }
+}
+
+/// Formulas of `L≈`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The constant truth values (convenient normal-form endpoints).
+    True,
+    False,
+    /// `R(t₁..t_r)`.
+    Pred(PredId, Vec<Term>),
+    /// `t₁ = t₂`.
+    TermEq(Term, Term),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Implies(Box<Formula>, Box<Formula>),
+    Iff(Box<Formula>, Box<Formula>),
+    Forall(VarId, Box<Formula>),
+    Exists(VarId, Box<Formula>),
+    /// `ζ op ζ'` between proportion expressions.
+    Cmp(PropExpr, CmpOp, PropExpr),
+}
+
+impl Formula {
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    pub fn forall(v: VarId, f: Formula) -> Formula {
+        Formula::Forall(v, Box::new(f))
+    }
+
+    pub fn exists(v: VarId, f: Formula) -> Formula {
+        Formula::Exists(v, Box::new(f))
+    }
+
+    pub fn cmp(lhs: PropExpr, op: CmpOp, rhs: PropExpr) -> Formula {
+        Formula::Cmp(lhs, op, rhs)
+    }
+
+    /// Conjunction of an iterator of formulas (`True` when empty).
+    pub fn conjoin(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut iter = fs.into_iter();
+        let first = match iter.next() {
+            Some(f) => f,
+            None => return Formula::True,
+        };
+        iter.fold(first, Formula::and)
+    }
+
+    /// Disjunction of an iterator of formulas (`False` when empty).
+    pub fn disjoin(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut iter = fs.into_iter();
+        let first = match iter.next() {
+            Some(f) => f,
+            None => return Formula::False,
+        };
+        iter.fold(first, Formula::or)
+    }
+
+    /// The statistical reading of a default rule `prem ->_i concl` over the
+    /// given tuple of variables: `||concl | prem||_vars ≈_i 1` (paper §4.3).
+    pub fn default_rule(prem: Formula, concl: Formula, vars: Vec<VarId>, tol: TolId) -> Formula {
+        Formula::Cmp(
+            PropExpr::conditional(concl, prem, vars),
+            CmpOp::ApproxEq(tol),
+            PropExpr::Rat(Rat::ONE),
+        )
+    }
+
+    /// `∃!x φ(x)` desugared as `∃x (φ(x) ∧ ∀y (φ(y) ⇒ y = x))`.
+    ///
+    /// The caller must supply a variable `y` that does not occur in `φ`.
+    pub fn exists_unique(x: VarId, y: VarId, phi: Formula) -> Formula {
+        let phi_y = crate::analysis::rename_var(&phi, x, y);
+        Formula::exists(
+            x,
+            Formula::and(
+                phi.clone(),
+                Formula::forall(
+                    y,
+                    Formula::implies(phi_y, Formula::TermEq(Term::Var(y), Term::Var(x))),
+                ),
+            ),
+        )
+    }
+
+    /// Splits top-level conjunctions into a flat list.
+    pub fn conjuncts(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        fn walk<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+            match f {
+                Formula::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    #[test]
+    fn conjoin_disjoin_edge_cases() {
+        assert_eq!(Formula::conjoin([]), Formula::True);
+        assert_eq!(Formula::disjoin([]), Formula::False);
+        let mut v = Vocabulary::new();
+        let p = v.pred("P", 0).unwrap();
+        let atom = Formula::Pred(p, vec![]);
+        assert_eq!(Formula::conjoin([atom.clone()]), atom);
+    }
+
+    #[test]
+    fn conjunct_splitting_is_left_to_right() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("P", 0).unwrap();
+        let q = v.pred("Q", 0).unwrap();
+        let r = v.pred("R", 0).unwrap();
+        let fp = Formula::Pred(p, vec![]);
+        let fq = Formula::Pred(q, vec![]);
+        let fr = Formula::Pred(r, vec![]);
+        let conj = Formula::and(Formula::and(fp.clone(), fq.clone()), fr.clone());
+        let parts = conj.conjuncts();
+        assert_eq!(parts, vec![&fp, &fq, &fr]);
+    }
+
+    #[test]
+    fn default_rule_shape() {
+        let mut v = Vocabulary::new();
+        let bird = v.pred("Bird", 1).unwrap();
+        let fly = v.pred("Fly", 1).unwrap();
+        let x = v.var("x");
+        let d = Formula::default_rule(
+            Formula::Pred(bird, vec![Term::Var(x)]),
+            Formula::Pred(fly, vec![Term::Var(x)]),
+            vec![x],
+            TolId(1),
+        );
+        match d {
+            Formula::Cmp(PropExpr::Prop { cond: Some(_), .. }, CmpOp::ApproxEq(TolId(1)), PropExpr::Rat(r)) => {
+                assert_eq!(r, Rat::ONE)
+            }
+            other => panic!("unexpected desugaring: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Knowledge bases: a vocabulary plus a list of asserted formulas.
+//!
+//! The random-worlds method conditions on the *conjunction* of everything the
+//! agent knows (the paper's standing assumption is that `KB` captures all of
+//! it). We keep the conjuncts separate rather than pre-conjoined because the
+//! theorem engine classifies them individually (statistical statements,
+//! universal statements, facts about constants, ...).
+
+use crate::analysis;
+use crate::ast::Formula;
+use crate::parser::{parse_formula, parse_kb, ParseError};
+use crate::print::Pretty;
+use crate::vocab::{ConstId, Vocabulary};
+use std::fmt;
+
+/// A knowledge base: closed formulas of `L≈` over a shared vocabulary.
+#[derive(Clone, Default)]
+pub struct KnowledgeBase {
+    vocab: Vocabulary,
+    conjuncts: Vec<Formula>,
+}
+
+impl KnowledgeBase {
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// Builds a knowledge base from an existing vocabulary and conjuncts
+    /// (used when splitting a KB into independent components, Thm 5.27).
+    pub fn from_parts(vocab: Vocabulary, conjuncts: Vec<Formula>) -> KnowledgeBase {
+        KnowledgeBase { vocab, conjuncts }
+    }
+
+    /// Parses a `;`-separated list of formulas into a knowledge base.
+    ///
+    /// ```
+    /// use rw_logic::KnowledgeBase;
+    /// let kb = KnowledgeBase::parse(
+    ///     "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+    ///      forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+    /// ).unwrap();
+    /// assert_eq!(kb.conjuncts().len(), 4);
+    /// ```
+    pub fn parse(src: &str) -> Result<KnowledgeBase, ParseError> {
+        let mut vocab = Vocabulary::new();
+        let conjuncts = parse_kb(&mut vocab, src)?;
+        let kb = KnowledgeBase { vocab, conjuncts };
+        kb.check_closed()?;
+        Ok(kb)
+    }
+
+    fn check_closed(&self) -> Result<(), ParseError> {
+        for f in &self.conjuncts {
+            let fv = analysis::free_vars(f);
+            if let Some(&v) = fv.iter().next() {
+                return Err(ParseError {
+                    pos: 0,
+                    message: format!(
+                        "knowledge base formulas must be closed; `{}` has free variable `{}`",
+                        Pretty::new(&self.vocab, f),
+                        self.vocab.var_name(v)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds one more conjunct, parsed in this KB's vocabulary.
+    pub fn assert(&mut self, src: &str) -> Result<(), ParseError> {
+        let f = parse_formula(&mut self.vocab, src)?;
+        self.conjuncts.push(f);
+        self.check_closed()
+    }
+
+    /// Adds an already-built formula (must use this KB's vocabulary).
+    pub fn assert_formula(&mut self, f: Formula) {
+        self.conjuncts.push(f);
+    }
+
+    /// Parses a formula against this KB's vocabulary *without* asserting it
+    /// (new symbols are interned — degrees of belief are invariant under
+    /// vocabulary expansion, paper footnote 8).
+    pub fn parse_query(&mut self, src: &str) -> Result<Formula, ParseError> {
+        parse_formula(&mut self.vocab, src)
+    }
+
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    pub fn vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.vocab
+    }
+
+    pub fn conjuncts(&self) -> &[Formula] {
+        &self.conjuncts
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// The KB as a single conjunction (`true` when empty).
+    pub fn as_formula(&self) -> Formula {
+        Formula::conjoin(self.conjuncts.iter().cloned())
+    }
+
+    /// All constants mentioned anywhere in the KB.
+    pub fn mentioned_constants(&self) -> Vec<ConstId> {
+        let mut set = std::collections::BTreeSet::new();
+        for f in &self.conjuncts {
+            set.extend(analysis::constants(f));
+        }
+        set.into_iter().collect()
+    }
+
+    /// A copy of this KB with one conjunct replaced (used by the theorem
+    /// engine when rewriting via Proposition 5.2).
+    pub fn with_conjunct_replaced(&self, idx: usize, f: Formula) -> KnowledgeBase {
+        let mut kb = self.clone();
+        kb.conjuncts[idx] = f;
+        kb
+    }
+
+    /// A copy of this KB without the conjunct at `idx`.
+    pub fn without_conjunct(&self, idx: usize) -> KnowledgeBase {
+        let mut kb = self.clone();
+        kb.conjuncts.remove(idx);
+        kb
+    }
+}
+
+impl fmt::Display for KnowledgeBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, ";")?;
+            }
+            write!(f, "{}", Pretty::new(&self.vocab, c))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KnowledgeBase({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let kb = KnowledgeBase::parse(
+            "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+        )
+        .unwrap();
+        let printed = kb.to_string();
+        let kb2 = KnowledgeBase::parse(&printed).unwrap();
+        assert_eq!(kb.conjuncts(), kb2.conjuncts());
+    }
+
+    #[test]
+    fn open_formulas_rejected() {
+        assert!(KnowledgeBase::parse("Hep(x)").is_err());
+        let mut kb = KnowledgeBase::parse("Jaun(Eric)").unwrap();
+        assert!(kb.assert("Fever(y)").is_err());
+    }
+
+    #[test]
+    fn queries_extend_vocabulary() {
+        let mut kb = KnowledgeBase::parse("Jaun(Eric)").unwrap();
+        let q = kb.parse_query("Hep(Eric)").unwrap();
+        assert!(matches!(q, Formula::Pred(..)));
+        assert!(kb.vocab().lookup_pred("Hep").is_some());
+    }
+
+    #[test]
+    fn mentioned_constants_are_sorted_unique() {
+        let kb = KnowledgeBase::parse("Jaun(Eric); Hep(Tom); Fever(Eric)").unwrap();
+        let cs = kb.mentioned_constants();
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn conjunct_surgery() {
+        let kb = KnowledgeBase::parse("P(A); Q(A); R(A)").unwrap();
+        assert_eq!(kb.without_conjunct(1).conjuncts().len(), 2);
+        let f = kb.conjuncts()[0].clone();
+        let kb2 = kb.with_conjunct_replaced(2, f.clone());
+        assert_eq!(kb2.conjuncts()[2], f);
+    }
+}

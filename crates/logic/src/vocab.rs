@@ -1,0 +1,364 @@
+//! Interned vocabularies: predicate, function, constant and variable symbols.
+//!
+//! A [`Vocabulary`] is the finite first-order signature `Φ` of the paper plus
+//! an interner for variable names. Every AST node refers to symbols by dense
+//! integer ids, which keeps formulas `Copy`-cheap to traverse and lets the
+//! world engines index interpretations by `id` directly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A predicate symbol (with fixed arity).
+    PredId
+);
+define_id!(
+    /// A function symbol (with fixed arity).
+    FuncId
+);
+define_id!(
+    /// A constant symbol.
+    ConstId
+);
+define_id!(
+    /// A variable name.
+    VarId
+);
+
+/// Symbol-classification errors raised while interning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VocabError {
+    ArityMismatch {
+        name: String,
+        declared: usize,
+        used: usize,
+    },
+    KindMismatch {
+        name: String,
+        declared: &'static str,
+        used: &'static str,
+    },
+}
+
+impl fmt::Display for VocabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabError::ArityMismatch { name, declared, used } => write!(
+                f,
+                "symbol `{name}` declared with arity {declared} but used with arity {used}"
+            ),
+            VocabError::KindMismatch { name, declared, used } => {
+                write!(f, "symbol `{name}` declared as {declared} but used as {used}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VocabError {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SymbolKind {
+    Pred(PredId),
+    Func(FuncId),
+    Const(ConstId),
+}
+
+/// A finite first-order signature with a variable-name interner.
+#[derive(Clone, Default)]
+pub struct Vocabulary {
+    pred_names: Vec<String>,
+    pred_arities: Vec<usize>,
+    func_names: Vec<String>,
+    func_arities: Vec<usize>,
+    const_names: Vec<String>,
+    var_names: Vec<String>,
+    symbols: HashMap<String, SymbolKind>,
+    vars: HashMap<String, VarId>,
+    fresh_counter: u32,
+}
+
+impl Vocabulary {
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Interns a predicate symbol, checking arity consistency.
+    pub fn pred(&mut self, name: &str, arity: usize) -> Result<PredId, VocabError> {
+        match self.symbols.get(name) {
+            Some(&SymbolKind::Pred(id)) => {
+                let declared = self.pred_arities[id.index()];
+                if declared != arity {
+                    return Err(VocabError::ArityMismatch {
+                        name: name.to_string(),
+                        declared,
+                        used: arity,
+                    });
+                }
+                Ok(id)
+            }
+            Some(other) => Err(VocabError::KindMismatch {
+                name: name.to_string(),
+                declared: kind_name(*other),
+                used: "predicate",
+            }),
+            None => {
+                let id = PredId(self.pred_names.len() as u32);
+                self.pred_names.push(name.to_string());
+                self.pred_arities.push(arity);
+                self.symbols.insert(name.to_string(), SymbolKind::Pred(id));
+                Ok(id)
+            }
+        }
+    }
+
+    /// Interns a function symbol, checking arity consistency.
+    pub fn func(&mut self, name: &str, arity: usize) -> Result<FuncId, VocabError> {
+        match self.symbols.get(name) {
+            Some(&SymbolKind::Func(id)) => {
+                let declared = self.func_arities[id.index()];
+                if declared != arity {
+                    return Err(VocabError::ArityMismatch {
+                        name: name.to_string(),
+                        declared,
+                        used: arity,
+                    });
+                }
+                Ok(id)
+            }
+            Some(other) => Err(VocabError::KindMismatch {
+                name: name.to_string(),
+                declared: kind_name(*other),
+                used: "function",
+            }),
+            None => {
+                let id = FuncId(self.func_names.len() as u32);
+                self.func_names.push(name.to_string());
+                self.func_arities.push(arity);
+                self.symbols.insert(name.to_string(), SymbolKind::Func(id));
+                Ok(id)
+            }
+        }
+    }
+
+    /// Interns a constant symbol.
+    pub fn constant(&mut self, name: &str) -> Result<ConstId, VocabError> {
+        match self.symbols.get(name) {
+            Some(&SymbolKind::Const(id)) => Ok(id),
+            Some(other) => Err(VocabError::KindMismatch {
+                name: name.to_string(),
+                declared: kind_name(*other),
+                used: "constant",
+            }),
+            None => {
+                let id = ConstId(self.const_names.len() as u32);
+                self.const_names.push(name.to_string());
+                self.symbols.insert(name.to_string(), SymbolKind::Const(id));
+                Ok(id)
+            }
+        }
+    }
+
+    /// Interns a variable name (variables live in a separate namespace).
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.vars.get(name) {
+            return id;
+        }
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        self.vars.insert(name.to_string(), id);
+        id
+    }
+
+    /// Creates a variable guaranteed not to collide with any parsed name.
+    pub fn fresh_var(&mut self, hint: &str) -> VarId {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("{hint}#{}", self.fresh_counter);
+            if !self.vars.contains_key(&name) {
+                return self.var(&name);
+            }
+        }
+    }
+
+    pub fn pred_count(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    pub fn func_count(&self) -> usize {
+        self.func_names.len()
+    }
+
+    pub fn const_count(&self) -> usize {
+        self.const_names.len()
+    }
+
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    pub fn pred_name(&self, id: PredId) -> &str {
+        &self.pred_names[id.index()]
+    }
+
+    pub fn pred_arity(&self, id: PredId) -> usize {
+        self.pred_arities[id.index()]
+    }
+
+    pub fn func_name(&self, id: FuncId) -> &str {
+        &self.func_names[id.index()]
+    }
+
+    pub fn func_arity(&self, id: FuncId) -> usize {
+        self.func_arities[id.index()]
+    }
+
+    pub fn const_name(&self, id: ConstId) -> &str {
+        &self.const_names[id.index()]
+    }
+
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.var_names[id.index()]
+    }
+
+    pub fn lookup_pred(&self, name: &str) -> Option<PredId> {
+        match self.symbols.get(name) {
+            Some(&SymbolKind::Pred(id)) => Some(id),
+            _ => None,
+        }
+    }
+
+    pub fn lookup_const(&self, name: &str) -> Option<ConstId> {
+        match self.symbols.get(name) {
+            Some(&SymbolKind::Const(id)) => Some(id),
+            _ => None,
+        }
+    }
+
+    pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.pred_names.len() as u32).map(PredId)
+    }
+
+    pub fn funcs(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.func_names.len() as u32).map(FuncId)
+    }
+
+    pub fn consts(&self) -> impl Iterator<Item = ConstId> + '_ {
+        (0..self.const_names.len() as u32).map(ConstId)
+    }
+
+    /// True when the signature is unary: every predicate has arity 1 and
+    /// there are no function symbols. This is the fragment where the
+    /// maximum-entropy connection (paper §6) applies.
+    pub fn is_unary(&self) -> bool {
+        self.func_names.is_empty() && self.pred_arities.iter().all(|&a| a == 1)
+    }
+}
+
+fn kind_name(kind: SymbolKind) -> &'static str {
+    match kind {
+        SymbolKind::Pred(_) => "predicate",
+        SymbolKind::Func(_) => "function",
+        SymbolKind::Const(_) => "constant",
+    }
+}
+
+impl fmt::Debug for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vocabulary")
+            .field("preds", &self.pred_names)
+            .field("funcs", &self.func_names)
+            .field("consts", &self.const_names)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut v = Vocabulary::new();
+        let p1 = v.pred("Bird", 1).unwrap();
+        let p2 = v.pred("Bird", 1).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(v.pred_name(p1), "Bird");
+        assert_eq!(v.pred_arity(p1), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut v = Vocabulary::new();
+        v.pred("Likes", 2).unwrap();
+        let err = v.pred("Likes", 1).unwrap_err();
+        assert!(matches!(err, VocabError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut v = Vocabulary::new();
+        v.constant("Eric").unwrap();
+        assert!(matches!(
+            v.pred("Eric", 1),
+            Err(VocabError::KindMismatch { .. })
+        ));
+        v.pred("Bird", 1).unwrap();
+        assert!(matches!(
+            v.constant("Bird"),
+            Err(VocabError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn variables_are_separate_namespace() {
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        // A variable may share its spelling with nothing else, but variables
+        // never clash with symbols because they are interned separately.
+        let x1 = v.var("x");
+        let x2 = v.var("x");
+        assert_eq!(x1, x2);
+        let y = v.var("y");
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn fresh_vars_never_collide() {
+        let mut v = Vocabulary::new();
+        let a = v.var("u#1");
+        let b = v.fresh_var("u");
+        assert_ne!(a, b);
+        let c = v.fresh_var("u");
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn unary_detection() {
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        v.constant("c").unwrap();
+        assert!(v.is_unary());
+        v.pred("R", 2).unwrap();
+        assert!(!v.is_unary());
+    }
+}

@@ -1,0 +1,185 @@
+//! The §7.3 learning experiments, packaged as reusable scenario builders.
+//!
+//! The paper's acceptance-and-learning discussion makes three concrete,
+//! checkable claims:
+//!
+//! 1. **Random worlds does not learn from samples.** Given statistics over
+//!    a sampled subpopulation `S`, random worlds "treats the birds in `S`
+//!    and those outside `S` as two unrelated populations" and keeps the
+//!    default 1/2 for an unsampled individual.
+//! 2. **Random propensities does learn from samples** \[BGHK92\]: the same
+//!    KB moves the unsampled individual's belief to (approximately) the
+//!    sampled frequency.
+//! 3. **Random propensities learns "too often"**: from the bare universal
+//!    `∀x (Giraffe(x) ⇒ Tall(x))` it starts concluding that *everything*
+//!    is probably tall — the over-eagerness the paper criticizes.
+//!
+//! Each scenario returns the knowledge base, the query, and the values the
+//! different methods should (approximately) produce; the experiment harness
+//! and integration tests drive them.
+
+use rw_logic::ast::Formula;
+use rw_logic::KnowledgeBase;
+
+/// A packaged learning scenario: a KB, a query about an *unsampled*
+/// individual, and prose describing the contrast being exercised.
+pub struct Scenario {
+    /// Short identifier used in harness output.
+    pub name: &'static str,
+    /// The knowledge base, including the sample/observations.
+    pub kb: KnowledgeBase,
+    /// The query about the unsampled individual.
+    pub query: Formula,
+    /// What random worlds converges to (paper's claim).
+    pub random_worlds_expected: f64,
+    /// Rough target for the per-predicate propensity method (`None` when
+    /// the method's limit is a slow drift rather than a fixed point, as in
+    /// the giraffe scenario).
+    pub propensity_expected: Option<f64>,
+}
+
+/// Sampling scenario: `S` is a sample with `||P(x) | S(x)|| ≈ freq`, the
+/// sample is half the population, and the queried individual is outside
+/// the sample. `freq` must be expressible at denominator 100.
+pub fn sampling(freq_percent: u32) -> Scenario {
+    assert!(freq_percent <= 100);
+    let src = format!(
+        "||P(x) | S(x)||_x ~=_1 0.{freq_percent:02}; ||S(x)||_x ~=_2 0.5; !S(C)"
+    );
+    let mut kb = KnowledgeBase::parse(&src).unwrap();
+    let query = kb.parse_query("P(C)").unwrap();
+    Scenario {
+        name: "sampling",
+        kb,
+        query,
+        random_worlds_expected: 0.5,
+        propensity_expected: Some(freq_percent as f64 / 100.0),
+    }
+}
+
+/// Succession scenario: `k` positive and `n - k` negative observations as
+/// named constants; Laplace's rule of succession predicts `(k+1)/(n+2)`.
+pub fn succession(k: usize, n: usize) -> Scenario {
+    assert!(k <= n && n > 0);
+    let mut parts: Vec<String> = (0..k).map(|i| format!("P(C{i})")).collect();
+    parts.extend((k..n).map(|i| format!("!P(C{i})")));
+    let mut kb = KnowledgeBase::parse(&parts.join("; ")).unwrap();
+    let query = kb.parse_query("P(Fresh)").unwrap();
+    Scenario {
+        name: "succession",
+        kb,
+        query,
+        random_worlds_expected: 0.5,
+        propensity_expected: Some((k as f64 + 1.0) / (n as f64 + 2.0)),
+    }
+}
+
+/// The giraffe scenario: the bare universal `∀x (G(x) ⇒ T(x))`. Random
+/// worlds (= maximum entropy over the three allowed atoms) answers 2/3;
+/// per-predicate propensities drift toward 1 as `N` grows — "almost
+/// everything is tall".
+pub fn giraffe() -> Scenario {
+    let mut kb = KnowledgeBase::parse("forall x (G(x) => T(x))").unwrap();
+    let query = kb.parse_query("T(C)").unwrap();
+    Scenario {
+        name: "giraffe",
+        kb,
+        query,
+        random_worlds_expected: 2.0 / 3.0,
+        propensity_expected: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PropensityEngine;
+    use crate::prior::Prior;
+    use rw_logic::Tolerances;
+    use rw_util::Rat;
+
+    #[test]
+    fn sampling_scenario_propensity_learns_random_worlds_does_not() {
+        let s = sampling(75);
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        // Random worlds: stuck at 1/2 (claim 1).
+        let rw = rw_unary::degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+            .unwrap()
+            .unwrap();
+        assert!(
+            (rw - s.random_worlds_expected).abs() < 0.03,
+            "random worlds at {rw}"
+        );
+        // Per-predicate propensities: pulled to the sample frequency
+        // (claim 2); the window is ±τ plus finite-N slack.
+        let engine = PropensityEngine::new(Prior::PerPredicate);
+        let prop = engine
+            .degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+            .unwrap()
+            .unwrap();
+        assert!(
+            (prop - s.propensity_expected.unwrap()).abs() < 0.12,
+            "propensity at {prop}"
+        );
+        assert!(prop > 0.63, "learning should move well past 1/2: {prop}");
+    }
+
+    #[test]
+    fn carnap_star_does_not_transfer_across_the_sample_boundary() {
+        // The atom-Dirichlet prior (Carnap's m*) couples atoms only through
+        // normalization: by Dirichlet aggregation, the P-proportion inside
+        // ¬S is independent of the constrained P-proportion inside S, so no
+        // learning transfers. This pins down *which* exchangeable priors
+        // learn: per-predicate propensities do, m* does not.
+        let s = sampling(75);
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        let engine = PropensityEngine::new(Prior::CarnapStar);
+        let v = engine
+            .degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+            .unwrap()
+            .unwrap();
+        assert!((v - 0.5).abs() < 0.03, "m* should stay near 1/2: {v}");
+    }
+
+    #[test]
+    fn succession_scenario_matches_laplace() {
+        let s = succession(3, 4);
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        let engine = PropensityEngine::new(Prior::PerPredicate);
+        let v = engine
+            .limit_estimate(&s.kb, &s.query, &[32, 64, 128], &tol)
+            .unwrap()
+            .unwrap();
+        assert!(
+            (v - s.propensity_expected.unwrap()).abs() < 0.02,
+            "expected (3+1)/(4+2) = {}, got {v}",
+            s.propensity_expected.unwrap()
+        );
+    }
+
+    #[test]
+    fn giraffe_scenario_learns_too_often() {
+        let s = giraffe();
+        let tol = Tolerances::uniform(Rat::new(1, 10));
+        // Random worlds: 2/3 (uniform over the three allowed atoms).
+        let rw = rw_unary::degree_of_belief_at(&s.kb, &s.query, 48, &tol)
+            .unwrap()
+            .unwrap();
+        assert!((rw - 2.0 / 3.0).abs() < 0.03, "random worlds at {rw}");
+        // Per-predicate propensities drift upward with N.
+        let engine = PropensityEngine::new(Prior::PerPredicate);
+        let trend = engine
+            .belief_trend(&s.kb, &s.query, &[16, 48, 96], &tol)
+            .unwrap();
+        let vals: Vec<f64> = trend.into_iter().map(|(_, v)| v.unwrap()).collect();
+        assert!(
+            vals[0] < vals[1] && vals[1] < vals[2],
+            "monotone drift expected: {vals:?}"
+        );
+        assert!(
+            vals[2] > rw + 0.02,
+            "propensities ({}) should overshoot random worlds ({rw})",
+            vals[2]
+        );
+    }
+}

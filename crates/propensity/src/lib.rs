@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The **random-propensities** method (paper §7.3, \[BGHK92\]) and its
+//! exchangeable relatives, as drop-in alternatives to the uniform prior of
+//! random worlds.
+//!
+//! Random worlds assigns every first-order world the same probability. Its
+//! acknowledged blind spot (§7.3) is *learning*: statistics observed on a
+//! sample do not transfer to unsampled individuals, because the uniform
+//! prior makes elements' properties independent. The random-propensities
+//! variant replaces the uniform prior with a two-stage one — draw a
+//! *propensity* for each property, then populate the domain i.i.d. — which
+//! couples elements through the shared propensity and therefore learns
+//! (and, as the paper notes, sometimes learns too eagerly).
+//!
+//! The crate provides:
+//!
+//! * [`Prior`] — the per-world weight functions: per-predicate propensities
+//!   \[BGHK92\], Carnap's `m*`, and the Carnap λ-continuum (with `λ → ∞`
+//!   recovering random worlds), together with their rules of succession;
+//! * [`PropensityEngine`] — exact finite-`N` degrees of belief by the same
+//!   profile sweep as `rw-unary`, plus `N`-sweep limit estimation;
+//! * [`learning`] — the packaged §7.3 scenarios (sampling, Laplace
+//!   succession, the over-eager giraffe) used by the experiment harness.
+
+pub mod engine;
+pub mod learning;
+pub mod prior;
+
+pub use engine::PropensityEngine;
+pub use learning::{giraffe, sampling, succession, Scenario};
+pub use prior::Prior;

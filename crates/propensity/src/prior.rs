@@ -1,0 +1,270 @@
+//! Exchangeable priors over unary worlds.
+//!
+//! Random worlds weighs every world equally. The alternatives the paper
+//! discusses in §7.3 keep the *exchangeability* (permuting domain elements
+//! does not change a world's probability) but drop uniformity: a world's
+//! probability depends only on how many elements land in each atom. Every
+//! such prior is characterized by a weight `q(n⃗)` on atom-count vectors —
+//! the per-world probability — and plugs into the profile sweep of
+//! `rw-unary` unchanged.
+//!
+//! Three families are provided:
+//!
+//! * [`Prior::PerPredicate`] — the **random-propensities** method of
+//!   \[BGHK92\]: each predicate `P` draws an independent propensity
+//!   `b_P ~ U[0,1]` and every element satisfies `P` independently with
+//!   probability `b_P`. Integrating the propensities out gives
+//!   `q(n⃗) = Π_P m_P! (N − m_P)! / (N + 1)!` with `m_P` the number of
+//!   elements satisfying `P`.
+//! * [`Prior::CarnapStar`] — Carnap's `m*` \[Car50\]: a single uniform
+//!   (Dirichlet(1,…,1)) propensity vector over the `A` atoms;
+//!   `q(n⃗) = (A−1)! Π_a n_a! / (N + A − 1)!`. For one predicate this
+//!   coincides with per-predicate propensities.
+//! * [`Prior::Lambda`] — Carnap's λ-continuum \[Car52\]: Dirichlet(λ/A,…,λ/A)
+//!   over atoms. `λ = A` recovers `m*`; `λ → ∞` recovers random worlds
+//!   (the predictive probability of an atom tends to the uniform `1/A`
+//!   regardless of observations).
+//!
+//! The induced single-element predictive rule (`Pr(next element in atom a |
+//! counts n⃗)`) is the *rule of succession* of each family, exposed as
+//! [`Prior::succession`] and pinned against the sweep engine in tests.
+
+use rw_util::{ln_gamma, FactTable, LogWeight};
+
+/// An exchangeable prior over unary worlds, as a weight on atom counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Prior {
+    /// Independent per-predicate propensities, uniform on `[0,1]` \[BGHK92\].
+    PerPredicate,
+    /// Carnap's `m*`: uniform (Dirichlet(1,…,1)) over atom distributions.
+    CarnapStar,
+    /// Carnap's λ-continuum: Dirichlet(λ/A,…,λ/A) over atom distributions.
+    /// Requires `λ > 0`.
+    Lambda(f64),
+}
+
+impl Prior {
+    /// The per-world log-probability `q(n⃗)` of a world whose atom counts
+    /// are `counts`, over a vocabulary of `preds` unary predicates (so
+    /// `counts.len() == 2^preds`). `fact` must cover `N + counts.len()`.
+    ///
+    /// Weights are unnormalized only in the sense shared by every ratio
+    /// computation: `q` *is* the world probability, so dividing two swept
+    /// totals cancels nothing beyond what the definition cancels.
+    pub fn log_weight(&self, counts: &[usize], preds: usize, fact: &FactTable) -> LogWeight {
+        debug_assert_eq!(counts.len(), 1usize << preds);
+        let n: usize = counts.iter().sum();
+        match *self {
+            Prior::PerPredicate => {
+                let mut ln = 0.0;
+                for p in 0..preds {
+                    let m: usize = counts
+                        .iter()
+                        .enumerate()
+                        .filter(|&(atom, _)| atom >> p & 1 == 1)
+                        .map(|(_, &c)| c)
+                        .sum();
+                    ln += fact.ln_factorial(m) + fact.ln_factorial(n - m)
+                        - fact.ln_factorial(n + 1);
+                }
+                LogWeight::from_ln(ln)
+            }
+            Prior::CarnapStar => {
+                let a = counts.len();
+                let mut ln = fact.ln_factorial(a - 1) - fact.ln_factorial(n + a - 1);
+                for &c in counts {
+                    ln += fact.ln_factorial(c);
+                }
+                LogWeight::from_ln(ln)
+            }
+            Prior::Lambda(lambda) => {
+                assert!(lambda > 0.0, "λ-continuum needs λ > 0, got {lambda}");
+                let a = counts.len() as f64;
+                let alpha = lambda / a;
+                let mut ln = ln_gamma(lambda) - ln_gamma(n as f64 + lambda);
+                for &c in counts {
+                    ln += ln_gamma(c as f64 + alpha) - ln_gamma(alpha);
+                }
+                LogWeight::from_ln(ln)
+            }
+        }
+    }
+
+    /// The rule of succession: the predictive probability that a fresh
+    /// element lands in atom `atom`, given `counts` observed elements.
+    ///
+    /// For [`Prior::PerPredicate`] the predictive factorizes over
+    /// predicates: `Π_P (m_P + 1)/(n + 2)` or its complement per bit. For
+    /// the Dirichlet families it is `(n_a + λ/A)/(n + λ)`.
+    ///
+    /// ```
+    /// use rw_propensity::Prior;
+    ///
+    /// // One predicate: atom 1 = P, atom 0 = ¬P. After 2 successes and
+    /// // 1 failure, Laplace predicts (2+1)/(3+2) = 0.6.
+    /// let counts = [1, 2];
+    /// assert!((Prior::PerPredicate.succession(&counts, 1, 1) - 0.6).abs() < 1e-12);
+    /// ```
+    pub fn succession(&self, counts: &[usize], preds: usize, atom: usize) -> f64 {
+        debug_assert_eq!(counts.len(), 1usize << preds);
+        let n: usize = counts.iter().sum();
+        match *self {
+            Prior::PerPredicate => {
+                let mut p = 1.0;
+                for b in 0..preds {
+                    let m: usize = counts
+                        .iter()
+                        .enumerate()
+                        .filter(|&(a, _)| a >> b & 1 == 1)
+                        .map(|(_, &c)| c)
+                        .sum();
+                    let yes = (m as f64 + 1.0) / (n as f64 + 2.0);
+                    p *= if atom >> b & 1 == 1 { yes } else { 1.0 - yes };
+                }
+                p
+            }
+            Prior::CarnapStar => {
+                let a = counts.len() as f64;
+                (counts[atom] as f64 + 1.0) / (n as f64 + a)
+            }
+            Prior::Lambda(lambda) => {
+                let a = counts.len() as f64;
+                (counts[atom] as f64 + lambda / a) / (n as f64 + lambda)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    /// Enumerate all `2^(preds·n)` worlds explicitly and sum `q` — every
+    /// prior must be a probability distribution over worlds.
+    fn total_mass(prior: Prior, preds: usize, n: usize) -> f64 {
+        let atoms = 1usize << preds;
+        let fact = FactTable::new(n + atoms + 1);
+        let mut total = 0.0;
+        let mut assignment = vec![0usize; n];
+        loop {
+            let mut counts = vec![0usize; atoms];
+            for &a in &assignment {
+                counts[a] += 1;
+            }
+            total += prior.log_weight(&counts, preds, &fact).ln().exp();
+            // Odometer over atom assignments.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return total;
+                }
+                assignment[i] += 1;
+                if assignment[i] < atoms {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn priors_are_normalized() {
+        for prior in [
+            Prior::PerPredicate,
+            Prior::CarnapStar,
+            Prior::Lambda(2.0),
+            Prior::Lambda(0.5),
+        ] {
+            for (preds, n) in [(1usize, 4usize), (2, 3)] {
+                let mass = total_mass(prior, preds, n);
+                assert!(
+                    (mass - 1.0).abs() < 1e-9,
+                    "{prior:?} over {preds} preds, N={n}: mass {mass}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn carnap_star_equals_lambda_a() {
+        let fact = FactTable::new(64);
+        let counts = [3usize, 1, 2, 0];
+        let star = Prior::CarnapStar.log_weight(&counts, 2, &fact).ln();
+        let lam = Prior::Lambda(4.0).log_weight(&counts, 2, &fact).ln();
+        assert!(close(star, lam), "{star} vs {lam}");
+    }
+
+    #[test]
+    fn per_predicate_equals_carnap_star_on_one_predicate() {
+        let fact = FactTable::new(64);
+        for counts in [[5usize, 3], [0, 7], [4, 4]] {
+            let a = Prior::PerPredicate.log_weight(&counts, 1, &fact).ln();
+            let b = Prior::CarnapStar.log_weight(&counts, 1, &fact).ln();
+            assert!(close(a, b), "{counts:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn large_lambda_approaches_uniform_iid() {
+        // λ → ∞ gives the i.i.d.-uniform world probability A^(-N).
+        let fact = FactTable::new(64);
+        let counts = [2usize, 1, 1, 0];
+        let q = Prior::Lambda(1e7).log_weight(&counts, 2, &fact).ln();
+        let uniform = -(4f64.ln()) * 4.0;
+        assert!((q - uniform).abs() < 1e-4, "{q} vs {uniform}");
+    }
+
+    #[test]
+    fn succession_laplace_rule() {
+        // One predicate, 2 successes + 1 failure: (k+1)/(n+2) = 3/5.
+        let counts = [1usize, 2]; // atom 1 = P true.
+        for prior in [Prior::PerPredicate, Prior::CarnapStar, Prior::Lambda(2.0)] {
+            assert!(
+                close(prior.succession(&counts, 1, 1), 0.6),
+                "{prior:?} succession"
+            );
+        }
+    }
+
+    #[test]
+    fn succession_matches_weight_ratio() {
+        // Pr(next = atom a | n⃗) = q(n⃗ + e_a) / q(n⃗), by definition of the
+        // predictive distribution.
+        let fact = FactTable::new(64);
+        let counts = [2usize, 3, 0, 1];
+        for prior in [Prior::PerPredicate, Prior::CarnapStar, Prior::Lambda(3.5)] {
+            for atom in 0..4 {
+                let mut bumped = counts;
+                bumped[atom] += 1;
+                let ratio = prior.log_weight(&bumped, 2, &fact).ln()
+                    - prior.log_weight(&counts, 2, &fact).ln();
+                let succ = prior.succession(&counts, 2, atom).ln();
+                assert!(
+                    (ratio - succ).abs() < 1e-9,
+                    "{prior:?} atom {atom}: {ratio} vs {succ}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn succession_sums_to_one() {
+        let counts = [2usize, 3, 0, 1];
+        for prior in [Prior::PerPredicate, Prior::CarnapStar, Prior::Lambda(0.7)] {
+            let total: f64 = (0..4).map(|a| prior.succession(&counts, 2, a)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "{prior:?}: {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "λ > 0")]
+    fn lambda_must_be_positive() {
+        let fact = FactTable::new(8);
+        let _ = Prior::Lambda(0.0).log_weight(&[1, 1], 1, &fact);
+    }
+}

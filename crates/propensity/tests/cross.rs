@@ -1,0 +1,91 @@
+//! Cross-engine property tests: the λ-continuum interpolates between
+//! Carnap's `m*` (λ = A) and random worlds (λ → ∞) on *randomly generated*
+//! unary knowledge bases, and exactness invariants hold under every prior.
+
+use proptest::prelude::*;
+use rw_logic::{KnowledgeBase, Tolerances};
+use rw_propensity::{Prior, PropensityEngine};
+use rw_util::Rat;
+
+/// A random small unary KB over predicates P, Q and constants C1, C2:
+/// a couple of proportion statements plus optional literals.
+fn arb_kb() -> impl Strategy<Value = String> {
+    let stat = (0..2usize, 1..10i32).prop_map(|(p, num)| {
+        let pred = if p == 0 { "P" } else { "Q" };
+        format!("||{pred}(x)||_x ~=_{} 0.{num}", p + 1)
+    });
+    let cond_stat = (1..10i32).prop_map(|num| format!("||P(x) | Q(x)||_x ~=_3 0.{num}"));
+    let lit = (0..2usize, any::<bool>(), 0..2usize).prop_map(|(p, pos, c)| {
+        let pred = if p == 0 { "P" } else { "Q" };
+        let neg = if pos { "" } else { "!" };
+        format!("{neg}{pred}(C{})", c + 1)
+    });
+    (stat, prop::option::of(cond_stat), prop::option::of(lit)).prop_map(
+        |(s, cs, l)| {
+            let mut parts = vec![s];
+            parts.extend(cs);
+            parts.extend(l);
+            parts.join("; ")
+        },
+    )
+}
+
+fn belief_at(prior: Option<Prior>, kb_src: &str, q_src: &str, n: usize) -> Option<f64> {
+    let mut kb = KnowledgeBase::parse(kb_src).unwrap();
+    let q = kb.parse_query(q_src).unwrap();
+    let tol = Tolerances::uniform(Rat::new(1, 6));
+    match prior {
+        None => rw_unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap(),
+        Some(p) => PropensityEngine::new(p)
+            .degree_of_belief_at(&kb, &q, n, &tol)
+            .unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lambda_limit_agrees_with_uniform_counting(kb in arb_kb()) {
+        let rw = belief_at(None, &kb, "P(C1)", 12);
+        let lam = belief_at(Some(Prior::Lambda(1e9)), &kb, "P(C1)", 12);
+        match (rw, lam) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-4, "{kb}: {a} vs {b}"),
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some(), "{}", kb),
+        }
+    }
+
+    #[test]
+    fn carnap_star_is_lambda_at_atom_count(kb in arb_kb()) {
+        // m* = Dirichlet(1,…,1) = the λ-continuum at λ = A, where A is the
+        // atom count of the KB's own vocabulary (the random KB may mention
+        // one predicate or two).
+        // Parse the query too: it may extend the vocabulary (e.g. a KB
+        // mentioning only Q gains P from the query).
+        let atoms = {
+            let mut parsed = KnowledgeBase::parse(&kb).unwrap();
+            parsed.parse_query("P(C1)").unwrap();
+            1usize << parsed.vocab().pred_count()
+        };
+        let star = belief_at(Some(Prior::CarnapStar), &kb, "P(C1)", 10);
+        let lam = belief_at(Some(Prior::Lambda(atoms as f64)), &kb, "P(C1)", 10);
+        match (star, lam) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{kb}: {a} vs {b}"),
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some(), "{}", kb),
+        }
+    }
+
+    #[test]
+    fn complement_law_under_random_kbs(kb in arb_kb()) {
+        for prior in [Prior::PerPredicate, Prior::CarnapStar, Prior::Lambda(2.5)] {
+            let pos = belief_at(Some(prior), &kb, "Q(C2)", 10);
+            let neg = belief_at(Some(prior), &kb, "!Q(C2)", 10);
+            match (pos, neg) {
+                (Some(a), Some(b)) => {
+                    prop_assert!((a + b - 1.0).abs() < 1e-9, "{kb} under {prior:?}: {a}+{b}")
+                }
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some(), "{}", kb),
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Temporal projection for random worlds (paper §7.1, \[BGHK94a\]).
+//!
+//! The paper's §7.1 observes that random worlds mishandles temporal
+//! knowledge "when used with the most straightforward representations",
+//! and that an appropriate causal representation repairs it. This crate
+//! packages both representations behind one scenario language so the claim
+//! is a switch, not a re-encoding:
+//!
+//! * describe a timeline with [`Scenario`] — fluents, deterministic
+//!   [`Action`]s with preconditions and effects, initial facts,
+//!   observations;
+//! * compile it with [`fn@compile`] under a [`Representation`]:
+//!   `NaiveShared`/`NaiveDistinct` (unconditional persistence defaults —
+//!   exhibits the Hanks–McDermott standoff) or `Causal` (persistence
+//!   conditioned on the acting precondition failing — the \[Hun89\] repair);
+//! * query with [`project`], which runs the full random-worlds engine.
+//!
+//! ```
+//! use rw_temporal::{project, Action, Literal, Representation, Scenario};
+//!
+//! let mut s = Scenario::new();
+//! let loaded = s.fluent("L");
+//! let alive = s.fluent("A");
+//! s.initially(Literal::pos(loaded.clone()));
+//! s.initially(Literal::pos(alive.clone()));
+//! s.then(Action::new("shoot")
+//!     .requires(Literal::pos(loaded))
+//!     .causes(Literal::neg(alive.clone())));
+//!
+//! // Under the causal representation, Fred is believed dead at time 1.
+//! let result = project(&s, Representation::Causal, &alive, 1).unwrap();
+//! assert!(result.belief.is_zero());
+//! ```
+//!
+//! The full two-step Yale Shooting Problem — waiting first, which creates
+//! the persistence standoff under the naive representations — is exercised
+//! in `tests/temporal.rs` and `examples/yale_shooting.rs`.
+
+pub mod compile;
+pub mod scenario;
+
+pub use compile::{compile, compile_source, project, project_with, Representation};
+pub use scenario::{Action, Effect, Fluent, Literal, Scenario};

@@ -1,0 +1,288 @@
+//! Scenario descriptions: fluents, deterministic actions, a timeline.
+//!
+//! Domain elements are *scenarios* (possible runs of the world), following
+//! the paper's §7.1 and \[BGHK94a\]: a fluent `F` at time `t` becomes the
+//! unary predicate `F{t}` over scenarios, so statistical statements range
+//! over runs and degrees of belief are probabilities of run properties.
+
+use std::fmt;
+
+/// A propositional fluent (time-indexed when compiled).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Fluent(pub String);
+
+impl Fluent {
+    /// A fluent with the given name (alphanumeric, starting uppercase, so
+    /// that `Name{t}` is a valid predicate identifier).
+    pub fn new(name: &str) -> Fluent {
+        assert!(
+            !name.is_empty()
+                && name.chars().next().unwrap().is_ascii_uppercase()
+                && name.chars().all(|c| c.is_ascii_alphanumeric()),
+            "fluent names must be alphanumeric and start uppercase: `{name}`"
+        );
+        Fluent(name.to_string())
+    }
+
+    /// The predicate name for this fluent at time `t`.
+    pub fn at(&self, t: usize) -> String {
+        format!("{}{t}", self.0)
+    }
+}
+
+impl fmt::Display for Fluent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A literal: a fluent or its negation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// The fluent named by the literal.
+    pub fluent: Fluent,
+    /// `true` = the fluent itself; `false` = its negation.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal for a fluent.
+    pub fn pos(fluent: Fluent) -> Literal {
+        Literal {
+            fluent,
+            positive: true,
+        }
+    }
+
+    /// The negated literal for a fluent.
+    pub fn neg(fluent: Fluent) -> Literal {
+        Literal {
+            fluent,
+            positive: false,
+        }
+    }
+
+    /// Renders the literal at time `t` as `L≈` source (`x` free).
+    pub fn render(&self, t: usize) -> String {
+        let atom = format!("{}(x)", self.fluent.at(t));
+        if self.positive {
+            atom
+        } else {
+            format!("!{atom}")
+        }
+    }
+}
+
+/// One effect of an action: a literal made true in the next state, either
+/// deterministically or with a stated success frequency — the statistical
+/// language makes "shooting kills 70% of the time" a first-class effect,
+/// which no purely qualitative default encoding can express.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Effect {
+    /// The literal made true in the next state.
+    pub literal: Literal,
+    /// `None` = deterministic (a hard axiom); `Some(p)` = the effect
+    /// succeeds in `p`% of scenarios where the action fires (a proportion
+    /// statement).
+    pub percent: Option<u32>,
+}
+
+/// An action: when executed in a state satisfying all `preconditions`, it
+/// produces its `effects` in the next state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Action {
+    /// Display name (used in validation messages only).
+    pub name: String,
+    /// All must hold in the current state for the effects to fire.
+    pub preconditions: Vec<Literal>,
+    /// What the action brings about in the next state.
+    pub effects: Vec<Effect>,
+}
+
+impl Action {
+    /// An action with no preconditions or effects yet.
+    pub fn new(name: &str) -> Action {
+        Action {
+            name: name.to_string(),
+            preconditions: Vec::new(),
+            effects: Vec::new(),
+        }
+    }
+
+    /// Adds a precondition literal.
+    pub fn requires(mut self, lit: Literal) -> Action {
+        self.preconditions.push(lit);
+        self
+    }
+
+    /// A deterministic effect.
+    pub fn causes(mut self, lit: Literal) -> Action {
+        self.effects.push(Effect {
+            literal: lit,
+            percent: None,
+        });
+        self
+    }
+
+    /// A statistical effect: the literal holds afterwards in `percent`% of
+    /// the scenarios where the action fires.
+    pub fn causes_with_chance(mut self, lit: Literal, percent: u32) -> Action {
+        assert!(percent <= 100, "chance must be 0..=100, got {percent}");
+        self.effects.push(Effect {
+            literal: lit,
+            percent: Some(percent),
+        });
+        self
+    }
+
+    /// Does the action (possibly) change this fluent?
+    pub fn affects(&self, fluent: &Fluent) -> bool {
+        self.effects.iter().any(|e| &e.literal.fluent == fluent)
+    }
+}
+
+/// A timeline: which fluents exist, what happens at each step, what is
+/// known initially, and what has been observed.
+#[derive(Clone, Debug, Default)]
+pub struct Scenario {
+    /// All declared fluents (each becomes `horizon + 1` predicates).
+    pub fluents: Vec<Fluent>,
+    /// `steps[t]` is the action executed between time `t` and `t + 1`
+    /// (`None` = pure waiting).
+    pub steps: Vec<Option<Action>>,
+    /// Known literals at time 0 (about the scenario constant).
+    pub init: Vec<Literal>,
+    /// Observed literals at arbitrary times.
+    pub observations: Vec<(usize, Literal)>,
+}
+
+impl Scenario {
+    /// An empty timeline.
+    pub fn new() -> Scenario {
+        Scenario::default()
+    }
+
+    /// Declares a fluent and returns its handle.
+    pub fn fluent(&mut self, name: &str) -> Fluent {
+        let f = Fluent::new(name);
+        assert!(
+            !self.fluents.contains(&f),
+            "fluent `{name}` declared twice"
+        );
+        self.fluents.push(f.clone());
+        f
+    }
+
+    /// Appends a step executing `action` (validating its fluents).
+    pub fn then(&mut self, action: Action) -> &mut Self {
+        let mentioned = action
+            .preconditions
+            .iter()
+            .chain(action.effects.iter().map(|e| &e.literal));
+        for l in mentioned {
+            assert!(
+                self.fluents.contains(&l.fluent),
+                "action `{}` mentions undeclared fluent `{}`",
+                action.name,
+                l.fluent
+            );
+        }
+        self.steps.push(Some(action));
+        self
+    }
+
+    /// Appends a pure waiting step.
+    pub fn wait(&mut self) -> &mut Self {
+        self.steps.push(None);
+        self
+    }
+
+    /// Records a known literal at time 0.
+    pub fn initially(&mut self, lit: Literal) -> &mut Self {
+        assert!(self.fluents.contains(&lit.fluent));
+        self.init.push(lit);
+        self
+    }
+
+    /// Records an observed literal at time `t ≤ horizon`.
+    pub fn observe(&mut self, t: usize, lit: Literal) -> &mut Self {
+        assert!(t <= self.steps.len(), "observation beyond the horizon");
+        assert!(self.fluents.contains(&lit.fluent));
+        self.observations.push((t, lit));
+        self
+    }
+
+    /// The last time index (number of steps).
+    pub fn horizon(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_time_indexing() {
+        let f = Fluent::new("Loaded");
+        assert_eq!(f.at(0), "Loaded0");
+        assert_eq!(f.at(2), "Loaded2");
+    }
+
+    #[test]
+    #[should_panic(expected = "start uppercase")]
+    fn fluent_names_validated() {
+        let _ = Fluent::new("loaded");
+    }
+
+    #[test]
+    fn literal_rendering() {
+        let f = Fluent::new("Alive");
+        assert_eq!(Literal::pos(f.clone()).render(1), "Alive1(x)");
+        assert_eq!(Literal::neg(f).render(2), "!Alive2(x)");
+    }
+
+    #[test]
+    fn action_affects() {
+        let loaded = Fluent::new("Loaded");
+        let alive = Fluent::new("Alive");
+        let shoot = Action::new("shoot")
+            .requires(Literal::pos(loaded.clone()))
+            .causes(Literal::neg(alive.clone()));
+        assert!(shoot.affects(&alive));
+        assert!(!shoot.affects(&loaded));
+    }
+
+    #[test]
+    fn scenario_builder_and_horizon() {
+        let mut s = Scenario::new();
+        let l = s.fluent("Loaded");
+        let a = s.fluent("Alive");
+        s.initially(Literal::pos(l.clone()));
+        s.initially(Literal::pos(a.clone()));
+        s.wait();
+        s.then(
+            Action::new("shoot")
+                .requires(Literal::pos(l))
+                .causes(Literal::neg(a)),
+        );
+        assert_eq!(s.horizon(), 2);
+        assert_eq!(s.init.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared fluent")]
+    fn undeclared_fluents_rejected() {
+        let mut s = Scenario::new();
+        let ghost = Fluent::new("Ghost");
+        s.then(Action::new("spook").causes(Literal::pos(ghost)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the horizon")]
+    fn observations_bounded_by_horizon() {
+        let mut s = Scenario::new();
+        let f = s.fluent("F");
+        s.observe(1, Literal::pos(f));
+    }
+}

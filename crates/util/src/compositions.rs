@@ -1,0 +1,152 @@
+//! Iterator over weak compositions: all ways to write `n` as an ordered sum
+//! of `parts` non-negative integers.
+//!
+//! The unary engine enumerates atom-count profiles `(n₁..n_A)` with
+//! `Σ n_a = N`; this iterator visits them in lexicographic order, reusing a
+//! single buffer (callers receive `&[usize]` and must copy if they need to
+//! keep a profile).
+
+/// Lexicographic iterator over weak compositions of `n` into `parts` parts.
+///
+/// ```
+/// use rw_util::Compositions;
+/// let mut seen = Vec::new();
+/// let mut it = Compositions::new(2, 2);
+/// while let Some(c) = it.next() {
+///     seen.push(c.to_vec());
+/// }
+/// assert_eq!(seen, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Compositions {
+    buf: Vec<usize>,
+    n: usize,
+    started: bool,
+    done: bool,
+}
+
+impl Compositions {
+    pub fn new(n: usize, parts: usize) -> Compositions {
+        Compositions {
+            buf: vec![0; parts],
+            n,
+            started: false,
+            done: parts == 0 && n > 0,
+        }
+    }
+
+    /// Advances to the next composition, returning a view of it.
+    ///
+    /// This is a lending iterator (the standard `Iterator` trait cannot
+    /// express the borrow), hence the inherent `next` method.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.buf.is_empty() {
+                // Exactly one empty composition of 0.
+                self.done = true;
+                return Some(&self.buf);
+            }
+            let last = self.buf.len() - 1;
+            self.buf[last] = self.n;
+            return Some(&self.buf);
+        }
+        // Lexicographic successor: locate the rightmost positive entry `i`.
+        // If i == 0 the weight is all the way left and we are done; otherwise
+        // move one unit from `i` to `i-1` and flush the remainder of `i` to
+        // the last slot (the invariant keeps everything right of the pivot in
+        // the final position, so no other entries need clearing).
+        let len = self.buf.len();
+        if len == 1 {
+            self.done = true;
+            return None;
+        }
+        let mut i = len - 1;
+        while i > 0 && self.buf[i] == 0 {
+            i -= 1;
+        }
+        if i == 0 {
+            self.done = true;
+            return None;
+        }
+        self.buf[i - 1] += 1;
+        let rest = self.buf[i] - 1;
+        self.buf[i] = 0;
+        self.buf[len - 1] += rest;
+        Some(&self.buf)
+    }
+
+    /// Collects all compositions (for tests and small cases).
+    pub fn collect_all(n: usize, parts: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut it = Compositions::new(n, parts);
+        while let Some(c) = it.next() {
+            out.push(c.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comb::weak_compositions_count;
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(Compositions::collect_all(0, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(Compositions::collect_all(3, 1), vec![vec![3]]);
+        assert_eq!(
+            Compositions::collect_all(2, 2),
+            vec![vec![0, 2], vec![1, 1], vec![2, 0]]
+        );
+        assert_eq!(
+            Compositions::collect_all(2, 3),
+            vec![
+                vec![0, 0, 2],
+                vec![0, 1, 1],
+                vec![0, 2, 0],
+                vec![1, 0, 1],
+                vec![1, 1, 0],
+                vec![2, 0, 0],
+            ]
+        );
+    }
+
+    #[test]
+    fn counts_match_closed_form() {
+        for n in 0..7usize {
+            for parts in 1..5usize {
+                let got = Compositions::collect_all(n, parts).len() as u128;
+                assert_eq!(
+                    got,
+                    weak_compositions_count(n as u64, parts as u64),
+                    "n={n} parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_sum_to_n_and_unique() {
+        let all = Compositions::collect_all(6, 4);
+        for c in &all {
+            assert_eq!(c.iter().sum::<usize>(), 6);
+        }
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+        // Lexicographic order.
+        assert_eq!(sorted, all);
+    }
+
+    #[test]
+    fn zero_into_many_parts() {
+        assert_eq!(Compositions::collect_all(0, 3), vec![vec![0, 0, 0]]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Non-negative real numbers stored in the log domain.
+//!
+//! The number of worlds of size `N` over a vocabulary with a single binary
+//! predicate is `2^(N²)`; even atom-class weights `multinomial(N; n₁..n_A)`
+//! overflow `u128` around `N ≈ 130`. Aggregated world counts therefore live
+//! here: a [`LogWeight`] stores `ln(w)` and supports the two operations the
+//! counting engines need, product (`+` of logs) and sum (log-sum-exp, always
+//! anchored at the larger operand so precision loss is one ulp-scale event
+//! per addition).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign};
+
+/// A non-negative real number `w`, stored as `ln(w)` (`-inf` encodes zero).
+#[derive(Clone, Copy, PartialEq)]
+pub struct LogWeight {
+    ln: f64,
+}
+
+impl LogWeight {
+    pub const ZERO: LogWeight = LogWeight { ln: f64::NEG_INFINITY };
+    pub const ONE: LogWeight = LogWeight { ln: 0.0 };
+
+    /// Builds a weight directly from its natural logarithm.
+    pub fn from_ln(ln: f64) -> LogWeight {
+        LogWeight { ln }
+    }
+
+    /// Builds a weight from a plain non-negative value.
+    pub fn from_value(v: f64) -> LogWeight {
+        assert!(v >= 0.0, "LogWeight must be non-negative, got {v}");
+        LogWeight { ln: v.ln() }
+    }
+
+    pub fn ln(&self) -> f64 {
+        self.ln
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.ln == f64::NEG_INFINITY
+    }
+
+    /// Returns `self / other` as an ordinary `f64`.
+    ///
+    /// This is how a degree of belief `#worlds(φ∧KB) / #worlds(KB)` leaves the
+    /// log domain; the difference of logs is small even when both counts are
+    /// astronomically large.
+    pub fn ratio(&self, other: LogWeight) -> f64 {
+        if other.is_zero() {
+            return f64::NAN;
+        }
+        if self.is_zero() {
+            return 0.0;
+        }
+        (self.ln - other.ln).exp()
+    }
+}
+
+impl Add for LogWeight {
+    type Output = LogWeight;
+    fn add(self, rhs: LogWeight) -> LogWeight {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        let (hi, lo) = if self.ln >= rhs.ln {
+            (self.ln, rhs.ln)
+        } else {
+            (rhs.ln, self.ln)
+        };
+        LogWeight {
+            ln: hi + (lo - hi).exp().ln_1p(),
+        }
+    }
+}
+
+impl AddAssign for LogWeight {
+    fn add_assign(&mut self, rhs: LogWeight) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul for LogWeight {
+    type Output = LogWeight;
+    fn mul(self, rhs: LogWeight) -> LogWeight {
+        if self.is_zero() || rhs.is_zero() {
+            return LogWeight::ZERO;
+        }
+        LogWeight { ln: self.ln + rhs.ln }
+    }
+}
+
+impl MulAssign for LogWeight {
+    fn mul_assign(&mut self, rhs: LogWeight) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for LogWeight {
+    type Output = LogWeight;
+    fn div(self, rhs: LogWeight) -> LogWeight {
+        assert!(!rhs.is_zero(), "LogWeight division by zero");
+        if self.is_zero() {
+            return LogWeight::ZERO;
+        }
+        LogWeight { ln: self.ln - rhs.ln }
+    }
+}
+
+impl Sum for LogWeight {
+    fn sum<I: Iterator<Item = LogWeight>>(iter: I) -> LogWeight {
+        iter.fold(LogWeight::ZERO, |acc, w| acc + w)
+    }
+}
+
+impl PartialOrd for LogWeight {
+    fn partial_cmp(&self, other: &LogWeight) -> Option<Ordering> {
+        self.ln.partial_cmp(&other.ln)
+    }
+}
+
+impl fmt::Debug for LogWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "LogWeight(0)")
+        } else {
+            write!(f, "LogWeight(e^{:.6})", self.ln)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn add_matches_linear_domain() {
+        let a = LogWeight::from_value(3.5);
+        let b = LogWeight::from_value(0.25);
+        assert!(close((a + b).ln(), 3.75f64.ln()));
+    }
+
+    #[test]
+    fn zero_is_identity_for_add() {
+        let a = LogWeight::from_value(7.0);
+        assert!(close((a + LogWeight::ZERO).ln(), a.ln()));
+        assert!(close((LogWeight::ZERO + a).ln(), a.ln()));
+        assert!((LogWeight::ZERO + LogWeight::ZERO).is_zero());
+    }
+
+    #[test]
+    fn mul_and_div() {
+        let a = LogWeight::from_value(6.0);
+        let b = LogWeight::from_value(1.5);
+        assert!(close((a * b).ln(), 9.0f64.ln()));
+        assert!(close((a / b).ln(), 4.0f64.ln()));
+        assert!((a * LogWeight::ZERO).is_zero());
+    }
+
+    #[test]
+    fn ratio_of_huge_counts() {
+        // 2^(10_000) vs 2^(10_001): the ratio is exactly 1/2 even though both
+        // counts are far beyond f64 range in the linear domain.
+        let big = LogWeight::from_ln(10_000.0 * std::f64::consts::LN_2);
+        let bigger = LogWeight::from_ln(10_001.0 * std::f64::consts::LN_2);
+        assert!(close(big.ratio(bigger), 0.5));
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert!(LogWeight::ONE.ratio(LogWeight::ZERO).is_nan());
+        assert_eq!(LogWeight::ZERO.ratio(LogWeight::ONE), 0.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: LogWeight = (1..=4).map(|i| LogWeight::from_value(i as f64)).sum();
+        assert!(close(total.ln(), 10.0f64.ln()));
+    }
+}

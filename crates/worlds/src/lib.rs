@@ -1,0 +1,24 @@
+//! Finite possible worlds: explicit first-order models over `{1..N}` and a
+//! complete model checker for `L≈`.
+//!
+//! This crate is the *semantic ground truth* of the workspace. The paper
+//! defines `Pr_N^τ(φ|KB)` as the fraction of the worlds in `W_N(Φ)` (all
+//! interpretations of the vocabulary over a domain of size `N`) that satisfy
+//! `KB` which also satisfy `φ`. Everything else — the unary atom engine, the
+//! maximum-entropy engine, the theorem engine — is an asymptotically faster
+//! route to the same number, and each is cross-validated against the
+//! enumeration implemented here on small instances.
+//!
+//! The number of worlds grows doubly exponentially (one binary predicate
+//! alone contributes `2^(N²)`), so enumeration is only feasible for tiny
+//! `N`; [`enumerate::count_interpretations`] reports the cost up front and
+//! [`sample`] provides uniform Monte-Carlo estimates beyond it.
+
+pub mod enumerate;
+pub mod eval;
+pub mod sample;
+pub mod world;
+
+pub use enumerate::{count_interpretations, count_worlds, degree_of_belief_at, for_each_world};
+pub use eval::{evaluate, evaluate_closed, PropValue};
+pub use world::World;

@@ -1,0 +1,210 @@
+//! Explicit finite first-order models.
+//!
+//! A [`World`] interprets every symbol of a vocabulary over the domain
+//! `{0..N-1}` (the paper uses `{1..N}`; the shift is immaterial):
+//! predicates as bitsets over `N^arity` tuples, functions as dense tables,
+//! constants as single elements.
+
+use rw_logic::{PredId, Vocabulary};
+
+/// A relation of a fixed arity stored as a bitset over row-major tuples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitRel {
+    arity: usize,
+    n: usize,
+    size: usize,
+    bits: Vec<u64>,
+}
+
+impl BitRel {
+    pub fn new(arity: usize, n: usize) -> BitRel {
+        let size = n.checked_pow(arity as u32).expect("relation too large");
+        BitRel {
+            arity,
+            n,
+            size,
+            bits: vec![0; size.div_ceil(64)],
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuple slots (`n^arity`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn index(&self, tuple: &[usize]) -> usize {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let mut idx = 0usize;
+        for &t in tuple {
+            debug_assert!(t < self.n);
+            idx = idx * self.n + t;
+        }
+        idx
+    }
+
+    pub fn contains(&self, tuple: &[usize]) -> bool {
+        self.get_raw(self.index(tuple))
+    }
+
+    pub fn set(&mut self, tuple: &[usize], value: bool) {
+        let idx = self.index(tuple);
+        self.set_raw(idx, value);
+    }
+
+    pub fn get_raw(&self, idx: usize) -> bool {
+        (self.bits[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    pub fn set_raw(&mut self, idx: usize, value: bool) {
+        if value {
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.bits[idx / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Number of tuples in the relation.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+/// A finite first-order model over `{0..N-1}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct World {
+    n: usize,
+    rels: Vec<BitRel>,
+    funcs: Vec<Vec<usize>>, // per function: table indexed row-major, value = element
+    consts: Vec<usize>,     // per constant: element
+}
+
+impl World {
+    /// The world over `{0..n-1}` with empty relations, constant-0 functions
+    /// and all constants denoting element 0.
+    pub fn empty(vocab: &Vocabulary, n: usize) -> World {
+        assert!(n > 0, "domain must be nonempty");
+        let rels = vocab
+            .preds()
+            .map(|p| BitRel::new(vocab.pred_arity(p), n))
+            .collect();
+        let funcs = vocab
+            .funcs()
+            .map(|f| {
+                let size = n
+                    .checked_pow(vocab.func_arity(f) as u32)
+                    .expect("function table too large");
+                vec![0usize; size]
+            })
+            .collect();
+        let consts = vec![0usize; vocab.const_count()];
+        World {
+            n,
+            rels,
+            funcs,
+            consts,
+        }
+    }
+
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    pub fn rel(&self, p: PredId) -> &BitRel {
+        &self.rels[p.index()]
+    }
+
+    pub fn rel_mut(&mut self, p: PredId) -> &mut BitRel {
+        &mut self.rels[p.index()]
+    }
+
+    pub fn func_table(&self, f: usize) -> &[usize] {
+        &self.funcs[f]
+    }
+
+    pub fn func_table_mut(&mut self, f: usize) -> &mut Vec<usize> {
+        &mut self.funcs[f]
+    }
+
+    /// Applies function `f` (by index) to a tuple of elements.
+    pub fn apply_func(&self, f: usize, args: &[usize]) -> usize {
+        let mut idx = 0usize;
+        for &a in args {
+            idx = idx * self.n + a;
+        }
+        self.funcs[f][idx]
+    }
+
+    pub fn const_denotation(&self, c: usize) -> usize {
+        self.consts[c]
+    }
+
+    pub fn set_const(&mut self, c: usize, elem: usize) {
+        assert!(elem < self.n);
+        self.consts[c] = elem;
+    }
+
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    pub fn pred_count(&self) -> usize {
+        self.rels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrel_indexing_roundtrip() {
+        let mut r = BitRel::new(2, 3);
+        assert_eq!(r.size(), 9);
+        r.set(&[1, 2], true);
+        r.set(&[2, 0], true);
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[2, 0]));
+        assert!(!r.contains(&[2, 1]));
+        assert_eq!(r.count(), 2);
+        r.set(&[1, 2], false);
+        assert_eq!(r.count(), 1);
+    }
+
+    #[test]
+    fn bitrel_large_indices_cross_word_boundaries() {
+        let mut r = BitRel::new(2, 9); // 81 slots: spans two u64 words
+        for i in 0..9 {
+            r.set(&[i, i], true);
+        }
+        assert_eq!(r.count(), 9);
+        assert!(r.contains(&[8, 8]));
+        assert!(!r.contains(&[8, 7]));
+    }
+
+    #[test]
+    fn world_construction() {
+        let mut v = Vocabulary::new();
+        let bird = v.pred("Bird", 1).unwrap();
+        v.func("Next", 1).unwrap();
+        v.constant("Tweety").unwrap();
+        let mut w = World::empty(&v, 4);
+        assert_eq!(w.domain_size(), 4);
+        w.rel_mut(bird).set(&[2], true);
+        assert!(w.rel(bird).contains(&[2]));
+        w.set_const(0, 3);
+        assert_eq!(w.const_denotation(0), 3);
+        assert_eq!(w.apply_func(0, &[1]), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's §3 benchmark problems run through the *classical*
+//! nonmonotonic systems — Reiter's default logic, circumscription, and
+//! lexicographic entailment — side by side with random worlds, reproducing
+//! each system's documented failure mode:
+//!
+//! * Nixon diamond: Reiter splits into two extensions (no answer);
+//! * Poole's broken arm (Example 5.4): Reiter's unique extension claims
+//!   BOTH arms usable because default logic fails the Or rule;
+//! * specificity: the naive normal encoding loses it, the RC81 semi-normal
+//!   guard recovers it (at the cost of modularity);
+//! * the lottery: circumscription never concludes any individual loses;
+//! * drowning: System Z blocks unrelated inheritance, lexicographic
+//!   entailment and random worlds do not.
+//!
+//! ```sh
+//! cargo run --example classical_comparators
+//! ```
+
+use random_worlds::defaults::{
+    circ_entails, extensions, lex_entails, minimal_models, skeptical, CircPolicy, Default,
+    DefaultTheory,
+};
+use random_worlds::epsilon::prop::VarTable;
+use random_worlds::epsilon::{z_entails, DefaultRule};
+use random_worlds::prelude::*;
+
+fn nixon() {
+    println!("── Nixon diamond ──");
+    let mut vt = VarTable::new();
+    let mut t = DefaultTheory::new();
+    t.fact_str(&mut vt, "quaker & republican").unwrap();
+    t.normal_str(&mut vt, "quaker", "pacifist").unwrap();
+    t.normal_str(&mut vt, "republican", "!pacifist").unwrap();
+    let exts = extensions(&t, vt.len());
+    println!("  Reiter: {} extensions → no skeptical answer", exts.len());
+    assert_eq!(exts.len(), 2);
+
+    let kb = KnowledgeBase::parse(
+        "||Pacifist(x) | Quaker(x)||_x ~=_1 0.9; \
+         ||Pacifist(x) | Republican(x)||_x ~=_2 0.1; \
+         Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+    )
+    .unwrap();
+    let rw = RandomWorlds::new().degree_of_belief(&kb, "Pacifist(Nixon)").unwrap();
+    println!("  random worlds (0.9 vs 0.1): {rw}");
+}
+
+fn broken_arm() {
+    println!("\n── Poole's broken arm (Example 5.4) ──");
+    let mut vt = VarTable::new();
+    let mut t = DefaultTheory::new();
+    t.fact_str(&mut vt, "lb or rb").unwrap();
+    t.normal_str(&mut vt, "true", "lu").unwrap();
+    t.normal_str(&mut vt, "true", "ru").unwrap();
+    t.normal_str(&mut vt, "lb", "!lu").unwrap();
+    t.normal_str(&mut vt, "rb", "!ru").unwrap();
+    let both = vt.parse("lu & ru").unwrap();
+    let exts = extensions(&t, vt.len());
+    println!(
+        "  Reiter: {} extension(s); both arms usable? {}",
+        exts.len(),
+        skeptical(&t, vt.len(), &both)
+    );
+    assert!(skeptical(&t, vt.len(), &both), "the anomaly the paper cites");
+
+    // Random worlds: the Or/And rules give `exactly one arm usable`.
+    let kb = KnowledgeBase::parse(
+        "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; \
+         ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; \
+         LeftBroken(Eric) or RightBroken(Eric)",
+    )
+    .unwrap();
+    let engine = RandomWorlds::new();
+    let one_usable = engine
+        .follows_by_default(
+            &kb,
+            "(LeftUsable(Eric) or RightUsable(Eric)) & \
+             !(LeftUsable(Eric) & RightUsable(Eric))",
+        )
+        .unwrap();
+    println!("  random worlds: exactly one arm usable? {one_usable}");
+    assert!(one_usable);
+}
+
+fn specificity_encodings() {
+    println!("\n── Specificity under Reiter encodings ──");
+    let mut vt = VarTable::new();
+    let mut naive = DefaultTheory::new();
+    naive.fact_str(&mut vt, "penguin").unwrap();
+    naive.fact_str(&mut vt, "penguin => bird").unwrap();
+    naive.normal_str(&mut vt, "bird", "fly").unwrap();
+    naive.normal_str(&mut vt, "penguin", "!fly").unwrap();
+    let no_fly = vt.parse("!fly").unwrap();
+    println!(
+        "  naive normal encoding: {} extensions, ¬fly skeptical? {}",
+        extensions(&naive, vt.len()).len(),
+        skeptical(&naive, vt.len(), &no_fly)
+    );
+
+    let mut guarded = DefaultTheory::new();
+    guarded.fact_str(&mut vt, "penguin").unwrap();
+    guarded.fact_str(&mut vt, "penguin => bird").unwrap();
+    guarded.default_rule(Default::semi_normal(
+        vt.parse("bird").unwrap(),
+        vt.parse("fly").unwrap(),
+        vt.parse("!penguin").unwrap(),
+    ));
+    guarded.normal_str(&mut vt, "penguin", "!fly").unwrap();
+    println!(
+        "  RC81 semi-normal guard:  {} extension,  ¬fly skeptical? {}",
+        extensions(&guarded, vt.len()).len(),
+        skeptical(&guarded, vt.len(), &no_fly)
+    );
+    assert!(!skeptical(&naive, vt.len(), &no_fly));
+    assert!(skeptical(&guarded, vt.len(), &no_fly));
+}
+
+fn lottery() {
+    println!("\n── Lottery paradox under circumscription (§3.5) ──");
+    let mut vt = VarTable::new();
+    let t = vt
+        .parse(
+            "(w1 or w2 or w3) & (w1 => !w2 & !w3) & (w2 => !w1 & !w3) & (w3 => !w1 & !w2)",
+        )
+        .unwrap();
+    let policy = CircPolicy::minimize(vec![0, 1, 2]);
+    let minimal = minimal_models(&t, &policy, vt.len());
+    let not_w1 = vt.parse("!w1").unwrap();
+    let someone = vt.parse("w1 or w2 or w3").unwrap();
+    println!(
+        "  {} minimal models; ¬Winner(1) entailed? {}; someone wins? {}",
+        minimal.len(),
+        circ_entails(&t, &policy, vt.len(), &not_w1),
+        circ_entails(&t, &policy, vt.len(), &someone)
+    );
+
+    // Random worlds instead grades the belief: Pr(Winner(c)) = 1/N.
+    let kb = KnowledgeBase::parse(
+        "exists! x (Winner(x)); forall x (Winner(x) => Ticket(x)); \
+         forall x (Ticket(x)); Ticket(C)",
+    )
+    .unwrap();
+    let rw = RandomWorlds::new().degree_of_belief(&kb, "Winner(C)");
+    println!("  random worlds, N unknown: Pr(Winner(C)) = {}", rw.unwrap());
+}
+
+fn drowning() {
+    println!("\n── Drowning problem: Z vs lexicographic vs random worlds ──");
+    let mut vt = VarTable::new();
+    let rules = vec![
+        DefaultRule::new(vt.parse("bird").unwrap(), vt.parse("fly").unwrap()),
+        DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("!fly").unwrap()),
+        DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("bird").unwrap()),
+        DefaultRule::new(vt.parse("yellow").unwrap(), vt.parse("see").unwrap()),
+    ];
+    let yp = vt.parse("yellow & penguin").unwrap();
+    let see = vt.parse("see").unwrap();
+    println!("  System Z:      {:?}  (drowns)", z_entails(&rules, &yp, &see));
+    println!("  lexicographic: {:?}", lex_entails(&rules, &yp, &see));
+
+    let kb = KnowledgeBase::parse(
+        "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+         forall x (Penguin(x) => Bird(x)); Yellow(x) ->_3 EasyToSee(x); \
+         Penguin(Tweety); Yellow(Tweety)",
+    )
+    .unwrap();
+    let rw = RandomWorlds::new().degree_of_belief(&kb, "EasyToSee(Tweety)").unwrap();
+    println!("  random worlds: {rw}");
+    assert_eq!(z_entails(&rules, &yp, &see), Some(false));
+    assert_eq!(lex_entails(&rules, &yp, &see), Some(true));
+    assert!(rw.belief.is_one());
+}
+
+fn main() {
+    nixon();
+    broken_arm();
+    specificity_encodings();
+    lottery();
+    drowning();
+    println!("\nAll classical-comparator checks passed.");
+}

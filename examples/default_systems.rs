@@ -1,0 +1,94 @@
+//! Comparing default-reasoning systems (paper §3, §6): System P
+//! (ε-semantics), System Z, GMP90's maximum-entropy plausibility (via the
+//! Theorem 6.1 embedding), and full random worlds — on the benchmark
+//! problems the paper uses to position them.
+//!
+//! ```sh
+//! cargo run --example default_systems
+//! ```
+
+use random_worlds::epsilon::prop::VarTable;
+use random_worlds::epsilon::{me_plausible, p_entails, z_entails, DefaultRule};
+use random_worlds::prelude::*;
+
+fn main() {
+    let mut vt = VarTable::new();
+    let mut rules = vec![
+        DefaultRule::new(vt.parse("bird").unwrap(), vt.parse("fly").unwrap()),
+        DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("!fly").unwrap()),
+        DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("bird").unwrap()),
+        DefaultRule::new(vt.parse("bird").unwrap(), vt.parse("warm").unwrap()),
+    ];
+
+    let penguin = vt.parse("penguin").unwrap();
+    let no_fly = vt.parse("!fly").unwrap();
+    let warm = vt.parse("warm").unwrap();
+
+    println!("query: penguin → ¬fly (specificity)");
+    println!("  System P:     {}", p_entails(&rules, &penguin, &no_fly));
+    println!("  System Z:     {:?}", z_entails(&rules, &penguin, &no_fly));
+    println!(
+        "  ME-plausible: {:?}",
+        me_plausible(&rules, &vt, &penguin, &no_fly)
+    );
+
+    println!("\nquery: penguin → warm-blooded (exceptional-subclass inheritance)");
+    let p = p_entails(&rules, &penguin, &warm);
+    let z = z_entails(&rules, &penguin, &warm);
+    let me = me_plausible(&rules, &vt, &penguin, &warm);
+    println!("  System P:     {p}   (too weak: no inheritance at all)");
+    println!("  System Z:     {z:?}   (the drowning problem, §3.3)");
+    println!("  ME-plausible: {me:?}   (inherits — Thm 6.1 = unary random worlds)");
+    assert!(!p);
+    assert_eq!(z, Some(false));
+    assert!(me.unwrap());
+
+    // The drowning problem proper: yellow things are easy to see.
+    rules.push(DefaultRule::new(
+        vt.parse("yellow").unwrap(),
+        vt.parse("see").unwrap(),
+    ));
+    let yellow_penguin = vt.parse("penguin & yellow").unwrap();
+    let see = vt.parse("see").unwrap();
+    println!("\nquery: yellow penguin → easy-to-see (drowning problem)");
+    println!(
+        "  System Z:     {:?}",
+        z_entails(&rules, &yellow_penguin, &see)
+    );
+    println!(
+        "  ME-plausible: {:?}",
+        me_plausible(&rules, &vt, &yellow_penguin, &see)
+    );
+
+    // Full random worlds is not limited to propositional rules: the
+    // elephant–zookeeper example (paper §3.4/Example 4.4) needs an open
+    // default over *pairs*, which no propositional system can express.
+    println!("\nelephant–zookeeper (first-order defaults, Example 5.12):");
+    let kb = KnowledgeBase::parse(
+        "||Likes(x, y) | Elephant(x) & Zookeeper(y)||_{x,y} ~=_1 1; \
+         ||Likes(x, Fred) | Elephant(x)||_x ~=_2 0; \
+         Zookeeper(Fred); Elephant(Clyde); Zookeeper(Eric)",
+    )
+    .unwrap();
+    let engine = RandomWorlds::new();
+    let likes_eric = engine.degree_of_belief(&kb, "Likes(Clyde, Eric)").unwrap();
+    let likes_fred = engine.degree_of_belief(&kb, "Likes(Clyde, Fred)").unwrap();
+    println!("  Likes(Clyde, Eric) = {likes_eric}");
+    println!("  Likes(Clyde, Fred) = {likes_fred}");
+    assert!(likes_eric.belief.is_one());
+    assert!(likes_fred.belief.is_zero());
+
+    // And nested defaults (Example 4.6/5.14): people who normally go to bed
+    // late normally rise late.
+    let kb = KnowledgeBase::parse(
+        "|| ||Rises-late(x, y) | Day(y)||_y ~=_1 1 | ||To-bed-late(x, z) | Day(z)||_z ~=_2 1 ||_x ~=_3 1; \
+         ||To-bed-late(Alice, z) | Day(z)||_z ~=_2 1; \
+         Day(Tomorrow)",
+    )
+    .unwrap();
+    let r = engine
+        .degree_of_belief(&kb, "Rises-late(Alice, Tomorrow)")
+        .unwrap();
+    println!("\nnested default (bed-late): Rises-late(Alice, Tomorrow) = {r}");
+    assert!(r.belief.is_one());
+}

@@ -1,0 +1,84 @@
+//! The lottery paradox (paper §3.5 and §5.5): graded beliefs dissolve the
+//! paradox that defeats all-or-nothing default logics.
+//!
+//! ```sh
+//! cargo run --example lottery
+//! ```
+
+use random_worlds::logic::Tolerances;
+use random_worlds::prelude::*;
+use random_worlds::unary;
+
+fn main() {
+    // A lottery with exactly one winner among the ticket holders; everyone
+    // in the domain holds a ticket.
+    let mut kb = KnowledgeBase::parse(
+        "exists! x (Winner(x)); \
+         forall x (Winner(x) => Ticket(x)); \
+         forall x (Ticket(x)); \
+         Ticket(C)",
+    )
+    .unwrap();
+    let win = kb.parse_query("Winner(C)").unwrap();
+    let someone = kb.parse_query("exists x (Winner(x))").unwrap();
+
+    // With a known lottery size N the belief is exactly 1/N (the unary
+    // engine counts worlds exactly — no asymptotics needed).
+    let tol = Tolerances::uniform(rw_util::Rat::new(1, 10));
+    println!("known lottery size:");
+    for n in [10usize, 100, 1000] {
+        let p = unary::degree_of_belief_at(&kb, &win, n, &tol)
+            .unwrap()
+            .unwrap();
+        println!("  N = {n:>5}: Pr(Winner(C)) = {p:.6}  (1/N = {:.6})", 1.0 / n as f64);
+        assert!((p - 1.0 / n as f64).abs() < 1e-12);
+        let s = unary::degree_of_belief_at(&kb, &someone, n, &tol)
+            .unwrap()
+            .unwrap();
+        assert_eq!(s, 1.0, "someone certainly wins");
+    }
+
+    // Unknown (large) N: the degree of belief that C wins tends to 0, while
+    // the belief that *someone* wins stays exactly 1 — Lifschitz's tension
+    // between the instance conclusion and the universal dissolves in a
+    // probabilistic setting (§5.5).
+    println!("\nunknown lottery size (N → ∞):");
+    let engine = RandomWorlds::new();
+    let r = engine.degree_of_belief(&kb, "Winner(C)").unwrap();
+    println!("  Pr(Winner(C))          = {r}");
+    assert!(r.belief.is_zero());
+    let r = engine.degree_of_belief(&kb, "exists x (Winner(x))").unwrap();
+    println!("  Pr(exists x Winner(x)) = {r}");
+    assert!(r.belief.is_one());
+
+    // But the universal "no one wins" is *not* concluded:
+    let r = engine
+        .degree_of_belief(&kb, "forall x (!Winner(x))")
+        .unwrap();
+    println!("  Pr(forall x !Winner(x)) = {r}");
+    assert!(r.belief.is_zero());
+
+    // Poole's variant: declaring a class the union of finitely many
+    // *exceptional* (ε-small) subclasses is inconsistent under the
+    // statistical reading — the method rejects the KB instead of quietly
+    // breaking a desideratum (§5.5).
+    let poole = KnowledgeBase::parse(
+        "forall x (Bird(x) <=> Penguin(x) or Emu(x)); \
+         forall x (!(Penguin(x) & Emu(x))); \
+         Bird(x) ->_1 !Penguin(x); \
+         Bird(x) ->_2 !Emu(x); \
+         exists x (Bird(x))",
+    )
+    .unwrap();
+    let r = engine.degree_of_belief(&poole, "Penguin(C) or Emu(C) or !Bird(C)");
+    match r {
+        Ok(res) => {
+            println!("\nPoole partition KB: {res}");
+            assert!(
+                matches!(res.belief, random_worlds::core::Belief::Undefined),
+                "the partition-of-exceptions KB must be eventually inconsistent"
+            );
+        }
+        Err(e) => println!("\nPoole partition KB rejected: {e}"),
+    }
+}

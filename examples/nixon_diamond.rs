@@ -1,0 +1,79 @@
+//! The Nixon diamond: combining incomparable evidence (paper §5.3,
+//! Theorem 5.26) — where reference-class reasoning gives up, random worlds
+//! independently derives Dempster's rule of combination.
+//!
+//! ```sh
+//! cargo run --example nixon_diamond
+//! ```
+
+use random_worlds::core::theorems::dempster_rule;
+use random_worlds::core::Belief;
+use random_worlds::prelude::*;
+
+fn nixon_kb(quaker_stat: &str, republican_stat: &str) -> KnowledgeBase {
+    KnowledgeBase::parse(&format!(
+        "||Pacifist(x) | Quaker(x)||_x {quaker_stat}; \
+         ||Pacifist(x) | Republican(x)||_x {republican_stat}; \
+         Quaker(Nixon); Republican(Nixon); \
+         exists! x (Quaker(x) & Republican(x))"
+    ))
+    .unwrap()
+}
+
+fn main() {
+    let engine = RandomWorlds::new();
+
+    // Two bodies of evidence both at 0.8: combined support *exceeds* 0.8.
+    let r = engine
+        .degree_of_belief(&nixon_kb("~=_1 0.8", "~=_2 0.8"), "Pacifist(Nixon)")
+        .unwrap();
+    println!("α = β = 0.8   → {r}");
+    assert!((r.belief.as_point().unwrap() - 16.0 / 17.0).abs() < 1e-9);
+
+    // A neutral second class (β = 0.5) defers entirely to the first.
+    let r = engine
+        .degree_of_belief(&nixon_kb("~=_1 0.7", "~=_2 0.5"), "Pacifist(Nixon)")
+        .unwrap();
+    println!("α = 0.7, β = 0.5 → {r}");
+    assert!((r.belief.as_point().unwrap() - 0.7).abs() < 1e-9);
+
+    // A hard default (α = 1) dominates soft contrary evidence.
+    let r = engine
+        .degree_of_belief(&nixon_kb("~=_1 1", "~=_2 0.3"), "Pacifist(Nixon)")
+        .unwrap();
+    println!("α = 1,  β = 0.3 → {r}");
+    assert!(r.belief.is_one());
+
+    // Conflicting hard defaults with *unspecified* relative strength: the
+    // double limit does not exist — the belief depends on how the
+    // tolerances shrink (the multiple-extensions phenomenon).
+    let r = engine
+        .degree_of_belief(&nixon_kb("~=_1 1", "~=_2 0"), "Pacifist(Nixon)")
+        .unwrap();
+    println!("α = 1,  β = 0  (indices 1,2) → {r}");
+    assert!(matches!(r.belief, Belief::NonRobust(_)));
+
+    // Declaring the defaults equally strong — the *same* tolerance index —
+    // restores a robust answer: 1/2.
+    let r = engine
+        .degree_of_belief(&nixon_kb("~=_1 1", "~=_1 0"), "Pacifist(Nixon)")
+        .unwrap();
+    println!("α = 1,  β = 0  (shared index) → {r}");
+    assert_eq!(r.belief.as_point(), Some(0.5));
+
+    // The Dempster surface (the paper's footnote-14 example is the point
+    // α = β = 0.2, where evidence *against* compounds: δ ≈ 0.059).
+    println!("\nδ(α, β) surface:");
+    print!("        ");
+    for beta in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        print!("β={beta:.1}   ");
+    }
+    println!();
+    for alpha in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        print!("α={alpha:.1}   ");
+        for beta in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+            print!("{:.4}  ", dempster_rule(&[alpha, beta]));
+        }
+        println!();
+    }
+}

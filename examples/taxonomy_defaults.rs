@@ -1,0 +1,79 @@
+//! Default reasoning over a taxonomy: Tweety, penguins, and inheritance —
+//! including the exceptional-subclass and drowning problems that defeat
+//! most default logics (paper §3.3, Examples 5.10 and 5.19–5.21).
+//!
+//! ```sh
+//! cargo run --example taxonomy_defaults
+//! ```
+
+use random_worlds::prelude::*;
+
+fn main() {
+    // Defaults are statistics: `A(x) ->_i B(x)` abbreviates
+    // `||B(x) | A(x)||_x ~=_i 1` ("almost all A are B", §4.3).
+    let kb = KnowledgeBase::parse(
+        "Bird(x) ->_1 Fly(x); \
+         Penguin(x) ->_2 !Fly(x); \
+         Bird(x) ->_3 Warm-blooded(x); \
+         Yellow(x) ->_4 Easy-to-see(x); \
+         forall x (Penguin(x) => Bird(x)); \
+         Penguin(Tweety); Yellow(Tweety)",
+    )
+    .unwrap();
+    let engine = RandomWorlds::new();
+
+    // Specificity: the penguin default defeats the bird default.
+    let r = engine.degree_of_belief(&kb, "Fly(Tweety)").unwrap();
+    println!("Fly(Tweety)          = {r}");
+    assert!(r.belief.is_zero());
+
+    // Exceptional-subclass inheritance: being an atypical bird with respect
+    // to flight does not block inheriting warm-bloodedness.
+    let r = engine.degree_of_belief(&kb, "Warm-blooded(Tweety)").unwrap();
+    println!("Warm-blooded(Tweety) = {r}");
+    assert!(r.belief.is_one());
+
+    // The drowning problem: yellow things are easy to see, and Tweety's
+    // exceptionality as a bird is no reason to doubt it.
+    let r = engine.degree_of_belief(&kb, "Easy-to-see(Tweety)").unwrap();
+    println!("Easy-to-see(Tweety)  = {r}");
+    assert!(r.belief.is_one());
+
+    // The default-inference relation |~rw (belief = 1) satisfies the KLM
+    // laws (Thm 5.3); e.g. And:
+    assert!(engine
+        .follows_by_default(&kb, "!Fly(Tweety) & Warm-blooded(Tweety)")
+        .unwrap());
+
+    // Goodwin's moody magpies (Example 5.25): statistics from a *subclass*
+    // the individual may or may not belong to still pull the answer below
+    // the superclass value — reference-class systems would ignore them.
+    let magpies = KnowledgeBase::parse(
+        "||Chirps(x) | Bird(x)||_x ~=_1 0.9; \
+         ||Chirps(x) | Magpie(x) & Moody(x)||_x ~=_2 0.2; \
+         forall x (Magpie(x) => Bird(x)); \
+         Magpie(Tweety)",
+    )
+    .unwrap();
+    let r = engine.degree_of_belief(&magpies, "Chirps(Tweety)").unwrap();
+    println!("moody-magpie belief  = {r}");
+    let v = r.belief.as_point().unwrap();
+    assert!(v < 0.9 - 1e-3, "must be pulled below the bird statistic: {v}");
+
+    // Poole's broken-arm disjunction (Example 5.4): knowing one arm is
+    // broken (but not which), exactly one arm is believed usable.
+    let arms = KnowledgeBase::parse(
+        "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; \
+         ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; \
+         LeftBroken(Eric) or RightBroken(Eric)",
+    )
+    .unwrap();
+    let one_usable = engine
+        .degree_of_belief(
+            &arms,
+            "(LeftUsable(Eric) or RightUsable(Eric)) & !(LeftUsable(Eric) & RightUsable(Eric))",
+        )
+        .unwrap();
+    println!("exactly one arm usable = {one_usable}");
+    assert!(one_usable.belief.is_one());
+}

@@ -1,0 +1,75 @@
+//! The Yale Shooting Problem (paper §7.1): representation matters.
+//!
+//! §7.1 states that "random worlds gives unintuitive results when used with
+//! the most straightforward representations of temporal knowledge", and
+//! that an appropriate (causal) representation repairs this [BGHK94a,
+//! Hun89]. Both halves are measurable.
+//!
+//! Domain elements are *scenarios*; fluents are unary predicates indexed by
+//! time (`L0`, `L1` = gun loaded; `A0`, `A1`, `A2` = Fred alive). The
+//! timeline is load (so `L0`), wait (0 → 1), shoot at 1, observe at 2. The
+//! effect axiom is hard: a loaded gun at 1 means Fred is dead at 2.
+//!
+//! **Naive representation** — per-fluent persistence defaults
+//! (`||L1|L0|| ≈ 1`, `||A2|A1|| ≈ 1`, …): the intended outcome (gun stays
+//! loaded, Fred dies) violates the alive-persistence default, while the
+//! anomalous outcome (gun mysteriously unloads while waiting, Fred lives)
+//! violates the loaded-persistence default. One violation each — the
+//! Hanks–McDermott standoff — so random worlds refuses to conclude death:
+//! a middling belief at shared tolerances, a *non-robust* limit at
+//! distinct ones.
+//!
+//! **Causal representation** — each fluent's next value is conditioned on
+//! the *whole previous state* (`||A2 | A1 ∧ ¬L1|| ≈ 1`): the alive-
+//! persistence statistic now simply does not apply when the gun is loaded,
+//! the intended outcome violates nothing, and death is concluded with
+//! belief 1.
+//!
+//! ```sh
+//! cargo run --release --example yale_shooting
+//! ```
+
+use random_worlds::prelude::*;
+
+const FACTS: &str = "forall x (L1(x) => !A2(x)); L0(S); A0(S)";
+
+fn main() {
+    let engine = RandomWorlds::new();
+
+    println!("── Naive frame defaults, shared tolerance ──");
+    let naive_shared = KnowledgeBase::parse(&format!(
+        "||L1(x) | L0(x)||_x ~=_1 1; ||A1(x) | A0(x)||_x ~=_1 1; \
+         ||A2(x) | A1(x)||_x ~=_1 1; {FACTS}"
+    ))
+    .unwrap();
+    let alive = engine.degree_of_belief(&naive_shared, "A2(S)").unwrap();
+    println!("  Pr(Alive at 2) = {alive}");
+    println!("  → neither death nor survival is concluded: the anomaly.");
+    let v = alive.belief.as_point().expect("shared-τ standoff is a point");
+    assert!(v > 0.05 && v < 0.95, "middling belief expected, got {v}");
+
+    println!("\n── Naive frame defaults, distinct tolerances ──");
+    let naive_distinct = KnowledgeBase::parse(&format!(
+        "||L1(x) | L0(x)||_x ~=_1 1; ||A1(x) | A0(x)||_x ~=_2 1; \
+         ||A2(x) | A1(x)||_x ~=_3 1; {FACTS}"
+    ))
+    .unwrap();
+    let alive = engine.degree_of_belief(&naive_distinct, "A2(S)").unwrap();
+    println!("  Pr(Alive at 2) = {alive}");
+    println!("  → the limit depends on how τ⃗ → 0: the multiple-extensions analogue.");
+    assert!(matches!(alive.belief, Belief::NonRobust(_)));
+
+    println!("\n── Causal representation: condition on the full past state ──");
+    let causal = KnowledgeBase::parse(&format!(
+        "||L1(x) | L0(x)||_x ~=_1 1; ||A1(x) | A0(x)||_x ~=_2 1; \
+         ||A2(x) | A1(x) & !L1(x)||_x ~=_3 1; {FACTS}"
+    ))
+    .unwrap();
+    let loaded = engine.degree_of_belief(&causal, "L1(S)").unwrap();
+    let alive = engine.degree_of_belief(&causal, "A2(S)").unwrap();
+    println!("  Pr(Loaded at 1) = {loaded}");
+    println!("  Pr(Alive at 2)  = {alive}");
+    println!("  → persistence chains forward and the shooting kills: intended.");
+    assert!(loaded.belief.is_one());
+    assert!(alive.belief.is_zero());
+}

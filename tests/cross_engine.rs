@@ -1,0 +1,160 @@
+//! Cross-engine validation: every computation path must implement the same
+//! semantics.
+//!
+//! * brute-force enumeration (`rw-worlds`) vs exact unary counting
+//!   (`rw-unary`) — equal to floating-point accuracy wherever both run;
+//! * exact unary counting at growing `N` vs the maximum-entropy point
+//!   (`rw-maxent`) — the §6 concentration phenomenon;
+//! * probability laws that hold at every `N` and tolerance
+//!   (complementation, monotonicity under conjunction);
+//! * the conditioning identity of Proposition 5.2.
+
+use proptest::prelude::*;
+use random_worlds::logic::Tolerances;
+use random_worlds::prelude::*;
+use rw_util::Rat;
+
+fn tol(d: i128) -> Tolerances {
+    Tolerances::uniform(Rat::new(1, d))
+}
+
+#[test]
+fn unary_matches_enumeration_on_fixed_corpus() {
+    let corpus = [
+        ("||P(x)||_x ~=_1 0.5", "P(C)"),
+        ("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(C)", "Hep(C)"),
+        ("forall x (P(x) => Q(x)); P(C)", "Q(C)"),
+        ("exists! x (W(x)); W(C) or P(C)", "W(C)"),
+        ("P(A) or Q(B); !P(B)", "Q(B)"),
+        ("C1 = C2 or C2 = C3", "C1 = C3"),
+        ("||P(x) & Q(x)||_x <~_1 0.25; P(C)", "Q(C)"),
+    ];
+    for (kb_src, q_src) in corpus {
+        let mut kb = KnowledgeBase::parse(kb_src).unwrap();
+        let q = kb.parse_query(q_src).unwrap();
+        for n in 2..=4usize {
+            let t = tol(4);
+            let exact = rw_worlds::degree_of_belief_at(&kb, &q, n, &t).unwrap();
+            let unary = random_worlds::unary::degree_of_belief_at(&kb, &q, n, &t).unwrap();
+            match (exact, unary) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(
+                    (a - b).abs() < 1e-9,
+                    "{kb_src} ⊢ {q_src} @N={n}: {a} vs {b}"
+                ),
+                other => panic!("{kb_src} ⊢ {q_src} @N={n}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn unary_counts_concentrate_at_maxent_point() {
+    // §6: E[atom proportions | KB] → maxent point as N grows; the gap
+    // shrinks roughly like 1/N (figure F4 of the experiment index).
+    let kb = KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1")
+        .unwrap();
+    let t = tol(20);
+    let point = rw_maxent::maxent_point(&kb, &t).unwrap();
+    let mut last_gap = f64::INFINITY;
+    // N = 20 admits no profile at this tolerance (no integer bird count
+    // satisfies both constraints); start at 40.
+    for n in [40usize, 80, 160] {
+        let props = random_worlds::unary::expected_atom_proportions(&kb, n, &t)
+            .unwrap()
+            .unwrap();
+        let gap: f64 = props
+            .iter()
+            .zip(&point)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(gap < last_gap + 1e-4, "gap grew at N={n}: {gap} vs {last_gap}");
+        last_gap = gap;
+    }
+    assert!(last_gap < 0.02, "{last_gap}");
+}
+
+#[test]
+fn conditioning_identity_prop_5_2() {
+    // Proposition 5.2: if Pr(θ|KB) = 1 then Pr(φ|KB) = Pr(φ|KB ∧ θ) — here
+    // verified exactly at finite N for a θ entailed by the KB.
+    let mut kb = KnowledgeBase::parse("forall x (P(x) => Q(x)); P(C)").unwrap();
+    let phi = kb.parse_query("R(C)").unwrap();
+    let theta = kb.parse_query("Q(C)").unwrap();
+    let mut kb2 = kb.clone();
+    kb2.assert_formula(theta);
+    let t = tol(4);
+    for n in 2..=4usize {
+        let a = rw_worlds::degree_of_belief_at(&kb, &phi, n, &t).unwrap().unwrap();
+        let b = rw_worlds::degree_of_belief_at(&kb2, &phi, n, &t).unwrap().unwrap();
+        assert!((a - b).abs() < 1e-12, "N={n}: {a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Complement law at every finite size: Pr(φ) + Pr(¬φ) = 1.
+    #[test]
+    fn complement_law(kb_pick in 0usize..4, q_pick in 0usize..3, n in 2usize..4) {
+        let kbs = [
+            "||P(x)||_x ~=_1 0.5",
+            "P(C) or Q(C)",
+            "forall x (P(x) => Q(x))",
+            "||Q(x) | P(x)||_x ~=_1 0.75",
+        ];
+        let queries = ["P(C)", "Q(C) & P(C)", "exists x (P(x) & !Q(x))"];
+        let mut kb = KnowledgeBase::parse(kbs[kb_pick]).unwrap();
+        let q = kb.parse_query(queries[q_pick]).unwrap();
+        let nq = kb.parse_query(&format!("!({})", queries[q_pick])).unwrap();
+        let t = tol(4);
+        let a = rw_worlds::degree_of_belief_at(&kb, &q, n, &t).unwrap();
+        let b = rw_worlds::degree_of_belief_at(&kb, &nq, n, &t).unwrap();
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!((a + b - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Conjunction monotonicity: Pr(φ ∧ ψ) ≤ min(Pr(φ), Pr(ψ)).
+    #[test]
+    fn conjunction_monotonicity(n in 2usize..4, den in 3i128..6) {
+        let mut kb = KnowledgeBase::parse("||Q(x) | P(x)||_x ~=_1 0.6; P(C)").unwrap();
+        let q1 = kb.parse_query("Q(C)").unwrap();
+        let q2 = kb.parse_query("R(C)").unwrap();
+        let q12 = kb.parse_query("Q(C) & R(C)").unwrap();
+        let t = tol(den);
+        let a = rw_worlds::degree_of_belief_at(&kb, &q1, n, &t).unwrap().unwrap();
+        let b = rw_worlds::degree_of_belief_at(&kb, &q2, n, &t).unwrap().unwrap();
+        let ab = rw_worlds::degree_of_belief_at(&kb, &q12, n, &t).unwrap().unwrap();
+        prop_assert!(ab <= a.min(b) + 1e-12);
+    }
+
+    /// Unary agreement on randomized unary KBs: the profile engine must
+    /// reproduce enumeration exactly.
+    #[test]
+    fn unary_agreement_randomized(
+        alpha_num in 1i128..10,
+        cond_flip in proptest::bool::ANY,
+        fact_flip in proptest::bool::ANY,
+        n in 2usize..4,
+    ) {
+        let alpha = format!("0.{alpha_num}");
+        let stat = if cond_flip {
+            format!("||Q(x) | P(x)||_x ~=_1 {alpha}")
+        } else {
+            format!("||Q(x)||_x ~=_1 {alpha}")
+        };
+        let fact = if fact_flip { "P(C)" } else { "!P(C)" };
+        let src = format!("{stat}; {fact}");
+        let mut kb = KnowledgeBase::parse(&src).unwrap();
+        let q = kb.parse_query("Q(C)").unwrap();
+        let t = tol(5);
+        let exact = rw_worlds::degree_of_belief_at(&kb, &q, n, &t).unwrap();
+        let unary = random_worlds::unary::degree_of_belief_at(&kb, &q, n, &t).unwrap();
+        match (exact, unary) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{src}: {a} vs {b}"),
+            other => prop_assert!(false, "{src}: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-system comparisons between random worlds and the classical
+//! nonmonotonic systems (paper §3): every row pins both the classical
+//! system's documented behavior (including its failure mode) and the
+//! random-worlds answer on the same benchmark. Experiment rows E32–E36.
+
+use random_worlds::defaults::{
+    circ_entails, extensions, lex_entails, minimal_models, skeptical, CircPolicy, Default,
+    DefaultTheory,
+};
+use random_worlds::epsilon::prop::VarTable;
+use random_worlds::epsilon::{me_plausible, z_entails, DefaultRule};
+use random_worlds::prelude::*;
+
+fn rw_belief(kb_src: &str, query: &str) -> Belief {
+    let kb = KnowledgeBase::parse(kb_src).unwrap();
+    RandomWorlds::new()
+        .degree_of_belief(&kb, query)
+        .unwrap()
+        .belief
+}
+
+#[test]
+fn e32_nixon_reiter_splits_random_worlds_grades() {
+    // Reiter: two extensions, no skeptical verdict either way.
+    let mut vt = VarTable::new();
+    let mut t = DefaultTheory::new();
+    t.fact_str(&mut vt, "quaker & republican").unwrap();
+    t.normal_str(&mut vt, "quaker", "pacifist").unwrap();
+    t.normal_str(&mut vt, "republican", "!pacifist").unwrap();
+    assert_eq!(extensions(&t, vt.len()).len(), 2);
+    let pac = vt.parse("pacifist").unwrap();
+    assert!(!skeptical(&t, vt.len(), &pac));
+    assert!(!skeptical(&t, vt.len(), &vt.parse("!pacifist").unwrap()));
+
+    // Random worlds with equal-strength defaults: the symmetric point 1/2
+    // (§5.3) — the two extensions become one graded answer.
+    let kb = "Quaker(x) ->_1 Pacifist(x); Republican(x) ->_1 !Pacifist(x); \
+              Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))";
+    let b = rw_belief(kb, "Pacifist(Nixon)");
+    let v = b.as_point().unwrap_or_else(|| panic!("expected point, got {b}"));
+    assert!((v - 0.5).abs() < 1e-6, "{v}");
+}
+
+#[test]
+fn e33_broken_arm_reiter_asserts_both_usable() {
+    // Reiter (Example 5.4): unique extension, both arms usable, because the
+    // exception defaults' prerequisites are never derivable from `lb ∨ rb`
+    // (default logic fails Or).
+    let mut vt = VarTable::new();
+    let mut t = DefaultTheory::new();
+    t.fact_str(&mut vt, "lb or rb").unwrap();
+    t.normal_str(&mut vt, "true", "lu").unwrap();
+    t.normal_str(&mut vt, "true", "ru").unwrap();
+    t.normal_str(&mut vt, "lb", "!lu").unwrap();
+    t.normal_str(&mut vt, "rb", "!ru").unwrap();
+    let exts = extensions(&t, vt.len());
+    assert_eq!(exts.len(), 1);
+    assert!(skeptical(&t, vt.len(), &vt.parse("lu & ru").unwrap()));
+
+    // Random worlds: exactly one arm usable, with belief 1.
+    let kb = "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; \
+              ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; \
+              LeftBroken(Eric) or RightBroken(Eric)";
+    assert!(rw_belief(
+        kb,
+        "(LeftUsable(Eric) or RightUsable(Eric)) & !(LeftUsable(Eric) & RightUsable(Eric))"
+    )
+    .is_one());
+    // And — unlike Reiter — NOT both usable.
+    assert!(rw_belief(kb, "LeftUsable(Eric) & RightUsable(Eric)").is_zero());
+}
+
+#[test]
+fn e34_specificity_needs_guards_in_reiter_but_not_in_random_worlds() {
+    let mut vt = VarTable::new();
+    let no_fly = vt.parse("!fly").unwrap();
+
+    // Naive normal encoding: two extensions, specificity lost.
+    let mut naive = DefaultTheory::new();
+    naive.fact_str(&mut vt, "penguin").unwrap();
+    naive.fact_str(&mut vt, "penguin => bird").unwrap();
+    naive.normal_str(&mut vt, "bird", "fly").unwrap();
+    naive.normal_str(&mut vt, "penguin", "!fly").unwrap();
+    assert_eq!(extensions(&naive, vt.len()).len(), 2);
+    assert!(!skeptical(&naive, vt.len(), &no_fly));
+
+    // Semi-normal guard [RC81]: restores specificity — but note the bird
+    // default now hard-codes knowledge about penguins (the modularity cost
+    // §3.3 describes).
+    let mut guarded = DefaultTheory::new();
+    guarded.fact_str(&mut vt, "penguin").unwrap();
+    guarded.fact_str(&mut vt, "penguin => bird").unwrap();
+    guarded.default_rule(Default::semi_normal(
+        vt.parse("bird").unwrap(),
+        vt.parse("fly").unwrap(),
+        vt.parse("!penguin").unwrap(),
+    ));
+    guarded.normal_str(&mut vt, "penguin", "!fly").unwrap();
+    assert_eq!(extensions(&guarded, vt.len()).len(), 1);
+    assert!(skeptical(&guarded, vt.len(), &no_fly));
+
+    // Random worlds: specificity falls out of Theorem 5.16 with the
+    // unmodified, modular KB.
+    let kb = "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+              forall x (Penguin(x) => Bird(x)); Penguin(Tweety)";
+    assert!(rw_belief(kb, "Fly(Tweety)").is_zero());
+}
+
+#[test]
+fn e35_lottery_circumscription_vs_graded_belief() {
+    // Circumscription (§3.5): minimizing winners, each minimal model
+    // crowns a different ticket; no ¬Winner(i) conclusion, though
+    // existence survives.
+    let mut vt = VarTable::new();
+    let t = vt
+        .parse("(w1 or w2 or w3 or w4) & (w1 => !w2 & !w3 & !w4) & \
+                (w2 => !w1 & !w3 & !w4) & (w3 => !w1 & !w2 & !w4) & (w4 => !w1 & !w2 & !w3)")
+        .unwrap();
+    let policy = CircPolicy::minimize((0..4).collect());
+    assert_eq!(minimal_models(&t, &policy, vt.len()).len(), 4);
+    assert!(!circ_entails(&t, &policy, vt.len(), &vt.parse("!w1").unwrap()));
+    assert!(circ_entails(
+        &t,
+        &policy,
+        vt.len(),
+        &vt.parse("w1 or w2 or w3 or w4").unwrap()
+    ));
+
+    // Random worlds grades instead: with the domain size open, each ticket
+    // holder's chance of winning is believed 0, yet someone surely wins —
+    // resolving Lifschitz's tension (§5.5).
+    let kb = "exists! x (Winner(x)); forall x (Winner(x) => Ticket(x)); \
+              forall x (Ticket(x)); Ticket(C)";
+    assert!(rw_belief(kb, "Winner(C)").is_zero());
+    assert!(rw_belief(kb, "exists x (Winner(x))").is_one());
+}
+
+#[test]
+fn e36_drowning_z_blocks_lex_and_random_worlds_inherit() {
+    let mut vt = VarTable::new();
+    let rules = vec![
+        DefaultRule::new(vt.parse("bird").unwrap(), vt.parse("fly").unwrap()),
+        DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("!fly").unwrap()),
+        DefaultRule::new(vt.parse("penguin").unwrap(), vt.parse("bird").unwrap()),
+        DefaultRule::new(vt.parse("yellow").unwrap(), vt.parse("see").unwrap()),
+    ];
+    let yp = vt.parse("yellow & penguin").unwrap();
+    let see = vt.parse("see").unwrap();
+
+    // System Z drowns; lexicographic entailment and GMP90's ME-plausible
+    // consequence (= unary random worlds, Thm 6.1) do not.
+    assert_eq!(z_entails(&rules, &yp, &see), Some(false));
+    assert_eq!(lex_entails(&rules, &yp, &see), Some(true));
+    assert_eq!(me_plausible(&rules, &vt, &yp, &see).ok(), Some(true));
+
+    // Full random worlds on the first-order statement of the same KB.
+    let kb = "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+              forall x (Penguin(x) => Bird(x)); Yellow(x) ->_3 EasyToSee(x); \
+              Penguin(Tweety); Yellow(Tweety)";
+    assert!(rw_belief(kb, "EasyToSee(Tweety)").is_one());
+}
+
+#[test]
+fn lex_specificity_and_z_agree_when_nothing_drowns() {
+    // On exception-free chains the two orderings coincide; the refinement
+    // only matters below the worst violation.
+    let mut vt = VarTable::new();
+    let rules = vec![
+        DefaultRule::new(vt.parse("a").unwrap(), vt.parse("b").unwrap()),
+        DefaultRule::new(vt.parse("b").unwrap(), vt.parse("c").unwrap()),
+    ];
+    let a = vt.parse("a").unwrap();
+    let c = vt.parse("c").unwrap();
+    assert_eq!(z_entails(&rules, &a, &c), Some(true));
+    assert_eq!(lex_entails(&rules, &a, &c), Some(true));
+}
+
+#[test]
+fn reiter_extension_count_matches_diamond_width() {
+    // k pairwise-conflicting defaults from one premise → k extensions:
+    // the multiple-extension growth that graded belief collapses.
+    for k in 2usize..=4 {
+        let mut vt = VarTable::new();
+        let mut t = DefaultTheory::new();
+        t.fact_str(&mut vt, "p").unwrap();
+        for i in 0..k {
+            // Each default concludes `exactly option i` (mutually
+            // exclusive via pairwise negations).
+            let mut concl = format!("o{i}");
+            for j in 0..k {
+                if j != i {
+                    concl.push_str(&format!(" & !o{j}"));
+                }
+            }
+            t.normal_str(&mut vt, "p", &concl).unwrap();
+        }
+        assert_eq!(extensions(&t, vt.len()).len(), k, "width {k}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Theorem 5.3 / 5.5 as an executable regression: the KLM postulates for
+//! `|~rw` checked numerically over a corpus of knowledge bases.
+
+use random_worlds::core::klm::{
+    check_and, check_cautious_monotonicity, check_cut, check_or, check_rational_monotonicity,
+    RuleCheck,
+};
+use random_worlds::core::RandomWorlds;
+use random_worlds::prelude::*;
+
+fn engine() -> RandomWorlds {
+    RandomWorlds::default()
+}
+
+fn corpus() -> Vec<(KnowledgeBase, &'static str, &'static str)> {
+    // (KB, θ, φ) triples where KB |~ θ and KB |~ φ are expected.
+    vec![
+        (
+            KnowledgeBase::parse(
+                "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+                 forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+            )
+            .unwrap(),
+            "Bird(Tweety)",
+            "!Fly(Tweety)",
+        ),
+        (
+            KnowledgeBase::parse("||Q(x) | P(x)||_x ~=_1 1; P(C)").unwrap(),
+            "Q(C)",
+            "Q(C)",
+        ),
+        (
+            KnowledgeBase::parse(
+                "Bird(x) ->_1 Warm(x); ||Bird(x)||_x ~=_2 0.3; Bird(Tweety)",
+            )
+            .unwrap(),
+            "Warm(Tweety)",
+            "Warm(Tweety)",
+        ),
+    ]
+}
+
+#[test]
+fn cut_holds_across_corpus() {
+    let e = engine();
+    for (kb, theta, phi) in corpus() {
+        let r = check_cut(&e, &kb, theta, phi);
+        assert_ne!(r, RuleCheck::Violated, "Cut on {kb:?} with {theta}/{phi}");
+    }
+}
+
+#[test]
+fn cautious_monotonicity_holds_across_corpus() {
+    let e = engine();
+    for (kb, theta, phi) in corpus() {
+        let r = check_cautious_monotonicity(&e, &kb, theta, phi);
+        assert_ne!(r, RuleCheck::Violated, "CM on {kb:?} with {theta}/{phi}");
+    }
+}
+
+#[test]
+fn and_holds_across_corpus() {
+    let e = engine();
+    for (kb, theta, phi) in corpus() {
+        let r = check_and(&e, &kb, theta, phi);
+        assert_ne!(r, RuleCheck::Violated, "And on {kb:?} with {theta}/{phi}");
+    }
+}
+
+#[test]
+fn or_rule_broken_arm() {
+    // The Or rule drives Example 5.4: from both disjuncts concluding
+    // "some arm is unusable", the disjunctive KB concludes it too.
+    let e = engine();
+    let kb_left = KnowledgeBase::parse(
+        "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; \
+         ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; \
+         LeftBroken(Eric)",
+    )
+    .unwrap();
+    let kb_right = KnowledgeBase::parse(
+        "||LeftUsable(x)||_x ~=_1 1; ||LeftUsable(x) | LeftBroken(x)||_x ~=_2 0; \
+         ||RightUsable(x)||_x ~=_3 1; ||RightUsable(x) | RightBroken(x)||_x ~=_4 0; \
+         RightBroken(Eric)",
+    )
+    .unwrap();
+    let phi = "!LeftUsable(Eric) or !RightUsable(Eric)";
+    let r = check_or(&e, &kb_left, &kb_right, phi);
+    assert_eq!(r, RuleCheck::Holds);
+}
+
+#[test]
+fn rational_monotonicity_with_irrelevant_theta() {
+    // Thm 5.5 (weakened RM): adding a non-disbelieved θ preserves default
+    // conclusions.
+    let e = engine();
+    let kb = KnowledgeBase::parse(
+        "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+         forall x (Penguin(x) => Bird(x)); Penguin(Tweety); \
+         ||Yellow(x)||_x ~=_3 0.5",
+    )
+    .unwrap();
+    let r = check_rational_monotonicity(&e, &kb, "Yellow(Tweety)", "!Fly(Tweety)");
+    assert_eq!(r, RuleCheck::Holds);
+}
+
+#[test]
+fn reflexivity_and_right_weakening() {
+    // Reflexivity: KB |~ (each of its own conjuncts); Right Weakening: a
+    // logically weaker consequence keeps belief 1.
+    let e = engine();
+    let kb = KnowledgeBase::parse("||Q(x) | P(x)||_x ~=_1 1; P(C)").unwrap();
+    assert!(e.follows_by_default(&kb, "P(C)").unwrap());
+    assert!(e.follows_by_default(&kb, "Q(C)").unwrap());
+    assert!(e.follows_by_default(&kb, "Q(C) or R(C)").unwrap()); // weakening
+}
+
+#[test]
+fn left_logical_equivalence() {
+    // Proposition 5.1: logically equivalent KBs induce identical beliefs.
+    let e = engine();
+    let kb1 = KnowledgeBase::parse("P(C) & Q(C); ||R(x) | P(x)||_x ~=_1 0.7").unwrap();
+    let kb2 = KnowledgeBase::parse("Q(C) & P(C); ||R(x) | P(x)||_x ~=_1 0.7").unwrap();
+    let b1 = e.degree_of_belief(&kb1, "R(C)").unwrap().belief;
+    let b2 = e.degree_of_belief(&kb2, "R(C)").unwrap().belief;
+    assert!(b1.approx_eq(&b2, 1e-9), "{b1} vs {b2}");
+}

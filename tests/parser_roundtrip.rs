@@ -1,0 +1,60 @@
+//! Property test: pretty-printing is a right inverse of parsing on randomly
+//! generated formulas of `L≈`.
+
+use proptest::prelude::*;
+use random_worlds::logic::{parse_formula, Pretty, Vocabulary};
+
+/// A generator for random formula source strings built from a fixed small
+/// vocabulary — generating *text* keeps the generator decoupled from the
+/// AST so it also fuzzes the parser itself.
+fn formula_src(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("P"), Just("Q"), Just("R")].prop_map(|p| format!("{p}(x)")),
+        prop_oneof![Just("P"), Just("Q")].prop_map(|p| format!("{p}(Alice)")),
+        Just("x = Alice".to_string()),
+        Just("Alice = Bob".to_string()),
+        Just("true".to_string()),
+        (1u32..99).prop_map(|n| format!("||P(x)||_x ~=_1 0.{n:02}")),
+        (1u32..99).prop_map(|n| format!("||P(x) | Q(x)||_x <~_2 0.{n:02}")),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) & ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) or ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) => ({b})")),
+            inner.clone().prop_map(|a| format!("!({a})")),
+            inner.clone().prop_map(|a| format!("forall x ({a})")),
+            inner.clone().prop_map(|a| format!("exists x ({a})")),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(src in formula_src(3)) {
+        let mut vocab = Vocabulary::new();
+        let Ok(f) = parse_formula(&mut vocab, &src) else {
+            // Generated source is always valid; a failure here is a parser bug.
+            return Err(TestCaseError::fail(format!("failed to parse `{src}`")));
+        };
+        let printed = Pretty::new(&vocab, &f).to_string();
+        let f2 = parse_formula(&mut vocab, &printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse of `{printed}`: {e}")))?;
+        prop_assert_eq!(&f, &f2, "`{}` printed as `{}`", src, printed);
+        // Printing is idempotent.
+        let printed2 = Pretty::new(&vocab, &f2).to_string();
+        prop_assert_eq!(printed, printed2);
+    }
+}
+
+#[test]
+fn closed_formula_check_matches_free_vars() {
+    let mut vocab = Vocabulary::new();
+    let f = parse_formula(&mut vocab, "forall x (P(x) => ||Q(y) | R(y)||_y ~=_1 1)").unwrap();
+    assert!(random_worlds::logic::analysis::free_vars(&f).is_empty());
+    let g = parse_formula(&mut vocab, "P(x) & forall y (Q(y))").unwrap();
+    assert_eq!(random_worlds::logic::analysis::free_vars(&g).len(), 1);
+}
