@@ -4,7 +4,7 @@
 //! model filtering, lexicographic entailment, and the propensity engine's
 //! profile sweep against the uniform-prior sweep it generalizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rw_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rw_defaults::{extensions, lex_entails, minimal_models, CircPolicy, DefaultTheory};
 use rw_epsilon::prop::VarTable;
 use rw_epsilon::DefaultRule;

@@ -10,7 +10,7 @@
 //! * the full engine's fallback chain is dominated by its cheapest
 //!   applicable layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rw_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rw_logic::{KnowledgeBase, Tolerances};
 use rw_util::Rat;
 use std::hint::black_box;
@@ -22,9 +22,7 @@ fn bench_enumeration(c: &mut Criterion) {
     let tol = Tolerances::uniform(Rat::new(1, 4));
     for n in [2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(rw_worlds::degree_of_belief_at(&kb, &q, n, &tol).unwrap())
-            })
+            b.iter(|| black_box(rw_worlds::degree_of_belief_at(&kb, &q, n, &tol).unwrap()))
         });
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Language-layer benchmarks (experiment index B6): parsing, printing and
 //! model checking — the substrate costs under every engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rw_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rw_logic::{parse_formula, KnowledgeBase, Pretty, Tolerances, Vocabulary};
 use rw_util::Rat;
 use std::hint::black_box;
@@ -40,10 +40,9 @@ fn bench_printer(c: &mut Criterion) {
 
 fn bench_model_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_check");
-    let mut kb = KnowledgeBase::parse(
-        "||Fly(x) | Bird(x)||_x ~=_1 0.9; forall x (Penguin(x) => Bird(x))",
-    )
-    .unwrap();
+    let mut kb =
+        KnowledgeBase::parse("||Fly(x) | Bird(x)||_x ~=_1 0.9; forall x (Penguin(x) => Bird(x))")
+            .unwrap();
     let f = kb.as_formula();
     let nested = kb
         .parse_query("|| ||Likes(x, y)||_y ~=_1 0.5 ||_x <~_2 0.9")
@@ -51,16 +50,21 @@ fn bench_model_checking(c: &mut Criterion) {
     let tol = Tolerances::uniform(Rat::new(1, 10));
     for n in [8usize, 16, 32] {
         let world = {
-            use rand::rngs::StdRng;
-            use rand::SeedableRng;
-            let mut rng = StdRng::seed_from_u64(42);
+            let mut rng = rw_util::StdRng::seed_from_u64(42);
             rw_worlds::sample::sample_world(kb.vocab(), n, &mut rng)
         };
         group.bench_with_input(BenchmarkId::new("statistical_kb", n), &n, |b, _| {
             b.iter(|| black_box(rw_worlds::evaluate_closed(&world, kb.vocab(), &tol, &f)))
         });
         group.bench_with_input(BenchmarkId::new("nested_proportions", n), &n, |b, _| {
-            b.iter(|| black_box(rw_worlds::evaluate_closed(&world, kb.vocab(), &tol, &nested)))
+            b.iter(|| {
+                black_box(rw_worlds::evaluate_closed(
+                    &world,
+                    kb.vocab(),
+                    &tol,
+                    &nested,
+                ))
+            })
         });
     }
     group.finish();

@@ -3,7 +3,7 @@
 //! solver against Frank–Wolfe, whose additive gap bound collapses on the
 //! `τ²`-scale coordinates of exceptional-subclass KBs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rw_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rw_logic::{KnowledgeBase, Tolerances};
 use rw_maxent::{compile, maximize_entropy, maximize_entropy_dual, SweepConfig};
 use rw_util::Rat;

@@ -140,7 +140,7 @@ fn run_examples(engine: &RandomWorlds) -> Vec<Row> {
     let mut rows = Vec::new();
     for case in cases {
         let kb = KnowledgeBase::parse(case.kb).expect(case.id);
-        let result = engine.degree_of_belief(&kb, case.query);
+        let result = engine.answer(&kb, case.query);
         let (measured, ok, expected_str) = match (&result, &case.expected) {
             (Ok(r), Point(v, eps)) => (
                 format!("{} ({})", fmt_belief(&r.belief), r.provenance),
@@ -212,10 +212,12 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
              Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
         )
         .unwrap();
-        let rw = engine.degree_of_belief(&kb, "Pacifist(Nixon)").unwrap();
+        let rw = engine.answer(&kb, "Pacifist(Nixon)").unwrap();
         let ok = n_ext == 2 && rw.belief.as_point().is_some_and(|v| (v - 0.5).abs() < 1e-6);
         push(
-            "E32", "§3.1/5.3", "Nixon: Reiter splits, RW grades",
+            "E32",
+            "§3.1/5.3",
+            "Nixon: Reiter splits, RW grades",
             "2 exts / 0.5".to_string(),
             format!("{n_ext} exts / {}", fmt_belief(&rw.belief)),
             ok,
@@ -247,11 +249,11 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
             )
             .unwrap();
         push(
-            "E33", "Ex 5.4", "broken arm: Reiter both, RW one",
+            "E33",
+            "Ex 5.4",
+            "broken arm: Reiter both, RW one",
             "both / one".to_string(),
-            format!(
-                "Reiter both-usable={reiter_both} / RW exactly-one={one}"
-            ),
+            format!("Reiter both-usable={reiter_both} / RW exactly-one={one}"),
             reiter_both && one,
         );
     }
@@ -277,7 +279,9 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
         guarded.normal_str(&mut vt, "penguin", "!fly").unwrap();
         let guarded_ok = skeptical(&guarded, vt.len(), &no_fly);
         push(
-            "E34", "§3.3", "specificity: naive loses, guard fixes",
+            "E34",
+            "§3.3",
+            "specificity: naive loses, guard fixes",
             "lost / fixed".to_string(),
             format!("naive-lost={naive_ok} / guarded-fixed={guarded_ok}"),
             naive_ok && guarded_ok,
@@ -302,9 +306,11 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
              forall x (Ticket(x)); Ticket(C)",
         )
         .unwrap();
-        let rw = engine.degree_of_belief(&kb, "Winner(C)").unwrap();
+        let rw = engine.answer(&kb, "Winner(C)").unwrap();
         push(
-            "E35", "§3.5/5.5", "lottery: circ silent, RW graded",
+            "E35",
+            "§3.5/5.5",
+            "lottery: circ silent, RW graded",
             "no ¬W(c); Pr=0".to_string(),
             format!(
                 "circ ¬W(c)={circ_loser}, ∃={circ_someone} / RW {}",
@@ -333,9 +339,11 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
              Penguin(Tweety); Yellow(Tweety)",
         )
         .unwrap();
-        let rw = engine.degree_of_belief(&kb, "EasyToSee(Tweety)").unwrap();
+        let rw = engine.answer(&kb, "EasyToSee(Tweety)").unwrap();
         push(
-            "E36", "§3.3/5.21", "drowning: Z no, lex yes, RW 1",
+            "E36",
+            "§3.3/5.21",
+            "drowning: Z no, lex yes, RW 1",
             "no/yes/1".to_string(),
             format!("Z={z:?} / lex={lex:?} / RW {}", fmt_belief(&rw.belief)),
             z == Some(false) && lex == Some(true) && rw.belief.is_one(),
@@ -354,7 +362,9 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
             .unwrap()
             .unwrap();
         push(
-            "E37", "§7.3", "succession: propensities 0.6, RW 0.5",
+            "E37",
+            "§7.3",
+            "succession: propensities 0.6, RW 0.5",
             "0.6 / 0.5".to_string(),
             format!("{pp:.4} / {rw:.4}"),
             (pp - 0.6).abs() < 0.02 && (rw - 0.5).abs() < 0.02,
@@ -378,7 +388,9 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
             .unwrap()
             .unwrap();
         push(
-            "E38", "§7.3", "sampling: BGHK92 learns, RW/m* flat",
+            "E38",
+            "§7.3",
+            "sampling: BGHK92 learns, RW/m* flat",
             "≈0.8 / 0.5 / 0.5".to_string(),
             format!("{pp:.3} / {rw:.3} / {star:.3}"),
             pp > 0.68 && (rw - 0.5).abs() < 0.03 && (star - 0.5).abs() < 0.03,
@@ -394,19 +406,21 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
              ||A2(x) | A1(x)||_x ~=_1 1; {facts}"
         ))
         .unwrap();
-        let anomaly = engine.degree_of_belief(&naive, "A2(S)").unwrap();
+        let anomaly = engine.answer(&naive, "A2(S)").unwrap();
         let causal = KnowledgeBase::parse(&format!(
             "||L1(x) | L0(x)||_x ~=_1 1; ||A1(x) | A0(x)||_x ~=_2 1; \
              ||A2(x) | A1(x) & !L1(x)||_x ~=_3 1; {facts}"
         ))
         .unwrap();
-        let fixed = engine.degree_of_belief(&causal, "A2(S)").unwrap();
+        let fixed = engine.answer(&causal, "A2(S)").unwrap();
         let anomalous = anomaly
             .belief
             .as_point()
             .is_some_and(|v| v > 0.05 && v < 0.95);
         push(
-            "E40", "§7.1", "Yale shooting: naive vs causal",
+            "E40",
+            "§7.1",
+            "Yale shooting: naive vs causal",
             "standoff / 0".to_string(),
             format!(
                 "naive {} / causal {}",
@@ -420,11 +434,9 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
     // E41: the §2.2 disjunctive-class restriction — Kyburg/Pollock lose
     // Tay-Sachs, random worlds answers.
     {
-        use rw_refclass::{
-            reference_class_belief_policy, RefClassAnswer, RefClassPolicy,
-        };
-        let kb = KnowledgeBase::parse("||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)")
-            .unwrap();
+        use rw_refclass::{reference_class_belief_policy, RefClassAnswer, RefClassPolicy};
+        let kb =
+            KnowledgeBase::parse("||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)").unwrap();
         let restricted = reference_class_belief_policy(
             &kb,
             "TS(Eric)",
@@ -434,16 +446,22 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
             },
         )
         .unwrap();
-        let rw = engine.degree_of_belief(&kb, "TS(Eric)").unwrap();
+        let rw = engine.answer(&kb, "TS(Eric)").unwrap();
         let gave_up = matches!(restricted, RefClassAnswer::NoOpinion { .. });
         push(
-            "E41", "§2.2/5.22", "disjunctive class: Kyburg mute, RW 0.02",
+            "E41",
+            "§2.2/5.22",
+            "disjunctive class: Kyburg mute, RW 0.02",
             "no opinion / 0.02".to_string(),
             format!(
                 "restricted refclass gave up={gave_up} / RW {}",
                 fmt_belief(&rw.belief)
             ),
-            gave_up && rw.belief.as_point().is_some_and(|v| (v - 0.02).abs() < 1e-6),
+            gave_up
+                && rw
+                    .belief
+                    .as_point()
+                    .is_some_and(|v| (v - 0.02).abs() < 1e-6),
         );
     }
 
@@ -461,9 +479,14 @@ fn run_comparators(engine: &RandomWorlds) -> Vec<Row> {
         let vals: Vec<f64> = trend.into_iter().map(|(_, v)| v.unwrap()).collect();
         let drifting = vals.windows(2).all(|w| w[0] < w[1]) && vals[2] > rw + 0.02;
         push(
-            "E39", "§7.3", "giraffe: propensities over-learn",
+            "E39",
+            "§7.3",
+            "giraffe: propensities over-learn",
             "2/3 vs drift↑".to_string(),
-            format!("RW {rw:.3}; BGHK92 {:.3}→{:.3}→{:.3}", vals[0], vals[1], vals[2]),
+            format!(
+                "RW {rw:.3}; BGHK92 {:.3}→{:.3}→{:.3}",
+                vals[0], vals[1], vals[2]
+            ),
             (rw - 2.0 / 3.0).abs() < 0.03 && drifting,
         );
     }
@@ -478,7 +501,9 @@ fn print_figures(engine: &RandomWorlds) {
     let q = kb.parse_query("Hep(Eric)").unwrap();
     for (den, n) in [(10i128, 20usize), (20, 40), (40, 80), (80, 160)] {
         let tol = Tolerances::uniform(Rat::new(1, den));
-        let v = rw_unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap().unwrap();
+        let v = rw_unary::degree_of_belief_at(&kb, &q, n, &tol)
+            .unwrap()
+            .unwrap();
         println!("  τ = 1/{den:<3} N = {n:<4} Pr = {v:.5}");
     }
 
@@ -511,8 +536,8 @@ fn print_figures(engine: &RandomWorlds) {
     }
 
     println!("\n── F4: exact-vs-maxent atom gap vs N (concentration, §6) ──");
-    let kb = KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1")
-        .unwrap();
+    let kb =
+        KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1").unwrap();
     let tol = Tolerances::uniform(Rat::new(1, 20));
     let point = rw_maxent::maxent_point(&kb, &tol).unwrap();
     for n in [40usize, 80, 160, 320] {
@@ -534,7 +559,9 @@ fn print_figures(engine: &RandomWorlds) {
     let q = kb.parse_query("Winner(C)").unwrap();
     let tol = Tolerances::uniform(Rat::new(1, 10));
     for n in [10usize, 100, 1000] {
-        let v = rw_unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap().unwrap();
+        let v = rw_unary::degree_of_belief_at(&kb, &q, n, &tol)
+            .unwrap()
+            .unwrap();
         println!("  N = {n:<5} Pr = {v:.6}  (1/N = {:.6})", 1.0 / n as f64);
     }
 
@@ -545,7 +572,9 @@ fn print_figures(engine: &RandomWorlds) {
     let ns = [16usize, 32, 48];
     print!("  random worlds   ");
     for n in ns {
-        let v = rw_unary::degree_of_belief_at(&s.kb, &s.query, n, &tol).unwrap().unwrap();
+        let v = rw_unary::degree_of_belief_at(&s.kb, &s.query, n, &tol)
+            .unwrap()
+            .unwrap();
         print!("  N={n}: {v:.4}");
     }
     println!();
@@ -556,7 +585,10 @@ fn print_figures(engine: &RandomWorlds) {
         let eng = PropensityEngine::new(prior);
         print!("  {label}");
         for n in ns {
-            let v = eng.degree_of_belief_at(&s.kb, &s.query, n, &tol).unwrap().unwrap();
+            let v = eng
+                .degree_of_belief_at(&s.kb, &s.query, n, &tol)
+                .unwrap()
+                .unwrap();
             print!("  N={n}: {v:.4}");
         }
         println!();

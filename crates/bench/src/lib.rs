@@ -1,1 +1,229 @@
-//! Criterion benchmarks and the experiments harness (see benches/ and src/bin/).
+//! A std-only micro-benchmark harness, plus the experiments binary
+//! (`src/bin/experiments.rs`) and the benchmark suites under `benches/`.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! benches cannot link Criterion. This module provides an API-compatible
+//! subset — [`Criterion`], benchmark groups, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — that measures with
+//! plain [`std::time::Instant`] and reports the median time per iteration.
+//! Bench sources written against Criterion's surface compile unchanged
+//! apart from the `use` line.
+//!
+//! Methodology: each benchmark is warmed up, then timed over
+//! `sample_size` batches whose iteration count is auto-scaled so a batch
+//! takes roughly [`Criterion::BATCH_TARGET`]; the reported figure is the
+//! median batch divided by the batch's iteration count. That is cruder
+//! than Criterion's bootstrap, but stable enough to read scaling shapes
+//! (the point of every suite in `benches/`).
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Target wall-clock time for one measured batch.
+    pub const BATCH_TARGET: Duration = Duration::from_millis(10);
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+
+    /// A one-off benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group("").bench_function(name, f);
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of measured batches per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `f` as a benchmark labelled `name` within this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let id: BenchmarkId = name.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.0);
+    }
+
+    /// Runs `f(bencher, input)` as a benchmark labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `"<name>/<param>"`.
+    pub fn new(name: &str, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Just the parameter, for single-axis groups.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-scaling the per-batch iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and batch sizing: run until we know roughly how long one
+        // iteration takes, then size batches near BATCH_TARGET.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let batch =
+            ((Criterion::BATCH_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        let label = if group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{group}/{name}")
+        };
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        println!(
+            "{label:<48} {:>12}  (min {}, max {})",
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions under one name, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Entry point: runs every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($name:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes CLI filters; this harness ignores them.
+            let mut c = $crate::Criterion::default();
+            $( $name(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("named", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("sys", 8).0, "sys/8");
+        assert_eq!(BenchmarkId::from_parameter(3).0, "3");
+    }
+}

@@ -31,6 +31,12 @@ pub enum Command {
         /// Session options parsed from flags.
         options: SessionOptions,
     },
+    /// `rwq batch <file>`: queries from stdin (one per line), one JSON
+    /// result object per line on stdout, against a single loaded KB.
+    Batch {
+        /// The `.rwkb` knowledge-base file.
+        file: PathBuf,
+    },
     /// `rwq help` (or no arguments).
     Help,
 }
@@ -55,6 +61,7 @@ USAGE:
   rwq query <file.rwkb> <query>... [options]
   rwq check <file.rwkb>
   rwq repl  <file.rwkb> [options]     (queries from stdin, one per line)
+  rwq batch <file.rwkb>               (queries from stdin, JSONL results out)
   rwq help
 
 OPTIONS:
@@ -69,8 +76,14 @@ fn parse_tau(s: &str) -> Result<Rat, ArgError> {
     let (p, q) = s
         .split_once('/')
         .ok_or_else(|| ArgError(format!("--tau expects P/Q, got `{s}`")))?;
-    let p: i128 = p.trim().parse().map_err(|_| ArgError(format!("bad numerator `{p}`")))?;
-    let q: i128 = q.trim().parse().map_err(|_| ArgError(format!("bad denominator `{q}`")))?;
+    let p: i128 = p
+        .trim()
+        .parse()
+        .map_err(|_| ArgError(format!("bad numerator `{p}`")))?;
+    let q: i128 = q
+        .trim()
+        .parse()
+        .map_err(|_| ArgError(format!("bad denominator `{q}`")))?;
     if p <= 0 || q <= 0 {
         return Err(ArgError(format!("--tau must be positive, got {s}")));
     }
@@ -165,6 +178,29 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 options,
             })
         }
+        "batch" => {
+            let (options, positional) = parse_options(&args[1..])?;
+            if options.prior.is_some() {
+                return Err(ArgError(
+                    "batch always uses the random-worlds pipeline; --prior is not supported"
+                        .to_string(),
+                ));
+            }
+            // Rejected, not silently ignored: batch emits full JSON
+            // objects, so the text-formatting flags have no effect.
+            if options != SessionOptions::default() {
+                return Err(ArgError(
+                    "batch emits full JSON results; --tau, --trend and --quiet are not supported"
+                        .to_string(),
+                ));
+            }
+            let [file] = positional.as_slice() else {
+                return Err(ArgError("batch expects exactly one file".to_string()));
+            };
+            Ok(Command::Batch {
+                file: PathBuf::from(file),
+            })
+        }
         "query" => {
             let (options, mut positional) = parse_options(&args[1..])?;
             if positional.len() < 2 {
@@ -196,7 +232,14 @@ mod tests {
     #[test]
     fn query_with_options() {
         let cmd = parse(&strs(&[
-            "query", "kb.rwkb", "Hep(Eric)", "--tau", "1/64", "--trend", "8,16", "--quiet",
+            "query",
+            "kb.rwkb",
+            "Hep(Eric)",
+            "--tau",
+            "1/64",
+            "--trend",
+            "8,16",
+            "--quiet",
         ]))
         .unwrap();
         match cmd {
@@ -236,12 +279,64 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert!(parse(&strs(&["frobnicate"])).unwrap_err().0.contains("unknown command"));
-        assert!(parse(&strs(&["query", "kb"])).unwrap_err().0.contains("at least one query"));
-        assert!(parse(&strs(&["check"])).unwrap_err().0.contains("exactly one file"));
-        assert!(parse(&strs(&["query", "kb", "q", "--tau"])).unwrap_err().0.contains("expects a value"));
-        assert!(parse(&strs(&["query", "kb", "q", "--tau", "0/3"])).unwrap_err().0.contains("positive"));
-        assert!(parse(&strs(&["query", "kb", "q", "--wat"])).unwrap_err().0.contains("unknown option"));
+        assert!(parse(&strs(&["frobnicate"]))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(parse(&strs(&["query", "kb"]))
+            .unwrap_err()
+            .0
+            .contains("at least one query"));
+        assert!(parse(&strs(&["check"]))
+            .unwrap_err()
+            .0
+            .contains("exactly one file"));
+        assert!(parse(&strs(&["query", "kb", "q", "--tau"]))
+            .unwrap_err()
+            .0
+            .contains("expects a value"));
+        assert!(parse(&strs(&["query", "kb", "q", "--tau", "0/3"]))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&strs(&["query", "kb", "q", "--wat"]))
+            .unwrap_err()
+            .0
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn batch_parses_and_rejects_priors() {
+        let cmd = parse(&strs(&["batch", "kb.rwkb"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                file: PathBuf::from("kb.rwkb")
+            }
+        );
+        assert!(parse(&strs(&["batch"]))
+            .unwrap_err()
+            .0
+            .contains("exactly one file"));
+        // Formatting flags are rejected outright rather than silently
+        // ignored.
+        for flagged in [
+            vec!["batch", "kb", "--quiet"],
+            vec!["batch", "kb", "--tau", "1/64"],
+            vec!["batch", "kb", "--trend", "8,16"],
+        ] {
+            assert!(
+                parse(&strs(&flagged))
+                    .unwrap_err()
+                    .0
+                    .contains("not supported"),
+                "{flagged:?}"
+            );
+        }
+        assert!(parse(&strs(&["batch", "kb", "--prior", "carnap"]))
+            .unwrap_err()
+            .0
+            .contains("--prior"));
     }
 
     #[test]

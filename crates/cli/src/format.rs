@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn empty_files_are_rejected() {
-        assert!(matches!(parse_kb("# only comments\n\n"), Err(LoadError::Empty)));
+        assert!(matches!(
+            parse_kb("# only comments\n\n"),
+            Err(LoadError::Empty)
+        ));
     }
 
     #[test]

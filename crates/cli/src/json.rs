@@ -1,0 +1,144 @@
+//! Minimal JSON emission for the `rwq batch` JSONL output.
+//!
+//! The workspace has no external dependencies, so this module hand-rolls
+//! the (tiny) JSON surface the batch subcommand needs: string escaping
+//! and the rendering of a [`rw_core::Response`] or error into one
+//! self-contained object per input line.
+
+use rw_core::{Belief, Response, StageStatus};
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *contents* of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number (JSON has no NaN/∞; those become `null`).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The belief as a tagged JSON object.
+fn belief_json(b: &Belief) -> String {
+    match b {
+        Belief::Point(v) => format!(r#"{{"type":"point","value":{}}}"#, number(*v)),
+        Belief::Interval(lo, hi) => format!(
+            r#"{{"type":"interval","lo":{},"hi":{}}}"#,
+            number(*lo),
+            number(*hi)
+        ),
+        Belief::NonRobust(vs) => {
+            let candidates: Vec<String> = vs.iter().map(|v| number(*v)).collect();
+            format!(
+                r#"{{"type":"non-robust","candidates":[{}]}}"#,
+                candidates.join(",")
+            )
+        }
+        Belief::Undefined => r#"{"type":"undefined"}"#.to_string(),
+    }
+}
+
+/// One successful JSONL result line (no trailing newline).
+pub fn response_line(query: &str, response: &Response) -> String {
+    let mut trace = String::from("[");
+    for (i, s) in response.trace.steps().iter().enumerate() {
+        if i > 0 {
+            trace.push(',');
+        }
+        let _ = write!(
+            trace,
+            r#"{{"stage":"{}","outcome":"{}""#,
+            escape(&s.stage),
+            s.status.keyword()
+        );
+        if let StageStatus::Declined(r) | StageStatus::BudgetExhausted(r) = &s.status {
+            let _ = write!(trace, r#","reason":"{}""#, escape(r));
+        }
+        let _ = write!(trace, r#","elapsed_us":{}}}"#, s.elapsed.as_micros());
+    }
+    trace.push(']');
+    format!(
+        r#"{{"query":"{}","ok":true,"belief":{},"provenance":"{}","trace":{}}}"#,
+        escape(query),
+        belief_json(&response.belief),
+        escape(&response.provenance.to_string()),
+        trace
+    )
+}
+
+/// One failed JSONL result line (no trailing newline).
+pub fn error_line(query: &str, error: &str) -> String {
+    format!(
+        r#"{{"query":"{}","ok":false,"error":"{}"}}"#,
+        escape(query),
+        escape(error)
+    )
+}
+
+/// A batch-fatal JSONL line (no query context, e.g. the KB failed to
+/// load) — keeps `rwq batch` stdout parseable as one JSON object per
+/// line even on startup failure.
+pub fn fatal_line(error: &str) -> String {
+    format!(r#"{{"ok":false,"error":"{}"}}"#, escape(error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape(r"a\b"), r"a\\b");
+        assert_eq!(escape("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("Pr∞"), "Pr∞");
+    }
+
+    #[test]
+    fn belief_variants_serialize() {
+        assert_eq!(
+            belief_json(&Belief::Point(0.5)),
+            r#"{"type":"point","value":0.5}"#
+        );
+        assert_eq!(
+            belief_json(&Belief::Interval(0.25, 0.75)),
+            r#"{"type":"interval","lo":0.25,"hi":0.75}"#
+        );
+        assert_eq!(
+            belief_json(&Belief::NonRobust(vec![0.0, 1.0])),
+            r#"{"type":"non-robust","candidates":[0,1]}"#
+        );
+        assert_eq!(belief_json(&Belief::Undefined), r#"{"type":"undefined"}"#);
+        assert_eq!(
+            belief_json(&Belief::Point(f64::NAN)),
+            r#"{"type":"point","value":null}"#
+        );
+    }
+
+    #[test]
+    fn error_lines_are_well_formed() {
+        assert_eq!(
+            error_line("P(", "unexpected end"),
+            r#"{"query":"P(","ok":false,"error":"unexpected end"}"#
+        );
+    }
+}

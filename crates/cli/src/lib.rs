@@ -4,11 +4,13 @@
 //!
 //! The binary loads a knowledge base written in the `L≈` concrete syntax
 //! (see [`mod@format`] for the `.rwkb` file conventions), answers degree-of-
-//! belief queries through the full engine stack — theorem engine, maximum
-//! entropy, exact finite-`N` counting — and can switch the prior to the
-//! random-propensities families of `rw-propensity`. All behavior lives in
-//! this library so it is testable without spawning processes; the binary
-//! in `src/bin/rwq.rs` is a thin dispatcher.
+//! belief queries through the `rw-core` solver pipeline — theorem engine,
+//! maximum entropy, exact finite-`N` counting — and can switch the prior
+//! to the random-propensities families of `rw-propensity`. The `batch`
+//! subcommand is the serving path: one loaded KB, queries streamed on
+//! stdin one per line, one JSON result object per line on stdout. All
+//! behavior lives in this library so it is testable without spawning
+//! processes; the binary in `src/bin/rwq.rs` is a thin dispatcher.
 //!
 //! ```text
 //! $ rwq query examples/kbs/hepatitis.rwkb "Hep(Eric)"
@@ -17,6 +19,7 @@
 
 pub mod args;
 pub mod format;
+pub mod json;
 pub mod session;
 
 pub use args::{parse, ArgError, Command, USAGE};
@@ -69,6 +72,34 @@ pub fn run(
                         writeln!(out, "error: {q}: {e}")?;
                         failures += 1;
                     }
+                }
+            }
+            Ok(if failures == 0 { 0 } else { 1 })
+        }
+        Command::Batch { file } => {
+            let kb = match load_kb(&file) {
+                Ok(kb) => kb,
+                Err(e) => {
+                    // Even startup failure keeps stdout valid JSONL.
+                    writeln!(out, "{}", json::fatal_line(&e.to_string()))?;
+                    return Ok(1);
+                }
+            };
+            let session = Session::new(kb, SessionOptions::default());
+            // Streamed: each line is answered (and flushed) as it arrives,
+            // so long-lived producers see results without waiting for EOF.
+            let mut failures = 0usize;
+            for line in stdin.lines() {
+                let line = line?;
+                let q = line.trim();
+                if q.is_empty() || q.starts_with('#') {
+                    continue;
+                }
+                let (json, ok) = session.answer_json_line(q);
+                writeln!(out, "{json}")?;
+                out.flush()?;
+                if !ok {
+                    failures += 1;
                 }
             }
             Ok(if failures == 0 { 0 } else { 1 })
@@ -133,10 +164,8 @@ mod tests {
 
         pub fn kb_file(content: &str) -> TempPath {
             let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "rwq-test-{}-{id}.rwkb",
-                std::process::id()
-            ));
+            let path =
+                std::env::temp_dir().join(format!("rwq-test-{}-{id}.rwkb", std::process::id()));
             std::fs::write(&path, content).unwrap();
             TempPath(path)
         }
@@ -195,6 +224,31 @@ mod tests {
         let (code, out) = run_capture(cmd, "");
         assert_eq!(code, 0);
         assert!(out.contains("1 statement(s)"), "{out}");
+    }
+
+    #[test]
+    fn batch_missing_file_emits_json_not_bare_text() {
+        let cmd = Command::Batch {
+            file: "/nonexistent/kb.rwkb".into(),
+        };
+        let (code, out) = run_capture(cmd, "P(C)\n");
+        assert_eq!(code, 1);
+        assert!(out.starts_with(r#"{"ok":false,"error":"#), "{out}");
+    }
+
+    #[test]
+    fn batch_answers_jsonl_and_flags_bad_lines() {
+        let kb = write_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+        let cmd = Command::Batch { file: kb.0.clone() };
+        let (code, out) = run_capture(cmd, "Hep(Eric)\n# a comment\n\nHep(\n!Hep(Eric)\n");
+        // The bad middle line fails the exit code but not the other answers.
+        assert_eq!(code, 1, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains(r#""ok":true"#), "{out}");
+        assert!(lines[0].contains(r#""value":0.8"#), "{out}");
+        assert!(lines[1].contains(r#""ok":false"#), "{out}");
+        assert!(lines[2].contains(r#""ok":true"#), "{out}");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Query sessions: a loaded knowledge base plus answer formatting.
 //!
-//! The session wraps the [`rw_core::RandomWorlds`] orchestrator (or a
+//! The session wraps the [`rw_core::RandomWorlds`] solver pipeline (or a
 //! [`rw_propensity::PropensityEngine`] when a non-uniform prior is chosen)
 //! and renders results as the stable, line-oriented text the `rwq` binary
 //! prints — kept in the library so integration tests can assert on it.
+//! [`Session::answer_json_line`] is the serving path behind `rwq batch`:
+//! one loaded KB, one pinned solver pipeline, one JSON object per query
+//! ([`Session::answer_batch_jsonl`] is the collected convenience form).
 
 use rw_core::{EngineError, RandomWorlds};
 use rw_logic::{KnowledgeBase, Pretty, Tolerances};
@@ -84,10 +87,15 @@ pub struct Session {
 impl Session {
     /// A session over a loaded knowledge base.
     pub fn new(kb: KnowledgeBase, options: SessionOptions) -> Session {
+        // The session never reconfigures its engine, so the default
+        // cascade is pinned once here and shared by every query instead
+        // of being rebuilt per call.
+        let engine = RandomWorlds::new();
+        let stages = engine.default_stages();
         Session {
             kb,
             options,
-            engine: RandomWorlds::new(),
+            engine: engine.with_solvers(stages),
         }
     }
 
@@ -104,8 +112,41 @@ impl Session {
         }
     }
 
+    /// Answers one query as a self-contained JSON object plus a success
+    /// flag — the per-line unit of `rwq batch`, which streams an answer
+    /// as each stdin line arrives. Always uses the random-worlds
+    /// pipeline; a bad query yields an `"ok":false` object, never an
+    /// `Err`.
+    pub fn answer_json_line(&self, query: &str) -> (String, bool) {
+        match self.engine.answer(&self.kb, query) {
+            Ok(response) => (crate::json::response_line(query, &response), true),
+            Err(e) => (crate::json::error_line(query, &e.to_string()), false),
+        }
+    }
+
+    /// Answers a batch of queries against the loaded KB, one JSON object
+    /// per query (in input order), plus the number of failed queries.
+    ///
+    /// The collected form of [`Self::answer_json_line`] (same KB, same
+    /// pinned pipeline, same JSON shape): a bad query produces an
+    /// `"ok":false` line without voiding the rest.
+    pub fn answer_batch_jsonl(&self, queries: &[String]) -> (Vec<String>, usize) {
+        let mut failures = 0usize;
+        let lines = queries
+            .iter()
+            .map(|q| {
+                let (line, ok) = self.answer_json_line(q);
+                if !ok {
+                    failures += 1;
+                }
+                line
+            })
+            .collect();
+        (lines, failures)
+    }
+
     fn answer_random_worlds(&self, query: &str) -> Result<String, SessionError> {
-        let result = self.engine.degree_of_belief(&self.kb, query)?;
+        let result = self.engine.answer(&self.kb, query)?;
         let mut out = if self.options.explain {
             format!("Pr∞({query} | KB) = {}", result)
         } else {
@@ -189,7 +230,11 @@ impl Session {
             }
         ));
         for p in vocab.preds() {
-            out.push_str(&format!("  pred  {}/{}\n", vocab.pred_name(p), vocab.pred_arity(p)));
+            out.push_str(&format!(
+                "  pred  {}/{}\n",
+                vocab.pred_name(p),
+                vocab.pred_arity(p)
+            ));
         }
         for c in vocab.consts() {
             out.push_str(&format!("  const {}\n", vocab.const_name(c)));
@@ -338,5 +383,34 @@ mod tests {
     fn parse_errors_in_queries_surface() {
         let s = Session::new(hepatitis(), SessionOptions::default());
         assert!(s.answer("Hep(").is_err());
+    }
+
+    #[test]
+    fn batch_jsonl_answers_each_query_once() {
+        let s = Session::new(hepatitis(), SessionOptions::default());
+        let queries = vec!["Hep(Eric)".to_string(), "!Hep(Eric)".to_string()];
+        let (lines, failures) = s.answer_batch_jsonl(&queries);
+        assert_eq!(failures, 0);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""query":"Hep(Eric)""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""ok":true"#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""value":0.8"#), "{}", lines[0]);
+        assert!(
+            lines[0].contains(r#""trace":[{"stage":"theorems","outcome":"answered""#),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("0.2"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn batch_jsonl_isolates_bad_lines() {
+        let s = Session::new(hepatitis(), SessionOptions::default());
+        let queries = vec!["Hep(".to_string(), "Hep(Eric)".to_string()];
+        let (lines, failures) = s.answer_batch_jsonl(&queries);
+        assert_eq!(failures, 1);
+        assert!(lines[0].contains(r#""ok":false"#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""error""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""ok":true"#), "{}", lines[1]);
     }
 }

@@ -54,6 +54,40 @@ fn help_lists_options() {
 }
 
 #[test]
+fn batch_jsonl_round_trip_with_bad_line() {
+    // Mirrors `bad_query_sets_exit_code_but_answers_others`: one bad line
+    // fails the exit code while every other line is still answered, all
+    // against a single loaded KB in a single process.
+    let kb = kb_file("batch", "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+    let mut child = rwq()
+        .args(["batch", kb.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"Hep(Eric)\nHep(\n!Hep(Eric)\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains(r#""ok":true"#), "{stdout}");
+    assert!(
+        lines[0].contains(r#""provenance":"direct inference"#),
+        "{stdout}"
+    );
+    assert!(lines[0].contains(r#""trace":["#), "{stdout}");
+    assert!(lines[1].contains(r#""ok":false"#), "{stdout}");
+    assert!(lines[2].contains(r#""ok":true"#), "{stdout}");
+    let _ = std::fs::remove_file(kb);
+}
+
+#[test]
 fn repl_round_trip() {
     let kb = kb_file("repl", "P(C)\n");
     let mut child = rwq()

@@ -55,9 +55,7 @@ impl Belief {
                 (a1 - b1).abs() <= eps && (a2 - b2).abs() <= eps
             }
             (Belief::Point(a), Belief::Interval(lo, hi))
-            | (Belief::Interval(lo, hi), Belief::Point(a)) => {
-                *a >= lo - eps && *a <= hi + eps
-            }
+            | (Belief::Interval(lo, hi), Belief::Point(a)) => *a >= lo - eps && *a <= hi + eps,
             (Belief::Undefined, Belief::Undefined) => true,
             (Belief::NonRobust(_), Belief::NonRobust(_)) => true,
             _ => false,
@@ -164,6 +162,8 @@ mod tests {
     fn display_forms() {
         assert_eq!(Belief::Point(0.8).to_string(), "0.800000");
         assert!(Belief::Interval(0.7, 0.8).to_string().starts_with('['));
-        assert!(Belief::NonRobust(vec![0.0, 1.0]).to_string().contains("non-robust"));
+        assert!(Belief::NonRobust(vec![0.0, 1.0])
+            .to_string()
+            .contains("non-robust"));
     }
 }

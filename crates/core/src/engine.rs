@@ -1,50 +1,239 @@
-//! Engine orchestration: theorems → maximum entropy → exact finite-`N`
-//! diagonals.
+//! Engine orchestration: a configurable pipeline of [`Solver`] stages
+//! with per-stage budgets, batched queries, and full per-query traces.
 
 use crate::belief::{Belief, Provenance};
-use crate::theorems;
+use crate::solver::{Budget, Diagonal, SolverOutcome, Stage, StageStatus, Trace};
+use crate::solvers::{EnumerationDiagonalSolver, MaxEntSolver, TheoremSolver, UnaryDiagonalSolver};
 use rw_logic::ast::Formula;
-use rw_logic::{KnowledgeBase, ParseError, Tolerances};
-use rw_maxent::{LimitOutcome, MaxentError, SweepConfig};
-use rw_util::Rat;
+use rw_logic::{KnowledgeBase, ParseError};
+use rw_maxent::SweepConfig;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration and entry point for random-worlds inference.
+///
+/// The engine is a pipeline: an ordered list of [`Stage`]s, each a
+/// [`Solver`] plus the [`Budget`] it may spend. A query walks the stages
+/// in order until one answers; the walk is recorded in the returned
+/// [`Response::trace`]. By default the pipeline is the paper's cascade —
+/// theorems, maximum entropy, exact unary counting, enumeration — built
+/// from the public configuration fields at query time; [`Self::with_solvers`]
+/// replaces it wholesale.
 #[derive(Clone, Debug)]
 pub struct RandomWorlds {
-    /// Maximum-entropy τ-sweep configuration.
+    /// Maximum-entropy τ-sweep configuration (used by the default
+    /// pipeline's maxent stage).
     pub sweep: SweepConfig,
     /// Budget for exact unary profile counting.
     pub unary_max_profiles: u128,
     /// Budget for brute-force world enumeration.
     pub enum_max_worlds: u128,
-    /// The `(τ, N)` diagonal used by the exact finite-`N` fallbacks.
-    pub diagonal: Vec<(Rat, usize)>,
+    /// The `(τ, N)` diagonal used by the exact finite-`N` stages.
+    pub diagonal: Diagonal,
+    /// A custom pipeline installed by [`Self::with_solvers`]; `None` means
+    /// the default cascade is built from the fields above per query.
+    custom: Option<Arc<Vec<Stage>>>,
 }
 
-impl Default for RandomWorlds {
-    fn default() -> RandomWorlds {
+impl RandomWorlds {
+    /// The default engine: the paper's four-stage cascade with the
+    /// standard diagonal and counting budgets.
+    pub fn new() -> RandomWorlds {
         RandomWorlds {
             sweep: SweepConfig::default(),
             unary_max_profiles: 20_000_000,
             enum_max_worlds: 1 << 24,
-            diagonal: vec![
-                (Rat::new(1, 4), 8),
-                (Rat::new(1, 8), 16),
-                (Rat::new(1, 16), 32),
-            ],
+            diagonal: Diagonal::default(),
+            custom: None,
         }
+    }
+
+    /// Replaces the pipeline with an explicit stage list (must be
+    /// non-empty, so every answer still carries a non-empty trace).
+    pub fn with_solvers(mut self, stages: Vec<Stage>) -> RandomWorlds {
+        assert!(
+            !stages.is_empty(),
+            "a RandomWorlds pipeline needs at least one stage"
+        );
+        self.custom = Some(Arc::new(stages));
+        self
+    }
+
+    /// The names of the effective pipeline's stages, in execution order.
+    pub fn solvers(&self) -> Vec<String> {
+        self.effective_stages()
+            .iter()
+            .map(|s| s.solver.name().to_string())
+            .collect()
+    }
+
+    /// The default cascade, built from the current configuration fields.
+    /// Useful as a base when composing a custom pipeline.
+    pub fn default_stages(&self) -> Vec<Stage> {
+        vec![
+            Stage::new(Box::new(TheoremSolver)),
+            Stage::new(Box::new(MaxEntSolver::new(self.sweep.clone()))),
+            Stage::budgeted(
+                Box::new(UnaryDiagonalSolver::new(self.diagonal.clone())),
+                Budget::counting(self.unary_max_profiles),
+            ),
+            Stage::budgeted(
+                Box::new(EnumerationDiagonalSolver::new(self.diagonal.clone())),
+                Budget::counting(self.enum_max_worlds),
+            ),
+        ]
+    }
+
+    /// The pipeline a query will actually run: the custom stage list if
+    /// one is installed, else the default cascade built from the current
+    /// configuration fields (so field mutations keep taking effect).
+    fn effective_stages(&self) -> Arc<Vec<Stage>> {
+        match &self.custom {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(self.default_stages()),
+        }
+    }
+
+    /// Computes `Pr∞(query | KB)` for a textual query.
+    pub fn answer(&self, kb: &KnowledgeBase, query: &str) -> Result<Response, EngineError> {
+        self.answer_with(&self.effective_stages(), kb, query)
+    }
+
+    /// Computes `Pr∞(query | KB)` for an already-parsed query.
+    pub fn answer_formula(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+    ) -> Result<Response, EngineError> {
+        self.run_pipeline(&self.effective_stages(), kb, query)
+    }
+
+    /// Answers many queries against one knowledge base.
+    ///
+    /// This is the serving-path primitive: the pipeline is built once and
+    /// the knowledge base is validated once, then reused across all
+    /// queries. Per-query failures (parse errors, out-of-reach) are
+    /// returned in place so one bad query never voids the rest.
+    pub fn answer_batch<S: AsRef<str>>(
+        &self,
+        kb: &KnowledgeBase,
+        queries: &[S],
+    ) -> Vec<Result<Response, EngineError>> {
+        let stages = self.effective_stages();
+        queries
+            .iter()
+            .map(|q| self.answer_with(&stages, kb, q.as_ref()))
+            .collect()
+    }
+
+    fn answer_with(
+        &self,
+        stages: &[Stage],
+        kb: &KnowledgeBase,
+        query: &str,
+    ) -> Result<Response, EngineError> {
+        // Queries may mention fresh constants, so each gets its own
+        // vocabulary extension over a cheap clone of the shared KB.
+        let mut kb = kb.clone();
+        let q = kb.parse_query(query)?;
+        self.run_pipeline(stages, &kb, &q)
+    }
+
+    fn run_pipeline(
+        &self,
+        stages: &[Stage],
+        kb: &KnowledgeBase,
+        query: &Formula,
+    ) -> Result<Response, EngineError> {
+        // Recursion (independence products, nested defaults) re-enters the
+        // *same* stage list rather than rebuilding it per sub-query.
+        let recurse = |skb: &KnowledgeBase, sq: &Formula| {
+            self.run_pipeline(stages, skb, sq)
+                .ok()
+                .map(|r| (r.belief, r.provenance))
+        };
+        let mut trace = Trace::default();
+        for stage in stages {
+            let start = Instant::now();
+            let outcome = stage.solver.solve(kb, query, &stage.budget, &recurse);
+            let elapsed = start.elapsed();
+            let name = stage.solver.name();
+            match outcome {
+                SolverOutcome::Answered { belief, provenance } => {
+                    trace.push(name, StageStatus::Answered, elapsed);
+                    return Ok(Response {
+                        belief,
+                        provenance,
+                        trace,
+                    });
+                }
+                SolverOutcome::Declined { reason } => {
+                    trace.push(name, StageStatus::Declined(reason), elapsed);
+                }
+                SolverOutcome::BudgetExhausted { reason } => {
+                    trace.push(name, StageStatus::BudgetExhausted(reason), elapsed);
+                }
+            }
+        }
+        Err(EngineError::OutOfReach {
+            reason: "every pipeline stage declined or exhausted its budget".to_string(),
+            trace,
+        })
+    }
+
+    /// Computes `Pr∞(query | KB)` for a textual query.
+    ///
+    /// Compatibility wrapper for [`Self::answer`] (the historical name).
+    pub fn degree_of_belief(
+        &self,
+        kb: &KnowledgeBase,
+        query: &str,
+    ) -> Result<Response, EngineError> {
+        self.answer(kb, query)
+    }
+
+    /// Computes `Pr∞(query | KB)` for an already-parsed query.
+    ///
+    /// Compatibility wrapper for [`Self::answer_formula`].
+    pub fn degree_of_belief_formula(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+    ) -> Result<Response, EngineError> {
+        self.answer_formula(kb, query)
+    }
+
+    /// The default-inference relation `KB |~rw φ`: degree of belief 1
+    /// (paper §5.1).
+    pub fn follows_by_default(&self, kb: &KnowledgeBase, query: &str) -> Result<bool, EngineError> {
+        Ok(self.answer(kb, query)?.belief.is_one())
     }
 }
 
-/// A degree of belief together with the method that produced it.
-#[derive(Clone, Debug, PartialEq)]
-pub struct BeliefResult {
-    pub belief: Belief,
-    pub provenance: Provenance,
+impl Default for RandomWorlds {
+    fn default() -> RandomWorlds {
+        RandomWorlds::new()
+    }
 }
 
-impl fmt::Display for BeliefResult {
+/// A degree of belief, the method that produced it, and the per-stage
+/// trace of the pipeline walk that got there.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The degree of belief `Pr∞(query | KB)`.
+    pub belief: Belief,
+    /// Which method produced it.
+    pub provenance: Provenance,
+    /// What every stage up to (and including) the answering one did.
+    pub trace: Trace,
+}
+
+/// The historical name for [`Response`], kept so terse example code and
+/// downstream crates keep compiling.
+pub type BeliefResult = Response;
+
+impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} (via {})", self.belief, self.provenance)
     }
@@ -53,16 +242,28 @@ impl fmt::Display for BeliefResult {
 /// Engine-level failures.
 #[derive(Debug)]
 pub enum EngineError {
+    /// The query failed to parse.
     Parse(ParseError),
-    /// No engine could handle the KB/query pair within its budget.
-    OutOfReach(String),
+    /// No stage answered; the trace records what each one reported.
+    OutOfReach {
+        /// Summary line.
+        reason: String,
+        /// Per-stage outcomes, for diagnosis.
+        trace: Trace,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Parse(e) => write!(f, "{e}"),
-            EngineError::OutOfReach(s) => write!(f, "no engine applicable: {s}"),
+            EngineError::OutOfReach { reason, trace } => {
+                write!(f, "no engine applicable: {reason}")?;
+                if !trace.is_empty() {
+                    write!(f, " [{trace}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -75,190 +276,16 @@ impl From<ParseError> for EngineError {
     }
 }
 
-impl RandomWorlds {
-    pub fn new() -> RandomWorlds {
-        RandomWorlds::default()
-    }
-
-    /// Computes `Pr∞(query | KB)` for a textual query.
-    pub fn degree_of_belief(
-        &self,
-        kb: &KnowledgeBase,
-        query: &str,
-    ) -> Result<BeliefResult, EngineError> {
-        let mut kb = kb.clone();
-        let q = kb.parse_query(query)?;
-        self.degree_of_belief_formula(&kb, &q)
-    }
-
-    /// Computes `Pr∞(query | KB)` for an already-parsed query.
-    pub fn degree_of_belief_formula(
-        &self,
-        kb: &KnowledgeBase,
-        query: &Formula,
-    ) -> Result<BeliefResult, EngineError> {
-        // 1. Theorem engine (exact, includes non-unary KBs).
-        let solver = |skb: &KnowledgeBase, sq: &Formula| -> Option<(Belief, Provenance)> {
-            self.degree_of_belief_formula(skb, sq)
-                .ok()
-                .map(|r| (r.belief, r.provenance))
-        };
-        if let Some((belief, provenance)) = theorems::try_all(kb, query, &solver) {
-            return Ok(BeliefResult { belief, provenance });
-        }
-
-        // 2. Maximum entropy (unary asymptotics, §6).
-        match rw_maxent::degree_of_belief_limit(kb, query, &self.sweep) {
-            Ok(LimitOutcome::Converged(v)) => {
-                return Ok(BeliefResult {
-                    belief: Belief::Point(v),
-                    provenance: Provenance::MaxEnt,
-                })
-            }
-            Ok(LimitOutcome::NonRobust(vs)) => {
-                return Ok(BeliefResult {
-                    belief: Belief::NonRobust(vs),
-                    provenance: Provenance::MaxEnt,
-                })
-            }
-            Ok(LimitOutcome::Infeasible) => {
-                return Ok(BeliefResult {
-                    belief: Belief::Undefined,
-                    provenance: Provenance::MaxEnt,
-                })
-            }
-            Err(MaxentError::Infeasible) => {
-                return Ok(BeliefResult {
-                    belief: Belief::Undefined,
-                    provenance: Provenance::MaxEnt,
-                })
-            }
-            Err(MaxentError::Compile(_)) | Err(MaxentError::Numeric(_)) => {}
-        }
-
-        // 3. Exact unary counting along the (τ, N) diagonal.
-        if kb.vocab().is_unary() {
-            if let Some(result) = self.unary_diagonal(kb, query) {
-                return Ok(result);
-            }
-        }
-
-        // 4. Brute-force enumeration along the diagonal (tiny N).
-        if let Some(result) = self.enumeration_diagonal(kb, query) {
-            return Ok(result);
-        }
-
-        Err(EngineError::OutOfReach(
-            "KB outside theorem patterns and the maxent fragment, and too large for exact counting"
-                .to_string(),
-        ))
-    }
-
-    fn unary_diagonal(&self, kb: &KnowledgeBase, query: &Formula) -> Option<BeliefResult> {
-        let engine = rw_unary::UnaryEngine {
-            max_profiles: self.unary_max_profiles,
-        };
-        let mut values = Vec::new();
-        let mut max_n = 0usize;
-        let mut undefined_steps = 0usize;
-        for (tau, n) in &self.diagonal {
-            let tol = Tolerances::uniform(*tau);
-            match engine.degree_of_belief_at(kb, query, *n, &tol) {
-                Ok(Some(v)) => {
-                    values.push(v);
-                    max_n = (*n).max(max_n);
-                }
-                Ok(None) => undefined_steps += 1,
-                Err(_) => break, // budget: use what we have
-            }
-        }
-        if values.is_empty() {
-            if undefined_steps > 0 {
-                return Some(BeliefResult {
-                    belief: Belief::Undefined,
-                    provenance: Provenance::UnaryExact { max_n },
-                });
-            }
-            return None;
-        }
-        Some(BeliefResult {
-            belief: Belief::Point(extrapolate(&values)),
-            provenance: Provenance::UnaryExact { max_n },
-        })
-    }
-
-    fn enumeration_diagonal(&self, kb: &KnowledgeBase, query: &Formula) -> Option<BeliefResult> {
-        // Domain sizes are capped hard by the doubly-exponential space; the
-        // dominant error term is O(1/N), so evaluate at the two largest
-        // feasible sizes and extrapolate linearly in 1/N (at the smallest
-        // tolerance of the diagonal).
-        let mut n_hi = None;
-        for n in (2..=6usize).rev() {
-            if let Some(c) = rw_worlds::count_interpretations(kb.vocab(), n) {
-                if c <= self.enum_max_worlds {
-                    n_hi = Some(n);
-                    break;
-                }
-            }
-        }
-        let n_hi = n_hi?;
-        let n_lo = n_hi - 1;
-        let tau = self.diagonal.iter().map(|(t, _)| *t).min()?;
-        let tol = Tolerances::uniform(tau);
-        let eval = |n: usize| {
-            rw_worlds::enumerate::degree_of_belief_at_bounded(
-                kb,
-                query,
-                n,
-                &tol,
-                self.enum_max_worlds,
-            )
-        };
-        match (eval(n_lo), eval(n_hi)) {
-            (Ok(Some(v_lo)), Ok(Some(v_hi))) => {
-                // v(N) = v∞ + c/N  ⇒  v∞ = v_hi + (v_hi − v_lo)·(1/N_hi)/(1/N_lo − 1/N_hi).
-                let inv_lo = 1.0 / n_lo as f64;
-                let inv_hi = 1.0 / n_hi as f64;
-                let v = v_hi + (v_hi - v_lo) * inv_hi / (inv_lo - inv_hi);
-                Some(BeliefResult {
-                    belief: Belief::Point(v.clamp(0.0, 1.0)),
-                    provenance: Provenance::Enumeration { max_n: n_hi },
-                })
-            }
-            (Ok(None), Ok(None)) => Some(BeliefResult {
-                belief: Belief::Undefined,
-                provenance: Provenance::Enumeration { max_n: n_hi },
-            }),
-            _ => None,
-        }
-    }
-
-    /// The default-inference relation `KB |~rw φ`: degree of belief 1
-    /// (paper §5.1).
-    pub fn follows_by_default(&self, kb: &KnowledgeBase, query: &str) -> Result<bool, EngineError> {
-        Ok(self.degree_of_belief(kb, query)?.belief.is_one())
-    }
-}
-
-/// Richardson-style extrapolation for a geometric (τ ∝ 2^-k) diagonal with
-/// an `O(τ)` error model; falls back to the last value for one sample.
-fn extrapolate(values: &[f64]) -> f64 {
-    match values {
-        [] => f64::NAN,
-        [v] => *v,
-        [.., a, b] => (2.0 * b - a).clamp(0.0, 1.0),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::{Recurse, Solver, StageTrace};
 
     fn engine() -> RandomWorlds {
         RandomWorlds::default()
     }
 
-    fn belief(kb_src: &str, query: &str) -> BeliefResult {
+    fn belief(kb_src: &str, query: &str) -> Response {
         let kb = KnowledgeBase::parse(kb_src).unwrap();
         engine().degree_of_belief(&kb, query).unwrap()
     }
@@ -415,7 +442,10 @@ mod tests {
     #[test]
     fn maxent_fallback_for_unary_without_theorem() {
         // No explicit statistics for the query: falls to maxent.
-        let r = belief("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1", "Black(Clyde)");
+        let r = belief(
+            "||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1",
+            "Black(Clyde)",
+        );
         assert_eq!(r.provenance, Provenance::MaxEnt);
         assert!((r.belief.as_point().unwrap() - 0.47).abs() < 0.005, "{r}");
     }
@@ -424,7 +454,10 @@ mod tests {
     fn enumeration_fallback_for_tiny_non_unary() {
         // Binary predicate, no theorem pattern: enumeration diagonal.
         let r = belief("Likes(A, B)", "Likes(B, A)");
-        assert!(matches!(r.provenance, Provenance::Enumeration { .. }), "{r}");
+        assert!(
+            matches!(r.provenance, Provenance::Enumeration { .. }),
+            "{r}"
+        );
         let v = r.belief.as_point().unwrap();
         assert!((v - 0.5).abs() < 0.05, "{r}");
     }
@@ -445,5 +478,181 @@ mod tests {
         let e = engine();
         assert!(e.follows_by_default(&kb, "!Fly(Tweety)").unwrap());
         assert!(!e.follows_by_default(&kb, "Fly(Tweety)").unwrap());
+    }
+
+    // ---- Pipeline API ----
+
+    /// A test double answering every query with a fixed point belief.
+    struct ConstSolver {
+        name: &'static str,
+        value: f64,
+    }
+
+    impl Solver for ConstSolver {
+        fn name(&self) -> &str {
+            self.name
+        }
+
+        fn solve(
+            &self,
+            _kb: &KnowledgeBase,
+            _query: &Formula,
+            _budget: &Budget,
+            _recurse: &Recurse<'_>,
+        ) -> SolverOutcome {
+            SolverOutcome::Answered {
+                belief: Belief::Point(self.value),
+                provenance: Provenance::DirectInference,
+            }
+        }
+    }
+
+    /// A test double that always declines.
+    struct DeclineSolver;
+
+    impl Solver for DeclineSolver {
+        fn name(&self) -> &str {
+            "decline"
+        }
+
+        fn solve(
+            &self,
+            _kb: &KnowledgeBase,
+            _query: &Formula,
+            _budget: &Budget,
+            _recurse: &Recurse<'_>,
+        ) -> SolverOutcome {
+            SolverOutcome::Declined {
+                reason: "always declines".to_string(),
+            }
+        }
+    }
+
+    #[test]
+    fn default_pipeline_exposes_stage_names() {
+        assert_eq!(
+            engine().solvers(),
+            vec!["theorems", "maxent", "unary-exact", "enumeration"]
+        );
+    }
+
+    #[test]
+    fn custom_solver_ordering_is_honored() {
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        // The override runs *before* the theorem engine and wins.
+        let e = engine().with_solvers(vec![
+            Stage::new(Box::new(ConstSolver {
+                name: "override",
+                value: 0.42,
+            })),
+            Stage::new(Box::new(TheoremSolver)),
+        ]);
+        assert_eq!(e.solvers(), vec!["override", "theorems"]);
+        let r = e.answer(&kb, "Hep(Eric)").unwrap();
+        assert_eq!(r.belief.as_point(), Some(0.42));
+        assert_eq!(r.trace.steps().len(), 1);
+        assert_eq!(r.trace.steps()[0].stage, "override");
+        // Swapped order: the theorem engine answers first.
+        let e = engine().with_solvers(vec![
+            Stage::new(Box::new(TheoremSolver)),
+            Stage::new(Box::new(ConstSolver {
+                name: "override",
+                value: 0.42,
+            })),
+        ]);
+        let r = e.answer(&kb, "Hep(Eric)").unwrap();
+        assert_eq!(r.belief.as_point(), Some(0.8));
+    }
+
+    #[test]
+    fn trace_records_declined_stages_before_the_answer() {
+        // Binary predicate: theorems and maxent must both decline (maxent
+        // cannot compile a non-unary KB), unary-exact declines, and the
+        // enumeration stage answers — all of it visible in the trace.
+        let r = belief("Likes(A, B)", "Likes(B, A)");
+        let stages: Vec<(&str, &str)> = r
+            .trace
+            .steps()
+            .iter()
+            .map(|s: &StageTrace| (s.stage.as_str(), s.status.keyword()))
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                ("theorems", "declined"),
+                ("maxent", "declined"),
+                ("unary-exact", "declined"),
+                ("enumeration", "answered"),
+            ],
+            "{:?}",
+            r.trace
+        );
+        assert!(r.trace.stage("maxent").unwrap().status.reason().is_some());
+    }
+
+    #[test]
+    fn every_response_carries_a_nonempty_trace() {
+        for (kb_src, q) in [
+            ("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)", "Hep(Eric)"),
+            (
+                "||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1",
+                "Black(Clyde)",
+            ),
+            ("Likes(A, B)", "Likes(B, A)"),
+        ] {
+            let r = belief(kb_src, q);
+            assert!(!r.trace.is_empty(), "{kb_src} ⊢ {q}");
+            assert_eq!(
+                r.trace.steps().last().unwrap().status,
+                StageStatus::Answered
+            );
+        }
+    }
+
+    #[test]
+    fn declining_pipeline_reports_out_of_reach_with_trace() {
+        let kb = KnowledgeBase::parse("P(C)").unwrap();
+        let e = engine().with_solvers(vec![Stage::new(Box::new(DeclineSolver))]);
+        match e.answer(&kb, "P(C)") {
+            Err(EngineError::OutOfReach { trace, .. }) => {
+                assert_eq!(trace.steps().len(), 1);
+                assert_eq!(
+                    trace.steps()[0].status,
+                    StageStatus::Declined("always declines".to_string())
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn answer_batch_reuses_the_kb_and_isolates_failures() {
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let results = engine().answer_batch(&kb, &["Hep(Eric)", "Hep(", "!Hep(Eric)"]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().belief.as_point(), Some(0.8));
+        assert!(matches!(results[1], Err(EngineError::Parse(_))));
+        let v = results[2].as_ref().unwrap().belief.as_point().unwrap();
+        assert!((v - 0.2).abs() < 1e-9);
+        // Vocabulary extensions from one query must not leak into others:
+        // the shared KB still parses fresh constants the same way.
+        let again = engine().answer_batch(&kb, &["Hep(Eric)"]);
+        assert_eq!(again[0].as_ref().unwrap().belief.as_point(), Some(0.8));
+    }
+
+    #[test]
+    fn batch_matches_single_query_answers() {
+        let kb = KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1")
+            .unwrap();
+        let queries = ["Black(Clyde)", "Bird(Clyde)"];
+        let batch = engine().answer_batch(&kb, &queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            let single = engine().answer(&kb, q).unwrap();
+            assert_eq!(
+                single.belief,
+                b.as_ref().unwrap().belief,
+                "batch diverged on {q}"
+            );
+        }
     }
 }

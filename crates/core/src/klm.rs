@@ -157,7 +157,12 @@ pub fn check_rational_monotonicity(
     }
     let kb_th = kb_with(&kb2, &th);
     match engine.degree_of_belief_formula(&kb_th, &ph) {
-        Ok(r) if matches!(r.belief, crate::belief::Belief::NonRobust(_) | crate::belief::Belief::Undefined) => {
+        Ok(r)
+            if matches!(
+                r.belief,
+                crate::belief::Belief::NonRobust(_) | crate::belief::Belief::Undefined
+            ) =>
+        {
             RuleCheck::Inapplicable // limit does not exist: Thm 5.5's proviso
         }
         Ok(r) => {

@@ -1,32 +1,50 @@
 //! The random-worlds inference engine — the paper's primary contribution.
 //!
 //! Given a knowledge base in `L≈` and a query, [`RandomWorlds`] computes the
-//! degree of belief `Pr∞(query | KB)` of Definition 4.3, trying in order:
+//! degree of belief `Pr∞(query | KB)` of Definition 4.3 by running a
+//! **pipeline of [`Solver`] stages**. Each stage is an inference method
+//! paired with a resource [`Budget`]; a query walks the stages in order
+//! until one answers, and the walk is recorded stage-by-stage in the
+//! [`Trace`] carried by every [`Response`] — so a caller can always see
+//! which methods declined (and why) before one answered.
 //!
-//! 1. **The theorem engine** ([`theorems`]): syntactic pattern matchers with
-//!    fully checked side conditions for the paper's general theorems —
-//!    direct inference (Thm 5.6 / Cor 5.7), minimal reference classes with
+//! The default pipeline is the paper's cascade, cheapest and most exact
+//! first:
+//!
+//! 1. [`solvers::TheoremSolver`] — syntactic pattern matchers with fully
+//!    checked side conditions for the paper's general theorems: direct
+//!    inference (Thm 5.6 / Cor 5.7), minimal reference classes with
 //!    irrelevant information (Thm 5.16 / Cor 5.17), Kyburg-style strength
-//!    (Thm 5.23), Dempster combination of essentially disjoint evidence
-//!    (Thm 5.26), vocabulary independence (Thm 5.27) and the unique-names
-//!    bias (§5.5). These apply to *non-unary* KBs too (the
-//!    elephant–zookeeper example needs a binary predicate) and produce
-//!    exact rationals.
-//! 2. **Maximum entropy** (`rw-maxent`): the asymptotic computation for
+//!    (Thm 5.23), Dempster combination (Thm 5.26), vocabulary independence
+//!    (Thm 5.27) and the unique-names bias (§5.5). Handles non-unary KBs
+//!    and produces exact rationals.
+//! 2. [`solvers::MaxEntSolver`] — the §6 maximum-entropy asymptotics for
 //!    unary KBs, with τ-sweeps and robustness probing.
-//! 3. **Exact finite-`N` sweeps** (`rw-unary` profile counting, then
-//!    `rw-worlds` brute-force enumeration): a diagonal sweep
-//!    `(τ_k ↓ 0, N_k ↑ ∞)` with Richardson extrapolation.
+//! 3. [`solvers::UnaryDiagonalSolver`] — exact unary profile counting
+//!    along a [`Diagonal`] of `(τ_k ↓ 0, N_k ↑ ∞)` points with Richardson
+//!    extrapolation.
+//! 4. [`solvers::EnumerationDiagonalSolver`] — brute-force world
+//!    enumeration at tiny `N`, the completeness backstop.
+//!
+//! The pipeline is open: [`RandomWorlds::with_solvers`] installs any stage
+//! list (custom [`Solver`] implementations included), and
+//! [`RandomWorlds::answer_batch`] answers many queries against one loaded
+//! KB — the serving-path primitive.
 //!
 //! Every answer carries a [`Provenance`] naming the method (and theorem)
-//! that produced it.
+//! that produced it, plus the full [`Trace`].
 
 pub mod belief;
 pub mod engine;
 pub mod klm;
 pub mod patterns;
+pub mod solver;
+pub mod solvers;
 pub mod theorems;
 
 pub use belief::{Belief, Provenance};
-pub use engine::{BeliefResult, EngineError, RandomWorlds};
+pub use engine::{BeliefResult, EngineError, RandomWorlds, Response};
+pub use solver::{
+    Budget, Diagonal, Recurse, Solver, SolverOutcome, Stage, StageStatus, StageTrace, Trace,
+};
 pub use theorems::dempster_rule;

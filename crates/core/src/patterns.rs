@@ -250,54 +250,53 @@ pub fn classify(kb: &KnowledgeBase) -> Classified {
             continue;
         }
         match f {
-            Formula::Forall(v, body)
-                if vocab.pred_count() <= 16 => {
-                    if let Some(s) = compile_atom_set(body, *v, vocab) {
-                        universals.push((idx, s));
-                    }
+            Formula::Forall(v, body) if vocab.pred_count() <= 16 => {
+                if let Some(s) = compile_atom_set(body, *v, vocab) {
+                    universals.push((idx, s));
                 }
+            }
             Formula::Cmp(lhs, op, rhs) => {
-                if let Some((prop, bound, prop_on_left)) = split_comparison(lhs, rhs) {
-                    if let PropExpr::Prop { body, cond, vars } = prop {
-                        let free_map: BTreeMap<VarId, usize> =
-                            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-                        let cond_f = cond
-                            .as_ref()
-                            .map(|c| c.as_ref().clone())
-                            .unwrap_or(Formula::True);
-                        let key = format!(
-                            "{}|{}#{}",
-                            canon(body, &free_map),
-                            canon_conjunction(&cond_f, &free_map).join("&"),
-                            vars.len()
-                        );
-                        let entry = stats_map.entry(key).or_insert_with(|| StatStatement {
-                            sources: Vec::new(),
-                            body: body.as_ref().clone(),
-                            cond: cond_f,
-                            vars: vars.clone(),
-                            lo: Rat::ZERO,
-                            hi: Rat::ONE,
-                            tols: Vec::new(),
-                        });
-                        entry.sources.push(idx);
-                        stat_sources[idx] = true;
-                        if let Some(t) = op.tolerance() {
-                            entry.tols.push(t);
+                if let Some((PropExpr::Prop { body, cond, vars }, bound, prop_on_left)) =
+                    split_comparison(lhs, rhs)
+                {
+                    let free_map: BTreeMap<VarId, usize> =
+                        vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+                    let cond_f = cond
+                        .as_ref()
+                        .map(|c| c.as_ref().clone())
+                        .unwrap_or(Formula::True);
+                    let key = format!(
+                        "{}|{}#{}",
+                        canon(body, &free_map),
+                        canon_conjunction(&cond_f, &free_map).join("&"),
+                        vars.len()
+                    );
+                    let entry = stats_map.entry(key).or_insert_with(|| StatStatement {
+                        sources: Vec::new(),
+                        body: body.as_ref().clone(),
+                        cond: cond_f,
+                        vars: vars.clone(),
+                        lo: Rat::ZERO,
+                        hi: Rat::ONE,
+                        tols: Vec::new(),
+                    });
+                    entry.sources.push(idx);
+                    stat_sources[idx] = true;
+                    if let Some(t) = op.tolerance() {
+                        entry.tols.push(t);
+                    }
+                    match (op, prop_on_left) {
+                        (CmpOp::ApproxEq(_) | CmpOp::Eq, _) => {
+                            entry.lo = entry.lo.max(bound);
+                            entry.hi = entry.hi.min(bound);
                         }
-                        match (op, prop_on_left) {
-                            (CmpOp::ApproxEq(_) | CmpOp::Eq, _) => {
-                                entry.lo = entry.lo.max(bound);
-                                entry.hi = entry.hi.min(bound);
-                            }
-                            // prop ⪯ bound: upper bound.
-                            (CmpOp::ApproxLeq(_) | CmpOp::Leq, true) => {
-                                entry.hi = entry.hi.min(bound);
-                            }
-                            // bound ⪯ prop: lower bound.
-                            (CmpOp::ApproxLeq(_) | CmpOp::Leq, false) => {
-                                entry.lo = entry.lo.max(bound);
-                            }
+                        // prop ⪯ bound: upper bound.
+                        (CmpOp::ApproxLeq(_) | CmpOp::Leq, true) => {
+                            entry.hi = entry.hi.min(bound);
+                        }
+                        // bound ⪯ prop: lower bound.
+                        (CmpOp::ApproxLeq(_) | CmpOp::Leq, false) => {
+                            entry.lo = entry.lo.max(bound);
                         }
                     }
                 }
@@ -341,10 +340,7 @@ pub fn classify(kb: &KnowledgeBase) -> Classified {
 
 /// Splits a comparison into (proportion expression, rational bound,
 /// prop-on-left flag) when one side is a proportion and the other a rational.
-fn split_comparison<'a>(
-    lhs: &'a PropExpr,
-    rhs: &'a PropExpr,
-) -> Option<(&'a PropExpr, Rat, bool)> {
+fn split_comparison<'a>(lhs: &'a PropExpr, rhs: &'a PropExpr) -> Option<(&'a PropExpr, Rat, bool)> {
     match (lhs, rhs) {
         (p @ PropExpr::Prop { .. }, PropExpr::Rat(r)) => Some((p, *r, true)),
         (PropExpr::Rat(r), p @ PropExpr::Prop { .. }) => Some((p, *r, false)),
@@ -391,11 +387,7 @@ impl Taxonomy {
 
 /// The atom set a constant is known to inhabit, from its quantifier-free
 /// unary facts (other facts are ignored — sound but incomplete).
-pub fn const_atom_set(
-    classified: &Classified,
-    c: ConstId,
-    vocab: &Vocabulary,
-) -> AtomSet {
+pub fn const_atom_set(classified: &Classified, c: ConstId, vocab: &Vocabulary) -> AtomSet {
     let n = atom_count(vocab);
     let mut s = AtomSet::full(n);
     for f in &classified.conjuncts {
@@ -492,9 +484,8 @@ mod tests {
 
     #[test]
     fn const_atom_sets_from_facts() {
-        let kb =
-            KnowledgeBase::parse("Jaun(Eric); Fever(Eric); ||Hep(x) | Jaun(x)||_x ~=_1 0.8")
-                .unwrap();
+        let kb = KnowledgeBase::parse("Jaun(Eric); Fever(Eric); ||Hep(x) | Jaun(x)||_x ~=_1 0.8")
+            .unwrap();
         let c = classify(&kb);
         let eric = kb.vocab().lookup_const("Eric").unwrap();
         let s = const_atom_set(&c, eric, kb.vocab());

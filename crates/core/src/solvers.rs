@@ -1,0 +1,399 @@
+//! The built-in pipeline stages: theorem engine, maximum entropy, exact
+//! unary counting, and brute-force enumeration.
+//!
+//! Each implements [`Solver`] and is sound on its own; the default
+//! [`crate::RandomWorlds`] pipeline runs them in the order above (cheapest
+//! and most exact first). All four are plain public structs so callers can
+//! reorder, omit, re-budget, or interleave them with custom solvers via
+//! [`crate::RandomWorlds::with_solvers`].
+
+use crate::belief::{Belief, Provenance};
+use crate::solver::{Budget, Diagonal, Recurse, Solver, SolverOutcome};
+use crate::theorems;
+use rw_logic::ast::Formula;
+use rw_logic::{KnowledgeBase, Tolerances};
+use rw_maxent::{LimitOutcome, MaxentError, SweepConfig};
+
+/// Stage 1: the syntactic theorem engine (§5 of the paper).
+///
+/// Pattern matchers with fully checked side conditions for direct
+/// inference, minimal reference classes, the strength rule, Dempster
+/// combination, independence products, unique names, and nested defaults.
+/// Exact, effectively instant, and the only stage that handles non-unary
+/// KBs symbolically — but incomplete: it declines whenever no pattern
+/// (soundly) matches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TheoremSolver;
+
+impl Solver for TheoremSolver {
+    fn name(&self) -> &str {
+        "theorems"
+    }
+
+    fn solve(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+        _budget: &Budget,
+        recurse: &Recurse<'_>,
+    ) -> SolverOutcome {
+        match theorems::try_all(kb, query, recurse) {
+            Some((belief, provenance)) => SolverOutcome::Answered { belief, provenance },
+            None => SolverOutcome::Declined {
+                reason: "no theorem pattern matched with verified side conditions".to_string(),
+            },
+        }
+    }
+}
+
+/// Stage 2: the maximum-entropy asymptotics for unary KBs (§6).
+///
+/// Computes the entropy-maximizing atom distribution over a shrinking
+/// τ-sweep and classifies the limit (converged / non-robust / infeasible).
+/// Declines on KBs outside the essentially-propositional fragment it can
+/// compile, or on numeric failure — both of which the exact finite-`N`
+/// stages can still handle.
+#[derive(Clone, Debug, Default)]
+pub struct MaxEntSolver {
+    /// The τ-sweep schedule and robustness probing configuration.
+    pub sweep: SweepConfig,
+}
+
+impl MaxEntSolver {
+    /// A maxent stage with the given sweep configuration.
+    pub fn new(sweep: SweepConfig) -> MaxEntSolver {
+        MaxEntSolver { sweep }
+    }
+}
+
+impl Solver for MaxEntSolver {
+    fn name(&self) -> &str {
+        "maxent"
+    }
+
+    fn solve(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+        _budget: &Budget,
+        _recurse: &Recurse<'_>,
+    ) -> SolverOutcome {
+        match rw_maxent::degree_of_belief_limit(kb, query, &self.sweep) {
+            Ok(LimitOutcome::Converged(v)) => SolverOutcome::Answered {
+                belief: Belief::Point(v),
+                provenance: Provenance::MaxEnt,
+            },
+            Ok(LimitOutcome::NonRobust(vs)) => SolverOutcome::Answered {
+                belief: Belief::NonRobust(vs),
+                provenance: Provenance::MaxEnt,
+            },
+            // Infeasibility is a *semantic* answer (Definition 4.3: the KB
+            // is not eventually consistent), not a failure to apply.
+            Ok(LimitOutcome::Infeasible) | Err(MaxentError::Infeasible) => {
+                SolverOutcome::Answered {
+                    belief: Belief::Undefined,
+                    provenance: Provenance::MaxEnt,
+                }
+            }
+            Err(e @ MaxentError::Compile(_)) | Err(e @ MaxentError::Numeric(_)) => {
+                SolverOutcome::Declined {
+                    reason: e.to_string(),
+                }
+            }
+        }
+    }
+}
+
+/// Stage 3: exact unary profile counting along a `(τ, N)` diagonal.
+///
+/// Counts atom profiles exactly at each diagonal point and Richardson-
+/// extrapolates the geometric τ-schedule. Declines on non-unary
+/// vocabularies; reports budget exhaustion when the profile space
+/// outgrows the stage budget before any point is computed.
+#[derive(Clone, Debug, Default)]
+pub struct UnaryDiagonalSolver {
+    /// The `(τ, N)` evaluation points.
+    pub diagonal: Diagonal,
+}
+
+impl UnaryDiagonalSolver {
+    /// A unary counting stage over the given diagonal.
+    pub fn new(diagonal: Diagonal) -> UnaryDiagonalSolver {
+        UnaryDiagonalSolver { diagonal }
+    }
+}
+
+impl Solver for UnaryDiagonalSolver {
+    fn name(&self) -> &str {
+        "unary-exact"
+    }
+
+    fn solve(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+        budget: &Budget,
+        _recurse: &Recurse<'_>,
+    ) -> SolverOutcome {
+        if !kb.vocab().is_unary() {
+            return SolverOutcome::Declined {
+                reason: "vocabulary has functions or non-unary predicates".to_string(),
+            };
+        }
+        let engine = rw_unary::UnaryEngine {
+            max_profiles: budget.max_count,
+        };
+        let mut values = Vec::new();
+        let mut max_n = 0usize;
+        let mut undefined_steps = 0usize;
+        let mut budget_hit = None;
+        for &(tau, n) in self.diagonal.points() {
+            let tol = Tolerances::uniform(tau);
+            match engine.degree_of_belief_at(kb, query, n, &tol) {
+                Ok(Some(v)) => {
+                    values.push(v);
+                    max_n = n.max(max_n);
+                }
+                Ok(None) => undefined_steps += 1,
+                Err(e) => {
+                    // Budget: extrapolate from the points already computed.
+                    budget_hit = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(v) = extrapolate(&values) {
+            return SolverOutcome::Answered {
+                belief: Belief::Point(v),
+                provenance: Provenance::UnaryExact { max_n },
+            };
+        }
+        if undefined_steps > 0 {
+            return SolverOutcome::Answered {
+                belief: Belief::Undefined,
+                provenance: Provenance::UnaryExact { max_n },
+            };
+        }
+        match budget_hit {
+            Some(e) => SolverOutcome::BudgetExhausted {
+                reason: e.to_string(),
+            },
+            None => SolverOutcome::Declined {
+                reason: "no diagonal point produced a value".to_string(),
+            },
+        }
+    }
+}
+
+/// Stage 4: brute-force world enumeration along the diagonal (tiny `N`).
+///
+/// The last resort for non-unary KBs: enumerate every interpretation at
+/// the two largest feasible domain sizes and extrapolate the `O(1/N)`
+/// error term. Doubly exponential, so the budget binds almost
+/// immediately — but it is complete on the sizes it can reach.
+#[derive(Clone, Debug, Default)]
+pub struct EnumerationDiagonalSolver {
+    /// The diagonal whose finest tolerance the enumeration evaluates at.
+    pub diagonal: Diagonal,
+}
+
+impl EnumerationDiagonalSolver {
+    /// An enumeration stage over the given diagonal.
+    pub fn new(diagonal: Diagonal) -> EnumerationDiagonalSolver {
+        EnumerationDiagonalSolver { diagonal }
+    }
+}
+
+impl Solver for EnumerationDiagonalSolver {
+    fn name(&self) -> &str {
+        "enumeration"
+    }
+
+    fn solve(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+        budget: &Budget,
+        _recurse: &Recurse<'_>,
+    ) -> SolverOutcome {
+        // Largest feasible size within the world budget; the space is
+        // doubly exponential, so the scan is tiny.
+        let mut n_hi = None;
+        for n in (2..=6usize).rev() {
+            if let Some(c) = rw_worlds::count_interpretations(kb.vocab(), n) {
+                if c <= budget.max_count {
+                    n_hi = Some(n);
+                    break;
+                }
+            }
+        }
+        let Some(n_hi) = n_hi else {
+            return SolverOutcome::BudgetExhausted {
+                reason: format!(
+                    "even N=2 needs more than {} interpretations",
+                    budget.max_count
+                ),
+            };
+        };
+        let tol = Tolerances::uniform(self.diagonal.finest_tau());
+        let eval = |n: usize| {
+            rw_worlds::enumerate::degree_of_belief_at_bounded(kb, query, n, &tol, budget.max_count)
+        };
+        // The dominant error term is O(1/N): evaluate at the two largest
+        // feasible sizes and extrapolate linearly in 1/N. A one-point
+        // "diagonal" (n_hi == 2) has nothing to extrapolate from — the
+        // line through N=1 runs off the domain — so use the point value.
+        let n_lo = n_hi - 1;
+        if n_lo < 2 {
+            return match eval(n_hi) {
+                Ok(Some(v)) => SolverOutcome::Answered {
+                    belief: Belief::Point(v),
+                    provenance: Provenance::Enumeration { max_n: n_hi },
+                },
+                Ok(None) => SolverOutcome::Answered {
+                    belief: Belief::Undefined,
+                    provenance: Provenance::Enumeration { max_n: n_hi },
+                },
+                Err(e) => SolverOutcome::BudgetExhausted {
+                    reason: e.to_string(),
+                },
+            };
+        }
+        match (eval(n_lo), eval(n_hi)) {
+            (Ok(Some(v_lo)), Ok(Some(v_hi))) => {
+                // v(N) = v∞ + c/N  ⇒
+                // v∞ = v_hi + (v_hi − v_lo)·(1/N_hi)/(1/N_lo − 1/N_hi).
+                let inv_lo = 1.0 / n_lo as f64;
+                let inv_hi = 1.0 / n_hi as f64;
+                let v = v_hi + (v_hi - v_lo) * inv_hi / (inv_lo - inv_hi);
+                SolverOutcome::Answered {
+                    belief: Belief::Point(v.clamp(0.0, 1.0)),
+                    provenance: Provenance::Enumeration { max_n: n_hi },
+                }
+            }
+            (Ok(None), Ok(None)) => SolverOutcome::Answered {
+                belief: Belief::Undefined,
+                provenance: Provenance::Enumeration { max_n: n_hi },
+            },
+            (Err(e), _) | (_, Err(e)) => SolverOutcome::BudgetExhausted {
+                reason: e.to_string(),
+            },
+            (Ok(Some(_)), Ok(None)) | (Ok(None), Ok(Some(_))) => SolverOutcome::Declined {
+                reason: format!("inconsistent satisfiability between N={n_lo} and N={n_hi}"),
+            },
+        }
+    }
+}
+
+/// Richardson-style extrapolation for a geometric (τ ∝ 2^-k) diagonal
+/// with an `O(τ)` error model; one sample passes through, none is `None`.
+fn extrapolate(values: &[f64]) -> Option<f64> {
+    match values {
+        [] => None,
+        [v] => Some(*v),
+        [.., a, b] => Some((2.0 * b - a).clamp(0.0, 1.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_recurse() -> impl Fn(&KnowledgeBase, &Formula) -> Option<(Belief, Provenance)> {
+        |_, _| None
+    }
+
+    fn parsed(kb_src: &str, q_src: &str) -> (KnowledgeBase, Formula) {
+        let mut kb = KnowledgeBase::parse(kb_src).unwrap();
+        let q = kb.parse_query(q_src).unwrap();
+        (kb, q)
+    }
+
+    #[test]
+    fn extrapolation_shapes() {
+        assert_eq!(extrapolate(&[]), None);
+        assert_eq!(extrapolate(&[0.3]), Some(0.3));
+        assert_eq!(extrapolate(&[0.4, 0.45]), Some(0.5));
+        // Clamped to the unit interval.
+        assert_eq!(extrapolate(&[0.2, 0.7]), Some(1.0));
+    }
+
+    #[test]
+    fn theorem_solver_answers_direct_inference_and_declines_otherwise() {
+        let s = TheoremSolver;
+        let (kb, q) = parsed("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)", "Hep(Eric)");
+        match s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse()) {
+            SolverOutcome::Answered { belief, provenance } => {
+                assert_eq!(belief.as_point(), Some(0.8));
+                assert_eq!(provenance, Provenance::DirectInference);
+            }
+            other => panic!("{other:?}"),
+        }
+        let (kb, q) = parsed("||Black(x) | Bird(x)||_x ~=_1 0.2", "Black(C)");
+        assert!(matches!(
+            s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse()),
+            SolverOutcome::Declined { .. }
+        ));
+    }
+
+    #[test]
+    fn maxent_solver_declines_non_unary() {
+        let s = MaxEntSolver::default();
+        let (kb, q) = parsed("Likes(A, B)", "Likes(B, A)");
+        assert!(matches!(
+            s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse()),
+            SolverOutcome::Declined { .. }
+        ));
+    }
+
+    #[test]
+    fn unary_solver_reports_budget_exhaustion() {
+        let s = UnaryDiagonalSolver::default();
+        let (kb, q) = parsed("||P(x)||_x ~=_1 0.5", "P(C)");
+        match s.solve(&kb, &q, &Budget::counting(1), &no_recurse()) {
+            SolverOutcome::BudgetExhausted { reason } => {
+                assert!(reason.contains("budget"), "{reason}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_solver_declines_binary_vocabulary() {
+        let s = UnaryDiagonalSolver::default();
+        let (kb, q) = parsed("Likes(A, B)", "Likes(B, A)");
+        assert!(matches!(
+            s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse()),
+            SolverOutcome::Declined { .. }
+        ));
+    }
+
+    #[test]
+    fn enumeration_single_point_fallback_when_only_n2_fits() {
+        // Budget below the N=3 world count but above N=2: the solver must
+        // use the single-point value instead of extrapolating off N=1.
+        let (kb, q) = parsed("||P(x)||_x ~=_1 0.5", "P(C)");
+        let n2 = rw_worlds::count_interpretations(kb.vocab(), 2).unwrap();
+        let n3 = rw_worlds::count_interpretations(kb.vocab(), 3).unwrap();
+        assert!(n2 < n3);
+        let s = EnumerationDiagonalSolver::default();
+        match s.solve(&kb, &q, &Budget::counting(n2), &no_recurse()) {
+            SolverOutcome::Answered { belief, provenance } => {
+                assert_eq!(provenance, Provenance::Enumeration { max_n: 2 });
+                let v = belief.as_point().unwrap();
+                assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn enumeration_budget_exhaustion_below_n2() {
+        let (kb, q) = parsed("||P(x)||_x ~=_1 0.5", "P(C)");
+        let s = EnumerationDiagonalSolver::default();
+        assert!(matches!(
+            s.solve(&kb, &q, &Budget::counting(1), &no_recurse()),
+            SolverOutcome::BudgetExhausted { .. }
+        ));
+    }
+}

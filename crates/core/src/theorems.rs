@@ -190,11 +190,7 @@ fn phi_candidates<'a>(
 
 /// Condition (c) of Thm 5.16 (shared with Thm 5.23): the symbols of `φ`
 /// occur in the KB only inside the bodies of the candidate statements.
-fn phi_symbols_isolated(
-    cls: &Classified,
-    phi: &Formula,
-    candidates: &[Candidate<'_>],
-) -> bool {
+fn phi_symbols_isolated(cls: &Classified, phi: &Formula, candidates: &[Candidate<'_>]) -> bool {
     let phi_syms = analysis::symbols(phi);
     let candidate_sources: Vec<usize> = candidates
         .iter()
@@ -404,10 +400,16 @@ pub fn try_dempster(
         'next_pair: for j in i + 1..candidates.len() {
             let want: Vec<String> = {
                 let mut parts = canon_conjunction(
-                    &Formula::and(candidates[i].stat.cond.clone(), candidates[j].stat.cond.clone()),
-                    &[(candidates[i].stat.vars[0], 0), (candidates[j].stat.vars[0], 0)]
-                        .into_iter()
-                        .collect(),
+                    &Formula::and(
+                        candidates[i].stat.cond.clone(),
+                        candidates[j].stat.cond.clone(),
+                    ),
+                    &[
+                        (candidates[i].stat.vars[0], 0),
+                        (candidates[j].stat.vars[0], 0),
+                    ]
+                    .into_iter()
+                    .collect(),
                 );
                 parts.sort();
                 parts
@@ -453,9 +455,7 @@ pub fn try_dempster(
                 ts
             })
             .collect();
-        let shared = tols
-            .iter()
-            .all(|ts| ts.len() == 1 && ts[0] == tols[0][0]);
+        let shared = tols.iter().all(|ts| ts.len() == 1 && ts[0] == tols[0][0]);
         if shared && candidates.len() == 2 {
             Belief::Point(0.5)
         } else {
@@ -682,7 +682,16 @@ pub fn try_nested_default(
         }
         let x = s.vars[0];
         // Body must be the inner default ||R(x, y) | D(y)||_y ≈ 1.
-        let Formula::Cmp(PropExpr::Prop { body, cond: Some(d), vars }, op, rhs) = &s.body else {
+        let Formula::Cmp(
+            PropExpr::Prop {
+                body,
+                cond: Some(d),
+                vars,
+            },
+            op,
+            rhs,
+        ) = &s.body
+        else {
             continue;
         };
         if vars.len() != 1 || op.tolerance().is_none() {

@@ -164,7 +164,12 @@ mod tests {
         let mut vt = VarTable::new();
         let t = vt.parse("p & !p").unwrap();
         let q = vt.parse("q").unwrap();
-        assert!(circ_entails(&t, &CircPolicy::minimize(vec![0]), vt.len(), &q));
+        assert!(circ_entails(
+            &t,
+            &CircPolicy::minimize(vec![0]),
+            vt.len(),
+            &q
+        ));
     }
 
     #[test]

@@ -42,12 +42,7 @@ pub fn violation_signature(
     partition
         .iter()
         .rev()
-        .map(|level| {
-            level
-                .iter()
-                .filter(|&&i| rules[i].falsified(world))
-                .count()
-        })
+        .map(|level| level.iter().filter(|&&i| rules[i].falsified(world)).count())
         .collect()
 }
 

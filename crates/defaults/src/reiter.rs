@@ -53,11 +53,7 @@ impl Extension {
 }
 
 /// Computes `Γ(candidate)`'s model set, returning the applied defaults.
-fn gamma(
-    theory: &DefaultTheory,
-    facts: &WorldSet,
-    candidate: &WorldSet,
-) -> (WorldSet, Vec<usize>) {
+fn gamma(theory: &DefaultTheory, facts: &WorldSet, candidate: &WorldSet) -> (WorldSet, Vec<usize>) {
     let mut current = facts.clone();
     let mut applied = vec![false; theory.defaults.len()];
     let mut order = Vec::new();

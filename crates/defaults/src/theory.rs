@@ -150,10 +150,7 @@ mod tests {
         );
         assert_eq!(d.consequent, vt.parse("fly").unwrap());
         assert_eq!(d.justifications.len(), 1);
-        assert_eq!(
-            d.justifications[0],
-            vt.parse("fly & !penguin").unwrap()
-        );
+        assert_eq!(d.justifications[0], vt.parse("fly & !penguin").unwrap());
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum PropFormula {
 }
 
 impl PropFormula {
+    // A by-value constructor, not a `std::ops::Not` (which takes `self`
+    // and would force call-site boxing idioms).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: PropFormula) -> PropFormula {
         PropFormula::Not(Box::new(f))
     }
@@ -73,7 +76,10 @@ pub struct DefaultRule {
 
 impl DefaultRule {
     pub fn new(premise: PropFormula, conclusion: PropFormula) -> DefaultRule {
-        DefaultRule { premise, conclusion }
+        DefaultRule {
+            premise,
+            conclusion,
+        }
     }
 
     /// The world *verifies* the rule: premise and conclusion both hold.

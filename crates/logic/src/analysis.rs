@@ -238,16 +238,26 @@ pub fn instantiate(f: &Formula, pairs: &[(VarId, ConstId)]) -> Formula {
 /// and the list of variables bound at that point; returning `Some` replaces
 /// the term wholesale, `None` recurses into it.
 fn map_terms(f: &Formula, m: &mut impl FnMut(&Term, &[VarId]) -> Option<Term>) -> Formula {
-    fn go_term(t: &Term, bound: &mut Vec<VarId>, m: &mut impl FnMut(&Term, &[VarId]) -> Option<Term>) -> Term {
+    fn go_term(
+        t: &Term,
+        bound: &mut Vec<VarId>,
+        m: &mut impl FnMut(&Term, &[VarId]) -> Option<Term>,
+    ) -> Term {
         if let Some(rep) = m(t, bound) {
             return rep;
         }
         match t {
             Term::Var(_) | Term::Const(_) => t.clone(),
-            Term::App(f, args) => Term::App(*f, args.iter().map(|a| go_term(a, bound, m)).collect()),
+            Term::App(f, args) => {
+                Term::App(*f, args.iter().map(|a| go_term(a, bound, m)).collect())
+            }
         }
     }
-    fn go(f: &Formula, bound: &mut Vec<VarId>, m: &mut impl FnMut(&Term, &[VarId]) -> Option<Term>) -> Formula {
+    fn go(
+        f: &Formula,
+        bound: &mut Vec<VarId>,
+        m: &mut impl FnMut(&Term, &[VarId]) -> Option<Term>,
+    ) -> Formula {
         match f {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
@@ -294,15 +304,18 @@ fn map_terms(f: &Formula, m: &mut impl FnMut(&Term, &[VarId]) -> Option<Term>) -
                     vars: vars.clone(),
                 }
             }
-            PropExpr::Add(a, b) => {
-                PropExpr::Add(Box::new(go_prop(a, bound, m)), Box::new(go_prop(b, bound, m)))
-            }
-            PropExpr::Sub(a, b) => {
-                PropExpr::Sub(Box::new(go_prop(a, bound, m)), Box::new(go_prop(b, bound, m)))
-            }
-            PropExpr::Mul(a, b) => {
-                PropExpr::Mul(Box::new(go_prop(a, bound, m)), Box::new(go_prop(b, bound, m)))
-            }
+            PropExpr::Add(a, b) => PropExpr::Add(
+                Box::new(go_prop(a, bound, m)),
+                Box::new(go_prop(b, bound, m)),
+            ),
+            PropExpr::Sub(a, b) => PropExpr::Sub(
+                Box::new(go_prop(a, bound, m)),
+                Box::new(go_prop(b, bound, m)),
+            ),
+            PropExpr::Mul(a, b) => PropExpr::Mul(
+                Box::new(go_prop(a, bound, m)),
+                Box::new(go_prop(b, bound, m)),
+            ),
         }
     }
     go(f, &mut Vec::new(), m)
@@ -317,7 +330,9 @@ fn alpha_eq_with(a: &Formula, b: &Formula, map: &mut Vec<(VarId, VarId)>) -> boo
     match (a, b) {
         (Formula::True, Formula::True) | (Formula::False, Formula::False) => true,
         (Formula::Pred(p, xs), Formula::Pred(q, ys)) => {
-            p == q && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| term_alpha_eq(x, y, map))
+            p == q
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| term_alpha_eq(x, y, map))
         }
         (Formula::TermEq(x1, x2), Formula::TermEq(y1, y2)) => {
             term_alpha_eq(x1, y1, map) && term_alpha_eq(x2, y2, map)
@@ -358,7 +373,9 @@ fn term_alpha_eq(a: &Term, b: &Term, map: &[(VarId, VarId)]) -> bool {
         }
         (Term::Const(c), Term::Const(d)) => c == d,
         (Term::App(f, xs), Term::App(g, ys)) => {
-            f == g && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| term_alpha_eq(x, y, map))
+            f == g
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| term_alpha_eq(x, y, map))
         }
         _ => false,
     }
@@ -368,8 +385,16 @@ fn prop_alpha_eq(a: &PropExpr, b: &PropExpr, map: &mut Vec<(VarId, VarId)>) -> b
     match (a, b) {
         (PropExpr::Rat(x), PropExpr::Rat(y)) => x == y,
         (
-            PropExpr::Prop { body: b1, cond: c1, vars: v1 },
-            PropExpr::Prop { body: b2, cond: c2, vars: v2 },
+            PropExpr::Prop {
+                body: b1,
+                cond: c1,
+                vars: v1,
+            },
+            PropExpr::Prop {
+                body: b2,
+                cond: c2,
+                vars: v2,
+            },
         ) => {
             if v1.len() != v2.len() {
                 return false;

@@ -121,6 +121,9 @@ pub enum Formula {
 }
 
 impl Formula {
+    // A by-value constructor, not a `std::ops::Not` (which takes `self`
+    // and would force call-site boxing idioms).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -259,7 +262,11 @@ mod tests {
             TolId(1),
         );
         match d {
-            Formula::Cmp(PropExpr::Prop { cond: Some(_), .. }, CmpOp::ApproxEq(TolId(1)), PropExpr::Rat(r)) => {
+            Formula::Cmp(
+                PropExpr::Prop { cond: Some(_), .. },
+                CmpOp::ApproxEq(TolId(1)),
+                PropExpr::Rat(r),
+            ) => {
                 assert_eq!(r, Rat::ONE)
             }
             other => panic!("unexpected desugaring: {other:?}"),

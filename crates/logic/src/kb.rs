@@ -155,10 +155,7 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        let kb = KnowledgeBase::parse(
-            "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
-        )
-        .unwrap();
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
         let printed = kb.to_string();
         let kb2 = KnowledgeBase::parse(&printed).unwrap();
         assert_eq!(kb.conjuncts(), kb2.conjuncts());

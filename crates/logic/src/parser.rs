@@ -62,10 +62,10 @@ enum Tok {
     Eq,
     Neq,
     Leq,
-    Implies,   // =>
-    Iff,       // <=>
-    Bar,       // |
-    DoubleBar, // ||
+    Implies,          // =>
+    Iff,              // <=>
+    Bar,              // |
+    DoubleBar,        // ||
     ApproxEq(TolId),  // ~=_i
     ApproxLeq(TolId), // <~_i
     Arrow(TolId),     // ->_i  (default-rule sugar)
@@ -205,7 +205,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 2;
                     Tok::ApproxEq(self.subscript())
                 } else {
-                    return Err(ParseError::new(start, "unexpected `~` (did you mean `~=`?)"));
+                    return Err(ParseError::new(
+                        start,
+                        "unexpected `~` (did you mean `~=`?)",
+                    ));
                 }
             }
             b'-' => {
@@ -742,7 +745,11 @@ mod tests {
     fn proportions_and_comparisons() {
         let (_, f) = parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8");
         match f {
-            Formula::Cmp(PropExpr::Prop { cond, vars, .. }, CmpOp::ApproxEq(TolId(1)), PropExpr::Rat(r)) => {
+            Formula::Cmp(
+                PropExpr::Prop { cond, vars, .. },
+                CmpOp::ApproxEq(TolId(1)),
+                PropExpr::Rat(r),
+            ) => {
                 assert!(cond.is_some());
                 assert_eq!(vars.len(), 1);
                 assert_eq!(r, Rat::new(4, 5));
@@ -756,8 +763,14 @@ mod tests {
         let (_, f) = parse("0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8");
         let parts = f.conjuncts();
         assert_eq!(parts.len(), 2);
-        assert!(matches!(parts[0], Formula::Cmp(_, CmpOp::ApproxLeq(TolId(1)), _)));
-        assert!(matches!(parts[1], Formula::Cmp(_, CmpOp::ApproxLeq(TolId(2)), _)));
+        assert!(matches!(
+            parts[0],
+            Formula::Cmp(_, CmpOp::ApproxLeq(TolId(1)), _)
+        ));
+        assert!(matches!(
+            parts[1],
+            Formula::Cmp(_, CmpOp::ApproxLeq(TolId(2)), _)
+        ));
     }
 
     #[test]
@@ -773,7 +786,11 @@ mod tests {
     fn default_rule_sugar() {
         let (_, f) = parse("Bird(x) ->_2 Fly(x)");
         match f {
-            Formula::Cmp(PropExpr::Prop { body, cond, vars }, CmpOp::ApproxEq(TolId(2)), PropExpr::Rat(r)) => {
+            Formula::Cmp(
+                PropExpr::Prop { body, cond, vars },
+                CmpOp::ApproxEq(TolId(2)),
+                PropExpr::Rat(r),
+            ) => {
                 assert_eq!(r, Rat::ONE);
                 assert_eq!(vars.len(), 1);
                 assert!(matches!(*body, Formula::Pred(..)));

@@ -28,12 +28,7 @@ const PREC_OR: u8 = 2;
 const PREC_AND: u8 = 3;
 const PREC_UNARY: u8 = 4;
 
-fn fmt_formula(
-    f: &Formula,
-    v: &Vocabulary,
-    prec: u8,
-    out: &mut fmt::Formatter<'_>,
-) -> fmt::Result {
+fn fmt_formula(f: &Formula, v: &Vocabulary, prec: u8, out: &mut fmt::Formatter<'_>) -> fmt::Result {
     let mine = match f {
         Formula::Iff(..) => PREC_IFF,
         Formula::Implies(..) => PREC_IMPLIES,

@@ -63,12 +63,23 @@ pub enum VocabError {
 impl fmt::Display for VocabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VocabError::ArityMismatch { name, declared, used } => write!(
+            VocabError::ArityMismatch {
+                name,
+                declared,
+                used,
+            } => write!(
                 f,
                 "symbol `{name}` declared with arity {declared} but used with arity {used}"
             ),
-            VocabError::KindMismatch { name, declared, used } => {
-                write!(f, "symbol `{name}` declared as {declared} but used as {used}")
+            VocabError::KindMismatch {
+                name,
+                declared,
+                used,
+            } => {
+                write!(
+                    f,
+                    "symbol `{name}` declared as {declared} but used as {used}"
+                )
             }
         }
     }

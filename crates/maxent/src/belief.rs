@@ -137,11 +137,7 @@ fn solve_system_warm(
             _ => return Err(MaxentError::Infeasible),
         }
     }
-    let rows: Vec<(Vec<f64>, f64)> = sys
-        .rows
-        .iter()
-        .map(|r| (r.coeffs.clone(), r.rhs))
-        .collect();
+    let rows: Vec<(Vec<f64>, f64)> = sys.rows.iter().map(|r| (r.coeffs.clone(), r.rhs)).collect();
     match crate::entropy::maximize_entropy_dual_warm(&rows, &sys.zero, sys.atoms, warm) {
         Ok(pl) => Ok(pl),
         Err(EntropyError::Infeasible) => Err(MaxentError::Infeasible),
@@ -200,11 +196,11 @@ fn query_value(
             .unwrap_or_else(|| AtomSet::full(n));
         let mut num = 0.0;
         let mut den = 0.0;
-        for a in 0..n {
+        for (a, &p) in point.iter().enumerate().take(n) {
             if fset.contains(a) {
-                den += point[a];
+                den += p;
                 if qset.contains(a) {
-                    num += point[a];
+                    num += p;
                 }
             }
         }
@@ -296,9 +292,7 @@ pub fn degree_of_belief_limit(
     for idx in indices {
         match sweep(kb, &q, config, Some(idx)) {
             Ok(Some(v)) => candidates.push(v),
-            Ok(None) | Err(MaxentError::Infeasible) => {
-                return Ok(LimitOutcome::Infeasible)
-            }
+            Ok(None) | Err(MaxentError::Infeasible) => return Ok(LimitOutcome::Infeasible),
             Err(e) => return Err(e),
         }
     }
@@ -327,7 +321,10 @@ mod tests {
     fn expect_point(kb_src: &str, q_src: &str, expected: f64, eps: f64) {
         match limit(kb_src, q_src) {
             LimitOutcome::Converged(v) => {
-                assert!((v - expected).abs() < eps, "{kb_src} ⊢ {q_src}: {v} vs {expected}")
+                assert!(
+                    (v - expected).abs() < eps,
+                    "{kb_src} ⊢ {q_src}: {v} vs {expected}"
+                )
             }
             other => panic!("{kb_src} ⊢ {q_src}: {other:?}"),
         }
@@ -471,7 +468,7 @@ mod tests {
     }
 
     #[test]
-    fn independence_product(){
+    fn independence_product() {
         // Paper Example 5.28: Pr(Hep ∧ Over60) = 0.8 × 0.4 = 0.32.
         expect_point(
             "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); \

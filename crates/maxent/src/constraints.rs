@@ -181,7 +181,12 @@ fn affine_of(e: &PropExpr, vocab: &Vocabulary, n: usize) -> Option<Affine> {
 }
 
 fn cond_prop_of(e: &PropExpr, vocab: &Vocabulary) -> Option<CondProp> {
-    if let PropExpr::Prop { body, cond: Some(c), vars } = e {
+    if let PropExpr::Prop {
+        body,
+        cond: Some(c),
+        vars,
+    } = e
+    {
         if vars.len() != 1 {
             return None;
         }
@@ -196,7 +201,10 @@ fn cond_prop_of(e: &PropExpr, vocab: &Vocabulary) -> Option<CondProp> {
 }
 
 /// Compiles the KB at a concrete tolerance vector.
-pub fn compile(kb: &KnowledgeBase, tol: &Tolerances) -> Result<UnaryConstraintSystem, CompileError> {
+pub fn compile(
+    kb: &KnowledgeBase,
+    tol: &Tolerances,
+) -> Result<UnaryConstraintSystem, CompileError> {
     let vocab = kb.vocab();
     if !vocab.is_unary() {
         return Err(CompileError::NotUnary);
@@ -245,8 +253,9 @@ fn compile_conjunct(
             Ok(())
         }
         Formula::Forall(v, body) => {
-            let s = compile_atom_set(body, *v, vocab)
-                .ok_or_else(|| unsupported(vocab, f, "universal body is not quantifier-free unary"))?;
+            let s = compile_atom_set(body, *v, vocab).ok_or_else(|| {
+                unsupported(vocab, f, "universal body is not quantifier-free unary")
+            })?;
             for a in 0..n {
                 if !s.contains(a) {
                     sys.zero[a] = true;
@@ -255,8 +264,9 @@ fn compile_conjunct(
             Ok(())
         }
         Formula::Exists(v, body) => {
-            let s = compile_atom_set(body, *v, vocab)
-                .ok_or_else(|| unsupported(vocab, f, "existential body is not quantifier-free unary"))?;
+            let s = compile_atom_set(body, *v, vocab).ok_or_else(|| {
+                unsupported(vocab, f, "existential body is not quantifier-free unary")
+            })?;
             sys.exists_sets.push(s);
             Ok(())
         }
@@ -267,10 +277,7 @@ fn compile_conjunct(
             if consts.len() == 1 {
                 let c = *consts.iter().next().unwrap();
                 if let Some(s) = compile_atom_set_const(other, c, vocab) {
-                    let entry = sys
-                        .const_atoms
-                        .entry(c)
-                        .or_insert_with(|| AtomSet::full(n));
+                    let entry = sys.const_atoms.entry(c).or_insert_with(|| AtomSet::full(n));
                     *entry = entry.intersect(&s);
                     return Ok(());
                 }
@@ -359,13 +366,25 @@ fn push_cond_rows(
     if leq_only {
         // prop ⪯ k  →  upper row only;  k ⪯ prop  →  lower row only.
         if flipped {
-            sys.rows.push(LinearRow { coeffs: lower, rhs: 0.0 });
+            sys.rows.push(LinearRow {
+                coeffs: lower,
+                rhs: 0.0,
+            });
         } else {
-            sys.rows.push(LinearRow { coeffs: upper, rhs: 0.0 });
+            sys.rows.push(LinearRow {
+                coeffs: upper,
+                rhs: 0.0,
+            });
         }
     } else {
-        sys.rows.push(LinearRow { coeffs: upper, rhs: 0.0 });
-        sys.rows.push(LinearRow { coeffs: lower, rhs: 0.0 });
+        sys.rows.push(LinearRow {
+            coeffs: upper,
+            rhs: 0.0,
+        });
+        sys.rows.push(LinearRow {
+            coeffs: lower,
+            rhs: 0.0,
+        });
     }
 }
 
@@ -437,10 +456,10 @@ mod tests {
     #[test]
     fn unsupported_shapes_are_reported() {
         for src in [
-            "||P(x) & Q(y)||_{x,y} ~=_1 0.5",             // multi-variable proportion
-            "P(A) or Q(B)",                               // cross-constant
-            "||P(x) | Q(x)||_x ~=_1 ||R(x)||_x",          // cond vs non-constant
-            "exists! x (P(x))",                           // equality quantifier
+            "||P(x) & Q(y)||_{x,y} ~=_1 0.5",    // multi-variable proportion
+            "P(A) or Q(B)",                      // cross-constant
+            "||P(x) | Q(x)||_x ~=_1 ||R(x)||_x", // cond vs non-constant
+            "exists! x (P(x))",                  // equality quantifier
         ] {
             let kb = KnowledgeBase::parse(src).unwrap();
             let e = compile(&kb, &tol()).unwrap_err();

@@ -35,7 +35,10 @@ impl std::fmt::Display for EntropyError {
             EntropyError::Infeasible => write!(f, "constraint polytope is empty"),
             EntropyError::Unbounded => write!(f, "polytope unbounded: missing simplex rows"),
             EntropyError::DidNotConverge { gap, .. } => {
-                write!(f, "Frank-Wolfe gap {gap:.2e} above tolerance at iteration budget")
+                write!(
+                    f,
+                    "Frank-Wolfe gap {gap:.2e} above tolerance at iteration budget"
+                )
             }
         }
     }
@@ -378,7 +381,10 @@ mod tests {
         let (a, b) = with_simplex(3, vec![(vec![0.0, 0.0, 1.0], 0.0)]);
         let p = maximize_entropy(&a, &b, 3).unwrap();
         assert!(p[2].abs() < 1e-9);
-        assert!((p[0] - 0.5).abs() < 1e-6 && (p[1] - 0.5).abs() < 1e-6, "{p:?}");
+        assert!(
+            (p[0] - 0.5).abs() < 1e-6 && (p[1] - 0.5).abs() < 1e-6,
+            "{p:?}"
+        );
     }
 
     #[test]

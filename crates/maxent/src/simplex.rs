@@ -53,18 +53,12 @@ impl Tableau {
 
     /// Runs simplex iterations for objective coefficients `obj` (maximize),
     /// restricted to columns `< allowed_cols`. Returns `false` on unbounded.
-    fn optimize(&mut self, obj: &mut Vec<f64>, allowed_cols: usize) -> bool {
+    fn optimize(&mut self, obj: &mut [f64], allowed_cols: usize) -> bool {
         // `obj` is the current reduced-cost row (length cols+1, last = value).
         loop {
             // Bland's rule: smallest-index entering column with positive
             // reduced cost.
-            let mut enter = None;
-            for c in 0..allowed_cols {
-                if obj[c] > EPS {
-                    enter = Some(c);
-                    break;
-                }
-            }
+            let enter = obj[..allowed_cols].iter().position(|&o| o > EPS);
             let Some(col) = enter else {
                 return true;
             };
@@ -94,7 +88,11 @@ impl Tableau {
             let f = obj[col];
             for c in 0..=self.cols {
                 let delta = f * self.t[row][c];
-                let slot = if c == self.cols { &mut obj[self.cols] } else { &mut obj[c] };
+                let slot = if c == self.cols {
+                    &mut obj[self.cols]
+                } else {
+                    &mut obj[c]
+                };
                 *slot -= delta;
             }
         }
@@ -150,10 +148,10 @@ pub fn solve_lp(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
             obj[n + m + k] = -1.0;
         }
         // Express the objective in terms of the current (artificial) basis.
-        for i in 0..m {
-            if art_of_row[i] != usize::MAX {
-                for c in 0..=cols {
-                    obj[c] += tab.t[i][c];
+        for (row, &art) in art_of_row.iter().enumerate() {
+            if art != usize::MAX {
+                for (o, &t) in obj.iter_mut().zip(&tab.t[row]) {
+                    *o += t;
                 }
             }
         }
@@ -190,8 +188,8 @@ pub fn solve_lp(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
         let bv = tab.basis[r];
         if bv < n && obj[bv].abs() > EPS {
             let f = obj[bv];
-            for cc in 0..=cols {
-                obj[cc] -= f * tab.t[r][cc];
+            for (o, &t) in obj.iter_mut().zip(&tab.t[r]) {
+                *o -= f * t;
             }
         }
     }
@@ -260,11 +258,7 @@ mod tests {
     #[test]
     fn negative_rhs_feasible() {
         // x0 ≥ 0.3 (as -x0 ≤ -0.3), x0 ≤ 0.7; max -x0 → x0 = 0.3.
-        let (x, _) = optimal(solve_lp(
-            &[-1.0],
-            &[vec![-1.0], vec![1.0]],
-            &[-0.3, 0.7],
-        ));
+        let (x, _) = optimal(solve_lp(&[-1.0], &[vec![-1.0], vec![1.0]], &[-0.3, 0.7]));
         assert!((x[0] - 0.3).abs() < 1e-7, "{x:?}");
     }
 
@@ -303,8 +297,8 @@ mod tests {
                 .map(|_| (0..n).map(|_| next() * 2.0 - 1.0).collect())
                 .collect();
             let b: Vec<f64> = (0..m).map(|_| next()).collect(); // b ≥ 0 → feasible at 0
-            // Brute force: vertices are intersections of constraint pairs
-            // (including axes), filtered for feasibility.
+                                                                // Brute force: vertices are intersections of constraint pairs
+                                                                // (including axes), filtered for feasibility.
             let mut best = 0.0f64; // origin is feasible
             let mut lines: Vec<(f64, f64, f64)> = Vec::new(); // ax + by = c
             for i in 0..m {
@@ -344,9 +338,7 @@ mod tests {
                     // spot-check the axis directions and the two vertices'
                     // incident edges is overkill; accept when brute best is
                     // exceeded along an axis.
-                    let ray_exists = (0..n).any(|j| {
-                        c[j] > 1e-9 && (0..m).all(|k| a[k][j] <= 1e-9)
-                    });
+                    let ray_exists = (0..n).any(|j| c[j] > 1e-9 && (0..m).all(|k| a[k][j] <= 1e-9));
                     assert!(ray_exists || best < 1e9, "suspicious unbounded");
                 }
                 LpResult::Infeasible => panic!("b ≥ 0 is always feasible"),

@@ -131,7 +131,10 @@ mod tests {
             .unwrap()
             .unwrap();
         let engine = PropensityEngine::new(Prior::Lambda(1e8));
-        let prop = engine.degree_of_belief_at(&kb, &q, 24, &tol).unwrap().unwrap();
+        let prop = engine
+            .degree_of_belief_at(&kb, &q, 24, &tol)
+            .unwrap()
+            .unwrap();
         assert!((rw - prop).abs() < 1e-4, "rw {rw} vs λ→∞ {prop}");
     }
 

@@ -43,9 +43,7 @@ pub struct Scenario {
 /// the sample. `freq` must be expressible at denominator 100.
 pub fn sampling(freq_percent: u32) -> Scenario {
     assert!(freq_percent <= 100);
-    let src = format!(
-        "||P(x) | S(x)||_x ~=_1 0.{freq_percent:02}; ||S(x)||_x ~=_2 0.5; !S(C)"
-    );
+    let src = format!("||P(x) | S(x)||_x ~=_1 0.{freq_percent:02}; ||S(x)||_x ~=_2 0.5; !S(C)");
     let mut kb = KnowledgeBase::parse(&src).unwrap();
     let query = kb.parse_query("P(C)").unwrap();
     Scenario {

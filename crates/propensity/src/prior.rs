@@ -64,8 +64,8 @@ impl Prior {
                         .filter(|&(atom, _)| atom >> p & 1 == 1)
                         .map(|(_, &c)| c)
                         .sum();
-                    ln += fact.ln_factorial(m) + fact.ln_factorial(n - m)
-                        - fact.ln_factorial(n + 1);
+                    ln +=
+                        fact.ln_factorial(m) + fact.ln_factorial(n - m) - fact.ln_factorial(n + 1);
                 }
                 LogWeight::from_ln(ln)
             }

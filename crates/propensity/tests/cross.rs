@@ -20,14 +20,12 @@ fn arb_kb() -> impl Strategy<Value = String> {
         let neg = if pos { "" } else { "!" };
         format!("{neg}{pred}(C{})", c + 1)
     });
-    (stat, prop::option::of(cond_stat), prop::option::of(lit)).prop_map(
-        |(s, cs, l)| {
-            let mut parts = vec![s];
-            parts.extend(cs);
-            parts.extend(l);
-            parts.join("; ")
-        },
-    )
+    (stat, prop::option::of(cond_stat), prop::option::of(lit)).prop_map(|(s, cs, l)| {
+        let mut parts = vec![s];
+        parts.extend(cs);
+        parts.extend(l);
+        parts.join("; ")
+    })
 }
 
 fn belief_at(prior: Option<Prior>, kb_src: &str, q_src: &str, n: usize) -> Option<f64> {

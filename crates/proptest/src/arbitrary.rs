@@ -1,0 +1,25 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::BoolAny;
+
+    fn arbitrary() -> crate::bool::BoolAny {
+        crate::bool::ANY
+    }
+}

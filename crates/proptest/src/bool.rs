@@ -1,0 +1,19 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A fair coin.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+/// The fair-coin strategy value.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

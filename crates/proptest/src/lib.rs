@@ -1,0 +1,123 @@
+//! A workspace-local, std-only stand-in for the `proptest` crate.
+//!
+//! The workspace must build offline with no external dependencies, so the
+//! property-test suites link this crate instead of crates.io `proptest`
+//! (the path dependency shadows the name). It implements the subset of the
+//! API those suites use — [`Strategy`] with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, [`prop_oneof!`], collections,
+//! [`proptest!`] with `proptest_config`, and the `prop_assert*` macros —
+//! with two deliberate simplifications:
+//!
+//! * **no shrinking**: a failing case reports the case number and message
+//!   only (the suites all format offending inputs into their assertion
+//!   messages already);
+//! * **deterministic seeding**: every run replays the same case sequence,
+//!   so CI failures reproduce locally without a persistence file.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..4, flag in any::<bool>()) { prop_assert!(x < 4 || flag); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @with ($cfg) $($rest)* }
+    };
+    (@with ($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __result
+            });
+        }
+        $crate::proptest!{ @with ($cfg) $($rest)* }
+    };
+    (@with ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!{
+            @with ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}

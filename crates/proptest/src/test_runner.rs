@@ -1,0 +1,106 @@
+//! Case execution: configuration, failure type, RNG and the runner.
+
+use rw_util::{Rng, StdRng};
+
+/// How many cases to run per property.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The randomness source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A reproducible generator for the given seed.
+    pub fn deterministic(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// The next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// A uniform index below `n`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p)
+    }
+}
+
+/// Runs a property over many generated cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a deterministic seed (runs replay identically).
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner {
+            config,
+            rng: TestRng::deterministic(0x5eed_cafe_f00d_0001),
+        }
+    }
+
+    /// Executes `case` repeatedly, panicking on the first failure.
+    pub fn run(
+        &mut self,
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        for i in 0..self.config.cases {
+            if let Err(e) = case(&mut self.rng) {
+                panic!(
+                    "property `{name}` failed at case {i}/{}: {e}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}

@@ -246,10 +246,8 @@ mod tests {
 
     #[test]
     fn specificity_prefers_subclass() {
-        let k = kb(
-            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
-             forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
-        );
+        let k = kb("Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety)");
         let a = reference_class_belief(&k, "Fly(Tweety)", SelectionRule::Specificity).unwrap();
         assert_eq!(a.as_interval(), Some((0.0, 0.0)));
     }
@@ -259,20 +257,15 @@ mod tests {
         // Paper §2.3: the magpie interval [0, 0.99] is replaced by the
         // tighter bird interval [0.7, 0.8] under Kyburg's strength rule —
         // but NOT under pure specificity.
-        let k = kb(
-            "0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; \
+        let k = kb("0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; \
              0 <~_3 ||Chirps(x) | Magpie(x)||_x <~_4 0.99; \
-             forall x (Magpie(x) => Bird(x)); Magpie(Tweety)",
-        );
+             forall x (Magpie(x) => Bird(x)); Magpie(Tweety)");
         let strict =
             reference_class_belief(&k, "Chirps(Tweety)", SelectionRule::Specificity).unwrap();
         assert_eq!(strict.as_interval(), Some((0.0, 0.99)));
-        let strong = reference_class_belief(
-            &k,
-            "Chirps(Tweety)",
-            SelectionRule::SpecificityThenStrength,
-        )
-        .unwrap();
+        let strong =
+            reference_class_belief(&k, "Chirps(Tweety)", SelectionRule::SpecificityThenStrength)
+                .unwrap();
         assert_eq!(strong.as_interval(), Some((0.7, 0.8)));
     }
 
@@ -281,11 +274,9 @@ mod tests {
         // Paper §2.3 (Fred the smoker with high cholesterol): neither class
         // dominates, so the baseline answers "no opinion" — random worlds
         // combines the evidence via Thm 5.26 instead.
-        let k = kb(
-            "||Heart-disease(x) | Cholesterol(x)||_x ~=_1 0.15; \
+        let k = kb("||Heart-disease(x) | Cholesterol(x)||_x ~=_1 0.15; \
              ||Heart-disease(x) | Smoker(x)||_x ~=_2 0.09; \
-             Cholesterol(Fred); Smoker(Fred)",
-        );
+             Cholesterol(Fred); Smoker(Fred)");
         let a = reference_class_belief(
             &k,
             "Heart-disease(Fred)",
@@ -299,11 +290,9 @@ mod tests {
     fn agreeing_incomparable_classes_still_answer() {
         // Footnote 14: Republican bankers — both classes say 0.2, Kyburg
         // answers 0.2 (random worlds disagrees: δ(0.2, 0.2) = 1/17 ≈ 0.059).
-        let k = kb(
-            "||Pacifist(x) | Republican(x)||_x ~=_1 0.2; \
+        let k = kb("||Pacifist(x) | Republican(x)||_x ~=_1 0.2; \
              ||Pacifist(x) | Banker(x)||_x ~=_2 0.2; \
-             Republican(Morgan); Banker(Morgan)",
-        );
+             Republican(Morgan); Banker(Morgan)");
         let a = reference_class_belief(
             &k,
             "Pacifist(Morgan)",
@@ -336,12 +325,8 @@ mod tests {
         // Pollock's restriction throws the statistic away; permitting the
         // class recovers the paper's answer 0.02 (Example 5.22).
         let k = kb("||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)");
-        let permissive = reference_class_belief_policy(
-            &k,
-            "TS(Eric)",
-            &RefClassPolicy::default(),
-        )
-        .unwrap();
+        let permissive =
+            reference_class_belief_policy(&k, "TS(Eric)", &RefClassPolicy::default()).unwrap();
         assert_eq!(permissive.as_interval(), Some((0.02, 0.02)));
         let restricted = reference_class_belief_policy(
             &k,
@@ -352,7 +337,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(restricted, RefClassAnswer::NoOpinion { .. }), "{restricted:?}");
+        assert!(
+            matches!(restricted, RefClassAnswer::NoOpinion { .. }),
+            "{restricted:?}"
+        );
     }
 
     #[test]

@@ -85,10 +85,7 @@ pub fn compile_source(scenario: &Scenario, rep: Representation) -> String {
                             0 => "0".to_string(),
                             p => format!("0.{p:02}"),
                         };
-                        statements.push(format!(
-                            "||{eff} | {cond}||_x ~=_{} {value}",
-                            next_tol()
-                        ));
+                        statements.push(format!("||{eff} | {cond}||_x ~=_{} {value}", next_tol()));
                     }
                 }
             }

@@ -165,10 +165,7 @@ impl Scenario {
     /// Declares a fluent and returns its handle.
     pub fn fluent(&mut self, name: &str) -> Fluent {
         let f = Fluent::new(name);
-        assert!(
-            !self.fluents.contains(&f),
-            "fluent `{name}` declared twice"
-        );
+        assert!(!self.fluents.contains(&f), "fluent `{name}` declared twice");
         self.fluents.push(f.clone());
         f
     }

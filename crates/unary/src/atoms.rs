@@ -38,6 +38,9 @@ impl AtomSet {
         s
     }
 
+    // `is_empty_set` below tests set membership; `len` is the universe
+    // size, so a `len == 0`-style `is_empty` would be misleading.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.len
     }
@@ -165,7 +168,10 @@ pub fn compile_atom_set(f: &Formula, v: VarId, vocab: &Vocabulary) -> Option<Ato
         Formula::Iff(a, b) => {
             let sa = compile_atom_set(a, v, vocab)?;
             let sb = compile_atom_set(b, v, vocab)?;
-            Some(sa.intersect(&sb).union(&sa.complement().intersect(&sb.complement())))
+            Some(
+                sa.intersect(&sb)
+                    .union(&sa.complement().intersect(&sb.complement())),
+            )
         }
         _ => None,
     }

@@ -28,7 +28,10 @@ impl std::fmt::Display for UnaryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UnaryError::NotUnary => {
-                write!(f, "unary engine requires a function-free, all-unary vocabulary")
+                write!(
+                    f,
+                    "unary engine requires a function-free, all-unary vocabulary"
+                )
             }
             UnaryError::TooManyProfiles { estimated, budget } => write!(
                 f,
@@ -86,12 +89,7 @@ impl UnaryEngine {
         }
     }
 
-    fn estimate_profiles(
-        n: usize,
-        free_atoms: usize,
-        consts: usize,
-        atoms: usize,
-    ) -> u128 {
+    fn estimate_profiles(n: usize, free_atoms: usize, consts: usize, atoms: usize) -> u128 {
         let partitions = rw_util::comb::bell_number(consts.min(12));
         let compositions = rw_util::comb::weak_compositions_count(n as u64, free_atoms as u64);
         // Every block can take any atom: bound blocks by the constant count.
@@ -187,11 +185,7 @@ impl UnaryEngine {
                         counts[a] = comp[i];
                     }
                     // Zero-weight profiles: atom cannot host its blocks.
-                    if blocks_in_atom
-                        .iter()
-                        .zip(&counts)
-                        .any(|(&k, &c)| k > c)
-                    {
+                    if blocks_in_atom.iter().zip(&counts).any(|(&k, &c)| k > c) {
                         continue;
                     }
                     ev.set_counts(&counts);
@@ -404,7 +398,10 @@ mod tests {
                 match (exact, unary) {
                     (None, None) => {}
                     (Some(a), Some(b)) => {
-                        assert!((a - b).abs() < 1e-9, "{kb_src} ⊢ {q_src} at N={n}: {a} vs {b}")
+                        assert!(
+                            (a - b).abs() < 1e-9,
+                            "{kb_src} ⊢ {q_src} at N={n}: {a} vs {b}"
+                        )
                     }
                     other => panic!("{kb_src} ⊢ {q_src} at N={n}: {other:?}"),
                 }
@@ -419,8 +416,7 @@ mod tests {
         // boundary 0.8 − τ, so we check (a) Theorem 5.6's guarantee that
         // every finite value lies in [0.8 − τ, 0.8 + τ], and (b) convergence
         // to 0.8 along a diagonal where τ shrinks with N.
-        let mut kb =
-            KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let mut kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
         let q = kb.parse_query("Hep(Eric)").unwrap();
         let mut last_gap = f64::INFINITY;
         for (den, n) in [(10i128, 20usize), (20, 40), (40, 80)] {
@@ -429,7 +425,10 @@ mod tests {
             let tau = 1.0 / den as f64;
             assert!(d >= 0.8 - tau - 1e-12 && d <= 0.8 + tau + 1e-12, "{d}");
             let gap = (d - 0.8).abs();
-            assert!(gap < last_gap, "diagonal not converging: {gap} vs {last_gap}");
+            assert!(
+                gap < last_gap,
+                "diagonal not converging: {gap} vs {last_gap}"
+            );
             last_gap = gap;
         }
         assert!(last_gap < 0.011, "{last_gap}");

@@ -88,7 +88,11 @@ pub struct ProfileEvaluator<'a> {
 }
 
 impl<'a> ProfileEvaluator<'a> {
-    pub fn new(vocab: &'a Vocabulary, tol: &'a Tolerances, profile: Profile) -> ProfileEvaluator<'a> {
+    pub fn new(
+        vocab: &'a Vocabulary,
+        tol: &'a Tolerances,
+        profile: Profile,
+    ) -> ProfileEvaluator<'a> {
         assert!(
             vocab.is_unary(),
             "profile evaluation requires a unary vocabulary"

@@ -48,7 +48,11 @@ impl FactTable {
 
     /// `multinomial(n; parts)` where `parts` must sum to `n`.
     pub fn multinomial(&self, n: usize, parts: &[usize]) -> LogWeight {
-        debug_assert_eq!(parts.iter().sum::<usize>(), n, "multinomial parts must sum to n");
+        debug_assert_eq!(
+            parts.iter().sum::<usize>(),
+            n,
+            "multinomial parts must sum to n"
+        );
         let mut ln = self.ln_fact[n];
         for &p in parts {
             ln -= self.ln_fact[p];
@@ -245,7 +249,7 @@ mod tests {
         // Γ(x+1) = x Γ(x) over a spread of non-integer points.
         for &x in &[0.1, 0.37, 0.9, 1.21, 3.99, 10.5, 55.25] {
             let lhs = ln_gamma(x + 1.0);
-            let rhs = (x as f64).ln() + ln_gamma(x);
+            let rhs = x.ln() + ln_gamma(x);
             assert!(close(lhs, rhs), "recurrence at {x}: {lhs} vs {rhs}");
         }
     }

@@ -18,9 +18,11 @@ pub mod compositions;
 pub mod logweight;
 pub mod partitions;
 pub mod rat;
+pub mod rng;
 
 pub use comb::{ln_gamma, FactTable};
 pub use compositions::Compositions;
 pub use logweight::LogWeight;
 pub use partitions::SetPartitions;
 pub use rat::Rat;
+pub use rng::{Rng, StdRng};

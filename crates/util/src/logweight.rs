@@ -20,7 +20,9 @@ pub struct LogWeight {
 }
 
 impl LogWeight {
-    pub const ZERO: LogWeight = LogWeight { ln: f64::NEG_INFINITY };
+    pub const ZERO: LogWeight = LogWeight {
+        ln: f64::NEG_INFINITY,
+    };
     pub const ONE: LogWeight = LogWeight { ln: 0.0 };
 
     /// Builds a weight directly from its natural logarithm.
@@ -90,7 +92,9 @@ impl Mul for LogWeight {
         if self.is_zero() || rhs.is_zero() {
             return LogWeight::ZERO;
         }
-        LogWeight { ln: self.ln + rhs.ln }
+        LogWeight {
+            ln: self.ln + rhs.ln,
+        }
     }
 }
 
@@ -107,7 +111,9 @@ impl Div for LogWeight {
         if self.is_zero() {
             return LogWeight::ZERO;
         }
-        LogWeight { ln: self.ln - rhs.ln }
+        LogWeight {
+            ln: self.ln - rhs.ln,
+        }
     }
 }
 

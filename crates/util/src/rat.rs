@@ -186,6 +186,8 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Division by the reciprocal is the intended arithmetic here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

@@ -1,0 +1,122 @@
+//! A small, deterministic, std-only random number generator.
+//!
+//! The workspace is offline-first: it cannot pull the `rand` crate, and the
+//! only randomness it needs is Monte-Carlo world sampling (`rw-worlds`) and
+//! benchmark input shuffling. This module provides the minimal surface those
+//! callers use — [`Rng::gen_bool`], [`Rng::gen_range`] and a seedable
+//! generator — backed by xoshiro256** seeded through SplitMix64, the
+//! standard construction for fast, high-quality non-cryptographic streams.
+//!
+//! Not suitable for cryptography.
+
+/// A stream of pseudo-random numbers.
+///
+/// Implementors supply [`Rng::next_u64`]; the derived helpers mirror the
+/// fragment of the `rand` crate's API the workspace historically used.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 bits gives an exact dyadic uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// A uniform draw from `range` (which must be non-empty).
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range over empty range");
+        let span = (range.end - range.start) as u64;
+        // Rejection sampling over the largest multiple of `span` avoids
+        // modulo bias; the loop rejects < 1 draw on average.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + (v % span) as usize;
+            }
+        }
+    }
+}
+
+/// The workspace's default generator: xoshiro256**.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// A generator whose full 256-bit state is derived from `seed` by
+    /// SplitMix64 (so nearby seeds give unrelated streams).
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "{p}");
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_range_is_uniform_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            let v = rng.gen_range(2..7);
+            assert!((2..7).contains(&v));
+            counts[v - 2] += 1;
+        }
+        for c in counts {
+            let p = c as f64 / 50_000.0;
+            assert!((p - 0.2).abs() < 0.02, "{counts:?}");
+        }
+    }
+}

@@ -48,14 +48,20 @@ fn build_slots(vocab: &Vocabulary, n: usize) -> (Vec<Slot>, Vec<usize>) {
     for p in vocab.preds() {
         let size = n.pow(vocab.pred_arity(p) as u32);
         for idx in 0..size {
-            slots.push(Slot::PredBit { pred: p.index(), idx });
+            slots.push(Slot::PredBit {
+                pred: p.index(),
+                idx,
+            });
             maxes.push(2);
         }
     }
     for f in vocab.funcs() {
         let size = n.pow(vocab.func_arity(f) as u32);
         for idx in 0..size {
-            slots.push(Slot::FuncEntry { func: f.index(), idx });
+            slots.push(Slot::FuncEntry {
+                func: f.index(),
+                idx,
+            });
             maxes.push(n);
         }
     }
@@ -145,8 +151,14 @@ pub enum EnumError {
 impl std::fmt::Display for EnumError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EnumError::TooLarge(Some(n)) => write!(f, "world space too large to enumerate ({n} interpretations)"),
-            EnumError::TooLarge(None) => write!(f, "world space too large to enumerate (count overflows u128)"),
+            EnumError::TooLarge(Some(n)) => write!(
+                f,
+                "world space too large to enumerate ({n} interpretations)"
+            ),
+            EnumError::TooLarge(None) => write!(
+                f,
+                "world space too large to enumerate (count overflows u128)"
+            ),
         }
     }
 }
@@ -216,7 +228,9 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for_each_world(&v, 2, |w| {
             let key = (
-                (0..2).map(|e| w.rel(rw_logic::PredId(0)).contains(&[e])).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|e| w.rel(rw_logic::PredId(0)).contains(&[e]))
+                    .collect::<Vec<_>>(),
                 w.const_denotation(0),
             );
             assert!(seen.insert(key), "duplicate world");

@@ -156,7 +156,9 @@ impl<'a> Evaluator<'a> {
     pub fn eval_prop(&mut self, e: &PropExpr) -> PropValue {
         match e {
             PropExpr::Rat(r) => PropValue::Def(*r),
-            PropExpr::Prop { body, cond, vars } => self.eval_proportion(body, cond.as_deref(), vars),
+            PropExpr::Prop { body, cond, vars } => {
+                self.eval_proportion(body, cond.as_deref(), vars)
+            }
             PropExpr::Add(a, b) => {
                 let x = self.eval_prop(a);
                 let y = self.eval_prop(b);
@@ -396,7 +398,11 @@ mod tests {
         let primitive = parse_formula(&mut v, "||Fly(x) | Penguin(x)||_x ~=_2 0").unwrap();
         assert!(!evaluate_closed(&w, &v, &t, &primitive));
 
-        let multiplied = parse_formula(&mut v, "||Fly(x) & Penguin(x)||_x ~=_2 0 * ||Penguin(x)||_x").unwrap();
+        let multiplied = parse_formula(
+            &mut v,
+            "||Fly(x) & Penguin(x)||_x ~=_2 0 * ||Penguin(x)||_x",
+        )
+        .unwrap();
         assert!(evaluate_closed(&w, &v, &t, &multiplied));
     }
 
@@ -446,11 +452,7 @@ mod tests {
         w.rel_mut(rises).set(&[2, 0], true);
         w.rel_mut(rises).set(&[2, 1], true);
         let t = tol();
-        let f = parse_formula(
-            &mut v,
-            "|| ||Rises(x, y) | Day(y)||_y ~=_1 1 ||_x = 1/4",
-        )
-        .unwrap();
+        let f = parse_formula(&mut v, "|| ||Rises(x, y) | Day(y)||_y ~=_1 1 ||_x = 1/4").unwrap();
         assert!(evaluate_closed(&w, &v, &t, &f));
     }
 

@@ -10,9 +10,9 @@
 
 use crate::eval::Evaluator;
 use crate::world::World;
-use rand::Rng;
 use rw_logic::ast::Formula;
 use rw_logic::{KnowledgeBase, Tolerances, Vocabulary};
+use rw_util::Rng;
 
 /// Result of a rejection-sampling estimate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,9 +98,7 @@ pub fn estimate_degree_of_belief(
 mod tests {
     use super::*;
     use crate::enumerate::degree_of_belief_at;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use rw_util::Rat;
+    use rw_util::{Rat, StdRng};
 
     fn tol() -> Tolerances {
         Tolerances::uniform(Rat::new(1, 4))

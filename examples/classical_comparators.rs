@@ -41,7 +41,9 @@ fn nixon() {
          Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
     )
     .unwrap();
-    let rw = RandomWorlds::new().degree_of_belief(&kb, "Pacifist(Nixon)").unwrap();
+    let rw = RandomWorlds::new()
+        .degree_of_belief(&kb, "Pacifist(Nixon)")
+        .unwrap();
     println!("  random worlds (0.9 vs 0.1): {rw}");
 }
 
@@ -61,7 +63,10 @@ fn broken_arm() {
         exts.len(),
         skeptical(&t, vt.len(), &both)
     );
-    assert!(skeptical(&t, vt.len(), &both), "the anomaly the paper cites");
+    assert!(
+        skeptical(&t, vt.len(), &both),
+        "the anomaly the paper cites"
+    );
 
     // Random worlds: the Or/And rules give `exactly one arm usable`.
     let kb = KnowledgeBase::parse(
@@ -119,9 +124,7 @@ fn lottery() {
     println!("\n── Lottery paradox under circumscription (§3.5) ──");
     let mut vt = VarTable::new();
     let t = vt
-        .parse(
-            "(w1 or w2 or w3) & (w1 => !w2 & !w3) & (w2 => !w1 & !w3) & (w3 => !w1 & !w2)",
-        )
+        .parse("(w1 or w2 or w3) & (w1 => !w2 & !w3) & (w2 => !w1 & !w3) & (w3 => !w1 & !w2)")
         .unwrap();
     let policy = CircPolicy::minimize(vec![0, 1, 2]);
     let minimal = minimal_models(&t, &policy, vt.len());
@@ -141,7 +144,10 @@ fn lottery() {
     )
     .unwrap();
     let rw = RandomWorlds::new().degree_of_belief(&kb, "Winner(C)");
-    println!("  random worlds, N unknown: Pr(Winner(C)) = {}", rw.unwrap());
+    println!(
+        "  random worlds, N unknown: Pr(Winner(C)) = {}",
+        rw.unwrap()
+    );
 }
 
 fn drowning() {
@@ -155,7 +161,10 @@ fn drowning() {
     ];
     let yp = vt.parse("yellow & penguin").unwrap();
     let see = vt.parse("see").unwrap();
-    println!("  System Z:      {:?}  (drowns)", z_entails(&rules, &yp, &see));
+    println!(
+        "  System Z:      {:?}  (drowns)",
+        z_entails(&rules, &yp, &see)
+    );
     println!("  lexicographic: {:?}", lex_entails(&rules, &yp, &see));
 
     let kb = KnowledgeBase::parse(
@@ -164,7 +173,9 @@ fn drowning() {
          Penguin(Tweety); Yellow(Tweety)",
     )
     .unwrap();
-    let rw = RandomWorlds::new().degree_of_belief(&kb, "EasyToSee(Tweety)").unwrap();
+    let rw = RandomWorlds::new()
+        .degree_of_belief(&kb, "EasyToSee(Tweety)")
+        .unwrap();
     println!("  random worlds: {rw}");
     assert_eq!(z_entails(&rules, &yp, &see), Some(false));
     assert_eq!(lex_entails(&rules, &yp, &see), Some(true));

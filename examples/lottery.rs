@@ -30,7 +30,10 @@ fn main() {
         let p = unary::degree_of_belief_at(&kb, &win, n, &tol)
             .unwrap()
             .unwrap();
-        println!("  N = {n:>5}: Pr(Winner(C)) = {p:.6}  (1/N = {:.6})", 1.0 / n as f64);
+        println!(
+            "  N = {n:>5}: Pr(Winner(C)) = {p:.6}  (1/N = {:.6})",
+            1.0 / n as f64
+        );
         assert!((p - 1.0 / n as f64).abs() < 1e-12);
         let s = unary::degree_of_belief_at(&kb, &someone, n, &tol)
             .unwrap()
@@ -47,7 +50,9 @@ fn main() {
     let r = engine.degree_of_belief(&kb, "Winner(C)").unwrap();
     println!("  Pr(Winner(C))          = {r}");
     assert!(r.belief.is_zero());
-    let r = engine.degree_of_belief(&kb, "exists x (Winner(x))").unwrap();
+    let r = engine
+        .degree_of_belief(&kb, "exists x (Winner(x))")
+        .unwrap();
     println!("  Pr(exists x Winner(x)) = {r}");
     assert!(r.belief.is_one());
 

@@ -52,10 +52,15 @@ fn main() {
          exists! x (Cholesterol(x) & Smoker(x))",
     )
     .unwrap();
-    let rw = engine.degree_of_belief(&fred, "Heart-disease(Fred)").unwrap();
-    let baseline =
-        reference_class_belief(&fred, "Heart-disease(Fred)", SelectionRule::SpecificityThenStrength)
-            .unwrap();
+    let rw = engine
+        .degree_of_belief(&fred, "Heart-disease(Fred)")
+        .unwrap();
+    let baseline = reference_class_belief(
+        &fred,
+        "Heart-disease(Fred)",
+        SelectionRule::SpecificityThenStrength,
+    )
+    .unwrap();
     println!("two risk factors, random worlds:    {rw}");
     println!("two risk factors, reference class:  {baseline:?}");
     let expected = dempster_rule(&[0.15, 0.09]);
@@ -63,12 +68,11 @@ fn main() {
 
     // Tay-Sachs (paper Example 5.22): a *disjunctive* reference class —
     // outlawed by Kyburg and Pollock — is used without fuss.
-    let ts = KnowledgeBase::parse(
-        "||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)",
-    )
-    .unwrap();
+    let ts = KnowledgeBase::parse("||TS(x) | EEJ(x) or FC(x)||_x ~=_1 0.02; EEJ(Eric)").unwrap();
     let mut ts_kb = ts.clone();
-    ts_kb.assert("forall x (EEJ(x) => EEJ(x) or FC(x))").unwrap();
+    ts_kb
+        .assert("forall x (EEJ(x) => EEJ(x) or FC(x))")
+        .unwrap();
     let r = engine.degree_of_belief(&ts_kb, "TS(Eric)").unwrap();
     println!("Tay-Sachs via disjunctive class:    {r}");
     assert!((r.belief.as_point().unwrap() - 0.02).abs() < 1e-3);

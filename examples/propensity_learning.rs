@@ -17,8 +17,8 @@
 //! ```
 
 use random_worlds::logic::Tolerances;
-use random_worlds::propensity::{giraffe, sampling, succession, Prior, PropensityEngine};
 use random_worlds::prelude::*;
+use random_worlds::propensity::{giraffe, sampling, succession, Prior, PropensityEngine};
 
 fn show(name: &str, trend: &[(usize, Option<f64>)]) {
     print!("  {name:<22}");

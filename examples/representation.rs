@@ -34,10 +34,7 @@ fn main() {
     // representations, while the *unconstrained* query Pr(Bird(Opus))
     // shifts from 1/2 to 2/3 — a diagnosis, not a bug: the KB contains no
     // justified value for it.
-    let fly_rep = KnowledgeBase::parse(
-        "||Fly(x) | Bird(x)||_x ~=_1 0.5; Bird(Tweety)",
-    )
-    .unwrap();
+    let fly_rep = KnowledgeBase::parse("||Fly(x) | Bird(x)||_x ~=_1 0.5; Bird(Tweety)").unwrap();
     let fb_rep = KnowledgeBase::parse(
         "||FlyingBird(x) | Bird(x)||_x ~=_1 0.5; \
          forall x (FlyingBird(x) => Bird(x)); Bird(Tweety)",
@@ -45,7 +42,9 @@ fn main() {
     .unwrap();
 
     let t1 = engine.degree_of_belief(&fly_rep, "Fly(Tweety)").unwrap();
-    let t2 = engine.degree_of_belief(&fb_rep, "FlyingBird(Tweety)").unwrap();
+    let t2 = engine
+        .degree_of_belief(&fb_rep, "FlyingBird(Tweety)")
+        .unwrap();
     println!("\nPr(Tweety flies), Fly representation:        {t1}");
     println!("Pr(Tweety flies), FlyingBird representation: {t2}");
     assert!((t1.belief.as_point().unwrap() - 0.5).abs() < 1e-6);

@@ -29,7 +29,9 @@ fn main() {
 
     // Exceptional-subclass inheritance: being an atypical bird with respect
     // to flight does not block inheriting warm-bloodedness.
-    let r = engine.degree_of_belief(&kb, "Warm-blooded(Tweety)").unwrap();
+    let r = engine
+        .degree_of_belief(&kb, "Warm-blooded(Tweety)")
+        .unwrap();
     println!("Warm-blooded(Tweety) = {r}");
     assert!(r.belief.is_one());
 
@@ -58,7 +60,10 @@ fn main() {
     let r = engine.degree_of_belief(&magpies, "Chirps(Tweety)").unwrap();
     println!("moody-magpie belief  = {r}");
     let v = r.belief.as_point().unwrap();
-    assert!(v < 0.9 - 1e-3, "must be pulled below the bird statistic: {v}");
+    assert!(
+        v < 0.9 - 1e-3,
+        "must be pulled below the bird statistic: {v}"
+    );
 
     // Poole's broken-arm disjunction (Example 5.4): knowing one arm is
     // broken (but not which), exactly one arm is believed usable.

@@ -45,7 +45,10 @@ fn main() {
     let alive = engine.degree_of_belief(&naive_shared, "A2(S)").unwrap();
     println!("  Pr(Alive at 2) = {alive}");
     println!("  → neither death nor survival is concluded: the anomaly.");
-    let v = alive.belief.as_point().expect("shared-τ standoff is a point");
+    let v = alive
+        .belief
+        .as_point()
+        .expect("shared-τ standoff is a point");
     assert!(v > 0.05 && v < 0.95, "middling belief expected, got {v}");
 
     println!("\n── Naive frame defaults, distinct tolerances ──");

@@ -8,9 +8,8 @@
 //! > Artificial Intelligence 87(1–2):75–143, 1996 (PODS 2006 invited
 //! > overview; arXiv:cs/0307056).
 //!
-//! This facade crate re-exports the workspace's public API. See the README
-//! for a guided tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-vs-measured experiment log.
+//! This facade crate re-exports the workspace's public API. See the
+//! README for a guided tour of the crates and the solver pipeline.
 //!
 //! ## Quick start
 //!
@@ -40,7 +39,7 @@ pub use rw_worlds as worlds;
 
 /// Convenience prelude: the types most applications need.
 pub mod prelude {
-    pub use rw_core::{Belief, Provenance, RandomWorlds};
+    pub use rw_core::{Belief, Provenance, RandomWorlds, Response, Trace};
     pub use rw_logic::{Formula, KnowledgeBase, PropExpr, Term, Vocabulary};
     pub use rw_util::Rat;
 }

@@ -52,8 +52,8 @@ fn unary_matches_enumeration_on_fixed_corpus() {
 fn unary_counts_concentrate_at_maxent_point() {
     // §6: E[atom proportions | KB] → maxent point as N grows; the gap
     // shrinks roughly like 1/N (figure F4 of the experiment index).
-    let kb = KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1")
-        .unwrap();
+    let kb =
+        KnowledgeBase::parse("||Black(x) | Bird(x)||_x ~=_1 0.2; ||Bird(x)||_x ~=_2 0.1").unwrap();
     let t = tol(20);
     let point = rw_maxent::maxent_point(&kb, &t).unwrap();
     let mut last_gap = f64::INFINITY;
@@ -68,7 +68,10 @@ fn unary_counts_concentrate_at_maxent_point() {
             .zip(&point)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        assert!(gap < last_gap + 1e-4, "gap grew at N={n}: {gap} vs {last_gap}");
+        assert!(
+            gap < last_gap + 1e-4,
+            "gap grew at N={n}: {gap} vs {last_gap}"
+        );
         last_gap = gap;
     }
     assert!(last_gap < 0.02, "{last_gap}");
@@ -85,8 +88,12 @@ fn conditioning_identity_prop_5_2() {
     kb2.assert_formula(theta);
     let t = tol(4);
     for n in 2..=4usize {
-        let a = rw_worlds::degree_of_belief_at(&kb, &phi, n, &t).unwrap().unwrap();
-        let b = rw_worlds::degree_of_belief_at(&kb2, &phi, n, &t).unwrap().unwrap();
+        let a = rw_worlds::degree_of_belief_at(&kb, &phi, n, &t)
+            .unwrap()
+            .unwrap();
+        let b = rw_worlds::degree_of_belief_at(&kb2, &phi, n, &t)
+            .unwrap()
+            .unwrap();
         assert!((a - b).abs() < 1e-12, "N={n}: {a} vs {b}");
     }
 }

@@ -37,7 +37,9 @@ fn e32_nixon_reiter_splits_random_worlds_grades() {
     let kb = "Quaker(x) ->_1 Pacifist(x); Republican(x) ->_1 !Pacifist(x); \
               Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))";
     let b = rw_belief(kb, "Pacifist(Nixon)");
-    let v = b.as_point().unwrap_or_else(|| panic!("expected point, got {b}"));
+    let v = b
+        .as_point()
+        .unwrap_or_else(|| panic!("expected point, got {b}"));
     assert!((v - 0.5).abs() < 1e-6, "{v}");
 }
 
@@ -113,12 +115,19 @@ fn e35_lottery_circumscription_vs_graded_belief() {
     // existence survives.
     let mut vt = VarTable::new();
     let t = vt
-        .parse("(w1 or w2 or w3 or w4) & (w1 => !w2 & !w3 & !w4) & \
-                (w2 => !w1 & !w3 & !w4) & (w3 => !w1 & !w2 & !w4) & (w4 => !w1 & !w2 & !w3)")
+        .parse(
+            "(w1 or w2 or w3 or w4) & (w1 => !w2 & !w3 & !w4) & \
+                (w2 => !w1 & !w3 & !w4) & (w3 => !w1 & !w2 & !w4) & (w4 => !w1 & !w2 & !w3)",
+        )
         .unwrap();
     let policy = CircPolicy::minimize((0..4).collect());
     assert_eq!(minimal_models(&t, &policy, vt.len()).len(), 4);
-    assert!(!circ_entails(&t, &policy, vt.len(), &vt.parse("!w1").unwrap()));
+    assert!(!circ_entails(
+        &t,
+        &policy,
+        vt.len(),
+        &vt.parse("!w1").unwrap()
+    ));
     assert!(circ_entails(
         &t,
         &policy,

@@ -30,10 +30,8 @@ fn corpus() -> Vec<(KnowledgeBase, &'static str, &'static str)> {
             "Q(C)",
         ),
         (
-            KnowledgeBase::parse(
-                "Bird(x) ->_1 Warm(x); ||Bird(x)||_x ~=_2 0.3; Bird(Tweety)",
-            )
-            .unwrap(),
+            KnowledgeBase::parse("Bird(x) ->_1 Warm(x); ||Bird(x)||_x ~=_2 0.3; Bird(Tweety)")
+                .unwrap(),
             "Warm(Tweety)",
             "Warm(Tweety)",
         ),

@@ -249,7 +249,10 @@ fn e17_conflicting_defaults() {
     let kb = "||Pacifist(x) | Quaker(x)||_x ~=_1 1; \
               ||Pacifist(x) | Republican(x)||_x ~=_2 0; \
               Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))";
-    assert!(matches!(belief(kb, "Pacifist(Nixon)"), Belief::NonRobust(_)));
+    assert!(matches!(
+        belief(kb, "Pacifist(Nixon)"),
+        Belief::NonRobust(_)
+    ));
     let shared = kb.replace("~=_2 0", "~=_1 0");
     assert_point(&shared, "Pacifist(Nixon)", 0.5, 0.0);
 }
@@ -371,9 +374,7 @@ fn e29_baselines_diverge() {
     let rw = engine()
         .degree_of_belief(&kb, "Heart-disease(Fred)")
         .unwrap();
-    assert!(
-        (rw.belief.as_point().unwrap() - dempster_rule(&[0.15, 0.09])).abs() < 1e-12
-    );
+    assert!((rw.belief.as_point().unwrap() - dempster_rule(&[0.15, 0.09])).abs() < 1e-12);
     let baseline = random_worlds::refclass::reference_class_belief(
         &kb,
         "Heart-disease(Fred)",

@@ -19,17 +19,30 @@ fn lambda_limit_recovers_random_worlds_across_kbs() {
     // λ → ∞ makes every world equally likely again; the propensity engine
     // must agree with the uniform counting engine on diverse KBs.
     let cases = [
-        ("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)", "Hep(Eric)", 20),
+        (
+            "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+            "Hep(Eric)",
+            20,
+        ),
         ("P(C1); !P(C2)", "P(C3)", 24),
         ("forall x (G(x) => T(x))", "T(C)", 20),
-        ("||P(x)||_x ~=_1 0.5; ||Q(x)||_x ~=_2 0.5", "P(C) & Q(C)", 16),
+        (
+            "||P(x)||_x ~=_1 0.5; ||Q(x)||_x ~=_2 0.5",
+            "P(C) & Q(C)",
+            16,
+        ),
     ];
     let tol = Tolerances::uniform(Rat::new(1, 8));
     let engine = PropensityEngine::new(Prior::Lambda(1e9));
     for (kb_src, q_src, n) in cases {
         let (kb, q) = kb_and_query(kb_src, q_src);
-        let rw = unary::degree_of_belief_at(&kb, &q, n, &tol).unwrap().unwrap();
-        let pr = engine.degree_of_belief_at(&kb, &q, n, &tol).unwrap().unwrap();
+        let rw = unary::degree_of_belief_at(&kb, &q, n, &tol)
+            .unwrap()
+            .unwrap();
+        let pr = engine
+            .degree_of_belief_at(&kb, &q, n, &tol)
+            .unwrap()
+            .unwrap();
         assert!(
             (rw - pr).abs() < 1e-4,
             "{kb_src} ⊢ {q_src}: rw {rw} vs λ→∞ {pr}"
@@ -46,8 +59,14 @@ fn complement_law_holds_under_every_prior() {
         let engine = PropensityEngine::new(prior);
         let (mut kb, q) = kb_and_query("||P(x) | S(x)||_x ~=_1 0.75; S(C1); !S(C2)", "P(C2)");
         let not_q = kb.parse_query("!P(C2)").unwrap();
-        let a = engine.degree_of_belief_at(&kb, &q, 20, &tol).unwrap().unwrap();
-        let b = engine.degree_of_belief_at(&kb, &not_q, 20, &tol).unwrap().unwrap();
+        let a = engine
+            .degree_of_belief_at(&kb, &q, 20, &tol)
+            .unwrap()
+            .unwrap();
+        let b = engine
+            .degree_of_belief_at(&kb, &not_q, 20, &tol)
+            .unwrap()
+            .unwrap();
         assert!((a + b - 1.0).abs() < 1e-9, "{prior:?}: {a} + {b}");
     }
 }
@@ -77,17 +96,28 @@ fn e38_sampling_contrast_random_worlds_flat_propensities_learn() {
     let s = random_worlds::propensity::sampling(80);
     let tol = Tolerances::uniform(Rat::new(1, 10));
 
-    let rw = unary::degree_of_belief_at(&s.kb, &s.query, 40, &tol).unwrap().unwrap();
-    assert!((rw - 0.5).abs() < 0.03, "random worlds should stay flat: {rw}");
+    let rw = unary::degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+        .unwrap()
+        .unwrap();
+    assert!(
+        (rw - 0.5).abs() < 0.03,
+        "random worlds should stay flat: {rw}"
+    );
 
     let engine = PropensityEngine::new(Prior::PerPredicate);
-    let pp = engine.degree_of_belief_at(&s.kb, &s.query, 40, &tol).unwrap().unwrap();
+    let pp = engine
+        .degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+        .unwrap()
+        .unwrap();
     assert!(pp > 0.68, "per-predicate propensities should learn: {pp}");
 
     // m* cannot transfer across the sample boundary (Dirichlet
     // aggregation): it stays with random worlds here.
     let star = PropensityEngine::new(Prior::CarnapStar);
-    let ms = star.degree_of_belief_at(&s.kb, &s.query, 40, &tol).unwrap().unwrap();
+    let ms = star
+        .degree_of_belief_at(&s.kb, &s.query, 40, &tol)
+        .unwrap()
+        .unwrap();
     assert!((ms - 0.5).abs() < 0.03, "m* should stay flat: {ms}");
 }
 
@@ -100,7 +130,10 @@ fn e39_direct_inference_parity_with_random_worlds() {
     let tol = Tolerances::uniform(Rat::new(1, 12));
     for prior in [Prior::PerPredicate, Prior::CarnapStar] {
         let engine = PropensityEngine::new(prior);
-        let v = engine.degree_of_belief_at(&kb, &q, 48, &tol).unwrap().unwrap();
+        let v = engine
+            .degree_of_belief_at(&kb, &q, 48, &tol)
+            .unwrap()
+            .unwrap();
         assert!((v - 0.8).abs() < 0.1, "{prior:?}: {v}");
     }
 }
@@ -116,9 +149,16 @@ fn priors_diverge_only_where_they_should() {
     let mut values = Vec::new();
     for prior in [Prior::PerPredicate, Prior::CarnapStar, Prior::Lambda(50.0)] {
         let engine = PropensityEngine::new(prior);
-        values.push(engine.degree_of_belief_at(&kb, &q, 60, &tol).unwrap().unwrap());
+        values.push(
+            engine
+                .degree_of_belief_at(&kb, &q, 60, &tol)
+                .unwrap()
+                .unwrap(),
+        );
     }
-    let rw = unary::degree_of_belief_at(&kb, &q, 60, &tol).unwrap().unwrap();
+    let rw = unary::degree_of_belief_at(&kb, &q, 60, &tol)
+        .unwrap()
+        .unwrap();
     values.push(rw);
     for v in &values {
         assert!((v - 0.3).abs() < 0.1, "direct inference broke: {values:?}");

@@ -24,7 +24,9 @@ fn e40a_naive_representation_shared_tolerance_standoff() {
          ||A2(x) | A1(x)||_x ~=_1 1; {FACTS}"
     );
     let b = belief(&kb, "A2(S)");
-    let v = b.as_point().unwrap_or_else(|| panic!("expected point, got {b}"));
+    let v = b
+        .as_point()
+        .unwrap_or_else(|| panic!("expected point, got {b}"));
     assert!(v > 0.05 && v < 0.95, "expected a standoff, got {v}");
 }
 
@@ -95,7 +97,13 @@ mod scenario_compiler {
         time: usize,
     ) -> Result<random_worlds::core::BeliefResult, random_worlds::core::EngineError> {
         // Probes are only needed where non-robustness is the point.
-        project_with(&engine(rep == Representation::NaiveDistinct), s, rep, fluent, time)
+        project_with(
+            &engine(rep == Representation::NaiveDistinct),
+            s,
+            rep,
+            fluent,
+            time,
+        )
     }
 
     fn yale_shooting() -> (Scenario, Fluent, Fluent) {
@@ -131,11 +139,20 @@ mod scenario_compiler {
     #[test]
     fn compiled_causal_concludes_death_and_persistence() {
         let (s, loaded, alive) = yale_shooting();
-        assert!(project(&s, Representation::Causal, &loaded, 1).unwrap().belief.is_one());
-        assert!(project(&s, Representation::Causal, &alive, 2).unwrap().belief.is_zero());
+        assert!(project(&s, Representation::Causal, &loaded, 1)
+            .unwrap()
+            .belief
+            .is_one());
+        assert!(project(&s, Representation::Causal, &alive, 2)
+            .unwrap()
+            .belief
+            .is_zero());
         // The gun also stays loaded after the shot (shooting affects only
         // Alive in this formulation).
-        assert!(project(&s, Representation::Causal, &loaded, 2).unwrap().belief.is_one());
+        assert!(project(&s, Representation::Causal, &loaded, 2)
+            .unwrap()
+            .belief
+            .is_one());
     }
 
     #[test]
@@ -182,8 +199,14 @@ mod scenario_compiler {
                 .requires(Literal::pos(loaded.clone()))
                 .causes(Literal::neg(alive.clone())),
         );
-        assert!(project(&s, Representation::Causal, &loaded, 1).unwrap().belief.is_one());
-        assert!(project(&s, Representation::Causal, &alive, 2).unwrap().belief.is_zero());
+        assert!(project(&s, Representation::Causal, &loaded, 1)
+            .unwrap()
+            .belief
+            .is_one());
+        assert!(project(&s, Representation::Causal, &alive, 2)
+            .unwrap()
+            .belief
+            .is_zero());
     }
 }
 
