@@ -31,11 +31,14 @@ pub enum Command {
         /// Session options parsed from flags.
         options: SessionOptions,
     },
-    /// `rwq batch <file>`: queries from stdin (one per line), one JSON
-    /// result object per line on stdout, against a single loaded KB.
+    /// `rwq batch <file> [--threads N] [--cache]`: queries from stdin
+    /// (one per line), one JSON result object per line on stdout plus a
+    /// closing summary line, against a single loaded KB.
     Batch {
         /// The `.rwkb` knowledge-base file.
         file: PathBuf,
+        /// Session options (only `--threads` / `--cache` apply to batch).
+        options: SessionOptions,
     },
     /// `rwq help` (or no arguments).
     Help,
@@ -61,7 +64,9 @@ USAGE:
   rwq query <file.rwkb> <query>... [options]
   rwq check <file.rwkb>
   rwq repl  <file.rwkb> [options]     (queries from stdin, one per line)
-  rwq batch <file.rwkb>               (queries from stdin, JSONL results out)
+  rwq batch <file.rwkb> [--threads N] [--cache]
+                                      (queries from stdin, JSONL results out,
+                                       closing {\"summary\":...} line)
   rwq help
 
 OPTIONS:
@@ -70,6 +75,10 @@ OPTIONS:
   --prior NAME         use a propensity prior instead of random worlds:
                        per-predicate | carnap | lambda=X
   --quiet              suppress provenance / trend detail
+  --threads N          batch only: worker threads (0 = one per core;
+                       default 1 = stream answers sequentially)
+  --cache              share a canonical-query answer cache across the
+                       session's queries (batch, query, repl)
 ";
 
 fn parse_tau(s: &str) -> Result<Rat, ArgError> {
@@ -138,6 +147,13 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
             "--prior" => options.prior = Some(parse_prior(&value(&mut i, "--prior")?)?),
             "--trend" => options.trend = parse_trend(&value(&mut i, "--trend")?)?,
             "--quiet" => options.explain = false,
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                options.threads = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --threads count `{v}`")))?;
+            }
+            "--cache" => options.cache = true,
             flag if flag.starts_with("--") => {
                 return Err(ArgError(format!("unknown option `{flag}`")));
             }
@@ -150,6 +166,17 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
         options.trend = vec![16, 32, 64];
     }
     Ok((options, positional))
+}
+
+/// Only `batch` shards work across threads; other verbs answer one query
+/// at a time, so a `--threads` there is a misunderstanding worth flagging.
+fn reject_threads(options: &SessionOptions, verb: &str) -> Result<(), ArgError> {
+    if options.threads != SessionOptions::default().threads {
+        return Err(ArgError(format!(
+            "--threads only applies to batch (`{verb}` answers queries one at a time)"
+        )));
+    }
+    Ok(())
 }
 
 /// Parses a full argument list (without the program name).
@@ -170,6 +197,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         "repl" => {
             let (options, positional) = parse_options(&args[1..])?;
+            reject_threads(&options, "repl")?;
             let [file] = positional.as_slice() else {
                 return Err(ArgError("repl expects exactly one file".to_string()));
             };
@@ -188,7 +216,13 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             }
             // Rejected, not silently ignored: batch emits full JSON
             // objects, so the text-formatting flags have no effect.
-            if options != SessionOptions::default() {
+            // (--threads / --cache are the batch-relevant knobs.)
+            let concurrency_only = SessionOptions {
+                threads: options.threads,
+                cache: options.cache,
+                ..SessionOptions::default()
+            };
+            if options != concurrency_only {
                 return Err(ArgError(
                     "batch emits full JSON results; --tau, --trend and --quiet are not supported"
                         .to_string(),
@@ -199,10 +233,12 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             };
             Ok(Command::Batch {
                 file: PathBuf::from(file),
+                options,
             })
         }
         "query" => {
             let (options, mut positional) = parse_options(&args[1..])?;
+            reject_threads(&options, "query")?;
             if positional.len() < 2 {
                 return Err(ArgError(
                     "query expects a file and at least one query".to_string(),
@@ -311,7 +347,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Batch {
-                file: PathBuf::from("kb.rwkb")
+                file: PathBuf::from("kb.rwkb"),
+                options: SessionOptions::default(),
             }
         );
         assert!(parse(&strs(&["batch"]))
@@ -337,6 +374,47 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--prior"));
+    }
+
+    #[test]
+    fn batch_accepts_threads_and_cache() {
+        let cmd = parse(&strs(&["batch", "kb.rwkb", "--threads", "4", "--cache"])).unwrap();
+        match cmd {
+            Command::Batch { options, .. } => {
+                assert_eq!(options.threads, 4);
+                assert!(options.cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        // 0 = one worker per core.
+        match parse(&strs(&["batch", "kb.rwkb", "--threads", "0"])).unwrap() {
+            Command::Batch { options, .. } => assert_eq!(options.threads, 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&strs(&["batch", "kb", "--threads", "four"]))
+            .unwrap_err()
+            .0
+            .contains("bad --threads"));
+        assert!(parse(&strs(&["batch", "kb", "--threads"]))
+            .unwrap_err()
+            .0
+            .contains("expects a value"));
+    }
+
+    #[test]
+    fn threads_rejected_outside_batch_but_cache_allowed() {
+        for verb in ["query", "repl"] {
+            let err = parse(&strs(&[verb, "kb", "P(C)", "--threads", "2"])).unwrap_err();
+            assert!(err.0.contains("only applies to batch"), "{verb}: {}", err.0);
+        }
+        match parse(&strs(&["query", "kb", "P(C)", "--cache"])).unwrap() {
+            Command::Query { options, .. } => assert!(options.cache),
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&["repl", "kb", "--cache"])).unwrap() {
+            Command::Repl { options, .. } => assert!(options.cache),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! and the rendering of a [`rw_core::Response`] or error into one
 //! self-contained object per input line.
 
-use rw_core::{Belief, Response, StageStatus};
+use rw_core::{BatchReport, Belief, EngineError, Response, StageStatus};
 use std::fmt::Write as _;
 
 /// Escapes `s` as the *contents* of a JSON string literal.
@@ -56,9 +56,12 @@ fn belief_json(b: &Belief) -> String {
     }
 }
 
-/// One successful JSONL result line (no trailing newline).
+/// One successful JSONL result line (no trailing newline). `cache_hit`
+/// mirrors [`Response::cached`]; `elapsed_us` is the total recorded stage
+/// time (a cache hit's is the lookup alone).
 pub fn response_line(query: &str, response: &Response) -> String {
     let mut trace = String::from("[");
+    let mut total_us: u128 = 0;
     for (i, s) in response.trace.steps().iter().enumerate() {
         if i > 0 {
             trace.push(',');
@@ -73,15 +76,63 @@ pub fn response_line(query: &str, response: &Response) -> String {
             let _ = write!(trace, r#","reason":"{}""#, escape(r));
         }
         let _ = write!(trace, r#","elapsed_us":{}}}"#, s.elapsed.as_micros());
+        total_us += s.elapsed.as_micros();
     }
     trace.push(']');
     format!(
-        r#"{{"query":"{}","ok":true,"belief":{},"provenance":"{}","trace":{}}}"#,
+        r#"{{"query":"{}","ok":true,"cache_hit":{},"elapsed_us":{},"belief":{},"provenance":"{}","trace":{}}}"#,
         escape(query),
+        response.cached,
+        total_us,
         belief_json(&response.belief),
         escape(&response.provenance.to_string()),
         trace
     )
+}
+
+/// One JSONL result line for either arm of a batch result.
+pub fn result_line(query: &str, result: &Result<Response, EngineError>) -> String {
+    match result {
+        Ok(r) => response_line(query, r),
+        Err(e) => error_line(query, &e.to_string()),
+    }
+}
+
+/// The closing summary line of a `rwq batch` run: aggregate counts so a
+/// consumer (or an operator reading the tail) sees `{answered, failed}`
+/// without counting lines, plus cache/threading/timing detail and — when
+/// the parallel executor ran — per-stage totals.
+pub fn summary_line(report: &BatchReport) -> String {
+    let mut out = format!(
+        r#"{{"summary":{{"queries":{},"answered":{},"failed":{},"cache_hits":{},"threads":{},"wall_us":{},"cpu_us":{}"#,
+        report.queries,
+        report.answered,
+        report.failed,
+        report.cache_hits,
+        report.threads,
+        report.wall.as_micros(),
+        report.cpu.as_micros()
+    );
+    if !report.stages.is_empty() {
+        out.push_str(r#","stages":["#);
+        for (i, s) in report.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                r#"{{"stage":"{}","answered":{},"declined":{},"budget_exhausted":{},"elapsed_us":{}}}"#,
+                escape(&s.stage),
+                s.answered,
+                s.declined,
+                s.budget_exhausted,
+                s.elapsed.as_micros()
+            );
+        }
+        out.push(']');
+    }
+    out.push_str("}}");
+    out
 }
 
 /// One failed JSONL result line (no trailing newline).
@@ -139,6 +190,39 @@ mod tests {
         assert_eq!(
             error_line("P(", "unexpected end"),
             r#"{"query":"P(","ok":false,"error":"unexpected end"}"#
+        );
+    }
+
+    #[test]
+    fn summary_lines_carry_counts_and_stage_totals() {
+        use rw_core::StageTotals;
+        use std::time::Duration;
+        let mut report = BatchReport {
+            queries: 3,
+            answered: 2,
+            failed: 1,
+            cache_hits: 1,
+            threads: 4,
+            wall: Duration::from_micros(120),
+            cpu: Duration::from_micros(400),
+            stages: Vec::new(),
+        };
+        let line = summary_line(&report);
+        assert!(line.starts_with(r#"{"summary":{"#), "{line}");
+        assert!(line.contains(r#""answered":2,"failed":1"#), "{line}");
+        assert!(line.contains(r#""cache_hits":1"#), "{line}");
+        assert!(!line.contains(r#""stages""#), "{line}");
+        report.stages.push(StageTotals {
+            stage: "theorems".to_string(),
+            answered: 2,
+            declined: 0,
+            budget_exhausted: 0,
+            elapsed: Duration::from_micros(90),
+        });
+        let line = summary_line(&report);
+        assert!(
+            line.contains(r#""stages":[{"stage":"theorems","answered":2"#),
+            "{line}"
         );
     }
 }

@@ -8,13 +8,23 @@
 //! maximum entropy, exact finite-`N` counting — and can switch the prior
 //! to the random-propensities families of `rw-propensity`. The `batch`
 //! subcommand is the serving path: one loaded KB, queries streamed on
-//! stdin one per line, one JSON result object per line on stdout. All
-//! behavior lives in this library so it is testable without spawning
+//! stdin one per line, one JSON result object per line on stdout, and a
+//! closing `{"summary":{...}}` line with `{answered, failed}` counts.
+//! `--threads N` shards the batch across the parallel executor
+//! (`rw_core::RandomWorlds::answer_batch_report`; `0` = one worker per
+//! core) and `--cache` shares a canonical-query answer cache across the
+//! session, with per-line `cache_hit` / `elapsed_us` fields in the JSON.
+//! All behavior lives in this library so it is testable without spawning
 //! processes; the binary in `src/bin/rwq.rs` is a thin dispatcher.
 //!
 //! ```text
 //! $ rwq query examples/kbs/hepatitis.rwkb "Hep(Eric)"
 //! Pr∞(Hep(Eric) | KB) = 0.800000 (via direct inference (Thm 5.6))
+//!
+//! $ printf 'Hep(Eric)\nHep(Eric)\n' | rwq batch examples/kbs/hepatitis.rwkb --threads 4 --cache
+//! {"query":"Hep(Eric)","ok":true,"cache_hit":false,...}
+//! {"query":"Hep(Eric)","ok":true,"cache_hit":true,...}
+//! {"summary":{"queries":2,"answered":2,"failed":0,"cache_hits":1,...}}
 //! ```
 
 pub mod args;
@@ -76,7 +86,7 @@ pub fn run(
             }
             Ok(if failures == 0 { 0 } else { 1 })
         }
-        Command::Batch { file } => {
+        Command::Batch { file, options } => {
             let kb = match load_kb(&file) {
                 Ok(kb) => kb,
                 Err(e) => {
@@ -85,24 +95,69 @@ pub fn run(
                     return Ok(1);
                 }
             };
-            let session = Session::new(kb, SessionOptions::default());
-            // Streamed: each line is answered (and flushed) as it arrives,
-            // so long-lived producers see results without waiting for EOF.
-            let mut failures = 0usize;
-            for line in stdin.lines() {
-                let line = line?;
-                let q = line.trim();
-                if q.is_empty() || q.starts_with('#') {
-                    continue;
+            let threads = options.threads;
+            let session = Session::new(kb, options);
+            let report = if threads == 1 {
+                // Streamed: each line is answered (and flushed) as it
+                // arrives, so long-lived producers see results without
+                // waiting for EOF. Time only the answering, not the
+                // stdin waits — a slow producer must not inflate the
+                // summary's wall_us/cpu_us (which the parallel path
+                // measures inside the executor, after collection).
+                let mut answered = 0usize;
+                let mut failed = 0usize;
+                let mut busy = std::time::Duration::ZERO;
+                for line in stdin.lines() {
+                    let line = line?;
+                    let q = line.trim();
+                    if q.is_empty() || q.starts_with('#') {
+                        continue;
+                    }
+                    let t = std::time::Instant::now();
+                    let (json, ok) = session.answer_json_line(q);
+                    busy += t.elapsed();
+                    writeln!(out, "{json}")?;
+                    out.flush()?;
+                    if ok {
+                        answered += 1;
+                    } else {
+                        failed += 1;
+                    }
                 }
-                let (json, ok) = session.answer_json_line(q);
-                writeln!(out, "{json}")?;
-                out.flush()?;
-                if !ok {
-                    failures += 1;
+                rw_core::BatchReport {
+                    queries: answered + failed,
+                    answered,
+                    failed,
+                    cache_hits: session.cache_hits() as usize,
+                    threads: 1,
+                    wall: busy,
+                    cpu: busy,
+                    stages: Vec::new(),
                 }
-            }
-            Ok(if failures == 0 { 0 } else { 1 })
+            } else {
+                // Parallel: the workload must be collected up front so the
+                // worker pool can shard it; output order stays the input
+                // order (the executor is deterministic).
+                let mut queries = Vec::new();
+                for line in stdin.lines() {
+                    let line = line?;
+                    let q = line.trim();
+                    if q.is_empty() || q.starts_with('#') {
+                        continue;
+                    }
+                    queries.push(q.to_string());
+                }
+                let (lines, report) = session.answer_batch_report(&queries);
+                for l in &lines {
+                    writeln!(out, "{l}")?;
+                }
+                report
+            };
+            // The closing summary makes {answered, failed} machine-readable
+            // instead of only being countable from stderr/exit status.
+            writeln!(out, "{}", json::summary_line(&report))?;
+            out.flush()?;
+            Ok(if report.failed == 0 { 0 } else { 1 })
         }
         Command::Repl { file, options } => {
             let kb = match load_kb(&file) {
@@ -230,6 +285,7 @@ mod tests {
     fn batch_missing_file_emits_json_not_bare_text() {
         let cmd = Command::Batch {
             file: "/nonexistent/kb.rwkb".into(),
+            options: SessionOptions::default(),
         };
         let (code, out) = run_capture(cmd, "P(C)\n");
         assert_eq!(code, 1);
@@ -239,16 +295,100 @@ mod tests {
     #[test]
     fn batch_answers_jsonl_and_flags_bad_lines() {
         let kb = write_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
-        let cmd = Command::Batch { file: kb.0.clone() };
+        let cmd = Command::Batch {
+            file: kb.0.clone(),
+            options: SessionOptions::default(),
+        };
         let (code, out) = run_capture(cmd, "Hep(Eric)\n# a comment\n\nHep(\n!Hep(Eric)\n");
         // The bad middle line fails the exit code but not the other answers.
         assert_eq!(code, 1, "{out}");
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 3, "{out}");
+        assert_eq!(lines.len(), 4, "{out}");
         assert!(lines[0].contains(r#""ok":true"#), "{out}");
+        assert!(lines[0].contains(r#""cache_hit":false"#), "{out}");
         assert!(lines[0].contains(r#""value":0.8"#), "{out}");
         assert!(lines[1].contains(r#""ok":false"#), "{out}");
         assert!(lines[2].contains(r#""ok":true"#), "{out}");
+        // The closing summary line carries machine-readable counts.
+        assert!(lines[3].contains(r#""answered":2,"failed":1"#), "{out}");
+    }
+
+    #[test]
+    fn parallel_batch_matches_streamed_output_and_reports_stages() {
+        let kb = write_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+        let input = "Hep(Eric)\nHep(\n!Hep(Eric)\nHep(Eric) & Jaun(Eric)\n";
+        let streamed = run_capture(
+            Command::Batch {
+                file: kb.0.clone(),
+                options: SessionOptions::default(),
+            },
+            input,
+        );
+        let parallel = run_capture(
+            Command::Batch {
+                file: kb.0.clone(),
+                options: SessionOptions {
+                    threads: 4,
+                    ..SessionOptions::default()
+                },
+            },
+            input,
+        );
+        assert_eq!(streamed.0, parallel.0);
+        // Identical result lines (in input order) once wall times are
+        // stripped; the summaries differ (threads, stage totals).
+        let strip = |s: &str| {
+            let mut out = String::new();
+            let mut rest = s;
+            while let Some(i) = rest.find("_us\":") {
+                out.push_str(&rest[..i + 5]);
+                rest = rest[i + 5..].trim_start_matches(|c: char| c.is_ascii_digit());
+            }
+            out.push_str(rest);
+            out
+        };
+        let s_lines: Vec<String> = streamed.1.lines().map(strip).collect();
+        let p_lines: Vec<String> = parallel.1.lines().map(strip).collect();
+        assert_eq!(s_lines.len(), 5);
+        assert_eq!(p_lines.len(), 5);
+        assert_eq!(
+            s_lines[..4],
+            p_lines[..4],
+            "\n{}\n{}",
+            streamed.1,
+            parallel.1
+        );
+        assert!(p_lines[4].contains(r#""threads":4"#), "{}", parallel.1);
+        assert!(
+            p_lines[4].contains(r#""stages":[{"stage":"theorems""#),
+            "{}",
+            parallel.1
+        );
+    }
+
+    #[test]
+    fn cached_batch_reports_hits_in_lines_and_summary() {
+        let kb = write_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+        let cmd = Command::Batch {
+            file: kb.0.clone(),
+            options: SessionOptions {
+                cache: true,
+                ..SessionOptions::default()
+            },
+        };
+        // The streamed (threads=1) path: the repeat and the commuted
+        // conjunction both hit deterministically.
+        let (code, out) = run_capture(cmd, "Hep(Eric)\nHep(Eric)\n!!Hep(Eric)\n");
+        assert_eq!(code, 0, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].contains(r#""cache_hit":false"#), "{out}");
+        assert!(lines[1].contains(r#""cache_hit":true"#), "{out}");
+        assert!(lines[2].contains(r#""cache_hit":true"#), "{out}");
+        for l in &lines[..3] {
+            assert!(l.contains(r#""value":0.8"#), "{out}");
+        }
+        assert!(lines[3].contains(r#""cache_hits":2"#), "{out}");
     }
 
     #[test]

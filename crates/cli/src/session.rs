@@ -8,12 +8,13 @@
 //! one loaded KB, one pinned solver pipeline, one JSON object per query
 //! ([`Session::answer_batch_jsonl`] is the collected convenience form).
 
-use rw_core::{EngineError, RandomWorlds};
+use rw_core::{AnswerCache, BatchOptions, BatchReport, EngineError, RandomWorlds};
 use rw_logic::{KnowledgeBase, Pretty, Tolerances};
 use rw_propensity::{Prior, PropensityEngine};
 use rw_unary::UnaryError;
 use rw_util::Rat;
 use std::fmt;
+use std::sync::Arc;
 
 /// Options shared by every query in a session.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,6 +28,12 @@ pub struct SessionOptions {
     pub trend: Vec<usize>,
     /// Include provenance detail in answers.
     pub explain: bool,
+    /// Worker threads for `batch` (`0` = one per core, `1` = stream
+    /// sequentially).
+    pub threads: usize,
+    /// Install a canonical-query [`AnswerCache`] shared by every query in
+    /// the session.
+    pub cache: bool,
 }
 
 impl Default for SessionOptions {
@@ -36,6 +43,8 @@ impl Default for SessionOptions {
             tau: Rat::new(1, 10),
             trend: Vec::new(),
             explain: true,
+            threads: 1,
+            cache: false,
         }
     }
 }
@@ -82,6 +91,10 @@ pub struct Session {
     kb: KnowledgeBase,
     options: SessionOptions,
     engine: RandomWorlds,
+    /// The KB's canonical fingerprint, computed once at load when the
+    /// session caches — re-fingerprinting an unchanging KB per query
+    /// would cost more than the theorem answers it guards.
+    kb_fingerprint: Option<u64>,
 }
 
 impl Session {
@@ -92,10 +105,26 @@ impl Session {
         // of being rebuilt per call.
         let engine = RandomWorlds::new();
         let stages = engine.default_stages();
+        let mut engine = engine.with_solvers(stages);
+        let mut kb_fingerprint = None;
+        if options.cache {
+            engine = engine.with_cache(Arc::new(AnswerCache::new()));
+            kb_fingerprint = Some(rw_logic::canon::kb_fingerprint(&kb));
+        }
         Session {
             kb,
             options,
-            engine: engine.with_solvers(stages),
+            engine,
+            kb_fingerprint,
+        }
+    }
+
+    /// [`rw_core::RandomWorlds::answer`], with the session's precomputed
+    /// KB fingerprint when caching (the session's KB never changes).
+    fn engine_answer(&self, query: &str) -> Result<rw_core::Response, EngineError> {
+        match self.kb_fingerprint {
+            Some(fp) => self.engine.answer_fingerprinted(&self.kb, query, fp),
+            None => self.engine.answer(&self.kb, query),
         }
     }
 
@@ -118,7 +147,7 @@ impl Session {
     /// pipeline; a bad query yields an `"ok":false` object, never an
     /// `Err`.
     pub fn answer_json_line(&self, query: &str) -> (String, bool) {
-        match self.engine.answer(&self.kb, query) {
+        match self.engine_answer(query) {
             Ok(response) => (crate::json::response_line(query, &response), true),
             Err(e) => (crate::json::error_line(query, &e.to_string()), false),
         }
@@ -145,8 +174,31 @@ impl Session {
         (lines, failures)
     }
 
+    /// Answers a batch through the engine's parallel executor
+    /// ([`rw_core::RandomWorlds::answer_batch_report`]), honoring the
+    /// session's `threads` setting and shared cache. Returns one JSON
+    /// line per query (input order — the executor's ordering is
+    /// deterministic regardless of thread count) plus the aggregate
+    /// [`BatchReport`] behind `rwq batch`'s closing summary line.
+    pub fn answer_batch_report(&self, queries: &[String]) -> (Vec<String>, BatchReport) {
+        let opts = BatchOptions::threaded(self.options.threads);
+        let run = self.engine.answer_batch_report(&self.kb, queries, &opts);
+        let lines = queries
+            .iter()
+            .zip(&run.results)
+            .map(|(q, r)| crate::json::result_line(q, r))
+            .collect();
+        (lines, run.report)
+    }
+
+    /// Cache hits accumulated by this session's engine cache (0 when the
+    /// session runs uncached).
+    pub fn cache_hits(&self) -> u64 {
+        self.engine.cache().map(|c| c.hits()).unwrap_or(0)
+    }
+
     fn answer_random_worlds(&self, query: &str) -> Result<String, SessionError> {
-        let result = self.engine.answer(&self.kb, query)?;
+        let result = self.engine_answer(query)?;
         let mut out = if self.options.explain {
             format!("Pr∞({query} | KB) = {}", result)
         } else {

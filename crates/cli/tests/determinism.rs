@@ -1,0 +1,126 @@
+//! Property tests for the batch executor's determinism guarantees:
+//!
+//! * the parallel path returns **byte-identical JSON** to the sequential
+//!   path (once recorded wall times, which legitimately differ between
+//!   runs, are masked);
+//! * a warm cache returns the **same beliefs** as a cold one (the cache
+//!   stores only semantic answers, so a hit can change the trace and the
+//!   `cache_hit` flag — never the belief).
+
+use proptest::prelude::*;
+use rw_cli::{Session, SessionOptions};
+use rw_logic::KnowledgeBase;
+
+fn kb() -> KnowledgeBase {
+    KnowledgeBase::parse(
+        "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); \
+         ||Over60(x) | Patient(x)||_x ~=_2 0.4; Patient(Eric)",
+    )
+    .unwrap()
+}
+
+/// A pool mixing theorem hits (direct inference, negation, independence
+/// products), syntactic variants of one canonical form, and parse
+/// errors. Deliberately theorem-answerable only: each answer costs
+/// microseconds, so the property loop can afford hundreds of batches
+/// (the mixed maxent/enumeration stages are covered by `rw-core`'s
+/// batch tests, and the expensive-on-miss `!!φ` shape by the cache
+/// tests, where it hits).
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "Hep(Eric)",
+        "(Over60(Eric)) & Hep(Eric)",
+        "!Hep(Eric)",
+        "Over60(Eric)",
+        "!Over60(Eric)",
+        "Hep(Eric) & Over60(Eric)",
+        "Over60(Eric) & Hep(Eric)",
+        "(Hep(Eric)) & Over60(Eric)",
+        "Hep(",       // parse error, isolated to its line
+        "Hep(Eric))", // parse error
+    ]
+}
+
+/// A random workload: indices into the pool, with repeats.
+fn workload() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(0usize..10, 4..40).prop_map(|idxs| {
+        let pool = query_pool();
+        idxs.into_iter().map(|i| pool[i].to_string()).collect()
+    })
+}
+
+/// Masks every `..._us":<digits>` wall-time value, the only legitimately
+/// nondeterministic bytes in a batch's JSON output.
+fn mask_times(s: &str) -> String {
+    let mut out = String::new();
+    let mut rest = s;
+    while let Some(i) = rest.find("_us\":") {
+        out.push_str(&rest[..i + 5]);
+        rest = rest[i + 5..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The `"belief":{...}` fragment of a result line (`None` for errors).
+fn belief_fragment(line: &str) -> Option<&str> {
+    let start = line.find(r#""belief":"#)?;
+    let rest = &line[start..];
+    let end = rest.find(r#","provenance""#)?;
+    Some(&rest[..end])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_batch_json_is_byte_identical_to_sequential(queries in workload()) {
+        let sequential = Session::new(kb(), SessionOptions::default());
+        let (seq_lines, seq_report) = sequential.answer_batch_report(&queries);
+        for threads in [2usize, 4] {
+            let parallel = Session::new(
+                kb(),
+                SessionOptions { threads, ..SessionOptions::default() },
+            );
+            let (par_lines, par_report) = parallel.answer_batch_report(&queries);
+            prop_assert_eq!(par_lines.len(), seq_lines.len());
+            for (i, (s, p)) in seq_lines.iter().zip(&par_lines).enumerate() {
+                prop_assert_eq!(
+                    mask_times(s),
+                    mask_times(p),
+                    "line {} diverged at {} threads for {:?}",
+                    i,
+                    threads,
+                    queries
+                );
+            }
+            prop_assert_eq!(par_report.answered, seq_report.answered);
+            prop_assert_eq!(par_report.failed, seq_report.failed);
+        }
+    }
+
+    #[test]
+    fn warm_cache_beliefs_equal_cold_cache_beliefs(queries in workload()) {
+        let session = Session::new(
+            kb(),
+            SessionOptions { cache: true, threads: 2, ..SessionOptions::default() },
+        );
+        let (cold_lines, _) = session.answer_batch_report(&queries);
+        let (warm_lines, warm_report) = session.answer_batch_report(&queries);
+        // Every successful query is now served from the cache...
+        prop_assert_eq!(warm_report.cache_hits, warm_report.answered);
+        if warm_report.answered > 0 {
+            prop_assert!(warm_report.cache_hits > 0, "warm run reported no hits");
+        }
+        // ...with exactly the beliefs the cold run computed.
+        for (i, (c, w)) in cold_lines.iter().zip(&warm_lines).enumerate() {
+            prop_assert_eq!(
+                belief_fragment(c),
+                belief_fragment(w),
+                "belief diverged at line {} for {:?}",
+                i,
+                queries
+            );
+        }
+    }
+}

@@ -75,7 +75,7 @@ fn batch_jsonl_round_trip_with_bad_line() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(out.status.code(), Some(1), "{stdout}");
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 3, "{stdout}");
+    assert_eq!(lines.len(), 4, "{stdout}");
     assert!(lines[0].contains(r#""ok":true"#), "{stdout}");
     assert!(
         lines[0].contains(r#""provenance":"direct inference"#),
@@ -84,6 +84,65 @@ fn batch_jsonl_round_trip_with_bad_line() {
     assert!(lines[0].contains(r#""trace":["#), "{stdout}");
     assert!(lines[1].contains(r#""ok":false"#), "{stdout}");
     assert!(lines[2].contains(r#""ok":true"#), "{stdout}");
+    // The closing summary line makes the failure count machine-readable
+    // (previously it was only visible by counting stderr lines).
+    assert!(
+        lines[3].starts_with(r#"{"summary":{"#) && lines[3].contains(r#""answered":2,"failed":1"#),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(kb);
+}
+
+#[test]
+fn batch_parallel_cached_round_trip() {
+    let kb = kb_file("batch-par", "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+    let mut child = rwq()
+        .args(["batch", kb.to_str().unwrap(), "--threads", "4", "--cache"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // 12 queries over 2 canonical forms (commuted conjunctions collapse).
+    let mut input = String::new();
+    for i in 0..6 {
+        input.push_str("Hep(Eric)\n");
+        input.push_str(if i % 2 == 0 {
+            "Hep(Eric) & Jaun(Eric)\n"
+        } else {
+            "Jaun(Eric) & Hep(Eric)\n"
+        });
+    }
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 13, "{stdout}");
+    // Every answer line (in input order) carries the same belief.
+    for l in &lines[..12] {
+        assert!(l.contains(r#""ok":true"#), "{stdout}");
+        assert!(l.contains(r#""value":0.8"#), "{stdout}");
+    }
+    // With 4 workers and 12 queries over 2 canonical forms, at least
+    // 12 - 2×4 hits are guaranteed even under the worst interleaving.
+    let summary = lines[12];
+    assert!(summary.contains(r#""answered":12,"failed":0"#), "{stdout}");
+    assert!(summary.contains(r#""threads":4"#), "{stdout}");
+    let hits: usize = summary
+        .split(r#""cache_hits":"#)
+        .nth(1)
+        .unwrap()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(hits >= 4, "{stdout}");
     let _ = std::fs::remove_file(kb);
 }
 

@@ -1,0 +1,245 @@
+//! A sharded, thread-safe cache of answered queries, keyed by canonical
+//! query form and knowledge-base fingerprint.
+//!
+//! "Random Worlds and Maximum Entropy" (Grove–Halpern–Koller) shows that
+//! many distinct surface queries collapse to the same canonical
+//! subproblem, so a serving path that normalizes before solving gets
+//! reuse far beyond exact string repeats. The key is built from
+//! [`rw_logic::canon`]: the canonical form identifies a query up to
+//! commutation/reassociation/duplication of `&`/`or`, double negation,
+//! alpha-renaming and symbol-interning order — every rewrite preserving
+//! the degree of belief — and the KB fingerprint pins the knowledge base
+//! the answer was computed against.
+//!
+//! Storage is sharded ([`AnswerCache::with_shards`]): each shard is a
+//! small `Mutex<HashMap>`, so concurrent batch workers contend on
+//! (1/shards) of the map instead of one global lock, and hits produced
+//! by one worker are immediately visible to the others. Hit/miss
+//! counters are lock-free atomics.
+//!
+//! What is cached is the *semantic* answer — [`Belief`] plus
+//! [`Provenance`] — never the per-query [`crate::Trace`] (a cache hit
+//! gets a one-step `cache` trace instead, and sets
+//! [`crate::Response::cached`]).
+
+use crate::belief::{Belief, Provenance};
+use rw_logic::canon::fnv1a;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached semantic answer: what a [`crate::Response`] carries minus the
+/// per-run trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedAnswer {
+    /// The degree of belief.
+    pub belief: Belief,
+    /// The method that originally produced it.
+    pub provenance: Provenance,
+}
+
+impl CachedAnswer {
+    /// The cacheable part of a [`crate::Response`].
+    pub fn of(response: &crate::Response) -> CachedAnswer {
+        CachedAnswer {
+            belief: response.belief.clone(),
+            provenance: response.provenance.clone(),
+        }
+    }
+}
+
+/// A sharded map from `(KB fingerprint, canonical query)` to answers,
+/// safe to share across batch workers (and across whole batches: a warm
+/// cache keeps its entries).
+///
+/// ```
+/// use rw_core::cache::{AnswerCache, CachedAnswer};
+/// use rw_core::{Belief, Provenance};
+///
+/// let cache = AnswerCache::new();
+/// let key = AnswerCache::key(0xfeed, "P:Hep(c:Eric)");
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key.clone(), CachedAnswer {
+///     belief: Belief::Point(0.8),
+///     provenance: Provenance::DirectInference,
+/// });
+/// assert_eq!(cache.get(&key).unwrap().belief, Belief::Point(0.8));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct AnswerCache {
+    shards: Vec<Mutex<HashMap<String, CachedAnswer>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnswerCache {
+    /// A cache with the default shard count (16: enough that a typical
+    /// worker pool rarely collides on a shard lock).
+    pub fn new() -> AnswerCache {
+        AnswerCache::with_shards(16)
+    }
+
+    /// A cache with an explicit shard count (minimum 1).
+    pub fn with_shards(n: usize) -> AnswerCache {
+        let n = n.max(1);
+        AnswerCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the cache key for a canonical query against a fingerprinted
+    /// KB (see [`rw_logic::canon::canonical_formula`] and
+    /// [`rw_logic::canon::kb_fingerprint`]).
+    pub fn key(kb_fingerprint: u64, canonical_query: &str) -> String {
+        format!("{kb_fingerprint:016x}|{canonical_query}")
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, CachedAnswer>> {
+        let i = (fnv1a(key.as_bytes()) as usize) % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Looks up a key, counting the outcome in [`Self::hits`] /
+    /// [`Self::misses`].
+    pub fn get(&self, key: &str) -> Option<CachedAnswer> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an answer. Concurrent inserts of the same key are benign:
+    /// both workers computed the same semantic answer.
+    pub fn insert(&self, key: String, answer: CachedAnswer) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, answer);
+    }
+
+    /// Lookups that found an entry, since construction or [`Self::clear`].
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached answers across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for AnswerCache {
+    fn default() -> AnswerCache {
+        AnswerCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(v: f64) -> CachedAnswer {
+        CachedAnswer {
+            belief: Belief::Point(v),
+            provenance: Provenance::DirectInference,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = AnswerCache::new();
+        let k = AnswerCache::key(1, "q");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), answer(0.5));
+        assert_eq!(cache.get(&k), Some(answer(0.5)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_kb_fingerprints_do_not_collide() {
+        let cache = AnswerCache::new();
+        cache.insert(AnswerCache::key(1, "q"), answer(0.25));
+        cache.insert(AnswerCache::key(2, "q"), answer(0.75));
+        assert_eq!(
+            cache.get(&AnswerCache::key(1, "q")).unwrap().belief,
+            Belief::Point(0.25)
+        );
+        assert_eq!(
+            cache.get(&AnswerCache::key(2, "q")).unwrap().belief,
+            Belief::Point(0.75)
+        );
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let cache = AnswerCache::with_shards(4);
+        let k = AnswerCache::key(9, "x");
+        cache.insert(k.clone(), answer(1.0));
+        let _ = cache.get(&k);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn shard_floor_is_one() {
+        let cache = AnswerCache::with_shards(0);
+        cache.insert(AnswerCache::key(0, "q"), answer(0.0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_workers_share_entries() {
+        let cache = AnswerCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let k = AnswerCache::key(i % 8, "shared");
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, answer(t as f64));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

@@ -1,10 +1,13 @@
-//! Engine orchestration: a configurable pipeline of [`Solver`] stages
-//! with per-stage budgets, batched queries, and full per-query traces.
+//! Engine orchestration: a configurable pipeline of [`Solver`](crate::Solver)
+//! stages with per-stage budgets, batched queries, an optional answer
+//! cache, and full per-query traces.
 
 use crate::belief::{Belief, Provenance};
+use crate::cache::{AnswerCache, CachedAnswer};
 use crate::solver::{Budget, Diagonal, SolverOutcome, Stage, StageStatus, Trace};
 use crate::solvers::{EnumerationDiagonalSolver, MaxEntSolver, TheoremSolver, UnaryDiagonalSolver};
 use rw_logic::ast::Formula;
+use rw_logic::canon;
 use rw_logic::{KnowledgeBase, ParseError};
 use rw_maxent::SweepConfig;
 use std::fmt;
@@ -14,7 +17,7 @@ use std::time::Instant;
 /// Configuration and entry point for random-worlds inference.
 ///
 /// The engine is a pipeline: an ordered list of [`Stage`]s, each a
-/// [`Solver`] plus the [`Budget`] it may spend. A query walks the stages
+/// [`Solver`](crate::Solver) plus the [`Budget`] it may spend. A query walks the stages
 /// in order until one answers; the walk is recorded in the returned
 /// [`Response::trace`]. By default the pipeline is the paper's cascade —
 /// theorems, maximum entropy, exact unary counting, enumeration — built
@@ -34,6 +37,9 @@ pub struct RandomWorlds {
     /// A custom pipeline installed by [`Self::with_solvers`]; `None` means
     /// the default cascade is built from the fields above per query.
     custom: Option<Arc<Vec<Stage>>>,
+    /// An answer cache installed by [`Self::with_cache`], consulted before
+    /// the pipeline runs (and shared with batch workers).
+    cache: Option<Arc<AnswerCache>>,
 }
 
 impl RandomWorlds {
@@ -46,6 +52,7 @@ impl RandomWorlds {
             enum_max_worlds: 1 << 24,
             diagonal: Diagonal::default(),
             custom: None,
+            cache: None,
         }
     }
 
@@ -58,6 +65,45 @@ impl RandomWorlds {
         );
         self.custom = Some(Arc::new(stages));
         self
+    }
+
+    /// Installs a shared [`AnswerCache`], consulted before the pipeline on
+    /// every top-level query (single [`Self::answer`] calls and batches
+    /// alike). The cache key is the canonical query form against the KB's
+    /// fingerprint ([`rw_logic::canon`]), so syntactic variants — commuted
+    /// conjunctions, double negations, alpha-renamed binders — share one
+    /// entry. The engine's own configuration (stage list, budgets,
+    /// diagonal, sweep) is folded into the key too, so mutating the
+    /// configuration — or sharing one cache between differently
+    /// configured engines — changes the keyspace instead of serving
+    /// stale beliefs. A hit returns a [`Response`] with
+    /// [`Response::cached`] set and a one-step `cache` trace.
+    ///
+    /// ```
+    /// use rw_core::{cache::AnswerCache, RandomWorlds};
+    /// use rw_logic::KnowledgeBase;
+    /// use std::sync::Arc;
+    ///
+    /// let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+    /// let cache = Arc::new(AnswerCache::new());
+    /// let engine = RandomWorlds::new().with_cache(Arc::clone(&cache));
+    ///
+    /// let cold = engine.answer(&kb, "Hep(Eric)").unwrap();
+    /// assert!(!cold.cached);
+    /// // A syntactic variant of the same query hits the cache.
+    /// let warm = engine.answer(&kb, "!!Hep(Eric)").unwrap();
+    /// assert!(warm.cached);
+    /// assert_eq!(warm.belief, cold.belief);
+    /// assert_eq!(cache.hits(), 1);
+    /// ```
+    pub fn with_cache(mut self, cache: Arc<AnswerCache>) -> RandomWorlds {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The installed answer cache, if any.
+    pub fn cache(&self) -> Option<&Arc<AnswerCache>> {
+        self.cache.as_ref()
     }
 
     /// The names of the effective pipeline's stages, in execution order.
@@ -88,16 +134,104 @@ impl RandomWorlds {
     /// The pipeline a query will actually run: the custom stage list if
     /// one is installed, else the default cascade built from the current
     /// configuration fields (so field mutations keep taking effect).
-    fn effective_stages(&self) -> Arc<Vec<Stage>> {
+    pub(crate) fn effective_stages(&self) -> Arc<Vec<Stage>> {
         match &self.custom {
             Some(s) => Arc::clone(s),
             None => Arc::new(self.default_stages()),
         }
     }
 
+    /// A fingerprint of everything *besides* the KB and query that can
+    /// influence an answer: the stage list (solver names + budgets) and
+    /// the engine's public configuration fields. Folded into every cache
+    /// key so a config mutation — or two differently configured engines
+    /// sharing one [`AnswerCache`] — can never serve a stale belief.
+    ///
+    /// Custom solvers are identified by name and budget only; two custom
+    /// solvers that share a name but answer differently must not share a
+    /// cache.
+    fn config_fingerprint(&self, stages: &[Stage]) -> u64 {
+        let mut src = String::new();
+        for s in stages {
+            src.push_str(s.solver.name());
+            src.push_str(&format!("#{};", s.budget.max_count));
+        }
+        src.push_str(&format!(
+            "|{:?}|{}|{}|{:?}",
+            self.sweep, self.unary_max_profiles, self.enum_max_worlds, self.diagonal
+        ));
+        canon::fnv1a(src.as_bytes())
+    }
+
+    /// The full cache-key prefix: KB fingerprint combined with the
+    /// engine-config fingerprint.
+    pub(crate) fn key_prefix(&self, kb_fingerprint: u64, stages: &[Stage]) -> u64 {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&kb_fingerprint.to_le_bytes());
+        bytes[8..].copy_from_slice(&self.config_fingerprint(stages).to_le_bytes());
+        canon::fnv1a(&bytes)
+    }
+
+    /// The cache context for queries against `kb`: the installed cache
+    /// plus the combined KB/config key prefix, computed once per KB
+    /// rather than per query.
+    pub(crate) fn cache_ctx<'e>(
+        &'e self,
+        kb: &KnowledgeBase,
+        stages: &[Stage],
+    ) -> Option<CacheCtx<'e>> {
+        self.cache_ctx_fingerprinted(canon::kb_fingerprint(kb), stages)
+    }
+
+    /// [`Self::cache_ctx`] with a caller-supplied KB fingerprint (for
+    /// callers that hoist the fingerprint across many queries).
+    pub(crate) fn cache_ctx_fingerprinted<'e>(
+        &'e self,
+        kb_fingerprint: u64,
+        stages: &[Stage],
+    ) -> Option<CacheCtx<'e>> {
+        self.cache.as_deref().map(|cache| CacheCtx {
+            cache,
+            key_prefix: self.key_prefix(kb_fingerprint, stages),
+        })
+    }
+
     /// Computes `Pr∞(query | KB)` for a textual query.
+    ///
+    /// ```
+    /// use rw_core::{Provenance, RandomWorlds};
+    /// use rw_logic::KnowledgeBase;
+    ///
+    /// let kb = KnowledgeBase::parse(
+    ///     "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+    /// ).unwrap();
+    /// let r = RandomWorlds::new().answer(&kb, "Hep(Eric)").unwrap();
+    /// assert_eq!(r.belief.as_point(), Some(0.8));
+    /// assert_eq!(r.provenance, Provenance::DirectInference);
+    /// assert_eq!(r.trace.to_string(), "theorems answered");
+    /// ```
     pub fn answer(&self, kb: &KnowledgeBase, query: &str) -> Result<Response, EngineError> {
-        self.answer_with(&self.effective_stages(), kb, query)
+        let stages = self.effective_stages();
+        let ctx = self.cache_ctx(kb, &stages);
+        self.answer_with(&stages, kb, query, ctx.as_ref())
+    }
+
+    /// [`Self::answer`] with the KB's fingerprint
+    /// ([`rw_logic::canon::kb_fingerprint`]) supplied by the caller — the
+    /// single-query analogue of the hoisting [`Self::answer_batch`] does,
+    /// for serving loops (REPLs, streamed batches) that answer many
+    /// queries against one unchanging KB through a cache. Without an
+    /// installed cache the fingerprint is ignored. The caller must not
+    /// mutate `kb` between fingerprinting and answering.
+    pub fn answer_fingerprinted(
+        &self,
+        kb: &KnowledgeBase,
+        query: &str,
+        kb_fingerprint: u64,
+    ) -> Result<Response, EngineError> {
+        let stages = self.effective_stages();
+        let ctx = self.cache_ctx_fingerprinted(kb_fingerprint, &stages);
+        self.answer_with(&stages, kb, query, ctx.as_ref())
     }
 
     /// Computes `Pr∞(query | KB)` for an already-parsed query.
@@ -106,38 +240,107 @@ impl RandomWorlds {
         kb: &KnowledgeBase,
         query: &Formula,
     ) -> Result<Response, EngineError> {
-        self.run_pipeline(&self.effective_stages(), kb, query)
+        let stages = self.effective_stages();
+        let ctx = self.cache_ctx(kb, &stages);
+        self.answer_parsed(&stages, kb, query, ctx.as_ref())
     }
 
-    /// Answers many queries against one knowledge base.
+    /// Answers many queries against one knowledge base, sequentially.
     ///
     /// This is the serving-path primitive: the pipeline is built once and
-    /// the knowledge base is validated once, then reused across all
+    /// the knowledge base is fingerprinted once, then reused across all
     /// queries. Per-query failures (parse errors, out-of-reach) are
-    /// returned in place so one bad query never voids the rest.
+    /// returned in place so one bad query never voids the rest. For the
+    /// threaded version with an aggregate report, see
+    /// [`Self::answer_batch_report`](RandomWorlds::answer_batch_report).
+    ///
+    /// ```
+    /// use rw_core::RandomWorlds;
+    /// use rw_logic::KnowledgeBase;
+    ///
+    /// let kb = KnowledgeBase::parse(
+    ///     "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+    /// ).unwrap();
+    /// let results = RandomWorlds::new()
+    ///     .answer_batch(&kb, &["Hep(Eric)", "Hep(", "!Hep(Eric)"]);
+    /// assert_eq!(results[0].as_ref().unwrap().belief.as_point(), Some(0.8));
+    /// assert!(results[1].is_err()); // parse error, isolated to its slot
+    /// assert!((results[2].as_ref().unwrap().belief.as_point().unwrap() - 0.2).abs() < 1e-9);
+    /// ```
     pub fn answer_batch<S: AsRef<str>>(
         &self,
         kb: &KnowledgeBase,
         queries: &[S],
     ) -> Vec<Result<Response, EngineError>> {
         let stages = self.effective_stages();
+        let cache = self.cache_ctx(kb, &stages);
         queries
             .iter()
-            .map(|q| self.answer_with(&stages, kb, q.as_ref()))
+            .map(|q| self.answer_with(&stages, kb, q.as_ref(), cache.as_ref()))
             .collect()
     }
 
-    fn answer_with(
+    pub(crate) fn answer_with(
         &self,
         stages: &[Stage],
         kb: &KnowledgeBase,
         query: &str,
+        cache: Option<&CacheCtx<'_>>,
     ) -> Result<Response, EngineError> {
         // Queries may mention fresh constants, so each gets its own
-        // vocabulary extension over a cheap clone of the shared KB.
-        let mut kb = kb.clone();
-        let q = kb.parse_query(query)?;
-        self.run_pipeline(stages, &kb, &q)
+        // vocabulary extension. Only the vocabulary is cloned up front;
+        // the conjunct list is cloned after the cache lookup, so a hit
+        // never pays for copying the knowledge base.
+        let mut vocab = kb.vocab().clone();
+        let q = rw_logic::parse_formula(&mut vocab, query)?;
+        if let Some(ctx) = cache {
+            let start = Instant::now();
+            let key = AnswerCache::key(ctx.key_prefix, &canon::canonical_formula(&vocab, &q));
+            if let Some(hit) = ctx.cache.get(&key) {
+                return Ok(Self::cached_response(hit, start));
+            }
+            let local = KnowledgeBase::from_parts(vocab, kb.conjuncts().to_vec());
+            let response = self.run_pipeline(stages, &local, &q)?;
+            ctx.cache.insert(key, CachedAnswer::of(&response));
+            return Ok(response);
+        }
+        let local = KnowledgeBase::from_parts(vocab, kb.conjuncts().to_vec());
+        self.run_pipeline(stages, &local, &q)
+    }
+
+    /// A [`Response`] materialized from a cache hit: a one-step `cache`
+    /// trace covering the lookup time.
+    fn cached_response(hit: CachedAnswer, lookup_start: Instant) -> Response {
+        let mut trace = Trace::default();
+        trace.push("cache", StageStatus::Answered, lookup_start.elapsed());
+        Response {
+            belief: hit.belief,
+            provenance: hit.provenance,
+            trace,
+            cached: true,
+        }
+    }
+
+    /// The common top-level path: consult the cache (if any), else run
+    /// the pipeline and remember the semantic answer.
+    fn answer_parsed(
+        &self,
+        stages: &[Stage],
+        kb: &KnowledgeBase,
+        query: &Formula,
+        cache: Option<&CacheCtx<'_>>,
+    ) -> Result<Response, EngineError> {
+        let Some(ctx) = cache else {
+            return self.run_pipeline(stages, kb, query);
+        };
+        let start = Instant::now();
+        let key = AnswerCache::key(ctx.key_prefix, &canon::canonical_formula(kb.vocab(), query));
+        if let Some(hit) = ctx.cache.get(&key) {
+            return Ok(Self::cached_response(hit, start));
+        }
+        let response = self.run_pipeline(stages, kb, query)?;
+        ctx.cache.insert(key, CachedAnswer::of(&response));
+        Ok(response)
     }
 
     fn run_pipeline(
@@ -166,6 +369,7 @@ impl RandomWorlds {
                         belief,
                         provenance,
                         trace,
+                        cached: false,
                     });
                 }
                 SolverOutcome::Declined { reason } => {
@@ -225,8 +429,19 @@ pub struct Response {
     pub belief: Belief,
     /// Which method produced it.
     pub provenance: Provenance,
-    /// What every stage up to (and including) the answering one did.
+    /// What every stage up to (and including) the answering one did. On a
+    /// cache hit this is the single synthetic step `cache answered`.
     pub trace: Trace,
+    /// True when the answer came from an installed [`AnswerCache`] rather
+    /// than a pipeline run this call.
+    pub cached: bool,
+}
+
+/// An [`AnswerCache`] plus the combined KB/engine-config key prefix it is
+/// being consulted under — computed once per KB and shared across a batch.
+pub(crate) struct CacheCtx<'c> {
+    pub(crate) cache: &'c AnswerCache,
+    pub(crate) key_prefix: u64,
 }
 
 /// The historical name for [`Response`], kept so terse example code and
@@ -638,6 +853,80 @@ mod tests {
         // the shared KB still parses fresh constants the same way.
         let again = engine().answer_batch(&kb, &["Hep(Eric)"]);
         assert_eq!(again[0].as_ref().unwrap().belief.as_point(), Some(0.8));
+    }
+
+    #[test]
+    fn single_query_answers_share_the_installed_cache() {
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let cache = Arc::new(AnswerCache::new());
+        let e = engine().with_cache(Arc::clone(&cache));
+        let cold = e.answer(&kb, "Hep(Eric)").unwrap();
+        assert!(!cold.cached);
+        // Exact repeat and a syntactic variant both hit.
+        let warm = e.answer(&kb, "Hep(Eric)").unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.belief, cold.belief);
+        assert_eq!(warm.provenance, cold.provenance);
+        assert_eq!(warm.trace.steps().len(), 1);
+        assert_eq!(warm.trace.steps()[0].stage, "cache");
+        assert!(e.answer(&kb, "!!Hep(Eric)").unwrap().cached);
+        // A different KB must not see the entry.
+        let other = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.3; Jaun(Eric)").unwrap();
+        let r = e.answer(&other, "Hep(Eric)").unwrap();
+        assert!(!r.cached);
+        assert_eq!(r.belief.as_point(), Some(0.3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn config_mutations_invalidate_cache_entries() {
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let cache = Arc::new(AnswerCache::new());
+        let mut e = engine().with_cache(Arc::clone(&cache));
+        assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        assert!(e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        // Any configuration change keys a fresh entry: a stale belief
+        // computed under the old budgets/diagonal must never be served.
+        e.enum_max_worlds = 1 << 10;
+        assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        e.diagonal = Diagonal::geometric(rw_util::Rat::new(1, 4), 8, 2);
+        assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        // ...and each configuration's own entry still hits.
+        assert!(e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        // Sharing the cache across engines keys by configuration: an
+        // identically configured engine reuses the entry, a differently
+        // configured one (custom stage list) does not.
+        let same = engine().with_cache(Arc::clone(&cache));
+        assert!(same.answer(&kb, "Hep(Eric)").unwrap().cached);
+        let different = engine()
+            .with_solvers(vec![Stage::new(Box::new(TheoremSolver))])
+            .with_cache(Arc::clone(&cache));
+        assert!(!different.answer(&kb, "Hep(Eric)").unwrap().cached);
+    }
+
+    #[test]
+    fn answer_fingerprinted_matches_answer() {
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let e = engine().with_cache(Arc::new(AnswerCache::new()));
+        let fp = rw_logic::canon::kb_fingerprint(&kb);
+        let cold = e.answer_fingerprinted(&kb, "Hep(Eric)", fp).unwrap();
+        assert!(!cold.cached);
+        // Shares the keyspace with the self-fingerprinting entry point.
+        assert!(e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        let warm = e.answer_fingerprinted(&kb, "!!Hep(Eric)", fp).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.belief, cold.belief);
+    }
+
+    #[test]
+    fn answer_formula_consults_the_cache_too() {
+        let mut kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let e = engine().with_cache(Arc::new(AnswerCache::new()));
+        let q = kb.parse_query("Hep(Eric)").unwrap();
+        assert!(!e.answer_formula(&kb, &q).unwrap().cached);
+        assert!(e.answer_formula(&kb, &q).unwrap().cached);
+        // String and formula entry points share one keyspace.
+        assert!(e.answer(&kb, "Hep(Eric)").unwrap().cached);
     }
 
     #[test]

@@ -31,10 +31,25 @@
 //! [`RandomWorlds::answer_batch`] answers many queries against one loaded
 //! KB — the serving-path primitive.
 //!
+//! The serving path scales out in two orthogonal ways:
+//!
+//! * **Caching** ([`cache::AnswerCache`], installed via
+//!   [`RandomWorlds::with_cache`]): answers are remembered under a
+//!   canonical query key (`rw_logic::canon`), so repeats *and* syntactic
+//!   variants — commuted conjunctions, double negations, alpha-renamed
+//!   binders — are answered once. Cache hits set [`Response::cached`].
+//! * **Parallel batches** ([`RandomWorlds::answer_batch_report`]): a
+//!   std-only worker pool shards a batch across threads with
+//!   deterministic, input-ordered results, sharing the cache between
+//!   workers, and returns a [`batch::BatchReport`] aggregating per-stage
+//!   totals, cache hits and wall/CPU time.
+//!
 //! Every answer carries a [`Provenance`] naming the method (and theorem)
 //! that produced it, plus the full [`Trace`].
 
+pub mod batch;
 pub mod belief;
+pub mod cache;
 pub mod engine;
 pub mod klm;
 pub mod patterns;
@@ -42,7 +57,9 @@ pub mod solver;
 pub mod solvers;
 pub mod theorems;
 
+pub use batch::{BatchOptions, BatchReport, BatchRun, StageTotals};
 pub use belief::{Belief, Provenance};
+pub use cache::{AnswerCache, CachedAnswer};
 pub use engine::{BeliefResult, EngineError, RandomWorlds, Response};
 pub use solver::{
     Budget, Diagonal, Recurse, Solver, SolverOutcome, Stage, StageStatus, StageTrace, Trace,

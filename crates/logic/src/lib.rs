@@ -38,9 +38,23 @@
 //! starting with an uppercase letter are predicates (when applied in formula
 //! position), constants (bare in term position), or functions (applied in
 //! term position).
+//!
+//! # Module map
+//!
+//! * [`ast`] / [`parser`] / [`mod@print`] — the syntax tree, the text syntax
+//!   above, and round-trippable pretty-printing;
+//! * [`kb`] — [`KnowledgeBase`]: a vocabulary plus asserted conjuncts;
+//! * [`analysis`] — free variables, symbols, substitution,
+//!   alpha-equivalence: the side-condition toolkit for the theorem engine;
+//! * [`canon`] — canonical query strings and KB fingerprints, the cache
+//!   keys behind `rw-core`'s answer cache ([`canon::canonical_formula`],
+//!   [`canon::kb_fingerprint`]);
+//! * [`tolerances`] / [`vocab`] — the tolerance vector `τ⃗` and interned
+//!   signatures.
 
 pub mod analysis;
 pub mod ast;
+pub mod canon;
 pub mod kb;
 pub mod parser;
 pub mod print;

@@ -3,8 +3,9 @@
 //! The workspace must build offline with no external dependencies, so the
 //! property-test suites link this crate instead of crates.io `proptest`
 //! (the path dependency shadows the name). It implements the subset of the
-//! API those suites use — [`Strategy`] with `prop_map` / `prop_recursive` /
-//! `boxed`, range and tuple strategies, [`prop_oneof!`], collections,
+//! API those suites use — [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, [`prop_oneof!`],
+//! collections,
 //! [`proptest!`] with `proptest_config`, and the `prop_assert*` macros —
 //! with two deliberate simplifications:
 //!

@@ -39,7 +39,9 @@ pub use rw_worlds as worlds;
 
 /// Convenience prelude: the types most applications need.
 pub mod prelude {
-    pub use rw_core::{Belief, Provenance, RandomWorlds, Response, Trace};
+    pub use rw_core::{
+        AnswerCache, BatchOptions, BatchReport, Belief, Provenance, RandomWorlds, Response, Trace,
+    };
     pub use rw_logic::{Formula, KnowledgeBase, PropExpr, Term, Vocabulary};
     pub use rw_util::Rat;
 }

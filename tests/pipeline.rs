@@ -108,6 +108,38 @@ fn batch_answers_match_singles_and_isolate_failures() {
 }
 
 #[test]
+fn parallel_cached_batches_through_the_facade() {
+    use std::sync::Arc;
+    let kb = hepatitis();
+    let engine = RandomWorlds::new();
+    let queries = ["Hep(Eric)", "!Hep(Eric)", "(Hep(Eric))", "!(Hep(Eric))"];
+    let opts = BatchOptions::threaded(2).with_cache(Arc::new(AnswerCache::new()));
+    let cold = engine.answer_batch_report(&kb, &queries, &opts);
+    assert_eq!(cold.report.answered, 4);
+    assert_eq!(cold.report.failed, 0);
+    // Second pass over the same options (same cache): everything hits,
+    // beliefs are unchanged, and the synthetic `cache` stage answers.
+    let warm = engine.answer_batch_report(&kb, &queries, &opts);
+    assert_eq!(warm.report.cache_hits, 4);
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+        assert_eq!(c.belief, w.belief);
+        assert!(w.cached);
+        assert_eq!(w.trace.steps()[0].stage, "cache");
+    }
+    let report: BatchReport = warm.report;
+    assert_eq!(
+        report
+            .stages
+            .iter()
+            .find(|s| s.stage == "cache")
+            .unwrap()
+            .answered,
+        4
+    );
+}
+
+#[test]
 fn stage_budgets_degrade_gracefully_into_the_next_stage() {
     // Starve the unary stage: the pipeline reports budget exhaustion in
     // the trace and enumeration still answers.
