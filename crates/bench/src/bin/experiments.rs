@@ -23,6 +23,10 @@ fn fmt_belief(b: &Belief) -> String {
         Belief::Point(v) => format!("{v:.4}"),
         Belief::Interval(lo, hi) => format!("[{lo:.2}, {hi:.2}]"),
         Belief::NonRobust(_) => "non-robust".to_string(),
+        Belief::Approximate {
+            value,
+            ci_half_width,
+        } => format!("{value:.4}±{ci_half_width:.4}"),
         Belief::Undefined => "undefined".to_string(),
     }
 }

@@ -31,13 +31,14 @@ pub enum Command {
         /// Session options parsed from flags.
         options: SessionOptions,
     },
-    /// `rwq batch <file> [--threads N] [--cache]`: queries from stdin
-    /// (one per line), one JSON result object per line on stdout plus a
-    /// closing summary line, against a single loaded KB.
+    /// `rwq batch <file> [--threads N] [--cache] [--approx ...]`: queries
+    /// from stdin (one per line), one JSON result object per line on
+    /// stdout plus a closing summary line, against a single loaded KB.
     Batch {
         /// The `.rwkb` knowledge-base file.
         file: PathBuf,
-        /// Session options (only `--threads` / `--cache` apply to batch).
+        /// Session options (`--threads` / `--cache` and the `--approx`
+        /// sampler knobs apply to batch).
         options: SessionOptions,
     },
     /// `rwq help` (or no arguments).
@@ -64,7 +65,7 @@ USAGE:
   rwq query <file.rwkb> <query>... [options]
   rwq check <file.rwkb>
   rwq repl  <file.rwkb> [options]     (queries from stdin, one per line)
-  rwq batch <file.rwkb> [--threads N] [--cache]
+  rwq batch <file.rwkb> [--threads N] [--cache] [--approx ...]
                                       (queries from stdin, JSONL results out,
                                        closing {\"summary\":...} line)
   rwq help
@@ -75,10 +76,20 @@ OPTIONS:
   --prior NAME         use a propensity prior instead of random worlds:
                        per-predicate | carnap | lambda=X
   --quiet              suppress provenance / trend detail
-  --threads N          batch only: worker threads (0 = one per core;
-                       default 1 = stream answers sequentially)
+  --threads N          batch: worker threads (0 = one per core; default 1
+                       = stream answers sequentially); with --approx also
+                       the sampler's worker count (any verb)
   --cache              share a canonical-query answer cache across the
                        session's queries (batch, query, repl)
+  --approx             enable Monte-Carlo approximate inference: queries
+                       missing every theorem pattern are answered by
+                       sampling, with a 95% confidence interval
+                       (batch, query, repl)
+  --samples N          approx: total draw cap across the N-sweep
+  --mc-seed S          approx: sampler seed (same seed => identical
+                       answers at any --threads count)
+  --ci X               approx: stop sampling once the CI half-width
+                       reaches X (0 < X < 0.5)
 ";
 
 fn parse_tau(s: &str) -> Result<Rat, ArgError> {
@@ -154,6 +165,36 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
                     .map_err(|_| ArgError(format!("bad --threads count `{v}`")))?;
             }
             "--cache" => options.cache = true,
+            "--approx" => options.approx = true,
+            "--samples" => {
+                let v = value(&mut i, "--samples")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --samples count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--samples must be positive".to_string()));
+                }
+                options.samples = Some(n);
+            }
+            "--mc-seed" => {
+                let v = value(&mut i, "--mc-seed")?;
+                options.mc_seed = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad --mc-seed `{v}`")))?,
+                );
+            }
+            "--ci" => {
+                let v = value(&mut i, "--ci")?;
+                let ci: f64 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --ci value `{v}`")))?;
+                if !(ci > 0.0 && ci < 0.5) {
+                    return Err(ArgError(format!(
+                        "--ci must be a half-width in (0, 0.5), got {v}"
+                    )));
+                }
+                options.ci = Some(ci);
+            }
             flag if flag.starts_with("--") => {
                 return Err(ArgError(format!("unknown option `{flag}`")));
             }
@@ -165,15 +206,35 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
     if options.prior.is_some() && options.trend.is_empty() {
         options.trend = vec![16, 32, 64];
     }
+    // The sampler knobs only mean something with the sampler on.
+    if !options.approx {
+        for (flag, set) in [
+            ("--samples", options.samples.is_some()),
+            ("--mc-seed", options.mc_seed.is_some()),
+            ("--ci", options.ci.is_some()),
+        ] {
+            if set {
+                return Err(ArgError(format!("{flag} requires --approx")));
+            }
+        }
+    }
+    if options.approx && options.prior.is_some() {
+        return Err(ArgError(
+            "--approx samples the random-worlds distribution; it cannot be combined with --prior"
+                .to_string(),
+        ));
+    }
     Ok((options, positional))
 }
 
 /// Only `batch` shards work across threads; other verbs answer one query
-/// at a time, so a `--threads` there is a misunderstanding worth flagging.
+/// at a time, so a `--threads` there is a misunderstanding worth flagging
+/// — unless `--approx` is on, where the count drives the sampler's
+/// worker pool instead.
 fn reject_threads(options: &SessionOptions, verb: &str) -> Result<(), ArgError> {
-    if options.threads != SessionOptions::default().threads {
+    if options.threads != SessionOptions::default().threads && !options.approx {
         return Err(ArgError(format!(
-            "--threads only applies to batch (`{verb}` answers queries one at a time)"
+            "--threads only applies to batch or --approx sessions (`{verb}` answers queries one at a time)"
         )));
     }
     Ok(())
@@ -216,10 +277,15 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             }
             // Rejected, not silently ignored: batch emits full JSON
             // objects, so the text-formatting flags have no effect.
-            // (--threads / --cache are the batch-relevant knobs.)
+            // (--threads / --cache and the --approx sampler knobs are the
+            // batch-relevant options.)
             let concurrency_only = SessionOptions {
                 threads: options.threads,
                 cache: options.cache,
+                approx: options.approx,
+                samples: options.samples,
+                mc_seed: options.mc_seed,
+                ci: options.ci,
                 ..SessionOptions::default()
             };
             if options != concurrency_only {
@@ -415,6 +481,87 @@ mod tests {
             Command::Repl { options, .. } => assert!(options.cache),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn approx_flags_parse_for_every_serving_verb() {
+        let cmd = parse(&strs(&[
+            "query",
+            "kb",
+            "P(C)",
+            "--approx",
+            "--samples",
+            "4096",
+            "--mc-seed",
+            "7",
+            "--ci",
+            "0.05",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { options, .. } => {
+                assert!(options.approx);
+                assert_eq!(options.samples, Some(4096));
+                assert_eq!(options.mc_seed, Some(7));
+                assert_eq!(options.ci, Some(0.05));
+                assert_eq!(options.threads, 4); // sampler workers
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&["batch", "kb", "--approx", "--mc-seed", "9"])).unwrap() {
+            Command::Batch { options, .. } => assert_eq!(options.mc_seed, Some(9)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&["repl", "kb", "--approx"])).unwrap() {
+            Command::Repl { options, .. } => assert!(options.approx),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn approx_flag_validation() {
+        // Sampler knobs require --approx.
+        for flagged in [
+            vec!["query", "kb", "q", "--samples", "100"],
+            vec!["query", "kb", "q", "--mc-seed", "1"],
+            vec!["batch", "kb", "--ci", "0.1"],
+        ] {
+            assert!(
+                parse(&strs(&flagged))
+                    .unwrap_err()
+                    .0
+                    .contains("requires --approx"),
+                "{flagged:?}"
+            );
+        }
+        // --threads without --approx is still batch-only.
+        assert!(parse(&strs(&["query", "kb", "q", "--threads", "2"]))
+            .unwrap_err()
+            .0
+            .contains("only applies to batch"));
+        // Bounds and parse errors.
+        assert!(
+            parse(&strs(&["query", "kb", "q", "--approx", "--ci", "0.7"]))
+                .unwrap_err()
+                .0
+                .contains("half-width")
+        );
+        assert!(
+            parse(&strs(&["query", "kb", "q", "--approx", "--samples", "0"]))
+                .unwrap_err()
+                .0
+                .contains("positive")
+        );
+        // Approximate inference and propensity priors are different
+        // semantics, not a stack.
+        assert!(parse(&strs(&[
+            "query", "kb", "q", "--approx", "--prior", "carnap"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("--prior"));
     }
 
     #[test]

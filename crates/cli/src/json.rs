@@ -52,6 +52,14 @@ fn belief_json(b: &Belief) -> String {
                 candidates.join(",")
             )
         }
+        Belief::Approximate {
+            value,
+            ci_half_width,
+        } => format!(
+            r#"{{"type":"approximate","value":{},"ci_half_width":{}}}"#,
+            number(*value),
+            number(*ci_half_width)
+        ),
         Belief::Undefined => r#"{"type":"undefined"}"#.to_string(),
     }
 }
@@ -79,12 +87,23 @@ pub fn response_line(query: &str, response: &Response) -> String {
         total_us += s.elapsed.as_micros();
     }
     trace.push(']');
+    // Monte-Carlo answers carry their sampler counts as a structured
+    // object (the provenance string repeats them for humans).
+    let mc = match &response.provenance {
+        rw_core::Provenance::MonteCarlo {
+            drawn,
+            accepted,
+            n_points,
+        } => format!(r#","mc":{{"drawn":{drawn},"accepted":{accepted},"n_points":{n_points}}}"#),
+        _ => String::new(),
+    };
     format!(
-        r#"{{"query":"{}","ok":true,"cache_hit":{},"elapsed_us":{},"belief":{},"provenance":"{}","trace":{}}}"#,
+        r#"{{"query":"{}","ok":true,"cache_hit":{},"elapsed_us":{},"belief":{}{},"provenance":"{}","trace":{}}}"#,
         escape(query),
         response.cached,
         total_us,
         belief_json(&response.belief),
+        mc,
         escape(&response.provenance.to_string()),
         trace
     )
@@ -151,6 +170,21 @@ pub fn fatal_line(error: &str) -> String {
     format!(r#"{{"ok":false,"error":"{}"}}"#, escape(error))
 }
 
+/// Masks every `..._us":<digits>` wall-time value in a JSON line — the
+/// only legitimately nondeterministic bytes in `rwq`'s output. Lets
+/// callers (and this crate's own test suites) compare runs for
+/// byte-identity across thread counts and reruns.
+pub fn mask_times(s: &str) -> String {
+    let mut out = String::new();
+    let mut rest = s;
+    while let Some(i) = rest.find("_us\":") {
+        out.push_str(&rest[..i + 5]);
+        rest = rest[i + 5..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +217,46 @@ mod tests {
             belief_json(&Belief::Point(f64::NAN)),
             r#"{"type":"point","value":null}"#
         );
+    }
+
+    #[test]
+    fn approximate_beliefs_serialize_with_ci_and_mc_counts() {
+        assert_eq!(
+            belief_json(&Belief::Approximate {
+                value: 0.64,
+                ci_half_width: 0.02
+            }),
+            r#"{"type":"approximate","value":0.64,"ci_half_width":0.02}"#
+        );
+        let response = Response {
+            belief: Belief::Approximate {
+                value: 0.64,
+                ci_half_width: 0.02,
+            },
+            provenance: rw_core::Provenance::MonteCarlo {
+                drawn: 8192,
+                accepted: 1024,
+                n_points: 3,
+            },
+            trace: rw_core::Trace::default(),
+            cached: false,
+        };
+        let line = response_line("Q(C)", &response);
+        assert!(
+            line.contains(r#""mc":{"drawn":8192,"accepted":1024,"n_points":3}"#),
+            "{line}"
+        );
+        assert!(line.contains(r#""type":"approximate""#), "{line}");
+    }
+
+    #[test]
+    fn mask_times_strips_only_wall_time_digits() {
+        let line = r#"{"elapsed_us":123,"belief":{"value":0.5},"trace":[{"elapsed_us":7}]}"#;
+        assert_eq!(
+            mask_times(line),
+            r#"{"elapsed_us":,"belief":{"value":0.5},"trace":[{"elapsed_us":}]}"#
+        );
+        assert_eq!(mask_times("no times here"), "no times here");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! (`rw_core::RandomWorlds::answer_batch_report`; `0` = one worker per
 //! core) and `--cache` shares a canonical-query answer cache across the
 //! session, with per-line `cache_hit` / `elapsed_us` fields in the JSON.
+//! `--approx` (with `--samples`, `--mc-seed`, `--ci`) enables the
+//! Monte-Carlo approximate-inference stage on `query`, `repl` and
+//! `batch`: queries missing every theorem pattern are answered by
+//! sampling in bounded time, the JSON gains an `approximate` belief
+//! (point estimate + 95% CI half-width) and an `mc` counts object, and a
+//! fixed `--mc-seed` yields identical answers at any thread count.
 //! All behavior lives in this library so it is testable without spawning
 //! processes; the binary in `src/bin/rwq.rs` is a thin dispatcher.
 //!

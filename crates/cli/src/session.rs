@@ -8,7 +8,7 @@
 //! one loaded KB, one pinned solver pipeline, one JSON object per query
 //! ([`Session::answer_batch_jsonl`] is the collected convenience form).
 
-use rw_core::{AnswerCache, BatchOptions, BatchReport, EngineError, RandomWorlds};
+use rw_core::{AnswerCache, BatchOptions, BatchReport, EngineError, McConfig, RandomWorlds};
 use rw_logic::{KnowledgeBase, Pretty, Tolerances};
 use rw_propensity::{Prior, PropensityEngine};
 use rw_unary::UnaryError;
@@ -29,11 +29,21 @@ pub struct SessionOptions {
     /// Include provenance detail in answers.
     pub explain: bool,
     /// Worker threads for `batch` (`0` = one per core, `1` = stream
-    /// sequentially).
+    /// sequentially); with `--approx` the same count also drives the
+    /// sampler's worker pool (never the answers — sampling is
+    /// thread-count deterministic).
     pub threads: usize,
     /// Install a canonical-query [`AnswerCache`] shared by every query in
     /// the session.
     pub cache: bool,
+    /// Enable the Monte-Carlo approximate-inference stage (`--approx`).
+    pub approx: bool,
+    /// `--samples`: override the sampler's total draw cap.
+    pub samples: Option<u64>,
+    /// `--mc-seed`: override the sampler's root seed.
+    pub mc_seed: Option<u64>,
+    /// `--ci`: override the sampler's target CI half-width.
+    pub ci: Option<f64>,
 }
 
 impl Default for SessionOptions {
@@ -45,7 +55,29 @@ impl Default for SessionOptions {
             explain: true,
             threads: 1,
             cache: false,
+            approx: false,
+            samples: None,
+            mc_seed: None,
+            ci: None,
         }
+    }
+}
+
+impl SessionOptions {
+    /// The sampler configuration the session's flags describe, or `None`
+    /// when approximate inference is off.
+    pub fn mc_config(&self) -> Option<McConfig> {
+        if !self.approx {
+            return None;
+        }
+        let defaults = McConfig::default();
+        Some(McConfig {
+            seed: self.mc_seed.unwrap_or(defaults.seed),
+            threads: self.threads,
+            max_samples: self.samples.unwrap_or(defaults.max_samples),
+            target_ci: self.ci.unwrap_or(defaults.target_ci),
+            ..defaults
+        })
     }
 }
 
@@ -91,6 +123,11 @@ pub struct Session {
     kb: KnowledgeBase,
     options: SessionOptions,
     engine: RandomWorlds,
+    /// The engine the parallel batch executor uses: identical to
+    /// `engine` except the sampler runs single-threaded per query (the
+    /// batch pool provides the parallelism). `None` when the distinction
+    /// cannot matter (no `--approx`, or a streamed batch).
+    batch_engine: Option<RandomWorlds>,
     /// The KB's canonical fingerprint, computed once at load when the
     /// session caches — re-fingerprinting an unchanging KB per query
     /// would cost more than the theorem answers it guards.
@@ -103,18 +140,36 @@ impl Session {
         // The session never reconfigures its engine, so the default
         // cascade is pinned once here and shared by every query instead
         // of being rebuilt per call.
-        let engine = RandomWorlds::new();
-        let stages = engine.default_stages();
-        let mut engine = engine.with_solvers(stages);
+        let pinned = |mc: Option<rw_core::McConfig>| {
+            let mut engine = RandomWorlds::new();
+            engine.approx = mc;
+            let stages = engine.default_stages();
+            engine.with_solvers(stages)
+        };
+        let mc = options.mc_config();
+        let mut engine = pinned(mc.clone());
+        // The parallel batch executor already spreads queries across
+        // `threads` workers; nesting a `threads`-wide sampler pool inside
+        // each would oversubscribe the cores (threads² with both knobs
+        // up). Batches therefore run the sampler single-threaded — which
+        // changes nothing about the answers, only the per-query
+        // wall time.
+        let mut batch_engine = (options.approx && options.threads != 1)
+            .then(|| pinned(mc.map(|c| rw_core::McConfig { threads: 1, ..c })));
         let mut kb_fingerprint = None;
         if options.cache {
-            engine = engine.with_cache(Arc::new(AnswerCache::new()));
+            let cache = Arc::new(AnswerCache::new());
+            engine = engine.with_cache(Arc::clone(&cache));
+            // Worker count is excluded from the engine-config
+            // fingerprint, so both engines share one keyspace.
+            batch_engine = batch_engine.map(|e| e.with_cache(cache));
             kb_fingerprint = Some(rw_logic::canon::kb_fingerprint(&kb));
         }
         Session {
             kb,
             options,
             engine,
+            batch_engine,
             kb_fingerprint,
         }
     }
@@ -182,7 +237,8 @@ impl Session {
     /// [`BatchReport`] behind `rwq batch`'s closing summary line.
     pub fn answer_batch_report(&self, queries: &[String]) -> (Vec<String>, BatchReport) {
         let opts = BatchOptions::threaded(self.options.threads);
-        let run = self.engine.answer_batch_report(&self.kb, queries, &opts);
+        let engine = self.batch_engine.as_ref().unwrap_or(&self.engine);
+        let run = engine.answer_batch_report(&self.kb, queries, &opts);
         let lines = queries
             .iter()
             .zip(&run.results)
@@ -453,6 +509,56 @@ mod tests {
             lines[0]
         );
         assert!(lines[1].contains("0.2"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn approx_sessions_answer_trap_queries_by_sampling() {
+        // A conjunction over individuals sharing statistics: no theorem
+        // pattern, so an exact session would pay a maxent sweep. The
+        // approx session answers from the sampler with a CI.
+        let kb = parse_kb("||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\nJaun(Tom)\n").unwrap();
+        let s = Session::new(
+            kb,
+            SessionOptions {
+                approx: true,
+                mc_seed: Some(42),
+                ..SessionOptions::default()
+            },
+        );
+        let (line, ok) = s.answer_json_line("Hep(Eric) & Hep(Tom)");
+        assert!(ok, "{line}");
+        assert!(line.contains(r#""type":"approximate""#), "{line}");
+        assert!(line.contains(r#""ci_half_width":"#), "{line}");
+        assert!(line.contains(r#""mc":{"drawn":"#), "{line}");
+        assert!(
+            line.contains(r#""stage":"montecarlo","outcome":"answered""#),
+            "{line}"
+        );
+        // Human-readable output carries the CI and the sampler counts.
+        let text = s.answer("Hep(Eric) & Hep(Tom)").unwrap();
+        assert!(text.contains("±"), "{text}");
+        assert!(text.contains("Monte-Carlo"), "{text}");
+    }
+
+    #[test]
+    fn approx_answers_are_identical_across_thread_counts() {
+        let kb_src = "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\nJaun(Tom)\n";
+        let mask = crate::json::mask_times;
+        let line_at = |threads: usize| {
+            let s = Session::new(
+                parse_kb(kb_src).unwrap(),
+                SessionOptions {
+                    approx: true,
+                    mc_seed: Some(7),
+                    threads,
+                    ..SessionOptions::default()
+                },
+            );
+            mask(&s.answer_json_line("Hep(Eric) & Hep(Tom)").0)
+        };
+        let reference = line_at(1);
+        assert_eq!(reference, line_at(2));
+        assert_eq!(reference, line_at(4));
     }
 
     #[test]

@@ -49,18 +49,7 @@ fn workload() -> impl Strategy<Value = Vec<String>> {
     })
 }
 
-/// Masks every `..._us":<digits>` wall-time value, the only legitimately
-/// nondeterministic bytes in a batch's JSON output.
-fn mask_times(s: &str) -> String {
-    let mut out = String::new();
-    let mut rest = s;
-    while let Some(i) = rest.find("_us\":") {
-        out.push_str(&rest[..i + 5]);
-        rest = rest[i + 5..].trim_start_matches(|c: char| c.is_ascii_digit());
-    }
-    out.push_str(rest);
-    out
-}
+use rw_cli::json::mask_times;
 
 /// The `"belief":{...}` fragment of a result line (`None` for errors).
 fn belief_fragment(line: &str) -> Option<&str> {

@@ -167,3 +167,84 @@ fn repl_round_trip() {
     assert!(stdout.contains("Pr∞(P(C)"), "{stdout}");
     let _ = std::fs::remove_file(kb);
 }
+
+use rw_cli::json::mask_times;
+
+#[test]
+fn approx_batch_answers_trap_queries_identically_across_thread_counts() {
+    // The PR-2 trap shape: a conjunction over individuals sharing
+    // statistics misses every theorem pattern. With --approx it is
+    // answered by the sampling stage, and a fixed --mc-seed makes the
+    // JSON identical (modulo wall times) at any --threads count.
+    let kb = kb_file(
+        "approx",
+        "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\nJaun(Tom)\n",
+    );
+    let input = "Hep(Eric) & Hep(Tom)\nHep(Eric)\n";
+    let run = |threads: &str| {
+        let mut child = rwq()
+            .args([
+                "batch",
+                kb.to_str().unwrap(),
+                "--approx",
+                "--mc-seed",
+                "7",
+                "--samples",
+                "32768",
+                "--threads",
+                threads,
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let one = run("1");
+    let four = run("4");
+    let lines: Vec<&str> = one.lines().collect();
+    assert!(lines[0].contains(r#""type":"approximate""#), "{one}");
+    assert!(lines[0].contains(r#""mc":{"drawn":"#), "{one}");
+    // The direct-inference query still resolves exactly, before sampling.
+    assert!(lines[1].contains(r#""value":0.8"#), "{one}");
+    assert!(lines[1].contains("direct inference"), "{one}");
+    // Result lines are byte-identical across thread counts; summaries
+    // legitimately differ in the reported thread count.
+    let result_lines = |s: &str| s.lines().take(2).map(mask_times).collect::<Vec<_>>();
+    assert_eq!(result_lines(&one), result_lines(&four), "\n{one}\n{four}");
+    let _ = std::fs::remove_file(kb);
+}
+
+#[test]
+fn approx_query_prints_ci_and_respects_seed() {
+    let kb = kb_file(
+        "approx-q",
+        "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\nJaun(Tom)\n",
+    );
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            kb.to_str().unwrap(),
+            "Hep(Eric) & Hep(Tom)",
+            "--approx",
+        ];
+        args.extend_from_slice(extra);
+        let out = rwq().args(&args).output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let a = run(&["--mc-seed", "11"]);
+    assert!(a.contains("±"), "{a}");
+    assert!(a.contains("Monte-Carlo sampling"), "{a}");
+    // Same seed, same answer; the sampler is a pure function of it.
+    assert_eq!(a, run(&["--mc-seed", "11"]));
+    let _ = std::fs::remove_file(kb);
+}

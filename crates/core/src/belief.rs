@@ -14,26 +14,48 @@ pub enum Belief {
     /// unspecified relative strength, §5.3): no robust degree of belief.
     /// Carries the values observed along different tolerance paths.
     NonRobust(Vec<f64>),
+    /// A Monte-Carlo point estimate with a 95% confidence half-width —
+    /// the approximate-inference stage's answer shape. Unlike the exact
+    /// variants this is a *statistical* claim: the true degree of belief
+    /// lies within `value ± ci_half_width` at the reported confidence.
+    Approximate {
+        /// The sampled (and `N`-extrapolated) point estimate.
+        value: f64,
+        /// Half-width of the 95% confidence interval around `value`.
+        ci_half_width: f64,
+    },
     /// The KB is not eventually consistent: `Pr_N^τ` is undefined for all
     /// large `N`, small `τ⃗`.
     Undefined,
 }
 
 impl Belief {
-    /// The point value, if the belief is (effectively) a point.
+    /// The point value, if the belief is (effectively) a point. For an
+    /// [`Belief::Approximate`] belief this is the Monte-Carlo point
+    /// estimate — callers needing the uncertainty should match on the
+    /// variant or use [`Self::as_interval`].
     pub fn as_point(&self) -> Option<f64> {
         match self {
             Belief::Point(v) => Some(*v),
             Belief::Interval(lo, hi) if (hi - lo).abs() < 1e-9 => Some(*lo),
+            Belief::Approximate { value, .. } => Some(*value),
             _ => None,
         }
     }
 
-    /// The bounding interval, when one exists.
+    /// The bounding interval, when one exists (for an approximate belief,
+    /// the confidence interval clamped to `[0, 1]`).
     pub fn as_interval(&self) -> Option<(f64, f64)> {
         match self {
             Belief::Point(v) => Some((*v, *v)),
             Belief::Interval(lo, hi) => Some((*lo, *hi)),
+            Belief::Approximate {
+                value,
+                ci_half_width,
+            } => Some((
+                (value - ci_half_width).max(0.0),
+                (value + ci_half_width).min(1.0),
+            )),
             _ => None,
         }
     }
@@ -48,6 +70,8 @@ impl Belief {
     }
 
     /// Approximate equality between beliefs (for cross-engine validation).
+    /// An [`Belief::Approximate`] belief widens the tolerance by its own
+    /// confidence half-width.
     pub fn approx_eq(&self, other: &Belief, eps: f64) -> bool {
         match (self, other) {
             (Belief::Point(a), Belief::Point(b)) => (a - b).abs() <= eps,
@@ -56,6 +80,33 @@ impl Belief {
             }
             (Belief::Point(a), Belief::Interval(lo, hi))
             | (Belief::Interval(lo, hi), Belief::Point(a)) => *a >= lo - eps && *a <= hi + eps,
+            (
+                Belief::Approximate {
+                    value: a,
+                    ci_half_width: ha,
+                },
+                Belief::Approximate {
+                    value: b,
+                    ci_half_width: hb,
+                },
+            ) => (a - b).abs() <= eps + ha + hb,
+            (
+                Belief::Approximate {
+                    value: a,
+                    ci_half_width: ha,
+                },
+                other,
+            )
+            | (
+                other,
+                Belief::Approximate {
+                    value: a,
+                    ci_half_width: ha,
+                },
+            ) => match other.as_interval() {
+                Some((lo, hi)) => *a >= lo - eps - ha && *a <= hi + eps + ha,
+                None => false,
+            },
             (Belief::Undefined, Belief::Undefined) => true,
             (Belief::NonRobust(_), Belief::NonRobust(_)) => true,
             _ => false,
@@ -75,6 +126,10 @@ impl fmt::Display for Belief {
                 }
                 write!(f, ")")
             }
+            Belief::Approximate {
+                value,
+                ci_half_width,
+            } => write!(f, "{value:.6} ± {ci_half_width:.4} (95% CI)"),
             Belief::Undefined => write!(f, "undefined (KB not eventually consistent)"),
         }
     }
@@ -103,6 +158,19 @@ pub enum Provenance {
     UnaryExact { max_n: usize },
     /// Brute-force enumeration along a `(τ, N)` diagonal.
     Enumeration { max_n: usize },
+    /// Direct entailment of asserted ground facts: every KB-world agrees,
+    /// so the degree of belief is 0 or 1 outright (Def 4.2).
+    Entailed,
+    /// Monte-Carlo rejection sampling over an `N`-sweep
+    /// (`rw_worlds::mc`), with the sampler's aggregate counts.
+    MonteCarlo {
+        /// Worlds drawn from the proposal across the sweep.
+        drawn: u64,
+        /// Draws that satisfied the KB.
+        accepted: u64,
+        /// Sweep points that produced an estimate.
+        n_points: usize,
+    },
 }
 
 impl fmt::Display for Provenance {
@@ -127,6 +195,15 @@ impl fmt::Display for Provenance {
             Provenance::MaxEnt => write!(f, "maximum entropy (§6)"),
             Provenance::UnaryExact { max_n } => write!(f, "exact unary counting (N ≤ {max_n})"),
             Provenance::Enumeration { max_n } => write!(f, "world enumeration (N ≤ {max_n})"),
+            Provenance::Entailed => write!(f, "asserted ground fact (entailment)"),
+            Provenance::MonteCarlo {
+                drawn,
+                accepted,
+                n_points,
+            } => write!(
+                f,
+                "Monte-Carlo sampling ({drawn} drawn, {accepted} accepted, {n_points} N-point(s))"
+            ),
         }
     }
 }
@@ -165,5 +242,58 @@ mod tests {
         assert!(Belief::NonRobust(vec![0.0, 1.0])
             .to_string()
             .contains("non-robust"));
+    }
+
+    #[test]
+    fn approximate_beliefs_carry_their_uncertainty() {
+        let b = Belief::Approximate {
+            value: 0.64,
+            ci_half_width: 0.02,
+        };
+        assert_eq!(b.as_point(), Some(0.64));
+        let (lo, hi) = b.as_interval().unwrap();
+        assert!((lo - 0.62).abs() < 1e-12 && (hi - 0.66).abs() < 1e-12);
+        assert!(b.to_string().contains("± 0.0200"), "{b}");
+        // The CI is clamped to the unit interval.
+        let edge = Belief::Approximate {
+            value: 0.99,
+            ci_half_width: 0.05,
+        };
+        assert_eq!(edge.as_interval().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn approximate_equality_widens_by_the_ci() {
+        let b = Belief::Approximate {
+            value: 0.64,
+            ci_half_width: 0.02,
+        };
+        assert!(b.approx_eq(&Belief::Point(0.65), 1e-3));
+        assert!(!b.approx_eq(&Belief::Point(0.75), 1e-3));
+        assert!(Belief::Point(0.65).approx_eq(&b, 1e-3));
+        assert!(b.approx_eq(&Belief::Interval(0.6, 0.7), 1e-3));
+        assert!(b.approx_eq(
+            &Belief::Approximate {
+                value: 0.67,
+                ci_half_width: 0.02
+            },
+            1e-3
+        ));
+        assert!(!b.approx_eq(&Belief::Undefined, 1.0));
+    }
+
+    #[test]
+    fn monte_carlo_provenance_displays_counts() {
+        let p = Provenance::MonteCarlo {
+            drawn: 4096,
+            accepted: 512,
+            n_points: 3,
+        };
+        let s = p.to_string();
+        assert!(
+            s.contains("4096 drawn") && s.contains("512 accepted"),
+            "{s}"
+        );
+        assert!(Provenance::Entailed.to_string().contains("ground fact"));
     }
 }

@@ -5,7 +5,9 @@
 use crate::belief::{Belief, Provenance};
 use crate::cache::{AnswerCache, CachedAnswer};
 use crate::solver::{Budget, Diagonal, SolverOutcome, Stage, StageStatus, Trace};
-use crate::solvers::{EnumerationDiagonalSolver, MaxEntSolver, TheoremSolver, UnaryDiagonalSolver};
+use crate::solvers::{
+    EnumerationDiagonalSolver, MaxEntSolver, MonteCarloSolver, TheoremSolver, UnaryDiagonalSolver,
+};
 use rw_logic::ast::Formula;
 use rw_logic::canon;
 use rw_logic::{KnowledgeBase, ParseError};
@@ -32,8 +34,16 @@ pub struct RandomWorlds {
     pub unary_max_profiles: u128,
     /// Budget for brute-force world enumeration.
     pub enum_max_worlds: u128,
-    /// The `(τ, N)` diagonal used by the exact finite-`N` stages.
+    /// The `(τ, N)` diagonal used by the exact finite-`N` stages (and, as
+    /// the `N`-sweep, by the Monte-Carlo stage when one is enabled).
     pub diagonal: Diagonal,
+    /// Approximate inference: `Some` inserts a [`MonteCarloSolver`] stage
+    /// (sampling along the diagonal with the given configuration) right
+    /// after the theorem stage, so un-matched queries get a bounded-cost
+    /// estimated answer instead of falling into maxent/counting. The
+    /// configuration is folded into the cache keyspace — an
+    /// [`AnswerCache`] never mixes exact and approximate answers.
+    pub approx: Option<rw_worlds::mc::McConfig>,
     /// A custom pipeline installed by [`Self::with_solvers`]; `None` means
     /// the default cascade is built from the fields above per query.
     custom: Option<Arc<Vec<Stage>>>,
@@ -51,9 +61,34 @@ impl RandomWorlds {
             unary_max_profiles: 20_000_000,
             enum_max_worlds: 1 << 24,
             diagonal: Diagonal::default(),
+            approx: None,
             custom: None,
             cache: None,
         }
+    }
+
+    /// Enables the Monte-Carlo approximate-inference stage with the given
+    /// sampler configuration (builder form of setting [`Self::approx`]).
+    ///
+    /// ```
+    /// use rw_core::{Belief, Provenance, RandomWorlds};
+    /// use rw_logic::KnowledgeBase;
+    /// use rw_worlds::mc::McConfig;
+    ///
+    /// let kb = KnowledgeBase::parse(
+    ///     "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Jaun(Tom)",
+    /// ).unwrap();
+    /// let engine = RandomWorlds::new().with_approx(McConfig::default());
+    /// // A conjunction over individuals sharing statistics misses every
+    /// // theorem pattern; the sampler answers it with a CI instead of a
+    /// // multi-second maxent sweep.
+    /// let r = engine.answer(&kb, "Hep(Eric) & Hep(Tom)").unwrap();
+    /// assert!(matches!(r.belief, Belief::Approximate { .. }));
+    /// assert!(matches!(r.provenance, Provenance::MonteCarlo { .. }));
+    /// ```
+    pub fn with_approx(mut self, config: rw_worlds::mc::McConfig) -> RandomWorlds {
+        self.approx = Some(config);
+        self
     }
 
     /// Replaces the pipeline with an explicit stage list (must be
@@ -115,20 +150,27 @@ impl RandomWorlds {
     }
 
     /// The default cascade, built from the current configuration fields.
-    /// Useful as a base when composing a custom pipeline.
+    /// Useful as a base when composing a custom pipeline. With
+    /// [`Self::approx`] set, the Monte-Carlo stage runs right after the
+    /// theorem stage (its budget is the sampler's own draw cap).
     pub fn default_stages(&self) -> Vec<Stage> {
-        vec![
-            Stage::new(Box::new(TheoremSolver)),
-            Stage::new(Box::new(MaxEntSolver::new(self.sweep.clone()))),
-            Stage::budgeted(
-                Box::new(UnaryDiagonalSolver::new(self.diagonal.clone())),
-                Budget::counting(self.unary_max_profiles),
-            ),
-            Stage::budgeted(
-                Box::new(EnumerationDiagonalSolver::new(self.diagonal.clone())),
-                Budget::counting(self.enum_max_worlds),
-            ),
-        ]
+        let mut stages = vec![Stage::new(Box::new(TheoremSolver))];
+        if let Some(cfg) = &self.approx {
+            stages.push(Stage::budgeted(
+                Box::new(MonteCarloSolver::new(cfg.clone(), self.diagonal.clone())),
+                Budget::counting(cfg.max_samples as u128),
+            ));
+        }
+        stages.push(Stage::new(Box::new(MaxEntSolver::new(self.sweep.clone()))));
+        stages.push(Stage::budgeted(
+            Box::new(UnaryDiagonalSolver::new(self.diagonal.clone())),
+            Budget::counting(self.unary_max_profiles),
+        ));
+        stages.push(Stage::budgeted(
+            Box::new(EnumerationDiagonalSolver::new(self.diagonal.clone())),
+            Budget::counting(self.enum_max_worlds),
+        ));
+        stages
     }
 
     /// The pipeline a query will actually run: the custom stage list if
@@ -157,8 +199,16 @@ impl RandomWorlds {
             src.push_str(&format!("#{};", s.budget.max_count));
         }
         src.push_str(&format!(
-            "|{:?}|{}|{}|{:?}",
-            self.sweep, self.unary_max_profiles, self.enum_max_worlds, self.diagonal
+            "|{:?}|{}|{}|{:?}|{:?}",
+            self.sweep,
+            self.unary_max_profiles,
+            self.enum_max_worlds,
+            self.diagonal,
+            // Only the sampler fields that can affect an answer — worker
+            // count is excluded, so sessions differing only in threads
+            // share cache entries (sampling is thread-count
+            // deterministic).
+            self.approx.as_ref().map(|c| c.result_fingerprint())
         ));
         canon::fnv1a(src.as_bytes())
     }
@@ -655,6 +705,66 @@ mod tests {
     }
 
     #[test]
+    fn asserted_ground_facts_answer_in_the_theorem_stage() {
+        // The PR-2 serving trap: these shapes used to miss every theorem
+        // pattern and fall into a multi-second maxent sweep.
+        let kb_src = "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Patient(Eric); !Jaun(Tom)";
+        for (q, expect) in [
+            ("Jaun(Eric)", 1.0),                 // bare asserted fact
+            ("!!Jaun(Eric)", 1.0),               // double negation
+            ("Jaun(Eric) & Patient(Eric)", 1.0), // conjunction of asserted literals
+            ("Patient(Eric) & !Jaun(Tom)", 1.0), // mixed polarity, both asserted
+            ("!Jaun(Eric)", 0.0),                // complement of an asserted fact
+            ("Jaun(Tom)", 0.0),                  // asserted negative
+            ("Jaun(Eric) & Jaun(Tom)", 0.0),     // one conjunct contradicted
+        ] {
+            let r = belief(kb_src, q);
+            assert_eq!(r.provenance, Provenance::Entailed, "{q}: {r}");
+            assert_eq!(r.belief.as_point(), Some(expect), "{q}: {r}");
+            assert_eq!(r.trace.steps().len(), 1, "{q} must not leave theorems");
+        }
+        // Unasserted literals still decline to the statistical machinery
+        // (minimal reference class here, since Eric has extra facts).
+        let r = belief(kb_src, "Hep(Eric)");
+        assert_ne!(r.provenance, Provenance::Entailed, "{r}");
+        assert_eq!(r.belief.as_point(), Some(0.8), "{r}");
+    }
+
+    #[test]
+    fn directly_contradictory_kbs_bypass_the_fast_path() {
+        let r = belief("P(C); !P(C)", "P(C)");
+        assert_eq!(r.belief, Belief::Undefined, "{r}");
+    }
+
+    #[test]
+    fn symbol_free_false_conjuncts_bypass_the_fast_path() {
+        // `false` shares no symbols with the query but voids the KB; the
+        // fast path must not certify past it.
+        let r = belief("false; P(C)", "P(C)");
+        assert_ne!(r.provenance, Provenance::Entailed, "{r}");
+        assert_eq!(r.belief, Belief::Undefined, "{r}");
+    }
+
+    #[test]
+    fn quantified_contradictions_bypass_the_fast_path_too() {
+        // The KB is inconsistent through a universal, not a ground
+        // literal pair: the fast path must not claim entailment where
+        // the semantic stages report Undefined.
+        let r = belief("forall x (!P(x)); P(C)", "P(C)");
+        assert_ne!(r.provenance, Provenance::Entailed, "{r}");
+        assert_eq!(r.belief, Belief::Undefined, "{r}");
+        // A universal about the queried predicate blocks the shortcut
+        // even when consistent — the stages that understand it answer.
+        let r = belief("forall x (P(x)); P(C)", "P(C)");
+        assert_ne!(r.provenance, Provenance::Entailed, "{r}");
+        assert_eq!(r.belief.as_point(), Some(1.0), "{r}");
+        // Tolerance-carrying statistics about the queried symbols are
+        // the allowed shape: the motivating trap KB keeps its fast path.
+        let r = belief("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)", "Jaun(Eric)");
+        assert_eq!(r.provenance, Provenance::Entailed, "{r}");
+    }
+
+    #[test]
     fn maxent_fallback_for_unary_without_theorem() {
         // No explicit statistics for the query: falls to maxent.
         let r = belief(
@@ -902,6 +1012,73 @@ mod tests {
             .with_solvers(vec![Stage::new(Box::new(TheoremSolver))])
             .with_cache(Arc::clone(&cache));
         assert!(!different.answer(&kb, "Hep(Eric)").unwrap().cached);
+    }
+
+    #[test]
+    fn approx_engines_insert_the_sampling_stage_after_theorems() {
+        let e = engine().with_approx(rw_worlds::mc::McConfig::default());
+        assert_eq!(
+            e.solvers(),
+            vec![
+                "theorems",
+                "montecarlo",
+                "maxent",
+                "unary-exact",
+                "enumeration"
+            ]
+        );
+        // Theorem-answerable queries still bypass the sampler entirely.
+        let kb = KnowledgeBase::parse("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)").unwrap();
+        let r = e.answer(&kb, "Hep(Eric)").unwrap();
+        assert_eq!(r.provenance, Provenance::DirectInference);
+    }
+
+    #[test]
+    fn approx_and_exact_answers_never_share_cache_entries() {
+        // A binary-predicate KB: exact inference lands on the (cheap at
+        // N≤3) enumeration stage, the approx engine on the sampler.
+        let kb = KnowledgeBase::parse("Likes(A, B)").unwrap();
+        let cache = Arc::new(AnswerCache::new());
+        let mut exact = engine().with_cache(Arc::clone(&cache));
+        exact.enum_max_worlds = 1 << 13; // clamp enumeration to N=3
+        let mut approx = exact
+            .clone()
+            .with_approx(rw_worlds::mc::McConfig::default());
+        approx.diagonal = Diagonal::geometric(rw_util::Rat::new(1, 4), 4, 2);
+        let q = "Likes(B, A)";
+        let a = approx.answer(&kb, q).unwrap();
+        assert!(!a.cached);
+        assert!(matches!(a.belief, Belief::Approximate { .. }), "{a}");
+        // The exact engine must not be served the sampled belief...
+        let e1 = exact.answer(&kb, q).unwrap();
+        assert!(
+            !e1.cached,
+            "approximate entry leaked into the exact keyspace"
+        );
+        assert!(!matches!(e1.belief, Belief::Approximate { .. }), "{e1}");
+        // ...while each keyspace still hits itself.
+        assert!(approx.answer(&kb, q).unwrap().cached);
+        assert!(exact.answer(&kb, q).unwrap().cached);
+        // A different sampling configuration keys differently too...
+        let reseeded = RandomWorlds {
+            approx: Some(rw_worlds::mc::McConfig {
+                seed: 1234,
+                ..rw_worlds::mc::McConfig::default()
+            }),
+            ..approx.clone()
+        };
+        assert!(!reseeded.answer(&kb, q).unwrap().cached);
+        // ...but a different *worker count* does not: threads never
+        // affect an answer (sampling is thread-count deterministic), so
+        // sessions differing only in threads share cache entries.
+        let rethreaded = RandomWorlds {
+            approx: Some(rw_worlds::mc::McConfig {
+                threads: 4,
+                ..rw_worlds::mc::McConfig::default()
+            }),
+            ..approx.clone()
+        };
+        assert!(rethreaded.answer(&kb, q).unwrap().cached);
     }
 
     #[test]

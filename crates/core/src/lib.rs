@@ -26,6 +26,17 @@
 //! 4. [`solvers::EnumerationDiagonalSolver`] — brute-force world
 //!    enumeration at tiny `N`, the completeness backstop.
 //!
+//! Enabling approximate inference ([`RandomWorlds::with_approx`], or the
+//! `approx` field) inserts [`solvers::MonteCarloSolver`] between the
+//! theorem and maxent stages: Monte-Carlo sampling of the Definition 4.2
+//! fraction along the diagonal's `N`-sweep (`rw_worlds::mc`), answering
+//! with [`Belief::Approximate`] — a point estimate plus a 95% confidence
+//! half-width — in bounded time where the exact fallbacks can take
+//! seconds. Sampling is deterministic for a fixed seed at any worker
+//! thread count, and the sampler configuration is part of the cache
+//! keyspace, so exact and approximate answers never mix in an
+//! [`cache::AnswerCache`].
+//!
 //! The pipeline is open: [`RandomWorlds::with_solvers`] installs any stage
 //! list (custom [`Solver`] implementations included), and
 //! [`RandomWorlds::answer_batch`] answers many queries against one loaded
@@ -64,4 +75,8 @@ pub use engine::{BeliefResult, EngineError, RandomWorlds, Response};
 pub use solver::{
     Budget, Diagonal, Recurse, Solver, SolverOutcome, Stage, StageStatus, StageTrace, Trace,
 };
+pub use solvers::MonteCarloSolver;
 pub use theorems::dempster_rule;
+// Re-exported so engine configuration (`RandomWorlds::approx`) does not
+// force downstream crates to depend on `rw-worlds` directly.
+pub use rw_worlds::mc::McConfig;

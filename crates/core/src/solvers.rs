@@ -1,9 +1,10 @@
-//! The built-in pipeline stages: theorem engine, maximum entropy, exact
-//! unary counting, and brute-force enumeration.
+//! The built-in pipeline stages: theorem engine, Monte-Carlo sampling,
+//! maximum entropy, exact unary counting, and brute-force enumeration.
 //!
 //! Each implements [`Solver`] and is sound on its own; the default
 //! [`crate::RandomWorlds`] pipeline runs them in the order above (cheapest
-//! and most exact first). All four are plain public structs so callers can
+//! and most exact first; the sampling stage only joins when approximate
+//! inference is enabled). All are plain public structs so callers can
 //! reorder, omit, re-budget, or interleave them with custom solvers via
 //! [`crate::RandomWorlds::with_solvers`].
 
@@ -13,6 +14,10 @@ use crate::theorems;
 use rw_logic::ast::Formula;
 use rw_logic::{KnowledgeBase, Tolerances};
 use rw_maxent::{LimitOutcome, MaxentError, SweepConfig};
+use rw_worlds::mc::{self, McConfig};
+// The diagonal-extrapolation shape is shared with the Monte-Carlo sweep;
+// the single implementation lives in `rw_worlds::mc::stats`.
+use rw_worlds::mc::stats::extrapolate;
 
 /// Stage 1: the syntactic theorem engine (§5 of the paper).
 ///
@@ -100,6 +105,83 @@ impl Solver for MaxEntSolver {
                     reason: e.to_string(),
                 }
             }
+        }
+    }
+}
+
+/// The sampling stage: Monte-Carlo estimation of the Definition 4.2
+/// fraction along an `N`-sweep, with confidence intervals.
+///
+/// A bounded-cost, anytime stage for queries that miss every theorem
+/// pattern and would otherwise fall into the (much slower) maxent or
+/// counting stages. Sampling is KB-aware (asserted facts forced, unary
+/// statistics proposed at their nominal rates — see
+/// [`rw_worlds::mc::SamplePlan`]), stops adaptively once the 95% CI
+/// half-width reaches the configured target, and answers with
+/// [`Belief::Approximate`] so the uncertainty is part of the answer.
+/// The stage [`Budget`] caps the total draws across the sweep.
+///
+/// Determinism: for a fixed [`McConfig::seed`] the answer is
+/// bit-identical at any [`McConfig::threads`] count.
+///
+/// Declines when no draw satisfied the KB within the budget — an
+/// improbable KB is indistinguishable from an inconsistent one by
+/// sampling, so the exact stages get their turn.
+#[derive(Clone, Debug, Default)]
+pub struct MonteCarloSolver {
+    /// Sampler tuning (seed, threads, caps, CI target).
+    pub config: McConfig,
+    /// The `(τ, N)` sweep points (2–4 domain sizes; the engine passes its
+    /// configured diagonal).
+    pub diagonal: Diagonal,
+}
+
+impl MonteCarloSolver {
+    /// A sampling stage with the given configuration and sweep diagonal.
+    pub fn new(config: McConfig, diagonal: Diagonal) -> MonteCarloSolver {
+        MonteCarloSolver { config, diagonal }
+    }
+}
+
+impl Solver for MonteCarloSolver {
+    fn name(&self) -> &str {
+        "montecarlo"
+    }
+
+    fn solve(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+        budget: &Budget,
+        _recurse: &Recurse<'_>,
+    ) -> SolverOutcome {
+        // The stage budget is the hard sample cap; the config's own cap
+        // still applies if tighter.
+        let cap = u64::try_from(budget.max_count.min(u64::MAX as u128)).expect("clamped");
+        let cfg = McConfig {
+            max_samples: self.config.max_samples.min(cap),
+            ..self.config.clone()
+        };
+        let sweep = mc::estimate_sweep(kb, query, self.diagonal.points(), &cfg);
+        match sweep.value {
+            Some(value) => SolverOutcome::Answered {
+                belief: Belief::Approximate {
+                    value,
+                    ci_half_width: sweep.ci_half_width.unwrap_or(0.5),
+                },
+                provenance: Provenance::MonteCarlo {
+                    drawn: sweep.drawn,
+                    accepted: sweep.accepted,
+                    n_points: sweep.points.iter().filter(|p| p.value.is_some()).count(),
+                },
+            },
+            None => SolverOutcome::Declined {
+                reason: format!(
+                    "no sample satisfied the KB ({} drawn); cannot distinguish an \
+                     improbable KB from an inconsistent one",
+                    sweep.drawn
+                ),
+            },
         }
     }
 }
@@ -285,16 +367,6 @@ impl Solver for EnumerationDiagonalSolver {
     }
 }
 
-/// Richardson-style extrapolation for a geometric (τ ∝ 2^-k) diagonal
-/// with an `O(τ)` error model; one sample passes through, none is `None`.
-fn extrapolate(values: &[f64]) -> Option<f64> {
-    match values {
-        [] => None,
-        [v] => Some(*v),
-        [.., a, b] => Some((2.0 * b - a).clamp(0.0, 1.0)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,15 +379,6 @@ mod tests {
         let mut kb = KnowledgeBase::parse(kb_src).unwrap();
         let q = kb.parse_query(q_src).unwrap();
         (kb, q)
-    }
-
-    #[test]
-    fn extrapolation_shapes() {
-        assert_eq!(extrapolate(&[]), None);
-        assert_eq!(extrapolate(&[0.3]), Some(0.3));
-        assert_eq!(extrapolate(&[0.4, 0.45]), Some(0.5));
-        // Clamped to the unit interval.
-        assert_eq!(extrapolate(&[0.2, 0.7]), Some(1.0));
     }
 
     #[test]
@@ -382,6 +445,63 @@ mod tests {
                 assert_eq!(provenance, Provenance::Enumeration { max_n: 2 });
                 let v = belief.as_point().unwrap();
                 assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn montecarlo_answers_with_ci_and_counts() {
+        let (kb, q) = parsed(
+            "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Jaun(Tom)",
+            "Hep(Eric) & Hep(Tom)",
+        );
+        let s = MonteCarloSolver::default();
+        match s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse()) {
+            SolverOutcome::Answered { belief, provenance } => {
+                let Belief::Approximate {
+                    value,
+                    ci_half_width,
+                } = belief
+                else {
+                    panic!("{belief:?}");
+                };
+                assert!((0.0..=1.0).contains(&value), "{value}");
+                assert!(ci_half_width > 0.0);
+                let Provenance::MonteCarlo {
+                    drawn,
+                    accepted,
+                    n_points,
+                } = provenance
+                else {
+                    panic!();
+                };
+                assert!(drawn > 0 && accepted > 0 && n_points > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn montecarlo_budget_caps_the_draws() {
+        let (kb, q) = parsed("||P(x)||_x ~=_1 0.6", "P(C)");
+        let s = MonteCarloSolver::default();
+        match s.solve(&kb, &q, &Budget::counting(4096), &no_recurse()) {
+            SolverOutcome::Answered { provenance, .. } => match provenance {
+                Provenance::MonteCarlo { drawn, .. } => assert!(drawn <= 4096, "{drawn}"),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn montecarlo_declines_on_unsatisfiable_kb() {
+        let (kb, q) = parsed("P(C) & !P(C)", "P(C)");
+        let s = MonteCarloSolver::default();
+        match s.solve(&kb, &q, &Budget::counting(2048), &no_recurse()) {
+            SolverOutcome::Declined { reason } => {
+                assert!(reason.contains("no sample satisfied"), "{reason}")
             }
             other => panic!("{other:?}"),
         }

@@ -13,7 +13,7 @@ use crate::patterns::{
     Classified, StatStatement, Taxonomy,
 };
 use rw_logic::ast::{Formula, PropExpr, Term};
-use rw_logic::{analysis, ConstId, KnowledgeBase, VarId};
+use rw_logic::{analysis, ConstId, KnowledgeBase, PredId, VarId};
 use rw_unary::atoms::compile_atom_set;
 use rw_unary::AtomSet;
 use rw_util::Rat;
@@ -38,7 +38,8 @@ pub fn try_all(
     solver: &Solver<'_>,
 ) -> Option<(Belief, Provenance)> {
     let cls = classify(kb);
-    try_unique_names(kb, query, &cls)
+    try_ground_facts(query, &cls)
+        .or_else(|| try_unique_names(kb, query, &cls))
         .or_else(|| try_dempster(kb, query, &cls))
         .or_else(|| try_strength(kb, query, &cls))
         .or_else(|| try_direct_inference(kb, query, &cls))
@@ -78,6 +79,101 @@ fn permutations(k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     go(&mut Vec::new(), &mut vec![false; k], &mut out);
     out
+}
+
+// ---------------------------------------------------------------------------
+// Asserted ground facts: direct entailment (Definition 4.2).
+// ---------------------------------------------------------------------------
+
+/// The cheapest pattern of all: the query is a conjunction of ground
+/// literals each directly asserted by the KB (belief 1: every KB-world
+/// satisfies each conjunct, Def 4.2) or with one conjunct asserted with
+/// the opposite polarity (belief 0: no KB-world satisfies it).
+///
+/// This covers the serving-path traps that previously fell through to a
+/// multi-second maxent sweep: bare asserted facts (`Jaun(Eric)`), double
+/// negations (`!!P(c)`), and conjunctions of asserted ground literals.
+///
+/// Side conditions (all checked; any failure declines to the semantic
+/// stages):
+///
+/// * every query conjunct is a ground literal, and each is asserted by
+///   the KB one way or the other;
+/// * no ground literal is asserted both ways (directly inconsistent KB,
+///   so `Pr` may be undefined);
+/// * every other KB conjunct *touching the query's symbols* (a predicate
+///   or constant of some query literal) is a tolerance-carrying
+///   statistical comparison — the one shape that cannot make an asserted
+///   ground fact eventually inconsistent. Universals, equalities,
+///   exact-proportion constraints and other quantified facts about those
+///   symbols disable the fast path: `forall x (!P(x)); P(C)` must reach
+///   the stages that can report `Undefined`. (Conjuncts over unrelated
+///   symbols are not inspected — the same scope every other matcher
+///   here uses.)
+pub fn try_ground_facts(query: &Formula, cls: &Classified) -> Option<(Belief, Provenance)> {
+    // Every query conjunct (after `!!` stripping) must be a ground literal.
+    let stripped = analysis::strip_double_neg(query);
+    let mut literals = Vec::new();
+    for part in stripped.conjuncts() {
+        literals.push(analysis::as_ground_literal(part)?);
+    }
+    if literals.is_empty() {
+        return None;
+    }
+    let q_preds: std::collections::BTreeSet<PredId> = literals.iter().map(|(p, _, _)| *p).collect();
+    let q_consts: std::collections::BTreeSet<ConstId> = literals
+        .iter()
+        .flat_map(|(_, args, _)| args.iter().copied())
+        .collect();
+    // The KB's asserted ground literals, with a direct-contradiction scan;
+    // everything else sharing symbols with the query must be a
+    // tolerance-carrying statistical statement.
+    let mut asserted: BTreeMap<(PredId, Vec<ConstId>), bool> = BTreeMap::new();
+    for f in &cls.conjuncts {
+        if let Some((p, args, value)) = analysis::as_ground_literal(f) {
+            match asserted.insert((p, args), value) {
+                Some(prior) if prior != value => return None, // KB ⊨ ⊥ on this literal
+                _ => {}
+            }
+            continue;
+        }
+        if matches!(f, Formula::True) {
+            continue;
+        }
+        let syms = analysis::symbols(f);
+        // A symbol-free conjunct other than `true` (e.g. a literal
+        // `false`, or `!true`) can void the whole KB without ever
+        // "touching" the query's symbols — never certify past one.
+        if syms.preds.is_empty() && syms.consts.is_empty() && syms.funcs.is_empty() {
+            return None;
+        }
+        let touches = !syms.preds.is_disjoint(&q_preds) || !syms.consts.is_disjoint(&q_consts);
+        if !touches {
+            continue;
+        }
+        // A proportion compared under a tolerance (`~=_i`, `<~_i`) is
+        // satisfiable alongside any finite set of ground facts for all
+        // large `N`; anything else could entail their negation.
+        let Formula::Cmp(_, op, _) = f else {
+            return None;
+        };
+        op.tolerance()?;
+    }
+    let mut all_match = true;
+    for (p, args, value) in literals {
+        match asserted.get(&(p, args)) {
+            Some(&v) if v == value => {}
+            // One conjunct entailed false bounds the whole conjunction:
+            // Pr(φ ∧ ψ | KB) ≤ Pr(φ | KB) = 0.
+            Some(_) => return Some((Belief::Point(0.0), Provenance::Entailed)),
+            None => all_match = false,
+        }
+    }
+    if all_match {
+        Some((Belief::Point(1.0), Provenance::Entailed))
+    } else {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------

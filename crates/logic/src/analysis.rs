@@ -150,6 +150,39 @@ pub fn constants(f: &Formula) -> BTreeSet<ConstId> {
     symbols(f).consts
 }
 
+/// Strips paired negations: `!!φ → φ` (recursively), leaving a single
+/// negation intact.
+pub fn strip_double_neg(f: &Formula) -> &Formula {
+    match f {
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Not(g) => strip_double_neg(g),
+            _ => f,
+        },
+        _ => f,
+    }
+}
+
+/// Recognizes a ground literal — `P(c̄)` or `!P(c̄)` (modulo double
+/// negation) with all-constant arguments — as
+/// `(predicate, arguments, polarity)`.
+pub fn as_ground_literal(f: &Formula) -> Option<(PredId, Vec<ConstId>, bool)> {
+    let (atom, value) = match strip_double_neg(f) {
+        Formula::Not(inner) => (strip_double_neg(inner), false),
+        other => (other, true),
+    };
+    let Formula::Pred(p, args) = atom else {
+        return None;
+    };
+    let consts: Option<Vec<ConstId>> = args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(*c),
+            _ => None,
+        })
+        .collect();
+    Some((*p, consts?, value))
+}
+
 /// Depth-first traversal visiting every subformula (including bodies and
 /// conditions of proportion expressions). The visitor returns `false` to
 /// prune descent below a node.

@@ -11,11 +11,15 @@
 //!
 //! The number of worlds grows doubly exponentially (one binary predicate
 //! alone contributes `2^(N²)`), so enumeration is only feasible for tiny
-//! `N`; [`enumerate::count_interpretations`] reports the cost up front and
-//! [`sample`] provides uniform Monte-Carlo estimates beyond it.
+//! `N`; [`enumerate::count_interpretations`] reports the cost up front,
+//! [`sample`] provides naive uniform Monte-Carlo estimates beyond it, and
+//! [`mc`] is the production sampling subsystem (KB-aware proposals,
+//! Wilson confidence intervals, `N`-sweep extrapolation, parallel
+//! workers).
 
 pub mod enumerate;
 pub mod eval;
+pub mod mc;
 pub mod sample;
 pub mod world;
 

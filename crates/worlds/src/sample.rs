@@ -28,13 +28,14 @@ pub struct Estimate {
 }
 
 impl Estimate {
-    /// Half-width of a 95% normal-approximation confidence interval.
+    /// Half-width of a 95% Wilson score confidence interval.
+    ///
+    /// The Wilson interval replaces the earlier normal approximation,
+    /// which collapsed to zero width at `p ∈ {0, 1}` (claiming certainty
+    /// off a handful of lucky draws) and misbehaved at small acceptance
+    /// counts. See [`crate::mc::stats::wilson_half_width`].
     pub fn ci_half_width(&self) -> Option<f64> {
-        let p = self.value?;
-        if self.accepted == 0 {
-            return None;
-        }
-        Some(1.96 * (p * (1.0 - p) / self.accepted as f64).sqrt())
+        crate::mc::stats::wilson_half_width(self.value?, self.accepted as f64)
     }
 }
 
@@ -137,6 +138,26 @@ mod tests {
         let est = estimate_degree_of_belief(&kb, &q, 4, &tol(), 1000, &mut rng);
         assert_eq!(est.value, None);
         assert_eq!(est.accepted, 0);
+    }
+
+    #[test]
+    fn ci_is_nonzero_at_unanimous_outcomes() {
+        // Regression: the old normal approximation reported a zero-width
+        // interval whenever every accepted sample agreed on the query.
+        let est = Estimate {
+            value: Some(1.0),
+            drawn: 100,
+            accepted: 40,
+            hits: 40,
+        };
+        assert!(est.ci_half_width().unwrap() > 0.0, "{est:?}");
+        let none = Estimate {
+            value: None,
+            drawn: 10,
+            accepted: 0,
+            hits: 0,
+        };
+        assert_eq!(none.ci_half_width(), None);
     }
 
     #[test]
