@@ -1,0 +1,224 @@
+//! Serving-layer throughput (experiment index B12): N concurrent TCP
+//! clients against one resident `rw-server`, cold cache vs warm cache.
+//!
+//! The workload is the `parallel` bench's: per-individual theorem
+//! queries against a medical-style KB, every query resolving in the
+//! theorem stage (so the bench measures serving overhead + answer
+//! compute, not multi-second solver tails). Clients **pipeline** — all
+//! requests written, then all responses read — so loopback round-trip
+//! latency does not dominate; the server still answers one line per
+//! request, in order, per connection.
+//!
+//! Reported: queries/second for the cold pass (every answer computed)
+//! and the warm pass (every answer a shared-cache hit), plus the
+//! warm/cold speedup. A resident process that cannot beat 2× on
+//! repeated workloads would not be worth keeping warm — the run asserts
+//! the ratio, and cross-checks every response against the direct
+//! engine's beliefs.
+
+use rw_core::RandomWorlds;
+use rw_logic::KnowledgeBase;
+use rw_server::{Server, ServerConfig, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// 80 individuals = a 162-conjunct KB: big enough that a cold answer's
+// per-query KB clone + theorem scan dwarfs a warm cache lookup, the way
+// a production KB would.
+const INDIVIDUALS: usize = 80;
+const CLIENTS: usize = 4;
+const RUNS: usize = 5;
+
+fn kb_text() -> String {
+    let mut src =
+        String::from("||Hep(x) | Jaun(x)||_x ~=_1 0.8; ||Over60(x) | Patient(x)||_x ~=_2 0.4");
+    for i in 0..INDIVIDUALS {
+        src.push_str(&format!("; Jaun(C{i}); Patient(C{i})"));
+    }
+    src
+}
+
+/// Six queries per individual over three canonical forms (each form
+/// appears twice under different surface syntax) — 480 queries over 240
+/// forms at the current [`INDIVIDUALS`] — round-robined across the
+/// clients.
+fn workload() -> Vec<String> {
+    let mut queries = Vec::with_capacity(6 * INDIVIDUALS);
+    for i in 0..INDIVIDUALS {
+        queries.push(format!("Hep(C{i})"));
+        queries.push(format!("Over60(C{i})"));
+        queries.push(format!("!Hep(C{i})"));
+        queries.push(format!("(Hep(C{i}))"));
+        queries.push(format!("(Over60(C{i}))"));
+        queries.push(format!("!(Hep(C{i}))"));
+    }
+    queries
+}
+
+/// One pipelined client pass: writes every request, then reads every
+/// response. Returns `(query, belief value)` pairs in request order.
+fn client_pass(addr: std::net::SocketAddr, queries: &[String]) -> Vec<(String, f64)> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut requests = String::new();
+    for q in queries {
+        requests.push_str(&format!(
+            r#"{{"op":"query","kb":"bench","query":"{}"}}"#,
+            rw_server::json::escape(q)
+        ));
+        requests.push('\n');
+    }
+    writer.write_all(requests.as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(queries.len());
+    let mut line = String::new();
+    for q in queries {
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        let v = Value::parse(line.trim()).expect("response parses");
+        assert_eq!(
+            v.get("query").and_then(Value::as_str),
+            Some(q.as_str()),
+            "response order broke: {line}"
+        );
+        let value = v
+            .get("belief")
+            .and_then(|b| b.get("value"))
+            .and_then(Value::as_f64)
+            .expect("point belief");
+        out.push((q.clone(), value));
+    }
+    out
+}
+
+/// Runs the whole workload once across [`CLIENTS`] concurrent
+/// connections; returns the wall time and every `(query, value)` pair.
+fn full_pass(addr: std::net::SocketAddr, shards: &[Vec<String>]) -> (Duration, Vec<(String, f64)>) {
+    let start = Instant::now();
+    let results: Vec<Vec<(String, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| scope.spawn(move || client_pass(addr, shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    (start.elapsed(), results.into_iter().flatten().collect())
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn qps(n: usize, wall: Duration) -> f64 {
+    n as f64 / wall.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let queries = workload();
+    let shards: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|c| queries.iter().skip(c).step_by(CLIENTS).cloned().collect())
+        .collect();
+    let kb = KnowledgeBase::parse(&kb_text()).expect("kb");
+
+    // Reference beliefs from the engine itself.
+    let engine = RandomWorlds::new();
+    let reference: std::collections::HashMap<String, f64> = queries
+        .iter()
+        .map(|q| {
+            let r = engine.answer(&kb, q).expect("reference answer");
+            (q.clone(), r.belief.as_point().expect("point"))
+        })
+        .collect();
+    let check = |pass: &[(String, f64)]| {
+        for (q, v) in pass {
+            assert_eq!(reference[q], *v, "belief diverged on {q}");
+        }
+    };
+
+    println!(
+        "server-serving workload: {} queries ({} canonical forms) × {} clients, {} KB conjuncts, median of {} runs\n",
+        queries.len(),
+        3 * INDIVIDUALS,
+        CLIENTS,
+        kb.conjuncts().len(),
+        RUNS
+    );
+
+    // Cold: a fresh server (fresh cache) per run.
+    let mut cold_times = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let server = Arc::new(
+            Server::bind(ServerConfig {
+                threads: CLIENTS,
+                ..ServerConfig::default()
+            })
+            .expect("bind"),
+        );
+        server.registry().insert("bench", kb.clone());
+        let addr = server.local_addr().expect("addr");
+        let runner = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run().expect("run"))
+        };
+        let (wall, pass) = full_pass(addr, &shards);
+        check(&pass);
+        cold_times.push(wall);
+        server.stop();
+        runner.join().expect("join");
+    }
+    let cold = median(cold_times);
+
+    // Warm: one resident server, cache warmed by an untimed pass.
+    let server = Arc::new(
+        Server::bind(ServerConfig {
+            threads: CLIENTS,
+            ..ServerConfig::default()
+        })
+        .expect("bind"),
+    );
+    server.registry().insert("bench", kb.clone());
+    let addr = server.local_addr().expect("addr");
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+    let (_, first) = full_pass(addr, &shards);
+    check(&first);
+    let mut warm_times = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let (wall, pass) = full_pass(addr, &shards);
+        check(&pass);
+        warm_times.push(wall);
+    }
+    let warm = median(warm_times);
+    let hits = server.registry().cache().hits();
+    server.stop();
+    runner.join().expect("join");
+
+    let speedup = qps(queries.len(), warm) / qps(queries.len(), cold);
+    println!(
+        "cache cold (fresh server/run)   {:>10.3} ms   {:>9.0} q/s",
+        cold.as_secs_f64() * 1e3,
+        qps(queries.len(), cold)
+    );
+    println!(
+        "cache warm (resident server)    {:>10.3} ms   {:>9.0} q/s   hits {}",
+        warm.as_secs_f64() * 1e3,
+        qps(queries.len(), warm),
+        hits
+    );
+    println!("\nwarm/cold throughput: {speedup:.2}x (beliefs identical across every pass)");
+    assert!(hits > 0, "warm passes must hit the shared cache");
+    assert!(
+        speedup >= 2.0,
+        "a resident warm cache must deliver ≥ 2x cold throughput, got {speedup:.2}x"
+    );
+}

@@ -41,6 +41,23 @@ pub enum Command {
         /// sampler knobs apply to batch).
         options: SessionOptions,
     },
+    /// `rwq serve [file.rwkb] [--addr A] [--threads N] [--cache-shards S]
+    /// [--max-queue Q]`: run the persistent rw-server process. An
+    /// optional positional KB file is preloaded under the name
+    /// `default`. The first stdout line is
+    /// `{"serving":{"addr":...,...}}` with the bound address.
+    Serve {
+        /// Optional KB preloaded as `default`.
+        file: Option<PathBuf>,
+        /// Listener/pool/cache/queue configuration.
+        config: rw_server::ServerConfig,
+    },
+    /// `rwq client --addr A`: forward JSONL requests from stdin to a
+    /// running server, one response line per request on stdout.
+    Client {
+        /// The server address (`host:port`).
+        addr: String,
+    },
     /// `rwq help` (or no arguments).
     Help,
 }
@@ -68,6 +85,10 @@ USAGE:
   rwq batch <file.rwkb> [--threads N] [--cache] [--approx ...]
                                       (queries from stdin, JSONL results out,
                                        closing {\"summary\":...} line)
+  rwq serve [file.rwkb] [--addr A] [--threads N] [--cache-shards S] [--max-queue Q]
+                                      (persistent server; optional file is
+                                       preloaded as the KB named `default`)
+  rwq client --addr A                 (JSONL requests from stdin to a server)
   rwq help
 
 OPTIONS:
@@ -76,9 +97,15 @@ OPTIONS:
   --prior NAME         use a propensity prior instead of random worlds:
                        per-predicate | carnap | lambda=X
   --quiet              suppress provenance / trend detail
-  --threads N          batch: worker threads (0 = one per core; default 1
-                       = stream answers sequentially); with --approx also
-                       the sampler's worker count (any verb)
+  --threads N          worker threads for batch and serve (0 = one per
+                       core; batch default 1 = stream answers
+                       sequentially); with --approx also the sampler's
+                       worker count (any verb)
+  --addr HOST:PORT     serve: bind address (default 127.0.0.1:7878;
+                       port 0 = pick a free port) / client: the server
+  --cache-shards N     serve: shards of the shared answer cache (default 16)
+  --max-queue N        serve: admission-queue capacity; queries beyond it
+                       are rejected with code \"overloaded\" (default 1024)
   --cache              share a canonical-query answer cache across the
                        session's queries (batch, query, repl)
   --approx             enable Monte-Carlo approximate inference: queries
@@ -159,10 +186,7 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
             "--trend" => options.trend = parse_trend(&value(&mut i, "--trend")?)?,
             "--quiet" => options.explain = false,
             "--threads" => {
-                let v = value(&mut i, "--threads")?;
-                options.threads = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad --threads count `{v}`")))?;
+                options.threads = parse_threads(&value(&mut i, "--threads")?)?;
             }
             "--cache" => options.cache = true,
             "--approx" => options.approx = true,
@@ -227,17 +251,113 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
     Ok((options, positional))
 }
 
-/// Only `batch` shards work across threads; other verbs answer one query
-/// at a time, so a `--threads` there is a misunderstanding worth flagging
-/// — unless `--approx` is on, where the count drives the sampler's
-/// worker pool instead.
-fn reject_threads(options: &SessionOptions, verb: &str) -> Result<(), ArgError> {
+/// The one `--threads` rejection message, shared verbatim by every
+/// subcommand that cannot use the flag — `query` and `repl` used to
+/// word it differently, which made scripted error handling match one
+/// verb and miss the other.
+pub const THREADS_ERR: &str = "--threads applies to `batch`, `serve`, and `--approx` sessions \
+     (0 = one worker per core); this subcommand answers one query at a time";
+
+/// Only `batch` and `serve` shard work across threads; other verbs
+/// answer one query at a time, so a `--threads` there is a
+/// misunderstanding worth flagging — unless `--approx` is on, where the
+/// count drives the sampler's worker pool instead.
+fn reject_threads(options: &SessionOptions) -> Result<(), ArgError> {
     if options.threads != SessionOptions::default().threads && !options.approx {
-        return Err(ArgError(format!(
-            "--threads only applies to batch or --approx sessions (`{verb}` answers queries one at a time)"
-        )));
+        return Err(ArgError(THREADS_ERR.to_string()));
     }
     Ok(())
+}
+
+/// Parses a `--threads` value: any count, with `0` meaning one worker
+/// per core — the same contract for `batch` and `serve`.
+fn parse_threads(v: &str) -> Result<usize, ArgError> {
+    v.parse()
+        .map_err(|_| ArgError(format!("bad --threads count `{v}`")))
+}
+
+/// The CLI's default serving address (`rwq serve` without `--addr`).
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
+
+/// Parses `rwq serve` arguments (its flag set is the server's, disjoint
+/// from the per-query session options).
+fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
+    let mut config = rw_server::ServerConfig {
+        addr: DEFAULT_SERVE_ADDR.to_string(),
+        ..rw_server::ServerConfig::default()
+    };
+    let mut positional = Vec::new();
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} expects a value")))
+    };
+    let positive = |v: String, flag: &str| -> Result<usize, ArgError> {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(ArgError(format!(
+                "{flag} expects a positive count, got `{v}`"
+            ))),
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = value(&mut i, "--addr")?,
+            "--threads" => config.threads = parse_threads(&value(&mut i, "--threads")?)?,
+            "--cache-shards" => {
+                config.cache_shards = positive(value(&mut i, "--cache-shards")?, "--cache-shards")?
+            }
+            "--max-queue" => {
+                config.max_queue = positive(value(&mut i, "--max-queue")?, "--max-queue")?
+            }
+            flag if flag.starts_with("--") => {
+                return Err(ArgError(format!("unknown serve option `{flag}`")));
+            }
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    if positional.len() > 1 {
+        return Err(ArgError(
+            "serve takes at most one KB file (preloaded as `default`)".to_string(),
+        ));
+    }
+    Ok(Command::Serve {
+        file: positional.pop().map(PathBuf::from),
+        config,
+    })
+}
+
+/// Parses `rwq client` arguments.
+fn parse_client(args: &[String]) -> Result<Command, ArgError> {
+    let mut addr = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| ArgError("--addr expects a value".to_string()))?,
+                );
+            }
+            other => {
+                return Err(ArgError(format!(
+                    "unknown client argument `{other}` (client takes only --addr)"
+                )));
+            }
+        }
+        i += 1;
+    }
+    match addr {
+        Some(addr) => Ok(Command::Client { addr }),
+        None => Err(ArgError(
+            "client requires --addr HOST:PORT (a running `rwq serve`)".to_string(),
+        )),
+    }
 }
 
 /// Parses a full argument list (without the program name).
@@ -256,9 +376,11 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 file: PathBuf::from(file),
             })
         }
+        "serve" => parse_serve(&args[1..]),
+        "client" => parse_client(&args[1..]),
         "repl" => {
             let (options, positional) = parse_options(&args[1..])?;
-            reject_threads(&options, "repl")?;
+            reject_threads(&options)?;
             let [file] = positional.as_slice() else {
                 return Err(ArgError("repl expects exactly one file".to_string()));
             };
@@ -304,7 +426,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         "query" => {
             let (options, mut positional) = parse_options(&args[1..])?;
-            reject_threads(&options, "query")?;
+            reject_threads(&options)?;
             if positional.len() < 2 {
                 return Err(ArgError(
                     "query expects a file and at least one query".to_string(),
@@ -468,10 +590,24 @@ mod tests {
     }
 
     #[test]
-    fn threads_rejected_outside_batch_but_cache_allowed() {
+    fn threads_rejected_outside_batch_with_one_unified_message() {
+        // The rejection text is a single constant — `query` and `repl`
+        // used to word it differently (the verb was interpolated), so
+        // scripts matching one missed the other.
+        let mut seen = Vec::new();
         for verb in ["query", "repl"] {
             let err = parse(&strs(&[verb, "kb", "P(C)", "--threads", "2"])).unwrap_err();
-            assert!(err.0.contains("only applies to batch"), "{verb}: {}", err.0);
+            assert_eq!(err.0, THREADS_ERR, "{verb}");
+            seen.push(err.0);
+        }
+        assert_eq!(seen[0], seen[1]);
+        // ...while batch and serve accept the flag, including 0 = per-core.
+        for args in [
+            vec!["batch", "kb", "--threads", "0"],
+            vec!["serve", "kb", "--threads", "0"],
+            vec!["serve", "--threads", "4"],
+        ] {
+            assert!(parse(&strs(&args)).is_ok(), "{args:?}");
         }
         match parse(&strs(&["query", "kb", "P(C)", "--cache"])).unwrap() {
             Command::Query { options, .. } => assert!(options.cache),
@@ -536,11 +672,13 @@ mod tests {
                 "{flagged:?}"
             );
         }
-        // --threads without --approx is still batch-only.
-        assert!(parse(&strs(&["query", "kb", "q", "--threads", "2"]))
-            .unwrap_err()
-            .0
-            .contains("only applies to batch"));
+        // --threads without --approx is still rejected for query.
+        assert_eq!(
+            parse(&strs(&["query", "kb", "q", "--threads", "2"]))
+                .unwrap_err()
+                .0,
+            THREADS_ERR
+        );
         // Bounds and parse errors.
         assert!(
             parse(&strs(&["query", "kb", "q", "--approx", "--ci", "0.7"]))
@@ -562,6 +700,90 @@ mod tests {
         .unwrap_err()
         .0
         .contains("--prior"));
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_flags() {
+        match parse(&strs(&["serve"])).unwrap() {
+            Command::Serve { file, config } => {
+                assert_eq!(file, None);
+                assert_eq!(config.addr, DEFAULT_SERVE_ADDR);
+                assert_eq!(config.threads, 0); // per-core
+                assert_eq!(config.cache_shards, 16);
+                assert_eq!(config.max_queue, 1024);
+                assert!(!config.test_ops);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&[
+            "serve",
+            "kb.rwkb",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "4",
+            "--cache-shards",
+            "8",
+            "--max-queue",
+            "64",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { file, config } => {
+                assert_eq!(file, Some(PathBuf::from("kb.rwkb")));
+                assert_eq!(config.addr, "127.0.0.1:0");
+                assert_eq!(config.threads, 4);
+                assert_eq!(config.cache_shards, 8);
+                assert_eq!(config.max_queue, 64);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        assert!(parse(&strs(&["serve", "a.rwkb", "b.rwkb"]))
+            .unwrap_err()
+            .0
+            .contains("at most one KB file"));
+        assert!(parse(&strs(&["serve", "--max-queue", "0"]))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&strs(&["serve", "--cache-shards", "none"]))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&strs(&["serve", "--threads", "four"]))
+            .unwrap_err()
+            .0
+            .contains("bad --threads"));
+        assert!(parse(&strs(&["serve", "--quiet"]))
+            .unwrap_err()
+            .0
+            .contains("unknown serve option"));
+        assert!(parse(&strs(&["serve", "--addr"]))
+            .unwrap_err()
+            .0
+            .contains("expects a value"));
+    }
+
+    #[test]
+    fn client_requires_addr() {
+        assert_eq!(
+            parse(&strs(&["client", "--addr", "127.0.0.1:7878"])).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7878".to_string()
+            }
+        );
+        assert!(parse(&strs(&["client"]))
+            .unwrap_err()
+            .0
+            .contains("requires --addr"));
+        assert!(parse(&strs(&["client", "extra"]))
+            .unwrap_err()
+            .0
+            .contains("unknown client argument"));
     }
 
     #[test]

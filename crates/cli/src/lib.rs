@@ -34,9 +34,14 @@
 //! ```
 
 pub mod args;
-pub mod format;
-pub mod json;
 pub mod session;
+
+// The `.rwkb` loader and the serving JSON renderer live in `rw-server`
+// (every serving surface — one-shot CLI and resident server — shares
+// them); re-exported here so `rw_cli::json`/`rw_cli::format` keep
+// working.
+pub use rw_server::format;
+pub use rw_server::json;
 
 pub use args::{parse, ArgError, Command, USAGE};
 pub use format::{load_kb, parse_kb, LoadError};
@@ -164,6 +169,92 @@ pub fn run(
             writeln!(out, "{}", json::summary_line(&report))?;
             out.flush()?;
             Ok(if report.failed == 0 { 0 } else { 1 })
+        }
+        Command::Serve { file, config } => {
+            let preload = match file {
+                Some(f) => match load_kb(&f) {
+                    Ok(kb) => Some(kb),
+                    Err(e) => {
+                        writeln!(out, "error: {e}")?;
+                        return Ok(1);
+                    }
+                },
+                None => None,
+            };
+            let server = match rw_server::Server::bind(config) {
+                Ok(s) => s,
+                Err(e) => {
+                    writeln!(out, "error: cannot bind: {e}")?;
+                    return Ok(1);
+                }
+            };
+            let mut kbs = Vec::new();
+            if let Some(kb) = preload {
+                server.registry().insert("default", kb);
+                kbs.push("\"default\"".to_string());
+            }
+            let addr = server
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default();
+            // The first line is machine-readable so scripts (and the e2e
+            // suite) learn the actual port when `--addr` asked for :0.
+            writeln!(
+                out,
+                r#"{{"serving":{{"addr":"{}","threads":{},"cache_shards":{},"max_queue":{},"kbs":[{}]}}}}"#,
+                json::escape(&addr),
+                server.threads(),
+                server.registry().cache().shard_count(),
+                server.queue_capacity(),
+                kbs.join(",")
+            )?;
+            out.flush()?;
+            match server.run() {
+                Ok(()) => Ok(0),
+                Err(e) => {
+                    writeln!(out, "error: serving failed: {e}")?;
+                    Ok(1)
+                }
+            }
+        }
+        Command::Client { addr } => {
+            let mut client = match rw_server::Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    writeln!(
+                        out,
+                        "{}",
+                        json::fatal_line(&format!("cannot connect to {addr}: {e}"))
+                    )?;
+                    return Ok(1);
+                }
+            };
+            let mut failures = 0usize;
+            for line in stdin.lines() {
+                let line = line?;
+                let request = line.trim();
+                if request.is_empty() || request.starts_with('#') {
+                    continue;
+                }
+                match client.request_line(request) {
+                    Ok(response) => {
+                        if response.contains(r#""ok":false"#) {
+                            failures += 1;
+                        }
+                        writeln!(out, "{response}")?;
+                        out.flush()?;
+                    }
+                    Err(e) => {
+                        writeln!(
+                            out,
+                            "{}",
+                            json::fatal_line(&format!("connection to {addr} lost: {e}"))
+                        )?;
+                        return Ok(1);
+                    }
+                }
+            }
+            Ok(if failures == 0 { 0 } else { 1 })
         }
         Command::Repl { file, options } => {
             let kb = match load_kb(&file) {

@@ -147,6 +147,98 @@ fn batch_parallel_cached_round_trip() {
 }
 
 #[test]
+fn serve_preloads_default_kb_and_answers_clients() {
+    use std::io::{BufRead, BufReader};
+    let kb = kb_file("serve", "||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n");
+    let mut serve = rwq()
+        .args(["serve", kb.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // First stdout line announces the bound address and the preload.
+    let mut line = String::new();
+    BufReader::new(serve.stdout.as_mut().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert!(line.contains(r#""kbs":["default"]"#), "{line}");
+    let addr = line
+        .split(r#""addr":""#)
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+
+    let mut client = rwq()
+        .args(["client", "--addr", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    client
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"{\"op\":\"query\",\"kb\":\"default\",\"query\":\"Hep(Eric)\"}\n\
+              {\"op\":\"shutdown\"}\n",
+        )
+        .unwrap();
+    let out = client.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains(r#""value":0.8"#), "{stdout}");
+    assert!(lines[1].contains("shutdown"), "{stdout}");
+    // The shutdown op ends the server process cleanly.
+    assert!(serve.wait().unwrap().success());
+    let _ = std::fs::remove_file(kb);
+}
+
+#[test]
+fn client_without_server_fails_with_json_error() {
+    // A port from the ephemeral range with (almost certainly) no
+    // listener; connect failure must still produce a JSON line.
+    let mut child = rwq()
+        .args(["client", "--addr", "127.0.0.1:1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take(); // close stdin immediately
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.starts_with(r#"{"ok":false,"error":"cannot connect"#),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn threads_rejection_is_identical_for_query_and_repl() {
+    let mut messages = Vec::new();
+    for verb in ["query", "repl"] {
+        let out = rwq()
+            .args([verb, "kb.rwkb", "P(C)", "--threads", "2"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{verb}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        let first = stderr.lines().next().unwrap_or("").to_string();
+        assert!(first.contains("--threads applies to"), "{verb}: {first}");
+        messages.push(first);
+    }
+    assert_eq!(
+        messages[0], messages[1],
+        "error text must not depend on the verb"
+    );
+}
+
+#[test]
 fn repl_round_trip() {
     let kb = kb_file("repl", "P(C)\n");
     let mut child = rwq()

@@ -1,0 +1,350 @@
+//! Golden-corpus conformance: the serving JSON for the paper examples
+//! and the PR-2 "trap" queries is pinned byte-for-byte (modulo the
+//! `_us` timing fields) in `tests/golden/*.jsonl` at the repository
+//! root, and replayed through all three serving paths:
+//!
+//! 1. **query** — [`Session::answer_json_line`], the `rwq query`/
+//!    streamed-batch unit;
+//! 2. **batch** — [`Session::answer_batch_report`] at 2 threads, the
+//!    parallel `rwq batch` executor;
+//! 3. **server** — a spawned `rwq serve` process queried through a
+//!    spawned `rwq client`, over real TCP.
+//!
+//! A corpus file is JSONL: a `{"kb": "<rwkb text>"}` line switches the
+//! current knowledge base, every other line is one expected response.
+//! Queries within one KB are canonically distinct (no two collapse to
+//! the same cache key), so the server's shared cache answers each cold
+//! — which is exactly what makes all three paths byte-identical.
+//!
+//! Regenerate after an intentional output change with:
+//!
+//! ```text
+//! RWQ_GOLDEN_REGEN=1 cargo test -p rw-cli --test golden
+//! ```
+
+use rw_cli::json::mask_times;
+use rw_cli::{Session, SessionOptions};
+use rw_server::proto::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// One knowledge base (rwkb text) and the queries asked against it.
+type KbQueries = (&'static str, Vec<&'static str>);
+
+/// The corpus source of truth: per golden file, the KBs and the queries
+/// asked against each. The `.jsonl` files pin what these must answer.
+fn corpus() -> Vec<(&'static str, Vec<KbQueries>)> {
+    vec![
+        (
+            "paper_examples.jsonl",
+            vec![
+                (
+                    // Hepatitis (Ex 5.8): direct inference.
+                    "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+                    vec!["Hep(Eric)", "!Hep(Eric)"],
+                ),
+                (
+                    // Penguins (Ex 5.10/5.19): specificity, and the
+                    // minimal reference class once Yellow(Tweety)
+                    // defeats the exact match.
+                    "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+                     forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+                    vec!["Fly(Tweety)"],
+                ),
+                (
+                    "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+                     forall x (Penguin(x) => Bird(x)); Penguin(Tweety); Yellow(Tweety)",
+                    vec!["Fly(Tweety)"],
+                ),
+                (
+                    // Elephants & zookeepers (Ex 5.12): binary predicates.
+                    "||Likes(x, y) | Elephant(x) & Zookeeper(y)||_{x,y} ~=_1 1; \
+                     ||Likes(x, Fred) | Elephant(x)||_x ~=_2 0; \
+                     Zookeeper(Fred); Elephant(Clyde); Zookeeper(Eric)",
+                    vec!["Likes(Clyde, Eric)", "Likes(Clyde, Fred)"],
+                ),
+                (
+                    // Magpies (Ex 5.24): the strength rule's interval.
+                    "0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; \
+                     0 <~_3 ||Chirps(x) | Magpie(x)||_x <~_4 0.99; \
+                     forall x (Magpie(x) => Bird(x)); Magpie(Tweety)",
+                    vec!["Chirps(Tweety)"],
+                ),
+                (
+                    // Nixon diamond (Ex 5.26): Dempster combination.
+                    "||Pacifist(x) | Quaker(x)||_x ~=_1 0.8; \
+                     ||Pacifist(x) | Republican(x)||_x ~=_2 0.8; \
+                     Quaker(Nixon); Republican(Nixon); \
+                     exists! x (Quaker(x) & Republican(x))",
+                    vec!["Pacifist(Nixon)"],
+                ),
+                (
+                    // Hepatitis × Over60 (Ex 5.28): independence product.
+                    "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); \
+                     ||Over60(x) | Patient(x)||_x ~=_2 0.4; Patient(Eric)",
+                    vec!["Hep(Eric) & Over60(Eric)"],
+                ),
+                (
+                    // Unique names (§5.5, Lifschitz C1).
+                    "Ray = Reiter; Drew = McDermott",
+                    vec!["!(Ray = Drew)", "Ray = Reiter"],
+                ),
+                (
+                    // Nested defaults (Ex 4.6 / 5.14).
+                    "|| ||Rises-late(x, y) | Day(y)||_y ~=_1 1 | ||To-bed-late(x, z) | Day(z)||_z ~=_2 1 ||_x ~=_3 1; \
+                     ||To-bed-late(Alice, z) | Day(z)||_z ~=_2 1; \
+                     Day(Tomorrow)",
+                    vec!["Rises-late(Alice, Tomorrow)"],
+                ),
+                (
+                    // Existential reference class (Ex 5.13).
+                    "||Tall(x) | exists y (Child(x, y) & Tall(y))||_x ~=_1 1; \
+                     exists y (Child(Alice, y) & Tall(y))",
+                    vec!["Tall(Alice)"],
+                ),
+            ],
+        ),
+        (
+            "trap_queries.jsonl",
+            vec![(
+                // The PR-2 serving trap: shapes that used to miss every
+                // theorem pattern and fall into a 1–14 s maxent sweep.
+                // All answer from the theorem stage now (Entailed /
+                // minimal reference class) — the corpus pins that.
+                // Queries are pairwise canonically distinct (e.g. no
+                // commuted twin of an included conjunction).
+                "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Patient(Eric); !Jaun(Tom)",
+                vec![
+                    "Jaun(Eric)",
+                    "!!Patient(Eric)",
+                    "Jaun(Eric) & Patient(Eric)",
+                    "Patient(Eric) & !Jaun(Tom)",
+                    "!Jaun(Eric)",
+                    "Jaun(Tom)",
+                    "Jaun(Eric) & Jaun(Tom)",
+                    "Hep(Eric)",
+                ],
+            )],
+        ),
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn kb_header(kb: &str) -> String {
+    format!(r#"{{"kb":"{}"}}"#, rw_cli::json::escape(kb))
+}
+
+/// The query-path answer (the regeneration source and path 1).
+fn query_path_line(session: &Session, query: &str) -> String {
+    let (line, ok) = session.answer_json_line(query);
+    assert!(ok, "corpus query must answer: {query}: {line}");
+    line
+}
+
+#[test]
+fn golden_corpus_matches_on_query_batch_and_server_paths() {
+    if std::env::var("RWQ_GOLDEN_REGEN").is_ok() {
+        regenerate();
+        return;
+    }
+    for (file, kbs) in corpus() {
+        let path = golden_dir().join(file);
+        let content = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {path:?} ({e}); run with RWQ_GOLDEN_REGEN=1")
+        });
+        let expected = parse_golden(&content, file);
+        // The corpus definition and the checked-in file must agree on
+        // the KB/query matrix before any path is compared.
+        assert_eq!(
+            expected.len(),
+            kbs.len(),
+            "{file}: KB count drifted from the corpus definition; regenerate"
+        );
+        for ((kb_text, queries), (golden_kb, golden_lines)) in kbs.iter().zip(&expected) {
+            assert_eq!(kb_text, golden_kb, "{file}: KB text drifted; regenerate");
+            assert_eq!(
+                queries.len(),
+                golden_lines.len(),
+                "{file}: query count drifted"
+            );
+
+            let kb = rw_server::parse_kb(kb_text).expect("corpus KB parses");
+            // Path 1: one-shot query sessions.
+            let session = Session::new(kb.clone(), SessionOptions::default());
+            for (query, golden) in queries.iter().zip(golden_lines) {
+                let actual = query_path_line(&session, query);
+                assert_eq!(
+                    mask_times(&actual),
+                    mask_times(golden),
+                    "{file}: query path diverged on {query}"
+                );
+            }
+            // Path 2: the parallel batch executor.
+            let batch = Session::new(
+                kb,
+                SessionOptions {
+                    threads: 2,
+                    ..SessionOptions::default()
+                },
+            );
+            let owned: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+            let (lines, report) = batch.answer_batch_report(&owned);
+            assert_eq!(report.failed, 0, "{file}: batch failures");
+            for ((query, golden), actual) in queries.iter().zip(golden_lines).zip(&lines) {
+                assert_eq!(
+                    mask_times(actual),
+                    mask_times(golden),
+                    "{file}: batch path diverged on {query}"
+                );
+            }
+        }
+        // Path 3: a real `rwq serve` process driven by `rwq client`.
+        server_path_matches(&expected, file);
+    }
+}
+
+/// Parses a golden file into `(kb_text, expected_lines)` groups.
+fn parse_golden(content: &str, file: &str) -> Vec<(String, Vec<String>)> {
+    let mut groups: Vec<(String, Vec<String>)> = Vec::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v =
+            Value::parse(line).unwrap_or_else(|e| panic!("{file}: bad golden line {line:?}: {e}"));
+        if let Some(kb) = v.get("kb").and_then(Value::as_str) {
+            if v.get("query").is_none() {
+                groups.push((kb.to_string(), Vec::new()));
+                continue;
+            }
+        }
+        groups
+            .last_mut()
+            .unwrap_or_else(|| panic!("{file}: response line before any KB header"))
+            .1
+            .push(line.to_string());
+    }
+    groups
+}
+
+/// Spawns `rwq serve` on an ephemeral port, loads every corpus KB over
+/// the wire through `rwq client`, asks every query, and diffs the
+/// responses against the golden lines.
+fn server_path_matches(expected: &[(String, Vec<String>)], file: &str) {
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_rwq"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn rwq serve");
+    let addr = read_serving_addr(&mut serve);
+
+    // Build the client's stdin: load each KB under a unique name, then
+    // its queries; responses come back one line per request, in order.
+    let mut requests = String::new();
+    let mut expected_responses: Vec<Option<&String>> = Vec::new(); // None = load ack
+    for (i, (kb_text, lines)) in expected.iter().enumerate() {
+        requests.push_str(&format!(
+            r#"{{"op":"load","kb":"g{i}","text":"{}"}}"#,
+            rw_cli::json::escape(kb_text)
+        ));
+        requests.push('\n');
+        expected_responses.push(None);
+        for golden in lines {
+            let v = Value::parse(golden).expect("golden line parses");
+            let query = v.get("query").and_then(Value::as_str).expect("query field");
+            requests.push_str(&format!(
+                r#"{{"op":"query","kb":"g{i}","query":"{}"}}"#,
+                rw_cli::json::escape(query)
+            ));
+            requests.push('\n');
+            expected_responses.push(Some(golden));
+        }
+    }
+    requests.push_str("{\"op\":\"shutdown\"}\n");
+    expected_responses.push(None);
+
+    let client = Command::new(env!("CARGO_BIN_EXE_rwq"))
+        .args(["client", "--addr", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rwq client");
+    client
+        .stdin
+        .as_ref()
+        .expect("client stdin")
+        .write_all(requests.as_bytes())
+        .expect("write requests");
+    let out = client.wait_with_output().expect("client output");
+    assert!(out.status.success(), "client exit: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("client stdout utf8");
+    let responses: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        responses.len(),
+        expected_responses.len(),
+        "{file}: response count mismatch:\n{stdout}"
+    );
+    for (response, golden) in responses.iter().zip(&expected_responses) {
+        match golden {
+            None => assert!(
+                response.contains(r#""ok":true"#),
+                "{file}: control op failed: {response}"
+            ),
+            Some(golden) => assert_eq!(
+                mask_times(response),
+                mask_times(golden),
+                "{file}: server path diverged"
+            ),
+        }
+    }
+    let status = serve.wait().expect("serve exit");
+    assert!(status.success(), "serve exit: {status:?}");
+}
+
+/// Reads the `{"serving":{"addr":"..."}}` line a fresh server prints.
+fn read_serving_addr(serve: &mut Child) -> String {
+    let stdout = serve.stdout.as_mut().expect("serve stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("serving line");
+    let v = Value::parse(line.trim()).expect("serving line is JSON");
+    v.get("serving")
+        .and_then(|s| s.get("addr"))
+        .and_then(Value::as_str)
+        .expect("serving addr")
+        .to_string()
+}
+
+/// Writes the golden files from the query path (the reference
+/// implementation all other paths must match).
+fn regenerate() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for (file, kbs) in corpus() {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {file}: canonical serving JSON (timing fields are masked on comparison).\n\
+             # Regenerated by RWQ_GOLDEN_REGEN=1 cargo test -p rw-cli --test golden\n"
+        ));
+        for (kb_text, queries) in kbs {
+            out.push_str(&kb_header(kb_text));
+            out.push('\n');
+            let session = Session::new(
+                rw_server::parse_kb(kb_text).expect("corpus KB parses"),
+                SessionOptions::default(),
+            );
+            for query in queries {
+                out.push_str(&query_path_line(&session, query));
+                out.push('\n');
+            }
+        }
+        std::fs::write(dir.join(file), out).expect("write golden file");
+    }
+}

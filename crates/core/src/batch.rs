@@ -78,6 +78,44 @@ pub struct StageTotals {
     pub elapsed: Duration,
 }
 
+impl StageTotals {
+    /// Folds one query's [`Trace`] into a running totals list, appending
+    /// slots for stages not seen before. Shared by the batch executor's
+    /// per-worker shards and long-lived serving loops (`rw-server`) that
+    /// aggregate per-stage totals across their whole lifetime.
+    pub fn absorb(totals: &mut Vec<StageTotals>, trace: &Trace) {
+        for step in trace.steps() {
+            let slot = match totals.iter_mut().find(|t| t.stage == step.stage) {
+                Some(slot) => slot,
+                None => {
+                    totals.push(StageTotals {
+                        stage: step.stage.clone(),
+                        ..StageTotals::default()
+                    });
+                    totals.last_mut().expect("just pushed")
+                }
+            };
+            match step.status {
+                StageStatus::Answered => slot.answered += 1,
+                StageStatus::Declined(_) => slot.declined += 1,
+                StageStatus::BudgetExhausted(_) => slot.budget_exhausted += 1,
+            }
+            slot.elapsed += step.elapsed;
+        }
+    }
+
+    /// Folds the trace carried by a query result — success traces and
+    /// out-of-reach traces both feed the totals; parse errors never
+    /// entered the pipeline, so they contribute nothing.
+    pub fn absorb_result(totals: &mut Vec<StageTotals>, result: &Result<Response, EngineError>) {
+        match result {
+            Ok(r) => StageTotals::absorb(totals, &r.trace),
+            Err(EngineError::OutOfReach { trace, .. }) => StageTotals::absorb(totals, trace),
+            Err(EngineError::Parse(_)) => {}
+        }
+    }
+}
+
 /// What a batch run did, in aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct BatchReport {
@@ -138,36 +176,11 @@ impl WorkerShard {
 
     fn record(&mut self, idx: usize, result: Result<Response, EngineError>, elapsed: Duration) {
         self.cpu += elapsed;
-        // Both success traces and out-of-reach traces feed the totals.
-        match &result {
-            Ok(r) => self.absorb_trace(&r.trace),
-            Err(EngineError::OutOfReach { trace, .. }) => self.absorb_trace(trace),
-            Err(EngineError::Parse(_)) => {}
-        }
+        // Both success traces and out-of-reach traces feed the totals; a
+        // custom solver outside the template (e.g. a name introduced by a
+        // recursing stage) gets a slot appended on demand.
+        StageTotals::absorb_result(&mut self.stages, &result);
         self.results.push((idx, result));
-    }
-
-    fn absorb_trace(&mut self, trace: &Trace) {
-        for step in trace.steps() {
-            let slot = match self.stages.iter_mut().find(|t| t.stage == step.stage) {
-                Some(slot) => slot,
-                None => {
-                    // A custom solver outside the template (e.g. a name
-                    // introduced by a recursing stage): append on demand.
-                    self.stages.push(StageTotals {
-                        stage: step.stage.clone(),
-                        ..StageTotals::default()
-                    });
-                    self.stages.last_mut().expect("just pushed")
-                }
-            };
-            match step.status {
-                StageStatus::Answered => slot.answered += 1,
-                StageStatus::Declined(_) => slot.declined += 1,
-                StageStatus::BudgetExhausted(_) => slot.budget_exhausted += 1,
-            }
-            slot.elapsed += step.elapsed;
-        }
     }
 }
 

@@ -137,6 +137,11 @@ impl AnswerCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// The number of shards the cache was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of cached answers across all shards.
     pub fn len(&self) -> usize {
         self.shards

@@ -1,0 +1,63 @@
+//! A minimal line-oriented client for the serving protocol.
+//!
+//! Wraps one TCP connection: send a request line, read exactly one
+//! response line. `rwq client` is a thin stdin/stdout loop over this,
+//! and the e2e/soak suites drive servers through it. Lock-step
+//! ([`Client::request_line`]) and pipelined ([`Client::send_line`] /
+//! [`Client::recv_line`]) use are both supported — the server answers
+//! one line per request, in order, either way.
+
+use crate::proto::Request;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving address (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line (the newline is appended here).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line (without its newline). An unexpected EOF
+    /// is an error — the server answers every request it read.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Lock-step request: send one line, read the one response.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Lock-step request with a typed [`Request`].
+    pub fn request(&mut self, request: &Request) -> std::io::Result<String> {
+        self.request_line(&request.serialize())
+    }
+}

@@ -10,6 +10,11 @@
 //! ||Hep(x) | Jaun(x)||_x ~=_1 0.8
 //! Jaun(Eric)            # the patient at hand
 //! ```
+//!
+//! The module lives in `rw-server` (rather than the CLI) because every
+//! serving surface loads KBs through it: `rwq query`/`batch` on their
+//! files and the server's `load` request on both `path` and inline
+//! `text` sources, so one parser defines what a knowledge base is.
 
 use rw_logic::{KnowledgeBase, ParseError};
 use std::fmt;
@@ -61,7 +66,7 @@ fn strip_comment(line: &str) -> &str {
 /// Parses `.rwkb` source text into a knowledge base.
 ///
 /// ```
-/// let kb = rw_cli::parse_kb(
+/// let kb = rw_server::format::parse_kb(
 ///     "# comment\n||Hep(x) | Jaun(x)||_x ~=_1 0.8\nJaun(Eric)\n",
 /// ).unwrap();
 /// assert_eq!(kb.conjuncts().len(), 2);

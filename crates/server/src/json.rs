@@ -1,9 +1,12 @@
-//! Minimal JSON emission for the `rwq batch` JSONL output.
+//! Minimal JSON emission for the JSONL serving surface.
 //!
 //! The workspace has no external dependencies, so this module hand-rolls
-//! the (tiny) JSON surface the batch subcommand needs: string escaping
-//! and the rendering of a [`rw_core::Response`] or error into one
-//! self-contained object per input line.
+//! the (tiny) JSON surface the serving paths need: string escaping and
+//! the rendering of a [`rw_core::Response`] or error into one
+//! self-contained object per line. It is the *single* renderer behind
+//! `rwq query`'s JSON mode, `rwq batch` and the `rw-server` query
+//! responses — one implementation is what makes the three paths
+//! byte-identical on the golden corpus.
 
 use rw_core::{BatchReport, Belief, EngineError, Response, StageStatus};
 use std::fmt::Write as _;
@@ -134,23 +137,31 @@ pub fn summary_line(report: &BatchReport) -> String {
     );
     if !report.stages.is_empty() {
         out.push_str(r#","stages":["#);
-        for (i, s) in report.stages.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                r#"{{"stage":"{}","answered":{},"declined":{},"budget_exhausted":{},"elapsed_us":{}}}"#,
-                escape(&s.stage),
-                s.answered,
-                s.declined,
-                s.budget_exhausted,
-                s.elapsed.as_micros()
-            );
-        }
+        out.push_str(&stage_totals_json(&report.stages));
         out.push(']');
     }
     out.push_str("}}");
+    out
+}
+
+/// The body of a `"stages":[...]` array: one object per
+/// [`rw_core::StageTotals`], in pipeline order.
+pub fn stage_totals_json(stages: &[rw_core::StageTotals]) -> String {
+    let mut out = String::new();
+    for (i, s) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            r#"{{"stage":"{}","answered":{},"declined":{},"budget_exhausted":{},"elapsed_us":{}}}"#,
+            escape(&s.stage),
+            s.answered,
+            s.declined,
+            s.budget_exhausted,
+            s.elapsed.as_micros()
+        );
+    }
     out
 }
 
@@ -171,9 +182,9 @@ pub fn fatal_line(error: &str) -> String {
 }
 
 /// Masks every `..._us":<digits>` wall-time value in a JSON line — the
-/// only legitimately nondeterministic bytes in `rwq`'s output. Lets
-/// callers (and this crate's own test suites) compare runs for
-/// byte-identity across thread counts and reruns.
+/// only legitimately nondeterministic bytes in the serving output. Lets
+/// callers (and the golden-corpus suite) compare runs for byte-identity
+/// across thread counts, processes and reruns.
 pub fn mask_times(s: &str) -> String {
     let mut out = String::new();
     let mut rest = s;

@@ -1,0 +1,153 @@
+//! The bounded admission queue between connection handlers and the
+//! worker pool.
+//!
+//! Accepting work without bound turns a traffic spike into unbounded
+//! memory growth and multi-second tail latencies; the serving layer
+//! instead admits at most `capacity` jobs and **rejects** the rest with
+//! a structured `overloaded` error the client can retry on. The queue is
+//! a plain `Mutex<VecDeque>` plus a `Condvar` — std-only, like the rest
+//! of the workspace — and closing it wakes every blocked worker so
+//! shutdown never hangs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — backpressure, the caller should answer
+    /// with an `overloaded` error rather than buffer.
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC job queue (see the module docs).
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` (≥ 1) pending jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (admitted, not yet claimed by a worker).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").jobs.len()
+    }
+
+    /// Admits a job, or refuses immediately — never blocks the caller.
+    pub fn push(&self, job: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue closes; `None` means
+    /// the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs are still drained by workers, new
+    /// pushes fail with [`PushError::Closed`], and blocked workers wake.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        // Draining one slot readmits.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(1).unwrap();
+        assert_eq!(q.push(2), Err(PushError::Full));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_drains_pending() {
+        let q = JobQueue::new(4);
+        q.push(7).unwrap();
+        let drained = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(_job) = q.pop() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Give the workers a moment to block, then close.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+        });
+        assert_eq!(drained.load(Ordering::Relaxed), 1);
+        assert_eq!(q.push(8), Err(PushError::Closed));
+    }
+}

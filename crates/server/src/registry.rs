@@ -1,0 +1,330 @@
+//! The registry of named, loaded knowledge bases.
+//!
+//! A persistent server answers queries against KBs that were loaded
+//! once and stay resident — the whole point of the serving layer is to
+//! stop re-parsing and re-fingerprinting the KB on every invocation the
+//! way one-shot `rwq query` does. Each [`LoadedKb`] carries its parsed
+//! [`KnowledgeBase`], its canonical fingerprint (computed once at load),
+//! and a pinned [`RandomWorlds`] engine wired to the server's shared
+//! [`AnswerCache`]. Exact and approximate (Monte-Carlo) sessions can
+//! coexist against the same statements: the engine-config fingerprint
+//! inside every cache key keeps their keyspaces disjoint.
+
+use crate::format;
+use crate::proto::{ApproxParams, KbSource, ProtoError};
+use rw_core::{AnswerCache, McConfig, RandomWorlds};
+use rw_logic::KnowledgeBase;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One resident knowledge base: statements, fingerprint, and the engine
+/// that answers against it. Shared by reference between connection
+/// handlers and queue workers.
+#[derive(Debug)]
+pub struct LoadedKb {
+    /// The registry name.
+    pub name: String,
+    /// The parsed statements.
+    pub kb: KnowledgeBase,
+    /// [`rw_logic::canon::kb_fingerprint`], computed once at load.
+    pub fingerprint: u64,
+    /// The pinned engine (cache installed; Monte-Carlo stage when the
+    /// load requested `approx`).
+    pub engine: RandomWorlds,
+    /// True when the engine answers non-theorem queries by sampling.
+    pub approx: bool,
+}
+
+impl LoadedKb {
+    /// Builds a resident KB around a shared cache. The engine pins its
+    /// stage cascade once (the per-query default-rebuild is for
+    /// configurable one-shot use); the sampler runs single-threaded —
+    /// the server's worker pool is the parallelism, and worker count
+    /// never changes sampled answers anyway.
+    pub fn new(
+        name: String,
+        kb: KnowledgeBase,
+        approx: Option<&ApproxParams>,
+        cache: Arc<AnswerCache>,
+    ) -> LoadedKb {
+        let mut engine = RandomWorlds::new();
+        if let Some(params) = approx {
+            let defaults = McConfig::default();
+            engine.approx = Some(McConfig {
+                seed: params.seed.unwrap_or(defaults.seed),
+                threads: 1,
+                max_samples: params.samples.unwrap_or(defaults.max_samples),
+                target_ci: params.ci.unwrap_or(defaults.target_ci),
+                ..defaults
+            });
+        }
+        let stages = engine.default_stages();
+        let engine = engine.with_solvers(stages).with_cache(cache);
+        let fingerprint = rw_logic::canon::kb_fingerprint(&kb);
+        LoadedKb {
+            name,
+            approx: approx.is_some(),
+            kb,
+            fingerprint,
+            engine,
+        }
+    }
+
+    /// Answers one textual query as a serving JSON line plus a success
+    /// flag — identical bytes to `rwq batch` on the same engine
+    /// configuration (the golden-corpus contract).
+    pub fn answer_json_line(&self, query: &str) -> (String, bool) {
+        match self
+            .engine
+            .answer_fingerprinted(&self.kb, query, self.fingerprint)
+        {
+            Ok(response) => (crate::json::response_line(query, &response), true),
+            Err(e) => (crate::json::error_line(query, &e.to_string()), false),
+        }
+    }
+
+    /// The answer including the full [`rw_core::Response`] (for callers
+    /// that aggregate traces).
+    pub fn answer(&self, query: &str) -> Result<rw_core::Response, rw_core::EngineError> {
+        self.engine
+            .answer_fingerprinted(&self.kb, query, self.fingerprint)
+    }
+
+    /// One entry of the `list` response.
+    pub fn describe_json(&self) -> String {
+        format!(
+            r#"{{"kb":"{}","fingerprint":"{:016x}","statements":{},"approx":{}}}"#,
+            crate::json::escape(&self.name),
+            self.fingerprint,
+            self.kb.conjuncts().len(),
+            self.approx
+        )
+    }
+}
+
+/// Named KBs behind an `RwLock`: queries (the hot path) take the read
+/// lock for a single `Arc` clone; load/unload take the write lock.
+pub struct KbRegistry {
+    kbs: RwLock<HashMap<String, Arc<LoadedKb>>>,
+    cache: Arc<AnswerCache>,
+}
+
+impl KbRegistry {
+    /// An empty registry whose KBs will share `cache`.
+    pub fn new(cache: Arc<AnswerCache>) -> KbRegistry {
+        KbRegistry {
+            kbs: RwLock::new(HashMap::new()),
+            cache,
+        }
+    }
+
+    /// The shared answer cache.
+    pub fn cache(&self) -> &Arc<AnswerCache> {
+        &self.cache
+    }
+
+    /// Loads (or replaces) a named KB from a request source. Replacement
+    /// is safe with a shared cache: keys embed the KB fingerprint, so a
+    /// different KB under the same name can never be served the old
+    /// entries.
+    pub fn load(
+        &self,
+        name: &str,
+        source: &KbSource,
+        approx: Option<&ApproxParams>,
+    ) -> Result<Arc<LoadedKb>, ProtoError> {
+        let parsed = match source {
+            KbSource::Path(p) => format::load_kb(std::path::Path::new(p)),
+            KbSource::Text(t) => format::parse_kb(t),
+        };
+        let kb = parsed.map_err(|e| ProtoError {
+            code: crate::proto::ErrorCode::LoadFailed,
+            message: format!("cannot load KB `{name}`: {e}"),
+        })?;
+        let loaded = Arc::new(LoadedKb::new(
+            name.to_string(),
+            kb,
+            approx,
+            Arc::clone(&self.cache),
+        ));
+        self.kbs
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    /// Inserts an already-parsed KB (the `rwq serve <file>` preload path).
+    pub fn insert(&self, name: &str, kb: KnowledgeBase) -> Arc<LoadedKb> {
+        let loaded = Arc::new(LoadedKb::new(
+            name.to_string(),
+            kb,
+            None,
+            Arc::clone(&self.cache),
+        ));
+        self.kbs
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), Arc::clone(&loaded));
+        loaded
+    }
+
+    /// Drops a named KB; `false` if it was not loaded. In-flight queries
+    /// holding the `Arc` finish against the departing KB.
+    pub fn unload(&self, name: &str) -> bool {
+        self.kbs
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// The resident KB under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedKb>> {
+        self.kbs
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// How many KBs are resident.
+    pub fn len(&self) -> usize {
+        self.kbs.read().expect("registry lock poisoned").len()
+    }
+
+    /// True when no KB is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `list` response entries, sorted by name for a stable wire
+    /// order.
+    pub fn list_json(&self) -> String {
+        let kbs = self.kbs.read().expect("registry lock poisoned");
+        let mut entries: Vec<&Arc<LoadedKb>> = kbs.values().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let body: Vec<String> = entries.iter().map(|k| k.describe_json()).collect();
+        format!(r#"{{"ok":true,"op":"list","kbs":[{}]}}"#, body.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::KbSource;
+
+    fn registry() -> KbRegistry {
+        KbRegistry::new(Arc::new(AnswerCache::new()))
+    }
+
+    #[test]
+    fn load_query_unload_roundtrip() {
+        let reg = registry();
+        let src = KbSource::Text("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)".to_string());
+        let loaded = reg.load("med", &src, None).unwrap();
+        assert_eq!(loaded.kb.conjuncts().len(), 2);
+        assert!(!loaded.approx);
+        let (line, ok) = reg.get("med").unwrap().answer_json_line("Hep(Eric)");
+        assert!(ok, "{line}");
+        assert!(line.contains(r#""value":0.8"#), "{line}");
+        assert!(reg.unload("med"));
+        assert!(!reg.unload("med"));
+        assert!(reg.get("med").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn loads_share_the_cache_across_kb_names() {
+        let reg = registry();
+        let src = KbSource::Text("P(C)".to_string());
+        reg.load("a", &src, None).unwrap();
+        reg.load("b", &src, None).unwrap();
+        // Identical statements + identical engine config = one keyspace:
+        // the second name's first query hits what the first computed.
+        let (first, ok) = reg.get("a").unwrap().answer_json_line("P(C)");
+        assert!(ok, "{first}");
+        assert!(first.contains(r#""cache_hit":false"#), "{first}");
+        let (second, ok) = reg.get("b").unwrap().answer_json_line("P(C)");
+        assert!(ok, "{second}");
+        assert!(second.contains(r#""cache_hit":true"#), "{second}");
+        assert_eq!(reg.cache().hits(), 1);
+    }
+
+    #[test]
+    fn approx_kbs_sample_and_keep_their_own_keyspace() {
+        let reg = registry();
+        let src =
+            KbSource::Text("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Jaun(Tom)".to_string());
+        reg.load("exact", &src, None).unwrap();
+        let params = ApproxParams {
+            seed: Some(42),
+            ..ApproxParams::default()
+        };
+        let loaded = reg.load("mc", &src, Some(&params)).unwrap();
+        assert!(loaded.approx);
+        let (line, ok) = loaded.answer_json_line("Hep(Eric) & Hep(Tom)");
+        assert!(ok, "{line}");
+        assert!(line.contains(r#""type":"approximate""#), "{line}");
+        // The exact KB must not see the sampled entry.
+        let (exact_line, ok) = reg
+            .get("exact")
+            .unwrap()
+            .answer_json_line("Hep(Eric) & Jaun(Eric)");
+        assert!(ok, "{exact_line}");
+        assert!(exact_line.contains(r#""cache_hit":false"#), "{exact_line}");
+    }
+
+    #[test]
+    fn replacing_a_kb_changes_the_keyspace_not_the_entries() {
+        let reg = registry();
+        reg.load("m", &KbSource::Text("P(C)".to_string()), None)
+            .unwrap();
+        let (line, _) = reg.get("m").unwrap().answer_json_line("P(C)");
+        assert!(line.contains(r#""value":1"#), "{line}");
+        // Replace with contradicting statements under the same name: the
+        // fingerprint changes, so the old cached belief cannot leak.
+        reg.load("m", &KbSource::Text("!P(C)".to_string()), None)
+            .unwrap();
+        let (line, _) = reg.get("m").unwrap().answer_json_line("P(C)");
+        assert!(line.contains(r#""value":0"#), "{line}");
+        assert!(line.contains(r#""cache_hit":false"#), "{line}");
+    }
+
+    #[test]
+    fn load_failures_are_structured() {
+        let reg = registry();
+        let err = reg
+            .load("bad", &KbSource::Text("||broken".to_string()), None)
+            .unwrap_err();
+        assert_eq!(err.code, crate::proto::ErrorCode::LoadFailed);
+        assert!(err.message.contains("bad"), "{err}");
+        let err = reg
+            .load(
+                "missing",
+                &KbSource::Path("/nonexistent.rwkb".to_string()),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, crate::proto::ErrorCode::LoadFailed);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted_and_machine_readable() {
+        let reg = registry();
+        reg.load("zeta", &KbSource::Text("P(C)".to_string()), None)
+            .unwrap();
+        reg.load("alpha", &KbSource::Text("Q(C); R(C)".to_string()), None)
+            .unwrap();
+        let line = reg.list_json();
+        let alpha = line.find(r#""kb":"alpha""#).unwrap();
+        let zeta = line.find(r#""kb":"zeta""#).unwrap();
+        assert!(alpha < zeta, "{line}");
+        assert!(line.contains(r#""statements":2"#), "{line}");
+        assert!(
+            line.starts_with(r#"{"ok":true,"op":"list","kbs":["#),
+            "{line}"
+        );
+    }
+}

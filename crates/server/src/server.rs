@@ -1,0 +1,462 @@
+//! The persistent TCP serving loop.
+//!
+//! ```text
+//!                    ┌────────────────────────── rw-server ──────────────────────────┐
+//!  client A ──TCP──▶ │ conn handler A ─┐                                             │
+//!  client B ──TCP──▶ │ conn handler B ─┼─▶ bounded JobQueue ─▶ worker pool ─▶ engine  │
+//!  client C ──TCP──▶ │ conn handler C ─┘      (reject when      (scoped      + shared │
+//!                    │        ▲                 full:            threads)     cache   │
+//!                    │        └─── one reply channel per job ◀──────┘                 │
+//!                    └───────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Each accepted connection gets a handler thread that reads JSONL
+//! requests in order and writes exactly one response line per request —
+//! per-connection lock-step, so a client's answers can never interleave
+//! or reorder. Control requests (`load`/`unload`/`list`/`stats`/`ping`)
+//! are cheap and answered inline; `query` work is admitted to a
+//! **bounded** queue and picked up by the worker pool. When the queue is
+//! full the request is *rejected immediately* with a structured
+//! `overloaded` error — backpressure instead of unbounded buffering.
+//!
+//! Everything is std-only: `std::net` sockets, `std::thread::scope`
+//! workers (the `batch.rs` pattern, with a queue instead of an atomic
+//! index because work arrives over time), `Mutex`/`Condvar` queue.
+
+use crate::proto::{self, ErrorCode, ProtoError, Request};
+use crate::queue::{JobQueue, PushError};
+use crate::registry::{KbRegistry, LoadedKb};
+use rw_core::{AnswerCache, StageTotals};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Shards of the shared [`AnswerCache`].
+    pub cache_shards: usize,
+    /// Admission-queue capacity: queries beyond this many pending are
+    /// rejected with an `overloaded` error.
+    pub max_queue: usize,
+    /// Honor the `sleep` test op (never set in production; lets tests
+    /// occupy workers deterministically to exercise backpressure).
+    pub test_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            cache_shards: 16,
+            max_queue: 1024,
+            test_ops: false,
+        }
+    }
+}
+
+/// Per-connection request-line cap. A line beyond this is answered with
+/// one `bad-request` error and skipped (the connection resynchronizes
+/// at the next newline); with the fixed-size chunk reads this bounds a
+/// connection's buffering no matter what the client streams. Inline
+/// `load` texts for realistic KBs are kilobytes, so 4 MiB is generous.
+pub const MAX_LINE: usize = 4 << 20;
+
+/// Lifetime counters the `stats` op reports.
+#[derive(Default)]
+struct Totals {
+    answered: u64,
+    failed: u64,
+    stages: Vec<StageTotals>,
+}
+
+enum Work {
+    Query { kb: Arc<LoadedKb>, query: String },
+    Sleep { ms: u64 },
+}
+
+struct Job {
+    work: Work,
+    reply: mpsc::Sender<String>,
+}
+
+/// A bound, resident serving process: KB registry, shared cache, worker
+/// pool and admission queue. [`Server::run`] blocks until a `shutdown`
+/// request (or [`Server::stop`]) arrives.
+pub struct Server {
+    listener: TcpListener,
+    registry: KbRegistry,
+    queue: JobQueue<Job>,
+    /// One slot per worker (the `batch.rs` per-worker-shard pattern):
+    /// the hot path locks only its own uncontended slot; `stats` merges
+    /// them on demand.
+    totals: Vec<Mutex<Totals>>,
+    rejected: AtomicU64,
+    stop: AtomicBool,
+    started: Instant,
+    threads: usize,
+    test_ops: bool,
+}
+
+impl Server {
+    /// Binds the listener and builds the serving state; no thread runs
+    /// until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let threads = match config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        Ok(Server {
+            listener,
+            registry: KbRegistry::new(Arc::new(AnswerCache::with_shards(config.cache_shards))),
+            queue: JobQueue::new(config.max_queue),
+            totals: (0..threads)
+                .map(|_| Mutex::new(Totals::default()))
+                .collect(),
+            rejected: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            threads,
+            test_ops: config.test_ops,
+        })
+    }
+
+    /// The bound address (the actual port when the config asked for 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The KB registry (for preloading before [`Server::run`]).
+    pub fn registry(&self) -> &KbRegistry {
+        &self.registry
+    }
+
+    /// Worker threads the pool will run.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Requests shutdown: the accept loop, handlers and workers wind
+    /// down and [`Server::run`] returns.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves until shutdown. Workers, connection handlers and the
+    /// accept loop all live in one scope, so returning means everything
+    /// is joined.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            for worker in 0..self.threads {
+                scope.spawn(move || self.worker_loop(worker));
+            }
+            while !self.stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || self.handle_connection(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    // Transient accept errors (e.g. a connection reset
+                    // before accept) must not kill the server.
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Workers drain admitted jobs, then exit; handlers notice the
+            // stop flag on their next read timeout.
+            self.queue.close();
+        });
+        Ok(())
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        while let Some(job) = self.queue.pop() {
+            let line = match job.work {
+                Work::Query { kb, query } => {
+                    let result = kb.answer(&query);
+                    {
+                        let mut totals = self.totals[worker].lock().expect("totals lock poisoned");
+                        StageTotals::absorb_result(&mut totals.stages, &result);
+                        match &result {
+                            Ok(_) => totals.answered += 1,
+                            Err(_) => totals.failed += 1,
+                        }
+                    }
+                    crate::json::result_line(&query, &result)
+                }
+                Work::Sleep { ms } => {
+                    // Test-only: occupy this worker slot for a bounded time.
+                    std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+                    r#"{"ok":true,"op":"sleep"}"#.to_string()
+                }
+            };
+            // A vanished requester (disconnected mid-wait) is not an
+            // error; the answer is simply dropped.
+            let _ = job.reply.send(line);
+        }
+    }
+
+    /// Reads request lines until EOF/shutdown, writing one response line
+    /// per request. Raw bytes are decoded lossily so even non-UTF-8
+    /// garbage yields a structured parse error instead of a disconnect.
+    ///
+    /// The loop reads fixed-size chunks and assembles lines itself (a
+    /// `read_until` could grow without bound on a fast newline-free
+    /// stream): per-connection memory is capped at [`MAX_LINE`] + one
+    /// chunk. An oversized line is answered with one `bad-request`
+    /// error, and the connection resynchronizes at the next newline.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_nodelay(true);
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        // One response line per request; `true` asks to close.
+        let mut respond = |response: &str, shutdown: bool| -> bool {
+            writer
+                .write_all(format!("{response}\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+                || shutdown
+        };
+        let mut pending: Vec<u8> = Vec::new();
+        let mut discarding = false; // inside an oversized (already answered) line
+        let mut chunk = [0u8; 8192];
+        'conn: loop {
+            match stream.read(&mut chunk) {
+                // EOF: the client closed its half. A final line without a
+                // trailing newline still deserves its answer.
+                Ok(0) => {
+                    let line = String::from_utf8_lossy(&pending).trim().to_string();
+                    if !discarding && !line.is_empty() {
+                        let (response, _) = self.handle_line(&line);
+                        let _ = respond(&response, false);
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    let mut rest = &chunk[..n];
+                    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+                        let (head, tail) = rest.split_at(pos);
+                        rest = &tail[1..];
+                        if discarding {
+                            // The tail end of an oversized line: its
+                            // error was already sent, just resync.
+                            discarding = false;
+                            continue;
+                        }
+                        pending.extend_from_slice(head);
+                        // The cap applies even when the newline arrives
+                        // in the same chunk as the overflowing tail.
+                        if pending.len() > MAX_LINE {
+                            pending.clear();
+                            let error = ProtoError::bad_request(format!(
+                                "request line exceeds {MAX_LINE} bytes"
+                            ));
+                            if respond(&error.line(), false) {
+                                break 'conn;
+                            }
+                            continue;
+                        }
+                        let line = String::from_utf8_lossy(&pending).trim().to_string();
+                        pending.clear();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let (response, shutdown) = self.handle_line(&line);
+                        if respond(&response, shutdown) {
+                            break 'conn;
+                        }
+                    }
+                    if discarding {
+                        continue;
+                    }
+                    if pending.len() + rest.len() > MAX_LINE {
+                        discarding = true;
+                        pending.clear();
+                        let error = ProtoError::bad_request(format!(
+                            "request line exceeds {MAX_LINE} bytes"
+                        ));
+                        if respond(&error.line(), false) {
+                            break;
+                        }
+                    } else {
+                        pending.extend_from_slice(rest);
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Answers one request line; the bool asks the connection to close
+    /// (shutdown acknowledged).
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        let request = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => return (e.line(), false),
+        };
+        match request {
+            Request::Ping => (r#"{"ok":true,"op":"ping"}"#.to_string(), false),
+            Request::List => (self.registry.list_json(), false),
+            Request::Stats => (self.stats_json(), false),
+            Request::Shutdown => {
+                self.stop();
+                (r#"{"ok":true,"op":"shutdown"}"#.to_string(), true)
+            }
+            Request::Unload { kb } => {
+                if self.registry.unload(&kb) {
+                    (
+                        format!(
+                            r#"{{"ok":true,"op":"unload","kb":"{}"}}"#,
+                            crate::json::escape(&kb)
+                        ),
+                        false,
+                    )
+                } else {
+                    (Self::unknown_kb(&kb).line(), false)
+                }
+            }
+            Request::Load { kb, source, approx } => {
+                match self.registry.load(&kb, &source, approx.as_ref()) {
+                    Ok(loaded) => (
+                        format!(
+                            r#"{{"ok":true,"op":"load","kb":"{}","fingerprint":"{:016x}","statements":{},"approx":{}}}"#,
+                            crate::json::escape(&kb),
+                            loaded.fingerprint,
+                            loaded.kb.conjuncts().len(),
+                            loaded.approx
+                        ),
+                        false,
+                    ),
+                    Err(e) => (e.line(), false),
+                }
+            }
+            Request::Query { kb, query } => {
+                let Some(loaded) = self.registry.get(&kb) else {
+                    return (Self::unknown_kb(&kb).line(), false);
+                };
+                (self.submit(Work::Query { kb: loaded, query }), false)
+            }
+            Request::Sleep { ms } => {
+                if !self.test_ops {
+                    return (
+                        ProtoError::bad_request("`sleep` is a test-only op").line(),
+                        false,
+                    );
+                }
+                (self.submit(Work::Sleep { ms }), false)
+            }
+        }
+    }
+
+    /// Admits work to the queue and waits for the worker's answer; a
+    /// full queue is answered immediately with `overloaded`.
+    fn submit(&self, work: Work) -> String {
+        let (reply, answer) = mpsc::channel();
+        match self.queue.push(Job { work, reply }) {
+            // A lost reply channel means shutdown won the race — tell
+            // the client the truth (`overloaded` would invite retries
+            // against a dying process).
+            Ok(()) => answer.recv().unwrap_or_else(|_| {
+                ProtoError {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server shut down before answering".to_string(),
+                }
+                .line()
+            }),
+            Err(PushError::Full) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                ProtoError {
+                    code: ErrorCode::Overloaded,
+                    message: format!(
+                        "admission queue full ({} pending); retry later",
+                        self.queue.capacity()
+                    ),
+                }
+                .line()
+            }
+            Err(PushError::Closed) => ProtoError {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".to_string(),
+            }
+            .line(),
+        }
+    }
+
+    fn unknown_kb(name: &str) -> ProtoError {
+        ProtoError {
+            code: ErrorCode::UnknownKb,
+            message: format!("no KB named `{name}` is loaded (use the `load` op)"),
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        let cache = self.registry.cache();
+        // Merge the per-worker shards (cold path: only `stats` pays).
+        let mut merged = Totals::default();
+        for slot in &self.totals {
+            let totals = slot.lock().expect("totals lock poisoned");
+            merged.answered += totals.answered;
+            merged.failed += totals.failed;
+            for st in &totals.stages {
+                match merged.stages.iter_mut().find(|t| t.stage == st.stage) {
+                    Some(t) => {
+                        t.answered += st.answered;
+                        t.declined += st.declined;
+                        t.budget_exhausted += st.budget_exhausted;
+                        t.elapsed += st.elapsed;
+                    }
+                    None => merged.stages.push(st.clone()),
+                }
+            }
+        }
+        format!(
+            r#"{{"ok":true,"op":"stats","uptime_us":{},"kbs":{},"queries":{{"answered":{},"failed":{},"rejected":{}}},"cache":{{"hits":{},"misses":{},"entries":{},"shards":{}}},"queue":{{"depth":{},"capacity":{},"workers":{}}},"stages":[{}]}}"#,
+            self.started.elapsed().as_micros(),
+            self.registry.len(),
+            merged.answered,
+            merged.failed,
+            self.rejected.load(Ordering::Relaxed),
+            cache.hits(),
+            cache.misses(),
+            cache.len(),
+            cache.shard_count(),
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.threads,
+            crate::json::stage_totals_json(&merged.stages),
+        )
+    }
+}

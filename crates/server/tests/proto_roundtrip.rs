@@ -1,0 +1,126 @@
+//! Property tests for the wire protocol:
+//!
+//! * **round-trip** — any generated [`Request`] survives
+//!   serialize → parse → serialize with byte-identical wire form (so
+//!   clients and servers can re-emit requests without drift), including
+//!   names and queries full of quotes, backslashes, newlines and
+//!   non-ASCII;
+//! * **malformed input** — arbitrary garbage lines (and targeted
+//!   truncations of valid requests) never panic the parser and always
+//!   yield a structured `bad-request` error whose response line is
+//!   itself valid JSON.
+
+use proptest::prelude::*;
+use rw_server::proto::{parse_request, ApproxParams, KbSource, Request, Value};
+
+/// Characters chosen to stress JSON escaping: quotes, backslashes,
+/// control characters, multi-byte UTF-8, and the protocol's own
+/// delimiters.
+const POOL: &[char] = &[
+    'a', 'b', 'Z', '0', '9', ' ', '_', '-', '.', '/', '"', '\\', '\n', '\t', '\r', '\u{1}', '{',
+    '}', '[', ']', ':', ',', '|', '~', '=', '(', ')', 'é', '∞', '≈', '😀',
+];
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..POOL.len(), 1..24)
+        .prop_map(|idxs| idxs.into_iter().map(|i| POOL[i]).collect())
+}
+
+fn approx() -> impl Strategy<Value = Option<ApproxParams>> {
+    // Optional fields cycle through set/unset; ci takes exactly
+    // representable values so float formatting is not what is under test.
+    (0u8..8, 1u64..u64::MAX, 0u64..u64::MAX, 0usize..4).prop_map(|(mask, samples, seed, ci_i)| {
+        if mask == 0 {
+            return None;
+        }
+        const CIS: &[f64] = &[0.05, 0.125, 0.25, 0.4375];
+        Some(ApproxParams {
+            samples: (mask & 1 != 0).then_some(samples),
+            seed: (mask & 2 != 0).then_some(seed),
+            ci: (mask & 4 != 0).then_some(CIS[ci_i]),
+        })
+    })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::List),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+        (1u64..5000).prop_map(|ms| Request::Sleep { ms }),
+        text().prop_map(|kb| Request::Unload { kb }),
+        (text(), text()).prop_map(|(kb, query)| Request::Query { kb, query }),
+        (text(), text(), any::<bool>(), approx()).prop_map(|(kb, body, is_path, approx)| {
+            Request::Load {
+                kb,
+                source: if is_path {
+                    KbSource::Path(body)
+                } else {
+                    KbSource::Text(body)
+                },
+                approx,
+            }
+        }),
+    ]
+}
+
+/// Arbitrary short byte-salads (as chars from the pool plus raw JSON
+/// punctuation) used as hostile input lines.
+fn garbage() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..POOL.len(), 0..40)
+        .prop_map(|idxs| idxs.into_iter().map(|i| POOL[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_serialize_is_identity(request in request()) {
+        let wire = request.serialize();
+        // The wire form is a single line of valid JSON.
+        prop_assert!(!wire.contains('\n'), "{wire:?}");
+        prop_assert!(Value::parse(&wire).is_ok(), "{wire:?}");
+        let parsed = parse_request(&wire);
+        prop_assert!(parsed.is_ok(), "{wire:?} => {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &request, "{}", wire);
+        prop_assert_eq!(parsed.serialize(), wire);
+    }
+
+    #[test]
+    fn garbage_lines_yield_structured_errors_not_panics(line in garbage()) {
+        if let Err(e) = parse_request(&line) {
+            // Whatever the garbage was, the error response itself must be
+            // one well-formed JSON line a client can parse.
+            let response = e.line();
+            prop_assert!(!response.contains('\n'), "{response:?}");
+            let v = Value::parse(&response);
+            prop_assert!(v.is_ok(), "{line:?} => {response:?}");
+            let v = v.unwrap();
+            prop_assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+            prop_assert!(v.get("error").and_then(Value::as_str).is_some());
+            prop_assert!(v.get("code").and_then(Value::as_str).is_some());
+        }
+        // (The rare garbage string that happens to parse as a request is
+        // fine — the property is "no panic, structured errors".)
+    }
+
+    #[test]
+    fn truncations_of_valid_requests_never_panic(request in request(), cut in 0usize..64) {
+        let wire = request.serialize();
+        // Truncate at an arbitrary char boundary: a torn line (client
+        // died mid-write) must parse-error cleanly, never panic.
+        let boundary = wire
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([wire.len()])
+            .nth(cut % (wire.chars().count() + 1))
+            .unwrap();
+        let torn = &wire[..boundary];
+        match parse_request(torn) {
+            Ok(parsed) => prop_assert_eq!(parsed, request, "only the full line parses"),
+            Err(e) => prop_assert!(Value::parse(&e.line()).is_ok()),
+        }
+    }
+}

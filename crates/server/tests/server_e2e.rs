@@ -1,0 +1,300 @@
+//! End-to-end tests over real TCP connections to an in-process
+//! [`Server`]: the full request surface (ping/load/unload/list/query/
+//! stats/shutdown), structured errors for malformed lines and unknown
+//! KBs, admission-queue backpressure, and per-KB exact vs approximate
+//! sessions.
+
+use rw_server::{Client, Server, ServerConfig, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Binds a server, runs it on a background scoped thread, hands the
+/// test a connected client plus a handle to open more, and shuts down
+/// cleanly afterwards.
+fn with_server<F>(config: ServerConfig, test: F)
+where
+    F: FnOnce(&std::net::SocketAddr),
+{
+    let server = Arc::new(Server::bind(config).expect("bind"));
+    let addr = server.local_addr().expect("local addr");
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+    test(&addr);
+    // Belt and braces: the test may already have sent a shutdown op.
+    server.stop();
+    runner.join().expect("server thread panicked");
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+const MED_KB: &str = "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Jaun(Tom)";
+
+fn load_line(name: &str) -> String {
+    format!(r#"{{"op":"load","kb":"{name}","text":"{MED_KB}"}}"#)
+}
+
+#[test]
+fn full_request_surface_over_tcp() {
+    with_server(config(), |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(
+            c.request_line(r#"{"op":"ping"}"#).unwrap(),
+            r#"{"ok":true,"op":"ping"}"#
+        );
+        // Load, list, query, stats, unload.
+        let loaded = c.request_line(&load_line("med")).unwrap();
+        assert!(
+            loaded.starts_with(r#"{"ok":true,"op":"load","kb":"med""#),
+            "{loaded}"
+        );
+        assert!(loaded.contains(r#""statements":3"#), "{loaded}");
+        assert!(loaded.contains(r#""approx":false"#), "{loaded}");
+
+        let list = c.request_line(r#"{"op":"list"}"#).unwrap();
+        assert!(list.contains(r#""kb":"med""#), "{list}");
+
+        let answer = c
+            .request_line(r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#)
+            .unwrap();
+        assert!(answer.contains(r#""ok":true"#), "{answer}");
+        assert!(answer.contains(r#""value":0.8"#), "{answer}");
+        assert!(
+            answer.contains(r#""provenance":"direct inference"#),
+            "{answer}"
+        );
+
+        // A repeat is served from the shared cache.
+        let again = c
+            .request_line(r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#)
+            .unwrap();
+        assert!(again.contains(r#""cache_hit":true"#), "{again}");
+
+        let stats = c.request_line(r#"{"op":"stats"}"#).unwrap();
+        let v = Value::parse(&stats).expect("stats is valid JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{stats}");
+        let queries = v.get("queries").expect("queries object");
+        assert_eq!(queries.get("answered").and_then(Value::as_u64), Some(2));
+        assert_eq!(queries.get("failed").and_then(Value::as_u64), Some(0));
+        let cache = v.get("cache").expect("cache object");
+        assert_eq!(
+            cache.get("hits").and_then(Value::as_u64),
+            Some(1),
+            "{stats}"
+        );
+        // Both the pipeline stage and the synthetic cache stage appear in
+        // the lifetime totals (in first-seen order).
+        assert!(
+            stats.contains(r#"{"stage":"theorems","answered":1"#),
+            "{stats}"
+        );
+        assert!(
+            stats.contains(r#"{"stage":"cache","answered":1"#),
+            "{stats}"
+        );
+        assert!(stats.contains(r#""uptime_us":"#), "{stats}");
+
+        let unloaded = c.request_line(r#"{"op":"unload","kb":"med"}"#).unwrap();
+        assert!(unloaded.contains(r#""ok":true"#), "{unloaded}");
+        let gone = c
+            .request_line(r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#)
+            .unwrap();
+        assert!(gone.contains(r#""code":"unknown-kb""#), "{gone}");
+
+        assert_eq!(
+            c.request_line(r#"{"op":"shutdown"}"#).unwrap(),
+            r#"{"ok":true,"op":"shutdown"}"#
+        );
+    });
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_without_disconnect() {
+    with_server(config(), |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        for bad in [
+            "this is not json",
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"query","kb":"x"}"#,
+            r#"{"unclosed": ["#,
+            "[1,2,3]",
+            "{}",
+        ] {
+            let response = c.request_line(bad).unwrap();
+            assert!(
+                response.starts_with(r#"{"ok":false,"error":""#),
+                "{bad} => {response}"
+            );
+            assert!(response.contains(r#""code":"bad-request""#), "{response}");
+        }
+        // The connection survived all of it.
+        assert_eq!(
+            c.request_line(r#"{"op":"ping"}"#).unwrap(),
+            r#"{"ok":true,"op":"ping"}"#
+        );
+        // A query parse error keeps the batch-compatible error shape
+        // (query echoed, no code field) and the connection open.
+        c.request_line(&load_line("med")).unwrap();
+        let bad_query = c
+            .request_line(r#"{"op":"query","kb":"med","query":"Hep("}"#)
+            .unwrap();
+        assert!(
+            bad_query.starts_with(r#"{"query":"Hep(","ok":false,"error":""#),
+            "{bad_query}"
+        );
+        assert_eq!(
+            c.request_line(r#"{"op":"ping"}"#).unwrap(),
+            r#"{"ok":true,"op":"ping"}"#
+        );
+    });
+}
+
+#[test]
+fn overload_is_rejected_with_backpressure_not_buffering() {
+    // One worker, one queue slot, test ops on: occupy the worker and
+    // the slot with sleeps, then watch a third request bounce.
+    with_server(
+        ServerConfig {
+            threads: 1,
+            max_queue: 1,
+            test_ops: true,
+            ..ServerConfig::default()
+        },
+        |addr| {
+            let hold = |addr: std::net::SocketAddr| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.request_line(r#"{"op":"sleep","ms":600}"#).unwrap()
+                })
+            };
+            let a = hold(*addr); // occupies the single worker
+            std::thread::sleep(Duration::from_millis(150));
+            let b = hold(*addr); // occupies the single queue slot
+            std::thread::sleep(Duration::from_millis(150));
+
+            let mut c = Client::connect(*addr).unwrap();
+            c.request_line(&load_line("med")).unwrap(); // control op: not queued
+            let rejected = c
+                .request_line(r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#)
+                .unwrap();
+            assert!(rejected.contains(r#""code":"overloaded""#), "{rejected}");
+            assert!(rejected.contains("queue full"), "{rejected}");
+
+            // The held requests complete normally; afterwards the same
+            // query is admitted and answered.
+            assert!(a.join().unwrap().contains(r#""ok":true"#));
+            assert!(b.join().unwrap().contains(r#""ok":true"#));
+            let answered = c
+                .request_line(r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#)
+                .unwrap();
+            assert!(answered.contains(r#""value":0.8"#), "{answered}");
+
+            let stats = c.request_line(r#"{"op":"stats"}"#).unwrap();
+            let v = Value::parse(&stats).unwrap();
+            let queries = v.get("queries").unwrap();
+            assert_eq!(
+                queries.get("rejected").and_then(Value::as_u64),
+                Some(1),
+                "{stats}"
+            );
+        },
+    );
+}
+
+#[test]
+fn oversized_lines_are_answered_and_resynced_not_buffered() {
+    with_server(config(), |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        // Lines past MAX_LINE get exactly one structured error each and
+        // leave the connection usable — whether the overflow completes
+        // with a newline (barely over) or streams far past the cap
+        // (trips mid-line, then resynchronizes at the newline).
+        for extra in [128, rw_server::MAX_LINE] {
+            let huge = "x".repeat(rw_server::MAX_LINE + extra);
+            let response = c.request_line(&huge).unwrap();
+            assert!(response.contains(r#""code":"bad-request""#), "{response}");
+            assert!(response.contains("exceeds"), "{response}");
+            // Resynchronized: the next request works.
+            assert_eq!(
+                c.request_line(r#"{"op":"ping"}"#).unwrap(),
+                r#"{"ok":true,"op":"ping"}"#
+            );
+        }
+    });
+}
+
+#[test]
+fn sleep_op_is_refused_without_test_ops() {
+    with_server(config(), |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        let response = c.request_line(r#"{"op":"sleep","ms":1}"#).unwrap();
+        assert!(response.contains(r#""code":"bad-request""#), "{response}");
+        assert!(response.contains("test-only"), "{response}");
+    });
+}
+
+#[test]
+fn exact_and_approx_sessions_coexist_per_loaded_kb() {
+    with_server(config(), |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        c.request_line(&load_line("exact")).unwrap();
+        let loaded = c
+            .request_line(&format!(
+                r#"{{"op":"load","kb":"mc","text":"{MED_KB}","approx":{{"seed":42,"samples":32768}}}}"#
+            ))
+            .unwrap();
+        assert!(loaded.contains(r#""approx":true"#), "{loaded}");
+
+        // The trap conjunction: sampled on the approx KB...
+        let sampled = c
+            .request_line(r#"{"op":"query","kb":"mc","query":"Hep(Eric) & Hep(Tom)"}"#)
+            .unwrap();
+        assert!(sampled.contains(r#""type":"approximate""#), "{sampled}");
+        assert!(sampled.contains(r#""mc":{"drawn":"#), "{sampled}");
+        // ...and the exact KB answers a theorem query exactly, with no
+        // cross-talk from the sampled keyspace.
+        let exact = c
+            .request_line(r#"{"op":"query","kb":"exact","query":"Hep(Eric)"}"#)
+            .unwrap();
+        assert!(exact.contains(r#""type":"point","value":0.8"#), "{exact}");
+        assert!(exact.contains(r#""cache_hit":false"#), "{exact}");
+
+        // Same seed, same KB: reloading under another name and re-asking
+        // hits the shared cache (sampling is deterministic, so the entry
+        // is reusable).
+        c.request_line(&format!(
+            r#"{{"op":"load","kb":"mc2","text":"{MED_KB}","approx":{{"seed":42,"samples":32768}}}}"#
+        ))
+        .unwrap();
+        let again = c
+            .request_line(r#"{"op":"query","kb":"mc2","query":"Hep(Eric) & Hep(Tom)"}"#)
+            .unwrap();
+        assert!(again.contains(r#""cache_hit":true"#), "{again}");
+    });
+}
+
+#[test]
+fn shutdown_request_stops_the_whole_server() {
+    let server = Server::bind(config()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let runner = std::thread::spawn(move || {
+        server.run().expect("run");
+        // Returning from run() drops the Server — and its listener.
+    });
+    let mut c = Client::connect(addr).unwrap();
+    assert!(c
+        .request_line(r#"{"op":"shutdown"}"#)
+        .unwrap()
+        .contains("shutdown"));
+    // run() returns on its own — no external stop() needed — and once
+    // the listener is dropped new connections are refused.
+    runner.join().expect("join");
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(Client::connect(addr).is_err());
+}

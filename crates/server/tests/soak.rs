@@ -1,0 +1,155 @@
+//! Concurrency soak: 8 clients × 100 mixed queries against one server.
+//!
+//! What a concurrent serving layer must never do: interleave bytes of
+//! two responses on one connection, reorder a client's answers, or give
+//! two clients different beliefs for the same query. Every query in the
+//! mix is theorem-answerable (microseconds each), so the soak exercises
+//! contention — shared cache, admission queue, worker pool — not solver
+//! runtime, and finishes quickly even in debug builds (the CI job wraps
+//! it in a hard timeout all the same).
+
+use rw_server::{Client, Server, ServerConfig, Value};
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 100;
+
+/// Query mix with the belief each one must produce. Several surface
+/// forms share a canonical form, so the shared cache sees plenty of
+/// cross-client hits.
+const MIX: &[(&str, f64)] = &[
+    ("Hep(Eric)", 0.8),
+    ("!Hep(Eric)", 0.2),
+    ("Over60(Eric)", 0.4),
+    // The independence product is compared bit-exactly, so spell it as
+    // the product (0.8 × 0.4 ≠ the literal 0.32 in binary).
+    ("Hep(Eric) & Over60(Eric)", 0.8 * 0.4),
+    ("Over60(Eric) & Hep(Eric)", 0.8 * 0.4),
+    ("Jaun(Eric)", 1.0),
+    ("!!Jaun(Eric)", 1.0),
+    ("Patient(Eric) & Jaun(Eric)", 1.0),
+];
+
+const KB: &str = "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); \
+                  ||Over60(x) | Patient(x)||_x ~=_2 0.4; Patient(Eric)";
+
+#[test]
+fn eight_clients_hammering_one_server_stay_consistent() {
+    let server = Arc::new(
+        Server::bind(ServerConfig {
+            threads: 4,
+            cache_shards: 8,
+            max_queue: 256,
+            ..ServerConfig::default()
+        })
+        .expect("bind"),
+    );
+    server
+        .registry()
+        .insert("soak", rw_server::parse_kb(KB).expect("KB parses"));
+    let addr = server.local_addr().expect("addr");
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+
+    let failures: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client_id| {
+                scope.spawn(move || -> Vec<String> {
+                    let mut problems = Vec::new();
+                    let mut c = Client::connect(addr).expect("connect");
+                    for i in 0..QUERIES_PER_CLIENT {
+                        // Each client walks the mix at its own stride, so
+                        // the interleaving across clients varies.
+                        let (query, expect) = MIX[(i * (client_id + 1) + client_id) % MIX.len()];
+                        let line = format!(
+                            r#"{{"op":"query","kb":"soak","query":"{}"}}"#,
+                            query.replace('"', "\\\"")
+                        );
+                        let response = match c.request_line(&line) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                problems.push(format!("client {client_id} i={i}: io {e}"));
+                                break;
+                            }
+                        };
+                        // 1. Never corrupt: every line parses as one JSON
+                        //    object (torn/interleaved writes would not).
+                        let parsed = match Value::parse(&response) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                problems.push(format!(
+                                    "client {client_id} i={i}: corrupt line {response:?}: {e}"
+                                ));
+                                continue;
+                            }
+                        };
+                        // 2. Never reorder: the echoed query is the one
+                        //    this client just asked.
+                        if parsed.get("query").and_then(Value::as_str) != Some(query) {
+                            problems.push(format!(
+                                "client {client_id} i={i}: answer for wrong query: {response}"
+                            ));
+                            continue;
+                        }
+                        // 3. Deterministic answers: the belief is exactly
+                        //    the expected point value, every time, for
+                        //    every client — cache hit or not.
+                        let value = parsed
+                            .get("belief")
+                            .and_then(|b| b.get("value"))
+                            .and_then(Value::as_f64);
+                        if value != Some(expect) {
+                            problems
+                                .push(format!("client {client_id} i={i}: {query} => {response}"));
+                        }
+                    }
+                    problems
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    assert!(
+        failures.is_empty(),
+        "{} problems:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+
+    // The shared cache must have been doing its job across clients: 800
+    // queries over 7 canonical forms leave >0 (in practice, hundreds of)
+    // hits, and the totals add up.
+    let mut c = Client::connect(addr).expect("connect for stats");
+    let stats = c.request_line(r#"{"op":"stats"}"#).expect("stats");
+    let v = Value::parse(&stats).expect("stats parses");
+    let answered = v
+        .get("queries")
+        .and_then(|q| q.get("answered"))
+        .and_then(Value::as_u64)
+        .expect("answered");
+    assert_eq!(answered, (CLIENTS * QUERIES_PER_CLIENT) as u64, "{stats}");
+    assert_eq!(
+        v.get("queries")
+            .and_then(|q| q.get("failed"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "{stats}"
+    );
+    let hits = v
+        .get("cache")
+        .and_then(|cache| cache.get("hits"))
+        .and_then(Value::as_u64)
+        .expect("hits");
+    assert!(hits > 0, "shared cache reported no hits: {stats}");
+
+    assert!(c
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown")
+        .contains("shutdown"));
+    runner.join().expect("server thread");
+}

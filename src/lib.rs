@@ -32,6 +32,7 @@ pub use rw_logic as logic;
 pub use rw_maxent as maxent;
 pub use rw_propensity as propensity;
 pub use rw_refclass as refclass;
+pub use rw_server as server;
 pub use rw_temporal as temporal;
 pub use rw_unary as unary;
 pub use rw_util as util;
