@@ -124,9 +124,10 @@ pub struct Session {
     options: SessionOptions,
     engine: RandomWorlds,
     /// The engine the parallel batch executor uses: identical to
-    /// `engine` except the sampler runs single-threaded per query (the
-    /// batch pool provides the parallelism). `None` when the distinction
-    /// cannot matter (no `--approx`, or a streamed batch).
+    /// `engine` except the sampler and the exact counting stage run
+    /// single-threaded per query (the batch pool provides the
+    /// parallelism). `None` when the distinction cannot matter
+    /// (`--threads 1`, where both engines would be identical).
     batch_engine: Option<RandomWorlds>,
     /// The KB's canonical fingerprint, computed once at load when the
     /// session caches — re-fingerprinting an unchanging KB per query
@@ -140,22 +141,27 @@ impl Session {
         // The session never reconfigures its engine, so the default
         // cascade is pinned once here and shared by every query instead
         // of being rebuilt per call.
-        let pinned = |mc: Option<rw_core::McConfig>| {
+        let pinned = |mc: Option<rw_core::McConfig>, enum_threads: usize| {
             let mut engine = RandomWorlds::new();
             engine.approx = mc;
+            engine.enum_threads = enum_threads;
             let stages = engine.default_stages();
             engine.with_solvers(stages)
         };
         let mc = options.mc_config();
-        let mut engine = pinned(mc.clone());
+        // `--threads` drives every intra-query worker pool on the
+        // interactive path: the sampler (with `--approx`) and the exact
+        // counting stage's branch-and-count workers alike.
+        let mut engine = pinned(mc.clone(), options.threads);
         // The parallel batch executor already spreads queries across
-        // `threads` workers; nesting a `threads`-wide sampler pool inside
-        // each would oversubscribe the cores (threads² with both knobs
-        // up). Batches therefore run the sampler single-threaded — which
-        // changes nothing about the answers, only the per-query
-        // wall time.
-        let mut batch_engine = (options.approx && options.threads != 1)
-            .then(|| pinned(mc.map(|c| rw_core::McConfig { threads: 1, ..c })));
+        // `threads` workers; nesting a `threads`-wide sampler or
+        // counting pool inside each would oversubscribe the cores
+        // (threads² with both knobs up). Batches therefore run both
+        // single-threaded per query — which changes nothing about the
+        // answers (both pools are thread-count deterministic), only the
+        // per-query wall time.
+        let mut batch_engine = (options.threads != 1)
+            .then(|| pinned(mc.map(|c| rw_core::McConfig { threads: 1, ..c }), 1));
         let mut kb_fingerprint = None;
         if options.cache {
             let cache = Arc::new(AnswerCache::new());

@@ -156,8 +156,23 @@ pub enum Provenance {
     MaxEnt,
     /// Exact unary counting along a `(τ, N)` diagonal with extrapolation.
     UnaryExact { max_n: usize },
-    /// Brute-force enumeration along a `(τ, N)` diagonal.
-    Enumeration { max_n: usize },
+    /// Exact world counting along a `(τ, N)` diagonal — compiled
+    /// branch-and-count by default, brute-force odometer enumeration in
+    /// oracle mode.
+    Enumeration {
+        /// The largest domain size the counts reached.
+        max_n: usize,
+        /// Search nodes visited computing the *numerator* counts
+        /// (`#(KB ∧ query)` at both diagonal points). Deliberately
+        /// excludes denominator work, which a warm
+        /// [`crate::cache::DenomCache`] elides — numerator effort is the
+        /// same on every run, so traces stay deterministic. `0` in
+        /// oracle (odometer) mode.
+        visited: u64,
+        /// Visited nodes that branched over a slot (the rest were
+        /// decided by propagation or pruning). `0` in oracle mode.
+        branched: u64,
+    },
     /// Direct entailment of asserted ground facts: every KB-world agrees,
     /// so the degree of belief is 0 or 1 outright (Def 4.2).
     Entailed,
@@ -194,7 +209,11 @@ impl fmt::Display for Provenance {
             Provenance::NestedDefault => write!(f, "nested-default chain (Ex 5.14)"),
             Provenance::MaxEnt => write!(f, "maximum entropy (§6)"),
             Provenance::UnaryExact { max_n } => write!(f, "exact unary counting (N ≤ {max_n})"),
-            Provenance::Enumeration { max_n } => write!(f, "world enumeration (N ≤ {max_n})"),
+            // The rendered form deliberately omits the effort counters:
+            // provenance strings are stable serving output, and the
+            // counters are surfaced structurally (the JSON `enum`
+            // object) instead.
+            Provenance::Enumeration { max_n, .. } => write!(f, "world enumeration (N ≤ {max_n})"),
             Provenance::Entailed => write!(f, "asserted ground fact (entailment)"),
             Provenance::MonteCarlo {
                 drawn,

@@ -171,6 +171,102 @@ impl Default for AnswerCache {
     }
 }
 
+/// The key of one denominator entry: which world count it is.
+///
+/// `#worlds_N^τ(KB)` is a pure function of the knowledge base *content*
+/// (its canonical fingerprint), the **vocabulary shape** (each interned
+/// symbol contributes slots whether or not the KB mentions it — queries
+/// interning fresh constants grow the space by a factor of `N` each),
+/// the domain size and the tolerance. Engine configuration is
+/// deliberately absent: budgets decide whether a count *finishes*, never
+/// what it equals, so every engine sharing a cache agrees on the value.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct DenomKey {
+    /// [`rw_logic::canon::kb_fingerprint`] of the knowledge base.
+    pub kb_fingerprint: u64,
+    /// A fingerprint of the vocabulary shape (predicate/function arities
+    /// in interning order plus the constant count).
+    pub vocab_fingerprint: u64,
+    /// The domain size `N`.
+    pub n: usize,
+    /// The uniform tolerance `τ` as `(numerator, denominator)`.
+    pub tau: (i128, i128),
+    /// The visited-node budget the count ran under. The *value* of a
+    /// count is budget-independent, but whether it **finishes** is not —
+    /// and the counting stage's domain-size scan reacts to failures. A
+    /// budget-free key would let an entry computed under a large budget
+    /// rescue a smaller-budget engine's scan past where a cold run
+    /// stops, making answers depend on cache warmth. Keyed by budget, a
+    /// hit only ever replaces a count that would have succeeded anyway.
+    pub budget: u64,
+}
+
+/// A small shared cache of `#worlds_N^τ(KB)` denominator counts.
+///
+/// Definition 4.2 divides every query's numerator by the *same*
+/// denominator; a τ-diagonal sweep answering many queries against one KB
+/// recomputes it per query unless cached. Only **successful** counts are
+/// stored (a count that fit one budget is valid under every budget), so
+/// a hit can change how fast an answer arrives but never what it is.
+///
+/// ```
+/// use rw_core::cache::{DenomCache, DenomKey};
+///
+/// let cache = DenomCache::new();
+/// let key = DenomKey {
+///     kb_fingerprint: 0xfeed,
+///     vocab_fingerprint: 0xbee,
+///     n: 4,
+///     tau: (1, 4),
+///     budget: 1 << 24,
+/// };
+/// assert_eq!(cache.get(&key), None);
+/// cache.insert(key.clone(), 196_608);
+/// assert_eq!(cache.get(&key), Some(196_608));
+/// ```
+#[derive(Debug, Default)]
+pub struct DenomCache {
+    entries: Mutex<HashMap<DenomKey, u128>>,
+}
+
+impl DenomCache {
+    /// An empty denominator cache.
+    pub fn new() -> DenomCache {
+        DenomCache::default()
+    }
+
+    /// Looks up a cached world count.
+    pub fn get(&self, key: &DenomKey) -> Option<u128> {
+        self.entries
+            .lock()
+            .expect("denominator cache poisoned")
+            .get(key)
+            .copied()
+    }
+
+    /// Stores a successfully computed world count. Concurrent inserts of
+    /// one key are benign: exact counting is deterministic.
+    pub fn insert(&self, key: DenomKey, count: u128) {
+        self.entries
+            .lock()
+            .expect("denominator cache poisoned")
+            .insert(key, count);
+    }
+
+    /// Number of cached denominators.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("denominator cache poisoned")
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

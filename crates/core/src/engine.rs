@@ -3,7 +3,7 @@
 //! cache, and full per-query traces.
 
 use crate::belief::{Belief, Provenance};
-use crate::cache::{AnswerCache, CachedAnswer};
+use crate::cache::{AnswerCache, CachedAnswer, DenomCache};
 use crate::solver::{Budget, Diagonal, SolverOutcome, Stage, StageStatus, Trace};
 use crate::solvers::{
     EnumerationDiagonalSolver, MaxEntSolver, MonteCarloSolver, TheoremSolver, UnaryDiagonalSolver,
@@ -32,8 +32,24 @@ pub struct RandomWorlds {
     pub sweep: SweepConfig,
     /// Budget for exact unary profile counting.
     pub unary_max_profiles: u128,
-    /// Budget for brute-force world enumeration.
+    /// Budget for the exact counting stage. With [`Self::enum_compiled`]
+    /// set (the default) this bounds *visited search nodes* of the
+    /// branch-and-count engine — which prunes and multiplies out free
+    /// slots, so its reach in domain size and vocabulary vastly exceeds
+    /// the same number of blindly enumerated interpretations. In oracle
+    /// mode it bounds interpretations, as it historically did.
     pub enum_max_worlds: u128,
+    /// Use the compiled branch-and-count engine for the exact counting
+    /// stage (default `true`). `false` restores the naive odometer
+    /// oracle. Folded into the cache keyspace: the two modes can select
+    /// different diagonal points and so different (equally exact)
+    /// extrapolations.
+    pub enum_compiled: bool,
+    /// Worker threads for compiled counting (0 = one per core). Counting
+    /// is chunk-deterministic, so — like the sampler's worker count —
+    /// this never affects an answer and is *not* part of the cache
+    /// keyspace.
+    pub enum_threads: usize,
     /// The `(τ, N)` diagonal used by the exact finite-`N` stages (and, as
     /// the `N`-sweep, by the Monte-Carlo stage when one is enabled).
     pub diagonal: Diagonal,
@@ -50,6 +66,12 @@ pub struct RandomWorlds {
     /// An answer cache installed by [`Self::with_cache`], consulted before
     /// the pipeline runs (and shared with batch workers).
     cache: Option<Arc<AnswerCache>>,
+    /// The shared `#worlds_N^τ(KB)` denominator cache for the exact
+    /// counting stage: one count per `(KB, vocabulary shape, N, τ)`
+    /// sweep point instead of one per query. Always on — world counts
+    /// are pure functions of their key, so sharing (including across
+    /// engine clones in batch workers) can never serve a wrong value.
+    denom_cache: Arc<DenomCache>,
 }
 
 impl RandomWorlds {
@@ -60,10 +82,13 @@ impl RandomWorlds {
             sweep: SweepConfig::default(),
             unary_max_profiles: 20_000_000,
             enum_max_worlds: 1 << 24,
+            enum_compiled: true,
+            enum_threads: 1,
             diagonal: Diagonal::default(),
             approx: None,
             custom: None,
             cache: None,
+            denom_cache: Arc::new(DenomCache::new()),
         }
     }
 
@@ -167,7 +192,12 @@ impl RandomWorlds {
             Budget::counting(self.unary_max_profiles),
         ));
         stages.push(Stage::budgeted(
-            Box::new(EnumerationDiagonalSolver::new(self.diagonal.clone())),
+            Box::new(EnumerationDiagonalSolver {
+                diagonal: self.diagonal.clone(),
+                compiled: self.enum_compiled,
+                threads: self.enum_threads,
+                denom_cache: Some(Arc::clone(&self.denom_cache)),
+            }),
             Budget::counting(self.enum_max_worlds),
         ));
         stages
@@ -199,10 +229,14 @@ impl RandomWorlds {
             src.push_str(&format!("#{};", s.budget.max_count));
         }
         src.push_str(&format!(
-            "|{:?}|{}|{}|{:?}|{:?}",
+            "|{:?}|{}|{}|{}|{:?}|{:?}",
             self.sweep,
             self.unary_max_profiles,
             self.enum_max_worlds,
+            // The counting mode selects diagonal points and so answers;
+            // `enum_threads` is excluded like the sampler's worker count
+            // (counting is chunk-deterministic at any thread count).
+            self.enum_compiled,
             self.diagonal,
             // Only the sampler fields that can affect an answer — worker
             // count is excluded, so sessions differing only in threads

@@ -23,8 +23,14 @@
 //! 3. [`solvers::UnaryDiagonalSolver`] — exact unary profile counting
 //!    along a [`Diagonal`] of `(τ_k ↓ 0, N_k ↑ ∞)` points with Richardson
 //!    extrapolation.
-//! 4. [`solvers::EnumerationDiagonalSolver`] — brute-force world
-//!    enumeration at tiny `N`, the completeness backstop.
+//! 4. [`solvers::EnumerationDiagonalSolver`] — exact world counting at
+//!    small `N`, the completeness backstop. By default it runs the
+//!    compiled branch-and-count engine (`rw_worlds::count`): formulas
+//!    are lowered into slot programs and counted by pruned search with
+//!    free-slot multiplication, sharing `#worlds(KB)` denominators
+//!    through a [`cache::DenomCache`] — orders of magnitude faster than
+//!    the blind odometer enumeration it replaced (which survives as the
+//!    cross-check oracle behind `compiled: false`).
 //!
 //! Enabling approximate inference ([`RandomWorlds::with_approx`], or the
 //! `approx` field) inserts [`solvers::MonteCarloSolver`] between the
@@ -70,7 +76,7 @@ pub mod theorems;
 
 pub use batch::{BatchOptions, BatchReport, BatchRun, StageTotals};
 pub use belief::{Belief, Provenance};
-pub use cache::{AnswerCache, CachedAnswer};
+pub use cache::{AnswerCache, CachedAnswer, DenomCache, DenomKey};
 pub use engine::{BeliefResult, EngineError, RandomWorlds, Response};
 pub use solver::{
     Budget, Diagonal, Recurse, Solver, SolverOutcome, Stage, StageStatus, StageTrace, Trace,

@@ -9,12 +9,14 @@
 //! [`crate::RandomWorlds::with_solvers`].
 
 use crate::belief::{Belief, Provenance};
+use crate::cache::{DenomCache, DenomKey};
 use crate::solver::{Budget, Diagonal, Recurse, Solver, SolverOutcome};
 use crate::theorems;
 use rw_logic::ast::Formula;
 use rw_logic::{KnowledgeBase, Tolerances};
 use rw_maxent::{LimitOutcome, MaxentError, SweepConfig};
 use rw_worlds::mc::{self, McConfig};
+use std::sync::Arc;
 // The diagonal-extrapolation shape is shared with the Monte-Carlo sweep;
 // the single implementation lives in `rw_worlds::mc::stats`.
 use rw_worlds::mc::stats::extrapolate;
@@ -267,37 +269,265 @@ impl Solver for UnaryDiagonalSolver {
     }
 }
 
-/// Stage 4: brute-force world enumeration along the diagonal (tiny `N`).
+/// Stage 4: exact world counting along the diagonal (small `N`).
 ///
-/// The last resort for non-unary KBs: enumerate every interpretation at
-/// the two largest feasible domain sizes and extrapolate the `O(1/N)`
-/// error term. Doubly exponential, so the budget binds almost
-/// immediately — but it is complete on the sizes it can reach.
-#[derive(Clone, Debug, Default)]
+/// The last resort for non-unary KBs: compute the Definition 4.2 ratio
+/// `#(KB ∧ query) / #KB` exactly at the two largest reachable domain
+/// sizes and extrapolate the `O(1/N)` error term.
+///
+/// By default the counts come from the **compiled branch-and-count**
+/// engine ([`rw_worlds::count`]): the KB and query are lowered once per
+/// `(query, N)` into slot programs and counted by pruned search with
+/// free-slot multiplication, so the stage [`Budget`] bounds *visited
+/// search nodes* rather than interpretations — reaching domain sizes and
+/// vocabularies (several binary predicates, functions) that blind
+/// odometer enumeration never could. The `#KB` denominator is shared
+/// across queries through an optional [`DenomCache`]. Counting is
+/// bit-deterministic at any [`Self::threads`] count.
+///
+/// Setting [`Self::compiled`] to `false` restores the historical
+/// odometer path (`for_each_world`), kept as the oracle the compiled
+/// engine is cross-checked against; there the budget bounds
+/// interpretations, as before.
+#[derive(Clone, Debug)]
 pub struct EnumerationDiagonalSolver {
-    /// The diagonal whose finest tolerance the enumeration evaluates at.
+    /// The diagonal whose finest tolerance the counts evaluate at.
     pub diagonal: Diagonal,
+    /// Use the compiled branch-and-count engine (default). `false`
+    /// selects the naive odometer oracle.
+    pub compiled: bool,
+    /// Worker threads for compiled counting (0 = one per core). Never
+    /// affects an answer or its trace counters — counting is
+    /// chunk-deterministic — so it is excluded from cache fingerprints.
+    pub threads: usize,
+    /// Shared cache of `#worlds_N^τ(KB)` denominators, so a sweep point's
+    /// denominator is counted once per KB instead of once per query.
+    pub denom_cache: Option<Arc<DenomCache>>,
 }
+
+impl Default for EnumerationDiagonalSolver {
+    fn default() -> EnumerationDiagonalSolver {
+        EnumerationDiagonalSolver {
+            diagonal: Diagonal::default(),
+            compiled: true,
+            threads: 1,
+            denom_cache: None,
+        }
+    }
+}
+
+/// The largest domain size the compiled scan will attempt. The rising-N
+/// scan stops earlier when the growth prediction says the budget would
+/// not survive the next point.
+const MAX_COMPILED_N: usize = 8;
 
 impl EnumerationDiagonalSolver {
-    /// An enumeration stage over the given diagonal.
+    /// A counting stage over the given diagonal, with the compiled
+    /// engine enabled and no shared denominator cache.
     pub fn new(diagonal: Diagonal) -> EnumerationDiagonalSolver {
-        EnumerationDiagonalSolver { diagonal }
-    }
-}
-
-impl Solver for EnumerationDiagonalSolver {
-    fn name(&self) -> &str {
-        "enumeration"
+        EnumerationDiagonalSolver {
+            diagonal,
+            ..EnumerationDiagonalSolver::default()
+        }
     }
 
-    fn solve(
+    /// Builder: attach a shared denominator cache.
+    pub fn with_denom_cache(mut self, cache: Arc<DenomCache>) -> EnumerationDiagonalSolver {
+        self.denom_cache = Some(cache);
+        self
+    }
+
+    /// One `(value, numerator-effort)` diagonal point at domain size `n`,
+    /// or the counting error that stopped it. `Ok(None)` means the KB is
+    /// unsatisfiable at this size (the degree of belief is undefined
+    /// there — Definition 4.2).
+    ///
+    /// The numerator runs first under the (per-`N` laddered)
+    /// `num_budget`; the denominator runs under the *full stage budget*
+    /// and is shared through the [`DenomCache`]. Keeping the
+    /// denominator's budget fixed — and part of its cache key — makes a
+    /// point's outcome independent of cache warmth: a hit can only ever
+    /// replace a count that would have succeeded anyway.
+    #[allow(clippy::too_many_arguments)]
+    fn compiled_point(
+        &self,
+        kb: &KnowledgeBase,
+        n: usize,
+        tol: &Tolerances,
+        tau: rw_util::Rat,
+        kb_formula: &Formula,
+        num_prog: &rw_worlds::Program,
+        num_budget: u64,
+        full_budget: u64,
+        fingerprints: Option<(u64, u64)>,
+    ) -> Result<(Option<f64>, rw_worlds::CountOutcome), rw_worlds::CountError> {
+        let numerator = rw_worlds::count_models(
+            num_prog,
+            &rw_worlds::CountOptions {
+                max_visited: num_budget,
+                threads: self.threads,
+            },
+        )?;
+        let key = fingerprints.map(|(kb_fp, vocab_fp)| DenomKey {
+            kb_fingerprint: kb_fp,
+            vocab_fingerprint: vocab_fp,
+            n,
+            tau: (tau.num(), tau.den()),
+            budget: full_budget,
+        });
+        let cached = key
+            .as_ref()
+            .and_then(|k| self.denom_cache.as_ref().and_then(|c| c.get(k)));
+        let denominator = match cached {
+            Some(count) => count,
+            None => {
+                let out = rw_worlds::count_formula_models(
+                    kb.vocab(),
+                    n,
+                    tol,
+                    kb_formula,
+                    &rw_worlds::CountOptions {
+                        max_visited: full_budget,
+                        threads: self.threads,
+                    },
+                )?;
+                if let (Some(k), Some(cache)) = (key, self.denom_cache.as_ref()) {
+                    cache.insert(k, out.count);
+                }
+                out.count
+            }
+        };
+        let value = if denominator == 0 {
+            None
+        } else {
+            Some(numerator.count as f64 / denominator as f64)
+        };
+        Ok((value, numerator))
+    }
+
+    fn solve_compiled(
         &self,
         kb: &KnowledgeBase,
         query: &Formula,
         budget: &Budget,
-        _recurse: &Recurse<'_>,
     ) -> SolverOutcome {
+        let tau = self.diagonal.finest_tau();
+        let tol = Tolerances::uniform(tau);
+        let kb_formula = kb.as_formula();
+        let numerator_formula = Formula::and(kb_formula.clone(), query.clone());
+        let max_visited = u64::try_from(budget.max_count.min(u64::MAX as u128)).expect("clamped");
+        let fingerprints = self.denom_cache.as_ref().map(|_| {
+            (
+                rw_logic::canon::kb_fingerprint(kb),
+                rw_logic::canon::vocab_fingerprint(kb.vocab()),
+            )
+        });
+
+        let mut points: Vec<(usize, Option<f64>)> = Vec::new();
+        let mut visited = 0u64;
+        let mut branched = 0u64;
+        let mut failure: Option<String> = None;
+        let mut prev_effort: u64 = 0;
+        for n in 2..=MAX_COMPILED_N {
+            let Some(num_prog) =
+                rw_worlds::Program::compile(kb.vocab(), n, &tol, &numerator_formula)
+            else {
+                failure = Some(format!("slot space at N={n} overflows the machine"));
+                break;
+            };
+            // Iterative deepening up the diagonal: the first point's
+            // numerator gets the whole budget, every later one a
+            // generous multiple of the previous point's *measured*
+            // effort. A point that blows through that allowance is
+            // growing doubly-exponentially — stop with the points in
+            // hand instead of burning the full budget to learn the same
+            // thing. Deterministic: effort counts are thread-count
+            // invariant and the (cached) denominator plays no part.
+            let num_budget = if points.is_empty() {
+                max_visited
+            } else {
+                prev_effort.max(64).saturating_mul(1024).min(max_visited)
+            };
+            match self.compiled_point(
+                kb,
+                n,
+                &tol,
+                tau,
+                &kb_formula,
+                &num_prog,
+                num_budget,
+                max_visited,
+                fingerprints,
+            ) {
+                Ok((value, effort)) => {
+                    visited += effort.visited;
+                    branched += effort.branched;
+                    points.push((n, value));
+                    prev_effort = effort.visited;
+                }
+                Err(e) => {
+                    failure = Some(format!("counting at N={n} failed: {e}"));
+                    break;
+                }
+            }
+        }
+
+        let provenance = |max_n: usize| Provenance::Enumeration {
+            max_n,
+            visited,
+            branched,
+        };
+        match points.len() {
+            0 => SolverOutcome::BudgetExhausted {
+                reason: failure.unwrap_or_else(|| {
+                    format!("even N=2 exceeded the {max_visited}-node visit budget")
+                }),
+            },
+            // A single reachable size has nothing to extrapolate from —
+            // the line through N=1 runs off the domain — so use the
+            // point value.
+            1 => match points[0] {
+                (n, Some(v)) => SolverOutcome::Answered {
+                    belief: Belief::Point(v),
+                    provenance: provenance(n),
+                },
+                (n, None) => SolverOutcome::Answered {
+                    belief: Belief::Undefined,
+                    provenance: provenance(n),
+                },
+            },
+            len => {
+                let (n_lo, v_lo) = points[len - 2];
+                let (n_hi, v_hi) = points[len - 1];
+                match (v_lo, v_hi) {
+                    (Some(v_lo), Some(v_hi)) => {
+                        // v(N) = v∞ + c/N  ⇒
+                        // v∞ = v_hi + (v_hi − v_lo)·(1/N_hi)/(1/N_lo − 1/N_hi).
+                        let inv_lo = 1.0 / n_lo as f64;
+                        let inv_hi = 1.0 / n_hi as f64;
+                        let v = v_hi + (v_hi - v_lo) * inv_hi / (inv_lo - inv_hi);
+                        SolverOutcome::Answered {
+                            belief: Belief::Point(v.clamp(0.0, 1.0)),
+                            provenance: provenance(n_hi),
+                        }
+                    }
+                    (None, None) => SolverOutcome::Answered {
+                        belief: Belief::Undefined,
+                        provenance: provenance(n_hi),
+                    },
+                    (Some(_), None) | (None, Some(_)) => SolverOutcome::Declined {
+                        reason: format!(
+                            "inconsistent satisfiability between N={n_lo} and N={n_hi}"
+                        ),
+                    },
+                }
+            }
+        }
+    }
+
+    /// The historical odometer path: enumerate every interpretation at
+    /// the two largest sizes whose world count fits the budget.
+    fn solve_oracle(&self, kb: &KnowledgeBase, query: &Formula, budget: &Budget) -> SolverOutcome {
         // Largest feasible size within the world budget; the space is
         // doubly exponential, so the scan is tiny.
         let mut n_hi = None;
@@ -317,6 +547,11 @@ impl Solver for EnumerationDiagonalSolver {
                 ),
             };
         };
+        let provenance = |max_n: usize| Provenance::Enumeration {
+            max_n,
+            visited: 0,
+            branched: 0,
+        };
         let tol = Tolerances::uniform(self.diagonal.finest_tau());
         let eval = |n: usize| {
             rw_worlds::enumerate::degree_of_belief_at_bounded(kb, query, n, &tol, budget.max_count)
@@ -330,11 +565,11 @@ impl Solver for EnumerationDiagonalSolver {
             return match eval(n_hi) {
                 Ok(Some(v)) => SolverOutcome::Answered {
                     belief: Belief::Point(v),
-                    provenance: Provenance::Enumeration { max_n: n_hi },
+                    provenance: provenance(n_hi),
                 },
                 Ok(None) => SolverOutcome::Answered {
                     belief: Belief::Undefined,
-                    provenance: Provenance::Enumeration { max_n: n_hi },
+                    provenance: provenance(n_hi),
                 },
                 Err(e) => SolverOutcome::BudgetExhausted {
                     reason: e.to_string(),
@@ -350,12 +585,12 @@ impl Solver for EnumerationDiagonalSolver {
                 let v = v_hi + (v_hi - v_lo) * inv_hi / (inv_lo - inv_hi);
                 SolverOutcome::Answered {
                     belief: Belief::Point(v.clamp(0.0, 1.0)),
-                    provenance: Provenance::Enumeration { max_n: n_hi },
+                    provenance: provenance(n_hi),
                 }
             }
             (Ok(None), Ok(None)) => SolverOutcome::Answered {
                 belief: Belief::Undefined,
-                provenance: Provenance::Enumeration { max_n: n_hi },
+                provenance: provenance(n_hi),
             },
             (Err(e), _) | (_, Err(e)) => SolverOutcome::BudgetExhausted {
                 reason: e.to_string(),
@@ -363,6 +598,26 @@ impl Solver for EnumerationDiagonalSolver {
             (Ok(Some(_)), Ok(None)) | (Ok(None), Ok(Some(_))) => SolverOutcome::Declined {
                 reason: format!("inconsistent satisfiability between N={n_lo} and N={n_hi}"),
             },
+        }
+    }
+}
+
+impl Solver for EnumerationDiagonalSolver {
+    fn name(&self) -> &str {
+        "enumeration"
+    }
+
+    fn solve(
+        &self,
+        kb: &KnowledgeBase,
+        query: &Formula,
+        budget: &Budget,
+        _recurse: &Recurse<'_>,
+    ) -> SolverOutcome {
+        if self.compiled {
+            self.solve_compiled(kb, query, budget)
+        } else {
+            self.solve_oracle(kb, query, budget)
         }
     }
 }
@@ -431,22 +686,169 @@ mod tests {
         ));
     }
 
+    fn oracle_solver() -> EnumerationDiagonalSolver {
+        EnumerationDiagonalSolver {
+            compiled: false,
+            ..EnumerationDiagonalSolver::default()
+        }
+    }
+
     #[test]
     fn enumeration_single_point_fallback_when_only_n2_fits() {
-        // Budget below the N=3 world count but above N=2: the solver must
-        // use the single-point value instead of extrapolating off N=1.
+        // Oracle mode, budget below the N=3 world count but above N=2:
+        // the solver must use the single-point value instead of
+        // extrapolating off N=1.
         let (kb, q) = parsed("||P(x)||_x ~=_1 0.5", "P(C)");
         let n2 = rw_worlds::count_interpretations(kb.vocab(), 2).unwrap();
         let n3 = rw_worlds::count_interpretations(kb.vocab(), 3).unwrap();
         assert!(n2 < n3);
-        let s = EnumerationDiagonalSolver::default();
+        let s = oracle_solver();
         match s.solve(&kb, &q, &Budget::counting(n2), &no_recurse()) {
             SolverOutcome::Answered { belief, provenance } => {
-                assert_eq!(provenance, Provenance::Enumeration { max_n: 2 });
+                assert_eq!(
+                    provenance,
+                    Provenance::Enumeration {
+                        max_n: 2,
+                        visited: 0,
+                        branched: 0
+                    }
+                );
                 let v = belief.as_point().unwrap();
                 assert!((0.0..=1.0).contains(&v), "{v}");
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_counting_matches_the_oracle_where_both_reach() {
+        // At a budget where oracle enumeration picks the same (N-1, N)
+        // pair, the compiled engine's counts are exactly equal, so the
+        // extrapolated beliefs are bit-identical.
+        // KBs satisfiable at *every* N (a τ-tight statistic like
+        // `||P||_x ≈ 0.5` is unsatisfiable at odd N, which makes the
+        // deeper compiled scan legitimately decline).
+        for (kb_src, q_src) in [
+            ("Likes(A, B)", "Likes(B, A)"),
+            ("P(C) or Q(C)", "P(C) & Q(C)"),
+        ] {
+            let (kb, q) = parsed(kb_src, q_src);
+            let oracle = oracle_solver();
+            // Clamp both to the oracle's N=4 reach (2^18 interpretations
+            // covers the Likes KB at N=4, not N=5).
+            let oracle_out = oracle.solve(&kb, &q, &Budget::counting(1 << 18), &no_recurse());
+            let SolverOutcome::Answered {
+                belief: oracle_belief,
+                provenance: Provenance::Enumeration { max_n, .. },
+            } = oracle_out
+            else {
+                panic!("{oracle_out:?}");
+            };
+            let compiled = EnumerationDiagonalSolver::default();
+            let compiled_out = compiled.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse());
+            let SolverOutcome::Answered {
+                belief: compiled_belief,
+                provenance:
+                    Provenance::Enumeration {
+                        max_n: compiled_n,
+                        visited,
+                        ..
+                    },
+            } = compiled_out
+            else {
+                panic!("{compiled_out:?}");
+            };
+            assert!(compiled_n >= max_n, "{kb_src}: {compiled_n} < {max_n}");
+            assert!(visited > 0, "{kb_src}: compiled mode must report effort");
+            // Both extrapolate v(N) = v∞ + c/N; deeper N can only move
+            // the estimate closer to the true limit. These shapes are
+            // exactly linear in 1/N, so the values agree tightly.
+            let (a, b) = (
+                oracle_belief.as_point().unwrap(),
+                compiled_belief.as_point().unwrap(),
+            );
+            assert!((a - b).abs() < 1e-9, "{kb_src}: oracle {a} vs compiled {b}");
+        }
+    }
+
+    #[test]
+    fn compiled_counting_reaches_vocabularies_the_oracle_cannot() {
+        // Three binary predicates: 3·2^(N²) interpretations put even N=2
+        // beyond a 2^12 world budget, but branch-and-count answers well
+        // within the same number as a *visited-node* budget.
+        let (kb, q) = parsed(
+            "Likes(A, B); Knows(B, C); Admires(C, A)",
+            "Likes(B, A) & Knows(A, B)",
+        );
+        let oracle = oracle_solver();
+        assert!(matches!(
+            oracle.solve(&kb, &q, &Budget::counting(1 << 12), &no_recurse()),
+            SolverOutcome::BudgetExhausted { .. }
+        ));
+        let compiled = EnumerationDiagonalSolver::default();
+        match compiled.solve(&kb, &q, &Budget::counting(1 << 12), &no_recurse()) {
+            SolverOutcome::Answered { belief, provenance } => {
+                let Provenance::Enumeration { max_n, visited, .. } = provenance else {
+                    panic!("{provenance:?}");
+                };
+                assert!(max_n >= 3, "{max_n}");
+                // `visited` totals the numerator effort across every
+                // diagonal point; each point individually respected the
+                // 2^12 budget.
+                assert!(visited > 0, "{visited}");
+                // Independent bits: Pr(Likes(B,A) ∧ Knows(A,B)) → 1/4
+                // (plus O(1/N) constant-collision terms the
+                // extrapolation removes).
+                let v = belief.as_point().unwrap();
+                assert!((v - 0.25).abs() < 0.05, "{v}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn denominator_cache_is_filled_and_shared_across_queries() {
+        let (mut kb, q) = parsed("Likes(A, B)", "Likes(B, A)");
+        let cache = Arc::new(DenomCache::new());
+        let s = EnumerationDiagonalSolver::default().with_denom_cache(Arc::clone(&cache));
+        let first = s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse());
+        assert!(matches!(first, SolverOutcome::Answered { .. }), "{first:?}");
+        let filled = cache.len();
+        assert!(filled >= 2, "one denominator per diagonal point: {filled}");
+        // A second query against the same KB recounts nothing in the
+        // denominator: the cache does not grow.
+        let q2 = kb.parse_query("!Likes(B, A)").unwrap();
+        let second = s.solve(&kb, &q2, &Budget::UNLIMITED, &no_recurse());
+        assert!(
+            matches!(second, SolverOutcome::Answered { .. }),
+            "{second:?}"
+        );
+        assert_eq!(cache.len(), filled);
+    }
+
+    #[test]
+    fn compiled_counting_is_thread_count_invariant() {
+        // A bounded budget, not UNLIMITED: the visited-node budget is
+        // also what stops the rising-N scan (an unbounded scan on a
+        // binary statistic would try to count 2^(N²) branches).
+        let budget = Budget::counting(1 << 18);
+        let (kb, q) = parsed(
+            "||Likes(x, y)||_{x,y} ~=_1 0.25; Likes(A, B)",
+            "Likes(B, A)",
+        );
+        let base = EnumerationDiagonalSolver::default();
+        let reference = base.solve(&kb, &q, &budget, &no_recurse());
+        assert!(
+            matches!(reference, SolverOutcome::Answered { .. }),
+            "{reference:?}"
+        );
+        for threads in [2usize, 4, 0] {
+            let s = EnumerationDiagonalSolver {
+                threads,
+                ..EnumerationDiagonalSolver::default()
+            };
+            let out = s.solve(&kb, &q, &budget, &no_recurse());
+            assert_eq!(out, reference, "diverged at {threads} threads");
         }
     }
 
@@ -510,10 +912,15 @@ mod tests {
     #[test]
     fn enumeration_budget_exhaustion_below_n2() {
         let (kb, q) = parsed("||P(x)||_x ~=_1 0.5", "P(C)");
-        let s = EnumerationDiagonalSolver::default();
-        assert!(matches!(
-            s.solve(&kb, &q, &Budget::counting(1), &no_recurse()),
-            SolverOutcome::BudgetExhausted { .. }
-        ));
+        for s in [EnumerationDiagonalSolver::default(), oracle_solver()] {
+            assert!(
+                matches!(
+                    s.solve(&kb, &q, &Budget::counting(1), &no_recurse()),
+                    SolverOutcome::BudgetExhausted { .. }
+                ),
+                "compiled={}",
+                s.compiled
+            );
+        }
     }
 }

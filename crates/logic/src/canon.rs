@@ -76,6 +76,27 @@ pub fn kb_fingerprint(kb: &KnowledgeBase) -> u64 {
     fnv1a(src.as_bytes())
 }
 
+/// A stable 64-bit fingerprint of a vocabulary's **shape**: predicate
+/// and function arities in interning order plus the constant count.
+///
+/// [`kb_fingerprint`] deliberately ignores vocabulary-only differences
+/// (degrees of belief are invariant under vocabulary expansion), but raw
+/// finite-`N` *world counts* are not — every interned symbol contributes
+/// slots whether or not the knowledge base mentions it (a fresh query
+/// constant alone multiplies `#worlds_N` by `N`). Caches of such counts
+/// key on this fingerprint alongside the KB's.
+pub fn vocab_fingerprint(vocab: &Vocabulary) -> u64 {
+    let mut src = String::new();
+    for p in vocab.preds() {
+        src.push_str(&format!("P{};", vocab.pred_arity(p)));
+    }
+    for f in vocab.funcs() {
+        src.push_str(&format!("F{};", vocab.func_arity(f)));
+    }
+    src.push_str(&format!("C{}", vocab.const_count()));
+    fnv1a(src.as_bytes())
+}
+
 fn canon_term(t: &Term, vocab: &Vocabulary, env: &[VarId]) -> String {
     match t {
         Term::Var(v) => {

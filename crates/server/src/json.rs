@@ -91,13 +91,24 @@ pub fn response_line(query: &str, response: &Response) -> String {
     }
     trace.push(']');
     // Monte-Carlo answers carry their sampler counts as a structured
-    // object (the provenance string repeats them for humans).
+    // object (the provenance string repeats them for humans); compiled
+    // branch-and-count answers likewise carry their search effort (the
+    // numerator-side visited/branched node counts, which are
+    // deterministic at any thread count — oracle-mode enumeration
+    // reports no counts and gets no object).
     let mc = match &response.provenance {
         rw_core::Provenance::MonteCarlo {
             drawn,
             accepted,
             n_points,
         } => format!(r#","mc":{{"drawn":{drawn},"accepted":{accepted},"n_points":{n_points}}}"#),
+        rw_core::Provenance::Enumeration {
+            max_n,
+            visited,
+            branched,
+        } if *visited > 0 => {
+            format!(r#","enum":{{"max_n":{max_n},"visited":{visited},"branched":{branched}}}"#)
+        }
         _ => String::new(),
     };
     format!(
@@ -258,6 +269,34 @@ mod tests {
             "{line}"
         );
         assert!(line.contains(r#""type":"approximate""#), "{line}");
+    }
+
+    #[test]
+    fn compiled_counting_answers_carry_their_search_effort() {
+        let mut response = Response {
+            belief: Belief::Point(0.5),
+            provenance: rw_core::Provenance::Enumeration {
+                max_n: 6,
+                visited: 1234,
+                branched: 321,
+            },
+            trace: rw_core::Trace::default(),
+            cached: false,
+        };
+        let line = response_line("Likes(B, A)", &response);
+        assert!(
+            line.contains(r#""enum":{"max_n":6,"visited":1234,"branched":321}"#),
+            "{line}"
+        );
+        // Oracle-mode enumeration (no effort counts) keeps the
+        // historical line shape.
+        response.provenance = rw_core::Provenance::Enumeration {
+            max_n: 4,
+            visited: 0,
+            branched: 0,
+        };
+        let line = response_line("Likes(B, A)", &response);
+        assert!(!line.contains(r#""enum""#), "{line}");
     }
 
     #[test]

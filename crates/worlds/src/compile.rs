@@ -1,0 +1,829 @@
+//! Compilation of closed `L≈` formulas into flat **slot programs**.
+//!
+//! The world space `W_N(Φ)` is a product of independent *slots*: one bit
+//! per predicate tuple, one element choice per function-table entry and
+//! per constant (the same layout [`crate::enumerate::for_each_world`]'s
+//! odometer walks). A [`Program`] lowers a formula *once* for a fixed
+//! domain size `N` into a flat arena of nodes over those slot indices:
+//! quantifiers and proportion subscripts are grounded (N is tiny on the
+//! enumeration path), terms become slot-lookup programs, and ground
+//! atoms with fully static arguments collapse to a single bit reference.
+//!
+//! The payoff is in [`crate::count`]: a program can be evaluated under a
+//! *partial* slot assignment with three-valued (Kleene) logic, which is
+//! what lets branch-and-count prune entire subtrees and multiply out
+//! unconstrained slots instead of enumerating them. Compilation also
+//! extracts the **unit literals** (top-level ground-literal conjuncts)
+//! whose slot values are forced, and a **support-ordered branch order**
+//! (slots feeding term evaluation first, then directly-referenced bits,
+//! then bits only reachable through dynamic atoms).
+//!
+//! Semantics are mirrored from [`crate::eval::Evaluator`] exactly —
+//! including the measure-zero convention (comparisons touching an
+//! undefined conditional proportion hold vacuously) — so a compiled
+//! count always equals the oracle count.
+
+use rw_logic::ast::{CmpOp, Formula, PropExpr, Term};
+use rw_logic::{Tolerances, Vocabulary};
+use rw_util::Rat;
+
+/// Sentinel for "no node" (an unconditional count instance).
+pub(crate) const NO_NODE: u32 = u32::MAX;
+
+/// The slot layout of `W_N(Φ)`: predicates first (one bit per tuple,
+/// row-major), then function tables (one entry per tuple), then
+/// constants — identical to the odometer's order in `enumerate`.
+#[derive(Clone, Debug)]
+pub struct SlotLayout {
+    pred_base: Vec<usize>,
+    func_base: Vec<usize>,
+    const_base: usize,
+    slot_count: usize,
+    n: usize,
+}
+
+impl SlotLayout {
+    /// Builds the layout, or `None` when the slot space itself overflows
+    /// `usize` (far beyond countable either way).
+    pub fn new(vocab: &Vocabulary, n: usize) -> Option<SlotLayout> {
+        let mut next = 0usize;
+        let mut pred_base = Vec::with_capacity(vocab.pred_count());
+        for p in vocab.preds() {
+            pred_base.push(next);
+            let size = n.checked_pow(u32::try_from(vocab.pred_arity(p)).ok()?)?;
+            next = next.checked_add(size)?;
+        }
+        let mut func_base = Vec::with_capacity(vocab.func_count());
+        for f in vocab.funcs() {
+            func_base.push(next);
+            let size = n.checked_pow(u32::try_from(vocab.func_arity(f)).ok()?)?;
+            next = next.checked_add(size)?;
+        }
+        let const_base = next;
+        next = next.checked_add(vocab.const_count())?;
+        Some(SlotLayout {
+            pred_base,
+            func_base,
+            const_base,
+            slot_count: next,
+            n,
+        })
+    }
+
+    /// Total number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// The domain size the layout was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// How many values the slot ranges over (2 for predicate bits, `n`
+    /// for function entries and constants).
+    pub fn domain(&self, slot: usize) -> usize {
+        if slot < self.func_start() {
+            2
+        } else {
+            self.n
+        }
+    }
+
+    fn func_start(&self) -> usize {
+        self.func_base.first().copied().unwrap_or(self.const_base)
+    }
+
+    pub(crate) fn pred_slot(&self, pred: usize, tuple_index: usize) -> usize {
+        self.pred_base[pred] + tuple_index
+    }
+
+    pub(crate) fn func_slot(&self, func: usize, tuple_index: usize) -> usize {
+        self.func_base[func] + tuple_index
+    }
+
+    pub(crate) fn const_slot(&self, c: usize) -> usize {
+        self.const_base + c
+    }
+
+    /// `Π domain(slot)` over every slot — the interpretation count —
+    /// `None` on `u128` overflow.
+    pub fn total_assignments(&self) -> Option<u128> {
+        let mut total: u128 = 1;
+        for s in 0..self.slot_count {
+            total = total.checked_mul(self.domain(s) as u128)?;
+        }
+        Some(total)
+    }
+}
+
+/// A compiled term: evaluates to a domain element, or to "unknown" while
+/// a slot it reads is unassigned.
+#[derive(Clone, Debug)]
+pub(crate) enum CTerm {
+    /// A fixed element (a grounded variable).
+    Elem(usize),
+    /// The denotation of a constant: reads one constant slot.
+    ConstSlot(usize),
+    /// A function application: reads a table entry chosen by its
+    /// (recursively evaluated) arguments.
+    App { func: usize, args: Vec<u32> },
+}
+
+/// A compiled formula node (three-valued under partial assignments).
+#[derive(Clone, Debug)]
+pub(crate) enum CNode {
+    Bool(bool),
+    /// A ground atom whose tuple is static: one predicate bit.
+    Lit {
+        slot: usize,
+    },
+    /// A ground atom whose tuple depends on constant/function slots.
+    Atom {
+        pred: usize,
+        args: Vec<u32>,
+    },
+    /// Term equality (static cases are folded to `Bool` at compile time).
+    Eq(u32, u32),
+    Not(u32),
+    And(Vec<u32>),
+    Or(Vec<u32>),
+    Iff(u32, u32),
+    Cmp {
+        lhs: u32,
+        op: CmpOp,
+        rhs: u32,
+    },
+}
+
+/// One grounded instance of a proportion: `cond == NO_NODE` means the
+/// instance's condition is statically true (or the proportion is
+/// unconditional).
+#[derive(Clone, Debug)]
+pub(crate) struct CountInst {
+    pub(crate) body: u32,
+    pub(crate) cond: u32,
+}
+
+/// A compiled proportion expression.
+#[derive(Clone, Debug)]
+pub(crate) enum CProp {
+    Rat(Rat),
+    /// `||body||` / `||body | cond||` grounded over its subscript tuple
+    /// space. `base_body`/`base_cond` pre-count the instances that folded
+    /// to constants at compile time; `insts` holds the rest.
+    Count {
+        insts: Vec<CountInst>,
+        base_body: i128,
+        base_cond: i128,
+        conditional: bool,
+        /// `n^k`, the unconditional denominator.
+        total: i128,
+    },
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+}
+
+/// A forced ground literal extracted from the program's top-level
+/// conjunction: once the referenced node's slot is resolvable, the slot
+/// value is implied.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Unit {
+    /// A `Lit` or `Atom` node.
+    pub(crate) node: u32,
+    /// The implied truth value.
+    pub(crate) value: bool,
+}
+
+/// How a slot participates in the program — drives the branch order.
+const CLASS_TERM: u8 = 0; // feeds term evaluation (constants, function entries)
+const CLASS_LIT: u8 = 1; // directly referenced predicate bit
+const CLASS_DYN: u8 = 2; // reachable only through a dynamic atom
+const CLASS_NONE: u8 = 3; // not in the program at all (free)
+
+/// A closed formula lowered over a fixed vocabulary and domain size.
+pub struct Program {
+    pub(crate) layout: SlotLayout,
+    pub(crate) terms: Vec<CTerm>,
+    pub(crate) nodes: Vec<CNode>,
+    pub(crate) props: Vec<CProp>,
+    pub(crate) root: u32,
+    /// Support slots in branch order (term-feeding slots first, then by
+    /// descending occurrence count, then by slot index — deterministic).
+    pub(crate) branch_order: Vec<u32>,
+    pub(crate) units: Vec<Unit>,
+    pub(crate) tol: Tolerances,
+}
+
+impl Program {
+    /// Lowers `formula` for counting over `W_n(Φ)` under `tol`. `None`
+    /// when the slot space overflows `usize`.
+    pub fn compile(
+        vocab: &Vocabulary,
+        n: usize,
+        tol: &Tolerances,
+        formula: &Formula,
+    ) -> Option<Program> {
+        assert!(n > 0, "domain must be nonempty");
+        let layout = SlotLayout::new(vocab, n)?;
+        let mut c = Compiler {
+            layout,
+            n,
+            terms: Vec::new(),
+            nodes: Vec::new(),
+            props: Vec::new(),
+            env: vec![None; vocab.var_count()],
+        };
+        let root = c.formula(formula);
+        let mut prog = Program {
+            layout: c.layout,
+            terms: c.terms,
+            nodes: c.nodes,
+            props: c.props,
+            root,
+            branch_order: Vec::new(),
+            units: Vec::new(),
+            tol: tol.clone(),
+        };
+        prog.finish();
+        Some(prog)
+    }
+
+    /// The domain size the program was compiled for.
+    pub fn n(&self) -> usize {
+        self.layout.n
+    }
+
+    /// The slot layout.
+    pub fn layout(&self) -> &SlotLayout {
+        &self.layout
+    }
+
+    /// Number of slots the search may have to branch over (the support).
+    pub fn support_len(&self) -> usize {
+        self.branch_order.len()
+    }
+
+    /// `Π domain(slot)` over the support slots, saturating: the
+    /// worst-case size of the branch tree, used to predict whether the
+    /// next domain size is worth attempting.
+    pub fn support_assignments(&self) -> u128 {
+        let mut total: u128 = 1;
+        for &s in &self.branch_order {
+            total = match total.checked_mul(self.layout.domain(s as usize) as u128) {
+                Some(t) => t,
+                None => return u128::MAX,
+            };
+        }
+        total
+    }
+
+    /// Computes the branch order and unit literals after lowering.
+    fn finish(&mut self) {
+        let slot_count = self.layout.slot_count;
+        let mut class = vec![CLASS_NONE; slot_count];
+        let mut occ = vec![0u32; slot_count];
+        let mut seen_nodes = vec![false; self.nodes.len()];
+        let mut seen_props = vec![false; self.props.len()];
+        self.mark_node(
+            self.root,
+            &mut class,
+            &mut occ,
+            &mut seen_nodes,
+            &mut seen_props,
+        );
+
+        let mut order: Vec<u32> = (0..slot_count as u32)
+            .filter(|&s| class[s as usize] != CLASS_NONE)
+            .collect();
+        order.sort_by_key(|&s| (class[s as usize], u32::MAX - occ[s as usize], s));
+        self.branch_order = order;
+        self.units = self.extract_units();
+    }
+
+    fn mark_term(&self, t: u32, class: &mut [u8], occ: &mut [u32]) {
+        match &self.terms[t as usize] {
+            CTerm::Elem(_) => {}
+            CTerm::ConstSlot(slot) => {
+                class[*slot] = CLASS_TERM;
+                occ[*slot] += 1;
+            }
+            CTerm::App { func, args } => {
+                let base = self.layout.func_base[*func];
+                let end = self
+                    .layout
+                    .func_base
+                    .get(*func + 1)
+                    .copied()
+                    .unwrap_or(self.layout.const_base);
+                for s in base..end {
+                    class[s] = CLASS_TERM;
+                    occ[s] += 1;
+                }
+                for &a in args {
+                    self.mark_term(a, class, occ);
+                }
+            }
+        }
+    }
+
+    fn mark_node(
+        &self,
+        id: u32,
+        class: &mut [u8],
+        occ: &mut [u32],
+        seen_nodes: &mut [bool],
+        seen_props: &mut [bool],
+    ) {
+        if seen_nodes[id as usize] {
+            return;
+        }
+        seen_nodes[id as usize] = true;
+        match &self.nodes[id as usize] {
+            CNode::Bool(_) => {}
+            CNode::Lit { slot } => {
+                class[*slot] = class[*slot].min(CLASS_LIT);
+                occ[*slot] += 1;
+            }
+            CNode::Atom { pred, args } => {
+                let base = self.layout.pred_base[*pred];
+                let end = self
+                    .layout
+                    .pred_base
+                    .get(*pred + 1)
+                    .copied()
+                    .unwrap_or_else(|| self.layout.func_start());
+                for c in &mut class[base..end] {
+                    *c = (*c).min(CLASS_DYN);
+                }
+                for &a in args {
+                    self.mark_term(a, class, occ);
+                }
+            }
+            CNode::Eq(a, b) => {
+                self.mark_term(*a, class, occ);
+                self.mark_term(*b, class, occ);
+            }
+            CNode::Not(g) => self.mark_node(*g, class, occ, seen_nodes, seen_props),
+            CNode::And(children) | CNode::Or(children) => {
+                for &ch in children {
+                    self.mark_node(ch, class, occ, seen_nodes, seen_props);
+                }
+            }
+            CNode::Iff(a, b) => {
+                self.mark_node(*a, class, occ, seen_nodes, seen_props);
+                self.mark_node(*b, class, occ, seen_nodes, seen_props);
+            }
+            CNode::Cmp { lhs, rhs, .. } => {
+                self.mark_prop(*lhs, class, occ, seen_nodes, seen_props);
+                self.mark_prop(*rhs, class, occ, seen_nodes, seen_props);
+            }
+        }
+    }
+
+    fn mark_prop(
+        &self,
+        id: u32,
+        class: &mut [u8],
+        occ: &mut [u32],
+        seen_nodes: &mut [bool],
+        seen_props: &mut [bool],
+    ) {
+        if seen_props[id as usize] {
+            return;
+        }
+        seen_props[id as usize] = true;
+        match &self.props[id as usize] {
+            CProp::Rat(_) => {}
+            CProp::Count { insts, .. } => {
+                for inst in insts {
+                    self.mark_node(inst.body, class, occ, seen_nodes, seen_props);
+                    if inst.cond != NO_NODE {
+                        self.mark_node(inst.cond, class, occ, seen_nodes, seen_props);
+                    }
+                }
+            }
+            CProp::Add(a, b) | CProp::Sub(a, b) | CProp::Mul(a, b) => {
+                self.mark_prop(*a, class, occ, seen_nodes, seen_props);
+                self.mark_prop(*b, class, occ, seen_nodes, seen_props);
+            }
+        }
+    }
+
+    /// Walks the root conjunction for literals whose slot value is
+    /// forced in every model.
+    fn extract_units(&self) -> Vec<Unit> {
+        let mut units = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id as usize] {
+                CNode::And(children) => stack.extend(children.iter().copied()),
+                CNode::Lit { .. } | CNode::Atom { .. } => units.push(Unit {
+                    node: id,
+                    value: true,
+                }),
+                CNode::Not(g) => match &self.nodes[*g as usize] {
+                    CNode::Lit { .. } | CNode::Atom { .. } => units.push(Unit {
+                        node: *g,
+                        value: false,
+                    }),
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        units
+    }
+}
+
+struct Compiler {
+    layout: SlotLayout,
+    n: usize,
+    terms: Vec<CTerm>,
+    nodes: Vec<CNode>,
+    props: Vec<CProp>,
+    /// Variable grounding environment (quantifiers and proportion
+    /// subscripts bind elements at compile time).
+    env: Vec<Option<usize>>,
+}
+
+impl Compiler {
+    fn push_term(&mut self, t: CTerm) -> u32 {
+        self.terms.push(t);
+        (self.terms.len() - 1) as u32
+    }
+
+    fn push_node(&mut self, n: CNode) -> u32 {
+        self.nodes.push(n);
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn push_prop(&mut self, p: CProp) -> u32 {
+        self.props.push(p);
+        (self.props.len() - 1) as u32
+    }
+
+    fn boolean(&mut self, b: bool) -> u32 {
+        self.push_node(CNode::Bool(b))
+    }
+
+    fn as_bool(&self, id: u32) -> Option<bool> {
+        match self.nodes[id as usize] {
+            CNode::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn term(&mut self, t: &Term) -> u32 {
+        match t {
+            Term::Var(v) => {
+                let e = self.env[v.index()]
+                    .expect("compiled formulas must be closed (unbound variable)");
+                self.push_term(CTerm::Elem(e))
+            }
+            Term::Const(c) => {
+                let slot = self.layout.const_slot(c.index());
+                self.push_term(CTerm::ConstSlot(slot))
+            }
+            Term::App(f, args) => {
+                let cargs: Vec<u32> = args.iter().map(|a| self.term(a)).collect();
+                self.push_term(CTerm::App {
+                    func: f.index(),
+                    args: cargs,
+                })
+            }
+        }
+    }
+
+    fn static_elem(&self, t: u32) -> Option<usize> {
+        match self.terms[t as usize] {
+            CTerm::Elem(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    fn not_of(&mut self, g: u32) -> u32 {
+        if let Some(b) = self.as_bool(g) {
+            return self.boolean(!b);
+        }
+        if let CNode::Not(inner) = self.nodes[g as usize] {
+            return inner;
+        }
+        self.push_node(CNode::Not(g))
+    }
+
+    /// N-ary conjunction with constant folding and flattening.
+    fn and_of(&mut self, children: Vec<u32>) -> u32 {
+        let mut flat = Vec::with_capacity(children.len());
+        for ch in children {
+            match &self.nodes[ch as usize] {
+                CNode::Bool(false) => return self.boolean(false),
+                CNode::Bool(true) => {}
+                CNode::And(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(ch),
+            }
+        }
+        match flat.len() {
+            0 => self.boolean(true),
+            1 => flat[0],
+            _ => self.push_node(CNode::And(flat)),
+        }
+    }
+
+    fn or_of(&mut self, children: Vec<u32>) -> u32 {
+        let mut flat = Vec::with_capacity(children.len());
+        for ch in children {
+            match &self.nodes[ch as usize] {
+                CNode::Bool(true) => return self.boolean(true),
+                CNode::Bool(false) => {}
+                CNode::Or(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(ch),
+            }
+        }
+        match flat.len() {
+            0 => self.boolean(false),
+            1 => flat[0],
+            _ => self.push_node(CNode::Or(flat)),
+        }
+    }
+
+    fn formula(&mut self, f: &Formula) -> u32 {
+        match f {
+            Formula::True => self.boolean(true),
+            Formula::False => self.boolean(false),
+            Formula::Pred(p, args) => {
+                let cargs: Vec<u32> = args.iter().map(|a| self.term(a)).collect();
+                if cargs.iter().all(|&a| self.static_elem(a).is_some()) {
+                    let mut idx = 0usize;
+                    for &a in &cargs {
+                        idx = idx * self.n + self.static_elem(a).unwrap();
+                    }
+                    let slot = self.layout.pred_slot(p.index(), idx);
+                    self.push_node(CNode::Lit { slot })
+                } else {
+                    self.push_node(CNode::Atom {
+                        pred: p.index(),
+                        args: cargs,
+                    })
+                }
+            }
+            Formula::TermEq(a, b) => {
+                let ca = self.term(a);
+                let cb = self.term(b);
+                match (self.static_elem(ca), self.static_elem(cb)) {
+                    (Some(x), Some(y)) => self.boolean(x == y),
+                    _ => self.push_node(CNode::Eq(ca, cb)),
+                }
+            }
+            Formula::Not(g) => {
+                let cg = self.formula(g);
+                self.not_of(cg)
+            }
+            Formula::And(a, b) => {
+                let ca = self.formula(a);
+                let cb = self.formula(b);
+                self.and_of(vec![ca, cb])
+            }
+            Formula::Or(a, b) => {
+                let ca = self.formula(a);
+                let cb = self.formula(b);
+                self.or_of(vec![ca, cb])
+            }
+            Formula::Implies(a, b) => {
+                let ca = self.formula(a);
+                let na = self.not_of(ca);
+                let cb = self.formula(b);
+                self.or_of(vec![na, cb])
+            }
+            Formula::Iff(a, b) => {
+                let ca = self.formula(a);
+                let cb = self.formula(b);
+                match (self.as_bool(ca), self.as_bool(cb)) {
+                    (Some(x), Some(y)) => self.boolean(x == y),
+                    (Some(true), None) => cb,
+                    (None, Some(true)) => ca,
+                    (Some(false), None) => self.not_of(cb),
+                    (None, Some(false)) => self.not_of(ca),
+                    (None, None) => self.push_node(CNode::Iff(ca, cb)),
+                }
+            }
+            Formula::Forall(v, g) => {
+                let prev = self.env[v.index()];
+                let mut children = Vec::with_capacity(self.n);
+                for e in 0..self.n {
+                    self.env[v.index()] = Some(e);
+                    children.push(self.formula(g));
+                }
+                self.env[v.index()] = prev;
+                self.and_of(children)
+            }
+            Formula::Exists(v, g) => {
+                let prev = self.env[v.index()];
+                let mut children = Vec::with_capacity(self.n);
+                for e in 0..self.n {
+                    self.env[v.index()] = Some(e);
+                    children.push(self.formula(g));
+                }
+                self.env[v.index()] = prev;
+                self.or_of(children)
+            }
+            Formula::Cmp(lhs, op, rhs) => {
+                let cl = self.prop(lhs);
+                let cr = self.prop(rhs);
+                self.push_node(CNode::Cmp {
+                    lhs: cl,
+                    op: *op,
+                    rhs: cr,
+                })
+            }
+        }
+    }
+
+    fn prop(&mut self, e: &PropExpr) -> u32 {
+        match e {
+            PropExpr::Rat(r) => self.push_prop(CProp::Rat(*r)),
+            PropExpr::Add(a, b) => {
+                let ca = self.prop(a);
+                let cb = self.prop(b);
+                self.push_prop(CProp::Add(ca, cb))
+            }
+            PropExpr::Sub(a, b) => {
+                let ca = self.prop(a);
+                let cb = self.prop(b);
+                self.push_prop(CProp::Sub(ca, cb))
+            }
+            PropExpr::Mul(a, b) => {
+                let ca = self.prop(a);
+                let cb = self.prop(b);
+                self.push_prop(CProp::Mul(ca, cb))
+            }
+            PropExpr::Prop { body, cond, vars } => {
+                let k = vars.len();
+                let total = (self.n as i128)
+                    .checked_pow(k as u32)
+                    .expect("proportion tuple space too large");
+                let saved: Vec<Option<usize>> = vars.iter().map(|v| self.env[v.index()]).collect();
+                let mut insts = Vec::new();
+                let mut base_body: i128 = 0;
+                let mut base_cond: i128 = 0;
+                let mut assignment = vec![0usize; k];
+                loop {
+                    for (i, v) in vars.iter().enumerate() {
+                        self.env[v.index()] = Some(assignment[i]);
+                    }
+                    let ccond = match cond {
+                        Some(c) => {
+                            let cc = self.formula(c);
+                            match self.as_bool(cc) {
+                                Some(false) => None, // instance statically excluded
+                                Some(true) => Some(NO_NODE),
+                                None => Some(cc),
+                            }
+                        }
+                        None => Some(NO_NODE),
+                    };
+                    if let Some(cnode) = ccond {
+                        let cbody = self.formula(body);
+                        match (cnode, self.as_bool(cbody)) {
+                            (NO_NODE, Some(b)) => {
+                                base_cond += 1;
+                                base_body += b as i128;
+                            }
+                            (cnode, _) => insts.push(CountInst {
+                                body: cbody,
+                                cond: cnode,
+                            }),
+                        }
+                    }
+                    // Advance the odometer over the subscript tuple.
+                    let mut i = k;
+                    loop {
+                        if i == 0 {
+                            break;
+                        }
+                        i -= 1;
+                        assignment[i] += 1;
+                        if assignment[i] < self.n {
+                            break;
+                        }
+                        assignment[i] = 0;
+                        if i == 0 {
+                            i = usize::MAX;
+                            break;
+                        }
+                    }
+                    if k == 0 || i == usize::MAX {
+                        break;
+                    }
+                }
+                for (v, s) in vars.iter().zip(saved) {
+                    self.env[v.index()] = s;
+                }
+                self.push_prop(CProp::Count {
+                    insts,
+                    base_body,
+                    base_cond,
+                    conditional: cond.is_some(),
+                    total,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rw_logic::KnowledgeBase;
+
+    fn tol() -> Tolerances {
+        Tolerances::uniform(Rat::new(1, 4))
+    }
+
+    #[test]
+    fn layout_matches_enumeration_order() {
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        v.pred("R", 2).unwrap();
+        v.func("f", 1).unwrap();
+        v.constant("c").unwrap();
+        let l = SlotLayout::new(&v, 3).unwrap();
+        // 3 P-bits, 9 R-bits, 3 f-entries, 1 constant.
+        assert_eq!(l.slot_count(), 3 + 9 + 3 + 1);
+        assert_eq!(l.domain(0), 2);
+        assert_eq!(l.domain(3 + 9), 3); // first f entry
+        assert_eq!(l.domain(3 + 9 + 3), 3); // the constant
+        assert_eq!(
+            l.total_assignments().unwrap(),
+            crate::enumerate::count_interpretations(&v, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn ground_atoms_with_static_args_become_lits() {
+        let kb = KnowledgeBase::parse("forall x (P(x))").unwrap();
+        let f = kb.conjuncts()[0].clone();
+        let p = Program::compile(kb.vocab(), 3, &tol(), &f).unwrap();
+        // The grounded ∀ is an And of three Lit nodes.
+        match &p.nodes[p.root as usize] {
+            CNode::And(children) => {
+                assert_eq!(children.len(), 3);
+                for &ch in children {
+                    assert!(matches!(p.nodes[ch as usize], CNode::Lit { .. }));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // ...and they are all unit literals.
+        assert_eq!(p.units.len(), 3);
+        assert!(p.units.iter().all(|u| u.value));
+    }
+
+    #[test]
+    fn constant_atoms_are_dynamic_and_constants_branch_first() {
+        let kb = KnowledgeBase::parse("Likes(A, B)").unwrap();
+        let f = kb.conjuncts()[0].clone();
+        let p = Program::compile(kb.vocab(), 4, &tol(), &f).unwrap();
+        assert!(matches!(p.nodes[p.root as usize], CNode::Atom { .. }));
+        assert_eq!(p.units.len(), 1);
+        // Branch order: the two constant slots (term class) come before
+        // any predicate bit.
+        let const_start = p.layout.const_base;
+        assert!(p.branch_order.len() >= 2);
+        assert!((p.branch_order[0] as usize) >= const_start);
+        assert!((p.branch_order[1] as usize) >= const_start);
+    }
+
+    #[test]
+    fn proportions_ground_to_count_props() {
+        let kb = KnowledgeBase::parse("||P(x)||_x ~=_1 0.5").unwrap();
+        let f = kb.conjuncts()[0].clone();
+        let p = Program::compile(kb.vocab(), 4, &tol(), &f).unwrap();
+        let CNode::Cmp { lhs, .. } = &p.nodes[p.root as usize] else {
+            panic!("expected Cmp root");
+        };
+        let CProp::Count {
+            insts,
+            total,
+            conditional,
+            ..
+        } = &p.props[*lhs as usize]
+        else {
+            panic!("expected Count lhs");
+        };
+        assert_eq!(insts.len(), 4);
+        assert_eq!(*total, 4);
+        assert!(!conditional);
+    }
+
+    #[test]
+    fn boolean_folding_collapses_static_structure() {
+        let mut kb = KnowledgeBase::parse("P(C) or !P(C)").unwrap();
+        // `forall x (x = x)` folds to true at compile time.
+        let f = kb.parse_query("forall x (x = x)").unwrap();
+        let p = Program::compile(kb.vocab(), 3, &tol(), &f).unwrap();
+        assert!(matches!(p.nodes[p.root as usize], CNode::Bool(true)));
+        assert!(p.branch_order.is_empty());
+    }
+}

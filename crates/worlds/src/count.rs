@@ -1,0 +1,790 @@
+//! Branch-and-count: exact model counting over compiled slot programs.
+//!
+//! [`crate::enumerate::count_worlds`] walks every interpretation with an
+//! odometer and re-evaluates the whole formula per world. This module
+//! replaces that blind walk with a **search over slots**: assign slots in
+//! the program's support order, evaluate the compiled program
+//! three-valued under the partial assignment, and
+//!
+//! * **prune** a branch the instant the program evaluates false (every
+//!   completion of the partial assignment is a non-model — Kleene
+//!   evaluation is monotone under extension);
+//! * **force** slots implied by the program's unit literals (ground
+//!   facts) instead of branching on them;
+//! * **multiply out** the remaining slots the instant the program
+//!   evaluates true: every completion is a model, so the branch
+//!   contributes `Π domain(slot)` over the unassigned slots
+//!   (`2^k · N^m`) in O(1) instead of being enumerated.
+//!
+//! The cost unit is a **visited search node**, which is what
+//! [`CountOptions::max_visited`] bounds — orders of magnitude fewer than
+//! interpretations on structured formulas.
+//!
+//! # Parallelism and determinism
+//!
+//! Counting shards the top of the branch tree into **chunks** — fixed
+//! assignments of a prefix of the branch order — and runs them on a
+//! scoped-thread pool over an atomic chunk index (the same discipline as
+//! `mc::workers`). The chunk decomposition depends only on the program
+//! (never on the thread count), each chunk's sub-budget is a fixed share
+//! of the total, and results merge in chunk order, so a count, its
+//! visited/branched totals, and even its failure mode are identical at
+//! any thread count.
+
+use crate::compile::{CNode, CProp, CTerm, CountInst, Program, NO_NODE};
+use rw_logic::ast::CmpOp;
+use rw_util::Rat;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Default cap on visited search nodes (branch-and-count visits far
+/// fewer nodes than there are interpretations, so this reaches much
+/// deeper than [`crate::enumerate::DEFAULT_MAX_WORLDS`] ever could).
+pub const DEFAULT_MAX_VISITED: u64 = 1 << 24;
+
+/// Tuning for one count.
+#[derive(Clone, Copy, Debug)]
+pub struct CountOptions {
+    /// Cap on visited search nodes (shared across the chunks: each chunk
+    /// gets an equal share, so the cap is thread-count independent).
+    pub max_visited: u64,
+    /// Worker threads (0 = one per core, 1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for CountOptions {
+    fn default() -> CountOptions {
+        CountOptions {
+            max_visited: DEFAULT_MAX_VISITED,
+            threads: 1,
+        }
+    }
+}
+
+/// A successful count with its search-effort accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CountOutcome {
+    /// Number of models of the program.
+    pub count: u128,
+    /// Search nodes visited.
+    pub visited: u64,
+    /// Visited nodes that branched over a slot (the rest were decided by
+    /// evaluation or propagation alone).
+    pub branched: u64,
+}
+
+/// Why a count failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountError {
+    /// The visited-node budget ran out before the search finished.
+    BudgetExhausted,
+    /// The model count (or the slot-space product) overflows `u128`.
+    Overflow,
+}
+
+impl std::fmt::Display for CountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CountError::BudgetExhausted => write!(f, "visited-branch budget exhausted"),
+            CountError::Overflow => write!(f, "model count overflows u128"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
+
+/// Three-valued (Kleene) truth under a partial assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tri {
+    False,
+    True,
+    Unknown,
+}
+
+/// A memoized proportion value: `Known` persists down the subtree
+/// (decided values never change under extension).
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum PropKnow {
+    Unknown,
+    Def(Rat),
+    Undef,
+}
+
+/// Backtrack-trail entries.
+enum Trail {
+    Slot(u32),
+    Node(u32),
+    Prop(u32),
+}
+
+const UNASSIGNED: u8 = u8::MAX;
+
+struct Search<'p> {
+    prog: &'p Program,
+    assign: Vec<u8>,
+    node_memo: Vec<Tri>,
+    prop_memo: Vec<PropKnow>,
+    trail: Vec<Trail>,
+    free_product: u128,
+    visited: u64,
+    branched: u64,
+    budget: u64,
+}
+
+impl<'p> Search<'p> {
+    fn new(prog: &'p Program, budget: u64) -> Result<Search<'p>, CountError> {
+        if prog.layout().n() >= UNASSIGNED as usize {
+            // Slot values are stored as `u8`; a domain this large is far
+            // beyond countable anyway.
+            return Err(CountError::Overflow);
+        }
+        let total = prog
+            .layout()
+            .total_assignments()
+            .ok_or(CountError::Overflow)?;
+        Ok(Search {
+            prog,
+            assign: vec![UNASSIGNED; prog.layout().slot_count()],
+            node_memo: vec![Tri::Unknown; prog.nodes.len()],
+            prop_memo: vec![PropKnow::Unknown; prog.props.len()],
+            trail: Vec::new(),
+            free_product: total,
+            visited: 0,
+            branched: 0,
+            budget,
+        })
+    }
+
+    fn assign_slot(&mut self, slot: usize, value: u8) {
+        debug_assert_eq!(self.assign[slot], UNASSIGNED);
+        self.assign[slot] = value;
+        self.free_product /= self.prog.layout().domain(slot) as u128;
+        self.trail.push(Trail::Slot(slot as u32));
+    }
+
+    fn pop_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("trail underflow") {
+                Trail::Slot(s) => {
+                    self.assign[s as usize] = UNASSIGNED;
+                    self.free_product *= self.prog.layout().domain(s as usize) as u128;
+                }
+                Trail::Node(id) => self.node_memo[id as usize] = Tri::Unknown,
+                Trail::Prop(id) => self.prop_memo[id as usize] = PropKnow::Unknown,
+            }
+        }
+    }
+
+    fn eval_term(&self, id: u32) -> Option<usize> {
+        match &self.prog.terms[id as usize] {
+            CTerm::Elem(e) => Some(*e),
+            CTerm::ConstSlot(slot) => match self.assign[*slot] {
+                UNASSIGNED => None,
+                v => Some(v as usize),
+            },
+            CTerm::App { func, args } => {
+                let n = self.prog.layout().n();
+                let mut idx = 0usize;
+                for &a in args {
+                    idx = idx * n + self.eval_term(a)?;
+                }
+                let slot = self.prog.layout().func_slot(*func, idx);
+                match self.assign[slot] {
+                    UNASSIGNED => None,
+                    v => Some(v as usize),
+                }
+            }
+        }
+    }
+
+    /// Resolves the slot a `Lit`/`Atom` node refers to, when its tuple
+    /// is fully determined.
+    fn atom_slot(&self, id: u32) -> Option<usize> {
+        match &self.prog.nodes[id as usize] {
+            CNode::Lit { slot } => Some(*slot),
+            CNode::Atom { pred, args } => {
+                let n = self.prog.layout().n();
+                let mut idx = 0usize;
+                for &a in args {
+                    idx = idx * n + self.eval_term(a)?;
+                }
+                Some(self.prog.layout().pred_slot(*pred, idx))
+            }
+            _ => None,
+        }
+    }
+
+    fn eval_node(&mut self, id: u32) -> Tri {
+        match self.node_memo[id as usize] {
+            Tri::Unknown => {}
+            decided => return decided,
+        }
+        // `prog` is a shared reference with the search's lifetime, so
+        // program data can be borrowed independently of `&mut self`.
+        let prog = self.prog;
+        let v = match &prog.nodes[id as usize] {
+            CNode::Bool(b) => Tri::from(*b),
+            CNode::Lit { .. } | CNode::Atom { .. } => match self.atom_slot(id) {
+                Some(slot) => match self.assign[slot] {
+                    UNASSIGNED => Tri::Unknown,
+                    v => Tri::from(v == 1),
+                },
+                None => Tri::Unknown,
+            },
+            CNode::Eq(a, b) => match (self.eval_term(*a), self.eval_term(*b)) {
+                (Some(x), Some(y)) => Tri::from(x == y),
+                _ => Tri::Unknown,
+            },
+            CNode::Not(g) => match self.eval_node(*g) {
+                Tri::True => Tri::False,
+                Tri::False => Tri::True,
+                Tri::Unknown => Tri::Unknown,
+            },
+            CNode::And(children) => {
+                let mut any_unknown = false;
+                let mut out = Tri::True;
+                for &ch in children {
+                    match self.eval_node(ch) {
+                        Tri::False => {
+                            out = Tri::False;
+                            break;
+                        }
+                        Tri::Unknown => any_unknown = true,
+                        Tri::True => {}
+                    }
+                }
+                if out == Tri::True && any_unknown {
+                    Tri::Unknown
+                } else {
+                    out
+                }
+            }
+            CNode::Or(children) => {
+                let mut any_unknown = false;
+                let mut out = Tri::False;
+                for &ch in children {
+                    match self.eval_node(ch) {
+                        Tri::True => {
+                            out = Tri::True;
+                            break;
+                        }
+                        Tri::Unknown => any_unknown = true,
+                        Tri::False => {}
+                    }
+                }
+                if out == Tri::False && any_unknown {
+                    Tri::Unknown
+                } else {
+                    out
+                }
+            }
+            CNode::Iff(a, b) => match (self.eval_node(*a), self.eval_node(*b)) {
+                (Tri::Unknown, _) | (_, Tri::Unknown) => Tri::Unknown,
+                (x, y) => Tri::from(x == y),
+            },
+            CNode::Cmp { lhs, op, rhs } => {
+                let l = self.eval_prop(*lhs);
+                let r = self.eval_prop(*rhs);
+                // The measure-zero convention: a comparison touching an
+                // undefined conditional proportion holds vacuously, no
+                // matter what the other side is.
+                match (l, r) {
+                    (PropKnow::Undef, _) | (_, PropKnow::Undef) => Tri::True,
+                    (PropKnow::Def(a), PropKnow::Def(b)) => {
+                        let tol = &prog.tol;
+                        Tri::from(match op {
+                            CmpOp::ApproxEq(t) => a.approx_eq(b, tol.get(*t)),
+                            CmpOp::ApproxLeq(t) => a.approx_leq(b, tol.get(*t)),
+                            CmpOp::Eq => a == b,
+                            CmpOp::Leq => a <= b,
+                        })
+                    }
+                    _ => Tri::Unknown,
+                }
+            }
+        };
+        if v != Tri::Unknown {
+            self.node_memo[id as usize] = v;
+            self.trail.push(Trail::Node(id));
+        }
+        v
+    }
+
+    fn eval_prop(&mut self, id: u32) -> PropKnow {
+        match self.prop_memo[id as usize] {
+            PropKnow::Unknown => {}
+            known => return known,
+        }
+        let prog = self.prog;
+        // `PropValue::map2`: any Undef operand makes the result Undef
+        // regardless of the other side.
+        let arith = |l: PropKnow, r: PropKnow, f: fn(Rat, Rat) -> Rat| match (l, r) {
+            (PropKnow::Undef, _) | (_, PropKnow::Undef) => PropKnow::Undef,
+            (PropKnow::Def(x), PropKnow::Def(y)) => PropKnow::Def(f(x, y)),
+            _ => PropKnow::Unknown,
+        };
+        let v = match &prog.props[id as usize] {
+            CProp::Rat(r) => PropKnow::Def(*r),
+            CProp::Add(a, b) => {
+                let l = self.eval_prop(*a);
+                let r = self.eval_prop(*b);
+                arith(l, r, |x, y| x + y)
+            }
+            CProp::Sub(a, b) => {
+                let l = self.eval_prop(*a);
+                let r = self.eval_prop(*b);
+                arith(l, r, |x, y| x - y)
+            }
+            CProp::Mul(a, b) => {
+                let l = self.eval_prop(*a);
+                let r = self.eval_prop(*b);
+                arith(l, r, |x, y| x * y)
+            }
+            CProp::Count {
+                insts,
+                base_body,
+                base_cond,
+                conditional,
+                total,
+            } => self.eval_count(insts, *base_body, *base_cond, *conditional, *total),
+        };
+        if v != PropKnow::Unknown {
+            self.prop_memo[id as usize] = v;
+            self.trail.push(Trail::Prop(id));
+        }
+        v
+    }
+
+    fn eval_count(
+        &mut self,
+        insts: &[CountInst],
+        base_body: i128,
+        base_cond: i128,
+        conditional: bool,
+        total: i128,
+    ) -> PropKnow {
+        let mut body_count = base_body;
+        let mut cond_count = base_cond;
+        let mut unknown = false;
+        for inst in insts {
+            let cond = if inst.cond == NO_NODE {
+                Tri::True
+            } else {
+                self.eval_node(inst.cond)
+            };
+            match cond {
+                Tri::False => continue,
+                Tri::Unknown => {
+                    unknown = true;
+                    continue;
+                }
+                Tri::True => {}
+            }
+            cond_count += 1;
+            match self.eval_node(inst.body) {
+                Tri::True => body_count += 1,
+                Tri::False => {}
+                Tri::Unknown => unknown = true,
+            }
+        }
+        if unknown {
+            return PropKnow::Unknown;
+        }
+        if conditional {
+            if cond_count == 0 {
+                PropKnow::Undef
+            } else {
+                PropKnow::Def(Rat::new(body_count, cond_count))
+            }
+        } else {
+            PropKnow::Def(Rat::new(body_count, total))
+        }
+    }
+
+    /// One pass of unit propagation: forces every resolvable, unassigned
+    /// unit-literal slot. Returns whether anything was forced.
+    /// Conflicting assignments are left to evaluation (the unit's
+    /// conjunct makes the root false).
+    fn propagate_units(&mut self) -> bool {
+        let mut progress = false;
+        for i in 0..self.prog.units.len() {
+            let unit = self.prog.units[i];
+            let Some(slot) = self.atom_slot(unit.node) else {
+                continue;
+            };
+            if self.assign[slot] == UNASSIGNED {
+                self.assign_slot(slot, unit.value as u8);
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    /// Counts the models extending the current partial assignment.
+    /// `cursor` indexes into the branch order (everything before it is
+    /// already assigned or skipped).
+    fn run(&mut self, mut cursor: usize) -> Result<u128, CountError> {
+        self.visited += 1;
+        if self.visited > self.budget {
+            return Err(CountError::BudgetExhausted);
+        }
+        loop {
+            match self.eval_node(self.prog.root) {
+                Tri::False => return Ok(0),
+                Tri::True => return Ok(self.free_product),
+                Tri::Unknown => {}
+            }
+            if !self.propagate_units() {
+                break;
+            }
+        }
+        let order = &self.prog.branch_order;
+        while cursor < order.len() && self.assign[order[cursor] as usize] != UNASSIGNED {
+            cursor += 1;
+        }
+        let slot = if cursor < order.len() {
+            order[cursor] as usize
+        } else {
+            // Defensive: with every support slot assigned the program is
+            // always decided, but fall back to any unassigned slot
+            // rather than trusting that invariant with a panic.
+            match self.assign.iter().position(|&v| v == UNASSIGNED) {
+                Some(s) => s,
+                None => return Ok(0), // fully assigned yet Unknown: unreachable
+            }
+        };
+        self.branched += 1;
+        let domain = self.prog.layout().domain(slot);
+        let mut total: u128 = 0;
+        for v in 0..domain {
+            let mark = self.trail.len();
+            self.assign_slot(slot, v as u8);
+            let sub = self.run(cursor + 1)?;
+            total = total.checked_add(sub).ok_or(CountError::Overflow)?;
+            self.pop_to(mark);
+        }
+        Ok(total)
+    }
+}
+
+impl From<bool> for Tri {
+    fn from(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+}
+
+/// The fixed chunk decomposition of a program's branch tree: the longest
+/// prefix of the branch order whose assignment product stays at or below
+/// the target. Depends only on the program, never on the thread count —
+/// the root of the determinism contract.
+fn chunk_prefix(prog: &Program) -> (usize, u64) {
+    const TARGET: u64 = 64;
+    let mut len = 0usize;
+    let mut product = 1u64;
+    for &s in &prog.branch_order {
+        if product >= TARGET {
+            break;
+        }
+        product *= prog.layout().domain(s as usize) as u64;
+        len += 1;
+    }
+    (len, product)
+}
+
+/// One chunk's `(count, visited, branched)` totals, or its failure.
+type ChunkResult = Result<(u128, u64, u64), CountError>;
+
+/// Counts the models of a compiled [`Program`] by branch-and-count.
+///
+/// Deterministic at any [`CountOptions::threads`] value: the count,
+/// [`CountOutcome::visited`]/[`CountOutcome::branched`] totals and the
+/// failure mode are all identical across thread counts for a fixed
+/// program and budget.
+pub fn count_models(prog: &Program, opts: &CountOptions) -> Result<CountOutcome, CountError> {
+    // Chunking costs up to one visit per chunk (the prefix assignment
+    // bypasses top-of-tree propagation), so only searches big enough to
+    // amortize it are sharded. The threshold reads the *program*, never
+    // the thread count — counts stay identical at any parallelism.
+    const CHUNK_THRESHOLD: u128 = 4096;
+    let (prefix_len, chunks) = if prog.support_assignments() >= CHUNK_THRESHOLD {
+        chunk_prefix(prog)
+    } else {
+        (0, 1)
+    };
+    let chunk_budget = (opts.max_visited / chunks.max(1)).max(1);
+    if chunks <= 1 {
+        let mut search = Search::new(prog, opts.max_visited)?;
+        let count = search.run(0)?;
+        return Ok(CountOutcome {
+            count,
+            visited: search.visited,
+            branched: search.branched,
+        });
+    }
+
+    let run_chunk = |chunk: u64| -> ChunkResult {
+        let mut search = Search::new(prog, chunk_budget)?;
+        // Decode the chunk index into prefix-slot values (mixed radix,
+        // first branch-order slot least significant).
+        let mut rest = chunk;
+        for i in 0..prefix_len {
+            let slot = prog.branch_order[i] as usize;
+            let d = prog.layout().domain(slot) as u64;
+            search.assign_slot(slot, (rest % d) as u8);
+            rest /= d;
+        }
+        let count = search.run(prefix_len)?;
+        Ok((count, search.visited, search.branched))
+    };
+
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        t => t,
+    }
+    .min(chunks as usize)
+    .max(1);
+
+    let results: Vec<Option<ChunkResult>> = if threads == 1 {
+        let mut out = Vec::with_capacity(chunks as usize);
+        for c in 0..chunks {
+            let r = run_chunk(c);
+            let failed = r.is_err();
+            out.push(Some(r));
+            if failed {
+                break;
+            }
+        }
+        out.resize_with(chunks as usize, || None);
+        out
+    } else {
+        let next = AtomicU64::new(0);
+        let aborted = AtomicBool::new(false);
+        let shards = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    let aborted = &aborted;
+                    let run_chunk = &run_chunk;
+                    scope.spawn(move || {
+                        let mut out: Vec<(u64, ChunkResult)> = Vec::new();
+                        loop {
+                            if aborted.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks {
+                                break;
+                            }
+                            let r = run_chunk(c);
+                            if r.is_err() {
+                                aborted.store(true, Ordering::Relaxed);
+                            }
+                            out.push((c, r));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("counting worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut ordered: Vec<Option<ChunkResult>> = vec![None; chunks as usize];
+        for shard in shards {
+            for (c, r) in shard {
+                ordered[c as usize] = Some(r);
+            }
+        }
+        ordered
+    };
+
+    let mut outcome = CountOutcome {
+        count: 0,
+        visited: 0,
+        branched: 0,
+    };
+    for r in results {
+        match r {
+            Some(Ok((count, visited, branched))) => {
+                outcome.count = outcome
+                    .count
+                    .checked_add(count)
+                    .ok_or(CountError::Overflow)?;
+                outcome.visited += visited;
+                outcome.branched += branched;
+            }
+            Some(Err(e)) => return Err(e),
+            // Skipped after an abort elsewhere: the error below (or
+            // earlier in chunk order) is the outcome.
+            None => return Err(CountError::BudgetExhausted),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Compiles `formula` over `W_n(Φ)` and counts its models.
+///
+/// The convenience entry the exact-inference stage uses twice per
+/// `(query, N)` point: once for `#(KB)` (the cacheable denominator) and
+/// once for `#(KB ∧ query)`.
+pub fn count_formula_models(
+    vocab: &rw_logic::Vocabulary,
+    n: usize,
+    tol: &rw_logic::Tolerances,
+    formula: &rw_logic::ast::Formula,
+    opts: &CountOptions,
+) -> Result<CountOutcome, CountError> {
+    let prog = Program::compile(vocab, n, tol, formula).ok_or(CountError::Overflow)?;
+    count_models(&prog, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::eval::Evaluator;
+    use rw_logic::ast::Formula;
+    use rw_logic::{KnowledgeBase, Tolerances};
+
+    fn tol() -> Tolerances {
+        Tolerances::uniform(Rat::new(1, 4))
+    }
+
+    /// The naive oracle: enumerate every world and model-check.
+    fn oracle_count(kb: &KnowledgeBase, f: &Formula, n: usize) -> u128 {
+        let mut count = 0u128;
+        enumerate::for_each_world(kb.vocab(), n, |w| {
+            if Evaluator::new(w, kb.vocab(), &tol()).eval(f) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    fn counted(kb: &KnowledgeBase, f: &Formula, n: usize) -> CountOutcome {
+        count_formula_models(kb.vocab(), n, &tol(), f, &CountOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn counts_match_the_oracle_on_mixed_shapes() {
+        for (kb_src, q_src, n) in [
+            ("true", "P(C)", 3),
+            ("P(C)", "P(C)", 3),
+            ("P(C) & !P(C)", "P(C)", 3),
+            ("||P(x)||_x ~=_1 0.5; Q(C)", "P(C)", 4),
+            ("Likes(A, B)", "Likes(B, A)", 3),
+            ("C1 = C2 or C2 = C3 or C1 = C3", "C1 = C2", 4),
+            ("forall x (P(x) => Q(x)); P(C)", "Q(C)", 3),
+            ("exists x (P(x) & !Q(x))", "P(C)", 3),
+            ("||Fly(x) | Bird(x)||_x ~=_1 1; Bird(C)", "Fly(C)", 4),
+            ("||Likes(x, y)||_{x,y} ~=_1 0.25", "Likes(A, A)", 3),
+        ] {
+            let mut kb = KnowledgeBase::parse(kb_src).unwrap();
+            let q = kb.parse_query(q_src).unwrap();
+            let kb_f = kb.as_formula();
+            let both = Formula::and(kb_f.clone(), q);
+            assert_eq!(
+                counted(&kb, &kb_f, n).count,
+                oracle_count(&kb, &kb_f, n),
+                "#KB diverged on `{kb_src}` at N={n}"
+            );
+            assert_eq!(
+                counted(&kb, &both, n).count,
+                oracle_count(&kb, &both, n),
+                "#(KB ∧ q) diverged on `{kb_src}` ⊢ `{q_src}` at N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn functions_and_nested_proportions_match_the_oracle() {
+        for (kb_src, n) in [
+            ("P(Next(C))", 3),
+            ("forall x (P(Next(x)) <=> P(x))", 3),
+            ("|| ||Rises(x, y) | Day(y)||_y ~=_1 1 ||_x ~=_1 0.5", 3),
+        ] {
+            let kb = KnowledgeBase::parse(kb_src).unwrap();
+            let f = kb.as_formula();
+            assert_eq!(
+                counted(&kb, &f, n).count,
+                oracle_count(&kb, &f, n),
+                "diverged on `{kb_src}` at N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_slots_are_multiplied_not_enumerated() {
+        // `P(C)` with a fat spectator predicate: the R bits and the D
+        // constant never constrain anything, so the visited count must
+        // stay tiny while the model count covers the full product.
+        let mut kb = KnowledgeBase::parse("P(C)").unwrap();
+        kb.parse_query("Likes(D, D)").unwrap(); // interns Likes/2 and D
+        let f = kb.as_formula();
+        let n = 4usize;
+        let out = counted(&kb, &f, n);
+        let total = enumerate::count_interpretations(kb.vocab(), n).unwrap();
+        assert_eq!(out.count, total / 2);
+        assert!(
+            out.visited < 64,
+            "expected branch-and-count to multiply out free slots, visited {}",
+            out.visited
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_programs_prune_to_zero_quickly() {
+        let kb = KnowledgeBase::parse("P(C) & !P(C); Likes(A, B)").unwrap();
+        let f = kb.as_formula();
+        let out = counted(&kb, &f, 4);
+        assert_eq!(out.count, 0);
+        assert!(out.visited < 128, "visited {}", out.visited);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let kb = KnowledgeBase::parse("||Likes(x, y)||_{x,y} ~=_1 0.5").unwrap();
+        let f = kb.as_formula();
+        let prog = Program::compile(kb.vocab(), 4, &tol(), &f).unwrap();
+        let err = count_models(
+            &prog,
+            &CountOptions {
+                max_visited: 8,
+                threads: 1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CountError::BudgetExhausted);
+    }
+
+    #[test]
+    fn thread_counts_never_change_the_outcome() {
+        for (kb_src, n) in [
+            ("||P(x)||_x ~=_1 0.5; Q(C)", 4),
+            ("Likes(A, B)", 4),
+            ("||Likes(x, y)||_{x,y} ~=_1 0.25", 3),
+        ] {
+            let kb = KnowledgeBase::parse(kb_src).unwrap();
+            let f = kb.as_formula();
+            let prog = Program::compile(kb.vocab(), n, &tol(), &f).unwrap();
+            let base = count_models(&prog, &CountOptions::default()).unwrap();
+            for threads in [2usize, 4, 0] {
+                let opts = CountOptions {
+                    threads,
+                    ..CountOptions::default()
+                };
+                assert_eq!(
+                    count_models(&prog, &opts).unwrap(),
+                    base,
+                    "`{kb_src}` diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}

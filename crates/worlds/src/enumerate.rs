@@ -17,10 +17,13 @@ pub fn count_interpretations(vocab: &Vocabulary, n: usize) -> Option<u128> {
     let mut total: u128 = 1;
     for p in vocab.preds() {
         let bits = (n as u128).checked_pow(vocab.pred_arity(p) as u32)?;
-        if bits >= 127 {
-            return None;
-        }
-        total = total.checked_mul(1u128 << bits)?;
+        // `checked_shl` keeps every representable count exact: a single
+        // ~127-bit relation still reports its concrete size instead of
+        // collapsing to "overflow".
+        let tables = u32::try_from(bits)
+            .ok()
+            .and_then(|b| 1u128.checked_shl(b))?;
+        total = total.checked_mul(tables)?;
     }
     for f in vocab.funcs() {
         let entries = (n as u128).checked_pow(vocab.func_arity(f) as u32)?;
@@ -125,14 +128,18 @@ pub fn count_worlds(
 ) -> (u128, u128) {
     let mut both: u128 = 0;
     let mut cond_count: u128 = 0;
+    // One valuation buffer for the whole count: the evaluator is rebuilt
+    // per world (its world borrow must be), but the allocation is not.
+    let mut valuation: Vec<Option<usize>> = Vec::new();
     for_each_world(vocab, n, |w| {
-        let mut ev = Evaluator::new(w, vocab, tol);
+        let mut ev = Evaluator::with_valuation(w, vocab, tol, std::mem::take(&mut valuation));
         if ev.eval(cond) {
             cond_count += 1;
             if ev.eval(body) {
                 both += 1;
             }
         }
+        valuation = ev.into_valuation();
     });
     (both, cond_count)
 }
@@ -218,6 +225,30 @@ mod tests {
         assert_eq!(count_interpretations(&v, 3), Some(24 * 512)); // * 2^9
         v.func("f", 1).unwrap();
         assert_eq!(count_interpretations(&v, 3), Some(24 * 512 * 27)); // * 3^3
+    }
+
+    #[test]
+    fn interpretation_counts_near_the_u128_edge_stay_exact() {
+        // A 127-bit relation: the count is exactly 2^127, which fits in
+        // u128 and must be reported — not collapsed to `None`.
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        assert_eq!(count_interpretations(&v, 127), Some(1u128 << 127));
+        // A ~100-bit relation composes with smaller factors for as long
+        // as the product is representable...
+        let mut v = Vocabulary::new();
+        v.pred("R", 2).unwrap(); // 10^2 = 100 bits
+        v.constant("c").unwrap();
+        assert_eq!(count_interpretations(&v, 10), Some((1u128 << 100) * 10));
+        // ...and overflows to `None` only when the product truly does.
+        let mut v = Vocabulary::new();
+        v.pred("R", 2).unwrap();
+        v.pred("S", 2).unwrap(); // 2^200 total
+        assert_eq!(count_interpretations(&v, 10), None);
+        // A single relation beyond 2^127 overflows too (128+ bits).
+        let mut v = Vocabulary::new();
+        v.pred("P", 1).unwrap();
+        assert_eq!(count_interpretations(&v, 128), None);
     }
 
     #[test]

@@ -54,12 +54,33 @@ pub struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     pub fn new(world: &'a World, vocab: &'a Vocabulary, tol: &'a Tolerances) -> Evaluator<'a> {
+        Evaluator::with_valuation(world, vocab, tol, Vec::new())
+    }
+
+    /// As [`Evaluator::new`], reusing a caller-owned valuation buffer so
+    /// hot loops (world enumeration, per-world cross-checks) evaluate
+    /// without a fresh allocation per world. Recover the buffer with
+    /// [`Evaluator::into_valuation`].
+    pub fn with_valuation(
+        world: &'a World,
+        vocab: &'a Vocabulary,
+        tol: &'a Tolerances,
+        mut valuation: Vec<Option<usize>>,
+    ) -> Evaluator<'a> {
+        valuation.clear();
+        valuation.resize(vocab.var_count(), None);
         Evaluator {
             world,
             vocab,
             tol,
-            valuation: vec![None; vocab.var_count()],
+            valuation,
         }
+    }
+
+    /// Releases the valuation buffer for reuse by the next
+    /// [`Evaluator::with_valuation`] call.
+    pub fn into_valuation(self) -> Vec<Option<usize>> {
+        self.valuation
     }
 
     /// Binds a variable, returning the previous binding for restoration.

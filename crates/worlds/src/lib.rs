@@ -10,19 +10,30 @@
 //! enumeration implemented here on small instances.
 //!
 //! The number of worlds grows doubly exponentially (one binary predicate
-//! alone contributes `2^(N²)`), so enumeration is only feasible for tiny
-//! `N`; [`enumerate::count_interpretations`] reports the cost up front,
-//! [`sample`] provides naive uniform Monte-Carlo estimates beyond it, and
-//! [`mc`] is the production sampling subsystem (KB-aware proposals,
-//! Wilson confidence intervals, `N`-sweep extrapolation, parallel
-//! workers).
+//! alone contributes `2^(N²)`), so blind enumeration is only feasible for
+//! tiny `N`; [`enumerate::count_interpretations`] reports the cost up
+//! front, [`sample`] provides naive uniform Monte-Carlo estimates beyond
+//! it, and [`mc`] is the production sampling subsystem (KB-aware
+//! proposals, Wilson confidence intervals, `N`-sweep extrapolation,
+//! parallel workers).
+//!
+//! The production *exact* path is [`compile`] + [`count`]: formulas are
+//! lowered once into flat slot programs and counted by branch-and-count
+//! search (prune on falsity, force unit literals, multiply out free
+//! slots), which visits orders of magnitude fewer nodes than there are
+//! interpretations. [`enumerate::for_each_world`] remains the oracle the
+//! compiled counts are cross-checked against.
 
+pub mod compile;
+pub mod count;
 pub mod enumerate;
 pub mod eval;
 pub mod mc;
 pub mod sample;
 pub mod world;
 
+pub use compile::{Program, SlotLayout};
+pub use count::{count_formula_models, count_models, CountError, CountOptions, CountOutcome};
 pub use enumerate::{count_interpretations, count_worlds, degree_of_belief_at, for_each_world};
 pub use eval::{evaluate, evaluate_closed, PropValue};
 pub use world::World;
