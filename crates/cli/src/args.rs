@@ -51,6 +51,10 @@ pub enum Command {
         file: Option<PathBuf>,
         /// Listener/pool/cache/queue configuration.
         config: rw_server::ServerConfig,
+        /// Enumeration-scan settings applied to the preloaded KB
+        /// (`--symmetry` / `--min-n` / `--max-n`); KBs loaded later over
+        /// the wire carry their own in the `load` request.
+        scan: rw_server::proto::ScanParams,
     },
     /// `rwq client --addr A`: forward JSONL requests from stdin to a
     /// running server, one response line per request on stdout.
@@ -108,6 +112,13 @@ OPTIONS:
                        are rejected with code \"overloaded\" (default 1024)
   --cache              share a canonical-query answer cache across the
                        session's queries (batch, query, repl)
+  --symmetry           count symmetry-reduced orbit representatives in the
+                       exact enumeration stage instead of raw worlds — the
+                       finite-N scan reaches far deeper domains (query,
+                       repl, batch; on serve it applies to the preloaded KB)
+  --min-n N            first domain size of the enumeration scan (2..=64)
+  --max-n N            last domain size of the enumeration scan (2..=64;
+                       defaults: 8 plain, 40 with --symmetry)
   --approx             enable Monte-Carlo approximate inference: queries
                        missing every theorem pattern are answered by
                        sampling, with a 95% confidence interval
@@ -159,6 +170,29 @@ fn parse_prior(s: &str) -> Result<Prior, ArgError> {
     }
 }
 
+/// Parses a `--min-n` / `--max-n` domain size. The exact enumeration
+/// stage scans `N` in `2..=MAX_SCAN_N`; the bounds mirror the server's
+/// `load` validation so the two surfaces reject the same windows.
+fn parse_scan_n(v: &str, flag: &str) -> Result<usize, ArgError> {
+    let max = rw_core::solvers::MAX_SCAN_N;
+    match v.parse::<usize>() {
+        Ok(n) if (2..=max).contains(&n) => Ok(n),
+        _ => Err(ArgError(format!(
+            "{flag} expects a domain size in 2..={max}, got `{v}`"
+        ))),
+    }
+}
+
+/// An inverted scan window can never answer anything; reject it up front.
+fn check_scan_window(min_n: Option<usize>, max_n: Option<usize>) -> Result<(), ArgError> {
+    if let (Some(lo), Some(hi)) = (min_n, max_n) {
+        if lo > hi {
+            return Err(ArgError(format!("--min-n {lo} exceeds --max-n {hi}")));
+        }
+    }
+    Ok(())
+}
+
 fn parse_trend(s: &str) -> Result<Vec<usize>, ArgError> {
     s.split(',')
         .map(|t| {
@@ -189,6 +223,13 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
                 options.threads = parse_threads(&value(&mut i, "--threads")?)?;
             }
             "--cache" => options.cache = true,
+            "--symmetry" => options.symmetry = true,
+            "--min-n" => {
+                options.min_n = Some(parse_scan_n(&value(&mut i, "--min-n")?, "--min-n")?);
+            }
+            "--max-n" => {
+                options.max_n = Some(parse_scan_n(&value(&mut i, "--max-n")?, "--max-n")?);
+            }
             "--approx" => options.approx = true,
             "--samples" => {
                 let v = value(&mut i, "--samples")?;
@@ -248,6 +289,7 @@ fn parse_options(args: &[String]) -> Result<(SessionOptions, Vec<String>), ArgEr
                 .to_string(),
         ));
     }
+    check_scan_window(options.min_n, options.max_n)?;
     Ok((options, positional))
 }
 
@@ -286,6 +328,7 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         addr: DEFAULT_SERVE_ADDR.to_string(),
         ..rw_server::ServerConfig::default()
     };
+    let mut scan = rw_server::proto::ScanParams::default();
     let mut positional = Vec::new();
     let mut i = 0usize;
     let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
@@ -312,6 +355,9 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
             "--max-queue" => {
                 config.max_queue = positive(value(&mut i, "--max-queue")?, "--max-queue")?
             }
+            "--symmetry" => scan.symmetry = true,
+            "--min-n" => scan.min_n = Some(parse_scan_n(&value(&mut i, "--min-n")?, "--min-n")?),
+            "--max-n" => scan.max_n = Some(parse_scan_n(&value(&mut i, "--max-n")?, "--max-n")?),
             flag if flag.starts_with("--") => {
                 return Err(ArgError(format!("unknown serve option `{flag}`")));
             }
@@ -319,14 +365,23 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         }
         i += 1;
     }
+    check_scan_window(scan.min_n, scan.max_n)?;
     if positional.len() > 1 {
         return Err(ArgError(
             "serve takes at most one KB file (preloaded as `default`)".to_string(),
         ));
     }
+    if positional.is_empty() && scan != rw_server::proto::ScanParams::default() {
+        return Err(ArgError(
+            "--symmetry/--min-n/--max-n on serve configure the preloaded KB; \
+             pass a KB file or send them in `load` requests"
+                .to_string(),
+        ));
+    }
     Ok(Command::Serve {
         file: positional.pop().map(PathBuf::from),
         config,
+        scan,
     })
 }
 
@@ -408,6 +463,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 samples: options.samples,
                 mc_seed: options.mc_seed,
                 ci: options.ci,
+                symmetry: options.symmetry,
+                min_n: options.min_n,
+                max_n: options.max_n,
                 ..SessionOptions::default()
             };
             if options != concurrency_only {
@@ -703,9 +761,83 @@ mod tests {
     }
 
     #[test]
+    fn scan_flags_parse_for_query_batch_and_serve() {
+        match parse(&strs(&[
+            "query",
+            "kb",
+            "P(C)",
+            "--symmetry",
+            "--min-n",
+            "4",
+            "--max-n",
+            "32",
+        ]))
+        .unwrap()
+        {
+            Command::Query { options, .. } => {
+                assert!(options.symmetry);
+                assert_eq!(options.min_n, Some(4));
+                assert_eq!(options.max_n, Some(32));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&["batch", "kb", "--symmetry", "--max-n", "40"])).unwrap() {
+            Command::Batch { options, .. } => {
+                assert!(options.symmetry);
+                assert_eq!(options.max_n, Some(40));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&["repl", "kb", "--min-n", "3"])).unwrap() {
+            Command::Repl { options, .. } => assert_eq!(options.min_n, Some(3)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&["serve", "kb.rwkb", "--symmetry", "--max-n", "48"])).unwrap() {
+            Command::Serve { scan, .. } => {
+                assert!(scan.symmetry);
+                assert_eq!(scan.min_n, None);
+                assert_eq!(scan.max_n, Some(48));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_flag_validation() {
+        // The window bounds mirror the server's `load` validation.
+        for bad in [
+            vec!["query", "kb", "q", "--min-n", "1"],
+            vec!["query", "kb", "q", "--max-n", "65"],
+            vec!["batch", "kb", "--max-n", "0"],
+            vec!["serve", "kb", "--min-n", "huge"],
+        ] {
+            assert!(
+                parse(&strs(&bad)).unwrap_err().0.contains("2..=64"),
+                "{bad:?}"
+            );
+        }
+        // Inverted windows are rejected on every verb that takes them.
+        for bad in [
+            vec!["query", "kb", "q", "--min-n", "10", "--max-n", "4"],
+            vec!["serve", "kb", "--min-n", "10", "--max-n", "4"],
+        ] {
+            assert!(
+                parse(&strs(&bad)).unwrap_err().0.contains("exceeds"),
+                "{bad:?}"
+            );
+        }
+        // On serve the scan knobs configure the preloaded KB; without a
+        // file there is nothing for them to apply to.
+        assert!(parse(&strs(&["serve", "--symmetry"]))
+            .unwrap_err()
+            .0
+            .contains("preloaded KB"));
+    }
+
+    #[test]
     fn serve_parses_defaults_and_flags() {
         match parse(&strs(&["serve"])).unwrap() {
-            Command::Serve { file, config } => {
+            Command::Serve { file, config, .. } => {
                 assert_eq!(file, None);
                 assert_eq!(config.addr, DEFAULT_SERVE_ADDR);
                 assert_eq!(config.threads, 0); // per-core
@@ -729,7 +861,7 @@ mod tests {
         ]))
         .unwrap()
         {
-            Command::Serve { file, config } => {
+            Command::Serve { file, config, .. } => {
                 assert_eq!(file, Some(PathBuf::from("kb.rwkb")));
                 assert_eq!(config.addr, "127.0.0.1:0");
                 assert_eq!(config.threads, 4);

@@ -170,7 +170,7 @@ pub fn run(
             out.flush()?;
             Ok(if report.failed == 0 { 0 } else { 1 })
         }
-        Command::Serve { file, config } => {
+        Command::Serve { file, config, scan } => {
             let preload = match file {
                 Some(f) => match load_kb(&f) {
                     Ok(kb) => Some(kb),
@@ -190,7 +190,7 @@ pub fn run(
             };
             let mut kbs = Vec::new();
             if let Some(kb) = preload {
-                server.registry().insert("default", kb);
+                server.registry().insert_scan("default", kb, scan);
                 kbs.push("\"default\"".to_string());
             }
             let addr = server

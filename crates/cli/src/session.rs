@@ -44,6 +44,14 @@ pub struct SessionOptions {
     pub mc_seed: Option<u64>,
     /// `--ci`: override the sampler's target CI half-width.
     pub ci: Option<f64>,
+    /// `--symmetry`: the exact enumeration stage counts symmetry-reduced
+    /// orbit representatives instead of raw worlds, reaching far deeper
+    /// domain sizes on KBs inside the symmetry fragment.
+    pub symmetry: bool,
+    /// `--min-n`: first domain size of the enumeration scan.
+    pub min_n: Option<usize>,
+    /// `--max-n`: last domain size of the enumeration scan.
+    pub max_n: Option<usize>,
 }
 
 impl Default for SessionOptions {
@@ -59,6 +67,9 @@ impl Default for SessionOptions {
             samples: None,
             mc_seed: None,
             ci: None,
+            symmetry: false,
+            min_n: None,
+            max_n: None,
         }
     }
 }
@@ -145,6 +156,9 @@ impl Session {
             let mut engine = RandomWorlds::new();
             engine.approx = mc;
             engine.enum_threads = enum_threads;
+            engine.enum_symmetry = options.symmetry;
+            engine.enum_min_n = options.min_n;
+            engine.enum_max_n = options.max_n;
             let stages = engine.default_stages();
             engine.with_solvers(stages)
         };
@@ -565,6 +579,26 @@ mod tests {
         let reference = line_at(1);
         assert_eq!(reference, line_at(2));
         assert_eq!(reference, line_at(4));
+    }
+
+    #[test]
+    fn symmetry_sessions_scan_deeper_domains() {
+        // A proportion-plus-binary KB outside every closed form: exact
+        // enumeration answers it, and with --symmetry the scan runs to
+        // the requested window with orbit counters in the provenance.
+        let kb = parse_kb("||P(x)||_x ~=_1 1\nLikes(A, B)\n").unwrap();
+        let s = Session::new(
+            kb,
+            SessionOptions {
+                symmetry: true,
+                max_n: Some(24),
+                ..SessionOptions::default()
+            },
+        );
+        let (line, ok) = s.answer_json_line("Likes(B, A)");
+        assert!(ok, "{line}");
+        assert!(line.contains(r#""orbits":"#), "{line}");
+        assert!(line.contains(r#""max_n":24"#), "{line}");
     }
 
     #[test]

@@ -172,6 +172,11 @@ pub enum Provenance {
         /// Visited nodes that branched over a slot (the rest were
         /// decided by propagation or pruning). `0` in oracle mode.
         branched: u64,
+        /// Orbit representatives enumerated computing the numerator
+        /// counts in symmetry-reduced mode (the analogue of `visited`
+        /// there, with the same determinism guarantee). `0` in plain
+        /// compiled and oracle modes.
+        orbits: u64,
     },
     /// Direct entailment of asserted ground facts: every KB-world agrees,
     /// so the degree of belief is 0 or 1 outright (Def 4.2).

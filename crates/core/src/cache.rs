@@ -24,6 +24,7 @@
 
 use crate::belief::{Belief, Provenance};
 use rw_logic::canon::fnv1a;
+use rw_worlds::ScaledCount;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -199,6 +200,13 @@ pub struct DenomKey {
     /// stops, making answers depend on cache warmth. Keyed by budget, a
     /// hit only ever replaces a count that would have succeeded anyway.
     pub budget: u64,
+    /// Whether the count came from the symmetry-reduced orbit counter.
+    /// Both modes compute the same exact number when both finish, but
+    /// their budget units differ (visited search nodes vs orbit
+    /// representatives), so the same budget value means different
+    /// reachability — keeping the modes keyed apart preserves the
+    /// warmth-independence argument above.
+    pub symmetry: bool,
 }
 
 /// A small shared cache of `#worlds_N^τ(KB)` denominator counts.
@@ -208,9 +216,14 @@ pub struct DenomKey {
 /// recomputes it per query unless cached. Only **successful** counts are
 /// stored (a count that fit one budget is valid under every budget), so
 /// a hit can change how fast an answer arrives but never what it is.
+/// Values are [`ScaledCount`]s because symmetry-reduced counts routinely
+/// exceed `u128`; plain branch-and-count entries store their `u128`
+/// exactly. Hit/miss counters are lock-free atomics, surfaced by the
+/// server's `stats` op alongside the [`AnswerCache`]'s.
 ///
 /// ```
 /// use rw_core::cache::{DenomCache, DenomKey};
+/// use rw_worlds::ScaledCount;
 ///
 /// let cache = DenomCache::new();
 /// let key = DenomKey {
@@ -219,14 +232,18 @@ pub struct DenomKey {
 ///     n: 4,
 ///     tau: (1, 4),
 ///     budget: 1 << 24,
+///     symmetry: false,
 /// };
 /// assert_eq!(cache.get(&key), None);
-/// cache.insert(key.clone(), 196_608);
-/// assert_eq!(cache.get(&key), Some(196_608));
+/// cache.insert(key.clone(), ScaledCount::from_u128(196_608));
+/// assert_eq!(cache.get(&key).unwrap().exact(), Some(196_608));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
 /// ```
 #[derive(Debug, Default)]
 pub struct DenomCache {
-    entries: Mutex<HashMap<DenomKey, u128>>,
+    entries: Mutex<HashMap<DenomKey, ScaledCount>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl DenomCache {
@@ -235,22 +252,39 @@ impl DenomCache {
         DenomCache::default()
     }
 
-    /// Looks up a cached world count.
-    pub fn get(&self, key: &DenomKey) -> Option<u128> {
-        self.entries
+    /// Looks up a cached world count, counting the outcome in
+    /// [`Self::hits`] / [`Self::misses`].
+    pub fn get(&self, key: &DenomKey) -> Option<ScaledCount> {
+        let found = self
+            .entries
             .lock()
             .expect("denominator cache poisoned")
             .get(key)
-            .copied()
+            .copied();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Stores a successfully computed world count. Concurrent inserts of
     /// one key are benign: exact counting is deterministic.
-    pub fn insert(&self, key: DenomKey, count: u128) {
+    pub fn insert(&self, key: DenomKey, count: ScaledCount) {
         self.entries
             .lock()
             .expect("denominator cache poisoned")
             .insert(key, count);
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Number of cached denominators.
@@ -322,6 +356,32 @@ mod tests {
         let cache = AnswerCache::with_shards(0);
         cache.insert(AnswerCache::key(0, "q"), answer(0.0));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn denom_cache_counts_lookups_and_keys_modes_apart() {
+        let cache = DenomCache::new();
+        let key = DenomKey {
+            kb_fingerprint: 1,
+            vocab_fingerprint: 2,
+            n: 4,
+            tau: (1, 16),
+            budget: 1 << 24,
+            symmetry: false,
+        };
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), ScaledCount::from_u128(42));
+        assert_eq!(cache.get(&key).unwrap().exact(), Some(42));
+        // The symmetry-mode twin of the same point is a distinct entry.
+        let sym_key = DenomKey {
+            symmetry: true,
+            ..key.clone()
+        };
+        assert_eq!(cache.get(&sym_key), None);
+        cache.insert(sym_key.clone(), ScaledCount::new(3, 200));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&sym_key), Some(ScaledCount::new(3, 200)));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
     }
 
     #[test]

@@ -50,6 +50,23 @@ pub struct RandomWorlds {
     /// this never affects an answer and is *not* part of the cache
     /// keyspace.
     pub enum_threads: usize,
+    /// Symmetry-reduced orbit counting for the exact counting stage
+    /// (default `false`). When set and a query lands inside the orbit
+    /// fragment, counting enumerates weighted orbit representatives of
+    /// the unnamed-element group instead of branching over worlds, so
+    /// the rising-`N` scan climbs toward
+    /// [`crate::solvers::MAX_SYMMETRY_N`] instead of stopping near
+    /// [`crate::solvers::MAX_COMPILED_N`]. Outside the fragment the
+    /// stage behaves exactly as with the flag off. Folded into the cache
+    /// keyspace: deeper scans select different (equally exact)
+    /// extrapolation points.
+    pub enum_symmetry: bool,
+    /// Floor of the exact stage's rising-`N` scan (`None` = 2). Values
+    /// below 2 are clamped up. Folded into the cache keyspace.
+    pub enum_min_n: Option<usize>,
+    /// Ceiling of the exact stage's rising-`N` scan (`None` = the mode
+    /// default). Folded into the cache keyspace.
+    pub enum_max_n: Option<usize>,
     /// The `(τ, N)` diagonal used by the exact finite-`N` stages (and, as
     /// the `N`-sweep, by the Monte-Carlo stage when one is enabled).
     pub diagonal: Diagonal,
@@ -84,6 +101,9 @@ impl RandomWorlds {
             enum_max_worlds: 1 << 24,
             enum_compiled: true,
             enum_threads: 1,
+            enum_symmetry: false,
+            enum_min_n: None,
+            enum_max_n: None,
             diagonal: Diagonal::default(),
             approx: None,
             custom: None,
@@ -166,6 +186,21 @@ impl RandomWorlds {
         self.cache.as_ref()
     }
 
+    /// The engine's `#worlds` denominator cache (always present), for
+    /// callers that report its statistics or share it across engines.
+    pub fn denom_cache(&self) -> &Arc<DenomCache> {
+        &self.denom_cache
+    }
+
+    /// Replaces the denominator cache with a shared one, so several
+    /// engines (e.g. per-KB serving sessions) pool their `#worlds_N^τ(KB)`
+    /// counts. Always safe: entries are pure functions of their key, and
+    /// the key carries the KB, vocabulary, budget, and counting mode.
+    pub fn with_denom_cache(mut self, cache: Arc<DenomCache>) -> RandomWorlds {
+        self.denom_cache = cache;
+        self
+    }
+
     /// The names of the effective pipeline's stages, in execution order.
     pub fn solvers(&self) -> Vec<String> {
         self.effective_stages()
@@ -195,6 +230,9 @@ impl RandomWorlds {
             Box::new(EnumerationDiagonalSolver {
                 diagonal: self.diagonal.clone(),
                 compiled: self.enum_compiled,
+                symmetry: self.enum_symmetry,
+                min_n: self.enum_min_n,
+                max_n: self.enum_max_n,
                 threads: self.enum_threads,
                 denom_cache: Some(Arc::clone(&self.denom_cache)),
             }),
@@ -229,7 +267,7 @@ impl RandomWorlds {
             src.push_str(&format!("#{};", s.budget.max_count));
         }
         src.push_str(&format!(
-            "|{:?}|{}|{}|{}|{:?}|{:?}",
+            "|{:?}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
             self.sweep,
             self.unary_max_profiles,
             self.enum_max_worlds,
@@ -237,6 +275,11 @@ impl RandomWorlds {
             // `enum_threads` is excluded like the sampler's worker count
             // (counting is chunk-deterministic at any thread count).
             self.enum_compiled,
+            // Symmetry and the scan window select how deep the rising-N
+            // diagonal goes, and so the extrapolation points.
+            self.enum_symmetry,
+            self.enum_min_n,
+            self.enum_max_n,
             self.diagonal,
             // Only the sampler fields that can affect an answer — worker
             // count is excluded, so sessions differing only in threads
@@ -1034,6 +1077,13 @@ mod tests {
         e.enum_max_worlds = 1 << 10;
         assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
         e.diagonal = Diagonal::geometric(rw_util::Rat::new(1, 4), 8, 2);
+        assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        // The symmetry flag and scan window are part of the keyspace too.
+        e.enum_symmetry = true;
+        assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        e.enum_min_n = Some(3);
+        assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
+        e.enum_max_n = Some(12);
         assert!(!e.answer(&kb, "Hep(Eric)").unwrap().cached);
         // ...and each configuration's own entry still hits.
         assert!(e.answer(&kb, "Hep(Eric)").unwrap().cached);

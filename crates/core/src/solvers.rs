@@ -16,6 +16,7 @@ use rw_logic::ast::Formula;
 use rw_logic::{KnowledgeBase, Tolerances};
 use rw_maxent::{LimitOutcome, MaxentError, SweepConfig};
 use rw_worlds::mc::{self, McConfig};
+use rw_worlds::{ScaledCount, SymmetrySpec};
 use std::sync::Arc;
 // The diagonal-extrapolation shape is shared with the Monte-Carlo sweep;
 // the single implementation lives in `rw_worlds::mc::stats`.
@@ -285,6 +286,14 @@ impl Solver for UnaryDiagonalSolver {
 /// across queries through an optional [`DenomCache`]. Counting is
 /// bit-deterministic at any [`Self::threads`] count.
 ///
+/// When [`Self::symmetry`] is set and the formula falls inside the
+/// symmetry fragment ([`rw_worlds::SymmetrySpec`]), counting switches to
+/// **orbit enumeration** over the unnamed-element group: polynomially
+/// many weighted representatives instead of `2^(N²)` branches, which
+/// lets the rising-`N` scan climb toward `N ≈ 40` instead of 8. Outside
+/// the fragment the stage falls back to plain branch-and-count
+/// unchanged.
+///
 /// Setting [`Self::compiled`] to `false` restores the historical
 /// odometer path (`for_each_world`), kept as the oracle the compiled
 /// engine is cross-checked against; there the budget bounds
@@ -296,6 +305,18 @@ pub struct EnumerationDiagonalSolver {
     /// Use the compiled branch-and-count engine (default). `false`
     /// selects the naive odometer oracle.
     pub compiled: bool,
+    /// Enable symmetry-reduced orbit counting for formulas inside the
+    /// supported fragment (off by default; plain counting remains the
+    /// fallback either way).
+    pub symmetry: bool,
+    /// Smallest domain size of the rising-`N` scan (`None` = 2; values
+    /// below 2 are clamped up — `N = 1` has no extrapolation line).
+    pub min_n: Option<usize>,
+    /// Largest domain size the scan may attempt (`None` = the mode
+    /// default: [`MAX_COMPILED_N`] plain, [`MAX_SYMMETRY_N`] when the
+    /// symmetry mode applies). The scan still stops earlier when the
+    /// visited budget would not survive the next point.
+    pub max_n: Option<usize>,
     /// Worker threads for compiled counting (0 = one per core). Never
     /// affects an answer or its trace counters — counting is
     /// chunk-deterministic — so it is excluded from cache fingerprints.
@@ -310,16 +331,28 @@ impl Default for EnumerationDiagonalSolver {
         EnumerationDiagonalSolver {
             diagonal: Diagonal::default(),
             compiled: true,
+            symmetry: false,
+            min_n: None,
+            max_n: None,
             threads: 1,
             denom_cache: None,
         }
     }
 }
 
-/// The largest domain size the compiled scan will attempt. The rising-N
-/// scan stops earlier when the growth prediction says the budget would
-/// not survive the next point.
-const MAX_COMPILED_N: usize = 8;
+/// The largest domain size the plain compiled scan will attempt by
+/// default. The rising-N scan stops earlier when the growth prediction
+/// says the budget would not survive the next point.
+pub const MAX_COMPILED_N: usize = 8;
+
+/// The default ceiling of the symmetry-mode scan: representatives grow
+/// polynomially, so the diagonal climbs far past [`MAX_COMPILED_N`]
+/// before the budget bites.
+pub const MAX_SYMMETRY_N: usize = 40;
+
+/// Hard ceiling any configured `--max-n` is validated against (slot
+/// values are `u8`, so plain counting cannot exceed `N = 254` anyway).
+pub const MAX_SCAN_N: usize = 64;
 
 impl EnumerationDiagonalSolver {
     /// A counting stage over the given diagonal, with the compiled
@@ -374,12 +407,13 @@ impl EnumerationDiagonalSolver {
             n,
             tau: (tau.num(), tau.den()),
             budget: full_budget,
+            symmetry: false,
         });
         let cached = key
             .as_ref()
             .and_then(|k| self.denom_cache.as_ref().and_then(|c| c.get(k)));
         let denominator = match cached {
-            Some(count) => count,
+            Some(count) => count.exact().expect("plain counts fit u128"),
             None => {
                 let out = rw_worlds::count_formula_models(
                     kb.vocab(),
@@ -392,7 +426,7 @@ impl EnumerationDiagonalSolver {
                     },
                 )?;
                 if let (Some(k), Some(cache)) = (key, self.denom_cache.as_ref()) {
-                    cache.insert(k, out.count);
+                    cache.insert(k, ScaledCount::from_u128(out.count));
                 }
                 out.count
             }
@@ -403,6 +437,79 @@ impl EnumerationDiagonalSolver {
             Some(numerator.count as f64 / denominator as f64)
         };
         Ok((value, numerator))
+    }
+
+    /// One symmetry-mode diagonal point: numerator and denominator come
+    /// from weighted orbit enumeration instead of branch-and-count, with
+    /// the same budget discipline (laddered numerator, full-budget
+    /// cacheable denominator keyed with `symmetry: true`). Returns the
+    /// point value and the numerator's representative count.
+    #[allow(clippy::too_many_arguments)]
+    fn symmetry_point(
+        &self,
+        num_spec: &SymmetrySpec,
+        kb_spec: &SymmetrySpec,
+        n: usize,
+        tol: &Tolerances,
+        tau: rw_util::Rat,
+        num_budget: u64,
+        full_budget: u64,
+        fingerprints: Option<(u64, u64)>,
+    ) -> Result<(Option<f64>, u64), rw_worlds::CountError> {
+        let numerator = num_spec.count(
+            n,
+            tol,
+            &rw_worlds::CountOptions {
+                max_visited: num_budget,
+                threads: self.threads,
+            },
+        )?;
+        let key = fingerprints.map(|(kb_fp, vocab_fp)| DenomKey {
+            kb_fingerprint: kb_fp,
+            vocab_fingerprint: vocab_fp,
+            n,
+            tau: (tau.num(), tau.den()),
+            budget: full_budget,
+            symmetry: true,
+        });
+        let cached = key
+            .as_ref()
+            .and_then(|k| self.denom_cache.as_ref().and_then(|c| c.get(k)));
+        let denominator = match cached {
+            Some(count) => count,
+            None => {
+                let out = kb_spec.count(
+                    n,
+                    tol,
+                    &rw_worlds::CountOptions {
+                        max_visited: full_budget,
+                        threads: self.threads,
+                    },
+                )?;
+                if let (Some(k), Some(cache)) = (key, self.denom_cache.as_ref()) {
+                    cache.insert(k, out.count);
+                }
+                out.count
+            }
+        };
+        Ok((
+            ScaledCount::ratio(&numerator.count, &denominator),
+            numerator.reps,
+        ))
+    }
+
+    /// The `[min, max]` domain sizes the rising-`N` scan covers, after
+    /// clamping: the floor never drops below 2 (no extrapolation line
+    /// through `N = 1`) and the ceiling never drops below the floor.
+    fn scan_bounds(&self, symmetry_applies: bool) -> (usize, usize) {
+        let default_max = if symmetry_applies {
+            MAX_SYMMETRY_N
+        } else {
+            MAX_COMPILED_N
+        };
+        let min = self.min_n.unwrap_or(2).max(2);
+        let max = self.max_n.unwrap_or(default_max).max(min);
+        (min, max)
     }
 
     fn solve_compiled(
@@ -423,18 +530,25 @@ impl EnumerationDiagonalSolver {
             )
         });
 
+        // Symmetry mode engages only when *both* formulas land in the
+        // orbit-counting fragment — the ratio must divide counts produced
+        // by the same method. Otherwise fall back to plain
+        // branch-and-count, identical to the symmetry-off configuration.
+        let specs = if self.symmetry {
+            SymmetrySpec::detect(kb.vocab(), &numerator_formula)
+                .zip(SymmetrySpec::detect(kb.vocab(), &kb_formula))
+        } else {
+            None
+        };
+        let (min_n, max_n) = self.scan_bounds(specs.is_some());
+
         let mut points: Vec<(usize, Option<f64>)> = Vec::new();
         let mut visited = 0u64;
         let mut branched = 0u64;
+        let mut orbits = 0u64;
         let mut failure: Option<String> = None;
         let mut prev_effort: u64 = 0;
-        for n in 2..=MAX_COMPILED_N {
-            let Some(num_prog) =
-                rw_worlds::Program::compile(kb.vocab(), n, &tol, &numerator_formula)
-            else {
-                failure = Some(format!("slot space at N={n} overflows the machine"));
-                break;
-            };
+        for n in min_n..=max_n {
             // Iterative deepening up the diagonal: the first point's
             // numerator gets the whole budget, every later one a
             // generous multiple of the previous point's *measured*
@@ -448,22 +562,51 @@ impl EnumerationDiagonalSolver {
             } else {
                 prev_effort.max(64).saturating_mul(1024).min(max_visited)
             };
-            match self.compiled_point(
-                kb,
-                n,
-                &tol,
-                tau,
-                &kb_formula,
-                &num_prog,
-                num_budget,
-                max_visited,
-                fingerprints,
-            ) {
+            let step = match specs.as_ref() {
+                Some((num_spec, kb_spec)) => self
+                    .symmetry_point(
+                        num_spec,
+                        kb_spec,
+                        n,
+                        &tol,
+                        tau,
+                        num_budget,
+                        max_visited,
+                        fingerprints,
+                    )
+                    .map(|(value, reps)| {
+                        orbits += reps;
+                        (value, reps)
+                    }),
+                None => {
+                    let Some(num_prog) =
+                        rw_worlds::Program::compile(kb.vocab(), n, &tol, &numerator_formula)
+                    else {
+                        failure = Some(format!("slot space at N={n} overflows the machine"));
+                        break;
+                    };
+                    self.compiled_point(
+                        kb,
+                        n,
+                        &tol,
+                        tau,
+                        &kb_formula,
+                        &num_prog,
+                        num_budget,
+                        max_visited,
+                        fingerprints,
+                    )
+                    .map(|(value, effort)| {
+                        visited += effort.visited;
+                        branched += effort.branched;
+                        (value, effort.visited)
+                    })
+                }
+            };
+            match step {
                 Ok((value, effort)) => {
-                    visited += effort.visited;
-                    branched += effort.branched;
                     points.push((n, value));
-                    prev_effort = effort.visited;
+                    prev_effort = effort;
                 }
                 Err(e) => {
                     failure = Some(format!("counting at N={n} failed: {e}"));
@@ -476,11 +619,12 @@ impl EnumerationDiagonalSolver {
             max_n,
             visited,
             branched,
+            orbits,
         };
         match points.len() {
             0 => SolverOutcome::BudgetExhausted {
                 reason: failure.unwrap_or_else(|| {
-                    format!("even N=2 exceeded the {max_visited}-node visit budget")
+                    format!("even N={min_n} exceeded the {max_visited}-node visit budget")
                 }),
             },
             // A single reachable size has nothing to extrapolate from —
@@ -551,6 +695,7 @@ impl EnumerationDiagonalSolver {
             max_n,
             visited: 0,
             branched: 0,
+            orbits: 0,
         };
         let tol = Tolerances::uniform(self.diagonal.finest_tau());
         let eval = |n: usize| {
@@ -710,7 +855,8 @@ mod tests {
                     Provenance::Enumeration {
                         max_n: 2,
                         visited: 0,
-                        branched: 0
+                        branched: 0,
+                        orbits: 0
                     }
                 );
                 let v = belief.as_point().unwrap();
@@ -904,6 +1050,135 @@ mod tests {
         match s.solve(&kb, &q, &Budget::counting(2048), &no_recurse()) {
             SolverOutcome::Declined { reason } => {
                 assert!(reason.contains("no sample satisfied"), "{reason}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn symmetry_solver() -> EnumerationDiagonalSolver {
+        EnumerationDiagonalSolver {
+            symmetry: true,
+            ..EnumerationDiagonalSolver::default()
+        }
+    }
+
+    #[test]
+    fn symmetry_mode_matches_plain_counting_over_the_same_scan() {
+        // Clamp both modes to the same rising-N range: the counts agree
+        // exactly (proved against the odometer in rw-worlds), both ratio
+        // paths divide the same u128s, so the beliefs are bit-identical.
+        // KBs satisfiable at *every* scanned N (a τ-tight `≈ 0.5`
+        // statistic is unsatisfiable when no integer lands in the
+        // interval, which makes both modes legitimately decline).
+        for (kb_src, q_src) in [
+            ("P(C) or Q(C)", "P(C) & Q(C)"),
+            ("||P(x)||_x ~=_1 1; Likes(A, B)", "Likes(B, A) & P(A)"),
+        ] {
+            let (kb, q) = parsed(kb_src, q_src);
+            let plain = EnumerationDiagonalSolver {
+                max_n: Some(6),
+                ..EnumerationDiagonalSolver::default()
+            };
+            let sym = EnumerationDiagonalSolver {
+                max_n: Some(6),
+                ..symmetry_solver()
+            };
+            let plain_out = plain.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse());
+            let sym_out = sym.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse());
+            let SolverOutcome::Answered {
+                belief: plain_belief,
+                ..
+            } = plain_out
+            else {
+                panic!("{kb_src}: {plain_out:?}");
+            };
+            let SolverOutcome::Answered {
+                belief: sym_belief,
+                provenance: Provenance::Enumeration { orbits, .. },
+            } = sym_out
+            else {
+                panic!("{kb_src}: {sym_out:?}");
+            };
+            assert!(orbits > 0, "{kb_src}: symmetry mode must report orbits");
+            assert_eq!(plain_belief.as_point(), sym_belief.as_point(), "{kb_src}");
+        }
+    }
+
+    #[test]
+    fn symmetry_mode_reaches_deep_domains_within_the_default_budget() {
+        // The acceptance bar: one unary and one unary+binary KB past
+        // N = 32 under the default visited budget — domain sizes plain
+        // branch-and-count cannot approach (2^(N²) branches).
+        for (kb_src, q_src) in [
+            ("||P(x)||_x ~=_1 0.5; P(C)", "P(C)"),
+            ("||P(x)||_x ~=_1 0.5; Likes(A, B); P(A)", "Likes(B, A)"),
+        ] {
+            let (kb, q) = parsed(kb_src, q_src);
+            let s = symmetry_solver();
+            let budget = Budget::counting(rw_worlds::count::DEFAULT_MAX_VISITED.into());
+            match s.solve(&kb, &q, &budget, &no_recurse()) {
+                SolverOutcome::Answered { belief, provenance } => {
+                    let Provenance::Enumeration { max_n, orbits, .. } = provenance else {
+                        panic!("{kb_src}: {provenance:?}");
+                    };
+                    assert!(max_n >= 32, "{kb_src}: only reached N={max_n}");
+                    assert!(orbits > 0, "{kb_src}");
+                    let v = belief.as_point().unwrap();
+                    assert!((0.0..=1.0).contains(&v), "{kb_src}: {v}");
+                }
+                other => panic!("{kb_src}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_mode_is_thread_count_invariant() {
+        let (kb, q) = parsed("||P(x)||_x ~=_1 0.5; Likes(A, B); P(A)", "Likes(B, A)");
+        let budget = Budget::counting(rw_worlds::count::DEFAULT_MAX_VISITED.into());
+        let reference = symmetry_solver().solve(&kb, &q, &budget, &no_recurse());
+        assert!(
+            matches!(reference, SolverOutcome::Answered { .. }),
+            "{reference:?}"
+        );
+        for threads in [2usize, 4, 0] {
+            let s = EnumerationDiagonalSolver {
+                threads,
+                ..symmetry_solver()
+            };
+            let out = s.solve(&kb, &q, &budget, &no_recurse());
+            assert_eq!(out, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn symmetry_mode_falls_back_to_plain_counting_outside_the_fragment() {
+        // A binary *statistic* is outside the orbit fragment: the
+        // symmetry-enabled solver must produce the exact plain outcome,
+        // trace counters included.
+        let budget = Budget::counting(1 << 18);
+        let (kb, q) = parsed(
+            "||Likes(x, y)||_{x,y} ~=_1 0.25; Likes(A, B)",
+            "Likes(B, A)",
+        );
+        let plain = EnumerationDiagonalSolver::default().solve(&kb, &q, &budget, &no_recurse());
+        let sym = symmetry_solver().solve(&kb, &q, &budget, &no_recurse());
+        assert_eq!(sym, plain);
+    }
+
+    #[test]
+    fn scan_bounds_honor_the_configured_window() {
+        let (kb, q) = parsed("Likes(A, B)", "Likes(B, A)");
+        let s = EnumerationDiagonalSolver {
+            min_n: Some(3),
+            max_n: Some(4),
+            ..EnumerationDiagonalSolver::default()
+        };
+        match s.solve(&kb, &q, &Budget::UNLIMITED, &no_recurse()) {
+            SolverOutcome::Answered { provenance, .. } => {
+                let Provenance::Enumeration { max_n, .. } = provenance else {
+                    panic!("{provenance:?}");
+                };
+                assert_eq!(max_n, 4);
             }
             other => panic!("{other:?}"),
         }

@@ -106,8 +106,18 @@ pub fn response_line(query: &str, response: &Response) -> String {
             max_n,
             visited,
             branched,
-        } if *visited > 0 => {
-            format!(r#","enum":{{"max_n":{max_n},"visited":{visited},"branched":{branched}}}"#)
+            orbits,
+        } if *visited > 0 || *orbits > 0 => {
+            // `orbits` appears only in symmetry mode (and then visited is
+            // 0), so default-mode lines keep their historical bytes.
+            let orbits = if *orbits > 0 {
+                format!(r#","orbits":{orbits}"#)
+            } else {
+                String::new()
+            };
+            format!(
+                r#","enum":{{"max_n":{max_n},"visited":{visited},"branched":{branched}{orbits}}}"#
+            )
         }
         _ => String::new(),
     };
@@ -279,6 +289,7 @@ mod tests {
                 max_n: 6,
                 visited: 1234,
                 branched: 321,
+                orbits: 0,
             },
             trace: rw_core::Trace::default(),
             cached: false,
@@ -288,12 +299,26 @@ mod tests {
             line.contains(r#""enum":{"max_n":6,"visited":1234,"branched":321}"#),
             "{line}"
         );
+        // Symmetry-mode answers report orbit representatives instead of
+        // search nodes.
+        response.provenance = rw_core::Provenance::Enumeration {
+            max_n: 40,
+            visited: 0,
+            branched: 0,
+            orbits: 777,
+        };
+        let line = response_line("Likes(B, A)", &response);
+        assert!(
+            line.contains(r#""enum":{"max_n":40,"visited":0,"branched":0,"orbits":777}"#),
+            "{line}"
+        );
         // Oracle-mode enumeration (no effort counts) keeps the
         // historical line shape.
         response.provenance = rw_core::Provenance::Enumeration {
             max_n: 4,
             visited: 0,
             branched: 0,
+            orbits: 0,
         };
         let line = response_line("Likes(B, A)", &response);
         assert!(!line.contains(r#""enum""#), "{line}");

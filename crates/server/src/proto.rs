@@ -447,13 +447,35 @@ pub struct ApproxParams {
     pub ci: Option<f64>,
 }
 
+/// Optional exact-counting knobs on a `load` request: the symmetry mode
+/// and the rising-`N` scan window (mirror the `--symmetry`/`--min-n`/
+/// `--max-n` CLI flags). Validated at parse time: window values must lie
+/// in `[2, 64]` with `min_n ≤ max_n`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanParams {
+    /// Enable symmetry-reduced orbit counting (`--symmetry`).
+    pub symmetry: bool,
+    /// Scan floor (`--min-n`).
+    pub min_n: Option<usize>,
+    /// Scan ceiling (`--max-n`).
+    pub max_n: Option<usize>,
+}
+
+impl ScanParams {
+    /// True when every knob is at its default (nothing to serialize).
+    pub fn is_default(&self) -> bool {
+        *self == ScanParams::default()
+    }
+}
+
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// `{"op":"ping"}`: liveness check.
     Ping,
-    /// `{"op":"load","kb":NAME,"path"|"text":...[,"approx":{...}]}`:
-    /// load (or replace) a named KB.
+    /// `{"op":"load","kb":NAME,"path"|"text":...[,"approx":{...}]
+    /// [,"symmetry":true][,"min_n":N][,"max_n":N]}`: load (or replace) a
+    /// named KB.
     Load {
         /// Registry name for the KB.
         kb: String,
@@ -461,6 +483,8 @@ pub enum Request {
         source: KbSource,
         /// `Some` = answer non-theorem queries by Monte-Carlo sampling.
         approx: Option<ApproxParams>,
+        /// Exact-counting mode and scan window.
+        scan: ScanParams,
     },
     /// `{"op":"unload","kb":NAME}`: drop a named KB.
     Unload {
@@ -544,6 +568,46 @@ fn parse_approx(v: &Value) -> Result<Option<ApproxParams>, ProtoError> {
     Ok(Some(ApproxParams { samples, seed, ci }))
 }
 
+/// Parses and validates the `symmetry`/`min_n`/`max_n` knobs of a `load`
+/// request against the engine's scan ceiling.
+fn parse_scan(v: &Value) -> Result<ScanParams, ProtoError> {
+    let symmetry = match v.get("symmetry") {
+        None | Some(Value::Null) => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => {
+            return Err(ProtoError::bad_request(
+                "`load` field `symmetry` must be a boolean",
+            ))
+        }
+    };
+    let window = |key: &str| -> Result<Option<usize>, ProtoError> {
+        match optional_u64(v, key, "`load`")? {
+            None => Ok(None),
+            Some(n) if (2..=rw_core::solvers::MAX_SCAN_N as u64).contains(&n) => {
+                Ok(Some(n as usize))
+            }
+            Some(n) => Err(ProtoError::bad_request(format!(
+                "`load` field `{key}` must lie in [2, {}], got {n}",
+                rw_core::solvers::MAX_SCAN_N
+            ))),
+        }
+    };
+    let min_n = window("min_n")?;
+    let max_n = window("max_n")?;
+    if let (Some(lo), Some(hi)) = (min_n, max_n) {
+        if lo > hi {
+            return Err(ProtoError::bad_request(format!(
+                "`load` requires `min_n` <= `max_n`, got {lo} > {hi}"
+            )));
+        }
+    }
+    Ok(ScanParams {
+        symmetry,
+        min_n,
+        max_n,
+    })
+}
+
 /// Parses one request line. Anything that is not a well-formed, typed
 /// request yields a [`ProtoError`] (rendered to the client as a
 /// structured error response).
@@ -593,6 +657,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 kb,
                 source,
                 approx: parse_approx(&v)?,
+                scan: parse_scan(&v)?,
             })
         }
         other => Err(ProtoError::bad_request(format!(
@@ -622,7 +687,12 @@ impl Request {
                 escape(kb),
                 escape(query)
             ),
-            Request::Load { kb, source, approx } => {
+            Request::Load {
+                kb,
+                source,
+                approx,
+                scan,
+            } => {
                 let mut out = format!(r#"{{"op":"load","kb":"{}""#, escape(kb));
                 match source {
                     KbSource::Path(p) => out.push_str(&format!(r#","path":"{}""#, escape(p))),
@@ -644,6 +714,15 @@ impl Request {
                     } else {
                         out.push_str(&format!(r#","approx":{{{}}}"#, fields.join(",")));
                     }
+                }
+                if scan.symmetry {
+                    out.push_str(r#","symmetry":true"#);
+                }
+                if let Some(n) = scan.min_n {
+                    out.push_str(&format!(r#","min_n":{n}"#));
+                }
+                if let Some(n) = scan.max_n {
+                    out.push_str(&format!(r#","max_n":{n}"#));
                 }
                 out.push('}');
                 out
@@ -731,6 +810,7 @@ mod tests {
                     seed: Some(7),
                     ci: Some(0.05),
                 }),
+                scan: ScanParams::default(),
             }
         );
         assert_eq!(
@@ -739,8 +819,39 @@ mod tests {
                 kb: "m".to_string(),
                 source: KbSource::Path("kb.rwkb".to_string()),
                 approx: Some(ApproxParams::default()),
+                scan: ScanParams::default(),
             }
         );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"load","kb":"m","text":"P(C)","symmetry":true,"min_n":4,"max_n":32}"#
+            )
+            .unwrap(),
+            Request::Load {
+                kb: "m".to_string(),
+                source: KbSource::Text("P(C)".to_string()),
+                approx: None,
+                scan: ScanParams {
+                    symmetry: true,
+                    min_n: Some(4),
+                    max_n: Some(32),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn scan_windows_are_validated() {
+        for bad in [
+            r#"{"op":"load","kb":"m","text":"P(C)","min_n":1}"#,
+            r#"{"op":"load","kb":"m","text":"P(C)","max_n":65}"#,
+            r#"{"op":"load","kb":"m","text":"P(C)","min_n":9,"max_n":8}"#,
+            r#"{"op":"load","kb":"m","text":"P(C)","symmetry":"yes"}"#,
+            r#"{"op":"load","kb":"m","text":"P(C)","max_n":-3}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
+        }
     }
 
     #[test]
@@ -790,6 +901,17 @@ mod tests {
                     seed: Some(12345),
                     ci: Some(0.125),
                 }),
+                scan: ScanParams::default(),
+            },
+            Request::Load {
+                kb: "deep".to_string(),
+                source: KbSource::Path("kb.rwkb".to_string()),
+                approx: None,
+                scan: ScanParams {
+                    symmetry: true,
+                    min_n: Some(2),
+                    max_n: Some(40),
+                },
             },
         ];
         for r in requests {

@@ -11,8 +11,8 @@
 //! inside every cache key keeps their keyspaces disjoint.
 
 use crate::format;
-use crate::proto::{ApproxParams, KbSource, ProtoError};
-use rw_core::{AnswerCache, McConfig, RandomWorlds};
+use crate::proto::{ApproxParams, KbSource, ProtoError, ScanParams};
+use rw_core::{AnswerCache, DenomCache, McConfig, RandomWorlds};
 use rw_logic::KnowledgeBase;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -45,9 +45,11 @@ impl LoadedKb {
         name: String,
         kb: KnowledgeBase,
         approx: Option<&ApproxParams>,
+        scan: ScanParams,
         cache: Arc<AnswerCache>,
+        denoms: Arc<DenomCache>,
     ) -> LoadedKb {
-        let mut engine = RandomWorlds::new();
+        let mut engine = RandomWorlds::new().with_denom_cache(denoms);
         if let Some(params) = approx {
             let defaults = McConfig::default();
             engine.approx = Some(McConfig {
@@ -58,6 +60,11 @@ impl LoadedKb {
                 ..defaults
             });
         }
+        // Scan knobs must land before the stage cascade is pinned — the
+        // enumeration stage captures its configuration at build time.
+        engine.enum_symmetry = scan.symmetry;
+        engine.enum_min_n = scan.min_n;
+        engine.enum_max_n = scan.max_n;
         let stages = engine.default_stages();
         let engine = engine.with_solvers(stages).with_cache(cache);
         let fingerprint = rw_logic::canon::kb_fingerprint(&kb);
@@ -107,6 +114,10 @@ impl LoadedKb {
 pub struct KbRegistry {
     kbs: RwLock<HashMap<String, Arc<LoadedKb>>>,
     cache: Arc<AnswerCache>,
+    /// Shared `#worlds` denominator cache: one count per
+    /// `(KB, vocab, N, τ, budget, mode)` across every resident KB and
+    /// reload — safe because entries are pure functions of their key.
+    denoms: Arc<DenomCache>,
 }
 
 impl KbRegistry {
@@ -115,12 +126,18 @@ impl KbRegistry {
         KbRegistry {
             kbs: RwLock::new(HashMap::new()),
             cache,
+            denoms: Arc::new(DenomCache::new()),
         }
     }
 
     /// The shared answer cache.
     pub fn cache(&self) -> &Arc<AnswerCache> {
         &self.cache
+    }
+
+    /// The shared denominator cache (for `stats` reporting).
+    pub fn denoms(&self) -> &Arc<DenomCache> {
+        &self.denoms
     }
 
     /// Loads (or replaces) a named KB from a request source. Replacement
@@ -132,6 +149,7 @@ impl KbRegistry {
         name: &str,
         source: &KbSource,
         approx: Option<&ApproxParams>,
+        scan: ScanParams,
     ) -> Result<Arc<LoadedKb>, ProtoError> {
         let parsed = match source {
             KbSource::Path(p) => format::load_kb(std::path::Path::new(p)),
@@ -145,7 +163,9 @@ impl KbRegistry {
             name.to_string(),
             kb,
             approx,
+            scan,
             Arc::clone(&self.cache),
+            Arc::clone(&self.denoms),
         ));
         self.kbs
             .write()
@@ -156,11 +176,19 @@ impl KbRegistry {
 
     /// Inserts an already-parsed KB (the `rwq serve <file>` preload path).
     pub fn insert(&self, name: &str, kb: KnowledgeBase) -> Arc<LoadedKb> {
+        self.insert_scan(name, kb, ScanParams::default())
+    }
+
+    /// [`Self::insert`] with explicit enumeration-scan settings — the
+    /// preload path for `rwq serve <file> --symmetry/--min-n/--max-n`.
+    pub fn insert_scan(&self, name: &str, kb: KnowledgeBase, scan: ScanParams) -> Arc<LoadedKb> {
         let loaded = Arc::new(LoadedKb::new(
             name.to_string(),
             kb,
             None,
+            scan,
             Arc::clone(&self.cache),
+            Arc::clone(&self.denoms),
         ));
         self.kbs
             .write()
@@ -222,7 +250,7 @@ mod tests {
     fn load_query_unload_roundtrip() {
         let reg = registry();
         let src = KbSource::Text("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)".to_string());
-        let loaded = reg.load("med", &src, None).unwrap();
+        let loaded = reg.load("med", &src, None, ScanParams::default()).unwrap();
         assert_eq!(loaded.kb.conjuncts().len(), 2);
         assert!(!loaded.approx);
         let (line, ok) = reg.get("med").unwrap().answer_json_line("Hep(Eric)");
@@ -238,8 +266,8 @@ mod tests {
     fn loads_share_the_cache_across_kb_names() {
         let reg = registry();
         let src = KbSource::Text("P(C)".to_string());
-        reg.load("a", &src, None).unwrap();
-        reg.load("b", &src, None).unwrap();
+        reg.load("a", &src, None, ScanParams::default()).unwrap();
+        reg.load("b", &src, None, ScanParams::default()).unwrap();
         // Identical statements + identical engine config = one keyspace:
         // the second name's first query hits what the first computed.
         let (first, ok) = reg.get("a").unwrap().answer_json_line("P(C)");
@@ -256,12 +284,15 @@ mod tests {
         let reg = registry();
         let src =
             KbSource::Text("||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); Jaun(Tom)".to_string());
-        reg.load("exact", &src, None).unwrap();
+        reg.load("exact", &src, None, ScanParams::default())
+            .unwrap();
         let params = ApproxParams {
             seed: Some(42),
             ..ApproxParams::default()
         };
-        let loaded = reg.load("mc", &src, Some(&params)).unwrap();
+        let loaded = reg
+            .load("mc", &src, Some(&params), ScanParams::default())
+            .unwrap();
         assert!(loaded.approx);
         let (line, ok) = loaded.answer_json_line("Hep(Eric) & Hep(Tom)");
         assert!(ok, "{line}");
@@ -278,24 +309,65 @@ mod tests {
     #[test]
     fn replacing_a_kb_changes_the_keyspace_not_the_entries() {
         let reg = registry();
-        reg.load("m", &KbSource::Text("P(C)".to_string()), None)
-            .unwrap();
+        reg.load(
+            "m",
+            &KbSource::Text("P(C)".to_string()),
+            None,
+            ScanParams::default(),
+        )
+        .unwrap();
         let (line, _) = reg.get("m").unwrap().answer_json_line("P(C)");
         assert!(line.contains(r#""value":1"#), "{line}");
         // Replace with contradicting statements under the same name: the
         // fingerprint changes, so the old cached belief cannot leak.
-        reg.load("m", &KbSource::Text("!P(C)".to_string()), None)
-            .unwrap();
+        reg.load(
+            "m",
+            &KbSource::Text("!P(C)".to_string()),
+            None,
+            ScanParams::default(),
+        )
+        .unwrap();
         let (line, _) = reg.get("m").unwrap().answer_json_line("P(C)");
         assert!(line.contains(r#""value":0"#), "{line}");
         assert!(line.contains(r#""cache_hit":false"#), "{line}");
     }
 
     #[test]
+    fn symmetry_loads_answer_with_orbit_counts_and_key_apart() {
+        let reg = registry();
+        let src = KbSource::Text("Likes(A, B)".to_string());
+        reg.load("plain", &src, None, ScanParams::default())
+            .unwrap();
+        let scan = ScanParams {
+            symmetry: true,
+            min_n: None,
+            max_n: Some(12),
+        };
+        reg.load("deep", &src, None, scan).unwrap();
+        let (plain_line, ok) = reg.get("plain").unwrap().answer_json_line("Likes(B, A)");
+        assert!(ok, "{plain_line}");
+        assert!(!plain_line.contains(r#""orbits""#), "{plain_line}");
+        let (deep_line, ok) = reg.get("deep").unwrap().answer_json_line("Likes(B, A)");
+        assert!(ok, "{deep_line}");
+        assert!(deep_line.contains(r#""orbits""#), "{deep_line}");
+        assert!(deep_line.contains(r#""max_n":12"#), "{deep_line}");
+        // Different scan configuration = different keyspace: the deep
+        // answer was computed, not served from the plain KB's entry.
+        assert!(deep_line.contains(r#""cache_hit":false"#), "{deep_line}");
+        // The shared denominator cache filled on both paths.
+        assert!(!reg.denoms().is_empty());
+    }
+
+    #[test]
     fn load_failures_are_structured() {
         let reg = registry();
         let err = reg
-            .load("bad", &KbSource::Text("||broken".to_string()), None)
+            .load(
+                "bad",
+                &KbSource::Text("||broken".to_string()),
+                None,
+                ScanParams::default(),
+            )
             .unwrap_err();
         assert_eq!(err.code, crate::proto::ErrorCode::LoadFailed);
         assert!(err.message.contains("bad"), "{err}");
@@ -304,6 +376,7 @@ mod tests {
                 "missing",
                 &KbSource::Path("/nonexistent.rwkb".to_string()),
                 None,
+                ScanParams::default(),
             )
             .unwrap_err();
         assert_eq!(err.code, crate::proto::ErrorCode::LoadFailed);
@@ -313,10 +386,20 @@ mod tests {
     #[test]
     fn list_is_sorted_and_machine_readable() {
         let reg = registry();
-        reg.load("zeta", &KbSource::Text("P(C)".to_string()), None)
-            .unwrap();
-        reg.load("alpha", &KbSource::Text("Q(C); R(C)".to_string()), None)
-            .unwrap();
+        reg.load(
+            "zeta",
+            &KbSource::Text("P(C)".to_string()),
+            None,
+            ScanParams::default(),
+        )
+        .unwrap();
+        reg.load(
+            "alpha",
+            &KbSource::Text("Q(C); R(C)".to_string()),
+            None,
+            ScanParams::default(),
+        )
+        .unwrap();
         let line = reg.list_json();
         let alpha = line.find(r#""kb":"alpha""#).unwrap();
         let zeta = line.find(r#""kb":"zeta""#).unwrap();

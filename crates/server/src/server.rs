@@ -348,21 +348,24 @@ impl Server {
                     (Self::unknown_kb(&kb).line(), false)
                 }
             }
-            Request::Load { kb, source, approx } => {
-                match self.registry.load(&kb, &source, approx.as_ref()) {
-                    Ok(loaded) => (
-                        format!(
-                            r#"{{"ok":true,"op":"load","kb":"{}","fingerprint":"{:016x}","statements":{},"approx":{}}}"#,
-                            crate::json::escape(&kb),
-                            loaded.fingerprint,
-                            loaded.kb.conjuncts().len(),
-                            loaded.approx
-                        ),
-                        false,
+            Request::Load {
+                kb,
+                source,
+                approx,
+                scan,
+            } => match self.registry.load(&kb, &source, approx.as_ref(), scan) {
+                Ok(loaded) => (
+                    format!(
+                        r#"{{"ok":true,"op":"load","kb":"{}","fingerprint":"{:016x}","statements":{},"approx":{}}}"#,
+                        crate::json::escape(&kb),
+                        loaded.fingerprint,
+                        loaded.kb.conjuncts().len(),
+                        loaded.approx
                     ),
-                    Err(e) => (e.line(), false),
-                }
-            }
+                    false,
+                ),
+                Err(e) => (e.line(), false),
+            },
             Request::Query { kb, query } => {
                 let Some(loaded) = self.registry.get(&kb) else {
                     return (Self::unknown_kb(&kb).line(), false);
@@ -442,8 +445,9 @@ impl Server {
                 }
             }
         }
+        let denoms = self.registry.denoms();
         format!(
-            r#"{{"ok":true,"op":"stats","uptime_us":{},"kbs":{},"queries":{{"answered":{},"failed":{},"rejected":{}}},"cache":{{"hits":{},"misses":{},"entries":{},"shards":{}}},"queue":{{"depth":{},"capacity":{},"workers":{}}},"stages":[{}]}}"#,
+            r#"{{"ok":true,"op":"stats","uptime_us":{},"kbs":{},"queries":{{"answered":{},"failed":{},"rejected":{}}},"cache":{{"hits":{},"misses":{},"entries":{},"shards":{}}},"denoms":{{"hits":{},"misses":{},"entries":{}}},"queue":{{"depth":{},"capacity":{},"workers":{}}},"stages":[{}]}}"#,
             self.started.elapsed().as_micros(),
             self.registry.len(),
             merged.answered,
@@ -453,6 +457,9 @@ impl Server {
             cache.misses(),
             cache.len(),
             cache.shard_count(),
+            denoms.hits(),
+            denoms.misses(),
+            denoms.len(),
             self.queue.depth(),
             self.queue.capacity(),
             self.threads,

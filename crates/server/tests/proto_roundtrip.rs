@@ -11,7 +11,7 @@
 //!   itself valid JSON.
 
 use proptest::prelude::*;
-use rw_server::proto::{parse_request, ApproxParams, KbSource, Request, Value};
+use rw_server::proto::{parse_request, ApproxParams, KbSource, Request, ScanParams, Value};
 
 /// Characters chosen to stress JSON escaping: quotes, backslashes,
 /// control characters, multi-byte UTF-8, and the protocol's own
@@ -42,6 +42,19 @@ fn approx() -> impl Strategy<Value = Option<ApproxParams>> {
     })
 }
 
+fn scan() -> impl Strategy<Value = ScanParams> {
+    // Valid windows only (2 ≤ min ≤ max ≤ 64): roundtripping rejected
+    // values is meaningless — the parser refuses them by design.
+    (any::<bool>(), 0u8..4, 2usize..65, 0usize..63).prop_map(|(symmetry, mask, lo, span)| {
+        let hi = (lo + span).min(64);
+        ScanParams {
+            symmetry,
+            min_n: (mask & 1 != 0).then_some(lo),
+            max_n: (mask & 2 != 0).then_some(hi),
+        }
+    })
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Ping),
@@ -51,17 +64,20 @@ fn request() -> impl Strategy<Value = Request> {
         (1u64..5000).prop_map(|ms| Request::Sleep { ms }),
         text().prop_map(|kb| Request::Unload { kb }),
         (text(), text()).prop_map(|(kb, query)| Request::Query { kb, query }),
-        (text(), text(), any::<bool>(), approx()).prop_map(|(kb, body, is_path, approx)| {
-            Request::Load {
-                kb,
-                source: if is_path {
-                    KbSource::Path(body)
-                } else {
-                    KbSource::Text(body)
-                },
-                approx,
+        (text(), text(), any::<bool>(), approx(), scan()).prop_map(
+            |(kb, body, is_path, approx, scan)| {
+                Request::Load {
+                    kb,
+                    source: if is_path {
+                        KbSource::Path(body)
+                    } else {
+                        KbSource::Text(body)
+                    },
+                    approx,
+                    scan,
+                }
             }
-        }),
+        ),
     ]
 }
 

@@ -30,10 +30,12 @@ pub mod enumerate;
 pub mod eval;
 pub mod mc;
 pub mod sample;
+pub mod symmetry;
 pub mod world;
 
 pub use compile::{Program, SlotLayout};
 pub use count::{count_formula_models, count_models, CountError, CountOptions, CountOutcome};
 pub use enumerate::{count_interpretations, count_worlds, degree_of_belief_at, for_each_world};
 pub use eval::{evaluate, evaluate_closed, PropValue};
+pub use symmetry::{ScaledCount, SymmetryOutcome, SymmetrySpec};
 pub use world::World;

@@ -8,6 +8,8 @@
 //! * a count (value *and* visited/branched totals) is **bit-identical**
 //!   across 1/2/4 worker threads.
 
+mod common;
+
 use proptest::prelude::*;
 use rw_logic::ast::Formula;
 use rw_logic::{KnowledgeBase, Tolerances};
@@ -22,15 +24,21 @@ fn tolerances() -> Tolerances {
 /// Small KBs spanning every compiled shape: unary and conditional
 /// statistics, ground facts over constants, binary predicates (which the
 /// unary engine rejects), equalities, quantifiers and disjunction.
+/// Proportions are drawn from the `N`-stable alphabet
+/// ([`common::stable_tenths`]) so no generated constraint can flip
+/// satisfiability inside the scanned window and fail as a spurious
+/// "inconsistent satisfiability" flake.
 fn cases() -> impl Strategy<Value = (String, String, usize)> {
+    let ks = common::stable_tenths(Rat::new(1, 4), 2, 6);
+    let ks2 = ks.clone();
     prop_oneof![
-        (1u64..10, 2usize..5).prop_map(|(k, n)| (
-            format!("||P(x)||_x ~=_1 0.{k}; Q(C)"),
+        (0usize..ks.len(), 2usize..5).prop_map(move |(i, n)| (
+            format!("||P(x)||_x ~=_1 0.{}; Q(C)", ks[i]),
             "P(C)".to_string(),
             n
         )),
-        (2u64..9, 3usize..5).prop_map(|(k, n)| (
-            format!("||Hep(x) | Jaun(x)||_x ~=_1 0.{k}; Jaun(C); Jaun(D)"),
+        (0usize..ks2.len(), 3usize..5).prop_map(move |(i, n)| (
+            format!("||Hep(x) | Jaun(x)||_x ~=_1 0.{}; Jaun(C); Jaun(D)", ks2[i]),
             "Hep(C) & Hep(D)".to_string(),
             n
         )),
