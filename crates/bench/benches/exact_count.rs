@@ -15,7 +15,8 @@
 //! the compiled path counts the same two totals by branch-and-count.
 //! The counts are asserted **exactly equal** — the Definition 4.2 ratio,
 //! and therefore every served belief, is bit-identical — and the run
-//! fails unless the compiled engine is at least 5× faster on each trap
+//! fails unless the compiled engine beats the floor declared by the
+//! `min_speedup` gate in `workloads/trap_shapes.jsonl` on each trap
 //! query. Results land in `BENCH_5.json` at the workspace root as
 //! machine-readable `{query, engine, median_us, speedup_vs_naive}` rows.
 
@@ -26,7 +27,23 @@ use rw_worlds::{count_formula_models, count_worlds, CountOptions};
 use std::time::Instant;
 
 const SAMPLES: usize = 5;
-const REQUIRED_TRAP_SPEEDUP: f64 = 5.0;
+
+/// The ≥N× floor lives in the `min_speedup` gate of
+/// `workloads/trap_shapes.jsonl`, so this bench and `rwq lab run`
+/// enforce one number; editing the workload header moves both.
+fn required_trap_speedup() -> f64 {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../workloads/trap_shapes.jsonl"
+    );
+    let workload = rw_lab::Workload::load(std::path::Path::new(path))
+        .unwrap_or_else(|e| panic!("load {path}: {e}"));
+    workload
+        .gates
+        .min_speedup
+        .unwrap_or_else(|| panic!("{path} must declare a min_speedup gate"))
+        .value
+}
 
 struct Workload {
     label: &'static str,
@@ -91,6 +108,7 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
+    let required_trap_speedup = required_trap_speedup();
     let tol = Tolerances::uniform(Rat::new(1, 4));
     let mut rows = Vec::new();
     let mut min_trap_speedup = f64::INFINITY;
@@ -175,7 +193,7 @@ fn main() {
         "{{\"bench\":\"exact_count\",\"samples\":{},\"required_trap_speedup\":{},\
          \"min_trap_speedup\":{:.2},\"results\":[{}]}}\n",
         SAMPLES,
-        REQUIRED_TRAP_SPEEDUP,
+        required_trap_speedup,
         min_trap_speedup,
         rows.join(",")
     );
@@ -186,9 +204,9 @@ fn main() {
     println!("\nwrote {path}");
 
     assert!(
-        min_trap_speedup >= REQUIRED_TRAP_SPEEDUP,
-        "compiled counting must beat naive enumeration by ≥{REQUIRED_TRAP_SPEEDUP}× \
+        min_trap_speedup >= required_trap_speedup,
+        "compiled counting must beat naive enumeration by ≥{required_trap_speedup}× \
          on the trap workload, got {min_trap_speedup:.2}×"
     );
-    println!("trap workload speedup ≥ {REQUIRED_TRAP_SPEEDUP}x: ok ({min_trap_speedup:.1}x min)");
+    println!("trap workload speedup ≥ {required_trap_speedup}x: ok ({min_trap_speedup:.1}x min)");
 }

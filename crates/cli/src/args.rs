@@ -62,6 +62,23 @@ pub enum Command {
         /// The server address (`host:port`).
         addr: String,
     },
+    /// `rwq lab run <workload.jsonl> [--variants ...] [--threads 1,4]
+    /// [--cache both] [--seed N] [--rows PATH] [--report PATH]`: run the
+    /// workload through the experiment runner's variant matrix, emit one
+    /// JSONL row per trial plus an analysis table, write the
+    /// machine-readable gate report, and exit nonzero on any gate
+    /// violation.
+    Lab {
+        /// The `workloads/*.jsonl` task-set file.
+        workload: PathBuf,
+        /// The variant matrix (engines × threads × cache) and run seed.
+        config: rw_lab::RunConfig,
+        /// Also write the trial rows to this file (they always stream to
+        /// stdout).
+        rows: Option<PathBuf>,
+        /// Where to write `LAB_REPORT.json`.
+        report: PathBuf,
+    },
     /// `rwq help` (or no arguments).
     Help,
 }
@@ -93,6 +110,11 @@ USAGE:
                                       (persistent server; optional file is
                                        preloaded as the KB named `default`)
   rwq client --addr A                 (JSONL requests from stdin to a server)
+  rwq lab run <workload.jsonl> [--variants E1,E2,...] [--threads N1,N2,...]
+              [--cache on|off|both] [--seed S] [--rows PATH] [--report PATH]
+                                      (experiment runner: one JSONL row per
+                                       trial, analysis table, LAB_REPORT.json;
+                                       exits nonzero on gate violations)
   rwq help
 
 OPTIONS:
@@ -128,6 +150,16 @@ OPTIONS:
                        answers at any --threads count)
   --ci X               approx: stop sampling once the CI half-width
                        reaches X (0 < X < 0.5)
+
+LAB OPTIONS (rwq lab run):
+  --variants E1,E2,...  engines to run: compiled | oracle | symmetry |
+                        montecarlo | maxent (default compiled,oracle,montecarlo)
+  --threads N1,N2,...   thread counts to run each engine under (default 1)
+  --cache on|off|both   cache axis of the variant matrix (default both;
+                        cached trials replay the query and verify the hit)
+  --seed S              Monte-Carlo root seed (default 42)
+  --rows PATH           also write the trial rows to PATH
+  --report PATH         gate-report path (default LAB_REPORT.json)
 ";
 
 fn parse_tau(s: &str) -> Result<Rat, ArgError> {
@@ -415,6 +447,119 @@ fn parse_client(args: &[String]) -> Result<Command, ArgError> {
     }
 }
 
+/// Parses `rwq lab` arguments. The only verb today is `run`; its flag
+/// set configures the variant matrix, not a session, so it is disjoint
+/// from the per-query options.
+fn parse_lab(args: &[String]) -> Result<Command, ArgError> {
+    match args.first().map(String::as_str) {
+        Some("run") => {}
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown lab verb `{other}` (expected `lab run <workload.jsonl>`)"
+            )))
+        }
+        None => {
+            return Err(ArgError(
+                "lab expects `lab run <workload.jsonl>`".to_string(),
+            ))
+        }
+    }
+    let args = &args[1..];
+    let mut config = rw_lab::RunConfig::default();
+    let mut rows = None;
+    let mut report = PathBuf::from("LAB_REPORT.json");
+    let mut positional = Vec::new();
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} expects a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--variants" => {
+                let list = value(&mut i, "--variants")?;
+                let mut engines = Vec::new();
+                for word in list.split(',') {
+                    let word = word.trim();
+                    let Some(engine) = rw_lab::Engine::parse(word) else {
+                        return Err(ArgError(format!(
+                            "unknown engine `{word}` (expected compiled | oracle | symmetry \
+                             | montecarlo | maxent)"
+                        )));
+                    };
+                    if !engines.contains(&engine) {
+                        engines.push(engine);
+                    }
+                }
+                if engines.is_empty() {
+                    return Err(ArgError(
+                        "--variants expects at least one engine".to_string(),
+                    ));
+                }
+                config.engines = engines;
+            }
+            "--threads" => {
+                let list = value(&mut i, "--threads")?;
+                let mut counts = Vec::new();
+                for word in list.split(',') {
+                    let word = word.trim();
+                    match word.parse::<usize>() {
+                        Ok(n) if n >= 1 => {
+                            if !counts.contains(&n) {
+                                counts.push(n);
+                            }
+                        }
+                        _ => {
+                            return Err(ArgError(format!(
+                                "lab --threads expects a comma list of counts >= 1, got `{word}`"
+                            )))
+                        }
+                    }
+                }
+                config.threads = counts;
+            }
+            "--cache" => {
+                config.cache = match value(&mut i, "--cache")?.as_str() {
+                    "on" => vec![true],
+                    "off" => vec![false],
+                    "both" => vec![false, true],
+                    other => {
+                        return Err(ArgError(format!(
+                            "--cache expects on | off | both, got `{other}`"
+                        )))
+                    }
+                };
+            }
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                config.seed = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --seed `{v}`")))?;
+            }
+            "--rows" => rows = Some(PathBuf::from(value(&mut i, "--rows")?)),
+            "--report" => report = PathBuf::from(value(&mut i, "--report")?),
+            flag if flag.starts_with("--") => {
+                return Err(ArgError(format!("unknown lab option `{flag}`")));
+            }
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    let [workload] = positional.as_slice() else {
+        return Err(ArgError(
+            "lab run expects exactly one workload file".to_string(),
+        ));
+    };
+    Ok(Command::Lab {
+        workload: PathBuf::from(workload),
+        config,
+        rows,
+        report,
+    })
+}
+
 /// Parses a full argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let Some(verb) = args.first() else {
@@ -433,6 +578,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         "serve" => parse_serve(&args[1..]),
         "client" => parse_client(&args[1..]),
+        "lab" => parse_lab(&args[1..]),
         "repl" => {
             let (options, positional) = parse_options(&args[1..])?;
             reject_threads(&options)?;
@@ -922,5 +1068,100 @@ mod tests {
     fn no_args_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&strs(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn lab_run_parses_the_variant_matrix() {
+        let cmd = parse(&strs(&[
+            "lab",
+            "run",
+            "workloads/paper_examples.jsonl",
+            "--variants",
+            "compiled,oracle,montecarlo",
+            "--threads",
+            "1,4",
+            "--cache",
+            "on",
+            "--seed",
+            "7",
+            "--rows",
+            "rows.jsonl",
+            "--report",
+            "out/report.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Lab {
+                workload,
+                config,
+                rows,
+                report,
+            } => {
+                assert_eq!(workload, PathBuf::from("workloads/paper_examples.jsonl"));
+                assert_eq!(
+                    config.engines,
+                    vec![
+                        rw_lab::Engine::Compiled,
+                        rw_lab::Engine::Oracle,
+                        rw_lab::Engine::MonteCarlo
+                    ]
+                );
+                assert_eq!(config.threads, vec![1, 4]);
+                assert_eq!(config.cache, vec![true]);
+                assert_eq!(config.seed, 7);
+                assert_eq!(rows, Some(PathBuf::from("rows.jsonl")));
+                assert_eq!(report, PathBuf::from("out/report.json"));
+            }
+            other => panic!("expected lab command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lab_defaults_mirror_run_config_defaults() {
+        let cmd = parse(&strs(&["lab", "run", "w.jsonl"])).unwrap();
+        match cmd {
+            Command::Lab {
+                config,
+                rows,
+                report,
+                ..
+            } => {
+                assert_eq!(config, rw_lab::RunConfig::default());
+                assert_eq!(rows, None);
+                assert_eq!(report, PathBuf::from("LAB_REPORT.json"));
+            }
+            other => panic!("expected lab command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lab_rejects_bad_inputs() {
+        assert!(parse(&strs(&["lab"])).unwrap_err().0.contains("lab run"));
+        assert!(parse(&strs(&["lab", "walk", "w.jsonl"]))
+            .unwrap_err()
+            .0
+            .contains("unknown lab verb"));
+        assert!(parse(&strs(&["lab", "run"]))
+            .unwrap_err()
+            .0
+            .contains("exactly one workload"));
+        assert!(
+            parse(&strs(&["lab", "run", "w.jsonl", "--variants", "warp"]))
+                .unwrap_err()
+                .0
+                .contains("unknown engine")
+        );
+        assert!(parse(&strs(&["lab", "run", "w.jsonl", "--threads", "0"]))
+            .unwrap_err()
+            .0
+            .contains("counts >= 1"));
+        assert!(parse(&strs(&["lab", "run", "w.jsonl", "--cache", "maybe"]))
+            .unwrap_err()
+            .0
+            .contains("on | off | both"));
+        assert!(parse(&strs(&["lab", "run", "w.jsonl", "--quiet"]))
+            .unwrap_err()
+            .0
+            .contains("unknown lab option"));
     }
 }

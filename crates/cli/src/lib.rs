@@ -256,6 +256,54 @@ pub fn run(
             }
             Ok(if failures == 0 { 0 } else { 1 })
         }
+        Command::Lab {
+            workload,
+            config,
+            rows,
+            report,
+        } => {
+            let workload = match rw_lab::Workload::load(&workload) {
+                Ok(w) => w,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(1);
+                }
+            };
+            let trial_rows = rw_lab::run(&workload, &config);
+            let mut rendered = String::new();
+            for row in &trial_rows {
+                rendered.push_str(&row.render());
+                rendered.push('\n');
+            }
+            write!(out, "{rendered}")?;
+            if let Some(path) = rows {
+                std::fs::write(&path, &rendered)?;
+            }
+            write!(out, "\n{}", rw_lab::analysis_table(&trial_rows))?;
+            let lab_report = rw_lab::evaluate(&workload, &config, &trial_rows);
+            std::fs::write(&report, format!("{}\n", lab_report.to_json()))?;
+            for g in &lab_report.gates {
+                writeln!(
+                    out,
+                    "gate {:<22} {:<4}  {}",
+                    g.gate,
+                    g.status.keyword(),
+                    g.detail
+                )?;
+            }
+            writeln!(
+                out,
+                "{}: {} trials, {} ok, {} failed — {} (report: {})",
+                workload.name,
+                lab_report.trials,
+                lab_report.ok,
+                lab_report.failed,
+                if lab_report.pass { "PASS" } else { "FAIL" },
+                report.display()
+            )?;
+            out.flush()?;
+            Ok(if lab_report.pass { 0 } else { 1 })
+        }
         Command::Repl { file, options } => {
             let kb = match load_kb(&file) {
                 Ok(kb) => kb,
@@ -486,6 +534,67 @@ mod tests {
             assert!(l.contains(r#""value":0.8"#), "{out}");
         }
         assert!(lines[3].contains(r#""cache_hits":2"#), "{out}");
+    }
+
+    #[test]
+    fn lab_run_end_to_end() {
+        let workload = write_kb(
+            "{\"workload\":\"smoke\"}\n\
+             {\"task\":\"hep\",\"kb\":\"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)\",\"query\":\"Hep(Eric)\",\"expect\":0.8}\n",
+        );
+        let report =
+            std::env::temp_dir().join(format!("rwq-lab-report-{}.json", std::process::id()));
+        let cmd = Command::Lab {
+            workload: workload.0.clone(),
+            config: rw_lab::RunConfig::default(),
+            rows: None,
+            report: report.clone(),
+        };
+        let (code, out) = run_capture(cmd, "");
+        let report_json = std::fs::read_to_string(&report).unwrap();
+        let _ = std::fs::remove_file(&report);
+        assert_eq!(code, 0, "{out}");
+        // Rows (2 cache settings × 3 default engines), table, gate lines
+        // and the closing verdict all reach stdout.
+        assert_eq!(out.matches("{\"task\":\"hep\"").count(), 6, "{out}");
+        assert!(out.contains("\"engine\":\"montecarlo\""), "{out}");
+        assert!(out.contains("gate cross-engine-equality"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        assert!(report_json.contains("\"pass\":true"), "{report_json}");
+    }
+
+    #[test]
+    fn lab_gate_violations_set_the_exit_code() {
+        let workload = write_kb(
+            "{\"task\":\"hep\",\"kb\":\"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)\",\"query\":\"Hep(Eric)\",\"expect\":0.2}\n",
+        );
+        let report =
+            std::env::temp_dir().join(format!("rwq-lab-report-bad-{}.json", std::process::id()));
+        let cmd = Command::Lab {
+            workload: workload.0.clone(),
+            config: rw_lab::RunConfig::default(),
+            rows: None,
+            report: report.clone(),
+        };
+        let (code, out) = run_capture(cmd, "");
+        let report_json = std::fs::read_to_string(&report).unwrap();
+        let _ = std::fs::remove_file(&report);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+        assert!(report_json.contains("\"pass\":false"), "{report_json}");
+    }
+
+    #[test]
+    fn lab_missing_workload_fails_cleanly() {
+        let cmd = Command::Lab {
+            workload: "/nonexistent/w.jsonl".into(),
+            config: rw_lab::RunConfig::default(),
+            rows: None,
+            report: "unused.json".into(),
+        };
+        let (code, out) = run_capture(cmd, "");
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "{out}");
     }
 
     #[test]

@@ -106,6 +106,51 @@ fn corpus() -> Vec<(&'static str, Vec<KbQueries>)> {
             ],
         ),
         (
+            // Temporal projection through the `@temporal` loader
+            // directive (compiled to L-approx by rw-temporal). The
+            // deterministic causal shoot stays out: its maxent sweep is
+            // too slow for a debug-build tier (the lab's release-mode
+            // temporal workload covers it).
+            "temporal_scenarios.jsonl",
+            vec![
+                (
+                    // Statistical effect: shooting kills 70% of the time.
+                    "@temporal causal\nfluent Loaded\nfluent Alive\ninit Loaded\ninit Alive\n\
+                     step shoot requires Loaded causes !Alive@70%",
+                    vec!["Alive1(S)", "!Alive1(S)", "Loaded0(S)"],
+                ),
+                (
+                    // Plain persistence over a wait step.
+                    "@temporal causal\nfluent Alive\ninit Alive\nwait",
+                    vec!["Alive1(S)", "Alive0(S)"],
+                ),
+                (
+                    // The naive shared-tolerance frame representation.
+                    "@temporal naive-shared\nfluent Loaded\nfluent Alive\ninit Loaded\ninit Alive\n\
+                     step shoot requires Loaded causes !Alive",
+                    vec!["Alive1(S)"],
+                ),
+            ],
+        ),
+        (
+            // Default-reasoning suites through the `@defaults` loader
+            // directive under the statistical reading (rule i becomes
+            // `A(x) ->_i B(x)`). The Nixon diamond and contraposition
+            // suites need world enumeration — release-lab territory.
+            "default_suites.jsonl",
+            vec![
+                (
+                    "@defaults\nfact Bird(Tweety)\nrule Bird(x) -> Fly(x)",
+                    vec!["Fly(Tweety)", "Bird(Tweety)"],
+                ),
+                (
+                    "@defaults\nfact Penguin(Tweety)\naxiom forall x (Penguin(x) => Bird(x))\n\
+                     rule Bird(x) -> Fly(x)\nrule Penguin(x) -> !Fly(x)",
+                    vec!["Fly(Tweety)", "!Fly(Tweety)"],
+                ),
+            ],
+        ),
+        (
             "trap_queries.jsonl",
             vec![(
                 // The PR-2 serving trap: shapes that used to miss every

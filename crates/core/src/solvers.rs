@@ -672,10 +672,18 @@ impl EnumerationDiagonalSolver {
     /// The historical odometer path: enumerate every interpretation at
     /// the two largest sizes whose world count fits the budget.
     fn solve_oracle(&self, kb: &KnowledgeBase, query: &Formula, budget: &Budget) -> SolverOutcome {
-        // Largest feasible size within the world budget; the space is
-        // doubly exponential, so the scan is tiny.
+        // The scan window honors the same `min_n`/`max_n` contract as
+        // the compiled path (a pinned window makes both modes
+        // extrapolate from the same diagonal points, so their answers
+        // are bit-identical when both complete it), intersected with
+        // the odometer's own hard ceiling — blind enumeration is doubly
+        // exponential, so sizes past 6 are never feasible anyway.
+        const MAX_ORACLE_N: usize = 6;
+        let (min_n, max_n) = self.scan_bounds(false);
+        let max_n = max_n.min(MAX_ORACLE_N).max(min_n);
+        // Largest feasible size within the world budget.
         let mut n_hi = None;
-        for n in (2..=6usize).rev() {
+        for n in (min_n..=max_n).rev() {
             if let Some(c) = rw_worlds::count_interpretations(kb.vocab(), n) {
                 if c <= budget.max_count {
                     n_hi = Some(n);
@@ -686,7 +694,7 @@ impl EnumerationDiagonalSolver {
         let Some(n_hi) = n_hi else {
             return SolverOutcome::BudgetExhausted {
                 reason: format!(
-                    "even N=2 needs more than {} interpretations",
+                    "even N={min_n} needs more than {} interpretations",
                     budget.max_count
                 ),
             };

@@ -27,11 +27,13 @@
 pub mod circumscription;
 pub mod lex;
 pub mod reiter;
+pub mod statistical;
 pub mod theory;
 pub mod worldset;
 
 pub use circumscription::{circ_entails, minimal_models, CircPolicy};
 pub use lex::{lex_entails, violation_signature};
 pub use reiter::{credulous, extensions, skeptical, Extension};
+pub use statistical::{parse_suite, DefaultSuite, SuiteError};
 pub use theory::{Default, DefaultTheory};
 pub use worldset::WorldSet;

@@ -1,0 +1,378 @@
+//! Default-reasoning suites under the paper's statistical reading — the
+//! `@defaults` knowledge-base format.
+//!
+//! The paper's §3 benchmark suites (Nixon diamond, penguin specificity,
+//! the lottery paradox) are written as *default theories*: hard facts
+//! plus rules "A's are typically B's". Random worlds reads such a rule
+//! statistically — `||B(x) | A(x)||_x ≈_i 1`, the `A(x) ->_i B(x)`
+//! sugar of the `L≈` concrete syntax — and this module compiles a
+//! line-oriented suite description into exactly that, so default
+//! workloads reach every serving surface through the ordinary
+//! knowledge-base loader:
+//!
+//! ```text
+//! @defaults
+//! fact Penguin(Tweety)
+//! axiom forall x (Penguin(x) => Bird(x))
+//! rule Bird(x) -> Fly(x)
+//! rule Penguin(x) -> !Fly(x)
+//! ```
+//!
+//! Each `rule` receives a fresh tolerance index in declaration order,
+//! so distinct defaults have unspecified relative strengths (the §5.3
+//! convention the paper's examples assume).
+//!
+//! [`DefaultSuite::ground_theory`] additionally bridges a suite to a
+//! propositional Reiter theory ([`crate::DefaultTheory`]) by grounding
+//! rules and single-variable axioms over the constants the facts
+//! mention — the comparator the §3 landscape lines up against
+//! `Pr∞(· | KB)`: same suite, classical extensions on one side,
+//! degrees of belief on the other.
+
+use crate::theory::DefaultTheory;
+use rw_epsilon::prop::VarTable;
+use std::fmt;
+
+/// A parse failure, tagged with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuiteError {
+    /// 1-based line number within the suite source.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "defaults line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SuiteError> {
+    Err(SuiteError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A parsed default-reasoning suite: facts, hard axioms, default rules.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DefaultSuite {
+    /// Ground facts, verbatim `L≈` statements (e.g. `Penguin(Tweety)`).
+    pub facts: Vec<String>,
+    /// Hard axioms, verbatim `L≈` statements (e.g. taxonomies).
+    pub axioms: Vec<String>,
+    /// Default rules `(antecedent, consequent)` — `A(x) -> B(x)` pairs,
+    /// each compiled with its own tolerance index.
+    pub rules: Vec<(String, String)>,
+}
+
+impl DefaultSuite {
+    /// The `L≈` source the suite compiles to: facts and axioms
+    /// verbatim, each rule as `lhs ->_i rhs` (the statistical reading,
+    /// indices in declaration order).
+    pub fn to_l_source(&self) -> String {
+        let mut statements: Vec<String> = Vec::new();
+        for (i, (lhs, rhs)) in self.rules.iter().enumerate() {
+            statements.push(format!("{lhs} ->_{} {rhs}", i + 1));
+        }
+        statements.extend(self.axioms.iter().cloned());
+        statements.extend(self.facts.iter().cloned());
+        statements.join("; ")
+    }
+
+    /// The constants mentioned by ground-atom facts (`Pred(Const)` or
+    /// `!Pred(Const)`), in first-mention order — the grounding domain
+    /// for [`Self::ground_theory`].
+    pub fn constants(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for fact in &self.facts {
+            if let Some((_, c)) = split_ground_atom(fact) {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Grounds the suite into a propositional Reiter theory over the
+    /// constants of [`Self::constants`]: the atom `P(c)` becomes the
+    /// propositional variable `P_c`, each rule becomes one normal
+    /// default per constant, and single-variable axioms of the shape
+    /// `forall x (A(x) => B(x))` become hard implications. Suites
+    /// using shapes outside that fragment (non-unary atoms, nested
+    /// statistics) return an error — the bridge exists for the §3
+    /// benchmark suites, which are all inside it.
+    pub fn ground_theory(&self) -> Result<(VarTable, DefaultTheory), String> {
+        let constants = self.constants();
+        if constants.is_empty() {
+            return Err("no ground-atom facts to ground over".to_string());
+        }
+        let mut vt = VarTable::new();
+        let mut theory = DefaultTheory::new();
+        for fact in &self.facts {
+            let Some((atom, _)) = split_ground_atom(fact) else {
+                return Err(format!("fact `{fact}` is not a (negated) ground atom"));
+            };
+            let polarity = if fact.trim_start().starts_with('!') {
+                "!"
+            } else {
+                ""
+            };
+            theory.fact_str(&mut vt, &format!("{polarity}{atom}"))?;
+        }
+        for axiom in &self.axioms {
+            let Some((lhs, rhs)) = split_unary_axiom(axiom) else {
+                return Err(format!(
+                    "axiom `{axiom}` is outside the groundable fragment \
+                     `forall x (A(x) => B(x))`"
+                ));
+            };
+            for c in &constants {
+                let ground = format!("{} => {}", mangle(&lhs, c)?, mangle(&rhs, c)?);
+                theory.fact_str(&mut vt, &ground)?;
+            }
+        }
+        for (lhs, rhs) in &self.rules {
+            for c in &constants {
+                theory.normal_str(&mut vt, &mangle(lhs, c)?, &mangle(rhs, c)?)?;
+            }
+        }
+        Ok((vt, theory))
+    }
+}
+
+/// Splits a ground unary-atom fact `P(Const)` / `!P(Const)` into the
+/// mangled propositional atom (`P_Const`) and the constant.
+fn split_ground_atom(fact: &str) -> Option<(String, String)> {
+    let s = fact.trim().trim_start_matches('!').trim();
+    let (pred, rest) = s.split_once('(')?;
+    let arg = rest.strip_suffix(')')?;
+    let pred = pred.trim();
+    let arg = arg.trim();
+    let ident = |t: &str| {
+        !t.is_empty()
+            && t.chars().next().unwrap().is_ascii_uppercase()
+            && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+    };
+    if !ident(pred) || !ident(arg) {
+        return None;
+    }
+    Some((format!("{pred}_{arg}"), arg.to_string()))
+}
+
+/// Splits `forall x (A(x) => B(x))` into its `(A(x), B(x))` sides
+/// (whitespace-tolerant; any single variable name).
+fn split_unary_axiom(axiom: &str) -> Option<(String, String)> {
+    let s = axiom.trim().strip_prefix("forall")?.trim_start();
+    let (_var, rest) = s.split_once('(')?;
+    let body = rest.trim().strip_suffix(')')?;
+    let (lhs, rhs) = body.split_once("=>")?;
+    Some((lhs.trim().to_string(), rhs.trim().to_string()))
+}
+
+/// Grounds a single-variable literal pattern `P(x)` / `!P(x)` at a
+/// constant, producing the mangled propositional form (`P_c` / `!P_c`).
+fn mangle(pattern: &str, constant: &str) -> Result<String, String> {
+    let (body, neg) = match pattern.trim().strip_prefix('!') {
+        Some(rest) => (rest.trim(), "!"),
+        None => (pattern.trim(), ""),
+    };
+    let Some((pred, rest)) = body.split_once('(') else {
+        return Err(format!("`{pattern}` is not a unary literal pattern"));
+    };
+    let Some(var) = rest.strip_suffix(')') else {
+        return Err(format!("`{pattern}` is not a unary literal pattern"));
+    };
+    if var.trim().chars().any(|c| !c.is_ascii_lowercase()) {
+        return Err(format!(
+            "`{pattern}` must use a single lowercase variable to ground"
+        ));
+    }
+    Ok(format!("{neg}{}_{constant}", pred.trim()))
+}
+
+/// Parses suite source (without the `@defaults` header line). Lines:
+/// `fact <stmt>`, `axiom <stmt>`, `rule <lhs> -> <rhs>`; `#` starts a
+/// comment; blank lines are skipped.
+pub fn parse_suite(src: &str) -> Result<DefaultSuite, SuiteError> {
+    let mut suite = DefaultSuite::default();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((keyword, rest)) = line.split_once(char::is_whitespace) else {
+            return err(line_no, format!("`{line}` has no payload"));
+        };
+        let rest = rest.trim();
+        match keyword {
+            "fact" => suite.facts.push(rest.to_string()),
+            "axiom" => suite.axioms.push(rest.to_string()),
+            "rule" => {
+                // `->_` would collide with the compiled tolerance
+                // indices; the suite assigns those itself.
+                let Some((lhs, rhs)) = rest.split_once("->") else {
+                    return err(line_no, format!("rule `{rest}` has no `->`"));
+                };
+                if rhs.starts_with('_') {
+                    return err(
+                        line_no,
+                        "rules take plain `->`; tolerance indices are assigned \
+                         in declaration order",
+                    );
+                }
+                let (lhs, rhs) = (lhs.trim(), rhs.trim());
+                if lhs.is_empty() || rhs.is_empty() {
+                    return err(line_no, format!("rule `{rest}` needs both sides"));
+                }
+                suite.rules.push((lhs.to_string(), rhs.to_string()));
+            }
+            other => {
+                return err(
+                    line_no,
+                    format!("unknown suite keyword `{other}` (expected fact | axiom | rule)"),
+                );
+            }
+        }
+    }
+    if suite.facts.is_empty() && suite.axioms.is_empty() && suite.rules.is_empty() {
+        return err(1, "suite contains no statements");
+    }
+    Ok(suite)
+}
+
+/// Parses a full `@defaults` source: the first non-comment line must be
+/// the bare `@defaults` header, the rest is suite syntax.
+pub fn parse_source(src: &str) -> Result<DefaultSuite, SuiteError> {
+    let mut header_line = 0usize;
+    let mut lines = src.lines();
+    let header = loop {
+        header_line += 1;
+        let Some(raw) = lines.next() else {
+            return err(header_line, "missing `@defaults` header");
+        };
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        if !line.trim().is_empty() {
+            break line.trim().to_string();
+        }
+    };
+    if header != "@defaults" {
+        return err(header_line, "expected a bare `@defaults` header");
+    }
+    let body: String = src.lines().skip(header_line).collect::<Vec<_>>().join("\n");
+    parse_suite(&body).map_err(|e| SuiteError {
+        line: e.line + header_line,
+        message: e.message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reiter::{extensions, skeptical};
+
+    const PENGUIN: &str = "\
+@defaults
+fact Penguin(Tweety)
+axiom forall x (Penguin(x) => Bird(x))
+rule Bird(x) -> Fly(x)
+rule Penguin(x) -> !Fly(x)
+";
+
+    #[test]
+    fn penguin_suite_compiles_to_statistical_reading() {
+        let suite = parse_source(PENGUIN).unwrap();
+        assert_eq!(
+            suite.to_l_source(),
+            "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+             forall x (Penguin(x) => Bird(x)); Penguin(Tweety)"
+        );
+    }
+
+    #[test]
+    fn nixon_suite_grounds_to_a_two_extension_reiter_theory() {
+        let suite = parse_source(
+            "@defaults\n\
+             fact Quaker(Nixon)\nfact Republican(Nixon)\n\
+             rule Quaker(x) -> Pacifist(x)\nrule Republican(x) -> !Pacifist(x)\n",
+        )
+        .unwrap();
+        let (mut vt, theory) = suite.ground_theory().unwrap();
+        let pacifist = vt.parse("Pacifist_Nixon").unwrap();
+        let dove = vt.parse("!Pacifist_Nixon").unwrap();
+        // The classical diagnosis: two extensions, skeptically silent.
+        assert_eq!(extensions(&theory, vt.len()).len(), 2);
+        assert!(!skeptical(&theory, vt.len(), &pacifist));
+        assert!(!skeptical(&theory, vt.len(), &dove));
+    }
+
+    #[test]
+    fn penguin_suite_grounding_keeps_the_specificity_gap() {
+        // The obvious normal encoding loses specificity: one extension
+        // concludes Fly, one concludes !Fly — the §3.1 complaint the
+        // statistical reading (minimal reference classes) repairs.
+        let suite = parse_source(PENGUIN).unwrap();
+        let (mut vt, theory) = suite.ground_theory().unwrap();
+        let fly = vt.parse("Fly_Tweety").unwrap();
+        assert_eq!(extensions(&theory, vt.len()).len(), 2);
+        assert!(!skeptical(&theory, vt.len(), &fly));
+    }
+
+    #[test]
+    fn constants_come_from_ground_atom_facts_in_order() {
+        let suite =
+            parse_suite("fact Quaker(Nixon)\nfact Republican(Nixon)\nfact Quaker(Marvin)\n")
+                .unwrap();
+        assert_eq!(suite.constants(), vec!["Nixon", "Marvin"]);
+    }
+
+    #[test]
+    fn negated_facts_ground_with_their_polarity() {
+        let suite =
+            parse_suite("fact Bird(Tweety)\nfact !Winner(Tweety)\nrule Bird(x) -> Fly(x)\n")
+                .unwrap();
+        let (mut vt, theory) = suite.ground_theory().unwrap();
+        assert_eq!(theory.facts.len(), 2);
+        let fly = vt.parse("Fly_Tweety").unwrap();
+        assert!(skeptical(&theory, vt.len(), &fly));
+    }
+
+    #[test]
+    fn out_of_fragment_shapes_fail_the_bridge_not_the_compile() {
+        let suite =
+            parse_suite("fact Likes(A, B)\nfact Bird(Tweety)\nrule Bird(x) -> Fly(x)\n").unwrap();
+        // The L≈ compile is fine...
+        assert!(suite.to_l_source().contains("Likes(A, B)"));
+        // ...the propositional bridge rejects the binary atom.
+        assert!(suite.ground_theory().unwrap_err().contains("ground atom"));
+    }
+
+    #[test]
+    fn parse_errors_carry_lines_and_reasons() {
+        for (src, needle) in [
+            ("fact F(C)\n", "expected a bare `@defaults` header"),
+            ("@defaults extra\n", "bare `@defaults`"),
+            ("@defaults\n", "no statements"),
+            ("@defaults\nfact\n", "no payload"),
+            ("@defaults\nrule Bird(x) Fly(x)\n", "no `->`"),
+            ("@defaults\nrule Bird(x) ->_1 Fly(x)\n", "declaration order"),
+            ("@defaults\nrule -> Fly(x)\n", "both sides"),
+            ("@defaults\ntheorem F(C)\n", "unknown suite keyword"),
+        ] {
+            let err = parse_source(src).unwrap_err();
+            assert!(err.message.contains(needle), "{src:?}: {err}");
+        }
+    }
+}

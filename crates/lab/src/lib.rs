@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Workload experiment runner for the random-worlds engine.
+//!
+//! The engine grew five ways to answer the same question — the compiled
+//! branch-and-count cascade, the odometer oracle, symmetry-reduced orbit
+//! counting, Monte-Carlo sampling, and the maxent τ-sweep — plus knobs
+//! (threads, caching) that are promised never to change an answer. This
+//! crate turns those promises into *gates* over declarative workloads:
+//!
+//! * a workload (`workloads/*.jsonl`, [`workload`]) lists tasks — KB
+//!   source (plain `L≈`, `@temporal`, or `@defaults`), query, optional
+//!   expected belief and scan pins — and per-workload perf floors;
+//! * the runner ([`runner`]) expands the variant matrix
+//!   (engine × threads × cache) and answers every task under every
+//!   variant, one JSONL row per trial;
+//! * the report ([`report`]) judges the rows: exact engines bit-equal,
+//!   Monte-Carlo within 3σ, byte-identical rows at any thread count,
+//!   verified cache replays, declared wall-clock floors — and renders
+//!   the analysis table plus machine-readable `LAB_REPORT.json`.
+//!
+//! ```
+//! use rw_lab::{analysis_table, evaluate, run, RunConfig, Workload};
+//!
+//! let workload = Workload::parse(
+//!     r#"{"task":"hep","kb":"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)","query":"Hep(Eric)","expect":0.8}"#,
+//!     None,
+//! ).unwrap();
+//! let cfg = RunConfig::default();
+//! let rows = run(&workload, &cfg);
+//! let report = evaluate(&workload, &cfg, &rows);
+//! assert!(report.pass);
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use report::{analysis_table, evaluate, GateResult, GateStatus, LabReport};
+pub use runner::{run, Engine, RunConfig, TrialRow, ALL_ENGINES};
+pub use workload::{Gates, SpeedupGate, Task, Workload, WorkloadError};

@@ -1,0 +1,643 @@
+//! Gate evaluation, the analysis table, and `LAB_REPORT.json`.
+//!
+//! A run's rows are judged against two always-on gates — cross-engine
+//! belief equality and thread-count determinism — plus whatever the
+//! workload header declares (`max_trial_us`, `min_speedup`). The report
+//! is machine-readable JSON so CI can gate on `"pass":true` without
+//! parsing prose.
+
+use crate::runner::{Engine, RunConfig, TrialRow};
+use crate::workload::Workload;
+use rw_core::Belief;
+use rw_server::json::{belief_json, escape};
+use std::fmt::Write as _;
+
+/// How a gate concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// The gate's condition held.
+    Pass,
+    /// The gate's condition was violated.
+    Fail,
+    /// The run's variant set (or the workload header) makes the gate
+    /// inapplicable.
+    Skip,
+}
+
+impl GateStatus {
+    /// The stable keyword used in `LAB_REPORT.json`.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            GateStatus::Pass => "pass",
+            GateStatus::Fail => "fail",
+            GateStatus::Skip => "skip",
+        }
+    }
+}
+
+/// One gate's verdict.
+#[derive(Clone, Debug)]
+pub struct GateResult {
+    /// Gate name (`cross-engine-equality`, `determinism`, …).
+    pub gate: String,
+    /// The verdict.
+    pub status: GateStatus,
+    /// Human-readable evidence: what was checked, or what broke.
+    pub detail: String,
+}
+
+/// The machine-readable run report.
+#[derive(Clone, Debug)]
+pub struct LabReport {
+    /// Workload name.
+    pub workload: String,
+    /// Total trials run.
+    pub trials: usize,
+    /// Trials that produced a belief.
+    pub ok: usize,
+    /// Trials that failed.
+    pub failed: usize,
+    /// Every gate's verdict.
+    pub gates: Vec<GateResult>,
+    /// True when no gate failed.
+    pub pass: bool,
+}
+
+impl LabReport {
+    /// Renders the report as a single deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            r#"{{"workload":"{}","trials":{},"ok":{},"failed":{},"gates":["#,
+            escape(&self.workload),
+            self.trials,
+            self.ok,
+            self.failed
+        );
+        for (i, g) in self.gates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                r#"{{"gate":"{}","status":"{}","detail":"{}"}}"#,
+                escape(&g.gate),
+                g.status.keyword(),
+                escape(&g.detail)
+            );
+        }
+        let _ = write!(out, r#"],"pass":{}}}"#, self.pass);
+        out
+    }
+}
+
+/// The reference row for a task: the first exact engine in canonical
+/// order that answered it (preferring uncached, first-thread-count rows,
+/// whose cell always exists when the engine ran).
+fn reference_row<'r>(rows: &'r [TrialRow], task: &str) -> Option<&'r TrialRow> {
+    for engine in [Engine::Compiled, Engine::Oracle, Engine::Symmetry] {
+        let mut candidates = rows
+            .iter()
+            .filter(|r| r.task == task && r.engine == engine && r.ok);
+        if let Some(row) = candidates.clone().find(|r| !r.cache) {
+            return Some(row);
+        }
+        if let Some(row) = candidates.next() {
+            return Some(row);
+        }
+    }
+    None
+}
+
+/// |mc − exact| within 3σ, where the sampler's `ci_half_width` is a 95%
+/// interval (1.96σ). Exact interval beliefs widen the window to the
+/// interval itself ± 3σ, and a non-robust belief widens it to the hull
+/// of its candidate limits — which limit the sampler converges to
+/// depends on the tolerance ordering, so anywhere in the hull agrees.
+/// A tiny absolute slack keeps a zero-width CI from demanding
+/// float-identical extrapolations.
+fn within_three_sigma(mc_value: f64, ci_half_width: f64, exact: &Belief) -> bool {
+    let tol = 3.0 * (ci_half_width / 1.96) + 1e-9;
+    let hull = match exact {
+        Belief::NonRobust(candidates) => {
+            let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            (lo.is_finite() && hi.is_finite()).then_some((lo, hi))
+        }
+        other => other.as_interval(),
+    };
+    match hull {
+        Some((lo, hi)) => mc_value >= lo - tol && mc_value <= hi + tol,
+        None => false,
+    }
+}
+
+fn gate(name: &str, status: GateStatus, detail: impl Into<String>) -> GateResult {
+    GateResult {
+        gate: name.to_string(),
+        status,
+        detail: detail.into(),
+    }
+}
+
+/// Report at most this many violations per gate; the rest are counted.
+const MAX_DETAIL: usize = 4;
+
+fn verdict(name: &str, violations: Vec<String>, checked: usize, none_msg: &str) -> GateResult {
+    if violations.is_empty() {
+        if checked == 0 {
+            return gate(name, GateStatus::Skip, none_msg);
+        }
+        return gate(name, GateStatus::Pass, format!("{checked} checks"));
+    }
+    let mut detail = violations[..violations.len().min(MAX_DETAIL)].join("; ");
+    if violations.len() > MAX_DETAIL {
+        let _ = write!(detail, "; … {} more", violations.len() - MAX_DETAIL);
+    }
+    gate(name, GateStatus::Fail, detail)
+}
+
+/// Cross-engine belief equality: exact engines bit-equal to the task's
+/// reference belief; Monte-Carlo within 3σ (bit-equal when it answered
+/// exactly, i.e. the theorem stage fired before the sampler).
+fn equality_gate(rows: &[TrialRow], tasks: &[String]) -> GateResult {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for task in tasks {
+        let Some(reference) = reference_row(rows, task) else {
+            continue;
+        };
+        let ref_json = belief_json(reference.belief.as_ref().unwrap());
+        for row in rows.iter().filter(|r| &r.task == task && r.ok) {
+            let Some(belief) = &row.belief else { continue };
+            if row.engine.is_exact() {
+                checked += 1;
+                let row_json = belief_json(belief);
+                if row_json != ref_json {
+                    violations.push(format!(
+                        "{task}/{}: {row_json} != {}/{ref_json}",
+                        row.engine.keyword(),
+                        reference.engine.keyword()
+                    ));
+                }
+            } else if row.engine == Engine::MonteCarlo {
+                checked += 1;
+                match belief {
+                    Belief::Approximate {
+                        value,
+                        ci_half_width,
+                    } => {
+                        if !within_three_sigma(
+                            *value,
+                            *ci_half_width,
+                            reference.belief.as_ref().unwrap(),
+                        ) {
+                            violations.push(format!(
+                                "{task}/montecarlo: {value}±{ci_half_width} outside 3σ of {ref_json}"
+                            ));
+                        }
+                    }
+                    exact => {
+                        // The sampler never ran (a theorem answered
+                        // first): the answer is exact and owes
+                        // bit-equality like any exact engine.
+                        let row_json = belief_json(exact);
+                        if row_json != ref_json {
+                            violations.push(format!(
+                                "{task}/montecarlo (exact path): {row_json} != {ref_json}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    verdict(
+        "cross-engine-equality",
+        violations,
+        checked,
+        "no exact reference engine in the run",
+    )
+}
+
+/// Expected-belief oracles: the reference engine's answer must match the
+/// task's `expect` (to 1e-9) and `expect_kind`.
+fn expectation_gate(rows: &[TrialRow], workload: &Workload) -> GateResult {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for task in &workload.tasks {
+        if task.expect.is_none() && task.expect_kind.is_none() {
+            continue;
+        }
+        let Some(reference) = reference_row(rows, &task.id) else {
+            violations.push(format!("{}: no exact engine answered", task.id));
+            continue;
+        };
+        let belief = reference.belief.as_ref().unwrap();
+        if let Some(expect) = task.expect {
+            checked += 1;
+            match belief.as_point() {
+                Some(v) if (v - expect).abs() <= 1e-9 => {}
+                got => violations.push(format!(
+                    "{}: expected {expect}, got {got:?} ({})",
+                    task.id,
+                    belief_json(belief)
+                )),
+            }
+        }
+        if let Some(kind) = &task.expect_kind {
+            checked += 1;
+            let actual = match belief {
+                Belief::Point(_) => "point",
+                Belief::Interval(..) => "interval",
+                Belief::NonRobust(_) => "non-robust",
+                Belief::Approximate { .. } => "approximate",
+                Belief::Undefined => "undefined",
+            };
+            if actual != kind {
+                violations.push(format!(
+                    "{}: expected a {kind} belief, got {actual}",
+                    task.id
+                ));
+            }
+        }
+    }
+    verdict(
+        "expectations",
+        violations,
+        checked,
+        "no task declares an expectation",
+    )
+}
+
+/// Thread-count determinism: within one (task, engine, cache) cell,
+/// every thread count's row must have a byte-identical identity
+/// (timing masked, `threads` field dropped).
+fn determinism_gate(rows: &[TrialRow]) -> GateResult {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    let mut seen: Vec<(String, Engine, bool, String, usize)> = Vec::new();
+    for row in rows {
+        let identity = row.identity();
+        match seen
+            .iter()
+            .find(|(t, e, c, ..)| t == &row.task && *e == row.engine && *c == row.cache)
+        {
+            None => seen.push((
+                row.task.clone(),
+                row.engine,
+                row.cache,
+                identity,
+                row.threads,
+            )),
+            Some((_, _, _, first, first_threads)) => {
+                checked += 1;
+                if first != &identity {
+                    violations.push(format!(
+                        "{}/{}/cache={}: threads={} row differs from threads={first_threads}",
+                        row.task,
+                        row.engine.keyword(),
+                        row.cache,
+                        row.threads
+                    ));
+                }
+            }
+        }
+    }
+    verdict(
+        "determinism",
+        violations,
+        checked,
+        "single thread count in the run",
+    )
+}
+
+/// Cached trials must have verified a cache hit (the runner downgrades a
+/// missed or mismatched replay to a failed row, which this gate surfaces
+/// alongside genuine cache misses).
+fn cache_gate(rows: &[TrialRow]) -> GateResult {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for row in rows.iter().filter(|r| r.cache) {
+        checked += 1;
+        if row.ok && !row.cache_hit {
+            violations.push(format!(
+                "{}/{}: cached trial did not verify a hit",
+                row.task,
+                row.engine.keyword()
+            ));
+        }
+    }
+    verdict(
+        "cache-consistency",
+        violations,
+        checked,
+        "no cached trials in the run",
+    )
+}
+
+/// Trials that failed outright, excluding the maxent engine (which
+/// legitimately declines queries outside the theorem/maxent fragments —
+/// its failures are visible in the rows but do not gate the run).
+fn failure_gate(rows: &[TrialRow]) -> GateResult {
+    let mut violations = Vec::new();
+    for row in rows.iter().filter(|r| !r.ok && r.engine != Engine::MaxEnt) {
+        violations.push(format!(
+            "{}/{}: {}",
+            row.task,
+            row.engine.keyword(),
+            row.error.as_deref().unwrap_or("unknown")
+        ));
+    }
+    verdict("trial-failures", violations, rows.len(), "no trials ran")
+}
+
+/// `max_trial_us` from the workload header.
+fn trial_time_gate(rows: &[TrialRow], ceiling: Option<u64>) -> GateResult {
+    let Some(ceiling) = ceiling else {
+        return gate(
+            "max-trial-us",
+            GateStatus::Skip,
+            "workload declares no ceiling",
+        );
+    };
+    let mut violations = Vec::new();
+    for row in rows.iter().filter(|r| r.ok) {
+        if row.elapsed_us > ceiling as u128 {
+            violations.push(format!(
+                "{}/{}/t{}: {}us > {ceiling}us",
+                row.task,
+                row.engine.keyword(),
+                row.threads,
+                row.elapsed_us
+            ));
+        }
+    }
+    verdict(
+        "max-trial-us",
+        violations,
+        rows.iter().filter(|r| r.ok).count(),
+        "no successful trials",
+    )
+}
+
+/// `min_speedup` from the workload header: summed uncached wall time at
+/// the run's first thread count, `baseline` over `engine`.
+fn speedup_gate(rows: &[TrialRow], cfg: &RunConfig, workload: &Workload) -> GateResult {
+    let Some(spec) = &workload.gates.min_speedup else {
+        return gate(
+            "min-speedup",
+            GateStatus::Skip,
+            "workload declares no speedup gate",
+        );
+    };
+    let (Some(engine), Some(baseline)) =
+        (Engine::parse(&spec.engine), Engine::parse(&spec.baseline))
+    else {
+        return gate(
+            "min-speedup",
+            GateStatus::Fail,
+            format!(
+                "unknown engine in gate spec: {}/{}",
+                spec.engine, spec.baseline
+            ),
+        );
+    };
+    if !cfg.engines.contains(&engine) || !cfg.engines.contains(&baseline) {
+        return gate(
+            "min-speedup",
+            GateStatus::Skip,
+            format!(
+                "run does not include both {} and {}",
+                spec.engine, spec.baseline
+            ),
+        );
+    }
+    let threads = cfg.threads.first().copied().unwrap_or(1);
+    let in_scope = |r: &&TrialRow| {
+        r.ok && !r.cache
+            && r.threads == threads
+            && (spec.tasks.is_empty() || spec.tasks.contains(&r.task))
+    };
+    let total = |e: Engine| -> u128 {
+        rows.iter()
+            .filter(in_scope)
+            .filter(|r| r.engine == e)
+            .map(|r| r.elapsed_us)
+            .sum()
+    };
+    let fast = total(engine);
+    let slow = total(baseline);
+    if fast == 0 || slow == 0 {
+        return gate(
+            "min-speedup",
+            GateStatus::Fail,
+            format!(
+                "no measurable uncached trials for {}({slow}us)/{}({fast}us)",
+                spec.baseline, spec.engine
+            ),
+        );
+    }
+    let ratio = slow as f64 / fast as f64;
+    if ratio >= spec.value {
+        gate(
+            "min-speedup",
+            GateStatus::Pass,
+            format!(
+                "{} {:.1}x faster than {} (floor {:.1}x)",
+                spec.engine, ratio, spec.baseline, spec.value
+            ),
+        )
+    } else {
+        gate(
+            "min-speedup",
+            GateStatus::Fail,
+            format!(
+                "{} only {ratio:.2}x faster than {} (floor {:.1}x)",
+                spec.engine, spec.baseline, spec.value
+            ),
+        )
+    }
+}
+
+/// Evaluates every gate over a run's rows.
+pub fn evaluate(workload: &Workload, cfg: &RunConfig, rows: &[TrialRow]) -> LabReport {
+    let task_ids: Vec<String> = workload.tasks.iter().map(|t| t.id.clone()).collect();
+    let gates = vec![
+        equality_gate(rows, &task_ids),
+        expectation_gate(rows, workload),
+        determinism_gate(rows),
+        cache_gate(rows),
+        failure_gate(rows),
+        trial_time_gate(rows, workload.gates.max_trial_us),
+        speedup_gate(rows, cfg, workload),
+    ];
+    let ok = rows.iter().filter(|r| r.ok).count();
+    let pass = gates.iter().all(|g| g.status != GateStatus::Fail);
+    LabReport {
+        workload: workload.name.clone(),
+        trials: rows.len(),
+        ok,
+        failed: rows.len() - ok,
+        gates,
+        pass,
+    }
+}
+
+fn belief_summary(row: &TrialRow) -> String {
+    let Some(belief) = &row.belief else {
+        return format!("error: {}", row.error.as_deref().unwrap_or("unknown"));
+    };
+    match belief {
+        Belief::Point(v) => format!("point {v}"),
+        Belief::Interval(lo, hi) => format!("interval [{lo}, {hi}]"),
+        Belief::NonRobust(vs) => format!("non-robust ({} candidates)", vs.len()),
+        Belief::Approximate {
+            value,
+            ci_half_width,
+        } => format!("approx {value} ± {ci_half_width}"),
+        Belief::Undefined => "undefined".to_string(),
+    }
+}
+
+/// A fixed-width text table over the rows, for humans reading the run.
+pub fn analysis_table(rows: &[TrialRow]) -> String {
+    let mut out = String::new();
+    let task_w = rows
+        .iter()
+        .map(|r| r.task.len())
+        .chain(std::iter::once(4))
+        .max()
+        .unwrap();
+    let _ = writeln!(
+        out,
+        "{:<task_w$}  {:<10}  {:>7}  {:<5}  {:<42}  {:>12}",
+        "task", "engine", "threads", "cache", "belief", "elapsed_us"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<task_w$}  {:<10}  {:>7}  {:<5}  {:<42}  {:>12}",
+            row.task,
+            row.engine.keyword(),
+            row.threads,
+            if row.cache { "on" } else { "off" },
+            belief_summary(row),
+            row.elapsed_us
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+
+    fn demo() -> (Workload, RunConfig) {
+        let w = Workload::parse(
+            "{\"workload\":\"demo\"}\n\
+             {\"task\":\"hep\",\"kb\":\"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)\",\"query\":\"Hep(Eric)\",\"expect\":0.8,\"expect_kind\":\"point\"}\n",
+            None,
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            engines: vec![Engine::Compiled, Engine::Oracle, Engine::MonteCarlo],
+            threads: vec![1, 2],
+            cache: vec![false, true],
+            seed: 42,
+        };
+        (w, cfg)
+    }
+
+    #[test]
+    fn clean_runs_pass_every_applicable_gate() {
+        let (w, cfg) = demo();
+        let rows = run(&w, &cfg);
+        let report = evaluate(&w, &cfg, &rows);
+        assert!(report.pass, "{}", report.to_json());
+        assert_eq!(report.failed, 0);
+        let by_name = |n: &str| {
+            report
+                .gates
+                .iter()
+                .find(|g| g.gate == n)
+                .unwrap_or_else(|| panic!("missing gate {n}"))
+                .status
+        };
+        assert_eq!(by_name("cross-engine-equality"), GateStatus::Pass);
+        assert_eq!(by_name("expectations"), GateStatus::Pass);
+        assert_eq!(by_name("determinism"), GateStatus::Pass);
+        assert_eq!(by_name("cache-consistency"), GateStatus::Pass);
+        assert_eq!(by_name("min-speedup"), GateStatus::Skip);
+    }
+
+    #[test]
+    fn wrong_expectations_fail_the_run() {
+        let w = Workload::parse(
+            "{\"task\":\"hep\",\"kb\":\"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)\",\"query\":\"Hep(Eric)\",\"expect\":0.25}\n",
+            None,
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            engines: vec![Engine::Compiled],
+            threads: vec![1],
+            cache: vec![false],
+            seed: 42,
+        };
+        let rows = run(&w, &cfg);
+        let report = evaluate(&w, &cfg, &rows);
+        assert!(!report.pass);
+        let expectation = report
+            .gates
+            .iter()
+            .find(|g| g.gate == "expectations")
+            .unwrap();
+        assert_eq!(expectation.status, GateStatus::Fail);
+        assert!(
+            expectation.detail.contains("0.25"),
+            "{}",
+            expectation.detail
+        );
+    }
+
+    #[test]
+    fn report_json_is_machine_readable() {
+        let (w, cfg) = demo();
+        let rows = run(&w, &cfg);
+        let report = evaluate(&w, &cfg, &rows);
+        let json = report.to_json();
+        let v = rw_server::proto::Value::parse(&json).unwrap();
+        assert_eq!(v.get("workload").and_then(|x| x.as_str()), Some("demo"));
+        assert_eq!(v.get("pass").and_then(|x| x.as_bool()), Some(true));
+        assert!(matches!(
+            v.get("gates"),
+            Some(rw_server::proto::Value::Arr(_))
+        ));
+    }
+
+    #[test]
+    fn three_sigma_window_is_centered_on_the_exact_belief() {
+        assert!(within_three_sigma(0.8, 0.0, &Belief::Point(0.8)));
+        assert!(within_three_sigma(0.81, 0.0098, &Belief::Point(0.8)));
+        assert!(!within_three_sigma(0.9, 0.0098, &Belief::Point(0.8)));
+        assert!(within_three_sigma(0.5, 0.0, &Belief::Interval(0.4, 0.6)));
+    }
+
+    #[test]
+    fn three_sigma_widens_to_the_non_robust_candidate_hull() {
+        let nr = Belief::NonRobust(vec![0.5, 0.9999, 0.0001]);
+        assert!(within_three_sigma(1.0, 0.01, &nr));
+        assert!(within_three_sigma(0.0, 0.01, &nr));
+        assert!(!within_three_sigma(1.2, 0.01, &nr));
+        assert!(!within_three_sigma(0.5, 0.01, &Belief::NonRobust(vec![])));
+    }
+
+    #[test]
+    fn analysis_table_lists_every_row() {
+        let (w, cfg) = demo();
+        let rows = run(&w, &cfg);
+        let table = analysis_table(&rows);
+        assert_eq!(table.lines().count(), rows.len() + 1);
+        assert!(table.lines().next().unwrap().contains("belief"));
+    }
+}

@@ -1,0 +1,122 @@
+//! The in-tree slice of the lab's cross-engine equality contract: the
+//! bundled workload files must parse, and their debug-safe rows must
+//! clear the equality, expectation, and cache gates under `cargo test`
+//! — no release build or `rwq lab` invocation required. The full
+//! matrices (Monte-Carlo sampling on binary statistics, maxent sweeps,
+//! the speedup floor) run in release via `rwq lab run`; this tier keeps
+//! the bit-equality core from regressing silently in between.
+
+use rw_lab::{evaluate, run, Engine, GateStatus, RunConfig, Workload};
+use std::path::PathBuf;
+
+fn workloads_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../workloads")
+}
+
+fn load(file: &str) -> Workload {
+    Workload::load(&workloads_dir().join(file))
+        .unwrap_or_else(|e| panic!("bundled workload {file} must load: {e}"))
+}
+
+/// Runs a task subset against the given engines and asserts every gate
+/// except min-speedup (wall-clock floors are meaningless in debug
+/// builds) passes or is skipped.
+fn assert_gates(workload: &Workload, keep: &[&str], engines: Vec<Engine>) {
+    let mut w = workload.clone();
+    if !keep.is_empty() {
+        w.tasks.retain(|t| keep.contains(&t.id.as_str()));
+        assert_eq!(w.tasks.len(), keep.len(), "task subset ids drifted");
+    }
+    w.gates.min_speedup = None;
+    w.gates.max_trial_us = None;
+    let cfg = RunConfig {
+        engines,
+        threads: vec![1, 2],
+        cache: vec![false, true],
+        seed: 42,
+    };
+    let rows = run(&w, &cfg);
+    let report = evaluate(&w, &cfg, &rows);
+    for gate in &report.gates {
+        assert_ne!(
+            gate.status,
+            GateStatus::Fail,
+            "{}: gate {} failed: {}",
+            w.name,
+            gate.gate,
+            gate.detail
+        );
+    }
+    assert!(report.pass, "{}: report failed", w.name);
+    assert_eq!(report.failed, 0, "{}: trials failed", w.name);
+}
+
+/// Every bundled workload parses, has a description, and declares at
+/// least one expectation — the files are the contract, so a truncated
+/// or hand-mangled edit should fail here, not at `rwq lab` time.
+#[test]
+fn bundled_workloads_parse_and_declare_expectations() {
+    for file in [
+        "paper_examples.jsonl",
+        "trap_shapes.jsonl",
+        "temporal_scenarios.jsonl",
+        "default_suites.jsonl",
+    ] {
+        let w = load(file);
+        assert!(!w.description.is_empty(), "{file}: empty description");
+        assert!(!w.tasks.is_empty(), "{file}: no tasks");
+        assert!(
+            w.tasks
+                .iter()
+                .any(|t| t.expect.is_some() || t.expect_kind.is_some()),
+            "{file}: no task declares an expectation"
+        );
+    }
+}
+
+/// The paper examples are all theorem-speed: the full engine matrix
+/// (including the sampler, which the theorem stage preempts here) must
+/// agree bit-for-bit at 1 and 2 threads, cached and cold.
+#[test]
+fn paper_examples_agree_across_all_engines() {
+    assert_gates(
+        &load("paper_examples.jsonl"),
+        &[],
+        vec![
+            Engine::Compiled,
+            Engine::Oracle,
+            Engine::Symmetry,
+            Engine::MonteCarlo,
+        ],
+    );
+}
+
+/// The small-N pinned trap rows: both binary-predicate KBs scan tiny
+/// windows, so the three exact engines must extrapolate from the same
+/// diagonal points and answer bit-identically. (Monte-Carlo stays out:
+/// sampling a binary statistic takes seconds even in release.)
+#[test]
+fn trap_small_n_rows_are_bit_equal_across_exact_engines() {
+    assert_gates(
+        &load("trap_shapes.jsonl"),
+        &["trap-cross-product", "binary-ground", "binary-stat"],
+        vec![Engine::Compiled, Engine::Oracle, Engine::Symmetry],
+    );
+}
+
+/// The theorem-speed temporal and defaults rows answer end-to-end
+/// through the `@temporal` / `@defaults` loader directives under the
+/// default engine trio.
+#[test]
+fn directive_workload_rows_answer_end_to_end() {
+    assert_gates(
+        &load("temporal_scenarios.jsonl"),
+        &["shoot-statistical", "persistence-wait"],
+        vec![Engine::Compiled, Engine::Oracle, Engine::MonteCarlo],
+    );
+    assert_gates(
+        &load("default_suites.jsonl"),
+        &["bird-default", "penguin-specificity"],
+        vec![Engine::Compiled, Engine::Oracle, Engine::MonteCarlo],
+    );
+}

@@ -1,0 +1,145 @@
+//! Property-based armor for the experiment runner's determinism
+//! contract: trial rows are byte-identical modulo the `threads` field
+//! and `elapsed_us` timings at any thread count, and the row *set* is
+//! invariant under task reordering. Both properties hold for arbitrary
+//! task subsets of a theorem-speed pool, so the suite stays fast in
+//! debug builds while still crossing every engine.
+
+use proptest::prelude::*;
+use rw_lab::{run, Engine, Gates, RunConfig, Task, Workload};
+
+/// Theorem-path tasks (each answers in well under a millisecond even in
+/// debug builds): direct inference, negation, specificity, Dempster
+/// combination, an interval answer, and an independence product.
+const POOL: &[(&str, &str, &str)] = &[
+    (
+        "hep-direct",
+        "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+        "Hep(Eric)",
+    ),
+    (
+        "hep-negation",
+        "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)",
+        "!Hep(Eric)",
+    ),
+    (
+        "penguin",
+        "Bird(x) ->_1 Fly(x); Penguin(x) ->_2 !Fly(x); \
+         forall x (Penguin(x) => Bird(x)); Penguin(Tweety)",
+        "Fly(Tweety)",
+    ),
+    (
+        "nixon-dempster",
+        "||Pacifist(x) | Quaker(x)||_x ~=_1 0.8; ||Pacifist(x) | Republican(x)||_x ~=_2 0.8; \
+         Quaker(Nixon); Republican(Nixon); exists! x (Quaker(x) & Republican(x))",
+        "Pacifist(Nixon)",
+    ),
+    (
+        "magpie-interval",
+        "0.7 <~_1 ||Chirps(x) | Bird(x)||_x <~_2 0.8; \
+         0 <~_3 ||Chirps(x) | Magpie(x)||_x <~_4 0.99; \
+         forall x (Magpie(x) => Bird(x)); Magpie(Tweety)",
+        "Chirps(Tweety)",
+    ),
+    (
+        "cross-product",
+        "||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric); \
+         ||Over60(x) | Patient(x)||_x ~=_2 0.4; Patient(Eric)",
+        "Hep(Eric) & Over60(Eric)",
+    ),
+];
+
+fn task(idx: usize) -> Task {
+    let (id, kb, query) = POOL[idx];
+    Task {
+        id: id.to_string(),
+        kb_source: kb.to_string(),
+        query: query.to_string(),
+        expect: None,
+        expect_kind: None,
+        min_n: None,
+        max_n: None,
+    }
+}
+
+fn workload(indices: &[usize]) -> Workload {
+    Workload {
+        name: "property".to_string(),
+        description: String::new(),
+        gates: Gates::default(),
+        tasks: indices.iter().map(|&i| task(i)).collect(),
+    }
+}
+
+fn config(threads: usize) -> RunConfig {
+    RunConfig {
+        engines: vec![Engine::Compiled, Engine::Oracle, Engine::MonteCarlo],
+        threads: vec![threads],
+        cache: vec![false, true],
+        seed: 42,
+    }
+}
+
+/// Distinct pool indices in generated order.
+fn arb_task_set() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..POOL.len(), 1..5).prop_map(|picks| {
+        let mut seen = Vec::new();
+        for i in picks {
+            if !seen.contains(&i) {
+                seen.push(i);
+            }
+        }
+        seen
+    })
+}
+
+fn identities(workload: &Workload, cfg: &RunConfig) -> Vec<String> {
+    run(workload, cfg).iter().map(|r| r.identity()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The `identity()` projection (threads dropped, timings zeroed) is
+    /// byte-identical at 1, 2, and 4 threads: thread count may only
+    /// ever change wall-clock, never an answer, a provenance string, a
+    /// counter, or a cache outcome.
+    #[test]
+    fn rows_are_byte_identical_across_thread_counts(indices in arb_task_set()) {
+        let w = workload(&indices);
+        let one = identities(&w, &config(1));
+        let two = identities(&w, &config(2));
+        let four = identities(&w, &config(4));
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &four);
+    }
+
+    /// Reordering the task list permutes the rows but never changes
+    /// them: the sorted identity multiset is order-invariant (each
+    /// trial builds a fresh engine, so no cross-task state leaks).
+    #[test]
+    fn shuffled_task_order_yields_the_same_sorted_row_set(
+        indices in arb_task_set(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut shuffled = indices.clone();
+        // Fisher–Yates with a splitmix64 stream off the generated seed.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let cfg = config(1);
+        let mut base = identities(&workload(&indices), &cfg);
+        let mut permuted = identities(&workload(&shuffled), &cfg);
+        base.sort();
+        permuted.sort();
+        prop_assert_eq!(base, permuted);
+    }
+}

@@ -11,6 +11,18 @@
 //! Jaun(Eric)            # the patient at hand
 //! ```
 //!
+//! Two *directive formats* compile to `L≈` through the same loader, so
+//! the paper's §7.1 temporal scenarios and §3 default-reasoning suites
+//! are first-class knowledge bases on every serving surface. A source
+//! whose first non-comment line starts with `@` is dispatched on it:
+//!
+//! * `@temporal [causal|naive-shared|naive-distinct]` — the rest is
+//!   the [`rw_temporal::dsl`] scenario syntax (`fluent`/`init`/`wait`/
+//!   `step`/`observe`), compiled under the named frame representation;
+//! * `@defaults` — the rest is the [`rw_defaults::statistical`] suite
+//!   syntax (`fact`/`axiom`/`rule`), each rule compiled to its
+//!   statistical reading `A(x) ->_i B(x)`.
+//!
 //! The module lives in `rw-server` (rather than the CLI) because every
 //! serving surface loads KBs through it: `rwq query`/`batch` on their
 //! files and the server's `load` request on both `path` and inline
@@ -34,6 +46,14 @@ pub enum LoadError {
     },
     /// The file contains no statements.
     Empty,
+    /// A `@temporal`/`@defaults` directive source failed to parse or
+    /// compile, tagged with the 1-based source line.
+    Directive {
+        /// 1-based line number in the source file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -42,6 +62,7 @@ impl fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "cannot read knowledge base: {e}"),
             LoadError::Parse { line, error } => write!(f, "line {line}: {error}"),
             LoadError::Empty => write!(f, "knowledge base contains no statements"),
+            LoadError::Directive { line, message } => write!(f, "line {line}: {message}"),
         }
     }
 }
@@ -63,7 +84,60 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
+/// The directive (`@…` first token) a source opens with, if any, with
+/// the 1-based line it sits on.
+fn leading_directive(src: &str) -> Option<(usize, &str)> {
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.starts_with('@') {
+            return None;
+        }
+        let word = line.split_whitespace().next().unwrap_or(line);
+        return Some((idx + 1, word));
+    }
+    None
+}
+
+/// Compiles a directive source (`@temporal`/`@defaults`) down to `L≈`
+/// statements and parses those. The compiled text is trusted output of
+/// our own compilers, so a parse failure there is reported as a
+/// directive error rather than a line-tagged statement error.
+fn parse_directive_kb(src: &str, line: usize, word: &str) -> Result<KnowledgeBase, LoadError> {
+    let compiled = match word {
+        "@temporal" => {
+            let (scenario, rep) =
+                rw_temporal::parse_source(src).map_err(|e| LoadError::Directive {
+                    line: e.line,
+                    message: e.message,
+                })?;
+            rw_temporal::compile_source(&scenario, rep)
+        }
+        "@defaults" => rw_defaults::statistical::parse_source(src)
+            .map_err(|e| LoadError::Directive {
+                line: e.line,
+                message: e.message,
+            })?
+            .to_l_source(),
+        other => {
+            return Err(LoadError::Directive {
+                line,
+                message: format!("unknown directive `{other}` (expected @temporal or @defaults)"),
+            })
+        }
+    };
+    KnowledgeBase::parse(&compiled).map_err(|error| LoadError::Directive {
+        line,
+        message: format!("compiled {word} source does not parse: {error}"),
+    })
+}
+
 /// Parses `.rwkb` source text into a knowledge base.
+///
+/// A source whose first non-comment line starts with `@` is a directive
+/// format (see the module docs); everything else is plain `L≈`.
 ///
 /// ```
 /// let kb = rw_server::format::parse_kb(
@@ -72,6 +146,9 @@ fn strip_comment(line: &str) -> &str {
 /// assert_eq!(kb.conjuncts().len(), 2);
 /// ```
 pub fn parse_kb(src: &str) -> Result<KnowledgeBase, LoadError> {
+    if let Some((line, word)) = leading_directive(src) {
+        return parse_directive_kb(src, line, word);
+    }
     let mut kb = KnowledgeBase::new();
     let mut statements = 0usize;
     for (idx, raw) in src.lines().enumerate() {
@@ -145,5 +222,65 @@ mod tests {
     fn stray_semicolons_are_harmless() {
         let kb = parse_kb(";P(C);;\n").unwrap();
         assert_eq!(kb.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn temporal_directive_compiles_to_a_kb() {
+        let kb = parse_kb(
+            "# one-step shooting\n\
+             @temporal causal\n\
+             fluent Loaded\n\
+             fluent Alive\n\
+             init Loaded\n\
+             init Alive\n\
+             step shoot requires Loaded causes !Alive\n",
+        )
+        .unwrap();
+        // Effect axiom, frame statements for the unaffected polarities,
+        // and the two init facts all survive compilation.
+        assert!(kb.conjuncts().len() >= 4);
+    }
+
+    #[test]
+    fn defaults_directive_compiles_to_a_kb() {
+        let kb = parse_kb(
+            "@defaults\n\
+             fact Penguin(Tweety)\n\
+             axiom forall x (Penguin(x) => Bird(x))\n\
+             rule Bird(x) -> Fly(x)\n\
+             rule Penguin(x) -> !Fly(x)\n",
+        )
+        .unwrap();
+        assert_eq!(kb.conjuncts().len(), 4);
+    }
+
+    #[test]
+    fn directive_errors_carry_full_source_line_numbers() {
+        let err = parse_kb("# leading comment\n@temporal causal\nfluent Alive\nbogus line\n")
+            .unwrap_err();
+        match err {
+            LoadError::Directive { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected directive error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_directives_are_rejected() {
+        let err = parse_kb("@mystery\nP(C)\n").unwrap_err();
+        match err {
+            LoadError::Directive { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("@mystery"), "message: {message}");
+            }
+            other => panic!("expected directive error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn plain_sources_still_reject_at_signs_later_on() {
+        // Only the *first* non-comment line dispatches; an `@` later in
+        // a plain source is an ordinary parse error.
+        let err = parse_kb("P(C)\n@temporal\n").unwrap_err();
+        assert!(matches!(err, LoadError::Parse { line: 2, .. }));
     }
 }

@@ -40,7 +40,7 @@ fn number(v: f64) -> String {
 }
 
 /// The belief as a tagged JSON object.
-fn belief_json(b: &Belief) -> String {
+pub fn belief_json(b: &Belief) -> String {
     match b {
         Belief::Point(v) => format!(r#"{{"type":"point","value":{}}}"#, number(*v)),
         Belief::Interval(lo, hi) => format!(
@@ -90,13 +90,27 @@ pub fn response_line(query: &str, response: &Response) -> String {
         total_us += s.elapsed.as_micros();
     }
     trace.push(']');
-    // Monte-Carlo answers carry their sampler counts as a structured
-    // object (the provenance string repeats them for humans); compiled
-    // branch-and-count answers likewise carry their search effort (the
-    // numerator-side visited/branched node counts, which are
-    // deterministic at any thread count — oracle-mode enumeration
-    // reports no counts and gets no object).
-    let mc = match &response.provenance {
+    let mc = counters_json(&response.provenance);
+    format!(
+        r#"{{"query":"{}","ok":true,"cache_hit":{},"elapsed_us":{},"belief":{}{},"provenance":"{}","trace":{}}}"#,
+        escape(query),
+        response.cached,
+        total_us,
+        belief_json(&response.belief),
+        mc,
+        escape(&response.provenance.to_string()),
+        trace
+    )
+}
+
+/// The provenance's effort counters as a `,"mc":{…}` / `,"enum":{…}`
+/// JSON fragment (leading comma included), or the empty string when the
+/// provenance carries none. Monte-Carlo answers report their sampler
+/// counts; compiled branch-and-count answers report the numerator-side
+/// visited/branched node counts, which are deterministic at any thread
+/// count — oracle-mode enumeration reports no counts and gets no object.
+pub fn counters_json(provenance: &rw_core::Provenance) -> String {
+    match provenance {
         rw_core::Provenance::MonteCarlo {
             drawn,
             accepted,
@@ -120,17 +134,7 @@ pub fn response_line(query: &str, response: &Response) -> String {
             )
         }
         _ => String::new(),
-    };
-    format!(
-        r#"{{"query":"{}","ok":true,"cache_hit":{},"elapsed_us":{},"belief":{}{},"provenance":"{}","trace":{}}}"#,
-        escape(query),
-        response.cached,
-        total_us,
-        belief_json(&response.belief),
-        mc,
-        escape(&response.provenance.to_string()),
-        trace
-    )
+    }
 }
 
 /// One JSONL result line for either arm of a batch result.

@@ -1,0 +1,432 @@
+//! A line-oriented concrete syntax for [`Scenario`]s — the `@temporal`
+//! knowledge-base format.
+//!
+//! The builder API in [`crate::scenario`] is ergonomic from Rust but
+//! unreachable from files, which kept temporal workloads out of every
+//! serving surface (`rwq query`/`batch`, the server's `load` op, the
+//! golden corpus). This module gives scenarios a textual form the
+//! `.rwkb` loader can dispatch on:
+//!
+//! ```text
+//! @temporal causal
+//! fluent Loaded Alive
+//! init Loaded Alive          # literals: Name or !Name
+//! wait
+//! step shoot requires Loaded causes !Alive
+//! observe 2 !Alive           # optional: a known literal at time t
+//! ```
+//!
+//! The first line names the module ([`parse_source`] strips the
+//! `@temporal` marker itself) and the frame representation:
+//! `causal`, `naive-shared` or `naive-distinct` (default `causal`).
+//! Statistical effects append `@NN%` to an effect literal:
+//! `step shoot requires Loaded causes !Alive@70%`.
+//!
+//! Parsing is pure validation — every builder precondition (`assert!`s
+//! in [`Scenario`]) is checked here first and surfaced as a
+//! [`DslError`] with the offending 1-based line, so a malformed file is
+//! a structured load failure, never a panic in a serving thread.
+
+use crate::compile::Representation;
+use crate::scenario::{Action, Fluent, Literal, Scenario};
+use std::fmt;
+
+/// A parse failure, tagged with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line number within the scenario source (the line after
+    /// the `@temporal` header is line 1 when entering via
+    /// [`parse_source`]).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, DslError> {
+    Err(DslError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a representation keyword (the `@temporal <rep>` header
+/// argument).
+pub fn parse_representation(s: &str) -> Option<Representation> {
+    match s {
+        "causal" => Some(Representation::Causal),
+        "naive-shared" => Some(Representation::NaiveShared),
+        "naive-distinct" => Some(Representation::NaiveDistinct),
+        _ => None,
+    }
+}
+
+fn valid_fluent_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().unwrap().is_ascii_uppercase()
+        && name.chars().all(|c| c.is_ascii_alphanumeric())
+}
+
+/// Parses a literal token: `Name` or `!Name`.
+fn parse_literal(tok: &str, fluents: &[Fluent], line: usize) -> Result<Literal, DslError> {
+    let (name, positive) = match tok.strip_prefix('!') {
+        Some(rest) => (rest, false),
+        None => (tok, true),
+    };
+    let Some(f) = fluents.iter().find(|f| f.0 == name) else {
+        return err(line, format!("undeclared fluent `{name}`"));
+    };
+    Ok(Literal {
+        fluent: f.clone(),
+        positive,
+    })
+}
+
+/// An effect token: a literal with an optional `@NN%` success chance.
+fn parse_effect_token(
+    tok: &str,
+    fluents: &[Fluent],
+    line: usize,
+) -> Result<(Literal, Option<u32>), DslError> {
+    let (lit_tok, percent) = match tok.split_once('@') {
+        None => (tok, None),
+        Some((lit, pct)) => {
+            let Some(digits) = pct.strip_suffix('%') else {
+                return err(line, format!("effect chance must end in `%`: `{tok}`"));
+            };
+            let p: u32 = digits
+                .parse()
+                .map_err(|_| DslError {
+                    line,
+                    message: format!("bad effect chance `{pct}`"),
+                })
+                .and_then(|p: u32| {
+                    if p <= 100 {
+                        Ok(p)
+                    } else {
+                        err(line, format!("effect chance must be 0..=100, got `{pct}`"))
+                    }
+                })?;
+            (lit, Some(p))
+        }
+    };
+    Ok((parse_literal(lit_tok, fluents, line)?, percent))
+}
+
+/// Parses scenario source (without the `@temporal` header line) into a
+/// [`Scenario`]. Lines: `fluent`, `init`, `wait`, `step`, `observe`;
+/// `#` starts a comment; blank lines are skipped.
+pub fn parse_scenario(src: &str) -> Result<Scenario, DslError> {
+    let mut scenario = Scenario::new();
+    // Observations are validated against the final horizon, so an
+    // `observe` line may precede the steps it refers to.
+    let mut observations: Vec<(usize, usize, Literal)> = Vec::new(); // (line, t, lit)
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let mut toks = line.split_whitespace();
+        let Some(keyword) = toks.next() else {
+            continue;
+        };
+        match keyword {
+            "fluent" => {
+                let names: Vec<&str> = toks.collect();
+                if names.is_empty() {
+                    return err(line_no, "`fluent` expects at least one name");
+                }
+                for name in names {
+                    if !valid_fluent_name(name) {
+                        return err(
+                            line_no,
+                            format!(
+                                "fluent names must be alphanumeric and start uppercase: `{name}`"
+                            ),
+                        );
+                    }
+                    if scenario.fluents.iter().any(|f| f.0 == name) {
+                        return err(line_no, format!("fluent `{name}` declared twice"));
+                    }
+                    scenario.fluent(name);
+                }
+            }
+            "init" => {
+                let mut any = false;
+                for tok in toks {
+                    let lit = parse_literal(tok, &scenario.fluents, line_no)?;
+                    scenario.initially(lit);
+                    any = true;
+                }
+                if !any {
+                    return err(line_no, "`init` expects at least one literal");
+                }
+            }
+            "wait" => {
+                if toks.next().is_some() {
+                    return err(line_no, "`wait` takes no arguments");
+                }
+                scenario.wait();
+            }
+            "step" => {
+                let Some(name) = toks.next() else {
+                    return err(line_no, "`step` expects an action name");
+                };
+                let mut action = Action::new(name);
+                // Mode switches on the `requires` / `causes` keywords.
+                enum Mode {
+                    None,
+                    Requires,
+                    Causes,
+                }
+                let mut mode = Mode::None;
+                for tok in toks {
+                    match tok {
+                        "requires" => mode = Mode::Requires,
+                        "causes" => mode = Mode::Causes,
+                        tok => match mode {
+                            Mode::None => {
+                                return err(
+                                    line_no,
+                                    format!("expected `requires` or `causes` before `{tok}`"),
+                                );
+                            }
+                            Mode::Requires => {
+                                action = action.requires(parse_literal(
+                                    tok,
+                                    &scenario.fluents,
+                                    line_no,
+                                )?);
+                            }
+                            Mode::Causes => {
+                                let (lit, percent) =
+                                    parse_effect_token(tok, &scenario.fluents, line_no)?;
+                                action = match percent {
+                                    None => action.causes(lit),
+                                    Some(p) => action.causes_with_chance(lit, p),
+                                };
+                            }
+                        },
+                    }
+                }
+                if action.effects.is_empty() {
+                    return err(line_no, format!("step `{name}` causes nothing"));
+                }
+                scenario.then(action);
+            }
+            "observe" => {
+                let Some(t_tok) = toks.next() else {
+                    return err(line_no, "`observe` expects a time and a literal");
+                };
+                let t: usize = match t_tok.parse() {
+                    Ok(t) => t,
+                    Err(_) => return err(line_no, format!("bad observation time `{t_tok}`")),
+                };
+                let Some(lit_tok) = toks.next() else {
+                    return err(line_no, "`observe` expects a literal after the time");
+                };
+                if toks.next().is_some() {
+                    return err(line_no, "`observe` takes one literal");
+                }
+                let lit = parse_literal(lit_tok, &scenario.fluents, line_no)?;
+                observations.push((line_no, t, lit));
+            }
+            other => {
+                return err(
+                    line_no,
+                    format!(
+                        "unknown scenario keyword `{other}` \
+                         (expected fluent | init | wait | step | observe)"
+                    ),
+                );
+            }
+        }
+    }
+    for (line_no, t, lit) in observations {
+        if t > scenario.horizon() {
+            return err(
+                line_no,
+                format!(
+                    "observation at time {t} is beyond the horizon {}",
+                    scenario.horizon()
+                ),
+            );
+        }
+        scenario.observe(t, lit);
+    }
+    if scenario.fluents.is_empty() {
+        return err(1, "scenario declares no fluents");
+    }
+    Ok(scenario)
+}
+
+/// Parses a full `@temporal` source: the first non-comment line must be
+/// the `@temporal [representation]` header, the rest is scenario
+/// syntax. Returns the scenario and the representation to compile it
+/// under (default [`Representation::Causal`]).
+pub fn parse_source(src: &str) -> Result<(Scenario, Representation), DslError> {
+    let mut lines = src.lines();
+    let mut header_line = 0usize;
+    let header = loop {
+        header_line += 1;
+        let Some(raw) = lines.next() else {
+            return err(header_line, "missing `@temporal` header");
+        };
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        if !line.trim().is_empty() {
+            break line.trim().to_string();
+        }
+    };
+    let mut toks = header.split_whitespace();
+    if toks.next() != Some("@temporal") {
+        return err(header_line, "expected `@temporal [representation]` header");
+    }
+    let rep = match toks.next() {
+        None => Representation::Causal,
+        Some(word) => parse_representation(word).ok_or_else(|| DslError {
+            line: header_line,
+            message: format!(
+                "unknown representation `{word}` \
+                 (expected causal | naive-shared | naive-distinct)"
+            ),
+        })?,
+    };
+    if let Some(extra) = toks.next() {
+        return err(header_line, format!("unexpected header token `{extra}`"));
+    }
+    let body: String = src.lines().skip(header_line).collect::<Vec<_>>().join("\n");
+    let scenario = parse_scenario(&body).map_err(|e| DslError {
+        line: e.line + header_line,
+        message: e.message,
+    })?;
+    Ok((scenario, rep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_source;
+
+    const YALE: &str = "\
+@temporal causal
+fluent Loaded Alive
+init Loaded Alive
+wait
+step shoot requires Loaded causes !Alive
+";
+
+    #[test]
+    fn yale_shooting_parses_and_matches_builder() {
+        let (s, rep) = parse_source(YALE).unwrap();
+        assert_eq!(rep, Representation::Causal);
+        assert_eq!(s.horizon(), 2);
+        assert_eq!(s.fluents.len(), 2);
+        assert_eq!(s.init.len(), 2);
+
+        let mut builder = Scenario::new();
+        let loaded = builder.fluent("Loaded");
+        let alive = builder.fluent("Alive");
+        builder.initially(Literal::pos(loaded.clone()));
+        builder.initially(Literal::pos(alive.clone()));
+        builder.wait();
+        builder.then(
+            Action::new("shoot")
+                .requires(Literal::pos(loaded))
+                .causes(Literal::neg(alive)),
+        );
+        assert_eq!(
+            compile_source(&s, rep),
+            compile_source(&builder, Representation::Causal)
+        );
+    }
+
+    #[test]
+    fn header_defaults_to_causal_and_names_representations() {
+        let src = "@temporal\nfluent F\nstep go causes F\n";
+        assert_eq!(parse_source(src).unwrap().1, Representation::Causal);
+        for (word, rep) in [
+            ("naive-shared", Representation::NaiveShared),
+            ("naive-distinct", Representation::NaiveDistinct),
+            ("causal", Representation::Causal),
+        ] {
+            let src = format!("@temporal {word}\nfluent F\nstep go causes F\n");
+            assert_eq!(parse_source(&src).unwrap().1, rep, "{word}");
+        }
+        assert!(parse_source("@temporal markov\nfluent F\n")
+            .unwrap_err()
+            .message
+            .contains("unknown representation"));
+    }
+
+    #[test]
+    fn statistical_effects_parse_percentages() {
+        let src = "@temporal\nfluent L A\ninit L A\nstep shoot requires L causes !A@70%\n";
+        let (s, rep) = parse_source(src).unwrap();
+        let compiled = compile_source(&s, rep);
+        assert!(
+            compiled.contains("||!A1(x) | L0(x)||_x ~=_1 0.70"),
+            "{compiled}"
+        );
+        for bad in ["!A@70", "!A@x%", "!A@101%"] {
+            let src = format!("@temporal\nfluent L A\nstep shoot requires L causes {bad}\n");
+            assert!(parse_source(&src).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn observations_validate_against_the_final_horizon() {
+        let src = "@temporal\nfluent F\nobserve 1 !F\nstep go causes F\n";
+        let (s, _) = parse_source(src).unwrap();
+        assert_eq!(s.observations, vec![(1, Literal::neg(Fluent::new("F")))]);
+        let beyond = "@temporal\nfluent F\nstep go causes F\nobserve 2 F\n";
+        assert!(parse_source(beyond)
+            .unwrap_err()
+            .message
+            .contains("beyond the horizon"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_reasons() {
+        // Line numbers count from the top of the full source (header
+        // included), so loader messages point at the real file line.
+        let err = parse_source("@temporal\nfluent F\nstep go causes G\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("undeclared fluent `G`"));
+        for (src, needle) in [
+            ("fluent F\n", "expected `@temporal"),
+            ("@temporal\n", "no fluents"),
+            ("@temporal\nfluent f\n", "start uppercase"),
+            ("@temporal\nfluent F F\n", "declared twice"),
+            ("@temporal\nfluent F\ninit\n", "at least one literal"),
+            ("@temporal\nfluent F\nwait now\n", "no arguments"),
+            ("@temporal\nfluent F\nstep go\n", "causes nothing"),
+            ("@temporal\nfluent F\nstep go F\n", "before `F`"),
+            (
+                "@temporal\nfluent F\nfrobnicate\n",
+                "unknown scenario keyword",
+            ),
+            ("@temporal\nfluent F\nobserve x F\n", "bad observation time"),
+        ] {
+            let err = parse_source(src).unwrap_err();
+            assert!(err.message.contains(needle), "{src:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let src = "# leading comment\n\n@temporal causal # trailing\n# inner\nfluent F # names\nstep go causes F\n";
+        let (s, _) = parse_source(src).unwrap();
+        assert_eq!(s.horizon(), 1);
+    }
+}

@@ -39,7 +39,9 @@
 //! in `tests/temporal.rs` and `examples/yale_shooting.rs`.
 
 pub mod compile;
+pub mod dsl;
 pub mod scenario;
 
 pub use compile::{compile, compile_source, project, project_with, Representation};
+pub use dsl::{parse_scenario, parse_source, DslError};
 pub use scenario::{Action, Effect, Fluent, Literal, Scenario};
