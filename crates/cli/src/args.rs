@@ -62,6 +62,12 @@ pub enum Command {
         /// The server address (`host:port`).
         addr: String,
     },
+    /// `rwq obs <trace.jsonl>`: aggregate a slow-query (or access) log
+    /// into a flamegraph-style self/total table per span name.
+    Obs {
+        /// The JSONL span-trace file written by `rwq serve --slow-log`.
+        path: PathBuf,
+    },
     /// `rwq lab run <workload.jsonl> [--variants ...] [--threads 1,4]
     /// [--cache both] [--seed N] [--rows PATH] [--report PATH]`: run the
     /// workload through the experiment runner's variant matrix, emit one
@@ -107,9 +113,12 @@ USAGE:
                                       (queries from stdin, JSONL results out,
                                        closing {\"summary\":...} line)
   rwq serve [file.rwkb] [--addr A] [--threads N] [--cache-shards S] [--max-queue Q]
+            [--slow-log PATH [--slow-ms T]] [--access-log PATH]
                                       (persistent server; optional file is
                                        preloaded as the KB named `default`)
   rwq client --addr A                 (JSONL requests from stdin to a server)
+  rwq obs <trace.jsonl>               (aggregate a slow-query span log into a
+                                       flamegraph-style self/total table)
   rwq lab run <workload.jsonl> [--variants E1,E2,...] [--threads N1,N2,...]
               [--cache on|off|both] [--seed S] [--rows PATH] [--report PATH]
                                       (experiment runner: one JSONL row per
@@ -132,6 +141,12 @@ OPTIONS:
   --cache-shards N     serve: shards of the shared answer cache (default 16)
   --max-queue N        serve: admission-queue capacity; queries beyond it
                        are rejected with code \"overloaded\" (default 1024)
+  --slow-log PATH      serve: append a structured JSONL line (query, KB
+                       fingerprint, full span tree) for every request at
+                       or over the --slow-ms threshold
+  --slow-ms T          serve: slow-query threshold in milliseconds
+                       (default 100; 0 logs every request)
+  --access-log PATH    serve: append one JSONL line per answered request
   --cache              share a canonical-query answer cache across the
                        session's queries (batch, query, repl)
   --symmetry           count symmetry-reduced orbit representatives in the
@@ -361,6 +376,7 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         ..rw_server::ServerConfig::default()
     };
     let mut scan = rw_server::proto::ScanParams::default();
+    let mut slow_ms = None;
     let mut positional = Vec::new();
     let mut i = 0usize;
     let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
@@ -387,6 +403,17 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
             "--max-queue" => {
                 config.max_queue = positive(value(&mut i, "--max-queue")?, "--max-queue")?
             }
+            "--slow-log" => config.slow_log = Some(PathBuf::from(value(&mut i, "--slow-log")?)),
+            "--slow-ms" => {
+                let v = value(&mut i, "--slow-ms")?;
+                slow_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --slow-ms threshold `{v}`")))?,
+                );
+            }
+            "--access-log" => {
+                config.access_log = Some(PathBuf::from(value(&mut i, "--access-log")?))
+            }
             "--symmetry" => scan.symmetry = true,
             "--min-n" => scan.min_n = Some(parse_scan_n(&value(&mut i, "--min-n")?, "--min-n")?),
             "--max-n" => scan.max_n = Some(parse_scan_n(&value(&mut i, "--max-n")?, "--max-n")?),
@@ -398,6 +425,15 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         i += 1;
     }
     check_scan_window(scan.min_n, scan.max_n)?;
+    match slow_ms {
+        Some(ms) if config.slow_log.is_some() => config.slow_ms = ms,
+        Some(_) => {
+            return Err(ArgError(
+                "--slow-ms sets the --slow-log threshold; pass --slow-log PATH too".to_string(),
+            ))
+        }
+        None => {}
+    }
     if positional.len() > 1 {
         return Err(ArgError(
             "serve takes at most one KB file (preloaded as `default`)".to_string(),
@@ -578,6 +614,16 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         "serve" => parse_serve(&args[1..]),
         "client" => parse_client(&args[1..]),
+        "obs" => {
+            let [path] = &args[1..] else {
+                return Err(ArgError(
+                    "obs expects exactly one trace file (a `--slow-log` JSONL)".to_string(),
+                ));
+            };
+            Ok(Command::Obs {
+                path: PathBuf::from(path),
+            })
+        }
         "lab" => parse_lab(&args[1..]),
         "repl" => {
             let (options, positional) = parse_options(&args[1..])?;
@@ -990,6 +1036,9 @@ mod tests {
                 assert_eq!(config.cache_shards, 16);
                 assert_eq!(config.max_queue, 1024);
                 assert!(!config.test_ops);
+                assert_eq!(config.slow_log, None);
+                assert_eq!(config.slow_ms, 100);
+                assert_eq!(config.access_log, None);
             }
             other => panic!("{other:?}"),
         }
@@ -1004,6 +1053,12 @@ mod tests {
             "8",
             "--max-queue",
             "64",
+            "--slow-log",
+            "slow.jsonl",
+            "--slow-ms",
+            "0",
+            "--access-log",
+            "access.jsonl",
         ]))
         .unwrap()
         {
@@ -1013,6 +1068,9 @@ mod tests {
                 assert_eq!(config.threads, 4);
                 assert_eq!(config.cache_shards, 8);
                 assert_eq!(config.max_queue, 64);
+                assert_eq!(config.slow_log, Some(PathBuf::from("slow.jsonl")));
+                assert_eq!(config.slow_ms, 0);
+                assert_eq!(config.access_log, Some(PathBuf::from("access.jsonl")));
             }
             other => panic!("{other:?}"),
         }
@@ -1044,6 +1102,38 @@ mod tests {
             .unwrap_err()
             .0
             .contains("expects a value"));
+        assert!(parse(&strs(&["serve", "--slow-ms", "50"]))
+            .unwrap_err()
+            .0
+            .contains("--slow-log"));
+        assert!(parse(&strs(&[
+            "serve",
+            "--slow-log",
+            "s.jsonl",
+            "--slow-ms",
+            "soon"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("bad --slow-ms"));
+    }
+
+    #[test]
+    fn obs_takes_exactly_one_trace_file() {
+        assert_eq!(
+            parse(&strs(&["obs", "slow.jsonl"])).unwrap(),
+            Command::Obs {
+                path: PathBuf::from("slow.jsonl")
+            }
+        );
+        assert!(parse(&strs(&["obs"]))
+            .unwrap_err()
+            .0
+            .contains("exactly one trace file"));
+        assert!(parse(&strs(&["obs", "a.jsonl", "b.jsonl"]))
+            .unwrap_err()
+            .0
+            .contains("exactly one trace file"));
     }
 
     #[test]

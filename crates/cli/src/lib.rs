@@ -34,6 +34,7 @@
 //! ```
 
 pub mod args;
+pub mod obs;
 pub mod session;
 
 // The `.rwkb` loader and the serving JSON renderer live in `rw-server`
@@ -135,11 +136,15 @@ pub fn run(
                         failed += 1;
                     }
                 }
+                let (denom_hits, denom_misses) = session.denom_counts();
                 rw_core::BatchReport {
                     queries: answered + failed,
                     answered,
                     failed,
                     cache_hits: session.cache_hits() as usize,
+                    cache_misses: session.cache_misses() as usize,
+                    denom_hits,
+                    denom_misses,
                     threads: 1,
                     wall: busy,
                     cpu: busy,
@@ -213,6 +218,26 @@ pub fn run(
                 Ok(()) => Ok(0),
                 Err(e) => {
                     writeln!(out, "error: serving failed: {e}")?;
+                    Ok(1)
+                }
+            }
+        }
+        Command::Obs { path } => {
+            let content = match std::fs::read_to_string(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    writeln!(out, "error: cannot read {}: {e}", path.display())?;
+                    return Ok(1);
+                }
+            };
+            match obs::aggregate(&content) {
+                Ok(table) => {
+                    write!(out, "{table}")?;
+                    out.flush()?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
                     Ok(1)
                 }
             }
@@ -533,7 +558,50 @@ mod tests {
         for l in &lines[..3] {
             assert!(l.contains(r#""value":0.8"#), "{out}");
         }
-        assert!(lines[3].contains(r#""cache_hits":2"#), "{out}");
+        // Misses and denominator-cache traffic ride along in the summary
+        // (a theorem-only KB never consults the denominator cache).
+        assert!(
+            lines[3].contains(r#""cache_hits":2,"cache_misses":1,"denoms":{"hits":0,"misses":0}"#),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn obs_renders_a_table_from_a_slow_log() {
+        let trace = write_kb(
+            r#"{"trace_id":3,"kb":"default","query":"P(C)","elapsed_us":500,"spans":[{"id":1,"parent":null,"name":"request","wall_us":500,"cpu_us":0},{"id":2,"parent":1,"name":"answer","wall_us":400,"cpu_us":300}]}"#,
+        );
+        let (code, out) = run_capture(
+            Command::Obs {
+                path: trace.0.clone(),
+            },
+            "",
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.starts_with("traces: 1, spans: 2"), "{out}");
+        assert!(out.contains("self_us"), "{out}");
+        assert!(out.contains("request"), "{out}");
+    }
+
+    #[test]
+    fn obs_missing_or_empty_files_fail_cleanly() {
+        let (code, out) = run_capture(
+            Command::Obs {
+                path: "/nonexistent/slow.jsonl".into(),
+            },
+            "",
+        );
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "{out}");
+        let empty = write_kb("");
+        let (code, out) = run_capture(
+            Command::Obs {
+                path: empty.0.clone(),
+            },
+            "",
+        );
+        assert_eq!(code, 1);
+        assert!(out.contains("no span traces"), "{out}");
     }
 
     #[test]

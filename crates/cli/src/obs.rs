@@ -1,0 +1,158 @@
+//! `rwq obs`: span-log aggregation into a flamegraph-style table.
+//!
+//! The input is the JSONL written by `rwq serve --slow-log` (lines with
+//! a `"spans"` array; access-log lines without one are skipped): each
+//! trace is a parent-linked span tree. The output table aggregates
+//! spans by name across every trace, with *total* time (the span's own
+//! wall clock) and *self* time (total minus the direct children's
+//! total, clamped at zero — the queue-wait child is measured before its
+//! parent opens, so a child can legitimately exceed its parent).
+
+use rw_server::proto::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+#[derive(Default)]
+struct Agg {
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+    cpu_us: u64,
+}
+
+/// One span record pulled out of a trace line's `"spans"` array.
+struct Rec {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    wall_us: u64,
+    cpu_us: u64,
+}
+
+fn record(span: &Value) -> Option<Rec> {
+    Some(Rec {
+        id: span.get("id")?.as_u64()?,
+        // `"parent":null` and a missing parent both mean a root span.
+        parent: span.get("parent").and_then(Value::as_u64),
+        name: span.get("name")?.as_str()?.to_string(),
+        wall_us: span.get("wall_us")?.as_u64()?,
+        cpu_us: span.get("cpu_us").and_then(Value::as_u64).unwrap_or(0),
+    })
+}
+
+/// Aggregates a span-trace JSONL file into the `rwq obs` table. Lines
+/// without a `"spans"` array (e.g. access-log lines) are counted and
+/// skipped; a line that is not JSON at all is an error.
+pub fn aggregate(content: &str) -> Result<String, String> {
+    let mut traces = 0u64;
+    let mut skipped = 0u64;
+    let mut by_name: BTreeMap<String, Agg> = BTreeMap::new();
+    for (idx, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = Value::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let Some(Value::Arr(spans)) = value.get("spans") else {
+            skipped += 1;
+            continue;
+        };
+        traces += 1;
+        let records: Vec<Rec> = spans.iter().filter_map(record).collect();
+        // Direct-children wall sums, for self = total − Σ(children).
+        let mut child_wall: HashMap<u64, u64> = HashMap::new();
+        for r in &records {
+            if let Some(parent) = r.parent {
+                *child_wall.entry(parent).or_default() += r.wall_us;
+            }
+        }
+        for r in records {
+            let children = child_wall.get(&r.id).copied().unwrap_or(0);
+            let agg = by_name.entry(r.name).or_default();
+            agg.count += 1;
+            agg.total_us += r.wall_us;
+            agg.self_us += r.wall_us.saturating_sub(children);
+            agg.cpu_us += r.cpu_us;
+        }
+    }
+    if traces == 0 {
+        return Err(format!(
+            "no span traces found ({skipped} line(s) without a \"spans\" array) — \
+             point `rwq obs` at a `--slow-log` file"
+        ));
+    }
+    let mut rows: Vec<(String, Agg)> = by_name.into_iter().collect();
+    // Hottest self time first; the BTreeMap order breaks ties by name.
+    rows.sort_by_key(|(_, agg)| std::cmp::Reverse(agg.self_us));
+    let spans: u64 = rows.iter().map(|(_, a)| a.count).sum();
+    let mut out = format!("traces: {traces}, spans: {spans}");
+    if skipped > 0 {
+        let _ = write!(out, " ({skipped} non-trace line(s) skipped)");
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>14} {:>14} {:>14}",
+        "span", "count", "total_us", "self_us", "cpu_us"
+    );
+    for (name, agg) in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>14} {:>14} {:>14}",
+            name, agg.count, agg.total_us, agg.self_us, agg.cpu_us
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = r#"{"trace_id":7,"kb":"default","query":"P(C)","elapsed_us":900,"spans":[{"id":1,"parent":null,"name":"request","wall_us":900,"cpu_us":0},{"id":2,"parent":1,"name":"queue-wait","wall_us":100,"cpu_us":0},{"id":3,"parent":1,"name":"answer","wall_us":700,"cpu_us":650},{"id":4,"parent":3,"name":"stage:theorems","wall_us":600,"cpu_us":0}]}"#;
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let table = aggregate(TRACE).unwrap();
+        // request: 900 − (100 + 700) = 100 self.
+        let request = table.lines().find(|l| l.starts_with("request")).unwrap();
+        assert!(request.split_whitespace().any(|w| w == "100"), "{table}");
+        // answer: 700 − 600 = 100 self; stage keeps its full 600.
+        let answer = table.lines().find(|l| l.starts_with("answer")).unwrap();
+        assert!(answer.split_whitespace().any(|w| w == "100"), "{table}");
+        assert!(table.contains("stage:theorems"), "{table}");
+        assert!(table.starts_with("traces: 1, spans: 4"), "{table}");
+    }
+
+    #[test]
+    fn oversized_children_clamp_self_at_zero() {
+        // A queue-wait measured before its parent opened can exceed the
+        // parent's wall; self time must clamp, not underflow.
+        let line = r#"{"spans":[{"id":1,"parent":null,"name":"request","wall_us":50,"cpu_us":0},{"id":2,"parent":1,"name":"queue-wait","wall_us":400,"cpu_us":0}]}"#;
+        let table = aggregate(line).unwrap();
+        let request = table.lines().find(|l| l.starts_with("request")).unwrap();
+        let cols: Vec<&str> = request.split_whitespace().collect();
+        assert_eq!(cols[3], "0", "{table}");
+    }
+
+    #[test]
+    fn aggregates_across_traces_and_skips_access_lines() {
+        let access = r#"{"ts_us":1,"trace_id":9,"kb":"default","query":"P(C)","ok":true,"cache_hit":true,"queue_wait_us":3,"elapsed_us":12}"#;
+        let content = format!("{TRACE}\n{access}\n{TRACE}\n");
+        let table = aggregate(&content).unwrap();
+        assert!(table.starts_with("traces: 2, spans: 8"), "{table}");
+        assert!(table.contains("(1 non-trace line(s) skipped)"), "{table}");
+        let request = table.lines().find(|l| l.starts_with("request")).unwrap();
+        let cols: Vec<&str> = request.split_whitespace().collect();
+        assert_eq!(cols[1], "2", "{table}"); // count
+        assert_eq!(cols[2], "1800", "{table}"); // total
+    }
+
+    #[test]
+    fn garbage_and_empty_inputs_are_structured_errors() {
+        assert!(aggregate("not json\n").unwrap_err().contains("line 1"));
+        assert!(aggregate("").unwrap_err().contains("no span traces"));
+        let access_only = r#"{"ok":true,"elapsed_us":1}"#;
+        assert!(aggregate(access_only).unwrap_err().contains("1 line(s)"));
+    }
+}

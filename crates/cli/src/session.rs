@@ -8,7 +8,9 @@
 //! one loaded KB, one pinned solver pipeline, one JSON object per query
 //! ([`Session::answer_batch_jsonl`] is the collected convenience form).
 
-use rw_core::{AnswerCache, BatchOptions, BatchReport, EngineError, McConfig, RandomWorlds};
+use rw_core::{
+    AnswerCache, BatchOptions, BatchReport, DenomCache, EngineError, McConfig, RandomWorlds,
+};
 use rw_logic::{KnowledgeBase, Pretty, Tolerances};
 use rw_propensity::{Prior, PropensityEngine};
 use rw_unary::UnaryError;
@@ -152,8 +154,12 @@ impl Session {
         // The session never reconfigures its engine, so the default
         // cascade is pinned once here and shared by every query instead
         // of being rebuilt per call.
+        // Both engines share one denominator cache (a `#worlds` count is
+        // a pure function of its key), so interactive and batch paths
+        // warm each other and the session reports one hit/miss tally.
+        let denoms = Arc::new(DenomCache::new());
         let pinned = |mc: Option<rw_core::McConfig>, enum_threads: usize| {
-            let mut engine = RandomWorlds::new();
+            let mut engine = RandomWorlds::new().with_denom_cache(Arc::clone(&denoms));
             engine.approx = mc;
             engine.enum_threads = enum_threads;
             engine.enum_symmetry = options.symmetry;
@@ -271,6 +277,19 @@ impl Session {
     /// session runs uncached).
     pub fn cache_hits(&self) -> u64 {
         self.engine.cache().map(|c| c.hits()).unwrap_or(0)
+    }
+
+    /// Cache misses accumulated by this session's engine cache (0 when
+    /// the session runs uncached).
+    pub fn cache_misses(&self) -> u64 {
+        self.engine.cache().map(|c| c.misses()).unwrap_or(0)
+    }
+
+    /// Lifetime `(hits, misses)` of the session's shared denominator
+    /// cache (both engines feed the same one).
+    pub fn denom_counts(&self) -> (u64, u64) {
+        let denoms = self.engine.denom_cache();
+        (denoms.hits(), denoms.misses())
     }
 
     fn answer_random_worlds(&self, query: &str) -> Result<String, SessionError> {

@@ -281,8 +281,15 @@ fn parse_golden(content: &str, file: &str) -> Vec<(String, Vec<String>)> {
 /// the wire through `rwq client`, asks every query, and diffs the
 /// responses against the golden lines.
 fn server_path_matches(expected: &[(String, Vec<String>)], file: &str) {
+    server_path_with(expected, file, &[]);
+}
+
+/// [`server_path_matches`] with extra `rwq serve` flags (the
+/// observability replay passes `--slow-log`/`--access-log` here).
+fn server_path_with(expected: &[(String, Vec<String>)], file: &str, extra: &[&str]) {
     let mut serve = Command::new(env!("CARGO_BIN_EXE_rwq"))
         .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stdin(Stdio::null())
         .spawn()
@@ -310,6 +317,13 @@ fn server_path_matches(expected: &[(String, Vec<String>)], file: &str) {
             requests.push('\n');
             expected_responses.push(Some(golden));
         }
+    }
+    if !extra.is_empty() {
+        // The observability replay also snapshots the metrics registry
+        // mid-stream: the op must succeed without disturbing any
+        // response around it.
+        requests.push_str("{\"op\":\"metrics\"}\n");
+        expected_responses.push(None);
     }
     requests.push_str("{\"op\":\"shutdown\"}\n");
     expected_responses.push(None);
@@ -350,6 +364,59 @@ fn server_path_matches(expected: &[(String, Vec<String>)], file: &str) {
     }
     let status = serve.wait().expect("serve exit");
     assert!(status.success(), "serve exit: {status:?}");
+}
+
+/// The observability contract: with the metrics registry exercised and
+/// every request slow-logged (`--slow-ms 0`) and access-logged, the
+/// server path still produces byte-identical golden responses — and the
+/// logs themselves are complete, parseable, and `rwq obs`-aggregatable.
+#[test]
+fn golden_corpus_is_byte_identical_with_observability_enabled() {
+    if std::env::var("RWQ_GOLDEN_REGEN").is_ok() {
+        return; // the regen run owns the golden files
+    }
+    let pid = std::process::id();
+    let slow = std::env::temp_dir().join(format!("rwq-golden-slow-{pid}.jsonl"));
+    let access = std::env::temp_dir().join(format!("rwq-golden-access-{pid}.jsonl"));
+    for f in [&slow, &access] {
+        let _ = std::fs::remove_file(f);
+    }
+    let mut queries = 0usize;
+    for (file, _) in corpus() {
+        let path = golden_dir().join(file);
+        let content = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {path:?} ({e}); run with RWQ_GOLDEN_REGEN=1")
+        });
+        let expected = parse_golden(&content, file);
+        queries += expected.iter().map(|(_, lines)| lines.len()).sum::<usize>();
+        server_path_with(
+            &expected,
+            file,
+            &[
+                "--slow-log",
+                slow.to_str().unwrap(),
+                "--slow-ms",
+                "0",
+                "--access-log",
+                access.to_str().unwrap(),
+            ],
+        );
+    }
+    // At threshold 0 every query lands in both logs, each slow-log line
+    // carrying a span tree the `rwq obs` aggregator accepts.
+    let slow_content = std::fs::read_to_string(&slow).expect("slow log written");
+    let access_content = std::fs::read_to_string(&access).expect("access log written");
+    for f in [&slow, &access] {
+        let _ = std::fs::remove_file(f);
+    }
+    assert_eq!(slow_content.lines().count(), queries, "{slow_content}");
+    assert_eq!(access_content.lines().count(), queries, "{access_content}");
+    for line in slow_content.lines().chain(access_content.lines()) {
+        Value::parse(line).unwrap_or_else(|e| panic!("bad log line {line:?}: {e}"));
+    }
+    let table = rw_cli::obs::aggregate(&slow_content).expect("obs aggregation");
+    assert!(table.starts_with(&format!("traces: {queries}")), "{table}");
+    assert!(table.contains("stage:"), "{table}");
 }
 
 /// Reads the `{"serving":{"addr":"..."}}` line a fresh server prints.

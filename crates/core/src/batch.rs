@@ -127,6 +127,15 @@ pub struct BatchReport {
     pub failed: usize,
     /// Answered queries served from the cache.
     pub cache_hits: usize,
+    /// Queries that consulted a cache and missed (computed by the
+    /// pipeline; parse errors never reach the cache and count in
+    /// neither column). Zero when the batch ran uncached.
+    pub cache_misses: usize,
+    /// `#worlds` denominator-cache hits during this batch (the engine's
+    /// [`crate::DenomCache`] counters, sampled around the run).
+    pub denom_hits: u64,
+    /// `#worlds` denominator-cache misses during this batch.
+    pub denom_misses: u64,
     /// Worker threads actually used.
     pub threads: usize,
     /// End-to-end wall-clock time for the batch.
@@ -225,6 +234,7 @@ impl RandomWorlds {
         opts: &BatchOptions,
     ) -> BatchRun {
         let start = Instant::now();
+        let denoms_before = (self.denom_cache().hits(), self.denom_cache().misses());
         let stages = self.effective_stages();
         // Per-batch cache override, else the engine's installed cache.
         let cache = opts.cache.as_deref().or(self.cache().map(Arc::as_ref));
@@ -324,6 +334,20 @@ impl RandomWorlds {
             .iter()
             .filter(|r| matches!(r, Ok(resp) if resp.cached))
             .count();
+        // A miss is a query that consulted the cache and then ran the
+        // pipeline: computed answers and out-of-reach walks, but not
+        // parse errors (those fail before the lookup).
+        let cache_misses = if ctx.is_some() {
+            results
+                .iter()
+                .filter(|r| {
+                    matches!(r, Ok(resp) if !resp.cached)
+                        || matches!(r, Err(EngineError::OutOfReach { .. }))
+                })
+                .count()
+        } else {
+            0
+        };
         // Stages that never ran (e.g. everything answered by theorems)
         // still appear, zeroed — the report shape is stable per pipeline.
         let report = BatchReport {
@@ -331,6 +355,9 @@ impl RandomWorlds {
             answered,
             failed: queries.len() - answered,
             cache_hits,
+            cache_misses,
+            denom_hits: self.denom_cache().hits().saturating_sub(denoms_before.0),
+            denom_misses: self.denom_cache().misses().saturating_sub(denoms_before.1),
             threads,
             wall: start.elapsed(),
             cpu,
@@ -496,6 +523,36 @@ mod tests {
                 "warm answer diverged"
             );
         }
+    }
+
+    #[test]
+    fn report_surfaces_cache_and_denominator_counters() {
+        // A binary-predicate query lands on the enumeration stage, which
+        // consults the engine's denominator cache; the tiny budget keeps
+        // the scan debug-fast (N ≤ 3).
+        let kb = KnowledgeBase::parse("Likes(A, B)").unwrap();
+        let mut engine = RandomWorlds::new();
+        engine.enum_max_worlds = 1 << 13;
+        let queries = vec!["Likes(B, A)".to_string(), "Likes(B, A)".to_string()];
+        let opts = BatchOptions::sequential().with_cache(Arc::new(AnswerCache::new()));
+        let cold = engine.answer_batch_report(&kb, &queries, &opts);
+        assert_eq!(cold.report.cache_hits + cold.report.cache_misses, 2);
+        assert_eq!(cold.report.cache_misses, 1, "{}", cold.report);
+        assert!(
+            cold.report.denom_hits + cold.report.denom_misses > 0,
+            "enumeration consulted the denominator cache"
+        );
+        let warm = engine.answer_batch_report(&kb, &queries, &opts);
+        assert_eq!(warm.report.cache_hits, 2);
+        assert_eq!(warm.report.cache_misses, 0);
+        assert_eq!(
+            warm.report.denom_hits + warm.report.denom_misses,
+            0,
+            "answer-cache hits skip the counting stages entirely"
+        );
+        // Uncached batches report no cache traffic at all.
+        let uncached = engine.answer_batch_report(&kb, &queries, &BatchOptions::sequential());
+        assert_eq!(uncached.report.cache_misses, 0);
     }
 
     #[test]

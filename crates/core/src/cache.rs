@@ -253,8 +253,11 @@ impl DenomCache {
     }
 
     /// Looks up a cached world count, counting the outcome in
-    /// [`Self::hits`] / [`Self::misses`].
+    /// [`Self::hits`] / [`Self::misses`] (mirrored into the global
+    /// metrics registry as `cache.denom.hits` / `cache.denom.misses`,
+    /// with probe latency under `cache.denom.lookup_us`).
     pub fn get(&self, key: &DenomKey) -> Option<ScaledCount> {
+        let start = std::time::Instant::now();
         let found = self
             .entries
             .lock()
@@ -265,6 +268,17 @@ impl DenomCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        if rw_obs::enabled() {
+            let reg = rw_obs::registry();
+            reg.histogram("cache.denom.lookup_us")
+                .record_us(start.elapsed().as_micros() as u64);
+            reg.counter(if found.is_some() {
+                "cache.denom.hits"
+            } else {
+                "cache.denom.misses"
+            })
+            .inc();
+        }
         found
     }
 

@@ -423,7 +423,9 @@ impl RandomWorlds {
         if let Some(ctx) = cache {
             let start = Instant::now();
             let key = AnswerCache::key(ctx.key_prefix, &canon::canonical_formula(&vocab, &q));
-            if let Some(hit) = ctx.cache.get(&key) {
+            let hit = ctx.cache.get(&key);
+            observe_cache_lookup(start, hit.is_some());
+            if let Some(hit) = hit {
                 return Ok(Self::cached_response(hit, start));
             }
             let local = KnowledgeBase::from_parts(vocab, kb.conjuncts().to_vec());
@@ -462,7 +464,9 @@ impl RandomWorlds {
         };
         let start = Instant::now();
         let key = AnswerCache::key(ctx.key_prefix, &canon::canonical_formula(kb.vocab(), query));
-        if let Some(hit) = ctx.cache.get(&key) {
+        let hit = ctx.cache.get(&key);
+        observe_cache_lookup(start, hit.is_some());
+        if let Some(hit) = hit {
             return Ok(Self::cached_response(hit, start));
         }
         let response = self.run_pipeline(stages, kb, query)?;
@@ -492,6 +496,8 @@ impl RandomWorlds {
             match outcome {
                 SolverOutcome::Answered { belief, provenance } => {
                     trace.push(name, StageStatus::Answered, elapsed);
+                    observe_stage(name, "answered", elapsed);
+                    observe_provenance(&provenance);
                     return Ok(Response {
                         belief,
                         provenance,
@@ -501,9 +507,11 @@ impl RandomWorlds {
                 }
                 SolverOutcome::Declined { reason } => {
                     trace.push(name, StageStatus::Declined(reason), elapsed);
+                    observe_stage(name, "declined", elapsed);
                 }
                 SolverOutcome::BudgetExhausted { reason } => {
                     trace.push(name, StageStatus::BudgetExhausted(reason), elapsed);
+                    observe_stage(name, "budget_exhausted", elapsed);
                 }
             }
         }
@@ -545,6 +553,87 @@ impl RandomWorlds {
 impl Default for RandomWorlds {
     fn default() -> RandomWorlds {
         RandomWorlds::new()
+    }
+}
+
+/// Records one pipeline stage run into the global metrics registry: a
+/// per-stage latency histogram (`stage.<name>.wall_us`) plus an outcome
+/// counter (`stage.<name>.<outcome>`). Recursive sub-query stage runs
+/// (independence products, nested defaults) are recorded like top-level
+/// ones — the histograms measure solver work, not request counts.
+///
+/// Purely additive: metrics never feed back into an answer, so beliefs,
+/// traces and rendered bytes are identical with recording on or off.
+fn observe_stage(name: &str, outcome: &str, elapsed: std::time::Duration) {
+    if !rw_obs::enabled() {
+        return;
+    }
+    let reg = rw_obs::registry();
+    reg.histogram(&format!("stage.{name}.wall_us"))
+        .record_us(elapsed.as_micros() as u64);
+    reg.counter(&format!("stage.{name}.{outcome}")).inc();
+}
+
+/// Records one [`AnswerCache`] consultation: canonicalize-and-probe
+/// latency (`cache.answer.lookup_us`) plus hit/miss counters, matching
+/// the cache's own lifetime counters but scoped to the global registry.
+fn observe_cache_lookup(start: Instant, hit: bool) {
+    if !rw_obs::enabled() {
+        return;
+    }
+    let reg = rw_obs::registry();
+    reg.histogram("cache.answer.lookup_us")
+        .record_us(start.elapsed().as_micros() as u64);
+    reg.counter(if hit {
+        "cache.answer.hits"
+    } else {
+        "cache.answer.misses"
+    })
+    .inc();
+}
+
+/// Harvests the effort counters an answering stage reported through its
+/// [`Provenance`]: branch-and-count / symmetry search node counts (total
+/// and per reached `N`) and Monte-Carlo draw/accept/effective-N tallies.
+fn observe_provenance(provenance: &Provenance) {
+    if !rw_obs::enabled() {
+        return;
+    }
+    let reg = rw_obs::registry();
+    match provenance {
+        Provenance::Enumeration {
+            max_n,
+            visited,
+            branched,
+            orbits,
+        } => {
+            reg.counter("enum.answers").inc();
+            reg.counter("enum.visited").add(*visited);
+            reg.counter("enum.branched").add(*branched);
+            reg.counter("enum.orbits").add(*orbits);
+            reg.counter(&format!("enum.n{max_n}.visited")).add(*visited);
+            reg.counter(&format!("enum.n{max_n}.branched"))
+                .add(*branched);
+            if *orbits > 0 {
+                reg.counter(&format!("enum.n{max_n}.orbits")).add(*orbits);
+            }
+        }
+        Provenance::MonteCarlo {
+            drawn,
+            accepted,
+            n_points,
+        } => {
+            reg.counter("mc.answers").inc();
+            reg.counter("mc.drawn").add(*drawn);
+            reg.counter("mc.accepted").add(*accepted);
+            reg.counter("mc.points").add(*n_points as u64);
+        }
+        Provenance::Independence(parts) => {
+            for p in parts {
+                observe_provenance(p);
+            }
+        }
+        _ => {}
     }
 }
 

@@ -57,6 +57,11 @@ pub struct LabReport {
     pub ok: usize,
     /// Trials that failed.
     pub failed: usize,
+    /// Per-engine wall-time percentiles over the successful trials, in
+    /// canonical engine order (log2-bucketed, so the quantiles are bucket
+    /// upper bounds — the same math as the serving registry's
+    /// histograms).
+    pub latency: Vec<(String, rw_obs::HistogramSnapshot)>,
     /// Every gate's verdict.
     pub gates: Vec<GateResult>,
     /// True when no gate failed.
@@ -67,12 +72,19 @@ impl LabReport {
     /// Renders the report as a single deterministic JSON object.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            r#"{{"workload":"{}","trials":{},"ok":{},"failed":{},"gates":["#,
+            r#"{{"workload":"{}","trials":{},"ok":{},"failed":{},"latency":{{"#,
             escape(&self.workload),
             self.trials,
             self.ok,
             self.failed
         );
+        for (i, (engine, snapshot)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#""{}":{}"#, escape(engine), snapshot.to_json());
+        }
+        out.push_str(r#"},"gates":["#);
         for (i, g) in self.gates.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -88,6 +100,23 @@ impl LabReport {
         let _ = write!(out, r#"],"pass":{}}}"#, self.pass);
         out
     }
+}
+
+/// Per-engine latency snapshots over the successful rows, in canonical
+/// engine order (only engines that produced at least one row appear).
+fn latency_by_engine(rows: &[TrialRow]) -> Vec<(String, rw_obs::HistogramSnapshot)> {
+    crate::runner::ALL_ENGINES
+        .iter()
+        .filter_map(|&engine| {
+            let histogram = rw_obs::Histogram::new();
+            let mut any = false;
+            for row in rows.iter().filter(|r| r.ok && r.engine == engine) {
+                histogram.record(row.elapsed_us.min(u128::from(u64::MAX)) as u64);
+                any = true;
+            }
+            any.then(|| (engine.keyword().to_string(), histogram.snapshot()))
+        })
+        .collect()
 }
 
 /// The reference row for a task: the first exact engine in canonical
@@ -478,6 +507,7 @@ pub fn evaluate(workload: &Workload, cfg: &RunConfig, rows: &[TrialRow]) -> LabR
         trials: rows.len(),
         ok,
         failed: rows.len() - ok,
+        latency: latency_by_engine(rows),
         gates,
         pass,
     }
@@ -613,6 +643,16 @@ mod tests {
             v.get("gates"),
             Some(rw_server::proto::Value::Arr(_))
         ));
+        // Per-engine latency percentiles, only for engines that ran.
+        let latency = v.get("latency").expect("latency object");
+        let compiled = latency.get("compiled").expect("compiled histogram");
+        assert_eq!(
+            compiled.get("count").and_then(|x| x.as_u64()),
+            Some(4),
+            "{json}"
+        );
+        assert!(compiled.get("p99_us").is_some(), "{json}");
+        assert!(latency.get("symmetry").is_none(), "{json}");
     }
 
     #[test]

@@ -107,7 +107,7 @@ pub struct TrialRow {
     /// The provenance rendering, when `ok`.
     pub provenance: Option<String>,
     /// The `,"mc":{…}` / `,"enum":{…}` effort-counter fragment, possibly
-    /// empty.
+    /// empty; rendered into the row as a `"counters":{…}` object.
     pub counters: String,
     /// With the cache on: the replayed query hit the cache and returned
     /// the identical belief. Always false with the cache off.
@@ -137,11 +137,15 @@ impl TrialRow {
             (Some(b), Some(p)) => {
                 let _ = write!(
                     out,
-                    r#","belief":{},"provenance":"{}"{}"#,
+                    r#","belief":{},"provenance":"{}""#,
                     belief_json(b),
                     escape(p),
-                    self.counters
                 );
+                // The fragment is `,"mc":{…}` / `,"enum":{…}`; rewrap it
+                // as a named object so row consumers address one key.
+                if !self.counters.is_empty() {
+                    let _ = write!(out, r#","counters":{{{}}}"#, &self.counters[1..]);
+                }
             }
             _ => {
                 let _ = write!(
@@ -339,6 +343,9 @@ mod tests {
         let rows = run(&demo_workload(), &cfg);
         assert_eq!(rows.len(), 8);
         assert_eq!(rows[0].engine, Engine::Compiled);
+        // Theorem answers carry no effort counters; the counters object
+        // appears only when the provenance has them.
+        assert!(!rows[0].render().contains(r#""counters""#));
         assert_eq!((rows[0].threads, rows[0].cache), (1, false));
         assert_eq!((rows[1].threads, rows[1].cache), (1, true));
         assert_eq!(rows[7].engine, Engine::Oracle);
@@ -372,6 +379,33 @@ mod tests {
         assert_eq!(rows[0].identity(), rows[1].identity());
         assert!(rows[0].render().contains("\"threads\":1"));
         assert!(!rows[0].identity().contains("threads"));
+    }
+
+    #[test]
+    fn counting_rows_render_a_counters_object() {
+        // A binary-predicate query outside every theorem pattern falls to
+        // the enumeration stage, whose search effort must surface as a
+        // named `counters` object (the window is pinned tiny so the scan
+        // stays fast even in debug builds).
+        let w = Workload::parse(
+            "{\"task\":\"likes\",\"kb\":\"Likes(A, B)\",\"query\":\"Likes(B, A)\",\"min_n\":2,\"max_n\":4}\n",
+            None,
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            engines: vec![Engine::Compiled],
+            threads: vec![1],
+            cache: vec![false],
+            seed: 42,
+        };
+        let rows = run(&w, &cfg);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].ok, "{:?}", rows[0].error);
+        let line = rows[0].render();
+        assert!(
+            line.contains(r#""counters":{"enum":{"max_n":4,"visited":"#),
+            "{line}"
+        );
     }
 
     #[test]

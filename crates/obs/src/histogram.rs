@@ -1,0 +1,193 @@
+//! Log2-bucketed latency histograms with lock-free recording.
+//!
+//! A [`Histogram`] is a fixed array of atomic bucket counters: value `v`
+//! (in microseconds, by convention) lands in bucket `⌊log2 v⌋ + 1`, so
+//! bucket `i ≥ 1` covers `[2^(i-1), 2^i)` and bucket `0` holds exact
+//! zeros. Recording is a single relaxed `fetch_add` — no locks, no
+//! allocation — which is what lets the registry stay on the hot path of
+//! every solver stage without perturbing the answers it measures.
+//!
+//! Percentiles are computed at snapshot time by walking the cumulative
+//! bucket counts; a reported quantile is the *upper bound* of the bucket
+//! the rank falls in (clamped to the observed maximum), i.e. a
+//! conservative "at most this" figure with log2 resolution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: bucket 39 tops out at `2^38 µs` ≈ 76 hours, far beyond
+/// any single request this stack will ever serve.
+pub const BUCKETS: usize = 40;
+
+/// A lock-free log2-bucketed histogram of `u64` samples (microseconds
+/// by convention — every exposed field is `_us`-suffixed).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound of a bucket (inclusive representative value).
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            (1u64 << index).saturating_sub(1)
+        }
+    }
+
+    /// Records one sample. Lock-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy with the percentile math done.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // 1-based rank of the requested quantile.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return Self::bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum_us: self.sum.load(Ordering::Relaxed),
+            max_us: max,
+            p50_us: quantile(0.50),
+            p90_us: quantile(0.90),
+            p99_us: quantile(0.99),
+        }
+    }
+}
+
+/// The frozen summary of a [`Histogram`] at snapshot time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (µs).
+    pub sum_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+    /// Median, as the upper bound of its log2 bucket (µs).
+    pub p50_us: u64,
+    /// 90th percentile, same resolution (µs).
+    pub p90_us: u64,
+    /// 99th percentile, same resolution (µs).
+    pub p99_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// The snapshot as a JSON object (all timing fields `_us`-suffixed).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"count":{},"sum_us":{},"max_us":{},"p50_us":{},"p90_us":{},"p99_us":{}}}"#,
+            self.count, self.sum_us, self.max_us, self.p50_us, self.p90_us, self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_slot() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_counts() {
+        let h = Histogram::new();
+        // 90 fast samples and 10 slow ones.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum_us, 90 * 100 + 10 * 100_000);
+        assert_eq!(snap.max_us, 100_000);
+        // p50/p90 land in the [64,128) bucket; p99 in the slow bucket,
+        // clamped to the observed max.
+        assert_eq!(snap.p50_us, 127);
+        assert_eq!(snap.p90_us, 127);
+        assert_eq!(snap.p99_us, 100_000);
+    }
+
+    #[test]
+    fn zeros_stay_in_the_zero_bucket() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.max_us, 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_us_suffixed() {
+        let h = Histogram::new();
+        h.record(7);
+        let json = h.snapshot().to_json();
+        assert!(json.contains(r#""count":1"#), "{json}");
+        assert!(json.contains(r#""sum_us":7"#), "{json}");
+        assert!(json.contains(r#""p99_us":7"#), "{json}");
+    }
+}

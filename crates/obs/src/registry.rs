@@ -1,0 +1,300 @@
+//! The sharded, lock-free-on-the-hot-path metrics registry.
+//!
+//! Names are resolved to handles ([`Counter`], [`Gauge`],
+//! [`HistogramHandle`]) through sharded `RwLock<HashMap>`s: resolving a
+//! name that already exists takes only a read lock and an `Arc` clone,
+//! and every *recording* operation on a handle is a single relaxed
+//! atomic — instrumented code never blocks on the registry. Callers on
+//! genuinely hot paths should resolve once and keep the handle.
+//!
+//! The process-global registry lives behind [`crate::registry`]; the
+//! [`crate::enabled`] flag lets benchmarks compare instrumented vs.
+//! uninstrumented throughput without rebuilding.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+const SHARDS: usize = 8;
+
+/// A monotone counter handle (cheap to clone, lock-free to bump).
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle (see [`Histogram`] for bucket semantics).
+#[derive(Clone, Debug)]
+pub struct HistogramHandle(Arc<Histogram>);
+
+impl HistogramHandle {
+    /// Records one microsecond sample.
+    pub fn record_us(&self, us: u64) {
+        self.0.record(us);
+    }
+
+    /// A point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+/// A registry of named counters, gauges and latency histograms.
+pub struct MetricsRegistry {
+    shards: Vec<Shard>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Resolves `name` in one typed map: read-lock fast path, write-lock
+/// insert on first sight.
+fn resolve<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("metrics shard poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .expect("metrics shard poisoned")
+            .entry(name.to_string())
+            .or_default(),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[(fnv1a(name) as usize) % SHARDS]
+    }
+
+    /// The counter registered under `name` (created zeroed on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(resolve(&self.shard(name).counters, name))
+    }
+
+    /// The gauge registered under `name` (created zeroed on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(resolve(&self.shard(name).gauges, name))
+    }
+
+    /// The histogram registered under `name` (created empty on first use).
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(resolve(&self.shard(name).histograms, name))
+    }
+
+    /// A consistent-enough point-in-time copy of every metric, sorted by
+    /// name for stable exposition.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for shard in &self.shards {
+            for (name, v) in shard
+                .counters
+                .read()
+                .expect("metrics shard poisoned")
+                .iter()
+            {
+                counters.push((name.clone(), v.load(Ordering::Relaxed)));
+            }
+            for (name, v) in shard.gauges.read().expect("metrics shard poisoned").iter() {
+                gauges.push((name.clone(), v.load(Ordering::Relaxed)));
+            }
+            for (name, h) in shard
+                .histograms
+                .read()
+                .expect("metrics shard poisoned")
+                .iter()
+            {
+                histograms.push((name.clone(), h.snapshot()));
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A frozen copy of the whole registry, ready to render.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, summary)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+use crate::escape;
+
+impl RegistrySnapshot {
+    /// The snapshot as one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..}}`.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!(r#""{}":{}"#, escape(n), v))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| format!(r#""{}":{}"#, escape(n), v))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| format!(r#""{}":{}"#, escape(n), h.to_json()))
+            .collect();
+        format!(
+            r#"{{"counters":{{{}}},"gauges":{{{}}},"histograms":{{{}}}}}"#,
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+
+    /// The snapshot as human-oriented text, one metric per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!("counter {n} {v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("gauge {n} {v}\n"));
+        }
+        for (n, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {n} count={} sum_us={} p50_us={} p90_us={} p99_us={} max_us={}\n",
+                h.count, h.sum_us, h.p50_us, h.p90_us, h.p99_us, h.max_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.hits").add(2);
+        reg.counter("a.hits").inc();
+        assert_eq!(reg.counter("a.hits").get(), 3);
+        reg.gauge("q.depth").set(7);
+        assert_eq!(reg.gauge("q.depth").get(), 7);
+        reg.histogram("lat_us").record_us(10);
+        assert_eq!(reg.histogram("lat_us").snapshot().count, 1);
+    }
+
+    #[test]
+    fn snapshot_sorts_names_and_renders_both_formats() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.gauge("depth").set(3);
+        reg.histogram("stage.theorems.wall_us").record_us(250);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "a.first");
+        assert_eq!(snap.counters[1].0, "z.last");
+        let json = snap.to_json();
+        assert!(json.starts_with(r#"{"counters":{"#), "{json}");
+        assert!(json.contains(r#""a.first":1,"z.last":1"#), "{json}");
+        assert!(json.contains(r#""depth":3"#), "{json}");
+        assert!(
+            json.contains(r#""stage.theorems.wall_us":{"count":1"#),
+            "{json}"
+        );
+        let text = snap.to_text();
+        assert!(text.contains("counter a.first 1"), "{text}");
+        assert!(text.contains("gauge depth 3"), "{text}");
+        assert!(
+            text.contains("histogram stage.theorems.wall_us count=1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let c = reg.counter("spins");
+                    let h = reg.histogram("spin_us");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record_us(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("spins").get(), 4000);
+        assert_eq!(reg.histogram("spin_us").snapshot().count, 4000);
+    }
+}

@@ -151,11 +151,14 @@ pub fn result_line(query: &str, result: &Result<Response, EngineError>) -> Strin
 /// the parallel executor ran — per-stage totals.
 pub fn summary_line(report: &BatchReport) -> String {
     let mut out = format!(
-        r#"{{"summary":{{"queries":{},"answered":{},"failed":{},"cache_hits":{},"threads":{},"wall_us":{},"cpu_us":{}"#,
+        r#"{{"summary":{{"queries":{},"answered":{},"failed":{},"cache_hits":{},"cache_misses":{},"denoms":{{"hits":{},"misses":{}}},"threads":{},"wall_us":{},"cpu_us":{}"#,
         report.queries,
         report.answered,
         report.failed,
         report.cache_hits,
+        report.cache_misses,
+        report.denom_hits,
+        report.denom_misses,
         report.threads,
         report.wall.as_micros(),
         report.cpu.as_micros()
@@ -355,6 +358,9 @@ mod tests {
             answered: 2,
             failed: 1,
             cache_hits: 1,
+            cache_misses: 2,
+            denom_hits: 5,
+            denom_misses: 3,
             threads: 4,
             wall: Duration::from_micros(120),
             cpu: Duration::from_micros(400),
@@ -363,7 +369,10 @@ mod tests {
         let line = summary_line(&report);
         assert!(line.starts_with(r#"{"summary":{"#), "{line}");
         assert!(line.contains(r#""answered":2,"failed":1"#), "{line}");
-        assert!(line.contains(r#""cache_hits":1"#), "{line}");
+        assert!(
+            line.contains(r#""cache_hits":1,"cache_misses":2,"denoms":{"hits":5,"misses":3}"#),
+            "{line}"
+        );
         assert!(!line.contains(r#""stages""#), "{line}");
         report.stages.push(StageTotals {
             stage: "theorems".to_string(),

@@ -502,6 +502,9 @@ pub enum Request {
     },
     /// `{"op":"stats"}`: serving counters (cache, stages, queue, uptime).
     Stats,
+    /// `{"op":"metrics"}`: the full observability-registry snapshot
+    /// (counters, gauges, latency histograms with p50/p90/p99).
+    Metrics,
     /// `{"op":"sleep","ms":N}`: a worker-occupying no-op, only honored
     /// when [`crate::ServerConfig::test_ops`] is set — exists so tests
     /// can fill the admission queue deterministically.
@@ -624,6 +627,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "ping" => Ok(Request::Ping),
         "list" => Ok(Request::List),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "sleep" => {
             let ms = optional_u64(&v, "ms", "`sleep`")?
@@ -661,7 +665,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             })
         }
         other => Err(ProtoError::bad_request(format!(
-            "unknown op `{}` (expected ping|load|unload|list|query|stats|shutdown)",
+            "unknown op `{}` (expected ping|load|unload|list|query|stats|metrics|shutdown)",
             other
         ))),
     }
@@ -677,6 +681,7 @@ impl Request {
             Request::Ping => r#"{"op":"ping"}"#.to_string(),
             Request::List => r#"{"op":"list"}"#.to_string(),
             Request::Stats => r#"{"op":"stats"}"#.to_string(),
+            Request::Metrics => r#"{"op":"metrics"}"#.to_string(),
             Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
             Request::Sleep { ms } => format!(r#"{{"op":"sleep","ms":{ms}}}"#),
             Request::Unload { kb } => {
@@ -884,6 +889,7 @@ mod tests {
             Request::Ping,
             Request::List,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Sleep { ms: 250 },
             Request::Unload {

@@ -29,6 +29,7 @@ use crate::registry::{KbRegistry, LoadedKb};
 use rw_core::{AnswerCache, StageTotals};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -49,6 +50,15 @@ pub struct ServerConfig {
     /// Honor the `sleep` test op (never set in production; lets tests
     /// occupy workers deterministically to exercise backpressure).
     pub test_ops: bool,
+    /// Structured JSONL slow-query log: any request at or over
+    /// [`ServerConfig::slow_ms`] appends one line with the query, the KB
+    /// fingerprint and the full span tree. `None` disables it.
+    pub slow_log: Option<PathBuf>,
+    /// Slow-query threshold in milliseconds (`0` logs every request).
+    pub slow_ms: u64,
+    /// Per-request JSONL access log (`None` disables it). Cheap enough
+    /// to leave on: one line per answered query.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +69,9 @@ impl Default for ServerConfig {
             cache_shards: 16,
             max_queue: 1024,
             test_ops: false,
+            slow_log: None,
+            slow_ms: 100,
+            access_log: None,
         }
     }
 }
@@ -86,6 +99,12 @@ enum Work {
 struct Job {
     work: Work,
     reply: mpsc::Sender<String>,
+    /// When the job was admitted — the worker reports the pop-side delta
+    /// as queue wait.
+    enqueued: Instant,
+    /// Process-unique id tying this request's span tree, access-log line
+    /// and slow-log line together.
+    trace_id: u64,
 }
 
 /// A bound, resident serving process: KB registry, shared cache, worker
@@ -104,6 +123,9 @@ pub struct Server {
     started: Instant,
     threads: usize,
     test_ops: bool,
+    slow_log: Option<Mutex<std::fs::File>>,
+    slow_ms: u64,
+    access_log: Option<Mutex<std::fs::File>>,
 }
 
 impl Server {
@@ -117,6 +139,24 @@ impl Server {
                 .unwrap_or(1),
             n => n,
         };
+        let open = |path: &PathBuf| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+        };
+        let slow_log = config
+            .slow_log
+            .as_ref()
+            .map(open)
+            .transpose()?
+            .map(Mutex::new);
+        let access_log = config
+            .access_log
+            .as_ref()
+            .map(open)
+            .transpose()?
+            .map(Mutex::new);
         Ok(Server {
             listener,
             registry: KbRegistry::new(Arc::new(AnswerCache::with_shards(config.cache_shards))),
@@ -129,6 +169,9 @@ impl Server {
             started: Instant::now(),
             threads,
             test_ops: config.test_ops,
+            slow_log,
+            slow_ms: config.slow_ms,
+            access_log,
         })
     }
 
@@ -189,9 +232,43 @@ impl Server {
 
     fn worker_loop(&self, worker: usize) {
         while let Some(job) = self.queue.pop() {
-            let line = match job.work {
+            let line = match &job.work {
                 Work::Query { kb, query } => {
-                    let result = kb.answer(&query);
+                    let queue_wait = job.enqueued.elapsed();
+                    if rw_obs::enabled() {
+                        rw_obs::registry()
+                            .histogram("queue.wait_us")
+                            .record_us(queue_wait.as_micros() as u64);
+                    }
+                    // The span tree: request ⊃ {queue-wait, answer ⊃ stage:*}.
+                    // Queue wait elapsed before the request span opened, so
+                    // it is attached manually; stage spans come from the
+                    // response trace after the answer span has closed.
+                    let recorder = rw_obs::SpanRecorder::new(job.trace_id);
+                    let started = Instant::now();
+                    let (result, answer_id) = {
+                        let request = recorder.span("request");
+                        recorder.add(
+                            Some(request.id()),
+                            "queue-wait",
+                            queue_wait.as_micros() as u64,
+                            0,
+                        );
+                        let answer = recorder.span("answer");
+                        let answer_id = answer.id();
+                        (kb.answer(query), answer_id)
+                    };
+                    if let Ok(response) = &result {
+                        for step in response.trace.steps() {
+                            recorder.add(
+                                Some(answer_id),
+                                &format!("stage:{}", step.stage),
+                                step.elapsed.as_micros() as u64,
+                                0,
+                            );
+                        }
+                    }
+                    let elapsed = started.elapsed();
                     {
                         let mut totals = self.totals[worker].lock().expect("totals lock poisoned");
                         StageTotals::absorb_result(&mut totals.stages, &result);
@@ -200,11 +277,12 @@ impl Server {
                             Err(_) => totals.failed += 1,
                         }
                     }
-                    crate::json::result_line(&query, &result)
+                    self.log_request(kb, query, &result, queue_wait, elapsed, recorder);
+                    crate::json::result_line(query, &result)
                 }
                 Work::Sleep { ms } => {
                     // Test-only: occupy this worker slot for a bounded time.
-                    std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+                    std::thread::sleep(Duration::from_millis((*ms).min(10_000)));
                     r#"{"ok":true,"op":"sleep"}"#.to_string()
                 }
             };
@@ -331,6 +409,7 @@ impl Server {
             Request::Ping => (r#"{"ok":true,"op":"ping"}"#.to_string(), false),
             Request::List => (self.registry.list_json(), false),
             Request::Stats => (self.stats_json(), false),
+            Request::Metrics => (self.metrics_json(), false),
             Request::Shutdown => {
                 self.stop();
                 (r#"{"ok":true,"op":"shutdown"}"#.to_string(), true)
@@ -388,7 +467,13 @@ impl Server {
     /// full queue is answered immediately with `overloaded`.
     fn submit(&self, work: Work) -> String {
         let (reply, answer) = mpsc::channel();
-        match self.queue.push(Job { work, reply }) {
+        let job = Job {
+            work,
+            reply,
+            enqueued: Instant::now(),
+            trace_id: rw_obs::next_trace_id(),
+        };
+        match self.queue.push(job) {
             // A lost reply channel means shutdown won the race — tell
             // the client the truth (`overloaded` would invite retries
             // against a dying process).
@@ -401,6 +486,9 @@ impl Server {
             }),
             Err(PushError::Full) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                if rw_obs::enabled() {
+                    rw_obs::registry().counter("queue.rejected").inc();
+                }
                 ProtoError {
                     code: ErrorCode::Overloaded,
                     message: format!(
@@ -416,6 +504,85 @@ impl Server {
             }
             .line(),
         }
+    }
+
+    /// Writes the per-request access-log line and — at or over the slow
+    /// threshold — the slow-query line with the full span tree. Logging
+    /// happens after the response line is already determined, so it can
+    /// never change answer bytes.
+    fn log_request(
+        &self,
+        kb: &LoadedKb,
+        query: &str,
+        result: &Result<rw_core::Response, rw_core::EngineError>,
+        queue_wait: Duration,
+        elapsed: Duration,
+        recorder: rw_obs::SpanRecorder,
+    ) {
+        if self.access_log.is_none() && self.slow_log.is_none() {
+            return;
+        }
+        let trace_id = recorder.trace_id();
+        let ok = result.is_ok();
+        let cache_hit = matches!(result, Ok(r) if r.cached);
+        if let Some(file) = &self.access_log {
+            let line = format!(
+                r#"{{"ts_us":{},"trace_id":{},"kb":"{}","query":"{}","ok":{},"cache_hit":{},"queue_wait_us":{},"elapsed_us":{}}}"#,
+                Self::unix_micros(),
+                trace_id,
+                crate::json::escape(&kb.name),
+                crate::json::escape(query),
+                ok,
+                cache_hit,
+                queue_wait.as_micros(),
+                elapsed.as_micros(),
+            );
+            Self::append(file, &line);
+        }
+        if let Some(file) = &self.slow_log {
+            if elapsed >= Duration::from_millis(self.slow_ms) {
+                let spans = recorder.finish();
+                let line = format!(
+                    r#"{{"ts_us":{},"trace_id":{},"kb":"{}","fingerprint":"{:016x}","query":"{}","ok":{},"elapsed_us":{},"spans":{}}}"#,
+                    Self::unix_micros(),
+                    trace_id,
+                    crate::json::escape(&kb.name),
+                    kb.fingerprint,
+                    crate::json::escape(query),
+                    ok,
+                    elapsed.as_micros(),
+                    rw_obs::spans_json(&spans),
+                );
+                Self::append(file, &line);
+            }
+        }
+    }
+
+    /// One appended JSONL line; a failed write is dropped silently (the
+    /// serving path must never fail because a log disk filled up).
+    fn append(file: &Mutex<std::fs::File>, line: &str) {
+        let mut file = file.lock().expect("log file lock poisoned");
+        let _ = writeln!(file, "{line}");
+    }
+
+    /// Wall-clock microseconds since the Unix epoch (log timestamps).
+    fn unix_micros() -> u128 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros())
+            .unwrap_or(0)
+    }
+
+    /// The `metrics` op: the full observability-registry snapshot, with
+    /// the admission-queue depth gauge refreshed at snapshot time.
+    fn metrics_json(&self) -> String {
+        let registry = rw_obs::registry();
+        registry.gauge("queue.depth").set(self.queue.depth() as u64);
+        format!(
+            r#"{{"ok":true,"op":"metrics","uptime_us":{},"metrics":{}}}"#,
+            self.started.elapsed().as_micros(),
+            registry.snapshot().to_json(),
+        )
     }
 
     fn unknown_kb(name: &str) -> ProtoError {
