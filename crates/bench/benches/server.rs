@@ -15,6 +15,15 @@
 //! repeated workloads would not be worth keeping warm — the run asserts
 //! the ratio, and cross-checks every response against the direct
 //! engine's beliefs.
+//!
+//! A second section (experiment index B13) sweeps a fixed warm
+//! workload across 1 → 1024 simultaneous connections against one
+//! resident server and writes the connections-vs-throughput curve to
+//! `BENCH_9.json` at the workspace root. Connections are established
+//! and registered *before* the clock starts, so the curve measures
+//! serving throughput at N open connections, not accept latency. The
+//! run asserts the curve does not collapse: every point must hold at
+//! least [`CURVE_FLOOR`] of the peak.
 
 use rw_core::RandomWorlds;
 use rw_logic::KnowledgeBase;
@@ -115,6 +124,101 @@ fn full_pass(addr: std::net::SocketAddr, shards: &[Vec<String>]) -> (Duration, V
 fn median(mut times: Vec<Duration>) -> Duration {
     times.sort();
     times[times.len() / 2]
+}
+
+// ---------------------------------------------------------------------
+// Connections-vs-throughput curve (experiment index B13 → BENCH_9.json)
+// ---------------------------------------------------------------------
+
+/// Simultaneous-connection counts for the curve. Each count divides
+/// [`CURVE_TOTAL`] and (above 1) the driver-thread count, so every
+/// connection gets the same pipelined share of the fixed workload.
+const CURVE: &[usize] = &[1, 8, 64, 256, 1024];
+const CURVE_TOTAL: usize = 2048;
+const CURVE_RUNS: usize = 3;
+const CURVE_DRIVERS: usize = 8;
+/// Every curve point must deliver at least this fraction of the peak
+/// point's throughput — the "no collapse at the high end" gate.
+const CURVE_FLOOR: f64 = 0.25;
+
+/// One timed pass at `conns` simultaneous connections: every
+/// connection is opened and answered a ping (proving the event loop
+/// registered it) before the clock starts, then each pipelines its
+/// share of the workload and reads the ordered responses back.
+fn curve_pass(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    queries: &[String],
+    reference: &std::collections::HashMap<String, f64>,
+) -> Duration {
+    let drivers = conns.min(CURVE_DRIVERS);
+    let per_driver = conns / drivers;
+    let per_conn = CURVE_TOTAL / conns;
+    let ready = std::sync::Barrier::new(drivers + 1);
+    std::thread::scope(|scope| {
+        let ready = &ready;
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                scope.spawn(move || {
+                    let mut socks: Vec<(TcpStream, BufReader<TcpStream>)> = (0..per_driver)
+                        .map(|_| {
+                            let s = TcpStream::connect(addr).expect("connect");
+                            s.set_nodelay(true).expect("nodelay");
+                            let r = BufReader::new(s.try_clone().expect("clone"));
+                            (s, r)
+                        })
+                        .collect();
+                    for (w, r) in socks.iter_mut() {
+                        w.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
+                        let mut line = String::new();
+                        r.read_line(&mut line).expect("pong");
+                        assert!(line.contains("ping"), "{line}");
+                    }
+                    ready.wait();
+                    for (c, (w, _)) in socks.iter_mut().enumerate() {
+                        let global = d * per_driver + c;
+                        let mut burst = String::new();
+                        for k in 0..per_conn {
+                            let q = &queries[(global * per_conn + k) % queries.len()];
+                            burst.push_str(&format!(
+                                r#"{{"op":"query","kb":"bench","query":"{}"}}"#,
+                                rw_server::json::escape(q)
+                            ));
+                            burst.push('\n');
+                        }
+                        w.write_all(burst.as_bytes()).expect("write burst");
+                    }
+                    let mut line = String::new();
+                    for (c, (_, r)) in socks.iter_mut().enumerate() {
+                        let global = d * per_driver + c;
+                        for k in 0..per_conn {
+                            let q = &queries[(global * per_conn + k) % queries.len()];
+                            line.clear();
+                            r.read_line(&mut line).expect("read");
+                            let v = Value::parse(line.trim()).expect("response parses");
+                            assert_eq!(
+                                v.get("query").and_then(Value::as_str),
+                                Some(q.as_str()),
+                                "response order broke at {conns} conns: {line}"
+                            );
+                            let value = v
+                                .get("belief")
+                                .and_then(|b| b.get("value"))
+                                .and_then(Value::as_f64)
+                                .expect("point belief");
+                            assert_eq!(reference[q], value, "belief diverged on {q}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        ready.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().expect("curve driver");
+        }
+        start.elapsed()
+    })
 }
 
 fn qps(n: usize, wall: Duration) -> f64 {
@@ -221,4 +325,84 @@ fn main() {
         speedup >= 2.0,
         "a resident warm cache must deliver ≥ 2x cold throughput, got {speedup:.2}x"
     );
+
+    // -- B13: connections-vs-throughput curve --------------------------
+    let server = Arc::new(
+        Server::bind(ServerConfig {
+            threads: CLIENTS,
+            max_queue: 4096,
+            ..ServerConfig::default()
+        })
+        .expect("bind"),
+    );
+    server.registry().insert("bench", kb.clone());
+    let addr = server.local_addr().expect("addr");
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+    // Warm the cache once so every curve point measures serving
+    // overhead over identical (cached) answer compute.
+    let (_, warmup) = full_pass(addr, &shards);
+    check(&warmup);
+
+    println!(
+        "\nconnections-vs-throughput: {} warm queries per pass, median of {} runs",
+        CURVE_TOTAL, CURVE_RUNS
+    );
+    let mut points = Vec::with_capacity(CURVE.len());
+    for &conns in CURVE {
+        let wall = median(
+            (0..CURVE_RUNS)
+                .map(|_| curve_pass(addr, conns, &queries, &reference))
+                .collect(),
+        );
+        let throughput = qps(CURVE_TOTAL, wall);
+        println!(
+            "{:>5} conns   {:>10.3} ms   {:>9.0} q/s",
+            conns,
+            wall.as_secs_f64() * 1e3,
+            throughput
+        );
+        points.push((conns, wall, throughput));
+    }
+    server.stop();
+    runner.join().expect("join");
+
+    let peak = points.iter().map(|&(_, _, q)| q).fold(0.0f64, f64::max);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|&(conns, wall, q)| {
+            format!(
+                r#"{{"conns":{},"median_ms":{:.3},"qps":{:.0},"vs_peak":{:.3}}}"#,
+                conns,
+                wall.as_secs_f64() * 1e3,
+                q,
+                q / peak
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\"bench\":\"server_connections\",\"total_queries\":{},\"runs\":{},\
+         \"threads\":{},\"floor_ratio\":{},\"peak_qps\":{:.0},\"results\":[{}]}}\n",
+        CURVE_TOTAL,
+        CURVE_RUNS,
+        CLIENTS,
+        CURVE_FLOOR,
+        peak,
+        rows.join(",")
+    );
+    // `CARGO_MANIFEST_DIR` = crates/bench; the report lives at the
+    // workspace root where CI (and readers) expect it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, &report).expect("write BENCH_9.json");
+    println!("\nwrote {path}");
+
+    for &(conns, _, q) in &points {
+        assert!(
+            q >= CURVE_FLOOR * peak,
+            "throughput collapsed at {conns} conns: {q:.0} q/s vs peak {peak:.0} \
+             (floor {CURVE_FLOOR})"
+        );
+    }
 }

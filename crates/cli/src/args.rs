@@ -42,9 +42,9 @@ pub enum Command {
         options: SessionOptions,
     },
     /// `rwq serve [file.rwkb] [--addr A] [--threads N] [--cache-shards S]
-    /// [--max-queue Q]`: run the persistent rw-server process. An
-    /// optional positional KB file is preloaded under the name
-    /// `default`. The first stdout line is
+    /// [--max-queue Q] [--max-conns C] [--idle-timeout-ms T]`: run the
+    /// persistent rw-server process. An optional positional KB file is
+    /// preloaded under the name `default`. The first stdout line is
     /// `{"serving":{"addr":...,...}}` with the bound address.
     Serve {
         /// Optional KB preloaded as `default`.
@@ -113,6 +113,7 @@ USAGE:
                                       (queries from stdin, JSONL results out,
                                        closing {\"summary\":...} line)
   rwq serve [file.rwkb] [--addr A] [--threads N] [--cache-shards S] [--max-queue Q]
+            [--max-conns C] [--idle-timeout-ms T]
             [--slow-log PATH [--slow-ms T]] [--access-log PATH]
                                       (persistent server; optional file is
                                        preloaded as the KB named `default`)
@@ -141,6 +142,11 @@ OPTIONS:
   --cache-shards N     serve: shards of the shared answer cache (default 16)
   --max-queue N        serve: admission-queue capacity; queries beyond it
                        are rejected with code \"overloaded\" (default 1024)
+  --max-conns N        serve: open-connection ceiling; connections beyond
+                       it are refused with code \"overloaded\"
+                       (default 10000)
+  --idle-timeout-ms T  serve: evict connections idle for T milliseconds
+                       (default 0 = never evict)
   --slow-log PATH      serve: append a structured JSONL line (query, KB
                        fingerprint, full span tree) for every request at
                        or over the --slow-ms threshold
@@ -402,6 +408,15 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
             }
             "--max-queue" => {
                 config.max_queue = positive(value(&mut i, "--max-queue")?, "--max-queue")?
+            }
+            "--max-conns" => {
+                config.max_conns = positive(value(&mut i, "--max-conns")?, "--max-conns")?
+            }
+            "--idle-timeout-ms" => {
+                let v = value(&mut i, "--idle-timeout-ms")?;
+                config.idle_timeout_ms = v.parse::<u64>().map_err(|_| {
+                    ArgError(format!("bad --idle-timeout-ms value `{v}` (0 disables)"))
+                })?;
             }
             "--slow-log" => config.slow_log = Some(PathBuf::from(value(&mut i, "--slow-log")?)),
             "--slow-ms" => {
@@ -1035,6 +1050,8 @@ mod tests {
                 assert_eq!(config.threads, 0); // per-core
                 assert_eq!(config.cache_shards, 16);
                 assert_eq!(config.max_queue, 1024);
+                assert_eq!(config.max_conns, 10_000);
+                assert_eq!(config.idle_timeout_ms, 0); // never evict
                 assert!(!config.test_ops);
                 assert_eq!(config.slow_log, None);
                 assert_eq!(config.slow_ms, 100);
@@ -1053,6 +1070,10 @@ mod tests {
             "8",
             "--max-queue",
             "64",
+            "--max-conns",
+            "2048",
+            "--idle-timeout-ms",
+            "30000",
             "--slow-log",
             "slow.jsonl",
             "--slow-ms",
@@ -1068,6 +1089,8 @@ mod tests {
                 assert_eq!(config.threads, 4);
                 assert_eq!(config.cache_shards, 8);
                 assert_eq!(config.max_queue, 64);
+                assert_eq!(config.max_conns, 2048);
+                assert_eq!(config.idle_timeout_ms, 30_000);
                 assert_eq!(config.slow_log, Some(PathBuf::from("slow.jsonl")));
                 assert_eq!(config.slow_ms, 0);
                 assert_eq!(config.access_log, Some(PathBuf::from("access.jsonl")));
@@ -1086,6 +1109,14 @@ mod tests {
             .unwrap_err()
             .0
             .contains("positive"));
+        assert!(parse(&strs(&["serve", "--max-conns", "0"]))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&strs(&["serve", "--idle-timeout-ms", "soon"]))
+            .unwrap_err()
+            .0
+            .contains("bad --idle-timeout-ms"));
         assert!(parse(&strs(&["serve", "--cache-shards", "none"]))
             .unwrap_err()
             .0

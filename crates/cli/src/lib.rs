@@ -206,11 +206,13 @@ pub fn run(
             // suite) learn the actual port when `--addr` asked for :0.
             writeln!(
                 out,
-                r#"{{"serving":{{"addr":"{}","threads":{},"cache_shards":{},"max_queue":{},"kbs":[{}]}}}}"#,
+                r#"{{"serving":{{"addr":"{}","threads":{},"cache_shards":{},"max_queue":{},"max_conns":{},"idle_timeout_ms":{},"kbs":[{}]}}}}"#,
                 json::escape(&addr),
                 server.threads(),
                 server.registry().cache().shard_count(),
                 server.queue_capacity(),
+                server.max_conns(),
+                server.idle_timeout_ms(),
                 kbs.join(",")
             )?;
             out.flush()?;

@@ -5,8 +5,11 @@
 //! trace is a parent-linked span tree. The output table aggregates
 //! spans by name across every trace, with *total* time (the span's own
 //! wall clock) and *self* time (total minus the direct children's
-//! total, clamped at zero — the queue-wait child is measured before its
-//! parent opens, so a child can legitimately exceed its parent).
+//! total). The server backdates the `request` span to admission time,
+//! so in a well-formed trace children always fit inside their parent;
+//! a span whose direct children exceed it is a malformed (or
+//! pre-backdating) trace, counted and flagged in the header instead of
+//! silently clamped.
 
 use rw_server::proto::Value;
 use std::collections::{BTreeMap, HashMap};
@@ -46,6 +49,7 @@ fn record(span: &Value) -> Option<Rec> {
 pub fn aggregate(content: &str) -> Result<String, String> {
     let mut traces = 0u64;
     let mut skipped = 0u64;
+    let mut malformed = 0u64;
     let mut by_name: BTreeMap<String, Agg> = BTreeMap::new();
     for (idx, line) in content.lines().enumerate() {
         let line = line.trim();
@@ -71,7 +75,13 @@ pub fn aggregate(content: &str) -> Result<String, String> {
             let agg = by_name.entry(r.name).or_default();
             agg.count += 1;
             agg.total_us += r.wall_us;
-            agg.self_us += r.wall_us.saturating_sub(children);
+            match r.wall_us.checked_sub(children) {
+                Some(self_us) => agg.self_us += self_us,
+                // Children exceeding their parent cannot come from a
+                // correctly nested recording — flag the span rather
+                // than fold a silent zero into the table.
+                None => malformed += 1,
+            }
             agg.cpu_us += r.cpu_us;
         }
     }
@@ -88,6 +98,12 @@ pub fn aggregate(content: &str) -> Result<String, String> {
     let mut out = format!("traces: {traces}, spans: {spans}");
     if skipped > 0 {
         let _ = write!(out, " ({skipped} non-trace line(s) skipped)");
+    }
+    if malformed > 0 {
+        let _ = write!(
+            out,
+            " (warning: {malformed} span(s) whose children exceed them — malformed trace?)"
+        );
     }
     out.push('\n');
     let _ = writeln!(
@@ -125,14 +141,25 @@ mod tests {
     }
 
     #[test]
-    fn oversized_children_clamp_self_at_zero() {
-        // A queue-wait measured before its parent opened can exceed the
-        // parent's wall; self time must clamp, not underflow.
+    fn oversized_children_are_flagged_as_malformed_not_clamped() {
+        // The server backdates the request span to admission time, so a
+        // queue-wait larger than its parent cannot come from a healthy
+        // recording; the aggregate must warn instead of silently
+        // clamping self time at zero.
         let line = r#"{"spans":[{"id":1,"parent":null,"name":"request","wall_us":50,"cpu_us":0},{"id":2,"parent":1,"name":"queue-wait","wall_us":400,"cpu_us":0}]}"#;
         let table = aggregate(line).unwrap();
+        assert!(
+            table.contains("warning: 1 span(s) whose children exceed them"),
+            "{table}"
+        );
+        // The flagged span contributes no self time (but keeps its
+        // total); the intact child is unaffected.
         let request = table.lines().find(|l| l.starts_with("request")).unwrap();
         let cols: Vec<&str> = request.split_whitespace().collect();
+        assert_eq!(cols[2], "50", "{table}");
         assert_eq!(cols[3], "0", "{table}");
+        // Well-formed traces never trip the warning.
+        assert!(!aggregate(TRACE).unwrap().contains("warning"), "clean");
     }
 
     #[test]

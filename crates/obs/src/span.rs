@@ -93,6 +93,17 @@ impl SpanRecorder {
     /// guard span. Wall and CPU time are measured from now until the
     /// guard drops.
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_started_at(name, Instant::now())
+    }
+
+    /// Opens a guard span whose wall clock started at `start` — for work
+    /// that logically began before this thread picked it up, like a
+    /// server request that waited in the admission queue: the worker
+    /// opens the `request` span backdated to enqueue time, so a
+    /// `queue-wait` child can never outlast its parent. CPU time is
+    /// still measured from now; only this thread's on-CPU share belongs
+    /// to the span.
+    pub fn span_started_at(&self, name: &str, start: Instant) -> SpanGuard<'_> {
         let mut inner = self.inner.borrow_mut();
         let id = inner.spans.len() + 1;
         let parent = inner.stack.last().copied();
@@ -107,7 +118,7 @@ impl SpanRecorder {
         SpanGuard {
             recorder: self,
             id,
-            start: Instant::now(),
+            start,
             cpu_start: thread_cpu_us(),
         }
     }
@@ -232,6 +243,32 @@ mod tests {
         assert!(req.wall_us >= ans.wall_us, "parent covers child");
         let stage = &spans[3];
         assert_eq!(stage.parent, Some(answer_id));
+    }
+
+    #[test]
+    fn backdated_spans_always_cover_their_queue_wait_child() {
+        // The serving-path span tree: the request span opens backdated
+        // to enqueue time, so the manually-added queue-wait child fits
+        // inside it (the PR-8 gotcha was wait > parent wall).
+        let rec = SpanRecorder::new(9);
+        let enqueued = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let wait_us = enqueued.elapsed().as_micros() as u64;
+        {
+            let request = rec.span_started_at("request", enqueued);
+            rec.add(Some(request.id()), "queue-wait", wait_us, 0);
+        }
+        let spans = rec.finish();
+        let request = &spans[0];
+        let wait = &spans[1];
+        assert_eq!(wait.parent, Some(request.id));
+        assert!(
+            request.wall_us >= wait.wall_us,
+            "request {}µs < queue-wait {}µs",
+            request.wall_us,
+            wait.wall_us
+        );
+        assert!(request.wall_us >= 20_000, "{}", request.wall_us);
     }
 
     #[test]

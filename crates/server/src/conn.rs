@@ -1,0 +1,349 @@
+//! Per-connection state for the readiness event loop: byte-stream
+//! framing and ordered response write-back.
+//!
+//! ```text
+//!   TCP bytes ─▶ LineFramer ─▶ framed requests ─▶ (inline | admission queue)
+//!                                                        │
+//!   TCP bytes ◀─ write buffer ◀─ ordered slots ◀─────────┘ (worker completions)
+//! ```
+//!
+//! [`LineFramer`] turns arbitrary read chunks into whole request lines
+//! under the [`MAX_LINE`](crate::MAX_LINE) cap: an oversized line is
+//! reported **once** (the caller answers it with one `bad-request`
+//! error) and the framer then *discards* bytes until the next newline,
+//! so a client that streamed megabytes of garbage resynchronizes
+//! cleanly on its next real request — subsequent requests are never
+//! mis-framed as the tail of the oversized one.
+//!
+//! [`Conn`] holds everything else one connection needs: the response
+//! **slot queue** (one slot per received request, in receive order —
+//! inline ops fill theirs immediately, queued queries fill them when a
+//! worker completes, and only a filled *prefix* is ever flushed, so a
+//! client's answers can never reorder even when its pipelined queries
+//! finish out of order on the pool), the nonblocking write buffer, and
+//! the idle/backpressure bookkeeping the event loop polls.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What [`LineFramer::push`] extracted from a chunk of bytes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One complete, nonempty, within-cap request line (lossily decoded,
+    /// trimmed).
+    Line(String),
+    /// A line exceeded the cap. Reported exactly once per oversized
+    /// line, at the moment the overflow is detected; the remainder of
+    /// the line is silently discarded up to its newline.
+    Oversized,
+}
+
+/// Assembles whole request lines from read chunks, capping any single
+/// line at `max_line` bytes (see the module docs for the resync
+/// contract).
+#[derive(Debug)]
+pub struct LineFramer {
+    pending: Vec<u8>,
+    discarding: bool,
+    max_line: usize,
+}
+
+impl LineFramer {
+    /// A framer capping lines at `max_line` bytes.
+    pub fn new(max_line: usize) -> LineFramer {
+        LineFramer {
+            pending: Vec::new(),
+            discarding: false,
+            max_line,
+        }
+    }
+
+    /// Consumes one read chunk, appending every extracted [`Frame`] to
+    /// `out` in stream order.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<Frame>) {
+        let mut rest = chunk;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..];
+            if self.discarding {
+                // The tail end of an oversized line (already reported):
+                // drop it and resynchronize at this newline.
+                self.discarding = false;
+                continue;
+            }
+            self.pending.extend_from_slice(head);
+            // The cap applies even when the newline arrives in the same
+            // chunk as the overflowing tail.
+            if self.pending.len() > self.max_line {
+                self.pending.clear();
+                out.push(Frame::Oversized);
+                continue;
+            }
+            let line = String::from_utf8_lossy(&self.pending).trim().to_string();
+            self.pending.clear();
+            if !line.is_empty() {
+                out.push(Frame::Line(line));
+            }
+        }
+        if self.discarding {
+            return;
+        }
+        if self.pending.len() + rest.len() > self.max_line {
+            // Mid-line overflow with no newline yet: report now, then
+            // discard until the newline eventually arrives.
+            self.discarding = true;
+            self.pending.clear();
+            out.push(Frame::Oversized);
+        } else {
+            self.pending.extend_from_slice(rest);
+        }
+    }
+
+    /// The final unterminated line at EOF, if any — a client that wrote
+    /// its last request without a trailing newline still deserves its
+    /// answer. Returns `None` while discarding an oversized line (its
+    /// error was already sent).
+    pub fn finish(&mut self) -> Option<String> {
+        if self.discarding || self.pending.is_empty() {
+            return None;
+        }
+        let line = String::from_utf8_lossy(&self.pending).trim().to_string();
+        self.pending.clear();
+        (!line.is_empty()).then_some(line)
+    }
+}
+
+/// Pause reading from a connection whose peer is not draining its
+/// responses once this many unflushed bytes accumulate — backpressure
+/// toward the client instead of unbounded server-side buffering. The
+/// read side resumes as soon as the buffer drains below the mark.
+pub const WRITE_BACKPRESSURE_BYTES: usize = 1 << 20;
+
+/// One live connection in the event loop.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Request-line assembly.
+    pub framer: LineFramer,
+    /// Ordered response slots: `slots[i]` answers request `base_seq + i`.
+    slots: VecDeque<Option<String>>,
+    /// Sequence number of `slots.front()`.
+    base_seq: u64,
+    /// Sequence number the next received request will get.
+    next_seq: u64,
+    /// Flushable bytes (filled-prefix responses, newline-terminated).
+    out: Vec<u8>,
+    /// How much of `out` has been written to the socket.
+    out_pos: usize,
+    /// Last moment bytes moved on this connection (either direction) —
+    /// the idle-timeout clock.
+    pub last_activity: Instant,
+    /// Requests admitted to the worker queue and not yet completed.
+    pub inflight: usize,
+    /// Close once every slot is answered and flushed (peer EOF, a
+    /// `shutdown` acknowledgment, or server drain).
+    pub closing: bool,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted (already nonblocking) stream.
+    pub fn new(stream: TcpStream, max_line: usize) -> Conn {
+        Conn {
+            stream,
+            framer: LineFramer::new(max_line),
+            slots: VecDeque::new(),
+            base_seq: 0,
+            next_seq: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            inflight: 0,
+            closing: false,
+        }
+    }
+
+    /// Reserves the next ordered response slot, returning its sequence
+    /// number (the completion key for queued work).
+    pub fn alloc_slot(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(None);
+        seq
+    }
+
+    /// Fills a reserved slot and moves the filled prefix into the write
+    /// buffer. A stale sequence (slot already gone because the
+    /// connection is being torn down) is ignored.
+    pub fn fill_slot(&mut self, seq: u64, line: String) {
+        let Some(idx) = seq.checked_sub(self.base_seq) else {
+            return;
+        };
+        let Some(slot) = self.slots.get_mut(idx as usize) else {
+            return;
+        };
+        *slot = Some(line);
+        while let Some(Some(_)) = self.slots.front() {
+            let line = self.slots.pop_front().flatten().expect("checked Some");
+            self.base_seq += 1;
+            self.out.extend_from_slice(line.as_bytes());
+            self.out.push(b'\n');
+        }
+    }
+
+    /// Writes as much of the buffer as the socket accepts right now.
+    /// `Err` means the connection is dead and should be dropped.
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Unwritten bytes still buffered.
+    pub fn unflushed(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// True when the loop should ask for `POLLOUT`.
+    pub fn wants_write(&self) -> bool {
+        self.unflushed() > 0
+    }
+
+    /// True when reading should pause until the peer drains responses.
+    pub fn read_paused(&self) -> bool {
+        self.unflushed() >= WRITE_BACKPRESSURE_BYTES
+    }
+
+    /// True when nothing is pending in either direction: no admitted
+    /// work, no unanswered slot, no unflushed byte. Idle connections are
+    /// the ones an idle timeout (or EMFILE shedding) may close.
+    pub fn is_idle(&self) -> bool {
+        self.inflight == 0 && self.slots.is_empty() && self.unflushed() == 0
+    }
+
+    /// True when a closing connection has delivered everything it owes.
+    pub fn drained(&self) -> bool {
+        self.inflight == 0 && self.slots.is_empty() && self.unflushed() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(framer: &mut LineFramer, chunk: &[u8]) -> Vec<Frame> {
+        let mut out = Vec::new();
+        framer.push(chunk, &mut out);
+        out
+    }
+
+    #[test]
+    fn lines_split_across_arbitrary_chunks() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(frames(&mut f, b"{\"op\":"), vec![]);
+        assert_eq!(
+            frames(&mut f, b"\"ping\"}\n{\"op\""),
+            vec![Frame::Line("{\"op\":\"ping\"}".to_string())]
+        );
+        assert_eq!(
+            frames(&mut f, b":\"list\"}\n"),
+            vec![Frame::Line("{\"op\":\"list\"}".to_string())]
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_crlf_are_tolerated() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(
+            frames(&mut f, b"\n  \r\n{\"op\":\"ping\"}\r\n"),
+            vec![Frame::Line("{\"op\":\"ping\"}".to_string())]
+        );
+    }
+
+    #[test]
+    fn oversized_line_with_its_newline_in_one_chunk_resyncs() {
+        // Regression pin: the overflow completes *within* one chunk and
+        // the next request follows in the very same chunk — it must be
+        // framed as its own request, not as garbage glued to the tail.
+        let mut f = LineFramer::new(8);
+        let mut chunk = vec![b'x'; 9];
+        chunk.push(b'\n');
+        chunk.extend_from_slice(b"ping\n");
+        assert_eq!(
+            frames(&mut f, &chunk),
+            vec![Frame::Oversized, Frame::Line("ping".to_string())]
+        );
+    }
+
+    #[test]
+    fn oversized_line_streaming_across_chunks_reports_once_then_resyncs() {
+        let mut f = LineFramer::new(8);
+        // 20 bytes, no newline: overflow detected mid-line, exactly one
+        // report.
+        assert_eq!(frames(&mut f, &[b'y'; 20]), vec![Frame::Oversized]);
+        // More of the same line: still discarding, no duplicate report.
+        assert_eq!(frames(&mut f, &[b'y'; 20]), vec![]);
+        // The newline ends the discard; the next request parses clean —
+        // even when both arrive in one chunk.
+        assert_eq!(
+            frames(&mut f, b"yyy\nping\n"),
+            vec![Frame::Line("ping".to_string())]
+        );
+    }
+
+    #[test]
+    fn a_line_of_exactly_max_line_bytes_is_not_oversized() {
+        let mut f = LineFramer::new(4);
+        let mut chunk = vec![b'a'; 4];
+        chunk.push(b'\n');
+        assert_eq!(
+            frames(&mut f, &chunk),
+            vec![Frame::Line("aaaa".to_string())]
+        );
+        let mut over = vec![b'a'; 5];
+        over.push(b'\n');
+        assert_eq!(frames(&mut f, &over), vec![Frame::Oversized]);
+    }
+
+    #[test]
+    fn finish_yields_the_unterminated_final_line_except_while_discarding() {
+        let mut f = LineFramer::new(64);
+        f.push(b"last request", &mut Vec::new());
+        assert_eq!(f.finish(), Some("last request".to_string()));
+        assert_eq!(f.finish(), None);
+
+        let mut d = LineFramer::new(4);
+        let mut out = Vec::new();
+        d.push(&[b'z'; 10], &mut out);
+        assert_eq!(out, vec![Frame::Oversized]);
+        // EOF in the middle of the discarded line: no phantom request.
+        assert_eq!(d.finish(), None);
+    }
+
+    #[test]
+    fn non_utf8_bytes_become_lossy_lines_not_panics() {
+        let mut f = LineFramer::new(64);
+        let got = frames(&mut f, b"\xff\xfe{bad}\n");
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            Frame::Line(l) => assert!(l.contains("{bad}")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -6,12 +6,16 @@
 //! One-shot `rwq query` re-parses and re-fingerprints its knowledge base
 //! on every invocation and throws the warm
 //! [`AnswerCache`](rw_core::AnswerCache) away on exit. This crate keeps
-//! all of that **resident**: a TCP listener speaks the same JSONL
-//! request/response format as `rwq batch`, a [`registry::KbRegistry`]
-//! holds named loaded KBs (each with its fingerprint computed once and a
-//! pinned engine — exact or Monte-Carlo), and a scoped-thread worker
-//! pool behind a **bounded admission queue** answers queries through one
-//! shared sharded cache. Overload is met with a structured
+//! all of that **resident**: a readiness event loop ([`mod@server`],
+//! driven by a direct-syscall [`mod@poll`] over nonblocking sockets)
+//! speaks the same JSONL request/response format as `rwq batch`,
+//! multiplexing thousands of connections — each a small [`mod@conn`]
+//! state machine — on one thread. A [`registry::KbRegistry`] holds named
+//! loaded KBs (each with its fingerprint computed once and a pinned
+//! engine — exact or Monte-Carlo), and a scoped-thread worker pool
+//! behind a **bounded admission queue** answers queries through one
+//! shared sharded cache; per-connection response slots keep pipelined
+//! answers in request order. Overload is met with a structured
 //! `{"ok":false,...,"code":"overloaded"}` rejection, never unbounded
 //! buffering, and a `stats` request exposes cache counters, per-stage
 //! totals, queue depth and uptime.
@@ -36,8 +40,10 @@
 //! line-oriented [`Client`].
 
 pub mod client;
+pub mod conn;
 pub mod format;
 pub mod json;
+pub mod poll;
 pub mod proto;
 pub mod queue;
 pub mod registry;

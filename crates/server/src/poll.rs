@@ -1,0 +1,214 @@
+//! A std-only readiness API: `ppoll(2)` through a direct syscall.
+//!
+//! The event loop in [`crate::server`] multiplexes thousands of
+//! nonblocking sockets on one thread, which needs exactly one kernel
+//! facility the standard library does not expose: "block until any of
+//! these fds is ready". The workspace is dependency-free by design (no
+//! `libc`, no `mio`), so this module issues the `ppoll` syscall
+//! directly with `core::arch::asm!` — three dozen lines of `unsafe`
+//! confined behind a safe slice-based wrapper, on the two Linux
+//! architectures the workspace targets (x86_64, aarch64).
+//!
+//! `ppoll` rather than `epoll` deliberately: one syscall per loop
+//! iteration with no kernel-side registration state to keep in sync,
+//! O(fds) per wakeup. At the 10k-connection scale this serving layer
+//! targets, scanning 10k pollfds costs microseconds — far below one
+//! random-worlds answer — and the stateless API keeps the loop simple
+//! enough to reason about connection lifecycles exactly.
+
+use std::io;
+use std::time::Duration;
+
+/// Readable readiness (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (`POLLERR`; always polled, only returned).
+pub const POLLERR: i16 = 0x008;
+/// Peer hangup (`POLLHUP`; always polled, only returned).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (`POLLNVAL`; always polled, only returned).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set — binary-compatible with the kernel's
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (from
+    /// [`std::os::fd::AsRawFd::as_raw_fd`]).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]; error/hangup are
+    /// implicit).
+    pub events: i16,
+    /// Returned events, filled by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry asking for `events` on `fd`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when any of `mask`'s bits came back in `revents`.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// True on error/hangup/invalid-fd — the connection is dead
+    /// regardless of what was asked for.
+    pub fn failed(&self) -> bool {
+        self.ready(POLLERR | POLLNVAL)
+    }
+}
+
+/// The kernel's `struct timespec` for the `ppoll` timeout.
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// Raw `ppoll`: negative return values are `-errno`.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn sys_ppoll(fds: *mut PollFd, nfds: usize, timeout: *const Timespec) -> isize {
+    const SYS_PPOLL: usize = 271;
+    let ret: isize;
+    // SAFETY: `ppoll(fds, nfds, timeout, NULL, 0)` with `fds` pointing
+    // at `nfds` valid `PollFd` entries (guaranteed by the safe wrapper,
+    // which passes a `&mut [PollFd]`) and a null sigmask. The kernel
+    // writes only `revents` within the slice. rcx/r11 are clobbered by
+    // the `syscall` instruction itself.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_PPOLL as isize => ret,
+            in("rdi") fds,
+            in("rsi") nfds,
+            in("rdx") timeout,
+            in("r10") 0usize,
+            in("r8") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Raw `ppoll`: negative return values are `-errno`.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn sys_ppoll(fds: *mut PollFd, nfds: usize, timeout: *const Timespec) -> isize {
+    const SYS_PPOLL: usize = 73;
+    let ret: isize;
+    // SAFETY: as in the x86_64 variant; aarch64 passes the syscall
+    // number in x8 and arguments in x0..x4.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") SYS_PPOLL,
+            inlateout("x0") fds as isize => ret,
+            in("x1") nfds,
+            in("x2") timeout,
+            in("x3") 0usize,
+            in("x4") 0usize,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+compile_error!(
+    "rw-server's readiness loop needs the ppoll syscall; \
+     only linux x86_64/aarch64 are wired up (add the syscall stanza for this target)"
+);
+
+/// Blocks until at least one entry of `fds` is ready, the `timeout`
+/// elapses (`None` = wait forever), or a signal interrupts. Returns the
+/// number of entries with nonzero `revents` (0 on timeout). `EINTR` is
+/// retried internally; every other kernel error surfaces as
+/// [`io::Error`].
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let ts = timeout.map(|d| Timespec {
+        tv_sec: d.as_secs() as i64,
+        tv_nsec: i64::from(d.subsec_nanos()),
+    });
+    loop {
+        let ts_ptr = ts.as_ref().map_or(std::ptr::null(), |t| t as *const _);
+        let ret = sys_ppoll(fds.as_mut_ptr(), fds.len(), ts_ptr);
+        const EINTR: isize = 4;
+        match ret {
+            n if n >= 0 => return Ok(n as usize),
+            n if -n == EINTR => continue,
+            n => return Err(io::Error::from_raw_os_error(-n as i32)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn timeout_expires_with_no_ready_fds() {
+        let (a, _b) = UnixStream::pair().expect("pair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let start = std::time::Instant::now();
+        let n = poll(&mut fds, Some(Duration::from_millis(30))).expect("poll");
+        assert_eq!(n, 0);
+        assert!(!fds[0].ready(POLLIN));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn written_bytes_make_the_reader_readable() {
+        let (a, mut b) = UnixStream::pair().expect("pair");
+        b.write_all(b"x").expect("write");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+        assert!(!fds[0].failed());
+    }
+
+    #[test]
+    fn an_idle_socket_is_immediately_writable() {
+        let (a, _b) = UnixStream::pair().expect("pair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLOUT));
+    }
+
+    #[test]
+    fn peer_close_reports_hangup() {
+        let (a, b) = UnixStream::pair().expect("pair");
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        // Linux reports EOF on a stream socket as POLLIN|POLLHUP.
+        assert!(fds[0].ready(POLLIN | POLLHUP));
+    }
+
+    #[test]
+    fn a_bad_fd_comes_back_as_pollnval_not_an_error() {
+        let mut fds = [PollFd::new(987_654, POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(50))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLNVAL));
+        assert!(fds[0].failed());
+    }
+}

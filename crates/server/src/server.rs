@@ -1,37 +1,71 @@
-//! The persistent TCP serving loop.
+//! The persistent TCP serving loop — a single-threaded readiness event
+//! loop in front of the worker pool.
 //!
 //! ```text
-//!                    ┌────────────────────────── rw-server ──────────────────────────┐
-//!  client A ──TCP──▶ │ conn handler A ─┐                                             │
-//!  client B ──TCP──▶ │ conn handler B ─┼─▶ bounded JobQueue ─▶ worker pool ─▶ engine  │
-//!  client C ──TCP──▶ │ conn handler C ─┘      (reject when      (scoped      + shared │
-//!                    │        ▲                 full:            threads)     cache   │
-//!                    │        └─── one reply channel per job ◀──────┘                 │
-//!                    └───────────────────────────────────────────────────────────────┘
+//!                 ┌──────────────────────────── rw-server ────────────────────────────┐
+//!                 │              event loop (one thread, ppoll)                       │
+//!  client A ─TCP─▶│ ┌─────────┐  read → frame → dispatch        ┌─────────────┐       │
+//!  client B ─TCP─▶│ │ conns:  │ ───────────────┬─ control ops ──│ answered    │       │
+//!  client C ─TCP─▶│ │ nonblk  │                └─ query/sleep ─▶│ bounded     │ worker│
+//!     ⋮           │ │ sockets │                                 │ JobQueue    │─▶pool │
+//!  client N ─TCP─▶│ │ + state │ ◀─ ordered slots ◀─ completions ◀─ (reject    │  +    │
+//!                 │ └─────────┘    → write-back     + wake pipe    when full) │ engine│
+//!                 └───────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Each accepted connection gets a handler thread that reads JSONL
-//! requests in order and writes exactly one response line per request —
-//! per-connection lock-step, so a client's answers can never interleave
-//! or reorder. Control requests (`load`/`unload`/`list`/`stats`/`ping`)
-//! are cheap and answered inline; `query` work is admitted to a
-//! **bounded** queue and picked up by the worker pool. When the queue is
-//! full the request is *rejected immediately* with a structured
-//! `overloaded` error — backpressure instead of unbounded buffering.
+//! Every connection is a nonblocking socket plus a small state machine
+//! ([`crate::conn::Conn`]): read buffer → [`crate::conn::LineFramer`] →
+//! per-request **response slot** → write buffer. One `ppoll` call
+//! ([`crate::poll`]) multiplexes all of them, so concurrency is bounded
+//! by fds (see [`ServerConfig::max_conns`]), not by threads — no
+//! per-connection stack, no 200ms read-timeout polling.
 //!
-//! Everything is std-only: `std::net` sockets, `std::thread::scope`
-//! workers (the `batch.rs` pattern, with a queue instead of an atomic
-//! index because work arrives over time), `Mutex`/`Condvar` queue.
+//! Requests **pipeline**: a client may stream many lines without
+//! waiting, and each is dispatched as it is framed. Cheap control
+//! requests (`load`/`unload`/`list`/`stats`/`metrics`/`ping`) are
+//! answered inline on the loop thread — they stay responsive even when
+//! every worker is busy and the queue is full. `query`/`sleep` work is
+//! admitted to the **bounded** queue and picked up by the worker pool;
+//! when the queue is full the request is *rejected immediately* with a
+//! structured `overloaded` error — backpressure instead of unbounded
+//! buffering. Completions return through a vector + self-wake pipe, and
+//! the per-connection slot queue guarantees answers flush in request
+//! order no matter how workers interleave.
+//!
+//! Overload and lifecycle behaviors, all on the loop thread:
+//!
+//! - **fd exhaustion** (`EMFILE`/`ENFILE` from `accept`): shed the
+//!   oldest idle connection and retry, or — with none to shed — pause
+//!   accepting with exponential backoff. Counted as `accept.errors`.
+//! - **connection ceiling** ([`ServerConfig::max_conns`]): accepted and
+//!   refused with one `overloaded` error line, so clients see a
+//!   structured answer instead of hanging in the backlog.
+//! - **idle timeout** ([`ServerConfig::idle_timeout_ms`]): connections
+//!   with nothing pending in either direction are evicted (counted as
+//!   `conns.idle_closed`).
+//! - **graceful drain** (`shutdown` op or [`Server::stop`]): reading
+//!   stops, in-flight requests complete and flush, new connections are
+//!   refused with `shutting-down`, and the loop exits when every
+//!   connection has drained (hard deadline: 10s).
+//!
+//! Everything is std-only: `std::net` sockets, a direct-syscall `ppoll`
+//! ([`crate::poll`]), `std::thread::scope` workers, `Mutex`/`Condvar`
+//! queue.
 
+use crate::conn::{Conn, Frame};
+use crate::poll::{self, PollFd, POLLHUP, POLLIN, POLLOUT};
 use crate::proto::{self, ErrorCode, ProtoError, Request};
 use crate::queue::{JobQueue, PushError};
 use crate::registry::{KbRegistry, LoadedKb};
 use rw_core::{AnswerCache, StageTotals};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How a [`Server`] is built.
@@ -47,6 +81,12 @@ pub struct ServerConfig {
     /// Admission-queue capacity: queries beyond this many pending are
     /// rejected with an `overloaded` error.
     pub max_queue: usize,
+    /// Open-connection ceiling: connections beyond this are accepted
+    /// and refused with one `overloaded` error line.
+    pub max_conns: usize,
+    /// Evict connections idle (nothing pending in either direction) for
+    /// this long, in milliseconds; `0` disables eviction.
+    pub idle_timeout_ms: u64,
     /// Honor the `sleep` test op (never set in production; lets tests
     /// occupy workers deterministically to exercise backpressure).
     pub test_ops: bool,
@@ -68,6 +108,8 @@ impl Default for ServerConfig {
             threads: 0,
             cache_shards: 16,
             max_queue: 1024,
+            max_conns: 10_000,
+            idle_timeout_ms: 0,
             test_ops: false,
             slow_log: None,
             slow_ms: 100,
@@ -82,6 +124,19 @@ impl Default for ServerConfig {
 /// connection's buffering no matter what the client streams. Inline
 /// `load` texts for realistic KBs are kilobytes, so 4 MiB is generous.
 pub const MAX_LINE: usize = 4 << 20;
+
+/// Hard ceiling on a graceful drain: connections that have not
+/// delivered everything they owe within this window are force-closed so
+/// [`Server::run`] always returns.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Largest accept burst per loop iteration — bounds time spent away
+/// from established connections when a connect storm hits.
+const ACCEPT_BURST: usize = 256;
+
+/// Read chunks consumed per connection per iteration (fairness: one
+/// fast writer may not monopolize the loop).
+const READS_PER_TICK: usize = 16;
 
 /// Lifetime counters the `stats` op reports.
 #[derive(Default)]
@@ -98,18 +153,51 @@ enum Work {
 
 struct Job {
     work: Work,
-    reply: mpsc::Sender<String>,
+    /// The connection whose response slot `seq` this job answers.
+    conn: u64,
+    /// The reserved slot in that connection's ordered response queue.
+    seq: u64,
     /// When the job was admitted — the worker reports the pop-side delta
-    /// as queue wait.
+    /// as queue wait and backdates the request span to it.
     enqueued: Instant,
     /// Process-unique id tying this request's span tree, access-log line
     /// and slow-log line together.
     trace_id: u64,
 }
 
+/// A finished job on its way back from a worker to the event loop.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    line: String,
+}
+
+/// How the event loop should deliver a request's answer.
+enum Handled {
+    /// Answered on the loop thread: fill the slot now.
+    Inline {
+        line: String,
+        /// The request asked the server to shut down; close this
+        /// connection once the acknowledgment flushes.
+        shutdown: bool,
+    },
+    /// Admitted to the worker queue; the slot fills on completion.
+    Queued,
+}
+
+impl Handled {
+    fn inline(line: String) -> Handled {
+        Handled::Inline {
+            line,
+            shutdown: false,
+        }
+    }
+}
+
 /// A bound, resident serving process: KB registry, shared cache, worker
 /// pool and admission queue. [`Server::run`] blocks until a `shutdown`
-/// request (or [`Server::stop`]) arrives.
+/// request (or [`Server::stop`]) arrives and the graceful drain
+/// finishes.
 pub struct Server {
     listener: TcpListener,
     registry: KbRegistry,
@@ -118,10 +206,20 @@ pub struct Server {
     /// the hot path locks only its own uncontended slot; `stats` merges
     /// them on demand.
     totals: Vec<Mutex<Totals>>,
+    /// Worker → event-loop handoff: finished jobs land here and a byte
+    /// on the wake pipe interrupts the loop's `ppoll`.
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the wake pipe, present while [`Server::run`] lives.
+    wake: Mutex<Option<UnixStream>>,
     rejected: AtomicU64,
+    accept_errors: AtomicU64,
+    /// Open connections, mirrored by the event loop for `metrics`.
+    conns_open: AtomicU64,
     stop: AtomicBool,
     started: Instant,
     threads: usize,
+    max_conns: usize,
+    idle_timeout_ms: u64,
     test_ops: bool,
     slow_log: Option<Mutex<std::fs::File>>,
     slow_ms: u64,
@@ -164,10 +262,16 @@ impl Server {
             totals: (0..threads)
                 .map(|_| Mutex::new(Totals::default()))
                 .collect(),
+            completions: Mutex::new(Vec::new()),
+            wake: Mutex::new(None),
             rejected: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             started: Instant::now(),
             threads,
+            max_conns: config.max_conns.max(1),
+            idle_timeout_ms: config.idle_timeout_ms,
             test_ops: config.test_ops,
             slow_log,
             slow_ms: config.slow_ms,
@@ -195,39 +299,347 @@ impl Server {
         self.queue.capacity()
     }
 
-    /// Requests shutdown: the accept loop, handlers and workers wind
-    /// down and [`Server::run`] returns.
-    pub fn stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+    /// The open-connection ceiling.
+    pub fn max_conns(&self) -> usize {
+        self.max_conns
     }
 
-    /// Serves until shutdown. Workers, connection handlers and the
-    /// accept loop all live in one scope, so returning means everything
-    /// is joined.
+    /// The idle-eviction timeout in milliseconds (0 = never evict).
+    pub fn idle_timeout_ms(&self) -> u64 {
+        self.idle_timeout_ms
+    }
+
+    /// Requests shutdown: the event loop drains gracefully (in-flight
+    /// requests complete, new accepts are refused) and [`Server::run`]
+    /// returns.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake_loop();
+    }
+
+    /// Writes one byte into the wake pipe so a blocked `ppoll` returns
+    /// now. Best-effort: a full pipe already guarantees a wakeup, and a
+    /// missing pipe means no loop is running.
+    fn wake_loop(&self) {
+        if let Some(stream) = self.wake.lock().expect("wake lock poisoned").as_ref() {
+            let mut writer = stream;
+            let _ = writer.write(&[1]);
+        }
+    }
+
+    /// Serves until shutdown, then drains. Workers and the event loop
+    /// all live in one scope, so returning means everything is joined.
     pub fn run(&self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        std::thread::scope(|scope| {
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        *self.wake.lock().expect("wake lock poisoned") = Some(wake_tx);
+        let result = std::thread::scope(|scope| {
             for worker in 0..self.threads {
                 scope.spawn(move || self.worker_loop(worker));
             }
-            while !self.stop.load(Ordering::SeqCst) {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        scope.spawn(move || self.handle_connection(stream));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    // Transient accept errors (e.g. a connection reset
-                    // before accept) must not kill the server.
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            let result = self.event_loop(&wake_rx);
+            // Workers drain everything already admitted, then exit.
+            self.queue.close();
+            result
+        });
+        *self.wake.lock().expect("wake lock poisoned") = None;
+        result
+    }
+
+    /// The readiness loop: one `ppoll` over the wake pipe, the listener
+    /// and every connection, then one pass of completions → accepts →
+    /// per-connection IO. Runs until a graceful drain empties the
+    /// connection table (or the drain deadline forces it).
+    fn event_loop(&self, wake_rx: &UnixStream) -> std::io::Result<()> {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id: u64 = 0;
+        // fd-exhaustion backoff: accepting pauses until the deadline,
+        // doubling on repeat up to one second.
+        let mut accept_pause: Option<Instant> = None;
+        let mut backoff = Duration::from_millis(10);
+        let mut drain_deadline: Option<Instant> = None;
+        let idle_timeout =
+            (self.idle_timeout_ms > 0).then(|| Duration::from_millis(self.idle_timeout_ms));
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut ids: Vec<u64> = Vec::new();
+        let mut chunk = [0u8; 8192];
+        let mut frames: Vec<Frame> = Vec::new();
+
+        loop {
+            // ---- lifecycle: drain, closes, idle eviction ----
+            if self.stop.load(Ordering::SeqCst) && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+                // Stop reading everywhere; finish what each connection
+                // is owed, then close it.
+                for conn in conns.values_mut() {
+                    conn.closing = true;
                 }
             }
-            // Workers drain admitted jobs, then exit; handlers notice the
-            // stop flag on their next read timeout.
-            self.queue.close();
-        });
+            conns.retain(|_, c| !(c.closing && c.drained()));
+            if let Some(deadline) = drain_deadline {
+                if conns.is_empty() || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            if let Some(timeout) = idle_timeout {
+                let now = Instant::now();
+                let evicted: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| {
+                        c.is_idle() && !c.closing && now.duration_since(c.last_activity) >= timeout
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in evicted {
+                    conns.remove(&id);
+                    Self::count("conns.idle_closed");
+                }
+            }
+            self.conns_open.store(conns.len() as u64, Ordering::Relaxed);
+            if rw_obs::enabled() {
+                rw_obs::registry()
+                    .gauge("conns.open")
+                    .set(conns.len() as u64);
+            }
+
+            // ---- build the poll set ----
+            fds.clear();
+            ids.clear();
+            fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+            if accept_pause.is_some_and(|until| Instant::now() >= until) {
+                accept_pause = None;
+            }
+            // The listener stays polled during drain: connects are
+            // answered with a structured refusal instead of hanging in
+            // the backlog until the listener drops.
+            let listener_idx = if accept_pause.is_none() {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                Some(fds.len() - 1)
+            } else {
+                None
+            };
+            let conn_base = fds.len();
+            for (&id, conn) in &conns {
+                let mut events = 0i16;
+                if !conn.closing && !conn.read_paused() {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                // events == 0 still reports POLLERR/POLLHUP, which is
+                // exactly what a quiesced connection needs watched.
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                ids.push(id);
+            }
+            // The wake pipe handles every urgent wakeup (completions,
+            // stop); the timeout only bounds deadline latency.
+            let timeout = if drain_deadline.is_some() || accept_pause.is_some() {
+                Duration::from_millis(10)
+            } else if let Some(t) = idle_timeout {
+                t.clamp(Duration::from_millis(10), Duration::from_millis(250))
+            } else {
+                Duration::from_millis(500)
+            };
+            poll::poll(&mut fds, Some(timeout))?;
+
+            // ---- drain the wake pipe, apply completions ----
+            if fds[0].ready(POLLIN) {
+                let mut wake = wake_rx;
+                while matches!(wake.read(&mut chunk), Ok(n) if n > 0) {}
+            }
+            let done =
+                std::mem::take(&mut *self.completions.lock().expect("completions lock poisoned"));
+            for completion in done {
+                let Some(conn) = conns.get_mut(&completion.conn) else {
+                    // The connection died while its query ran; the
+                    // answer is simply dropped.
+                    continue;
+                };
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.fill_slot(completion.seq, completion.line);
+                conn.last_activity = Instant::now();
+                if conn.flush().is_err() {
+                    conns.remove(&completion.conn);
+                }
+            }
+
+            // ---- accept ----
+            if listener_idx.is_some_and(|i| fds[i].ready(POLLIN)) {
+                for _ in 0..ACCEPT_BURST {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            backoff = Duration::from_millis(10);
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            if drain_deadline.is_some() {
+                                Self::refuse(
+                                    stream,
+                                    ProtoError {
+                                        code: ErrorCode::ShuttingDown,
+                                        message: "server is shutting down".to_string(),
+                                    },
+                                );
+                                continue;
+                            }
+                            if conns.len() >= self.max_conns {
+                                Self::refuse(
+                                    stream,
+                                    ProtoError {
+                                        code: ErrorCode::Overloaded,
+                                        message: format!(
+                                            "connection limit reached ({} open); retry later",
+                                            self.max_conns
+                                        ),
+                                    },
+                                );
+                                Self::count("conns.refused");
+                                continue;
+                            }
+                            let id = next_id;
+                            next_id += 1;
+                            conns.insert(id, Conn::new(stream, MAX_LINE));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            self.accept_errors.fetch_add(1, Ordering::Relaxed);
+                            Self::count("accept.errors");
+                            const EMFILE: i32 = 24;
+                            const ENFILE: i32 = 23;
+                            if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) {
+                                // fd exhaustion: shed the oldest idle
+                                // connection and retry the accept; with
+                                // nothing to shed, pause accepting with
+                                // exponential backoff (established
+                                // connections keep full service).
+                                let oldest = conns
+                                    .iter()
+                                    .filter(|(_, c)| c.is_idle() && !c.closing)
+                                    .min_by_key(|(_, c)| c.last_activity)
+                                    .map(|(&id, _)| id);
+                                match oldest {
+                                    Some(id) => {
+                                        conns.remove(&id);
+                                        Self::count("conns.idle_closed");
+                                        continue;
+                                    }
+                                    None => {
+                                        accept_pause = Some(Instant::now() + backoff);
+                                        backoff = (backoff * 2).min(Duration::from_secs(1));
+                                        break;
+                                    }
+                                }
+                            }
+                            // Transient (ECONNABORTED & co): the failed
+                            // accept consumed the pending connection;
+                            // return to poll rather than spin here.
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // ---- per-connection IO ----
+            for (slot, &id) in fds[conn_base..].iter().zip(ids.iter()) {
+                let Some(conn) = conns.get_mut(&id) else {
+                    continue; // shed or closed earlier this iteration
+                };
+                if slot.failed() {
+                    conns.remove(&id);
+                    continue;
+                }
+                if slot.ready(POLLOUT) && conn.flush().is_err() {
+                    conns.remove(&id);
+                    continue;
+                }
+                if conn.closing || !slot.ready(POLLIN | POLLHUP) {
+                    continue;
+                }
+                frames.clear();
+                let mut eof = false;
+                let mut gone = false;
+                for _ in 0..READS_PER_TICK {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.last_activity = Instant::now();
+                            conn.framer.push(&chunk[..n], &mut frames);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            gone = true;
+                            break;
+                        }
+                    }
+                }
+                if gone {
+                    conns.remove(&id);
+                    continue;
+                }
+                if eof {
+                    // Half-close: a final line without a trailing
+                    // newline still deserves its answer; everything
+                    // owed flushes before the connection closes.
+                    if let Some(line) = conn.framer.finish() {
+                        frames.push(Frame::Line(line));
+                    }
+                    conn.closing = true;
+                }
+                let mut acked_shutdown = false;
+                for frame in frames.drain(..) {
+                    let seq = conn.alloc_slot();
+                    match frame {
+                        Frame::Oversized => {
+                            let error = ProtoError::bad_request(format!(
+                                "request line exceeds {MAX_LINE} bytes"
+                            ));
+                            conn.fill_slot(seq, error.line());
+                        }
+                        Frame::Line(line) => match self.handle_line(&line, id, seq) {
+                            Handled::Inline { line, shutdown } => {
+                                conn.fill_slot(seq, line);
+                                acked_shutdown |= shutdown;
+                            }
+                            Handled::Queued => conn.inflight += 1,
+                        },
+                    }
+                }
+                if acked_shutdown {
+                    conn.closing = true;
+                }
+                if conn.flush().is_err() {
+                    conns.remove(&id);
+                }
+            }
+        }
+        self.conns_open.store(0, Ordering::Relaxed);
+        if rw_obs::enabled() {
+            rw_obs::registry().gauge("conns.open").set(0);
+        }
         Ok(())
+    }
+
+    /// Best-effort one-line rejection for a connection the loop will not
+    /// admit (ceiling reached or draining); the socket is dropped after.
+    fn refuse(mut stream: TcpStream, error: ProtoError) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.write_all(format!("{}\n", error.line()).as_bytes());
+    }
+
+    /// Increments a registry counter when observability is recording.
+    fn count(name: &str) {
+        if rw_obs::enabled() {
+            rw_obs::registry().counter(name).inc();
+        }
     }
 
     fn worker_loop(&self, worker: usize) {
@@ -241,13 +653,14 @@ impl Server {
                             .record_us(queue_wait.as_micros() as u64);
                     }
                     // The span tree: request ⊃ {queue-wait, answer ⊃ stage:*}.
-                    // Queue wait elapsed before the request span opened, so
-                    // it is attached manually; stage spans come from the
-                    // response trace after the answer span has closed.
+                    // The request span is backdated to admission time, so the
+                    // queue-wait child always nests inside it; stage spans
+                    // come from the response trace after the answer span has
+                    // closed.
                     let recorder = rw_obs::SpanRecorder::new(job.trace_id);
                     let started = Instant::now();
                     let (result, answer_id) = {
-                        let request = recorder.span("request");
+                        let request = recorder.span_started_at("request", job.enqueued);
                         recorder.add(
                             Some(request.id()),
                             "queue-wait",
@@ -286,145 +699,46 @@ impl Server {
                     r#"{"ok":true,"op":"sleep"}"#.to_string()
                 }
             };
-            // A vanished requester (disconnected mid-wait) is not an
-            // error; the answer is simply dropped.
-            let _ = job.reply.send(line);
+            self.complete(job.conn, job.seq, line);
         }
     }
 
-    /// Reads request lines until EOF/shutdown, writing one response line
-    /// per request. Raw bytes are decoded lossily so even non-UTF-8
-    /// garbage yields a structured parse error instead of a disconnect.
-    ///
-    /// The loop reads fixed-size chunks and assembles lines itself (a
-    /// `read_until` could grow without bound on a fast newline-free
-    /// stream): per-connection memory is capped at [`MAX_LINE`] + one
-    /// chunk. An oversized line is answered with one `bad-request`
-    /// error, and the connection resynchronizes at the next newline.
-    fn handle_connection(&self, mut stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        let _ = stream.set_nodelay(true);
-        let mut writer = match stream.try_clone() {
-            Ok(w) => w,
-            Err(_) => return,
-        };
-        // One response line per request; `true` asks to close.
-        let mut respond = |response: &str, shutdown: bool| -> bool {
-            writer
-                .write_all(format!("{response}\n").as_bytes())
-                .and_then(|()| writer.flush())
-                .is_err()
-                || shutdown
-        };
-        let mut pending: Vec<u8> = Vec::new();
-        let mut discarding = false; // inside an oversized (already answered) line
-        let mut chunk = [0u8; 8192];
-        'conn: loop {
-            match stream.read(&mut chunk) {
-                // EOF: the client closed its half. A final line without a
-                // trailing newline still deserves its answer.
-                Ok(0) => {
-                    let line = String::from_utf8_lossy(&pending).trim().to_string();
-                    if !discarding && !line.is_empty() {
-                        let (response, _) = self.handle_line(&line);
-                        let _ = respond(&response, false);
-                    }
-                    break;
-                }
-                Ok(n) => {
-                    let mut rest = &chunk[..n];
-                    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
-                        let (head, tail) = rest.split_at(pos);
-                        rest = &tail[1..];
-                        if discarding {
-                            // The tail end of an oversized line: its
-                            // error was already sent, just resync.
-                            discarding = false;
-                            continue;
-                        }
-                        pending.extend_from_slice(head);
-                        // The cap applies even when the newline arrives
-                        // in the same chunk as the overflowing tail.
-                        if pending.len() > MAX_LINE {
-                            pending.clear();
-                            let error = ProtoError::bad_request(format!(
-                                "request line exceeds {MAX_LINE} bytes"
-                            ));
-                            if respond(&error.line(), false) {
-                                break 'conn;
-                            }
-                            continue;
-                        }
-                        let line = String::from_utf8_lossy(&pending).trim().to_string();
-                        pending.clear();
-                        if line.is_empty() {
-                            continue;
-                        }
-                        let (response, shutdown) = self.handle_line(&line);
-                        if respond(&response, shutdown) {
-                            break 'conn;
-                        }
-                    }
-                    if discarding {
-                        continue;
-                    }
-                    if pending.len() + rest.len() > MAX_LINE {
-                        discarding = true;
-                        pending.clear();
-                        let error = ProtoError::bad_request(format!(
-                            "request line exceeds {MAX_LINE} bytes"
-                        ));
-                        if respond(&error.line(), false) {
-                            break;
-                        }
-                    } else {
-                        pending.extend_from_slice(rest);
-                    }
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock
-                            | std::io::ErrorKind::TimedOut
-                            | std::io::ErrorKind::Interrupted
-                    ) =>
-                {
-                    if self.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
+    /// Hands a finished job back to the event loop and wakes it.
+    fn complete(&self, conn: u64, seq: u64, line: String) {
+        self.completions
+            .lock()
+            .expect("completions lock poisoned")
+            .push(Completion { conn, seq, line });
+        self.wake_loop();
     }
 
-    /// Answers one request line; the bool asks the connection to close
-    /// (shutdown acknowledged).
-    fn handle_line(&self, line: &str) -> (String, bool) {
+    /// Answers one request line: control ops inline, `query`/`sleep`
+    /// through the admission queue into slot `seq` of connection `conn`.
+    fn handle_line(&self, line: &str, conn: u64, seq: u64) -> Handled {
         let request = match proto::parse_request(line) {
             Ok(r) => r,
-            Err(e) => return (e.line(), false),
+            Err(e) => return Handled::inline(e.line()),
         };
         match request {
-            Request::Ping => (r#"{"ok":true,"op":"ping"}"#.to_string(), false),
-            Request::List => (self.registry.list_json(), false),
-            Request::Stats => (self.stats_json(), false),
-            Request::Metrics => (self.metrics_json(), false),
+            Request::Ping => Handled::inline(r#"{"ok":true,"op":"ping"}"#.to_string()),
+            Request::List => Handled::inline(self.registry.list_json()),
+            Request::Stats => Handled::inline(self.stats_json()),
+            Request::Metrics => Handled::inline(self.metrics_json()),
             Request::Shutdown => {
                 self.stop();
-                (r#"{"ok":true,"op":"shutdown"}"#.to_string(), true)
+                Handled::Inline {
+                    line: r#"{"ok":true,"op":"shutdown"}"#.to_string(),
+                    shutdown: true,
+                }
             }
             Request::Unload { kb } => {
                 if self.registry.unload(&kb) {
-                    (
-                        format!(
-                            r#"{{"ok":true,"op":"unload","kb":"{}"}}"#,
-                            crate::json::escape(&kb)
-                        ),
-                        false,
-                    )
+                    Handled::inline(format!(
+                        r#"{{"ok":true,"op":"unload","kb":"{}"}}"#,
+                        crate::json::escape(&kb)
+                    ))
                 } else {
-                    (Self::unknown_kb(&kb).line(), false)
+                    Handled::inline(Self::unknown_kb(&kb).line())
                 }
             }
             Request::Load {
@@ -433,76 +747,67 @@ impl Server {
                 approx,
                 scan,
             } => match self.registry.load(&kb, &source, approx.as_ref(), scan) {
-                Ok(loaded) => (
-                    format!(
-                        r#"{{"ok":true,"op":"load","kb":"{}","fingerprint":"{:016x}","statements":{},"approx":{}}}"#,
-                        crate::json::escape(&kb),
-                        loaded.fingerprint,
-                        loaded.kb.conjuncts().len(),
-                        loaded.approx
-                    ),
-                    false,
-                ),
-                Err(e) => (e.line(), false),
+                Ok(loaded) => Handled::inline(format!(
+                    r#"{{"ok":true,"op":"load","kb":"{}","fingerprint":"{:016x}","statements":{},"approx":{}}}"#,
+                    crate::json::escape(&kb),
+                    loaded.fingerprint,
+                    loaded.kb.conjuncts().len(),
+                    loaded.approx
+                )),
+                Err(e) => Handled::inline(e.line()),
             },
             Request::Query { kb, query } => {
                 let Some(loaded) = self.registry.get(&kb) else {
-                    return (Self::unknown_kb(&kb).line(), false);
+                    return Handled::inline(Self::unknown_kb(&kb).line());
                 };
-                (self.submit(Work::Query { kb: loaded, query }), false)
+                self.admit(Work::Query { kb: loaded, query }, conn, seq)
             }
             Request::Sleep { ms } => {
                 if !self.test_ops {
-                    return (
+                    return Handled::inline(
                         ProtoError::bad_request("`sleep` is a test-only op").line(),
-                        false,
                     );
                 }
-                (self.submit(Work::Sleep { ms }), false)
+                self.admit(Work::Sleep { ms }, conn, seq)
             }
         }
     }
 
-    /// Admits work to the queue and waits for the worker's answer; a
-    /// full queue is answered immediately with `overloaded`.
-    fn submit(&self, work: Work) -> String {
-        let (reply, answer) = mpsc::channel();
+    /// Admits work to the queue; a full queue is answered immediately
+    /// with `overloaded` — the event loop never blocks on admission.
+    fn admit(&self, work: Work, conn: u64, seq: u64) -> Handled {
         let job = Job {
             work,
-            reply,
+            conn,
+            seq,
             enqueued: Instant::now(),
             trace_id: rw_obs::next_trace_id(),
         };
         match self.queue.push(job) {
-            // A lost reply channel means shutdown won the race — tell
-            // the client the truth (`overloaded` would invite retries
-            // against a dying process).
-            Ok(()) => answer.recv().unwrap_or_else(|_| {
-                ProtoError {
-                    code: ErrorCode::ShuttingDown,
-                    message: "server shut down before answering".to_string(),
-                }
-                .line()
-            }),
+            Ok(()) => Handled::Queued,
             Err(PushError::Full) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 if rw_obs::enabled() {
                     rw_obs::registry().counter("queue.rejected").inc();
                 }
+                Handled::inline(
+                    ProtoError {
+                        code: ErrorCode::Overloaded,
+                        message: format!(
+                            "admission queue full ({} pending); retry later",
+                            self.queue.capacity()
+                        ),
+                    }
+                    .line(),
+                )
+            }
+            Err(PushError::Closed) => Handled::inline(
                 ProtoError {
-                    code: ErrorCode::Overloaded,
-                    message: format!(
-                        "admission queue full ({} pending); retry later",
-                        self.queue.capacity()
-                    ),
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".to_string(),
                 }
-                .line()
-            }
-            Err(PushError::Closed) => ProtoError {
-                code: ErrorCode::ShuttingDown,
-                message: "server is shutting down".to_string(),
-            }
-            .line(),
+                .line(),
+            ),
         }
     }
 
@@ -574,10 +879,14 @@ impl Server {
     }
 
     /// The `metrics` op: the full observability-registry snapshot, with
-    /// the admission-queue depth gauge refreshed at snapshot time.
+    /// the admission-queue depth and open-connection gauges refreshed at
+    /// snapshot time.
     fn metrics_json(&self) -> String {
         let registry = rw_obs::registry();
         registry.gauge("queue.depth").set(self.queue.depth() as u64);
+        registry
+            .gauge("conns.open")
+            .set(self.conns_open.load(Ordering::Relaxed));
         format!(
             r#"{{"ok":true,"op":"metrics","uptime_us":{},"metrics":{}}}"#,
             self.started.elapsed().as_micros(),

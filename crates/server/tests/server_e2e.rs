@@ -280,6 +280,154 @@ fn exact_and_approx_sessions_coexist_per_loaded_kb() {
 }
 
 #[test]
+fn pipelined_requests_answer_in_request_order_and_resync_after_oversize() {
+    with_server(config(), |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        // One burst, no reads in between: control ops, queries, a
+        // malformed line and an oversized line all pipeline through the
+        // event loop, and the answers come back strictly in request
+        // order — the oversized line costs exactly one error and the
+        // requests behind it stay correctly framed (the satellite-3
+        // regression pin, at wire level).
+        c.send_line(r#"{"op":"ping"}"#).unwrap();
+        c.send_line(&load_line("med")).unwrap();
+        c.send_line(r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#)
+            .unwrap();
+        c.send_line("garbage that is not json").unwrap();
+        c.send_line(&"x".repeat(rw_server::MAX_LINE + 1)).unwrap();
+        c.send_line(r#"{"op":"query","kb":"med","query":"!Hep(Eric)"}"#)
+            .unwrap();
+        c.send_line(r#"{"op":"ping"}"#).unwrap();
+
+        assert_eq!(c.recv_line().unwrap(), r#"{"ok":true,"op":"ping"}"#);
+        assert!(c.recv_line().unwrap().contains(r#""op":"load""#));
+        let first = c.recv_line().unwrap();
+        assert!(
+            first.contains(r#""query":"Hep(Eric)""#) && first.contains(r#""value":0.8"#),
+            "{first}"
+        );
+        let bad = c.recv_line().unwrap();
+        assert!(bad.contains(r#""code":"bad-request""#), "{bad}");
+        let oversized = c.recv_line().unwrap();
+        assert!(
+            oversized.contains(r#""code":"bad-request""#) && oversized.contains("exceeds"),
+            "{oversized}"
+        );
+        let second = c.recv_line().unwrap();
+        assert!(
+            second.contains(r#""query":"!Hep(Eric)""#) && second.contains(r#""value":0.2"#),
+            "{second}"
+        );
+        assert_eq!(c.recv_line().unwrap(), r#"{"ok":true,"op":"ping"}"#);
+    });
+}
+
+#[test]
+fn idle_connections_are_evicted_and_active_ones_are_not() {
+    with_server(
+        ServerConfig {
+            threads: 1,
+            idle_timeout_ms: 150,
+            ..ServerConfig::default()
+        },
+        |addr| {
+            let mut idle = Client::connect(addr).unwrap();
+            assert!(idle
+                .request_line(r#"{"op":"ping"}"#)
+                .unwrap()
+                .contains("ping"));
+            let mut active = Client::connect(addr).unwrap();
+            // The active connection keeps traffic flowing through the
+            // idle window; the quiet one gets evicted.
+            for _ in 0..12 {
+                std::thread::sleep(Duration::from_millis(50));
+                assert!(active
+                    .request_line(r#"{"op":"ping"}"#)
+                    .unwrap()
+                    .contains("ping"));
+            }
+            let evicted = idle.request_line(r#"{"op":"ping"}"#);
+            assert!(evicted.is_err(), "idle conn survived: {evicted:?}");
+            let metrics = active.request_line(r#"{"op":"metrics"}"#).unwrap();
+            let v = Value::parse(&metrics).unwrap();
+            let closed = v
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("conns.idle_closed"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            assert!(closed >= 1, "{metrics}");
+        },
+    );
+}
+
+#[test]
+fn connections_past_the_ceiling_are_refused_with_a_structured_error() {
+    with_server(
+        ServerConfig {
+            threads: 1,
+            max_conns: 2,
+            ..ServerConfig::default()
+        },
+        |addr| {
+            let mut a = Client::connect(addr).unwrap();
+            let mut b = Client::connect(addr).unwrap();
+            assert!(a.request_line(r#"{"op":"ping"}"#).unwrap().contains("ping"));
+            assert!(b.request_line(r#"{"op":"ping"}"#).unwrap().contains("ping"));
+            // The third connection is accepted just long enough to be
+            // told why it is refused.
+            let mut refused = Client::connect(addr).unwrap();
+            let line = refused.recv_line().unwrap();
+            assert!(line.contains(r#""code":"overloaded""#), "{line}");
+            assert!(line.contains("connection limit reached"), "{line}");
+            // Closing one admitted connection frees the slot.
+            drop(a);
+            std::thread::sleep(Duration::from_millis(100));
+            let mut c = Client::connect(addr).unwrap();
+            assert!(c.request_line(r#"{"op":"ping"}"#).unwrap().contains("ping"));
+        },
+    );
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_work_and_refuses_new_connects() {
+    let server = Arc::new(
+        Server::bind(ServerConfig {
+            threads: 1,
+            test_ops: true,
+            ..ServerConfig::default()
+        })
+        .unwrap(),
+    );
+    let addr = server.local_addr().unwrap();
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+
+    // A request is mid-flight on the single worker when shutdown lands.
+    let mut inflight = Client::connect(addr).unwrap();
+    inflight.send_line(r#"{"op":"sleep","ms":700}"#).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut ctl = Client::connect(addr).unwrap();
+    assert!(ctl
+        .request_line(r#"{"op":"shutdown"}"#)
+        .unwrap()
+        .contains("shutdown"));
+
+    // While the drain waits on the in-flight sleep, a new connection is
+    // told the server is going away instead of hanging in the backlog.
+    let mut late = Client::connect(addr).unwrap();
+    let refusal = late.recv_line().unwrap();
+    assert!(refusal.contains(r#""code":"shutting-down""#), "{refusal}");
+
+    // The admitted request still completes and flushes before close.
+    assert_eq!(inflight.recv_line().unwrap(), r#"{"ok":true,"op":"sleep"}"#);
+    runner.join().expect("run() returns once drained");
+}
+
+#[test]
 fn shutdown_request_stops_the_whole_server() {
     let server = Server::bind(config()).unwrap();
     let addr = server.local_addr().unwrap();

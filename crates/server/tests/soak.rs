@@ -9,7 +9,7 @@
 //! it in a hard timeout all the same).
 
 use rw_server::{Client, Server, ServerConfig, Value};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 const CLIENTS: usize = 8;
 const QUERIES_PER_CLIENT: usize = 100;
@@ -148,6 +148,217 @@ fn eight_clients_hammering_one_server_stay_consistent() {
     assert!(hits > 0, "shared cache reported no hits: {stats}");
 
     assert!(c
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown")
+        .contains("shutdown"));
+    runner.join().expect("server thread");
+}
+
+// ---------------------------------------------------------------------
+// 1000-connection soak (release tier)
+// ---------------------------------------------------------------------
+
+const SOAK_CONNS: usize = 1000;
+const DRIVERS: usize = 20;
+const CONNS_PER_DRIVER: usize = SOAK_CONNS / DRIVERS;
+
+/// The `"belief":{...}` fragment of a query response: the part that
+/// must be bit-identical across every connection (timings and cache
+/// flags may legitimately differ).
+fn belief_fragment(line: &str) -> &str {
+    let start = line.find(r#""belief":"#).expect("response has a belief");
+    let rest = &line[start..];
+    let end = rest
+        .find(r#","provenance""#)
+        .expect("belief ends at provenance");
+    &rest[..end]
+}
+
+/// 1000 simultaneous connections, all held open at once (checked via
+/// the `conns.open` gauge while every driver is parked at a barrier),
+/// each pipelining its queries in one burst and reading the answers
+/// back. The event loop must keep every connection's responses in
+/// request order, uncorrupted, and bit-identical to a single reference
+/// connection's answers — at a connection count where the old
+/// thread-per-connection design would need a thousand OS threads.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "1000-connection soak is release-tier; run with --release"
+)]
+fn thousand_connections_pipelined_stay_ordered_and_bit_identical() {
+    let server = Arc::new(
+        Server::bind(ServerConfig {
+            threads: 4,
+            cache_shards: 8,
+            max_queue: 8192,
+            ..ServerConfig::default()
+        })
+        .expect("bind"),
+    );
+    server
+        .registry()
+        .insert("soak", rw_server::parse_kb(KB).expect("KB parses"));
+    let addr = server.local_addr().expect("addr");
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+
+    // Canonical answers from a reference connection, before the storm.
+    let mut reference = Client::connect(addr).expect("reference connect");
+    let canonical: Vec<(String, String)> = MIX
+        .iter()
+        .map(|(query, _)| {
+            let line = format!(r#"{{"op":"query","kb":"soak","query":"{query}"}}"#);
+            let response = reference.request_line(&line).expect("reference query");
+            (query.to_string(), belief_fragment(&response).to_string())
+        })
+        .collect();
+    let canonical = Arc::new(canonical);
+
+    // Two barriers, main thread included in both: at `all_open` every
+    // driver has connected AND pinged each of its connections (a ping
+    // response proves the event loop registered it — a completed TCP
+    // handshake alone would not), so the main thread can read the
+    // `conns.open` gauge with the full population guaranteed open.
+    // `storm_start` then releases the drivers into the pipelined burst.
+    let all_open = Arc::new(Barrier::new(DRIVERS + 1));
+    let storm_start = Arc::new(Barrier::new(DRIVERS + 1));
+
+    let failures: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..DRIVERS)
+            .map(|driver| {
+                let canonical = Arc::clone(&canonical);
+                let all_open = Arc::clone(&all_open);
+                let storm_start = Arc::clone(&storm_start);
+                scope.spawn(move || -> Vec<String> {
+                    let mut problems = Vec::new();
+                    let mut conns: Vec<Client> = (0..CONNS_PER_DRIVER)
+                        .map(|_| Client::connect(addr).expect("soak connect"))
+                        .collect();
+                    for conn in conns.iter_mut() {
+                        let pong = conn.request_line(r#"{"op":"ping"}"#).expect("ping");
+                        assert!(pong.contains("ping"), "{pong}");
+                    }
+                    all_open.wait();
+                    storm_start.wait();
+                    // Pipelined burst: write every request on every
+                    // connection before reading anything back. Each
+                    // connection walks the mix at its own offset so the
+                    // concurrent cache traffic varies.
+                    for (c_idx, conn) in conns.iter_mut().enumerate() {
+                        for q_idx in 0..canonical.len() {
+                            let (query, _) = &canonical[(q_idx + c_idx + driver) % canonical.len()];
+                            let line = format!(r#"{{"op":"query","kb":"soak","query":"{query}"}}"#);
+                            if let Err(e) = conn.send_line(&line) {
+                                problems.push(format!("driver {driver} conn {c_idx}: send {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    for (c_idx, conn) in conns.iter_mut().enumerate() {
+                        for q_idx in 0..canonical.len() {
+                            let (query, fragment) =
+                                &canonical[(q_idx + c_idx + driver) % canonical.len()];
+                            let response = match conn.recv_line() {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    problems.push(format!(
+                                        "driver {driver} conn {c_idx} q={q_idx}: recv {e}"
+                                    ));
+                                    break;
+                                }
+                            };
+                            if let Err(e) = Value::parse(&response) {
+                                problems.push(format!(
+                                    "driver {driver} conn {c_idx} q={q_idx}: \
+                                     corrupt {response:?}: {e}"
+                                ));
+                                continue;
+                            }
+                            // Ordered: the echoed query is the one this
+                            // slot in the burst asked for.
+                            let echoed = format!(r#""query":"{query}""#);
+                            if !response.contains(&echoed) {
+                                problems.push(format!(
+                                    "driver {driver} conn {c_idx} q={q_idx}: out of order, \
+                                     wanted {query}: {response}"
+                                ));
+                                continue;
+                            }
+                            // Bit-identical: the belief object matches
+                            // the reference connection's byte-for-byte.
+                            let got = belief_fragment(&response);
+                            if got != fragment {
+                                problems.push(format!(
+                                    "driver {driver} conn {c_idx} q={q_idx}: belief drifted: \
+                                     {got} != {fragment}"
+                                ));
+                            }
+                        }
+                    }
+                    problems
+                })
+            })
+            .collect();
+
+        // All 1000 connections are open and registered while the
+        // drivers wait between the barriers.
+        all_open.wait();
+        let metrics = reference
+            .request_line(r#"{"op":"metrics"}"#)
+            .expect("metrics");
+        let v = Value::parse(&metrics).expect("metrics parses");
+        let open = v
+            .get("metrics")
+            .and_then(|m| m.get("gauges"))
+            .and_then(|g| g.get("conns.open"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        assert!(
+            open >= SOAK_CONNS as u64,
+            "conns.open gauge saw {open} < {SOAK_CONNS}: {metrics}"
+        );
+        storm_start.wait();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("driver thread panicked"))
+            .collect()
+    });
+    assert!(
+        failures.is_empty(),
+        "{} problems (first 20):\n{}",
+        failures.len(),
+        failures
+            .iter()
+            .take(20)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Every storm query (plus the reference pass) was answered; none
+    // failed or were shed — the admission queue absorbed the burst.
+    let stats = reference.request_line(r#"{"op":"stats"}"#).expect("stats");
+    let v = Value::parse(&stats).expect("stats parses");
+    let expected = (SOAK_CONNS * MIX.len() + MIX.len()) as u64;
+    assert_eq!(
+        v.get("queries")
+            .and_then(|q| q.get("answered"))
+            .and_then(Value::as_u64),
+        Some(expected),
+        "{stats}"
+    );
+    assert_eq!(
+        v.get("queries")
+            .and_then(|q| q.get("failed"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "{stats}"
+    );
+
+    assert!(reference
         .request_line(r#"{"op":"shutdown"}"#)
         .expect("shutdown")
         .contains("shutdown"));
