@@ -56,11 +56,25 @@ pub enum Command {
         /// the wire carry their own in the `load` request.
         scan: rw_server::proto::ScanParams,
     },
-    /// `rwq client --addr A`: forward JSONL requests from stdin to a
-    /// running server, one response line per request on stdout.
+    /// `rwq shard --backend HOST:PORT ... [--addr A]`: run the
+    /// consistent-hash front that routes queries across a fleet of
+    /// `rwq serve` backends, with health probes and structured failover.
+    Shard {
+        /// Ring/listener/probe/retry configuration.
+        config: rw_server::ShardConfig,
+    },
+    /// `rwq client --addr A [--retry N]`: forward JSONL requests from
+    /// stdin to a running server, one response line per request on
+    /// stdout.
     Client {
         /// The server address (`host:port`).
         addr: String,
+        /// Reconnect attempts after a transient connection failure
+        /// (refused/reset); `0` = fail immediately.
+        retry: u32,
+        /// First reconnect backoff in milliseconds, doubling per
+        /// attempt.
+        retry_backoff_ms: u64,
     },
     /// `rwq obs <trace.jsonl>`: aggregate a slow-query (or access) log
     /// into a flamegraph-style self/total table per span name.
@@ -115,9 +129,18 @@ USAGE:
   rwq serve [file.rwkb] [--addr A] [--threads N] [--cache-shards S] [--max-queue Q]
             [--max-conns C] [--idle-timeout-ms T]
             [--slow-log PATH [--slow-ms T]] [--access-log PATH]
+            [--snapshot-dir PATH [--snapshot-interval-ms T]]
                                       (persistent server; optional file is
-                                       preloaded as the KB named `default`)
-  rwq client --addr A                 (JSONL requests from stdin to a server)
+                                       preloaded as the KB named `default`;
+                                       SIGTERM/SIGINT drain gracefully)
+  rwq shard --backend HOST:PORT [--backend HOST:PORT ...] [--addr A]
+            [--probe-interval-ms T] [--retry N] [--retry-backoff-ms T]
+            [--vnodes V] [--threads N] [--max-queue Q] [--max-conns C]
+                                      (consistent-hash front: routes queries
+                                       across serve backends with health
+                                       probes and structured failover)
+  rwq client --addr A [--retry N [--retry-backoff-ms T]]
+                                      (JSONL requests from stdin to a server)
   rwq obs <trace.jsonl>               (aggregate a slow-query span log into a
                                        flamegraph-style self/total table)
   rwq lab run <workload.jsonl> [--variants E1,E2,...] [--threads N1,N2,...]
@@ -153,6 +176,28 @@ OPTIONS:
   --slow-ms T          serve: slow-query threshold in milliseconds
                        (default 100; 0 logs every request)
   --access-log PATH    serve: append one JSONL line per answered request
+  --snapshot-dir PATH  serve: persist the KB registry and answer caches
+                       here (periodically and on drain) and reload them
+                       warm on startup; a corrupted or version-skewed
+                       snapshot is rejected with a structured error and
+                       the server starts cold
+  --snapshot-interval-ms T
+                       serve: milliseconds between cache checkpoints
+                       (default 5000; requires --snapshot-dir)
+  --backend HOST:PORT  shard: one backend server (repeat per backend;
+                       at least one required)
+  --probe-interval-ms T
+                       shard: health-probe cadence per backend in
+                       milliseconds (default 250)
+  --retry N            client / shard: reconnect attempts against one
+                       peer after a transient connection failure
+                       (client default 0 = fail fast; shard default 2,
+                       then fail over to the ring successor)
+  --retry-backoff-ms T first retry backoff in milliseconds, doubling
+                       per attempt (default 50; on client requires
+                       --retry)
+  --vnodes V           shard: virtual nodes per backend on the hash
+                       ring (default 64)
   --cache              share a canonical-query answer cache across the
                        session's queries (batch, query, repl)
   --symmetry           count symmetry-reduced orbit representatives in the
@@ -383,6 +428,7 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
     };
     let mut scan = rw_server::proto::ScanParams::default();
     let mut slow_ms = None;
+    let mut snapshot_interval_ms = None;
     let mut positional = Vec::new();
     let mut i = 0usize;
     let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
@@ -429,6 +475,20 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
             "--access-log" => {
                 config.access_log = Some(PathBuf::from(value(&mut i, "--access-log")?))
             }
+            "--snapshot-dir" => {
+                config.snapshot_dir = Some(PathBuf::from(value(&mut i, "--snapshot-dir")?))
+            }
+            "--snapshot-interval-ms" => {
+                let v = value(&mut i, "--snapshot-interval-ms")?;
+                snapshot_interval_ms = Some(match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => ms,
+                    _ => {
+                        return Err(ArgError(format!(
+                            "bad --snapshot-interval-ms value `{v}` (positive milliseconds)"
+                        )))
+                    }
+                });
+            }
             "--symmetry" => scan.symmetry = true,
             "--min-n" => scan.min_n = Some(parse_scan_n(&value(&mut i, "--min-n")?, "--min-n")?),
             "--max-n" => scan.max_n = Some(parse_scan_n(&value(&mut i, "--max-n")?, "--max-n")?),
@@ -445,6 +505,17 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         Some(_) => {
             return Err(ArgError(
                 "--slow-ms sets the --slow-log threshold; pass --slow-log PATH too".to_string(),
+            ))
+        }
+        None => {}
+    }
+    match snapshot_interval_ms {
+        Some(ms) if config.snapshot_dir.is_some() => config.snapshot_interval_ms = ms,
+        Some(_) => {
+            return Err(ArgError(
+                "--snapshot-interval-ms sets the --snapshot-dir checkpoint cadence; \
+                 pass --snapshot-dir PATH too"
+                    .to_string(),
             ))
         }
         None => {}
@@ -468,34 +539,135 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
     })
 }
 
+/// The client's default first reconnect backoff (`--retry-backoff-ms`).
+pub const DEFAULT_RETRY_BACKOFF_MS: u64 = 50;
+
 /// Parses `rwq client` arguments.
 fn parse_client(args: &[String]) -> Result<Command, ArgError> {
     let mut addr = None;
+    let mut retry = 0u32;
+    let mut backoff = None;
     let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} expects a value")))
+    };
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" => {
-                i += 1;
-                addr = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| ArgError("--addr expects a value".to_string()))?,
-                );
+            "--addr" => addr = Some(value(&mut i, "--addr")?),
+            "--retry" => {
+                let v = value(&mut i, "--retry")?;
+                retry = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --retry count `{v}`")))?;
+            }
+            "--retry-backoff-ms" => {
+                let v = value(&mut i, "--retry-backoff-ms")?;
+                backoff = Some(match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => ms,
+                    _ => {
+                        return Err(ArgError(format!(
+                            "bad --retry-backoff-ms value `{v}` (positive milliseconds)"
+                        )))
+                    }
+                });
             }
             other => {
                 return Err(ArgError(format!(
-                    "unknown client argument `{other}` (client takes only --addr)"
+                    "unknown client argument `{other}` (client takes --addr, --retry \
+                     and --retry-backoff-ms)"
                 )));
             }
         }
         i += 1;
     }
+    if backoff.is_some() && retry == 0 {
+        return Err(ArgError(
+            "--retry-backoff-ms paces the --retry reconnects; pass --retry N too".to_string(),
+        ));
+    }
     match addr {
-        Some(addr) => Ok(Command::Client { addr }),
+        Some(addr) => Ok(Command::Client {
+            addr,
+            retry,
+            retry_backoff_ms: backoff.unwrap_or(DEFAULT_RETRY_BACKOFF_MS),
+        }),
         None => Err(ArgError(
             "client requires --addr HOST:PORT (a running `rwq serve`)".to_string(),
         )),
     }
+}
+
+/// The CLI's default shard-front address (`rwq shard` without `--addr`).
+pub const DEFAULT_SHARD_ADDR: &str = "127.0.0.1:7879";
+
+/// Parses `rwq shard` arguments into a [`rw_server::ShardConfig`].
+fn parse_shard(args: &[String]) -> Result<Command, ArgError> {
+    let mut config = rw_server::ShardConfig {
+        addr: DEFAULT_SHARD_ADDR.to_string(),
+        ..rw_server::ShardConfig::default()
+    };
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, ArgError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} expects a value")))
+    };
+    let positive = |v: String, flag: &str| -> Result<usize, ArgError> {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(ArgError(format!(
+                "{flag} expects a positive count, got `{v}`"
+            ))),
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = value(&mut i, "--addr")?,
+            "--backend" => config.backends.push(value(&mut i, "--backend")?),
+            "--threads" => config.threads = parse_threads(&value(&mut i, "--threads")?)?,
+            "--max-queue" => {
+                config.max_queue = positive(value(&mut i, "--max-queue")?, "--max-queue")?
+            }
+            "--max-conns" => {
+                config.max_conns = positive(value(&mut i, "--max-conns")?, "--max-conns")?
+            }
+            "--probe-interval-ms" => {
+                config.probe_interval_ms =
+                    positive(value(&mut i, "--probe-interval-ms")?, "--probe-interval-ms")? as u64;
+            }
+            "--retry" => {
+                let v = value(&mut i, "--retry")?;
+                config.retry = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --retry count `{v}`")))?;
+            }
+            "--retry-backoff-ms" => {
+                config.retry_backoff_ms =
+                    positive(value(&mut i, "--retry-backoff-ms")?, "--retry-backoff-ms")? as u64;
+            }
+            "--vnodes" => config.vnodes = positive(value(&mut i, "--vnodes")?, "--vnodes")?,
+            flag if flag.starts_with("--") => {
+                return Err(ArgError(format!("unknown shard option `{flag}`")));
+            }
+            other => {
+                return Err(ArgError(format!(
+                    "shard takes no positional arguments (got `{other}`); \
+                     backends are `--backend HOST:PORT`"
+                )));
+            }
+        }
+        i += 1;
+    }
+    if config.backends.is_empty() {
+        return Err(ArgError(
+            "shard requires at least one --backend HOST:PORT (a running `rwq serve`)".to_string(),
+        ));
+    }
+    Ok(Command::Shard { config })
 }
 
 /// Parses `rwq lab` arguments. The only verb today is `run`; its flag
@@ -628,6 +800,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             })
         }
         "serve" => parse_serve(&args[1..]),
+        "shard" => parse_shard(&args[1..]),
         "client" => parse_client(&args[1..]),
         "obs" => {
             let [path] = &args[1..] else {
@@ -1056,6 +1229,8 @@ mod tests {
                 assert_eq!(config.slow_log, None);
                 assert_eq!(config.slow_ms, 100);
                 assert_eq!(config.access_log, None);
+                assert_eq!(config.snapshot_dir, None);
+                assert_eq!(config.snapshot_interval_ms, 5000);
             }
             other => panic!("{other:?}"),
         }
@@ -1080,6 +1255,10 @@ mod tests {
             "0",
             "--access-log",
             "access.jsonl",
+            "--snapshot-dir",
+            "snaps",
+            "--snapshot-interval-ms",
+            "250",
         ]))
         .unwrap()
         {
@@ -1094,9 +1273,35 @@ mod tests {
                 assert_eq!(config.slow_log, Some(PathBuf::from("slow.jsonl")));
                 assert_eq!(config.slow_ms, 0);
                 assert_eq!(config.access_log, Some(PathBuf::from("access.jsonl")));
+                assert_eq!(config.snapshot_dir, Some(PathBuf::from("snaps")));
+                assert_eq!(config.snapshot_interval_ms, 250);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_snapshot_flag_validation() {
+        // The interval paces --snapshot-dir checkpoints; alone it has
+        // nothing to pace (same contract as --slow-ms/--slow-log).
+        assert!(parse(&strs(&["serve", "--snapshot-interval-ms", "250"]))
+            .unwrap_err()
+            .0
+            .contains("pass --snapshot-dir"));
+        assert!(parse(&strs(&[
+            "serve",
+            "--snapshot-dir",
+            "snaps",
+            "--snapshot-interval-ms",
+            "0"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("bad --snapshot-interval-ms"));
+        assert!(parse(&strs(&["serve", "--snapshot-dir"]))
+            .unwrap_err()
+            .0
+            .contains("expects a value"));
     }
 
     #[test]
@@ -1172,7 +1377,9 @@ mod tests {
         assert_eq!(
             parse(&strs(&["client", "--addr", "127.0.0.1:7878"])).unwrap(),
             Command::Client {
-                addr: "127.0.0.1:7878".to_string()
+                addr: "127.0.0.1:7878".to_string(),
+                retry: 0,
+                retry_backoff_ms: DEFAULT_RETRY_BACKOFF_MS,
             }
         );
         assert!(parse(&strs(&["client"]))
@@ -1183,6 +1390,153 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown client argument"));
+    }
+
+    #[test]
+    fn client_retry_flags_parse_and_validate() {
+        match parse(&strs(&[
+            "client",
+            "--addr",
+            "127.0.0.1:7878",
+            "--retry",
+            "5",
+            "--retry-backoff-ms",
+            "20",
+        ]))
+        .unwrap()
+        {
+            Command::Client {
+                retry,
+                retry_backoff_ms,
+                ..
+            } => {
+                assert_eq!(retry, 5);
+                assert_eq!(retry_backoff_ms, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The backoff knob paces reconnects; without --retry there are
+        // none to pace.
+        assert!(parse(&strs(&[
+            "client",
+            "--addr",
+            "a:1",
+            "--retry-backoff-ms",
+            "20"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("pass --retry"));
+        assert!(parse(&strs(&["client", "--addr", "a:1", "--retry", "x"]))
+            .unwrap_err()
+            .0
+            .contains("bad --retry"));
+        assert!(parse(&strs(&[
+            "client",
+            "--addr",
+            "a:1",
+            "--retry",
+            "1",
+            "--retry-backoff-ms",
+            "0"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("bad --retry-backoff-ms"));
+    }
+
+    #[test]
+    fn shard_parses_backends_and_knobs() {
+        match parse(&strs(&["shard", "--backend", "127.0.0.1:7878"])).unwrap() {
+            Command::Shard { config } => {
+                assert_eq!(config.addr, DEFAULT_SHARD_ADDR);
+                assert_eq!(config.backends, vec!["127.0.0.1:7878".to_string()]);
+                // The remaining knobs keep the library defaults.
+                assert_eq!(
+                    config,
+                    rw_server::ShardConfig {
+                        addr: DEFAULT_SHARD_ADDR.to_string(),
+                        backends: vec!["127.0.0.1:7878".to_string()],
+                        ..rw_server::ShardConfig::default()
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&strs(&[
+            "shard",
+            "--addr",
+            "127.0.0.1:0",
+            "--backend",
+            "127.0.0.1:7001",
+            "--backend",
+            "127.0.0.1:7002",
+            "--probe-interval-ms",
+            "100",
+            "--retry",
+            "3",
+            "--retry-backoff-ms",
+            "10",
+            "--vnodes",
+            "32",
+            "--threads",
+            "4",
+            "--max-queue",
+            "256",
+            "--max-conns",
+            "512",
+        ]))
+        .unwrap()
+        {
+            Command::Shard { config } => {
+                assert_eq!(config.addr, "127.0.0.1:0");
+                assert_eq!(config.backends.len(), 2);
+                assert_eq!(config.probe_interval_ms, 100);
+                assert_eq!(config.retry, 3);
+                assert_eq!(config.retry_backoff_ms, 10);
+                assert_eq!(config.vnodes, 32);
+                assert_eq!(config.threads, 4);
+                assert_eq!(config.max_queue, 256);
+                assert_eq!(config.max_conns, 512);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_rejects_bad_inputs() {
+        assert!(parse(&strs(&["shard"]))
+            .unwrap_err()
+            .0
+            .contains("at least one --backend"));
+        assert!(parse(&strs(&["shard", "127.0.0.1:7878"]))
+            .unwrap_err()
+            .0
+            .contains("no positional arguments"));
+        assert!(parse(&strs(&["shard", "--backend", "a:1", "--quiet"]))
+            .unwrap_err()
+            .0
+            .contains("unknown shard option"));
+        assert!(
+            parse(&strs(&["shard", "--backend", "a:1", "--vnodes", "0"]))
+                .unwrap_err()
+                .0
+                .contains("positive")
+        );
+        assert!(parse(&strs(&[
+            "shard",
+            "--backend",
+            "a:1",
+            "--probe-interval-ms",
+            "never"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("positive"));
+        assert!(parse(&strs(&["shard", "--backend"]))
+            .unwrap_err()
+            .0
+            .contains("expects a value"));
     }
 
     #[test]

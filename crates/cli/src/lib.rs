@@ -50,6 +50,83 @@ pub use session::{Session, SessionError, SessionOptions};
 
 use std::io::BufRead;
 
+/// Connection failures worth retrying: the peer is (re)starting or just
+/// dropped us, and a fresh connect a moment later can succeed. Anything
+/// else (unreachable host, bad address, permission) fails immediately.
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Connects to `addr`, sleeping `backoff_ms` (doubling per attempt,
+/// capped at 2s) between up to `retry` reconnect attempts on transient
+/// failures. Each sleep is tallied into `retries_used`.
+fn connect_retry(
+    addr: &str,
+    retry: u32,
+    backoff_ms: u64,
+    retries_used: &mut u64,
+) -> std::io::Result<rw_server::Client> {
+    let mut backoff = backoff_ms.max(1);
+    let mut attempt = 0u32;
+    loop {
+        match rw_server::Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt < retry && retryable(&e) => {
+                attempt += 1;
+                *retries_used += 1;
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+                backoff = (backoff * 2).min(2000);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One lock-step request with reconnect-and-resend on transient
+/// failures. Resending is safe because every op in the protocol is
+/// idempotent (queries are deterministic and cached; a replayed `load`
+/// reinstalls the same KB).
+fn request_retry(
+    client: &mut rw_server::Client,
+    addr: &str,
+    request: &str,
+    retry: u32,
+    backoff_ms: u64,
+    retries_used: &mut u64,
+) -> std::io::Result<String> {
+    let mut err = match client.request_line(request) {
+        Ok(r) => return Ok(r),
+        Err(e) => e,
+    };
+    let mut backoff = backoff_ms.max(1);
+    for _ in 0..retry {
+        if !retryable(&err) {
+            break;
+        }
+        *retries_used += 1;
+        std::thread::sleep(std::time::Duration::from_millis(backoff));
+        backoff = (backoff * 2).min(2000);
+        match rw_server::Client::connect(addr) {
+            Ok(c) => {
+                *client = c;
+                match client.request_line(request) {
+                    Ok(r) => return Ok(r),
+                    Err(e) => err = e,
+                }
+            }
+            Err(e) => err = e,
+        }
+    }
+    Err(err)
+}
+
 /// Runs a parsed command, writing output lines through `out`. Returns the
 /// process exit code. `stdin` supplies REPL queries (one per line).
 pub fn run(
@@ -176,16 +253,29 @@ pub fn run(
             Ok(if report.failed == 0 { 0 } else { 1 })
         }
         Command::Serve { file, config, scan } => {
+            // Read the KB text ourselves (instead of `load_kb`) so the
+            // source can be retained for snapshotting — a restarted
+            // server re-parses it from the snapshot and answers warm.
             let preload = match file {
-                Some(f) => match load_kb(&f) {
-                    Ok(kb) => Some(kb),
-                    Err(e) => {
-                        writeln!(out, "error: {e}")?;
-                        return Ok(1);
+                Some(f) => {
+                    let text = match std::fs::read_to_string(&f) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            writeln!(out, "error: {}: {e}", f.display())?;
+                            return Ok(1);
+                        }
+                    };
+                    match parse_kb(&text) {
+                        Ok(kb) => Some((kb, text)),
+                        Err(e) => {
+                            writeln!(out, "error: {e}")?;
+                            return Ok(1);
+                        }
                     }
-                },
+                }
                 None => None,
             };
+            let snapshots = config.snapshot_dir.is_some();
             let server = match rw_server::Server::bind(config) {
                 Ok(s) => s,
                 Err(e) => {
@@ -193,11 +283,42 @@ pub fn run(
                     return Ok(1);
                 }
             };
-            let mut kbs = Vec::new();
-            if let Some(kb) = preload {
-                server.registry().insert_scan("default", kb, scan);
-                kbs.push("\"default\"".to_string());
+            // SIGTERM/SIGINT become graceful drains, not instant deaths:
+            // in-flight answers flush and (with --snapshot-dir) a final
+            // checkpoint lands before exit.
+            if let Err(e) = rw_server::signal::install() {
+                eprintln!(
+                    "{}",
+                    json::fatal_line(&format!("cannot install signal handlers: {e}"))
+                );
             }
+            // Snapshot first, preload second: an explicitly passed KB
+            // file wins over a snapshotted KB of the same name.
+            let snapshot_field = if snapshots {
+                let fragment = match server.load_snapshot() {
+                    None => rw_server::SnapshotStats::default().json(),
+                    Some(Ok(stats)) => stats.json(),
+                    Some(Err(e)) => format!(
+                        r#"{{"error":"{}","code":"{}"}}"#,
+                        json::escape(&e.to_string()),
+                        e.code()
+                    ),
+                };
+                format!(r#","snapshot":{fragment}"#)
+            } else {
+                String::new()
+            };
+            if let Some((kb, text)) = preload {
+                server
+                    .registry()
+                    .insert_scan_source("default", kb, scan, Some(text));
+            }
+            let kbs: Vec<String> = server
+                .registry()
+                .snapshot_entries()
+                .iter()
+                .map(|k| format!("\"{}\"", json::escape(&k.name)))
+                .collect();
             let addr = server
                 .local_addr()
                 .map(|a| a.to_string())
@@ -206,20 +327,74 @@ pub fn run(
             // suite) learn the actual port when `--addr` asked for :0.
             writeln!(
                 out,
-                r#"{{"serving":{{"addr":"{}","threads":{},"cache_shards":{},"max_queue":{},"max_conns":{},"idle_timeout_ms":{},"kbs":[{}]}}}}"#,
+                r#"{{"serving":{{"addr":"{}","threads":{},"cache_shards":{},"max_queue":{},"max_conns":{},"idle_timeout_ms":{},"kbs":[{}]{}}}}}"#,
                 json::escape(&addr),
                 server.threads(),
                 server.registry().cache().shard_count(),
                 server.queue_capacity(),
                 server.max_conns(),
                 server.idle_timeout_ms(),
-                kbs.join(",")
+                kbs.join(","),
+                snapshot_field
             )?;
             out.flush()?;
             match server.run() {
-                Ok(()) => Ok(0),
+                Ok(()) => {
+                    // Scripts and supervisors learn *why* the server
+                    // exited zero (shutdown op vs. signal).
+                    if let Some(reason) = server.drain_reason() {
+                        writeln!(out, r#"{{"drained":{{"reason":"{reason}"}}}}"#)?;
+                        out.flush()?;
+                    }
+                    Ok(0)
+                }
                 Err(e) => {
                     writeln!(out, "error: serving failed: {e}")?;
+                    Ok(1)
+                }
+            }
+        }
+        Command::Shard { config } => {
+            let shard = match rw_server::Shard::bind(config) {
+                Ok(s) => s,
+                Err(e) => {
+                    writeln!(out, "error: cannot bind shard: {e}")?;
+                    return Ok(1);
+                }
+            };
+            if let Err(e) = rw_server::signal::install() {
+                eprintln!(
+                    "{}",
+                    json::fatal_line(&format!("cannot install signal handlers: {e}"))
+                );
+            }
+            let addr = shard
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default();
+            let backends: Vec<String> = shard
+                .backend_addrs()
+                .iter()
+                .map(|b| format!("\"{}\"", json::escape(b)))
+                .collect();
+            writeln!(
+                out,
+                r#"{{"sharding":{{"addr":"{}","backends":[{}],"threads":{}}}}}"#,
+                json::escape(&addr),
+                backends.join(","),
+                shard.threads()
+            )?;
+            out.flush()?;
+            match shard.run() {
+                Ok(()) => {
+                    if let Some(reason) = shard.drain_reason() {
+                        writeln!(out, r#"{{"drained":{{"reason":"{reason}"}}}}"#)?;
+                        out.flush()?;
+                    }
+                    Ok(0)
+                }
+                Err(e) => {
+                    writeln!(out, "error: sharding failed: {e}")?;
                     Ok(1)
                 }
             }
@@ -244,8 +419,23 @@ pub fn run(
                 }
             }
         }
-        Command::Client { addr } => {
-            let mut client = match rw_server::Client::connect(&addr) {
+        Command::Client {
+            addr,
+            retry,
+            retry_backoff_ms,
+        } => {
+            // A restarting backend (supervisor respawn, rolling deploy)
+            // refuses or resets connections for a moment; with --retry
+            // that window is ridden out with exponential backoff instead
+            // of exiting 1. The note on stderr keeps stdout pure JSONL.
+            let mut retries_used = 0u64;
+            let note_retries = |retries_used: u64| {
+                if retries_used > 0 {
+                    eprintln!(r#"{{"retries":{retries_used}}}"#);
+                }
+            };
+            let mut client = match connect_retry(&addr, retry, retry_backoff_ms, &mut retries_used)
+            {
                 Ok(c) => c,
                 Err(e) => {
                     writeln!(
@@ -253,6 +443,7 @@ pub fn run(
                         "{}",
                         json::fatal_line(&format!("cannot connect to {addr}: {e}"))
                     )?;
+                    note_retries(retries_used);
                     return Ok(1);
                 }
             };
@@ -263,7 +454,14 @@ pub fn run(
                 if request.is_empty() || request.starts_with('#') {
                     continue;
                 }
-                match client.request_line(request) {
+                match request_retry(
+                    &mut client,
+                    &addr,
+                    request,
+                    retry,
+                    retry_backoff_ms,
+                    &mut retries_used,
+                ) {
                     Ok(response) => {
                         if response.contains(r#""ok":false"#) {
                             failures += 1;
@@ -277,10 +475,12 @@ pub fn run(
                             "{}",
                             json::fatal_line(&format!("connection to {addr} lost: {e}"))
                         )?;
+                        note_retries(retries_used);
                         return Ok(1);
                     }
                 }
             }
+            note_retries(retries_used);
             Ok(if failures == 0 { 0 } else { 1 })
         }
         Command::Lab {

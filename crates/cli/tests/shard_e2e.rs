@@ -1,0 +1,529 @@
+//! Release-tier durability/failover e2e: a 3-backend `rwq shard` fleet
+//! replaying the golden corpus while one backend is killed and
+//! restarted warm from its `--snapshot-dir` checkpoint.
+//!
+//! What must hold:
+//!
+//! * every response through the shard is byte-identical to single-node
+//!   serving (the pinned golden lines), modulo wall times, the
+//!   `cache_hit`/trace markers that record *how* an answer was produced
+//!   this time, and the additive `"failover":true` annotation;
+//! * killing a backend is invisible to clients — zero errors, zero
+//!   dropped responses, failover counters going nonzero instead;
+//! * the restarted backend comes back **warm**: its banner reports the
+//!   restored snapshot and its first golden replay hits the cache;
+//! * `rwq client --retry` rides out a backend restart on its own
+//!   connection, reporting the retries on stderr;
+//! * SIGTERM and the `shutdown` op drain every process gracefully with
+//!   a structured `{"drained":{"reason":...}}` line.
+
+use rw_cli::json::{escape, mask_times, strip_failover};
+use rw_server::proto::Value;
+use rw_server::Client;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The corpus slice this soak replays: theorem-speed files only (the
+/// enumeration-heavy suites are lab territory, even in release).
+const GOLDEN_FILES: &[&str] = &["paper_examples.jsonl", "trap_queries.jsonl"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Parses the golden files into `(kb_text, expected_lines)` groups.
+fn corpus() -> Vec<(String, Vec<String>)> {
+    let mut groups: Vec<(String, Vec<String>)> = Vec::new();
+    for file in GOLDEN_FILES {
+        let path = golden_dir().join(file);
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"));
+        for line in content.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let v = Value::parse(line)
+                .unwrap_or_else(|e| panic!("{file}: bad golden line {line:?}: {e}"));
+            if let Some(kb) = v.get("kb").and_then(Value::as_str) {
+                if v.get("query").is_none() {
+                    groups.push((kb.to_string(), Vec::new()));
+                    continue;
+                }
+            }
+            groups
+                .last_mut()
+                .unwrap_or_else(|| panic!("{file}: response before any KB header"))
+                .1
+                .push(line.to_string());
+        }
+    }
+    groups
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("rwq-shard-e2e-{}-{tag}-{id}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Reads one line from a child's piped stdout (its startup banner).
+fn read_banner(child: &mut Child) -> String {
+    let stdout = child.stdout.as_mut().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("banner line");
+    line.trim().to_string()
+}
+
+/// Spawns `rwq serve --snapshot-dir` and returns the child, the bound
+/// address, and the banner line (which carries the snapshot stats).
+fn spawn_serve(addr: &str, snap: &Path) -> (Child, String, String) {
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_rwq"))
+        .args([
+            "serve",
+            "--addr",
+            addr,
+            "--threads",
+            "2",
+            "--snapshot-dir",
+            snap.to_str().unwrap(),
+            "--snapshot-interval-ms",
+            "200",
+        ])
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn rwq serve");
+    let banner = read_banner(&mut serve);
+    let v = Value::parse(&banner).expect("serving banner is JSON");
+    let bound = v
+        .get("serving")
+        .and_then(|s| s.get("addr"))
+        .and_then(Value::as_str)
+        .expect("serving addr")
+        .to_string();
+    (serve, bound, banner)
+}
+
+/// Builds the client stdin for one full corpus pass (load every KB
+/// under `g{i}`, then its queries) and the per-response expectations
+/// (`None` = control-op ack, `Some(golden)` = pinned response line).
+fn build_requests(groups: &[(String, Vec<String>)]) -> (String, Vec<Option<String>>) {
+    let mut requests = String::new();
+    let mut expected = Vec::new();
+    for (i, (kb_text, lines)) in groups.iter().enumerate() {
+        requests.push_str(&format!(
+            r#"{{"op":"load","kb":"g{i}","text":"{}"}}"#,
+            escape(kb_text)
+        ));
+        requests.push('\n');
+        expected.push(None);
+        push_queries(i, lines, &mut requests, &mut expected);
+    }
+    (requests, expected)
+}
+
+/// Queries only — for replaying against a backend whose KBs were
+/// restored from a snapshot rather than loaded over the wire.
+fn build_query_requests(groups: &[(String, Vec<String>)]) -> (String, Vec<Option<String>>) {
+    let mut requests = String::new();
+    let mut expected = Vec::new();
+    for (i, (_, lines)) in groups.iter().enumerate() {
+        push_queries(i, lines, &mut requests, &mut expected);
+    }
+    (requests, expected)
+}
+
+fn push_queries(
+    i: usize,
+    lines: &[String],
+    requests: &mut String,
+    expected: &mut Vec<Option<String>>,
+) {
+    for golden in lines {
+        let v = Value::parse(golden).expect("golden line parses");
+        let query = v.get("query").and_then(Value::as_str).expect("query field");
+        requests.push_str(&format!(
+            r#"{{"op":"query","kb":"g{i}","query":"{}"}}"#,
+            escape(query)
+        ));
+        requests.push('\n');
+        expected.push(Some(golden.clone()));
+    }
+}
+
+/// Runs `rwq client --retry` against `addr`, feeding `requests`.
+fn run_client(addr: &str, requests: &str) -> std::process::Output {
+    let client = Command::new(env!("CARGO_BIN_EXE_rwq"))
+        .args([
+            "client",
+            "--addr",
+            addr,
+            "--retry",
+            "3",
+            "--retry-backoff-ms",
+            "20",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rwq client");
+    client
+        .stdin
+        .as_ref()
+        .expect("client stdin")
+        .write_all(requests.as_bytes())
+        .expect("write requests");
+    client.wait_with_output().expect("client output")
+}
+
+/// The soak's equality lens: golden lines pin cold single-node answers,
+/// so the markers recording *this* serving's incidental history — wall
+/// times, `cache_hit`, the answering-stage trace, and the shard's
+/// additive failover annotation — are neutralized; query, belief and
+/// provenance must be byte-identical.
+fn lens(line: &str) -> String {
+    let line = strip_failover(line);
+    let line = match line.find(r#","trace":["#) {
+        Some(i) => format!("{}}}", &line[..i]),
+        None => line,
+    };
+    mask_times(&line).replace(r#""cache_hit":true"#, r#""cache_hit":false"#)
+}
+
+/// Diffs one client pass against the expectations. Returns `(failover
+/// annotations seen, cache hits seen)`; any client-visible error fails.
+fn check(out: &std::process::Output, expected: &[Option<String>], round: &str) -> (usize, usize) {
+    assert!(out.status.success(), "{round}: client exit {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let responses: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        responses.len(),
+        expected.len(),
+        "{round}: response count mismatch:\n{stdout}"
+    );
+    let mut failovers = 0;
+    let mut hits = 0;
+    for (response, golden) in responses.iter().zip(expected) {
+        assert!(
+            response.contains(r#""ok":true"#),
+            "{round}: client-visible error: {response}"
+        );
+        if response.contains(r#""failover":true"#) {
+            failovers += 1;
+        }
+        if response.contains(r#""cache_hit":true"#) {
+            hits += 1;
+        }
+        if let Some(golden) = golden {
+            assert_eq!(
+                lens(response),
+                lens(golden),
+                "{round}: diverged from golden"
+            );
+        }
+    }
+    (failovers, hits)
+}
+
+/// Gracefully drains a spawned server via the wire `shutdown` op and
+/// asserts the structured drained line on its way out.
+fn drain_backend(child: Child, addr: &str) {
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    let bye = c
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown ack");
+    assert!(bye.contains(r#""ok":true"#), "{bye}");
+    drop(c);
+    let out = child.wait_with_output().expect("backend exit");
+    assert!(out.status.success(), "backend exit: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(r#"{"drained":{"reason":"shutdown"}}"#),
+        "missing drained line: {stdout}"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "kill-one-backend soak is release-tier; run with --release"
+)]
+fn kill_one_backend_soak_stays_golden_with_warm_restart() {
+    let groups = corpus();
+    assert!(groups.len() >= 4, "corpus unexpectedly small");
+    let snaps: Vec<PathBuf> = (0..3).map(|i| temp_dir(&format!("snap{i}"))).collect();
+
+    // Fleet up: three snapshotting backends, all starting cold.
+    let mut backends = Vec::new();
+    for snap in &snaps {
+        let (child, addr, banner) = spawn_serve("127.0.0.1:0", snap);
+        assert!(
+            banner.contains(r#""snapshot":{"kbs":0,"answers":0,"denoms":0,"skipped":0}"#),
+            "cold start must report an empty snapshot: {banner}"
+        );
+        backends.push((child, addr));
+    }
+    let mut shard_cmd = Command::new(env!("CARGO_BIN_EXE_rwq"));
+    shard_cmd.args([
+        "shard",
+        "--addr",
+        "127.0.0.1:0",
+        "--probe-interval-ms",
+        "50",
+        "--retry",
+        "2",
+        "--retry-backoff-ms",
+        "10",
+    ]);
+    for (_, addr) in &backends {
+        shard_cmd.args(["--backend", addr]);
+    }
+    let mut shard = shard_cmd
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn rwq shard");
+    let shard_banner = read_banner(&mut shard);
+    let shard_addr = Value::parse(&shard_banner)
+        .expect("sharding banner is JSON")
+        .get("sharding")
+        .and_then(|s| s.get("addr"))
+        .and_then(Value::as_str)
+        .expect("sharding addr")
+        .to_string();
+
+    // Round 1: load + replay through the shard. All backends healthy,
+    // so nothing fails over and every line matches the golden corpus.
+    let (requests, expected) = build_requests(&groups);
+    let out = run_client(&shard_addr, &requests);
+    let (failovers, _) = check(&out, &expected, "round 1");
+    assert_eq!(failovers, 0, "healthy fleet must not fail over");
+
+    // The ring decides which backend matters most; that one dies.
+    let mut ctl = Client::connect(shard_addr.as_str()).expect("control conn");
+    let stats = ctl.request_line(r#"{"op":"stats"}"#).expect("stats");
+    let v = Value::parse(&stats).expect("stats JSON");
+    let Some(Value::Arr(rows)) = v.get("shard").and_then(|s| s.get("backends")) else {
+        panic!("stats missing backends: {stats}");
+    };
+    let mut victim = 0usize;
+    let mut busiest = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        let fwd = row
+            .get("forwarded")
+            .and_then(Value::as_u64)
+            .expect("forwarded count");
+        if fwd > busiest {
+            busiest = fwd;
+            victim = i;
+        }
+    }
+    assert!(busiest > 0, "no backend forwarded anything: {stats}");
+
+    // Let the periodic checkpoint (200 ms) capture the warm caches,
+    // then kill the busiest backend outright — no drain, no final save.
+    std::thread::sleep(Duration::from_millis(600));
+    let victim_addr = backends[victim].1.clone();
+    backends[victim].0.kill().expect("kill victim");
+    backends[victim].0.wait().expect("reap victim");
+
+    // Round 2: three concurrent clients replay the corpus against the
+    // degraded fleet. Zero client-visible errors; the victim's queries
+    // carry the failover annotation and still match golden.
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = shard_addr.clone();
+            let requests = requests.clone();
+            std::thread::spawn(move || run_client(&addr, &requests))
+        })
+        .collect();
+    let mut total_failovers = 0;
+    for h in handles {
+        let out = h.join().expect("client thread");
+        let (f, _) = check(&out, &expected, "round 2 (degraded)");
+        total_failovers += f;
+    }
+    assert!(
+        total_failovers > 0,
+        "killing the busiest backend must surface failover annotations"
+    );
+
+    // Restart the victim on its old port: the banner must report the
+    // restored snapshot, and its first golden replay answers warm.
+    let (new_child, new_addr, banner) = spawn_serve(&victim_addr, &snaps[victim]);
+    assert_eq!(new_addr, victim_addr, "restart must reuse the port");
+    let restored = Value::parse(&banner).expect("restart banner JSON");
+    let snap_stats = restored
+        .get("serving")
+        .and_then(|s| s.get("snapshot"))
+        .unwrap_or_else(|| panic!("restart banner missing snapshot stats: {banner}"));
+    assert!(
+        snap_stats.get("kbs").and_then(Value::as_u64).unwrap_or(0) >= 1,
+        "restart restored no KBs: {banner}"
+    );
+    assert!(
+        snap_stats
+            .get("answers")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "restart restored no cached answers: {banner}"
+    );
+    backends[victim] = (new_child, victim_addr);
+
+    let (query_requests, query_expected) = build_query_requests(&groups);
+    let direct = run_client(&new_addr, &query_requests);
+    let (_, warm_hits) = check(&direct, &query_expected, "direct warm replay");
+    assert!(
+        warm_hits >= 1,
+        "restarted backend answered nothing from its snapshot"
+    );
+
+    // Round 3: with the probe loop re-admitting the backend, the full
+    // fleet serves the corpus again — still golden, still error-free.
+    std::thread::sleep(Duration::from_millis(300));
+    let out = run_client(&shard_addr, &requests);
+    check(&out, &expected, "round 3 (healed)");
+
+    // The incident is visible in stats and metrics.
+    let stats = ctl.request_line(r#"{"op":"stats"}"#).expect("final stats");
+    eprintln!("shard stats: {stats}");
+    let v = Value::parse(&stats).expect("stats JSON");
+    let failover_count = v
+        .get("shard")
+        .and_then(|s| s.get("failovers"))
+        .and_then(Value::as_u64)
+        .expect("failovers counter");
+    assert!(failover_count > 0, "{stats}");
+    let metrics = ctl.request_line(r#"{"op":"metrics"}"#).expect("metrics");
+    assert!(metrics.contains("shard.failover"), "{metrics}");
+    assert!(metrics.contains("shard.health.probes"), "{metrics}");
+    drop(ctl);
+
+    // SIGTERM drains the shard gracefully with a structured reason.
+    let status = Command::new("kill")
+        .args(["-TERM", &shard.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    let out = shard.wait_with_output().expect("shard exit");
+    assert!(out.status.success(), "shard exit: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(r#"{"drained":{"reason":"SIGTERM"}}"#),
+        "missing shard drained line: {stdout}"
+    );
+
+    // The backends drain over the wire, each leaving a drained line.
+    for (child, addr) in backends {
+        drain_backend(child, &addr);
+    }
+    for snap in &snaps {
+        let _ = std::fs::remove_dir_all(snap);
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "backend-restart client soak is release-tier; run with --release"
+)]
+fn client_retry_rides_out_a_backend_restart() {
+    let snap = temp_dir("retry");
+    let (mut serve, addr, _) = spawn_serve("127.0.0.1:0", &snap);
+
+    let mut client = Command::new(env!("CARGO_BIN_EXE_rwq"))
+        .args([
+            "client",
+            "--addr",
+            &addr,
+            "--retry",
+            "8",
+            "--retry-backoff-ms",
+            "30",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rwq client");
+    let mut stdin = client.stdin.take().expect("client stdin");
+    let mut stdout = BufReader::new(client.stdout.take().expect("client stdout"));
+    let mut line = String::new();
+    let mut next_line = |reader: &mut BufReader<_>| {
+        line.clear();
+        reader.read_line(&mut line).expect("client response");
+        line.trim().to_string()
+    };
+
+    // Load and answer once while the backend is up.
+    writeln!(
+        stdin,
+        r#"{{"op":"load","kb":"med","text":"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)"}}"#
+    )
+    .unwrap();
+    writeln!(stdin, r#"{{"op":"query","kb":"med","query":"Hep(Eric)"}}"#).unwrap();
+    stdin.flush().unwrap();
+    let loaded = next_line(&mut stdout);
+    assert!(loaded.contains(r#""ok":true"#), "{loaded}");
+    let cold = next_line(&mut stdout);
+    assert!(cold.contains(r#""value":0.8"#), "{cold}");
+
+    // Let a checkpoint land, then kill the backend and restart it on
+    // the same port, warm from the snapshot.
+    std::thread::sleep(Duration::from_millis(600));
+    serve.kill().expect("kill serve");
+    serve.wait().expect("reap serve");
+    let (serve2, addr2, banner2) = spawn_serve(&addr, &snap);
+    assert_eq!(addr2, addr);
+    assert!(banner2.contains(r#""snapshot":{"kbs":1"#), "{banner2}");
+
+    // The client's dead connection forces the retry loop: it reconnects
+    // to the restarted backend and the replayed query answers warm.
+    writeln!(stdin, r#"{{"op":"query","kb":"med","query":"Hep(Eric)"}}"#).unwrap();
+    stdin.flush().unwrap();
+    let warm = next_line(&mut stdout);
+    assert!(warm.contains(r#""value":0.8"#), "{warm}");
+    assert!(warm.contains(r#""cache_hit":true"#), "{warm}");
+    assert_eq!(lens(&cold), lens(&warm));
+
+    drop(stdin);
+    let status = client.wait().expect("client exit");
+    assert!(status.success(), "client exit: {status:?}");
+    let mut stderr = String::new();
+    client
+        .stderr
+        .take()
+        .expect("client stderr")
+        .read_to_string(&mut stderr)
+        .expect("read stderr");
+    assert!(
+        stderr.contains(r#"{"retries":"#),
+        "retry note missing on stderr: {stderr}"
+    );
+
+    drain_backend(serve2, &addr);
+    let _ = std::fs::remove_dir_all(&snap);
+}
+
+/// The soak's equality lens itself: `strip_failover` must remove
+/// exactly the additive annotation, so an annotated line and its
+/// plain twin collapse to the same bytes.
+#[test]
+fn failover_lens_is_exactly_additive() {
+    let plain = r#"{"query":"Hep(Eric)","ok":true,"value":0.8}"#;
+    let annotated = r#"{"query":"Hep(Eric)","ok":true,"value":0.8,"failover":true}"#;
+    assert_eq!(lens(plain), lens(annotated));
+    // A line without any incidental markers passes through unchanged.
+    let mention = r#"{"query":"Failover(X)","ok":true,"value":0.5}"#;
+    assert_eq!(lens(mention), mention);
+}

@@ -156,6 +156,28 @@ impl AnswerCache {
         self.len() == 0
     }
 
+    /// Every cached entry, cloned out and sorted by key — the stable
+    /// iteration order snapshot files are written in. Does not count as
+    /// lookups.
+    pub fn export(&self) -> Vec<(String, CachedAnswer)> {
+        let mut out: Vec<(String, CachedAnswer)> = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            let shard = s.lock().expect("cache shard poisoned");
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Bulk-inserts entries restored from a snapshot. Hit/miss counters
+    /// are untouched: a reload is not a lookup, and the first real query
+    /// against a restored entry must still count as a hit.
+    pub fn restore(&self, entries: Vec<(String, CachedAnswer)>) {
+        for (key, answer) in entries {
+            self.insert(key, answer);
+        }
+    }
+
     /// Drops every entry and zeroes the counters.
     pub fn clear(&self) {
         for s in &self.shards {
@@ -301,6 +323,34 @@ impl DenomCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Every cached count, cloned out in a stable key order (snapshot
+    /// files are diffable across saves). Does not count as lookups.
+    pub fn export(&self) -> Vec<(DenomKey, ScaledCount)> {
+        let entries = self.entries.lock().expect("denominator cache poisoned");
+        let mut out: Vec<(DenomKey, ScaledCount)> =
+            entries.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        drop(entries);
+        out.sort_by_key(|(k, _)| {
+            (
+                k.kb_fingerprint,
+                k.vocab_fingerprint,
+                k.n,
+                k.tau,
+                k.budget,
+                k.symmetry,
+            )
+        });
+        out
+    }
+
+    /// Bulk-inserts counts restored from a snapshot, without touching
+    /// the hit/miss counters.
+    pub fn restore(&self, entries: Vec<(DenomKey, ScaledCount)>) {
+        for (key, count) in entries {
+            self.insert(key, count);
+        }
+    }
+
     /// Number of cached denominators.
     pub fn len(&self) -> usize {
         self.entries
@@ -396,6 +446,37 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&sym_key), Some(ScaledCount::new(3, 200)));
         assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn export_is_sorted_and_restore_rebuilds_without_counting() {
+        let cache = AnswerCache::with_shards(4);
+        cache.insert(AnswerCache::key(2, "zz"), answer(0.2));
+        cache.insert(AnswerCache::key(1, "aa"), answer(0.1));
+        let exported = cache.export();
+        let keys: Vec<&str> = exported.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let fresh = AnswerCache::new();
+        fresh.restore(exported.clone());
+        assert_eq!(fresh.export(), exported);
+        // Restoring is not a lookup: counters start cold.
+        assert_eq!((fresh.hits(), fresh.misses()), (0, 0));
+
+        let denoms = DenomCache::new();
+        let key = DenomKey {
+            kb_fingerprint: 7,
+            vocab_fingerprint: 8,
+            n: 3,
+            tau: (1, 8),
+            budget: 1 << 20,
+            symmetry: true,
+        };
+        denoms.insert(key.clone(), ScaledCount::new(5, 100));
+        let fresh = DenomCache::new();
+        fresh.restore(denoms.export());
+        assert_eq!(fresh.get(&key), Some(ScaledCount::new(5, 100)));
     }
 
     #[test]

@@ -86,3 +86,4 @@ pub use theorems::dempster_rule;
 // Re-exported so engine configuration (`RandomWorlds::approx`) does not
 // force downstream crates to depend on `rw-worlds` directly.
 pub use rw_worlds::mc::McConfig;
+pub use rw_worlds::ScaledCount;

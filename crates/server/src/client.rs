@@ -9,7 +9,8 @@
 
 use crate::proto::Request;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One protocol connection.
 pub struct Client {
@@ -27,6 +28,26 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Connects with a bound on the TCP handshake — for health probes
+    /// and proxy forwarding, where a dead backend must fail fast
+    /// instead of hanging in `connect`.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Applies read/write timeouts to the connection (both halves share
+    /// one socket), so a wedged peer cannot block the caller forever.
+    pub fn set_timeouts(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
     }
 
     /// Sends one raw request line (the newline is appended here).

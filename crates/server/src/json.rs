@@ -224,6 +224,15 @@ pub fn mask_times(s: &str) -> String {
     out
 }
 
+/// Removes every `,"failover":true` annotation a [`crate::shard::Shard`]
+/// front added to a response line, recovering the backend's exact
+/// bytes. With [`mask_times`], this is the soak suite's equality lens:
+/// sharded serving must be byte-identical to single-node serving modulo
+/// wall times and the failover marker.
+pub fn strip_failover(s: &str) -> String {
+    s.replace(r#","failover":true"#, "")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

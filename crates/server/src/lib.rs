@@ -48,6 +48,9 @@ pub mod proto;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod shard;
+pub mod signal;
+pub mod snapshot;
 
 pub use client::Client;
 pub use format::{load_kb, parse_kb, LoadError};
@@ -55,3 +58,5 @@ pub use proto::{parse_request, ApproxParams, ErrorCode, KbSource, ProtoError, Re
 pub use queue::{JobQueue, PushError};
 pub use registry::{KbRegistry, LoadedKb};
 pub use server::{Server, ServerConfig, MAX_LINE};
+pub use shard::{Shard, ShardConfig};
+pub use snapshot::{SnapshotError, SnapshotStats};

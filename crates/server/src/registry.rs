@@ -33,6 +33,15 @@ pub struct LoadedKb {
     pub engine: RandomWorlds,
     /// True when the engine answers non-theorem queries by sampling.
     pub approx: bool,
+    /// The `.rwkb` source text the KB was parsed from, retained so a
+    /// snapshot can re-create this exact KB (and re-verify its
+    /// fingerprint) on reload. `None` only for KBs inserted pre-parsed
+    /// without text — those cannot be snapshotted.
+    pub source: Option<String>,
+    /// The Monte-Carlo parameters the load requested, if any.
+    pub approx_params: Option<ApproxParams>,
+    /// The enumeration-scan settings the engine was pinned with.
+    pub scan: ScanParams,
 }
 
 impl LoadedKb {
@@ -44,6 +53,7 @@ impl LoadedKb {
     pub fn new(
         name: String,
         kb: KnowledgeBase,
+        source: Option<String>,
         approx: Option<&ApproxParams>,
         scan: ScanParams,
         cache: Arc<AnswerCache>,
@@ -74,6 +84,9 @@ impl LoadedKb {
             kb,
             fingerprint,
             engine,
+            source,
+            approx_params: approx.cloned(),
+            scan,
         }
     }
 
@@ -151,17 +164,24 @@ impl KbRegistry {
         approx: Option<&ApproxParams>,
         scan: ScanParams,
     ) -> Result<Arc<LoadedKb>, ProtoError> {
-        let parsed = match source {
-            KbSource::Path(p) => format::load_kb(std::path::Path::new(p)),
-            KbSource::Text(t) => format::parse_kb(t),
-        };
-        let kb = parsed.map_err(|e| ProtoError {
+        // Both sources resolve to text first so the loaded KB always
+        // retains its `.rwkb` source — the snapshot layer re-parses and
+        // re-fingerprints that text on restore.
+        let structured = |e: format::LoadError| ProtoError {
             code: crate::proto::ErrorCode::LoadFailed,
             message: format!("cannot load KB `{name}`: {e}"),
-        })?;
+        };
+        let text = match source {
+            KbSource::Path(p) => {
+                std::fs::read_to_string(p).map_err(|e| structured(format::LoadError::from(e)))?
+            }
+            KbSource::Text(t) => t.clone(),
+        };
+        let kb = format::parse_kb(&text).map_err(structured)?;
         let loaded = Arc::new(LoadedKb::new(
             name.to_string(),
             kb,
+            Some(text),
             approx,
             scan,
             Arc::clone(&self.cache),
@@ -182,9 +202,22 @@ impl KbRegistry {
     /// [`Self::insert`] with explicit enumeration-scan settings — the
     /// preload path for `rwq serve <file> --symmetry/--min-n/--max-n`.
     pub fn insert_scan(&self, name: &str, kb: KnowledgeBase, scan: ScanParams) -> Arc<LoadedKb> {
+        self.insert_scan_source(name, kb, scan, None)
+    }
+
+    /// [`Self::insert_scan`] retaining the `.rwkb` source text, so the
+    /// preloaded KB participates in snapshots like wire-loaded ones.
+    pub fn insert_scan_source(
+        &self,
+        name: &str,
+        kb: KnowledgeBase,
+        scan: ScanParams,
+        source: Option<String>,
+    ) -> Arc<LoadedKb> {
         let loaded = Arc::new(LoadedKb::new(
             name.to_string(),
             kb,
+            source,
             None,
             scan,
             Arc::clone(&self.cache),
@@ -195,6 +228,15 @@ impl KbRegistry {
             .expect("registry lock poisoned")
             .insert(name.to_string(), Arc::clone(&loaded));
         loaded
+    }
+
+    /// Every resident KB, sorted by name — the stable order snapshot
+    /// files are written in.
+    pub fn snapshot_entries(&self) -> Vec<Arc<LoadedKb>> {
+        let kbs = self.kbs.read().expect("registry lock poisoned");
+        let mut entries: Vec<Arc<LoadedKb>> = kbs.values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
     }
 
     /// Drops a named KB; `false` if it was not loaded. In-flight queries

@@ -99,6 +99,13 @@ pub struct ServerConfig {
     /// Per-request JSONL access log (`None` disables it). Cheap enough
     /// to leave on: one line per answered query.
     pub access_log: Option<PathBuf>,
+    /// Durability directory: the KB registry and cache contents are
+    /// checkpointed here (see [`crate::snapshot`]) periodically and on
+    /// drain, and reloaded warm on startup. `None` disables snapshots.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Milliseconds between periodic cache checkpoints while serving
+    /// (only meaningful with [`ServerConfig::snapshot_dir`]).
+    pub snapshot_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +121,8 @@ impl Default for ServerConfig {
             slow_log: None,
             slow_ms: 100,
             access_log: None,
+            snapshot_dir: None,
+            snapshot_interval_ms: 5000,
         }
     }
 }
@@ -216,6 +225,9 @@ pub struct Server {
     /// Open connections, mirrored by the event loop for `metrics`.
     conns_open: AtomicU64,
     stop: AtomicBool,
+    /// Why the drain began: 0 = not draining, 1 = `shutdown` op /
+    /// [`Server::stop`], 2 = SIGTERM, 3 = SIGINT. First writer wins.
+    drain_reason: std::sync::atomic::AtomicU8,
     started: Instant,
     threads: usize,
     max_conns: usize,
@@ -224,6 +236,8 @@ pub struct Server {
     slow_log: Option<Mutex<std::fs::File>>,
     slow_ms: u64,
     access_log: Option<Mutex<std::fs::File>>,
+    snapshot_dir: Option<PathBuf>,
+    snapshot_interval_ms: u64,
 }
 
 impl Server {
@@ -268,6 +282,7 @@ impl Server {
             accept_errors: AtomicU64::new(0),
             conns_open: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            drain_reason: std::sync::atomic::AtomicU8::new(0),
             started: Instant::now(),
             threads,
             max_conns: config.max_conns.max(1),
@@ -276,6 +291,8 @@ impl Server {
             slow_log,
             slow_ms: config.slow_ms,
             access_log,
+            snapshot_dir: config.snapshot_dir,
+            snapshot_interval_ms: config.snapshot_interval_ms.max(100),
         })
     }
 
@@ -313,8 +330,62 @@ impl Server {
     /// requests complete, new accepts are refused) and [`Server::run`]
     /// returns.
     pub fn stop(&self) {
+        self.begin_stop(1);
+    }
+
+    /// Starts the drain, recording why (first reason wins).
+    fn begin_stop(&self, reason: u8) {
+        let _ = self
+            .drain_reason
+            .compare_exchange(0, reason, Ordering::SeqCst, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         self.wake_loop();
+    }
+
+    /// Why the server is draining (or drained), when it is:
+    /// `"shutdown"` (the wire op or [`Server::stop`]), `"SIGTERM"`, or
+    /// `"SIGINT"`.
+    pub fn drain_reason(&self) -> Option<&'static str> {
+        match self.drain_reason.load(Ordering::SeqCst) {
+            1 => Some("shutdown"),
+            2 => Some("SIGTERM"),
+            3 => Some("SIGINT"),
+            _ => None,
+        }
+    }
+
+    /// Restores a snapshot from the configured directory, if any. Call
+    /// before [`Server::run`] (and before preloading KBs, so an explicit
+    /// preload wins over a snapshotted KB of the same name). `None`
+    /// means snapshots are disabled or none exists yet; a structured
+    /// error means the snapshot was rejected and the server starts cold.
+    pub fn load_snapshot(
+        &self,
+    ) -> Option<Result<crate::snapshot::SnapshotStats, crate::snapshot::SnapshotError>> {
+        let dir = self.snapshot_dir.as_ref()?;
+        match crate::snapshot::load(dir, &self.registry) {
+            Ok(None) => None,
+            Ok(Some(stats)) => Some(Ok(stats)),
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// One checkpoint of the registry + caches, counting the outcome.
+    /// Save failures are reported to metrics, never fatal: durability
+    /// must not take down serving.
+    fn save_snapshot(&self) {
+        let Some(dir) = &self.snapshot_dir else {
+            return;
+        };
+        if let Err(e) = crate::snapshot::save(dir, &self.registry) {
+            Self::count("snapshot.save_errors");
+            // Surfacing once per failure on stderr keeps the operator
+            // informed without touching the stdout JSONL contract.
+            eprintln!(
+                "{}",
+                crate::json::fatal_line(&format!("snapshot save failed: {e}"))
+            );
+        }
     }
 
     /// Writes one byte into the wake pipe so a blocked `ppoll` returns
@@ -345,6 +416,9 @@ impl Server {
             result
         });
         *self.wake.lock().expect("wake lock poisoned") = None;
+        // Final checkpoint after the scope: workers are joined, so every
+        // admitted query's cache entry is captured.
+        self.save_snapshot();
         result
     }
 
@@ -366,16 +440,34 @@ impl Server {
         let mut ids: Vec<u64> = Vec::new();
         let mut chunk = [0u8; 8192];
         let mut frames: Vec<Frame> = Vec::new();
+        let mut last_snapshot = Instant::now();
+        let snapshot_interval = Duration::from_millis(self.snapshot_interval_ms);
 
         loop {
-            // ---- lifecycle: drain, closes, idle eviction ----
+            // ---- lifecycle: signals, drain, closes, idle eviction ----
+            if let Some(signo) = crate::signal::take() {
+                // A supervisor's SIGTERM (or an operator's Ctrl-C) is a
+                // drain request, not a death sentence: same graceful
+                // path as the `shutdown` op.
+                let reason = if signo == crate::signal::SIGINT { 3 } else { 2 };
+                self.begin_stop(reason);
+            }
             if self.stop.load(Ordering::SeqCst) && drain_deadline.is_none() {
                 drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+                Self::count("conns.drain");
+                match self.drain_reason() {
+                    Some("SIGTERM") | Some("SIGINT") => Self::count("conns.drain.signal"),
+                    _ => Self::count("conns.drain.shutdown"),
+                }
                 // Stop reading everywhere; finish what each connection
                 // is owed, then close it.
                 for conn in conns.values_mut() {
                     conn.closing = true;
                 }
+            }
+            if self.snapshot_dir.is_some() && last_snapshot.elapsed() >= snapshot_interval {
+                self.save_snapshot();
+                last_snapshot = Instant::now();
             }
             conns.retain(|_, c| !(c.closing && c.drained()));
             if let Some(deadline) = drain_deadline {

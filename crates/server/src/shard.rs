@@ -1,0 +1,1203 @@
+//! `rwq shard` — a consistent-hashing front over N backend servers,
+//! with health probes and structured failover.
+//!
+//! ```text
+//!                       ┌───────────── rwq shard ─────────────┐
+//!  client A ──TCP──▶    │ event loop (ppoll, same conn state  │     ┌─ backend 0
+//!  client B ──TCP──▶    │ machines as rw-server)              │──┬─▶│  rwq serve
+//!     ⋮                 │   query  → hash(kb ⊕ canonical(q))  │  │  └───────────
+//!  client N ──TCP──▶    │          → ring walk → forward      │  ├─▶ backend 1
+//!                       │   load/unload → broadcast to all    │  │
+//!                       │   probes: ping every backend        │  └─▶ backend 2
+//!                       └─────────────────────────────────────┘
+//! ```
+//!
+//! Queries are routed by **consistent hashing on the canonical query
+//! key**: the KB name plus [`rw_logic::canon::canonical_formula`] of the
+//! query, so syntactic variants of one query — commuted conjunctions,
+//! renamed binders — land on the *same* backend and hit its
+//! [`rw_core::AnswerCache`]. The hash walks a ring of virtual nodes
+//! ([`ShardConfig::vnodes`] per backend); removing a backend reassigns
+//! only its arc, not the whole keyspace.
+//!
+//! Failure handling is layered, cheapest first:
+//!
+//! - **Pooled connections**: each worker keeps one connection per
+//!   backend; a stale pooled connection (backend restarted) costs one
+//!   reconnect, not an error.
+//! - **Retry with exponential backoff** ([`ShardConfig::retry`],
+//!   [`ShardConfig::retry_backoff_ms`]): transient connect failures are
+//!   retried against the same backend before it is given up on.
+//! - **Failover**: when the ring-primary backend cannot serve — it is
+//!   unreachable after retries, or answered with `shutting-down`
+//!   (graceful drain is a *re-route*, never a client-visible error) —
+//!   the query moves to the ring successor and the response is
+//!   annotated with `"failover":true`. Answer bytes are otherwise
+//!   untouched: the fingerprint-keyed cache keyspace makes any backend's
+//!   answer for a key byte-identical to any other's.
+//! - **Health probes**: a probe thread pings every backend each
+//!   [`ShardConfig::probe_interval_ms`]; probed-down backends are
+//!   skipped during routing (tried last, as a final resort) until a
+//!   probe sees them answer again.
+//!
+//! The serving surface is the same JSONL protocol as `rwq serve`:
+//! `ping`/`stats`/`metrics`/`shutdown` answer inline (with shard-level
+//! stats: per-backend health and forward/failover/error counters),
+//! `load`/`unload` broadcast to every backend, `list` is served by the
+//! first healthy backend, and `query` forwards as above. The event loop
+//! is the same readiness design as [`crate::server`] — one `ppoll` over
+//! nonblocking sockets, bounded admission queue, ordered response
+//! slots, graceful drain on `shutdown`/SIGTERM/SIGINT.
+
+use crate::client::Client;
+use crate::conn::{Conn, Frame};
+use crate::poll::{self, PollFd, POLLHUP, POLLIN, POLLOUT};
+use crate::proto::{self, ErrorCode, ProtoError, Request};
+use crate::queue::{JobQueue, PushError};
+use crate::server::MAX_LINE;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a [`Shard`] front is built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Bind address for the client-facing listener; port 0 picks a free
+    /// port (see [`Shard::local_addr`]).
+    pub addr: String,
+    /// Backend `rwq serve` addresses (`host:port`); at least one.
+    pub backends: Vec<String>,
+    /// Forwarding worker threads (`0` = two per backend, clamped to
+    /// `[2, 16]`).
+    pub threads: usize,
+    /// Admission-queue capacity: requests beyond this many pending are
+    /// rejected with an `overloaded` error.
+    pub max_queue: usize,
+    /// Open-connection ceiling, as in [`crate::server::ServerConfig`].
+    pub max_conns: usize,
+    /// Milliseconds between health probes of each backend.
+    pub probe_interval_ms: u64,
+    /// Reconnect attempts against one backend after a transient
+    /// failure, before failing over to the ring successor.
+    pub retry: u32,
+    /// First retry backoff in milliseconds; doubles per attempt.
+    pub retry_backoff_ms: u64,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            threads: 0,
+            max_queue: 1024,
+            max_conns: 10_000,
+            probe_interval_ms: 250,
+            retry: 2,
+            retry_backoff_ms: 50,
+            vnodes: 64,
+        }
+    }
+}
+
+/// TCP handshake bound when forwarding — a dead backend fails fast.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Read/write bound on a forwarded request (covers slow exact queries).
+const FORWARD_TIMEOUT: Duration = Duration::from_secs(30);
+/// Handshake + ping bound for a health probe.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(500);
+/// Hard ceiling on a graceful drain, as in [`crate::server`].
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+/// Largest accept burst per loop iteration.
+const ACCEPT_BURST: usize = 256;
+/// Read chunks consumed per connection per iteration.
+const READS_PER_TICK: usize = 16;
+
+/// One backend's address and live counters.
+struct Backend {
+    /// The configured address string (reported in `stats`).
+    addr: String,
+    /// The resolved socket address connections go to.
+    sock: SocketAddr,
+    /// Last known health: probes and forwarding outcomes both write it.
+    healthy: AtomicBool,
+    /// Queries this backend answered.
+    forwarded: AtomicU64,
+    /// Queries this backend was primary for but could not serve.
+    failovers: AtomicU64,
+    /// Times this backend was unreachable (after retries) or draining.
+    errors: AtomicU64,
+}
+
+/// Where a queued request line must go.
+enum Route {
+    /// Consistent-hash to the ring primary, fail over along successors.
+    Query { hash: u64 },
+    /// To every backend (`load`/`unload` keep registries in lock-step).
+    Broadcast,
+    /// To the first backend that answers (`list`: registries match).
+    First,
+}
+
+/// A request line admitted to the forwarding queue.
+struct Job {
+    line: String,
+    route: Route,
+    conn: u64,
+    seq: u64,
+}
+
+/// A finished forward on its way back to the event loop.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    line: String,
+}
+
+/// How the event loop should deliver a request's answer.
+enum Handled {
+    /// Answered on the loop thread: fill the slot now.
+    Inline {
+        line: String,
+        /// The request asked the shard to shut down; close this
+        /// connection once the acknowledgment flushes.
+        shutdown: bool,
+    },
+    /// Admitted to the forwarding queue; the slot fills on completion.
+    Queued,
+}
+
+impl Handled {
+    fn inline(line: String) -> Handled {
+        Handled::Inline {
+            line,
+            shutdown: false,
+        }
+    }
+}
+
+/// A bound sharding front: client listener, hash ring, backend table,
+/// forwarding worker pool and health-probe thread. [`Shard::run`]
+/// blocks until a `shutdown` request (or [`Shard::stop`], or a handled
+/// signal) arrives and the graceful drain finishes.
+pub struct Shard {
+    listener: TcpListener,
+    backends: Vec<Backend>,
+    /// `(hash, backend index)` virtual nodes, sorted by hash.
+    ring: Vec<(u64, usize)>,
+    queue: JobQueue<Job>,
+    completions: Mutex<Vec<Completion>>,
+    wake: Mutex<Option<UnixStream>>,
+    stop: AtomicBool,
+    /// Why the drain began: 0 = not draining, 1 = `shutdown` op /
+    /// [`Shard::stop`], 2 = SIGTERM, 3 = SIGINT. First writer wins.
+    drain_reason: AtomicU8,
+    started: Instant,
+    threads: usize,
+    max_conns: usize,
+    probe_interval_ms: u64,
+    retry: u32,
+    retry_backoff_ms: u64,
+    conns_open: AtomicU64,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    retries: AtomicU64,
+    rejected: AtomicU64,
+    accept_errors: AtomicU64,
+}
+
+impl Shard {
+    /// Binds the client-facing listener, resolves every backend and
+    /// builds the hash ring; no thread runs until [`Shard::run`].
+    pub fn bind(config: ShardConfig) -> std::io::Result<Shard> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a shard needs at least one backend address",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let mut backends = Vec::with_capacity(config.backends.len());
+        for addr in &config.backends {
+            let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("backend `{addr}` resolves to no address"),
+                )
+            })?;
+            backends.push(Backend {
+                addr: addr.clone(),
+                sock,
+                healthy: AtomicBool::new(true),
+                forwarded: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            });
+        }
+        let vnodes = config.vnodes.max(1);
+        let mut ring = Vec::with_capacity(backends.len() * vnodes);
+        for (idx, backend) in backends.iter().enumerate() {
+            for v in 0..vnodes {
+                let point = rw_logic::canon::fnv1a(format!("{}#{v}", backend.addr).as_bytes());
+                ring.push((point, idx));
+            }
+        }
+        ring.sort_unstable();
+        let threads = match config.threads {
+            0 => (backends.len() * 2).clamp(2, 16),
+            n => n,
+        };
+        Ok(Shard {
+            listener,
+            backends,
+            ring,
+            queue: JobQueue::new(config.max_queue),
+            completions: Mutex::new(Vec::new()),
+            wake: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            drain_reason: AtomicU8::new(0),
+            started: Instant::now(),
+            threads,
+            max_conns: config.max_conns.max(1),
+            probe_interval_ms: config.probe_interval_ms.max(20),
+            retry: config.retry,
+            retry_backoff_ms: config.retry_backoff_ms.max(1),
+            conns_open: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Forwarding worker threads the pool will run.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured backend addresses, in ring-construction order.
+    pub fn backend_addrs(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.addr.clone()).collect()
+    }
+
+    /// Requests shutdown: the event loop drains gracefully and
+    /// [`Shard::run`] returns. Backends are *not* shut down.
+    pub fn stop(&self) {
+        self.begin_stop(1);
+    }
+
+    /// Starts the drain, recording why (first reason wins).
+    fn begin_stop(&self, reason: u8) {
+        let _ = self
+            .drain_reason
+            .compare_exchange(0, reason, Ordering::SeqCst, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake_loop();
+    }
+
+    /// Why the shard is draining (or drained), when it is: `"shutdown"`,
+    /// `"SIGTERM"`, or `"SIGINT"`.
+    pub fn drain_reason(&self) -> Option<&'static str> {
+        match self.drain_reason.load(Ordering::SeqCst) {
+            1 => Some("shutdown"),
+            2 => Some("SIGTERM"),
+            3 => Some("SIGINT"),
+            _ => None,
+        }
+    }
+
+    /// Writes one byte into the wake pipe so a blocked `ppoll` returns
+    /// now. Best-effort, as in [`crate::server`].
+    fn wake_loop(&self) {
+        if let Some(stream) = self.wake.lock().expect("wake lock poisoned").as_ref() {
+            let mut writer = stream;
+            let _ = writer.write(&[1]);
+        }
+    }
+
+    /// Serves until shutdown, then drains. Workers, the probe thread
+    /// and the event loop all live in one scope, so returning means
+    /// everything is joined.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        *self.wake.lock().expect("wake lock poisoned") = Some(wake_tx);
+        // One synchronous probe round before serving: a backend that is
+        // down at startup should not cost the first queries its retry
+        // budget.
+        for backend in &self.backends {
+            backend
+                .healthy
+                .store(Self::probe(&backend.sock), Ordering::SeqCst);
+        }
+        let result = std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| self.worker_loop());
+            }
+            scope.spawn(|| self.probe_loop());
+            let result = self.event_loop(&wake_rx);
+            // Workers drain everything already admitted, then exit; the
+            // probe thread sees `stop` and returns.
+            self.queue.close();
+            result
+        });
+        *self.wake.lock().expect("wake lock poisoned") = None;
+        result
+    }
+
+    // ---- routing ----
+
+    /// The routing key hash: KB name ⊕ canonical query form, so
+    /// syntactic variants of one query land on one backend (and hit its
+    /// cache). A query that does not parse hashes its trimmed text —
+    /// every backend produces identical error bytes for it anyway.
+    fn route_hash(kb: &str, query: &str) -> u64 {
+        let mut vocab = rw_logic::Vocabulary::new();
+        let key = match rw_logic::parse_formula(&mut vocab, query) {
+            Ok(f) => rw_logic::canon::canonical_formula(&vocab, &f),
+            Err(_) => query.trim().to_string(),
+        };
+        rw_logic::canon::fnv1a(format!("{kb}\u{1f}{key}").as_bytes())
+    }
+
+    /// Backend indices in ring order from `hash`'s successor: element 0
+    /// is the primary, the rest are the failover chain. Every backend
+    /// appears exactly once.
+    fn candidates(&self, hash: u64) -> Vec<usize> {
+        let start = self.ring.partition_point(|&(h, _)| h < hash) % self.ring.len();
+        let mut out = Vec::with_capacity(self.backends.len());
+        for i in 0..self.ring.len() {
+            let idx = self.ring[(start + i) % self.ring.len()].1;
+            if !out.contains(&idx) {
+                out.push(idx);
+                if out.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// `order`, stably partitioned healthy-first: probed-down backends
+    /// are still tried, but only as a last resort.
+    fn healthy_first(&self, order: Vec<usize>) -> Vec<usize> {
+        let (healthy, down): (Vec<usize>, Vec<usize>) = order
+            .into_iter()
+            .partition(|&i| self.backends[i].healthy.load(Ordering::SeqCst));
+        healthy.into_iter().chain(down).collect()
+    }
+
+    // ---- forwarding (worker threads) ----
+
+    fn worker_loop(&self) {
+        // One pooled connection per backend per worker: the hot path
+        // reuses a warm connection; a stale one (backend restarted)
+        // costs a reconnect, not an error.
+        let mut pool: Vec<Option<Client>> = (0..self.backends.len()).map(|_| None).collect();
+        while let Some(job) = self.queue.pop() {
+            let line = match job.route {
+                Route::Query { hash } => self.forward_query(hash, &job.line, &mut pool),
+                Route::Broadcast => self.forward_broadcast(&job.line, &mut pool),
+                Route::First => self.forward_first(&job.line, &mut pool),
+            };
+            self.complete(job.conn, job.seq, line);
+        }
+    }
+
+    /// Routes one query: primary first, then the failover chain. A
+    /// non-primary answer is annotated with `"failover":true`; the
+    /// answer bytes are otherwise exactly what the backend produced.
+    fn forward_query(&self, hash: u64, line: &str, pool: &mut [Option<Client>]) -> String {
+        let started = Instant::now();
+        let candidates = self.candidates(hash);
+        let primary = candidates[0];
+        for idx in self.healthy_first(candidates) {
+            let Some(resp) = self.forward_to(idx, line, pool) else {
+                continue;
+            };
+            self.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.backends[idx].forwarded.fetch_add(1, Ordering::Relaxed);
+            if rw_obs::enabled() {
+                let registry = rw_obs::registry();
+                registry.counter("shard.forwarded").inc();
+                registry
+                    .histogram("shard.forward_us")
+                    .record_us(started.elapsed().as_micros() as u64);
+            }
+            if idx != primary {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                self.backends[primary]
+                    .failovers
+                    .fetch_add(1, Ordering::Relaxed);
+                Self::count("shard.failover");
+                return annotate_failover(&resp);
+            }
+            return resp;
+        }
+        Self::count("shard.no_backend");
+        ProtoError {
+            code: ErrorCode::Overloaded,
+            message: "no backend available; retry later".to_string(),
+        }
+        .line()
+    }
+
+    /// `load`/`unload` go to every backend so registries stay in
+    /// lock-step. An explicit protocol error (parse failure, unknown
+    /// KB) is deterministic across backends and wins; otherwise any
+    /// acknowledgment does — an unreachable backend rejoins with the
+    /// same KBs via its snapshot, or is probed out until then.
+    fn forward_broadcast(&self, line: &str, pool: &mut [Option<Client>]) -> String {
+        let mut ok_line: Option<String> = None;
+        let mut err_line: Option<String> = None;
+        for idx in 0..self.backends.len() {
+            if let Some(resp) = self.forward_to(idx, line, pool) {
+                if resp.starts_with(r#"{"ok":false"#) {
+                    err_line.get_or_insert(resp);
+                } else {
+                    ok_line = Some(resp);
+                }
+            }
+        }
+        if let Some(line) = err_line {
+            return line;
+        }
+        if let Some(line) = ok_line {
+            return line;
+        }
+        Self::count("shard.no_backend");
+        ProtoError {
+            code: ErrorCode::Overloaded,
+            message: "no backend reachable; retry later".to_string(),
+        }
+        .line()
+    }
+
+    /// `list`: any backend's answer is every backend's answer.
+    fn forward_first(&self, line: &str, pool: &mut [Option<Client>]) -> String {
+        let order = self.healthy_first((0..self.backends.len()).collect());
+        for idx in order {
+            if let Some(resp) = self.forward_to(idx, line, pool) {
+                return resp;
+            }
+        }
+        Self::count("shard.no_backend");
+        ProtoError {
+            code: ErrorCode::Overloaded,
+            message: "no backend reachable; retry later".to_string(),
+        }
+        .line()
+    }
+
+    /// One attempt chain against one backend: pooled connection, then
+    /// fresh connects with exponential backoff. `None` means the
+    /// backend cannot serve right now — unreachable after retries, or
+    /// draining — and the caller should move on.
+    fn forward_to(&self, idx: usize, line: &str, pool: &mut [Option<Client>]) -> Option<String> {
+        let backend = &self.backends[idx];
+        if let Some(client) = pool[idx].as_mut() {
+            match client.request_line(line) {
+                Ok(resp) => {
+                    if is_draining(&resp) {
+                        pool[idx] = None;
+                        self.note_draining(idx);
+                        return None;
+                    }
+                    return Some(resp);
+                }
+                // A stale pooled connection (backend restarted between
+                // requests) is normal: drop it and reconnect below.
+                Err(_) => pool[idx] = None,
+            }
+        }
+        let mut backoff = Duration::from_millis(self.retry_backoff_ms);
+        for attempt in 0..=self.retry {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                Self::count("shard.retries");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(2));
+            }
+            let Ok(client) = Client::connect_timeout(&backend.sock, CONNECT_TIMEOUT) else {
+                continue;
+            };
+            let _ = client.set_timeouts(Some(FORWARD_TIMEOUT));
+            let mut client = client;
+            match client.request_line(line) {
+                Ok(resp) => {
+                    if is_draining(&resp) {
+                        self.note_draining(idx);
+                        return None;
+                    }
+                    backend.healthy.store(true, Ordering::SeqCst);
+                    pool[idx] = Some(client);
+                    return Some(resp);
+                }
+                Err(_) => continue,
+            }
+        }
+        backend.healthy.store(false, Ordering::SeqCst);
+        backend.errors.fetch_add(1, Ordering::Relaxed);
+        Self::count("shard.backend_errors");
+        None
+    }
+
+    /// A backend answered `shutting-down`: it is draining, not broken.
+    /// Mark it down so routing skips it; probes will notice when its
+    /// replacement comes back up.
+    fn note_draining(&self, idx: usize) {
+        let backend = &self.backends[idx];
+        backend.healthy.store(false, Ordering::SeqCst);
+        backend.errors.fetch_add(1, Ordering::Relaxed);
+        Self::count("shard.backend.draining");
+    }
+
+    // ---- health probes ----
+
+    /// Pings every backend each probe interval, flipping health bits
+    /// and the `shard.backends.healthy` gauge. Exits when the drain
+    /// begins.
+    fn probe_loop(&self) {
+        let interval = Duration::from_millis(self.probe_interval_ms);
+        loop {
+            for backend in &self.backends {
+                let healthy = Self::probe(&backend.sock);
+                let was = backend.healthy.swap(healthy, Ordering::SeqCst);
+                Self::count("shard.health.probes");
+                if !healthy {
+                    Self::count("shard.health.failures");
+                }
+                if was != healthy {
+                    Self::count(if healthy {
+                        "shard.backend.up"
+                    } else {
+                        "shard.backend.down"
+                    });
+                }
+            }
+            if rw_obs::enabled() {
+                let up = self
+                    .backends
+                    .iter()
+                    .filter(|b| b.healthy.load(Ordering::SeqCst))
+                    .count();
+                rw_obs::registry()
+                    .gauge("shard.backends.healthy")
+                    .set(up as u64);
+            }
+            // Sleep in small slices so a drain is honored promptly.
+            let mut waited = Duration::ZERO;
+            while waited < interval {
+                if self.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let step = Duration::from_millis(20).min(interval - waited);
+                std::thread::sleep(step);
+                waited += step;
+            }
+        }
+    }
+
+    /// One health probe: connect, ping, expect an `ok` answer. A
+    /// draining backend refuses with `"ok":false` and probes unhealthy.
+    fn probe(sock: &SocketAddr) -> bool {
+        let Ok(client) = Client::connect_timeout(sock, PROBE_TIMEOUT) else {
+            return false;
+        };
+        if client.set_timeouts(Some(PROBE_TIMEOUT)).is_err() {
+            return false;
+        }
+        let mut client = client;
+        matches!(
+            client.request_line(r#"{"op":"ping"}"#),
+            Ok(resp) if resp.starts_with(r#"{"ok":true"#)
+        )
+    }
+
+    // ---- event loop (same readiness design as crate::server) ----
+
+    /// Hands a finished forward back to the event loop and wakes it.
+    fn complete(&self, conn: u64, seq: u64, line: String) {
+        self.completions
+            .lock()
+            .expect("completions lock poisoned")
+            .push(Completion { conn, seq, line });
+        self.wake_loop();
+    }
+
+    /// Answers one request line: control ops inline, everything that
+    /// touches a backend through the admission queue.
+    fn handle_line(&self, line: &str, conn: u64, seq: u64) -> Handled {
+        let request = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => return Handled::inline(e.line()),
+        };
+        match request {
+            Request::Ping => Handled::inline(r#"{"ok":true,"op":"ping"}"#.to_string()),
+            Request::Stats => Handled::inline(self.stats_json()),
+            Request::Metrics => Handled::inline(self.metrics_json()),
+            Request::Shutdown => {
+                self.stop();
+                Handled::Inline {
+                    line: r#"{"ok":true,"op":"shutdown"}"#.to_string(),
+                    shutdown: true,
+                }
+            }
+            Request::Sleep { .. } => {
+                Handled::inline(ProtoError::bad_request("`sleep` is a test-only op").line())
+            }
+            Request::Query { ref kb, ref query } => self.admit(
+                Route::Query {
+                    hash: Self::route_hash(kb, query),
+                },
+                line,
+                conn,
+                seq,
+            ),
+            Request::Load { .. } | Request::Unload { .. } => {
+                self.admit(Route::Broadcast, line, conn, seq)
+            }
+            Request::List => self.admit(Route::First, line, conn, seq),
+        }
+    }
+
+    /// Admits a request line to the forwarding queue; a full queue is
+    /// answered immediately with `overloaded`.
+    fn admit(&self, route: Route, line: &str, conn: u64, seq: u64) -> Handled {
+        let job = Job {
+            line: line.to_string(),
+            route,
+            conn,
+            seq,
+        };
+        match self.queue.push(job) {
+            Ok(()) => Handled::Queued,
+            Err(PushError::Full) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Self::count("queue.rejected");
+                Handled::inline(
+                    ProtoError {
+                        code: ErrorCode::Overloaded,
+                        message: format!(
+                            "admission queue full ({} pending); retry later",
+                            self.queue.capacity()
+                        ),
+                    }
+                    .line(),
+                )
+            }
+            Err(PushError::Closed) => Handled::inline(
+                ProtoError {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".to_string(),
+                }
+                .line(),
+            ),
+        }
+    }
+
+    /// The readiness loop; structurally the same as
+    /// [`crate::server::Server`]'s, minus idle eviction and snapshots
+    /// (the shard holds no KB state worth persisting).
+    fn event_loop(&self, wake_rx: &UnixStream) -> std::io::Result<()> {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id: u64 = 0;
+        let mut accept_pause: Option<Instant> = None;
+        let mut backoff = Duration::from_millis(10);
+        let mut drain_deadline: Option<Instant> = None;
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut ids: Vec<u64> = Vec::new();
+        let mut chunk = [0u8; 8192];
+        let mut frames: Vec<Frame> = Vec::new();
+
+        loop {
+            // ---- lifecycle: signals, drain, closes ----
+            if let Some(signo) = crate::signal::take() {
+                let reason = if signo == crate::signal::SIGINT { 3 } else { 2 };
+                self.begin_stop(reason);
+            }
+            if self.stop.load(Ordering::SeqCst) && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+                Self::count("shard.drain");
+                for conn in conns.values_mut() {
+                    conn.closing = true;
+                }
+            }
+            conns.retain(|_, c| !(c.closing && c.drained()));
+            if let Some(deadline) = drain_deadline {
+                if conns.is_empty() || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            self.conns_open.store(conns.len() as u64, Ordering::Relaxed);
+            if rw_obs::enabled() {
+                rw_obs::registry()
+                    .gauge("conns.open")
+                    .set(conns.len() as u64);
+            }
+
+            // ---- build the poll set ----
+            fds.clear();
+            ids.clear();
+            fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+            if accept_pause.is_some_and(|until| Instant::now() >= until) {
+                accept_pause = None;
+            }
+            let listener_idx = if accept_pause.is_none() {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                Some(fds.len() - 1)
+            } else {
+                None
+            };
+            let conn_base = fds.len();
+            for (&id, conn) in &conns {
+                let mut events = 0i16;
+                if !conn.closing && !conn.read_paused() {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                ids.push(id);
+            }
+            let timeout = if drain_deadline.is_some() || accept_pause.is_some() {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(500)
+            };
+            poll::poll(&mut fds, Some(timeout))?;
+
+            // ---- drain the wake pipe, apply completions ----
+            if fds[0].ready(POLLIN) {
+                let mut wake = wake_rx;
+                while matches!(wake.read(&mut chunk), Ok(n) if n > 0) {}
+            }
+            let done =
+                std::mem::take(&mut *self.completions.lock().expect("completions lock poisoned"));
+            for completion in done {
+                let Some(conn) = conns.get_mut(&completion.conn) else {
+                    continue;
+                };
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.fill_slot(completion.seq, completion.line);
+                conn.last_activity = Instant::now();
+                if conn.flush().is_err() {
+                    conns.remove(&completion.conn);
+                }
+            }
+
+            // ---- accept ----
+            if listener_idx.is_some_and(|i| fds[i].ready(POLLIN)) {
+                for _ in 0..ACCEPT_BURST {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            backoff = Duration::from_millis(10);
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            if drain_deadline.is_some() {
+                                Self::refuse(
+                                    stream,
+                                    ProtoError {
+                                        code: ErrorCode::ShuttingDown,
+                                        message: "server is shutting down".to_string(),
+                                    },
+                                );
+                                continue;
+                            }
+                            if conns.len() >= self.max_conns {
+                                Self::refuse(
+                                    stream,
+                                    ProtoError {
+                                        code: ErrorCode::Overloaded,
+                                        message: format!(
+                                            "connection limit reached ({} open); retry later",
+                                            self.max_conns
+                                        ),
+                                    },
+                                );
+                                Self::count("conns.refused");
+                                continue;
+                            }
+                            let id = next_id;
+                            next_id += 1;
+                            conns.insert(id, Conn::new(stream, MAX_LINE));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            self.accept_errors.fetch_add(1, Ordering::Relaxed);
+                            Self::count("accept.errors");
+                            const EMFILE: i32 = 24;
+                            const ENFILE: i32 = 23;
+                            if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) {
+                                let oldest = conns
+                                    .iter()
+                                    .filter(|(_, c)| c.is_idle() && !c.closing)
+                                    .min_by_key(|(_, c)| c.last_activity)
+                                    .map(|(&id, _)| id);
+                                match oldest {
+                                    Some(id) => {
+                                        conns.remove(&id);
+                                        Self::count("conns.idle_closed");
+                                        continue;
+                                    }
+                                    None => {
+                                        accept_pause = Some(Instant::now() + backoff);
+                                        backoff = (backoff * 2).min(Duration::from_secs(1));
+                                        break;
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // ---- per-connection IO ----
+            for (slot, &id) in fds[conn_base..].iter().zip(ids.iter()) {
+                let Some(conn) = conns.get_mut(&id) else {
+                    continue;
+                };
+                if slot.failed() {
+                    conns.remove(&id);
+                    continue;
+                }
+                if slot.ready(POLLOUT) && conn.flush().is_err() {
+                    conns.remove(&id);
+                    continue;
+                }
+                if conn.closing || !slot.ready(POLLIN | POLLHUP) {
+                    continue;
+                }
+                frames.clear();
+                let mut eof = false;
+                let mut gone = false;
+                for _ in 0..READS_PER_TICK {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.last_activity = Instant::now();
+                            conn.framer.push(&chunk[..n], &mut frames);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            gone = true;
+                            break;
+                        }
+                    }
+                }
+                if gone {
+                    conns.remove(&id);
+                    continue;
+                }
+                if eof {
+                    if let Some(line) = conn.framer.finish() {
+                        frames.push(Frame::Line(line));
+                    }
+                    conn.closing = true;
+                }
+                let mut acked_shutdown = false;
+                for frame in frames.drain(..) {
+                    let seq = conn.alloc_slot();
+                    match frame {
+                        Frame::Oversized => {
+                            let error = ProtoError::bad_request(format!(
+                                "request line exceeds {MAX_LINE} bytes"
+                            ));
+                            conn.fill_slot(seq, error.line());
+                        }
+                        Frame::Line(line) => match self.handle_line(&line, id, seq) {
+                            Handled::Inline { line, shutdown } => {
+                                conn.fill_slot(seq, line);
+                                acked_shutdown |= shutdown;
+                            }
+                            Handled::Queued => conn.inflight += 1,
+                        },
+                    }
+                }
+                if acked_shutdown {
+                    conn.closing = true;
+                }
+                if conn.flush().is_err() {
+                    conns.remove(&id);
+                }
+            }
+        }
+        self.conns_open.store(0, Ordering::Relaxed);
+        if rw_obs::enabled() {
+            rw_obs::registry().gauge("conns.open").set(0);
+        }
+        Ok(())
+    }
+
+    /// Best-effort one-line rejection, as in [`crate::server`].
+    fn refuse(mut stream: TcpStream, error: ProtoError) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.write_all(format!("{}\n", error.line()).as_bytes());
+    }
+
+    /// Increments a registry counter when observability is recording.
+    fn count(name: &str) {
+        if rw_obs::enabled() {
+            rw_obs::registry().counter(name).inc();
+        }
+    }
+
+    /// The `stats` op: shard-level routing totals plus one entry per
+    /// backend with its health bit and counters.
+    fn stats_json(&self) -> String {
+        let backends: Vec<String> = self
+            .backends
+            .iter()
+            .map(|b| {
+                format!(
+                    r#"{{"addr":"{}","healthy":{},"forwarded":{},"failovers":{},"errors":{}}}"#,
+                    crate::json::escape(&b.addr),
+                    b.healthy.load(Ordering::SeqCst),
+                    b.forwarded.load(Ordering::Relaxed),
+                    b.failovers.load(Ordering::Relaxed),
+                    b.errors.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"ok":true,"op":"stats","uptime_us":{},"shard":{{"forwarded":{},"failovers":{},"retries":{},"rejected":{},"backends":[{}]}},"queue":{{"depth":{},"capacity":{},"workers":{}}}}}"#,
+            self.started.elapsed().as_micros(),
+            self.forwarded.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            backends.join(","),
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.threads,
+        )
+    }
+
+    /// The `metrics` op: the observability-registry snapshot with the
+    /// queue-depth and open-connection gauges refreshed.
+    fn metrics_json(&self) -> String {
+        let registry = rw_obs::registry();
+        registry.gauge("queue.depth").set(self.queue.depth() as u64);
+        registry
+            .gauge("conns.open")
+            .set(self.conns_open.load(Ordering::Relaxed));
+        format!(
+            r#"{{"ok":true,"op":"metrics","uptime_us":{},"metrics":{}}}"#,
+            self.started.elapsed().as_micros(),
+            registry.snapshot().to_json(),
+        )
+    }
+}
+
+/// Whether a backend response line is a drain refusal: those re-route,
+/// they never reach a client. Answer lines escape embedded quotes, so
+/// the raw `"code":"shutting-down"` substring cannot occur in one.
+fn is_draining(resp: &str) -> bool {
+    resp.starts_with(r#"{"ok":false"#) && resp.contains(r#""code":"shutting-down""#)
+}
+
+/// Appends `"failover":true` to a response object so clients (and the
+/// soak harness) can see a query was served by a ring successor. The
+/// annotation is additive: stripping it recovers the backend's bytes.
+fn annotate_failover(line: &str) -> String {
+    match line.strip_suffix('}') {
+        Some(body) => format!("{body},\"failover\":true}}"),
+        None => line.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    fn shard_of(backends: &[&str]) -> Shard {
+        // Bind-only construction: listener on an ephemeral port, ring
+        // built, nothing running.
+        Shard::bind(ShardConfig {
+            backends: backends.iter().map(|s| s.to_string()).collect(),
+            ..ShardConfig::default()
+        })
+        .expect("bind shard")
+    }
+
+    #[test]
+    fn bind_rejects_empty_backends() {
+        match Shard::bind(ShardConfig::default()) {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("a backend-less shard must not bind"),
+        }
+    }
+
+    #[test]
+    fn candidates_cover_all_backends_deterministically() {
+        let shard = shard_of(&["127.0.0.1:19001", "127.0.0.1:19002", "127.0.0.1:19003"]);
+        for query in ["Hep(Eric)", "Jaun(Tom)", "Hep(Eric) & Jaun(Eric)"] {
+            let hash = Shard::route_hash("med", query);
+            let a = shard.candidates(hash);
+            let b = shard.candidates(hash);
+            assert_eq!(a, b, "ring walk must be deterministic");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "every backend appears once");
+        }
+    }
+
+    #[test]
+    fn route_hash_is_syntax_invariant() {
+        // Commuted conjunction and double negation canonicalize to the
+        // same routing key — one backend, one warm cache.
+        let a = Shard::route_hash("med", "Hep(Eric) & Jaun(Eric)");
+        let b = Shard::route_hash("med", "Jaun(Eric) & Hep(Eric)");
+        let c = Shard::route_hash("med", "!!(Hep(Eric) & Jaun(Eric))");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // A different KB name must be free to land elsewhere.
+        assert_ne!(a, Shard::route_hash("other", "Hep(Eric) & Jaun(Eric)"));
+    }
+
+    #[test]
+    fn failover_annotation_is_additive() {
+        let line = r#"{"ok":true,"op":"query","belief":{"value":0.8}}"#;
+        let annotated = annotate_failover(line);
+        assert_eq!(
+            annotated,
+            r#"{"ok":true,"op":"query","belief":{"value":0.8},"failover":true}"#
+        );
+        assert_eq!(crate::json::strip_failover(&annotated), line);
+    }
+
+    #[test]
+    fn drain_refusals_are_recognized() {
+        assert!(is_draining(
+            r#"{"ok":false,"error":"server is shutting down","code":"shutting-down"}"#
+        ));
+        assert!(!is_draining(r#"{"ok":true,"op":"ping"}"#));
+        // A query echoing the substring inside a JSON string is escaped
+        // by the answer renderer and must not look like a drain.
+        assert!(!is_draining(
+            r#"{"ok":false,"error":"no KB named `\"code\":\"shutting-down\"`","code":"unknown-kb"}"#
+        ));
+    }
+
+    /// End-to-end in-process: two backends behind a shard, a kill, and
+    /// a failover that stays invisible to the client (modulo the
+    /// annotation).
+    #[test]
+    fn kill_one_backend_fails_over_with_annotation() {
+        let spawn_backend = || {
+            let server = Arc::new(
+                Server::bind(ServerConfig {
+                    threads: 1,
+                    ..ServerConfig::default()
+                })
+                .expect("bind backend"),
+            );
+            let addr = server.local_addr().expect("backend addr");
+            let handle = std::thread::spawn({
+                let server = server.clone();
+                move || server.run()
+            });
+            (server, addr, handle)
+        };
+        let (backend_a, addr_a, handle_a) = spawn_backend();
+        let (backend_b, addr_b, handle_b) = spawn_backend();
+        let mut backends = [Some(backend_a), Some(backend_b)];
+        let mut handles = [Some(handle_a), Some(handle_b)];
+
+        let shard = Arc::new(
+            Shard::bind(ShardConfig {
+                backends: vec![addr_a.to_string(), addr_b.to_string()],
+                threads: 2,
+                probe_interval_ms: 50,
+                retry: 1,
+                retry_backoff_ms: 5,
+                ..ShardConfig::default()
+            })
+            .expect("bind shard"),
+        );
+        let shard_addr = shard.local_addr().expect("shard addr");
+        let shard_handle = std::thread::spawn({
+            let shard = shard.clone();
+            move || shard.run()
+        });
+
+        let mut client = Client::connect(shard_addr).expect("connect shard");
+        let loaded = client
+            .request_line(
+                r#"{"op":"load","kb":"med","text":"||Hep(x) | Jaun(x)||_x ~=_1 0.8; Jaun(Eric)"}"#,
+            )
+            .expect("broadcast load");
+        assert!(loaded.starts_with(r#"{"ok":true,"op":"load""#), "{loaded}");
+
+        let query = r#"{"op":"query","kb":"med","query":"Hep(Eric)"}"#;
+        let first = client.request_line(query).expect("routed query");
+        assert!(first.contains(r#""value":0.8"#), "{first}");
+        assert!(!first.contains(r#""failover":true"#), "{first}");
+
+        // Kill the primary for this key; the ring successor must answer
+        // the same bytes, annotated.
+        let primary = shard.candidates(Shard::route_hash("med", "Hep(Eric)"))[0];
+        backends[primary].as_ref().expect("primary alive").stop();
+        handles[primary]
+            .take()
+            .expect("primary handle")
+            .join()
+            .expect("join primary")
+            .expect("primary run");
+        // Drop the Server so its listener closes: a killed process's
+        // port refuses connects instead of accepting into a backlog
+        // nobody drains (which would stall the failover on the forward
+        // timeout instead of an instant ECONNREFUSED).
+        backends[primary] = None;
+
+        let over = client.request_line(query).expect("failover query");
+        assert!(over.contains(r#""failover":true"#), "{over}");
+        assert_eq!(
+            crate::json::mask_times(&crate::json::strip_failover(&over)),
+            crate::json::mask_times(&first)
+        );
+
+        let stats = client.request_line(r#"{"op":"stats"}"#).expect("stats");
+        assert!(stats.contains(r#""failovers":1"#), "{stats}");
+
+        // Drain the shard, then the surviving backend.
+        let ack = client.request_line(r#"{"op":"shutdown"}"#).expect("ack");
+        assert!(ack.contains(r#""op":"shutdown""#), "{ack}");
+        shard_handle.join().expect("join shard").expect("shard run");
+        assert_eq!(shard.drain_reason(), Some("shutdown"));
+        let survivor = 1 - primary;
+        backends[survivor].as_ref().expect("survivor alive").stop();
+        handles[survivor]
+            .take()
+            .expect("survivor handle")
+            .join()
+            .expect("join survivor")
+            .expect("survivor run");
+    }
+}
